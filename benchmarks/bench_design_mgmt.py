@@ -1,0 +1,146 @@
+"""E32 — Section 3.2: design management and data consistency.
+
+Two claims, two experiments:
+
+1. **Consistency power.**  A battery of corruptions is injected into a
+   coupled environment; the hybrid scan must detect every one, while
+   bare FMCAD (which never cross-checks automatically) detects none.
+2. **Two-level versioning expressiveness.**  A design history spread
+   over cell versions and variants is enumerated; the one-level
+   (FMCAD-style) addressing scheme must lose distinctions the two-level
+   scheme keeps.
+"""
+
+from repro.core.consistency import ConsistencyGuard
+from repro.workloads.metrics import format_table
+
+
+def run_schematic(hybrid, project, library, cell):
+    def edit(editor):
+        editor.add_port("a", "in")
+        editor.add_port("y", "out")
+        editor.place_gate("g", "NOT", 1)
+        editor.wire("a", "g", "in0")
+        editor.wire("y", "g", "out")
+
+    return hybrid.run_schematic_entry("alice", project, library, cell, edit)
+
+
+def coupled_environment(hybrid):
+    library = hybrid.fmcad.create_library("lib")
+    library.create_cell("alu")
+    project = hybrid.adopt_library("alice", library, "chip")
+    hybrid.jcf.resources.assign_team_to_project("admin", "team",
+                                                project.oid)
+    hybrid.prepare_cell("alice", project, "alu", team_name="team")
+    run_schematic(hybrid, project, library, "alu")
+    return project, library
+
+
+#: (name, injector) — each corrupts one aspect of the environment.
+CORRUPTIONS = [
+    (
+        "version file edited on disk",
+        lambda lib: lib.cellview("alu", "schematic")
+        .version(1).path.write_bytes(b"bitrot"),
+    ),
+    (
+        "version file deleted",
+        lambda lib: lib.cellview("alu", "schematic")
+        .version(1).path.unlink(),
+    ),
+    (
+        "checkin outside the coupling",
+        lambda lib: lib.write_version(
+            lib.cellview("alu", "schematic"), b"rogue", "mallory"
+        ),
+    ),
+]
+
+
+class TestConsistencyPower:
+    def test_e32_detection_asymmetry(self, benchmark, hybrid_env,
+                                     report_writer):
+        hybrid = hybrid_env
+        rows = []
+        for name, inject in CORRUPTIONS:
+            # fresh sub-environment per corruption
+            project, library = None, None
+            import tempfile, pathlib
+
+            from repro.core import HybridFramework
+
+            env_root = pathlib.Path(tempfile.mkdtemp())
+            env = HybridFramework(env_root)
+            env.jcf.resources.define_user("admin", "alice")
+            env.jcf.resources.define_team("admin", "team")
+            env.jcf.resources.add_member("admin", "alice", "team")
+            env.setup_standard_flow()
+            project, library = coupled_environment(env)
+
+            clean = env.guard.scan(project, library)
+            assert clean == [], "environment must scan clean before injection"
+            inject(library)
+            hybrid_findings = env.guard.scan(project, library)
+            fmcad_findings = ConsistencyGuard.fmcad_baseline_scan(library)
+            assert hybrid_findings, f"hybrid must detect: {name}"
+            assert fmcad_findings == [], "bare FMCAD detects nothing"
+            rows.append([name, len(hybrid_findings), len(fmcad_findings)])
+
+        # time the scan itself on a clean environment
+        project, library = coupled_environment(hybrid)
+        benchmark(lambda: hybrid.guard.scan(project, library))
+
+        report = (
+            "E32a (Section 3.2) — consistency-check power: injected "
+            "corruptions detected\n\n"
+        )
+        report += format_table(
+            ["injected corruption", "hybrid findings", "FMCAD findings"],
+            rows,
+        )
+        report += (
+            "\n\npaper claim reproduced: the hybrid framework provides a "
+            "more powerful\ndata consistency check; standard FMCAD leaves "
+            "it to the designer."
+        )
+        report_writer("e32a_consistency", report)
+
+
+class TestTwoLevelVersioning:
+    def test_e32_versioning_expressiveness(self, benchmark, hybrid_env,
+                                           report_writer):
+        hybrid = hybrid_env
+        project = hybrid.jcf.desktop.create_project("alice", "hist")
+        cell = project.create_cell("alu")
+        # history: 3 cell versions x 2 variants x 2 object versions
+        for _ in range(3):
+            version = cell.create_version()
+            for variant_name in ("fast", "lowpower"):
+                variant = version.create_variant(variant_name)
+                dobj = variant.create_design_object(
+                    "alu/schematic", "schematic"
+                )
+                dobj.new_version(b"rev1")
+                dobj.new_version(b"rev2")
+
+        report_data = benchmark(
+            lambda: hybrid.jcf.versioning.expressiveness_report(cell)
+        )
+        assert report_data["two_level_states"] == 12
+        assert report_data["one_level_states"] == 2
+        assert report_data["indistinguishable_states"] == 10
+
+        rows = [[key, value] for key, value in report_data.items()]
+        report = (
+            "E32b (Section 3.2) — two-level versioning vs the one-level "
+            "scheme\nhistory: 3 cell versions x 2 variants x 2 design-"
+            "object versions\n\n"
+        )
+        report += format_table(["measure", "value"], rows)
+        report += (
+            "\n\npaper claim reproduced: a one-level (FMCAD-style) "
+            "versioning key\ncollapses distinct design states; JCF's cell-"
+            "version + variant levels keep\nthem addressable."
+        )
+        report_writer("e32b_versioning", report)

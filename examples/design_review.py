@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Design review: the consultant, cross-probing and customizations.
+
+A designer makes three classic mistakes; the framework's assistance
+machinery catches each one:
+
+1. a schematic with **two drivers on one net** — flagged by the ERC
+   through the design consultant;
+2. a testbench that passes but **initialises nothing** — exposed by the
+   simulator's initialization-coverage report;
+3. a layout label mismatch — found by **cross-probing** a net that
+   exists in the schematic but resolves to nothing in the layout.
+
+Along the way the stock extension-language customizations audit every
+tool invocation, and the JCF desktop renders the project tree.
+
+Run:  python examples/design_review.py
+"""
+
+import pathlib
+import tempfile
+
+from repro.core import DesignConsultant, HybridFramework
+from repro.core.crossprobe import CrossProbeService
+from repro.fmcad.customizations import (
+    apply_standard_customizations,
+    audit_counts,
+)
+from repro.workloads.scripts import inverter_chain_bench
+
+
+def flawed_schematic(editor):
+    """Two inverters both driving the output: an ERC violation."""
+    editor.add_port("a", "in")
+    editor.add_port("y", "out")
+    for name in ("i0", "i1"):
+        editor.place_gate(name, "NOT", 1)
+        editor.wire("a", name, "in0")
+        editor.wire("y", name, "out")  # both drive y!
+
+
+def fixed_schematic(editor):
+    """The repaired 2-stage buffer."""
+    editor.delete("i1")
+    editor.unwire("y", "i0", "out")
+    editor.wire("n", "i0", "out")
+    editor.place_gate("i1", "NOT", 1)
+    editor.wire("n", "i1", "in0")
+    editor.wire("y", "i1", "out")
+
+
+def lazy_testbench(testbench):
+    """Passes trivially: it drives nothing and checks nothing."""
+
+
+def mislabelled_layout(editor):
+    editor.draw_rect("metal1", 0, 0, 40, 4)
+    editor.add_label("a", "metal1", 1, 1)
+    editor.draw_rect("metal1", 0, 10, 40, 14)
+    editor.add_label("out", "metal1", 1, 11)  # schematic calls it "y"!
+
+
+def main():
+    root = pathlib.Path(tempfile.mkdtemp(prefix="review_"))
+    hybrid = HybridFramework(root)
+    resources = hybrid.jcf.resources
+    resources.define_user("admin", "gina")
+    resources.define_team("admin", "reviewers")
+    resources.add_member("admin", "gina", "reviewers")
+    hybrid.setup_standard_flow()
+    apply_standard_customizations(hybrid.fmcad)
+
+    library = hybrid.fmcad.create_library("review_lib")
+    library.create_cell("buf2")
+    project = hybrid.adopt_library("gina", library, "review")
+    resources.assign_team_to_project("admin", "reviewers", project.oid)
+    hybrid.prepare_cell("gina", project, "buf2", team_name="reviewers")
+    consultant = DesignConsultant(hybrid.jcf, guard=hybrid.guard)
+
+    # -- mistake 1: the shorted schematic -----------------------------------
+    hybrid.run_schematic_entry("gina", project, library, "buf2",
+                               flawed_schematic)
+    print("after the first schematic save:")
+    for advice in consultant.advise(project, library):
+        if advice.topic == "erc":
+            print(f"  {advice}")
+
+    print("\nfixing the schematic...")
+    hybrid.run_schematic_entry("gina", project, library, "buf2",
+                               fixed_schematic)
+    erc_advice = [a for a in consultant.advise(project, library)
+                  if a.topic == "erc"]
+    print(f"  ERC findings now: {len(erc_advice)}")
+
+    # -- mistake 2: the lazy testbench ------------------------------------------
+    from repro.tools.schematic.model import Schematic
+    from repro.tools.schematic.netlist import netlist_schematic
+    from repro.tools.simulator.engine import LogicSimulator
+
+    result = hybrid.run_simulation("gina", project, library, "buf2",
+                                   lazy_testbench)
+    print(f"\nlazy testbench verdict: "
+          f"{'pass' if result.success else 'fail'} — but:")
+    schematic = Schematic.from_bytes(
+        library.read_version(library.cellview("buf2", "schematic"))
+    )
+    netlist = netlist_schematic(schematic)
+    sim = LogicSimulator(netlist).run([])
+    print(f"  initialization coverage: "
+          f"{sim.initialization_coverage():.0%} "
+          f"(uninitialised: {sim.uninitialized_nets()})")
+    print("  re-running with a real testbench...")
+    result = hybrid.run_simulation("gina", project, library, "buf2",
+                                   inverter_chain_bench(2))
+    print(f"  real testbench verdict: "
+          f"{'pass' if result.success else 'fail'}")
+
+    # -- mistake 3: the mislabelled layout ------------------------------------------
+    hybrid.run_layout_entry("gina", project, library, "buf2",
+                            mislabelled_layout)
+    probe = CrossProbeService(hybrid.fmcad, library, "buf2", "gina")
+    for net in ("a", "y"):
+        outcome = probe.probe_from_schematic(net)
+        status = ("highlights "
+                  f"{outcome.highlighted_shapes} shapes"
+                  if outcome.resolved else "NOT FOUND in layout")
+        print(f"  cross-probe {net!r}: {status}")
+    probe.close()
+
+    # -- the audit trail and the project tree ------------------------------------------
+    print("\ntool-invocation audit (extension-language customization):")
+    for tool, count in sorted(audit_counts(hybrid.fmcad).items()):
+        print(f"  {tool:20s} {count}")
+    print("\n" + hybrid.jcf.desktop.render_project(project))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Team design: the Section 3.1 multi-user story, played out.
+
+A four-designer team works on a shared three-cell design.  The same
+access pattern is replayed twice:
+
+* against **bare FMCAD** — checkout/checkin on one shared library, one
+  ``.meta`` file, manual metadata refresh;
+* against the **hybrid framework** — JCF workspace reservations, with
+  new cell versions derived on conflict (parallel work FMCAD forbids).
+
+The output shows the paper's qualitative claims as numbers: FMCAD
+designers block and read stale metadata; hybrid designers never idle.
+
+Run:  python examples/team_asic_project.py
+"""
+
+import pathlib
+import tempfile
+
+from repro.workloads.metrics import format_table
+from repro.workloads.sessions import MultiUserSimulation
+
+
+def main():
+    root = pathlib.Path(tempfile.mkdtemp(prefix="team_asic_"))
+    rows = []
+    for designers in (2, 4, 8):
+        simulation = MultiUserSimulation(
+            designers=designers, cells=3, rounds=40, seed=11
+        )
+        fmcad = simulation.run_fmcad_only(root / f"fmcad{designers}")
+        hybrid = simulation.run_hybrid(root / f"hybrid{designers}")
+        rows.append([
+            designers,
+            f"{fmcad.block_rate:.0%}",
+            fmcad.completed,
+            fmcad.stale_reads,
+            f"{hybrid.block_rate:.0%}",
+            hybrid.completed,
+            hybrid.parallel_versions,
+        ])
+
+    print("Multi-user design, 3 shared cells, 40 rounds")
+    print("(fmcad = checkout/checkin baseline; hybrid = JCF workspaces)\n")
+    print(
+        format_table(
+            [
+                "designers",
+                "fmcad blocked",
+                "fmcad done",
+                "stale reads",
+                "hybrid blocked",
+                "hybrid done",
+                "parallel versions",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading: FMCAD blocking grows with team size and designers work"
+        "\nfrom stale metadata; the hybrid framework converts every conflict"
+        "\ninto a parallel cell version (Section 3.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — reproduction of the JCF/FMCAD hybrid-framework paper (DATE 1995).
+
+The package re-implements, in pure Python:
+
+* :mod:`repro.oms` — the OMS object-oriented database kernel JCF stores
+  metadata and design data in;
+* :mod:`repro.jcf` — the JESSI-COMMON-Framework 3.0 (master framework);
+* :mod:`repro.fmcad` — the "widespread ECAD framework" (slave framework);
+* :mod:`repro.tools` — the three encapsulated FMCAD design tools
+  (schematic entry, layout editor, digital simulator);
+* :mod:`repro.core` — the paper's contribution: the hybrid JCF-FMCAD
+  coupling (data-model mapping, encapsulation, hierarchy handling,
+  consistency guard, combined desktop);
+* :mod:`repro.workloads` — synthetic designs and scripted designer agents
+  used by the evaluation benchmarks.
+
+The most convenient entry point is :class:`repro.core.coupling.
+HybridFramework`; see ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"
+
+from repro.clock import CostModel, SimClock
+from repro.ids import IdAllocator
+
+__all__ = ["CostModel", "SimClock", "IdAllocator", "__version__"]

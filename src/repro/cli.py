@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info``
+    Print the library version and the implemented system inventory.
+``demo``
+    Run a self-contained hybrid-framework demonstration (the quickstart
+    scenario) in a temporary directory and print the resulting state.
+``selfcheck``
+    Exercise one coupled flow end-to-end and verify the invariants the
+    paper claims (derivation record complete, consistency scan clean);
+    exits non-zero on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import tempfile
+from typing import List, Optional
+
+import repro
+from repro.core import HybridFramework
+from repro.core.mapping import TABLE1_MAPPING, WORKING_VARIANT
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Enhanced Functionality by Coupling the "
+            "JESSI-COMMON-Framework with an ECAD Framework' (DATE 1995)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("info", help="show version and system inventory")
+    demo = subparsers.add_parser(
+        "demo", help="run the hybrid-framework demonstration"
+    )
+    demo.add_argument(
+        "--workspace",
+        type=pathlib.Path,
+        default=None,
+        help="directory for the demo environment (default: temp dir)",
+    )
+    subparsers.add_parser(
+        "selfcheck", help="run one coupled flow and verify the invariants"
+    )
+    subparsers.add_parser(
+        "consult",
+        help="run the demo flow and print the design consultant's report",
+    )
+    return parser
+
+
+def _demo_environment(workspace: Optional[pathlib.Path]):
+    root = workspace or pathlib.Path(tempfile.mkdtemp(prefix="repro_demo_"))
+    hybrid = HybridFramework(root)
+    resources = hybrid.jcf.resources
+    resources.define_user("admin", "demo_user")
+    resources.define_team("admin", "demo_team")
+    resources.add_member("admin", "demo_user", "demo_team")
+    hybrid.setup_standard_flow()
+    library = hybrid.fmcad.create_library("demo_lib")
+    library.create_cell("buffer2")
+    project = hybrid.adopt_library("demo_user", library, "demo_project")
+    resources.assign_team_to_project("admin", "demo_team", project.oid)
+    hybrid.prepare_cell("demo_user", project, "buffer2",
+                        team_name="demo_team")
+    return root, hybrid, project, library
+
+
+def _run_demo_flow(hybrid, project, library):
+    def edit(editor):
+        editor.add_port("a", "in")
+        editor.add_port("y", "out")
+        editor.place_gate("i0", "NOT", 1)
+        editor.place_gate("i1", "NOT", 1)
+        editor.wire("a", "i0", "in0")
+        editor.wire("n", "i0", "out")
+        editor.wire("n", "i1", "in0")
+        editor.wire("y", "i1", "out")
+
+    def bench(testbench):
+        testbench.drive(0, "a", "0")
+        testbench.expect(30, "y", "0")
+        testbench.drive(50, "a", "1")
+        testbench.expect(80, "y", "1")
+
+    def layout(editor):
+        editor.draw_rect("metal1", 0, 0, 40, 4)
+        editor.add_label("a", "metal1", 1, 1)
+        editor.draw_rect("metal1", 0, 10, 40, 14)
+        editor.add_label("y", "metal1", 1, 11)
+
+    return [
+        hybrid.run_schematic_entry("demo_user", project, library,
+                                   "buffer2", edit),
+        hybrid.run_simulation("demo_user", project, library,
+                              "buffer2", bench),
+        hybrid.run_layout_entry("demo_user", project, library,
+                                "buffer2", layout),
+    ]
+
+
+def cmd_info(out) -> int:
+    out.write(f"repro {repro.__version__}\n")
+    out.write(
+        "reproduction of Kunzmann & Seepold, DATE 1995 "
+        "(JCF-FMCAD hybrid framework)\n\n"
+    )
+    out.write("implemented systems:\n")
+    for line in (
+        "  repro.oms       OMS object-oriented database kernel",
+        "  repro.jcf       JESSI-COMMON-Framework 3.0 (master)",
+        "  repro.fmcad     ECAD framework 'FMCAD' (slave)",
+        "  repro.tools     schematic entry / layout editor / digital "
+        "simulator",
+        "  repro.core      the JCF-FMCAD coupling (the paper's "
+        "contribution)",
+        "  repro.workloads synthetic designs and multi-user agents",
+    ):
+        out.write(line + "\n")
+    out.write("\nTable 1 mapping:\n")
+    for jcf_kind, fmcad_kind in TABLE1_MAPPING:
+        out.write(f"  {jcf_kind:22s} <-> {fmcad_kind}\n")
+    return 0
+
+
+def cmd_demo(out, workspace: Optional[pathlib.Path]) -> int:
+    root, hybrid, project, library = _demo_environment(workspace)
+    out.write(f"demo environment: {root}\n")
+    results = _run_demo_flow(hybrid, project, library)
+    for result in results:
+        status = "ok" if result.success else "FAILED"
+        out.write(f"  {result.activity_name:20s} {status}  "
+                  f"({result.details})\n")
+    variant = (
+        project.cell("buffer2").latest_version().variant(WORKING_VARIANT)
+    )
+    out.write("\nderivation record:\n")
+    for key, record in hybrid.jcf.engine.what_belongs_to_what(
+        variant
+    ).items():
+        out.write(f"  {key}: needs={record['needs']} "
+                  f"creates={record['creates']}\n")
+    out.write(
+        f"\nsimulated designer time: {hybrid.clock.now_ms:,.0f} ms\n"
+    )
+    return 0 if all(r.success for r in results) else 1
+
+
+def cmd_selfcheck(out) -> int:
+    root, hybrid, project, library = _demo_environment(None)
+    results = _run_demo_flow(hybrid, project, library)
+    failures: List[str] = []
+    if not all(r.success for r in results):
+        failures.append("a coupled tool run failed")
+    variant = (
+        project.cell("buffer2").latest_version().variant(WORKING_VARIANT)
+    )
+    if not hybrid.jcf.engine.state_of(variant).complete:
+        failures.append("flow did not complete")
+    record = hybrid.jcf.engine.what_belongs_to_what(variant)
+    if len(record) != 3 or not all(e["creates"] for e in record.values()):
+        failures.append("derivation record incomplete")
+    findings = hybrid.guard.scan(project, library)
+    if findings:
+        failures.append(f"consistency scan found {len(findings)} problems")
+    if failures:
+        for failure in failures:
+            out.write(f"FAIL: {failure}\n")
+        return 1
+    out.write("selfcheck passed: flow complete, derivations recorded, "
+              "environment consistent\n")
+    return 0
+
+
+def cmd_consult(out) -> int:
+    from repro.core.consultant import DesignConsultant
+
+    root, hybrid, project, library = _demo_environment(None)
+
+    # run only the first activity, leaving the flow half-done so the
+    # consultant has something to advise about
+    def edit(editor):
+        editor.add_port("a", "in")
+        editor.add_port("y", "out")
+        editor.place_gate("i0", "NOT", 1)
+        editor.place_gate("i1", "NOT", 1)
+        editor.wire("a", "i0", "in0")
+        editor.wire("n", "i0", "out")
+        editor.wire("n", "i1", "in0")
+        editor.wire("y", "i1", "out")
+
+    result = hybrid.run_schematic_entry(
+        "demo_user", project, library, "buffer2", edit
+    )
+    consultant = DesignConsultant(hybrid.jcf, guard=hybrid.guard)
+    advice = consultant.advise(project, library)
+    out.write(DesignConsultant.render(advice) + "\n")
+    return 0 if result.success else 1
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "info":
+        return cmd_info(out)
+    if args.command == "demo":
+        return cmd_demo(out, args.workspace)
+    if args.command == "selfcheck":
+        return cmd_selfcheck(out)
+    if args.command == "consult":
+        return cmd_consult(out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Simulated wall clock and cost model.
+
+The 1995 evaluation ran on Sun workstations against a remote OMS database;
+absolute timings are irreproducible.  What *is* reproducible is the cost
+structure the paper describes in Section 3.6:
+
+* metadata operations go through the JCF desktop and are cheap and
+  size-independent;
+* design-data operations copy files to and from the OMS database via the
+  UNIX file system — **even for read-only access** — so their cost grows
+  with design size and dominates for large designs.
+
+``SimClock`` makes that structure explicit and deterministic.  Every
+subsystem charges abstract cost units (milliseconds of simulated time)
+through a shared clock, and the benchmarks report simulated latencies that
+depend only on the workload, never on the host machine.  pytest-benchmark
+separately measures real wall time of the in-memory code paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """Charging rates (simulated milliseconds) for framework operations.
+
+    The default rates are scaled from the qualitative statements of the
+    paper: metadata operations are "sufficiently high" performance (fast,
+    flat); copies charge per byte; UI interactions charge per dialog.
+    """
+
+    metadata_op_ms: float = 5.0
+    #: per-byte cost of copying design data between OMS and the UNIX file
+    #: system (the Section 2.1 staging path).
+    copy_byte_ms: float = 0.0005
+    #: fixed overhead per staged file (open/close, directory update).
+    copy_file_ms: float = 20.0
+    #: a native FMCAD library access does not cross the OMS boundary; it
+    #: still touches the file system, but far more cheaply.
+    native_byte_ms: float = 0.0001
+    native_file_ms: float = 5.0
+    #: one user-interface interaction (menu pick, dialog, form submit).
+    ui_interaction_ms: float = 1500.0
+    #: switching between distinct user interfaces (JCF desktop <-> FMCAD
+    #: tool windows) — the Section 3.4 drawback.
+    ui_context_switch_ms: float = 4000.0
+    tool_startup_ms: float = 2500.0
+    lock_wait_poll_ms: float = 1000.0
+
+
+class SimClock:
+    """Deterministic simulated clock with itemised cost accounting.
+
+    Charges accumulate into a running simulated time.  Each charge is also
+    tallied by category so experiments can break latency down into
+    metadata / copy / UI / tool components, which is exactly the split
+    Section 3.6 discusses.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.cost_model = cost_model or CostModel()
+        self._now_ms: float = 0.0
+        self._by_category: Counter = Counter()
+        self._events: List[Tuple[float, str, float]] = []
+
+    # -- reading the clock -------------------------------------------------
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now_ms
+
+    def elapsed_by_category(self) -> Dict[str, float]:
+        """Total charged milliseconds per category."""
+        return dict(self._by_category)
+
+    @property
+    def events(self) -> List[Tuple[float, str, float]]:
+        """Chronological ``(timestamp_ms, category, charged_ms)`` records."""
+        return list(self._events)
+
+    # -- charging ----------------------------------------------------------
+
+    def charge(self, category: str, milliseconds: float) -> float:
+        """Advance the clock by *milliseconds*, tagged with *category*.
+
+        Returns the new simulated time.  Negative charges are rejected so a
+        buggy cost computation can never run time backwards.
+        """
+        if milliseconds < 0:
+            raise ValueError(f"negative charge: {milliseconds!r} ms for {category!r}")
+        self._now_ms += milliseconds
+        self._by_category[category] += milliseconds
+        self._events.append((self._now_ms, category, milliseconds))
+        return self._now_ms
+
+    def charge_metadata_op(self, count: int = 1) -> float:
+        """Charge *count* JCF-desktop metadata operations."""
+        return self.charge("metadata", self.cost_model.metadata_op_ms * count)
+
+    def charge_copy(self, num_bytes: int, files: int = 1) -> float:
+        """Charge an OMS <-> file-system staging copy of *num_bytes*."""
+        cost = (
+            self.cost_model.copy_byte_ms * num_bytes
+            + self.cost_model.copy_file_ms * files
+        )
+        return self.charge("copy", cost)
+
+    def charge_native_io(self, num_bytes: int, files: int = 1) -> float:
+        """Charge a native FMCAD library access (no OMS boundary)."""
+        cost = (
+            self.cost_model.native_byte_ms * num_bytes
+            + self.cost_model.native_file_ms * files
+        )
+        return self.charge("native_io", cost)
+
+    def charge_ui(self, interactions: int = 1) -> float:
+        """Charge designer interactions with one user interface."""
+        return self.charge("ui", self.cost_model.ui_interaction_ms * interactions)
+
+    def charge_ui_context_switch(self, switches: int = 1) -> float:
+        """Charge switches between the JCF and FMCAD user interfaces."""
+        return self.charge(
+            "ui_switch", self.cost_model.ui_context_switch_ms * switches
+        )
+
+    def charge_tool_startup(self) -> float:
+        """Charge one FMCAD tool start."""
+        return self.charge("tool", self.cost_model.tool_startup_ms)
+
+    def charge_lock_wait(self, polls: int = 1) -> float:
+        """Charge waiting on a lock (checkout or reservation)."""
+        return self.charge("lock_wait", self.cost_model.lock_wait_poll_ms * polls)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero the clock and all accounting."""
+        self._now_ms = 0.0
+        self._by_category.clear()
+        self._events.clear()

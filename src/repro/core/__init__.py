@@ -1,0 +1,74 @@
+"""The paper's contribution: the hybrid JCF-FMCAD coupling.
+
+JCF is the **master**, FMCAD the **slave** (Section 2.3).  The coupling
+consists of:
+
+* :mod:`repro.core.mapping` — the Table 1 data-model mapping between the
+  two information architectures;
+* :mod:`repro.core.hierarchy` — extraction of design hierarchies from
+  FMCAD design files and their manual-style submission to JCF metadata,
+  with the JCF 3.0 isomorphism restriction;
+* :mod:`repro.core.encapsulation` — one JCF activity wrapper per FMCAD
+  tool (schematic entry, layout entry, digital simulator);
+* :mod:`repro.core.consistency` — the extension-language consistency
+  guard (menu locking, metadata cross-checks, ITC mediation);
+* :mod:`repro.core.desktop` — the combined user-interface surface;
+* :mod:`repro.core.coupling` — :class:`HybridFramework`, the wired-up
+  hybrid environment and the library's main entry point.
+"""
+
+from repro.core.mapping import TABLE1_MAPPING, DataModelMapper, MappingRecord
+from repro.core.hierarchy import (
+    HierarchyManager,
+    extract_children_map,
+    extract_functional_hierarchy,
+    extract_physical_hierarchy,
+    hierarchies_isomorphic,
+)
+from repro.core.consistency import ConsistencyGuard, Inconsistency
+from repro.core.encapsulation import (
+    DigitalSimulatorWrapper,
+    LayoutEntryWrapper,
+    SchematicEntryWrapper,
+    ToolRunResult,
+)
+from repro.core.desktop import CombinedDesktop
+from repro.core.crossprobe import CrossProbeService, ProbeResult
+from repro.core.integration import BlackBoxToolWrapper, IntegrationLevel
+from repro.core.exchange import (
+    ExchangeError,
+    export_archive,
+    import_archive,
+    read_manifest,
+)
+from repro.core.consultant import Advice, DesignConsultant
+from repro.core.coupling import HybridFramework
+
+__all__ = [
+    "TABLE1_MAPPING",
+    "DataModelMapper",
+    "MappingRecord",
+    "HierarchyManager",
+    "extract_children_map",
+    "extract_functional_hierarchy",
+    "extract_physical_hierarchy",
+    "hierarchies_isomorphic",
+    "ConsistencyGuard",
+    "Inconsistency",
+    "SchematicEntryWrapper",
+    "LayoutEntryWrapper",
+    "DigitalSimulatorWrapper",
+    "ToolRunResult",
+    "CombinedDesktop",
+    "CrossProbeService",
+    "ProbeResult",
+    "BlackBoxToolWrapper",
+    "IntegrationLevel",
+    "ExchangeError",
+    "export_archive",
+    "import_archive",
+    "read_manifest",
+    "Advice",
+    "DesignConsultant",
+    "HybridFramework",
+]

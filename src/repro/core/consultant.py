@@ -1,0 +1,272 @@
+"""A design consultant for the hybrid framework.
+
+The paper's survey names "Design Consultants like CADEC [KC92]" — a
+system co-authored by this paper's first author — as the designer-
+assistance species of framework service.  ``DesignConsultant`` is that
+service for the hybrid environment: it inspects the coupled state and
+produces prioritised, actionable advice:
+
+* which flow activities are runnable next, per cell;
+* failed activities that block progress;
+* schematics with ERC violations;
+* layouts saved with DRC waivers or missing entirely;
+* stale ``.meta`` / hierarchy drift / payload divergence (via the
+  consistency guard);
+* uninitialised simulation results (testbenches that prove too little);
+* timing: the critical path of each netlistable schematic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.consistency import ConsistencyGuard
+from repro.errors import ReproError, ToolError
+from repro.fmcad.library import Library
+from repro.jcf.framework import JCFFramework
+from repro.jcf.model import EXEC_FAILED
+from repro.jcf.project import JCFProject
+from repro.tools.schematic.erc import run_erc
+from repro.tools.schematic.model import Schematic
+from repro.tools.schematic.netlist import netlist_schematic
+from repro.tools.simulator.timing import analyze_timing
+
+#: advice severities, most urgent first
+SEVERITIES = ("blocker", "warning", "hint")
+
+
+@dataclasses.dataclass(frozen=True)
+class Advice:
+    """One piece of consultant advice."""
+
+    severity: str      # blocker | warning | hint
+    cell: str
+    topic: str         # flow | erc | drc | consistency | simulation | timing
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.cell} ({self.topic}): " \
+               f"{self.message}"
+
+
+class DesignConsultant:
+    """Inspects a coupled project/library pair and advises the designer."""
+
+    def __init__(
+        self,
+        jcf: JCFFramework,
+        guard: Optional[ConsistencyGuard] = None,
+    ) -> None:
+        self.jcf = jcf
+        self.guard = guard
+
+    # -- the main entry point ---------------------------------------------------
+
+    def advise(
+        self, project: JCFProject, library: Library
+    ) -> List[Advice]:
+        """All current advice, ordered blockers first."""
+        advice: List[Advice] = []
+        for cell in project.cells():
+            advice.extend(self._advise_flow(cell))
+            advice.extend(self._advise_schematic(library, cell.name))
+            advice.extend(self._advise_simulation(library, cell.name))
+        if self.guard is not None:
+            for finding in self.guard.scan(project, library):
+                advice.append(
+                    Advice(
+                        severity="warning",
+                        cell="-",
+                        topic="consistency",
+                        message=str(finding),
+                    )
+                )
+        order = {severity: i for i, severity in enumerate(SEVERITIES)}
+        advice.sort(key=lambda a: (order[a.severity], a.cell, a.topic))
+        return advice
+
+    # -- flow advice ---------------------------------------------------------------
+
+    def _advise_flow(self, cell) -> List[Advice]:
+        advice: List[Advice] = []
+        cell_version = cell.latest_version()
+        if cell_version is None:
+            advice.append(
+                Advice(
+                    severity="hint",
+                    cell=cell.name,
+                    topic="flow",
+                    message="no cell version yet; instantiate the cell "
+                            "to begin work",
+                )
+            )
+            return advice
+        if cell_version.attached_flow() is None:
+            advice.append(
+                Advice(
+                    severity="hint",
+                    cell=cell.name,
+                    topic="flow",
+                    message="no flow attached; attach one before running "
+                            "tools",
+                )
+            )
+            return advice
+        for variant in cell_version.variants():
+            state = self.jcf.engine.state_of(variant)
+            failed = [
+                name
+                for name, status in state.status_by_activity.items()
+                if status == EXEC_FAILED
+            ]
+            for name in failed:
+                advice.append(
+                    Advice(
+                        severity="blocker",
+                        cell=cell.name,
+                        topic="flow",
+                        message=f"activity {name!r} failed on variant "
+                                f"{variant.name!r}; fix and re-run",
+                    )
+                )
+            if not state.complete:
+                runnable = state.runnable(self.jcf.flows)
+                if runnable and not failed:
+                    advice.append(
+                        Advice(
+                            severity="hint",
+                            cell=cell.name,
+                            topic="flow",
+                            message=f"next runnable on variant "
+                                    f"{variant.name!r}: "
+                                    f"{', '.join(runnable)}",
+                        )
+                    )
+        return advice
+
+    # -- schematic-quality advice ------------------------------------------------------
+
+    def _advise_schematic(
+        self, library: Library, cell_name: str
+    ) -> List[Advice]:
+        advice: List[Advice] = []
+        if not library.has_cell(cell_name):
+            return advice
+        cell = library.cell(cell_name)
+        if not cell.has_cellview("schematic"):
+            return advice
+        cellview = cell.cellview("schematic")
+        if cellview.default_version is None:
+            return advice
+        try:
+            schematic = Schematic.from_bytes(
+                library.read_version(cellview)
+            )
+        except ToolError:
+            advice.append(
+                Advice(
+                    severity="blocker",
+                    cell=cell_name,
+                    topic="erc",
+                    message="schematic design file is unreadable",
+                )
+            )
+            return advice
+        for violation in run_erc(schematic):
+            advice.append(
+                Advice(
+                    severity="warning",
+                    cell=cell_name,
+                    topic="erc",
+                    message=str(violation),
+                )
+            )
+        advice.extend(self._advise_timing(library, schematic))
+        return advice
+
+    #: simulations below this stuck-at coverage draw a warning
+    COVERAGE_THRESHOLD = 0.9
+
+    def _advise_simulation(
+        self, library: Library, cell_name: str
+    ) -> List[Advice]:
+        """Grade stored simulation reports: low or absent fault coverage."""
+        if not library.has_cell(cell_name):
+            return []
+        cell = library.cell(cell_name)
+        if not cell.has_cellview("simulation"):
+            return []
+        cellview = cell.cellview("simulation")
+        if cellview.default_version is None:
+            return []
+        from repro.tools.simulator.testbench import TestbenchReport
+
+        try:
+            report = TestbenchReport.from_bytes(
+                library.read_version(cellview)
+            )
+        except ToolError:
+            return []  # not a testbench report (black-box flows)
+        if report.fault_coverage is None:
+            return [
+                Advice(
+                    severity="hint",
+                    cell=cell_name,
+                    topic="simulation",
+                    message="simulation passed but was not graded for "
+                            "fault coverage; re-run with "
+                            "grade_coverage=True",
+                )
+            ]
+        if report.fault_coverage < self.COVERAGE_THRESHOLD:
+            return [
+                Advice(
+                    severity="warning",
+                    cell=cell_name,
+                    topic="simulation",
+                    message=(
+                        f"stuck-at fault coverage only "
+                        f"{report.fault_coverage:.0%} (threshold "
+                        f"{self.COVERAGE_THRESHOLD:.0%}); add patterns"
+                    ),
+                )
+            ]
+        return []
+
+    def _advise_timing(
+        self, library: Library, schematic: Schematic
+    ) -> List[Advice]:
+        def resolver(cellref: str) -> Schematic:
+            cellview = library.cellview(cellref, "schematic")
+            return Schematic.from_bytes(library.read_version(cellview))
+
+        try:
+            netlist = netlist_schematic(schematic, resolver)
+            report = analyze_timing(netlist)
+        except ReproError:
+            return []  # incomplete designs have no timing yet
+        if not report.critical_path:
+            return []
+        return [
+            Advice(
+                severity="hint",
+                cell=schematic.cell_name,
+                topic="timing",
+                message=(
+                    f"critical delay {report.critical_delay} via "
+                    f"{' -> '.join(report.critical_path)}"
+                ),
+            )
+        ]
+
+    # -- rendering ---------------------------------------------------------------------
+
+    @staticmethod
+    def render(advice: List[Advice]) -> str:
+        """Human-readable consultant report."""
+        if not advice:
+            return "design consultant: nothing to report — carry on."
+        lines = ["design consultant report:"]
+        lines.extend(f"  {item}" for item in advice)
+        return "\n".join(lines)

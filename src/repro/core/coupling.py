@@ -1,0 +1,268 @@
+"""``HybridFramework`` — the wired-up JCF-FMCAD coupling.
+
+The main entry point of the library.  One shared simulated clock drives
+both frameworks; JCF is the master (design management, concurrency,
+flows, configurations), FMCAD the slave (libraries, tools, extension
+language, ITC).  See ``examples/quickstart.py`` for a guided tour.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Dict, Optional
+
+from repro.clock import SimClock
+from repro.core.consistency import ConsistencyGuard
+from repro.core.desktop import CombinedDesktop
+from repro.core.encapsulation import (
+    DigitalSimulatorWrapper,
+    LayoutEntryWrapper,
+    SchematicEntryWrapper,
+    ToolRunResult,
+)
+from repro.core.hierarchy import HierarchyManager
+from repro.core.mapping import DataModelMapper
+from repro.fmcad.framework import FMCADFramework
+from repro.fmcad.library import Library
+from repro.jcf.flows import FlowDef, standard_encapsulation_flow
+from repro.jcf.framework import JCFFramework
+from repro.jcf.project import JCFCellVersion, JCFProject
+
+
+class HybridFramework:
+    """One coupled JCF-FMCAD environment rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Directory under which both frameworks keep their file trees.
+    clock:
+        Shared :class:`~repro.clock.SimClock`; a fresh one by default.
+    jcf3_strict:
+        Keep the JCF 3.0 restrictions (non-isomorphic hierarchies
+        rejected).  Set False to simulate the paper's future release.
+    enable_procedural_interface:
+        Open the OMS procedural interface (the Section 3.6 ablation);
+        JCF 3.0 keeps it closed.
+    enable_hierarchy_procedural_interface:
+        Let the design tools pass hierarchy information to JCF directly
+        (the Section 3.3 future work) instead of relying on manual
+        desktop submission.
+    allow_cross_project_sharing:
+        Permit CompOf references to cells of other projects (the Section
+        3.1 future work); JCF 3.0 forbids them.
+    """
+
+    def __init__(
+        self,
+        root: pathlib.Path,
+        clock: Optional[SimClock] = None,
+        jcf3_strict: bool = True,
+        enable_procedural_interface: bool = False,
+        enable_hierarchy_procedural_interface: bool = False,
+        allow_cross_project_sharing: bool = False,
+        administrator: str = "admin",
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.clock = clock or SimClock()
+        self.jcf = JCFFramework(
+            self.root / "jcf",
+            clock=self.clock,
+            administrator=administrator,
+            enable_procedural_interface=enable_procedural_interface,
+            allow_cross_project_sharing=allow_cross_project_sharing,
+        )
+        self.fmcad = FMCADFramework(self.root / "fmcad", clock=self.clock)
+        self.mapper = DataModelMapper(self.jcf, self.fmcad)
+        self.hierarchy = HierarchyManager(
+            self.jcf.desktop,
+            jcf3_strict=jcf3_strict,
+            procedural_interface=enable_hierarchy_procedural_interface,
+        )
+        self.guard = ConsistencyGuard(
+            self.jcf, self.fmcad, self.mapper, self.hierarchy
+        )
+        self.guard.install_itc_interceptor()
+        self.desktop = CombinedDesktop(self.clock)
+        self.schematic_entry = SchematicEntryWrapper(
+            self.jcf, self.fmcad, self.mapper, self.guard
+        )
+        self.digital_simulation = DigitalSimulatorWrapper(
+            self.jcf, self.fmcad, self.mapper, self.guard
+        )
+        self.layout_entry = LayoutEntryWrapper(
+            self.jcf, self.fmcad, self.mapper, self.guard
+        )
+
+    # -- environment setup --------------------------------------------------------
+
+    def setup_standard_flow(self, name: str = "jcf_fmcad_flow"):
+        """Register the three-tool encapsulation flow of Section 2.4."""
+        return self.jcf.register_flow(standard_encapsulation_flow(name))
+
+    def register_flow(self, flow_def: FlowDef):
+        return self.jcf.register_flow(flow_def)
+
+    # -- library adoption (Table 1 + hierarchy submission) ---------------------------
+
+    def adopt_library(
+        self,
+        user: str,
+        library: Library,
+        project_name: Optional[str] = None,
+        submit_hierarchy: bool = True,
+    ) -> JCFProject:
+        """Bring an FMCAD library under JCF control.
+
+        Applies the Table 1 mapping and then — before any design work —
+        performs the manual hierarchy submission of Section 2.3.  With
+        ``jcf3_strict`` a non-isomorphic library raises
+        :class:`~repro.errors.NonIsomorphicHierarchyError` here.
+        """
+        project = self.mapper.import_library(library, user, project_name)
+        if submit_hierarchy:
+            self.hierarchy.submit_from_library(user, project, library)
+        return project
+
+    def prepare_cell(
+        self,
+        user: str,
+        project: JCFProject,
+        cell_name: str,
+        flow_name: str = "jcf_fmcad_flow",
+        team_name: Optional[str] = None,
+    ) -> JCFCellVersion:
+        """Attach flow (and team) to the cell's latest version, reserve it."""
+        cell = project.cell(cell_name)
+        cell_version = cell.latest_version()
+        if cell_version is None:
+            cell_version = cell.create_version()
+        if cell_version.published:
+            cell_version = cell.create_version()
+        cell_version.attach_flow(self.jcf.flows.flow_object(flow_name))
+        if team_name is not None:
+            cell_version.attach_team(self.jcf.resources.team(team_name))
+        from repro.core.mapping import WORKING_VARIANT
+
+        if not any(
+            v.name == WORKING_VARIANT for v in cell_version.variants()
+        ):
+            cell_version.create_variant(WORKING_VARIANT)
+        self.jcf.desktop.reserve_cell_version(user, cell_version)
+        return cell_version
+
+    # -- coupled tool runs -------------------------------------------------------------
+
+    def run_schematic_entry(
+        self, user: str, project: JCFProject, library: Library,
+        cell_name: str, edit_fn, force_early: bool = False,
+    ) -> ToolRunResult:
+        return self.schematic_entry.run(
+            user, project, library, cell_name,
+            force_early=force_early, edit_fn=edit_fn,
+        )
+
+    def run_simulation(
+        self, user: str, project: JCFProject, library: Library,
+        cell_name: str, testbench_fn, force_early: bool = False,
+        grade_coverage: bool = False,
+    ) -> ToolRunResult:
+        return self.digital_simulation.run(
+            user, project, library, cell_name,
+            force_early=force_early, testbench_fn=testbench_fn,
+            grade_coverage=grade_coverage,
+        )
+
+    def run_layout_entry(
+        self, user: str, project: JCFProject, library: Library,
+        cell_name: str, edit_fn, force_early: bool = False,
+        drc_gate: bool = True,
+    ) -> ToolRunResult:
+        return self.layout_entry.run(
+            user, project, library, cell_name,
+            force_early=force_early, edit_fn=edit_fn, drc_gate=drc_gate,
+        )
+
+    # -- persistence ----------------------------------------------------------------------
+
+    SNAPSHOT_NAME = "jcf_snapshot.json"
+
+    def save_state(self) -> pathlib.Path:
+        """Persist everything needed to reopen this environment.
+
+        FMCAD state already lives on disk (libraries, version files,
+        ``.meta``, property sidecars); the JCF/OMS state is written as a
+        snapshot file under the root.  Open ``.meta`` flushes are the
+        caller's responsibility, exactly as they were the designer's.
+        """
+        path = self.root / self.SNAPSHOT_NAME
+        path.write_bytes(self.jcf.save_snapshot())
+        return path
+
+    @classmethod
+    def reopen(
+        cls,
+        root: pathlib.Path,
+        clock: Optional[SimClock] = None,
+        jcf3_strict: bool = True,
+        enable_hierarchy_procedural_interface: bool = False,
+        administrator: str = "admin",
+    ) -> "HybridFramework":
+        """Restart a hybrid environment previously saved with
+        :meth:`save_state`: restore the JCF snapshot, reopen every
+        on-disk FMCAD library from its ``.meta``, rehydrate flows."""
+        root = pathlib.Path(root)
+        snapshot_path = root / cls.SNAPSHOT_NAME
+        if not snapshot_path.exists():
+            raise FileNotFoundError(
+                f"no saved state at {snapshot_path}; call save_state() "
+                "before reopening"
+            )
+        instance = cls.__new__(cls)
+        instance.root = root
+        instance.clock = clock or SimClock()
+        instance.jcf = JCFFramework(
+            root / "jcf",
+            clock=instance.clock,
+            administrator=administrator,
+            snapshot=snapshot_path.read_bytes(),
+        )
+        instance.fmcad = FMCADFramework(
+            root / "fmcad", clock=instance.clock
+        )
+        for library_name in instance.fmcad.known_library_names():
+            instance.fmcad.open_library(library_name)
+        instance.mapper = DataModelMapper(instance.jcf, instance.fmcad)
+        instance.hierarchy = HierarchyManager(
+            instance.jcf.desktop,
+            jcf3_strict=jcf3_strict,
+            procedural_interface=enable_hierarchy_procedural_interface,
+        )
+        instance.guard = ConsistencyGuard(
+            instance.jcf, instance.fmcad, instance.mapper,
+            instance.hierarchy,
+        )
+        instance.guard.install_itc_interceptor()
+        instance.desktop = CombinedDesktop(instance.clock)
+        instance.schematic_entry = SchematicEntryWrapper(
+            instance.jcf, instance.fmcad, instance.mapper, instance.guard
+        )
+        instance.digital_simulation = DigitalSimulatorWrapper(
+            instance.jcf, instance.fmcad, instance.mapper, instance.guard
+        )
+        instance.layout_entry = LayoutEntryWrapper(
+            instance.jcf, instance.fmcad, instance.mapper, instance.guard
+        )
+        return instance
+
+    # -- statistics ------------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "clock_ms": self.clock.now_ms,
+            "by_category": self.clock.elapsed_by_category(),
+            "jcf": self.jcf.stats(),
+            "fmcad": self.fmcad.stats(),
+            "mapping_coverage": self.mapper.coverage(),
+            "hierarchy_rejections": self.hierarchy.rejections,
+        }

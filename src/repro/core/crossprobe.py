@@ -1,0 +1,198 @@
+"""Cross-probing between the schematic and layout tools, coupled-style.
+
+Section 2.2 names cross-probing as the flagship ITC feature; Section 2.4
+notes the coupling had to mediate ITC with wrappers.  This service wires
+the real tools together: selecting a net in the schematic session
+highlights the matching *extracted* geometry in the layout session (and
+back), with every message passing through the consistency guard's
+interceptor — probes into cells reserved by another user are vetoed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.errors import ITCError
+from repro.fmcad.framework import FMCADFramework
+from repro.fmcad.itc import ITCMessage
+from repro.fmcad.library import Library
+from repro.fmcad.session import ToolSession
+from repro.tools.layout.editor import Layout
+from repro.tools.layout.extract import extract_connectivity
+from repro.tools.schematic.model import Schematic
+
+
+@dataclasses.dataclass
+class ProbeResult:
+    """Outcome of one cross-probe."""
+
+    net: str
+    delivered: bool
+    #: number of geometry rectangles highlighted in the layout view
+    highlighted_shapes: int
+    #: True when the probed name exists on the peer side
+    resolved: bool
+
+
+class CrossProbeService:
+    """A coupled schematic/layout session pair with live cross-probing."""
+
+    TOPIC = "crossprobe"
+
+    def __init__(
+        self,
+        fmcad: FMCADFramework,
+        library: Library,
+        cell_name: str,
+        user: str,
+    ) -> None:
+        self.fmcad = fmcad
+        self.library = library
+        self.cell_name = cell_name
+        self.user = user
+        self.schematic_session: ToolSession = fmcad.open_session(
+            "schematic_editor", user
+        )
+        self.layout_session: ToolSession = fmcad.open_session(
+            "layout_editor", user
+        )
+        self._highlights: Dict[str, List[str]] = {
+            self.schematic_session.session_id: [],
+            self.layout_session.session_id: [],
+        }
+        for session in (self.schematic_session, self.layout_session):
+            fmcad.bus.subscribe(
+                session.session_id, self.TOPIC, self._on_probe
+            )
+        self.results: List[ProbeResult] = []
+
+    # -- message handling -------------------------------------------------------
+
+    def _on_probe(self, message: ITCMessage) -> None:
+        net = str(message.payload.get("object", ""))
+        for session_id, highlights in self._highlights.items():
+            if session_id != message.sender:
+                highlights.append(net)
+
+    def highlights_in_layout(self) -> List[str]:
+        return list(self._highlights[self.layout_session.session_id])
+
+    def highlights_in_schematic(self) -> List[str]:
+        return list(self._highlights[self.schematic_session.session_id])
+
+    # -- current design data ------------------------------------------------------
+
+    def _current_schematic(self) -> Optional[Schematic]:
+        cell = self.library.cell(self.cell_name)
+        if not cell.has_cellview("schematic"):
+            return None
+        cellview = cell.cellview("schematic")
+        if cellview.default_version is None:
+            return None
+        return Schematic.from_bytes(self.library.read_version(cellview))
+
+    def _current_layout(self) -> Optional[Layout]:
+        cell = self.library.cell(self.cell_name)
+        if not cell.has_cellview("layout"):
+            return None
+        cellview = cell.cellview("layout")
+        if cellview.default_version is None:
+            return None
+        return Layout.from_bytes(self.library.read_version(cellview))
+
+    # -- probing -----------------------------------------------------------------
+
+    def probe_from_schematic(self, net_name: str) -> ProbeResult:
+        """Select *net_name* in the schematic; highlight it in the layout.
+
+        The message carries the cell and user so the consistency guard's
+        interceptor can apply its workspace rules; a vetoed probe reports
+        ``delivered=False`` and highlights nothing.
+        """
+        schematic = self._current_schematic()
+        if schematic is None:
+            raise ITCError(
+                f"cell {self.cell_name!r} has no schematic to probe from"
+            )
+        known = {net.name for net in schematic.nets()}
+        if net_name not in known:
+            raise ITCError(
+                f"schematic of {self.cell_name!r} has no net {net_name!r}"
+            )
+        message = self.fmcad.bus.publish(
+            self.schematic_session.session_id,
+            self.TOPIC,
+            {"object": net_name, "cell": self.cell_name, "user": self.user},
+        )
+        delivered = message is not None
+        shapes = 0
+        resolved = False
+        layout = self._current_layout()
+        if delivered and layout is not None:
+            for extracted in extract_connectivity(
+                layout, resolver=self._layout_resolver
+            ):
+                if extracted.name == net_name:
+                    shapes = len(extracted.rects)
+                    resolved = True
+                    break
+        result = ProbeResult(
+            net=net_name,
+            delivered=delivered,
+            highlighted_shapes=shapes,
+            resolved=resolved,
+        )
+        self.results.append(result)
+        return result
+
+    def probe_from_layout(self, net_name: str) -> ProbeResult:
+        """Select an extracted net in the layout; highlight the schematic."""
+        layout = self._current_layout()
+        if layout is None:
+            raise ITCError(
+                f"cell {self.cell_name!r} has no layout to probe from"
+            )
+        extracted_names = {
+            net.name
+            for net in extract_connectivity(
+                layout, resolver=self._layout_resolver
+            )
+            if net.name
+        }
+        if net_name not in extracted_names:
+            raise ITCError(
+                f"layout of {self.cell_name!r} extracts no net {net_name!r}"
+            )
+        message = self.fmcad.bus.publish(
+            self.layout_session.session_id,
+            self.TOPIC,
+            {"object": net_name, "cell": self.cell_name, "user": self.user},
+        )
+        delivered = message is not None
+        schematic = self._current_schematic()
+        resolved = bool(
+            delivered
+            and schematic is not None
+            and any(net.name == net_name for net in schematic.nets())
+        )
+        result = ProbeResult(
+            net=net_name,
+            delivered=delivered,
+            highlighted_shapes=0,
+            resolved=resolved,
+        )
+        self.results.append(result)
+        return result
+
+    def _layout_resolver(self, cellref: str) -> Layout:
+        cellview = self.library.cellview(cellref, "layout")
+        return Layout.from_bytes(self.library.read_version(cellview))
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        for session in (self.schematic_session, self.layout_session):
+            if not session.closed:
+                self.fmcad.bus.unsubscribe(session.session_id, self.TOPIC)
+                self.fmcad.close_session(session.session_id)

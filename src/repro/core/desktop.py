@@ -1,0 +1,103 @@
+"""The combined user-interface surface of the hybrid framework.
+
+Section 3.4: "the designer has to work with both the FMCAD and JCF user
+interface ... the user has to cope with an extra user interface."  The
+combined desktop makes that burden measurable: every entered UI context
+and every switch between contexts is counted and charged simulated time,
+and per-task reports feed the E34 benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from repro.clock import SimClock
+
+#: Canonical context names.
+JCF_DESKTOP = "jcf_desktop"
+FMCAD_SCHEMATIC = "fmcad:schematic_editor"
+FMCAD_LAYOUT = "fmcad:layout_editor"
+FMCAD_SIMULATOR = "fmcad:digital_simulator"
+
+
+@dataclasses.dataclass
+class TaskUIReport:
+    """UI accounting for one scripted designer task."""
+
+    task_name: str
+    contexts_used: Set[str] = dataclasses.field(default_factory=set)
+    context_switches: int = 0
+    interactions: int = 0
+
+    @property
+    def distinct_contexts(self) -> int:
+        return len(self.contexts_used)
+
+
+class CombinedDesktop:
+    """Tracks which user interface the designer currently faces."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._current: Optional[str] = None
+        self._active_task: Optional[TaskUIReport] = None
+        self.reports: List[TaskUIReport] = []
+
+    # -- task scoping -----------------------------------------------------------
+
+    def begin_task(self, task_name: str) -> TaskUIReport:
+        """Start accounting a designer task; nested tasks are not allowed."""
+        if self._active_task is not None:
+            raise RuntimeError(
+                f"task {self._active_task.task_name!r} is still active"
+            )
+        self._active_task = TaskUIReport(task_name=task_name)
+        self._current = None  # the designer sits down fresh
+        return self._active_task
+
+    def end_task(self) -> TaskUIReport:
+        if self._active_task is None:
+            raise RuntimeError("no active task")
+        report = self._active_task
+        self._active_task = None
+        self.reports.append(report)
+        return report
+
+    # -- context tracking -----------------------------------------------------------
+
+    def enter(self, context: str) -> None:
+        """The designer turns to the user interface named *context*."""
+        if self._active_task is None:
+            raise RuntimeError("enter() outside a task")
+        self._active_task.contexts_used.add(context)
+        if self._current is not None and self._current != context:
+            self._active_task.context_switches += 1
+            self.clock.charge_ui_context_switch()
+        self._current = context
+
+    def interact(self, count: int = 1) -> None:
+        """The designer performs *count* interactions in the current UI."""
+        if self._active_task is None:
+            raise RuntimeError("interact() outside a task")
+        if self._current is None:
+            raise RuntimeError("interact() before entering a context")
+        self._active_task.interactions += count
+        self.clock.charge_ui(count)
+
+    @property
+    def current_context(self) -> Optional[str]:
+        return self._current
+
+    # -- summary -----------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-task UI numbers, keyed by task name."""
+        return {
+            report.task_name: {
+                "contexts": report.distinct_contexts,
+                "switches": report.context_switches,
+                "interactions": report.interactions,
+            }
+            for report in self.reports
+        }

@@ -1,0 +1,452 @@
+"""Encapsulation of the three FMCAD tools as JCF activities.
+
+Section 2.4: "each tool is modelled by one JCF activity, [so] JCF records
+all derivation relationships between schematic and layout versions."  A
+wrapper run performs the full coupled protocol:
+
+1. verify the user holds the cell version in their workspace (master
+   concurrency control);
+2. start the JCF activity — in flow order, or *forced early* with the
+   extra consistency window the 1995 wrappers popped up;
+3. stage the needed design-object versions out of OMS through the UNIX
+   file system (the Section 2.1 copy path — charged even read-only);
+4. open an FMCAD tool session, lock its guarded menu points via the
+   extension-language guard, check the target cellview out;
+5. run the actual tool;
+6. check the result into FMCAD *and* import it into OMS as a new
+   design-object version, cross-tagging both sides;
+7. finish the activity, recording needs/creates — the derivation record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.consistency import ConsistencyGuard
+from repro.core.mapping import WORKING_VARIANT, DataModelMapper
+from repro.errors import (
+    EncapsulationError,
+    FlowOrderError,
+    SchematicError,
+)
+from repro.fmcad.framework import FMCADFramework
+from repro.fmcad.library import Library
+from repro.jcf.framework import JCFFramework
+from repro.jcf.project import (
+    JCFCellVersion,
+    JCFDesignObject,
+    JCFDesignObjectVersion,
+    JCFProject,
+    JCFVariant,
+)
+from repro.tools.layout.drc import run_drc
+from repro.tools.layout.editor import Layout, LayoutEditor
+from repro.tools.schematic.editor import SchematicEditor
+from repro.tools.schematic.model import Schematic
+from repro.tools.schematic.netlist import netlist_schematic
+from repro.tools.simulator.testbench import Testbench
+
+
+@dataclasses.dataclass
+class ToolRunResult:
+    """Outcome of one encapsulated tool run."""
+
+    activity_name: str
+    cell_name: str
+    success: bool
+    fmcad_version: Optional[int]
+    jcf_version_oid: Optional[str]
+    forced_early: bool
+    details: str = ""
+
+
+class _ToolWrapper:
+    """Shared coupled-run machinery; subclasses implement the tool step."""
+
+    ACTIVITY: str = ""
+    TOOL: str = ""
+    VIEWTYPE: str = ""
+    #: white/grey-box wrappers lock the tool's menu points through the
+    #: extension-language guard; a black box exposes no menus to lock.
+    GUARD_MENUS: bool = True
+
+    def __init__(
+        self,
+        jcf: JCFFramework,
+        fmcad: FMCADFramework,
+        mapper: DataModelMapper,
+        guard: ConsistencyGuard,
+    ) -> None:
+        self.jcf = jcf
+        self.fmcad = fmcad
+        self.mapper = mapper
+        self.guard = guard
+
+    # -- context helpers ------------------------------------------------------
+
+    def working_variant(
+        self, project: JCFProject, cell_name: str
+    ) -> JCFVariant:
+        cell = project.cell(cell_name)
+        cell_version = cell.latest_version()
+        if cell_version is None:
+            raise EncapsulationError(
+                f"cell {cell_name!r} has no cell version; map the library "
+                "into JCF first"
+            )
+        return cell_version.variant(WORKING_VARIANT)
+
+    def _require_workspace(
+        self, user: str, cell_version: JCFCellVersion
+    ) -> None:
+        if not self.jcf.workspaces.can_write(user, cell_version):
+            raise EncapsulationError(
+                f"user {user!r} must reserve cell version "
+                f"{cell_version.number} of {cell_version.cell.name!r} in "
+                "their workspace before running tools"
+            )
+
+    def _stage_needs(
+        self, variant: JCFVariant, viewtypes: Tuple[str, ...]
+    ) -> List[Tuple[JCFDesignObjectVersion, bytes]]:
+        """Export each needed design object's latest version via staging."""
+        staged: List[Tuple[JCFDesignObjectVersion, bytes]] = []
+        for viewtype in viewtypes:
+            dobj = variant.find_design_object(viewtype)
+            if dobj is None or dobj.latest_version() is None:
+                raise EncapsulationError(
+                    f"variant {variant.name!r} has no {viewtype!r} design "
+                    "data; run the producing activity first"
+                )
+            version = dobj.latest_version()
+            staged_file = self.jcf.staging.export_object(version.oid)
+            staged.append((version, staged_file.path.read_bytes()))
+        return staged
+
+    def _ensure_design_object(
+        self, variant: JCFVariant, name: str, viewtype: str
+    ) -> JCFDesignObject:
+        for dobj in variant.design_objects():
+            if dobj.name == name:
+                return dobj
+        return variant.create_design_object(name, viewtype)
+
+    def _harvest(
+        self,
+        user: str,
+        library: Library,
+        variant: JCFVariant,
+        cell_name: str,
+        data: bytes,
+        viewtype: Optional[str] = None,
+    ) -> Tuple[int, JCFDesignObjectVersion]:
+        """Check *data* into FMCAD and import it into OMS; cross-tag both."""
+        viewtype = viewtype or self.VIEWTYPE
+        cell = library.cell(cell_name)
+        if not cell.has_cellview(viewtype):
+            library.create_cellview(cell_name, viewtype)
+        ticket = self.fmcad.checkouts.checkout(
+            user, library, cell_name, viewtype
+        )
+        fmcad_version = self.fmcad.checkouts.checkin(ticket, library, data)
+        library.flush_meta(user)
+
+        dobj = self._ensure_design_object(
+            variant, f"{cell_name}/{viewtype}", viewtype
+        )
+        jcf_version = dobj.new_version(
+            data, directory_path=str(fmcad_version.path)
+        )
+        # the result crosses the OMS boundary: charge the staging copy
+        self.jcf.db.clock.charge_copy(len(data), files=1)
+        fmcad_version.properties.set("jcf_oid", jcf_version.oid)
+        return fmcad_version.number, jcf_version
+
+    # -- the coupled run ----------------------------------------------------------
+
+    def run(
+        self,
+        user: str,
+        project: JCFProject,
+        library: Library,
+        cell_name: str,
+        force_early: bool = False,
+        **tool_kwargs,
+    ) -> ToolRunResult:
+        """Execute this wrapper's activity on *cell_name* for *user*."""
+        variant = self.working_variant(project, cell_name)
+        cell_version = variant.cell_version
+        self._require_workspace(user, cell_version)
+
+        flow_name = cell_version.attached_flow()
+        if flow_name is None:
+            raise EncapsulationError(
+                f"cell version {cell_version.number} of {cell_name!r} has "
+                "no attached flow"
+            )
+        activity_def = self.jcf.flows.definition(
+            flow_name.get("name")
+        ).activity(self.ACTIVITY)
+
+        try:
+            execution = self.jcf.engine.start_activity(
+                variant, self.ACTIVITY, force_early=force_early
+            )
+        except FlowOrderError:
+            raise  # out-of-order without supervision: rejected outright
+
+        session = self.fmcad.open_session(self.TOOL, user)
+        if self.GUARD_MENUS:
+            self.guard.guard_session(session)
+        if execution.forced_early:
+            session.show_consistency_window(
+                f"activity {self.ACTIVITY!r} started before its "
+                "predecessor finished — results are provisional"
+            )
+        try:
+            needs = self._stage_needs(variant, activity_def.needs)
+            success, data, details = self._tool_step(
+                session, library, cell_name, needs, **tool_kwargs
+            )
+            fmcad_number: Optional[int] = None
+            jcf_version: Optional[JCFDesignObjectVersion] = None
+            creates: List[JCFDesignObjectVersion] = []
+            if data is not None:
+                # a tool may emit several views at once (e.g. schematic
+                # plus the auto-generated symbol); bytes means one view
+                # of the wrapper's primary viewtype
+                outputs = (
+                    data
+                    if isinstance(data, dict)
+                    else {self.VIEWTYPE: data}
+                )
+                for viewtype, view_data in outputs.items():
+                    number, version = self._harvest(
+                        user, library, variant, cell_name, view_data,
+                        viewtype=viewtype,
+                    )
+                    creates.append(version)
+                    if viewtype == self.VIEWTYPE:
+                        fmcad_number, jcf_version = number, version
+                primary = outputs.get(self.VIEWTYPE)
+                if primary is not None:
+                    self._pass_hierarchy_to_jcf(
+                        project, cell_name, primary
+                    )
+            self.jcf.engine.finish_activity(
+                execution,
+                needs=[version for version, _ in needs],
+                creates=creates,
+                success=success,
+            )
+            self.fmcad.log_invocation(
+                self.TOOL, user, cell_name, self.VIEWTYPE
+            )
+            return ToolRunResult(
+                activity_name=self.ACTIVITY,
+                cell_name=cell_name,
+                success=success,
+                fmcad_version=fmcad_number,
+                jcf_version_oid=jcf_version.oid if jcf_version else None,
+                forced_early=execution.forced_early,
+                details=details,
+            )
+        except Exception:
+            self.jcf.engine.finish_activity(execution, success=False)
+            raise
+        finally:
+            self.fmcad.close_session(session.session_id)
+
+    def _pass_hierarchy_to_jcf(
+        self, project: JCFProject, cell_name: str, data: bytes
+    ) -> None:
+        """Pass saved hierarchy info to JCF via the procedural interface.
+
+        Only active when the Section 3.3 future-work interface is
+        enabled; under JCF 3.0 hierarchy stays a manual desktop affair.
+        """
+        if not self.guard.hierarchy.procedural_interface:
+            return
+        if self.VIEWTYPE == "schematic":
+            refs = Schematic.from_bytes(data).subcell_refs()
+        elif self.VIEWTYPE == "layout":
+            refs = Layout.from_bytes(data).subcell_refs()
+        else:
+            return
+        if refs:
+            self.guard.hierarchy.submit_procedurally(
+                project, [(cell_name, ref) for ref in refs]
+            )
+
+    # -- subclass hook ---------------------------------------------------------------
+
+    def _tool_step(
+        self,
+        session,
+        library: Library,
+        cell_name: str,
+        needs: List[Tuple[JCFDesignObjectVersion, bytes]],
+        **tool_kwargs,
+    ) -> Tuple[bool, Optional[bytes], str]:
+        """Run the tool; return (success, result bytes or None, details)."""
+        raise NotImplementedError
+
+
+class SchematicEntryWrapper(_ToolWrapper):
+    """Encapsulated schematic entry (activity ``schematic_entry``)."""
+
+    ACTIVITY = "schematic_entry"
+    TOOL = "schematic_editor"
+    VIEWTYPE = "schematic"
+
+    def _tool_step(
+        self,
+        session,
+        library: Library,
+        cell_name: str,
+        needs,
+        edit_fn: Callable[[SchematicEditor], None] = None,
+        emit_symbol: bool = True,
+        **_ignored,
+    ) -> Tuple[bool, Optional[bytes], str]:
+        if edit_fn is None:
+            raise EncapsulationError("schematic entry needs an edit_fn")
+        cell = library.cell(cell_name)
+        if (
+            cell.has_cellview(self.VIEWTYPE)
+            and cell.cellview(self.VIEWTYPE).default_version is not None
+        ):
+            previous = library.read_version(cell.cellview(self.VIEWTYPE))
+            editor = SchematicEditor.open_bytes(previous)
+        else:
+            editor = SchematicEditor()
+            editor.new_design(cell_name)
+        session.register_menu("edit", lambda: edit_fn(editor))
+        session.invoke_menu("edit")
+        try:
+            editor.require_clean()
+        except SchematicError as exc:
+            return False, None, f"schematic check failed: {exc}"
+        outputs = {self.VIEWTYPE: editor.save_bytes()}
+        details = "schematic saved"
+        if emit_symbol and editor.schematic.ports():
+            # the tool auto-generates the symbol view, as DFII-family
+            # editors do; parents place it via the Figure 2
+            # 'Symbol in Sch.V' relation
+            from repro.tools.schematic.symbols import symbol_for
+
+            outputs["symbol"] = symbol_for(editor.schematic).to_bytes()
+            details = "schematic and symbol saved"
+        return True, outputs, details
+
+
+class DigitalSimulatorWrapper(_ToolWrapper):
+    """Encapsulated digital simulation (activity ``digital_simulation``)."""
+
+    ACTIVITY = "digital_simulation"
+    TOOL = "digital_simulator"
+    VIEWTYPE = "simulation"
+
+    def _tool_step(
+        self,
+        session,
+        library: Library,
+        cell_name: str,
+        needs,
+        testbench_fn: Callable[[Testbench], None] = None,
+        grade_coverage: bool = False,
+        **_ignored,
+    ) -> Tuple[bool, Optional[bytes], str]:
+        if testbench_fn is None:
+            raise EncapsulationError("simulation needs a testbench_fn")
+        schematic_bytes = self._schematic_bytes(needs)
+        schematic = Schematic.from_bytes(schematic_bytes)
+
+        def resolver(cellref: str) -> Schematic:
+            # FMCAD dynamic binding: the subcell's *default* schematic
+            # version, whatever that currently is (Section 2.2).
+            cellview = library.cellview(cellref, "schematic")
+            return Schematic.from_bytes(library.read_version(cellview))
+
+        netlist = netlist_schematic(schematic, resolver)
+        testbench = Testbench(netlist)
+        session.register_menu(
+            "configure", lambda: testbench_fn(testbench)
+        )
+        session.invoke_menu("configure")
+        report = testbench.run()
+        details = (
+            f"{report.checks_run} checks, "
+            f"{len(report.failures)} failures"
+        )
+        if grade_coverage and testbench.stimulus.events:
+            from repro.tools.simulator.faults import coverage_of_testbench
+
+            report.fault_coverage = coverage_of_testbench(
+                testbench
+            ).coverage
+            details += f", fault coverage {report.fault_coverage:.0%}"
+        return report.passed, report.to_bytes(), details
+
+    @staticmethod
+    def _schematic_bytes(needs) -> bytes:
+        for version, data in needs:
+            if version.design_object.viewtype_name == "schematic":
+                return data
+        raise EncapsulationError("no schematic among staged inputs")
+
+
+class LayoutEntryWrapper(_ToolWrapper):
+    """Encapsulated layout entry (activity ``layout_entry``)."""
+
+    ACTIVITY = "layout_entry"
+    TOOL = "layout_editor"
+    VIEWTYPE = "layout"
+
+    def _tool_step(
+        self,
+        session,
+        library: Library,
+        cell_name: str,
+        needs,
+        edit_fn: Callable[[LayoutEditor], None] = None,
+        drc_gate: bool = True,
+        **_ignored,
+    ) -> Tuple[bool, Optional[bytes], str]:
+        if edit_fn is None:
+            raise EncapsulationError("layout entry needs an edit_fn")
+        cell = library.cell(cell_name)
+        if (
+            cell.has_cellview(self.VIEWTYPE)
+            and cell.cellview(self.VIEWTYPE).default_version is not None
+        ):
+            previous = library.read_version(cell.cellview(self.VIEWTYPE))
+            editor = LayoutEditor.open_bytes(previous)
+        else:
+            editor = LayoutEditor()
+            editor.new_design(cell_name)
+        session.register_menu("edit", lambda: edit_fn(editor))
+        session.invoke_menu("edit")
+
+        def resolver(cellref: str) -> Layout:
+            cellview = library.cellview(cellref, "layout")
+            return Layout.from_bytes(library.read_version(cellview))
+
+        violations = run_drc(
+            editor.layout,
+            resolver=resolver if editor.layout.instances() else None,
+        )
+        if violations and drc_gate:
+            return (
+                False,
+                None,
+                f"DRC failed: {len(violations)} violations, first: "
+                f"{violations[0]}",
+            )
+        details = (
+            "layout saved"
+            if not violations
+            else f"layout saved with {len(violations)} waived violations"
+        )
+        return True, editor.save_bytes(), details

@@ -1,0 +1,172 @@
+"""Design-data exchange archives.
+
+[Seep94a] ("Basic Requirements for an Efficient Inter-Framework-
+Communication", by the same authors) motivates moving design data between
+framework islands.  This module packages a JCF project into a portable
+archive — a tar file with a JSON manifest plus one member per
+design-object version — and unpacks such archives into a fresh project,
+so two hybrid installations can exchange designs without sharing a
+database.
+
+The archive intentionally carries the *working-variant* view only (the
+same one-level restriction as a Table 1 export): versions, hierarchy
+metadata and payload bytes survive; foreign variants and execution
+history do not.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+import tarfile
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.mapping import WORKING_VARIANT
+from repro.errors import CouplingError
+from repro.jcf.framework import JCFFramework
+from repro.jcf.project import JCFProject
+
+MANIFEST_NAME = "manifest.json"
+FORMAT = "repro-exchange-1"
+
+
+class ExchangeError(CouplingError):
+    """An archive could not be written or read."""
+
+
+def _manifest_for(project: JCFProject, desktop) -> Dict:
+    cells = []
+    for cell in project.cells():
+        cell_version = cell.latest_version()
+        objects = []
+        if cell_version is not None:
+            for variant in cell_version.variants():
+                if variant.name != WORKING_VARIANT:
+                    continue
+                for dobj in variant.design_objects():
+                    objects.append({
+                        "name": dobj.name,
+                        "viewtype": dobj.viewtype_name,
+                        "versions": [v.number for v in dobj.versions()],
+                    })
+        cells.append({"name": cell.name, "objects": objects})
+    return {
+        "format": FORMAT,
+        "project": project.name,
+        "cells": cells,
+        "hierarchy": [
+            list(edge) for edge in desktop.declared_hierarchy(project)
+        ],
+    }
+
+
+def _member_name(cell: str, dobj: str, number: int) -> str:
+    safe = dobj.replace("/", "__")
+    return f"data/{cell}/{safe}/v{number:04d}.bin"
+
+
+def export_archive(
+    jcf: JCFFramework,
+    project: JCFProject,
+    path: pathlib.Path,
+) -> pathlib.Path:
+    """Write *project* (working variants, all versions) to a tar archive.
+
+    Payloads leave OMS through the staging area, so the export pays the
+    usual copy costs — an inter-framework transfer is design-data I/O.
+    """
+    path = pathlib.Path(path)
+    manifest = _manifest_for(project, jcf.desktop)
+    with tarfile.open(path, "w") as archive:
+        blob = json.dumps(manifest, indent=1, sort_keys=True).encode()
+        info = tarfile.TarInfo(MANIFEST_NAME)
+        info.size = len(blob)
+        archive.addfile(info, io.BytesIO(blob))
+        for cell in project.cells():
+            cell_version = cell.latest_version()
+            if cell_version is None:
+                continue
+            for variant in cell_version.variants():
+                if variant.name != WORKING_VARIANT:
+                    continue
+                for dobj in variant.design_objects():
+                    for version in dobj.versions():
+                        staged = jcf.staging.export_object(version.oid)
+                        payload = staged.path.read_bytes()
+                        jcf.staging.release(version.oid)
+                        member = tarfile.TarInfo(
+                            _member_name(
+                                cell.name, dobj.name, version.number
+                            )
+                        )
+                        member.size = len(payload)
+                        archive.addfile(member, io.BytesIO(payload))
+    return path
+
+
+def read_manifest(path: pathlib.Path) -> Dict:
+    """Read and validate an archive's manifest."""
+    try:
+        with tarfile.open(path, "r") as archive:
+            member = archive.extractfile(MANIFEST_NAME)
+            if member is None:
+                raise ExchangeError(f"{path}: missing {MANIFEST_NAME}")
+            manifest = json.loads(member.read().decode("utf-8"))
+    except (tarfile.TarError, json.JSONDecodeError, KeyError) as exc:
+        raise ExchangeError(f"unreadable archive {path}: {exc}") from exc
+    if manifest.get("format") != FORMAT:
+        raise ExchangeError(
+            f"{path}: not an exchange archive "
+            f"(format={manifest.get('format')!r})"
+        )
+    return manifest
+
+
+def import_archive(
+    jcf: JCFFramework,
+    path: pathlib.Path,
+    user: str,
+    project_name: Optional[str] = None,
+) -> JCFProject:
+    """Unpack an exchange archive into a fresh project of *jcf*.
+
+    Recreates cells, the working variant with all design-object versions
+    (payloads imported into OMS), and the CompOf hierarchy metadata.
+    """
+    manifest = read_manifest(path)
+    name = project_name or manifest["project"]
+    if jcf.desktop.find_project(name) is not None:
+        raise ExchangeError(
+            f"project {name!r} already exists; pass a different "
+            "project_name"
+        )
+    project = jcf.desktop.create_project(user, name)
+    with tarfile.open(path, "r") as archive:
+        for cell_doc in manifest["cells"]:
+            cell = project.create_cell(cell_doc["name"])
+            cell_version = cell.create_version()
+            variant = cell_version.create_variant(WORKING_VARIANT)
+            for obj_doc in cell_doc["objects"]:
+                dobj = variant.create_design_object(
+                    obj_doc["name"], obj_doc["viewtype"]
+                )
+                for number in obj_doc["versions"]:
+                    member_name = _member_name(
+                        cell_doc["name"], obj_doc["name"], number
+                    )
+                    member = archive.extractfile(member_name)
+                    if member is None:
+                        raise ExchangeError(
+                            f"{path}: missing member {member_name}"
+                        )
+                    payload = member.read()
+                    version = dobj.new_version(payload)
+                    # imported data crossed the OMS boundary
+                    jcf.clock.charge_copy(len(payload), files=1)
+        edges: List[Tuple[str, str]] = [
+            (parent, child) for parent, child in manifest["hierarchy"]
+        ]
+        if edges:
+            jcf.desktop.submit_hierarchy(user, project, edges)
+    return project

@@ -1,0 +1,282 @@
+"""Design-hierarchy handling — "one of the most difficult tasks" (§3.3).
+
+FMCAD hides hierarchy inside design files, per viewtype; JCF keeps it as
+separate CompOf metadata.  The coupling therefore has to
+
+1. **extract** hierarchies from the FMCAD design files (schematic
+   instances give the functional hierarchy, layout placements the
+   physical one);
+2. check the two for **isomorphism** — JCF 3.0 cannot represent
+   viewtype-dependent hierarchies, so non-isomorphic designs are rejected
+   unless the paper's future-release mode is enabled;
+3. **submit** the hierarchy manually through the JCF desktop *before*
+   design work starts, paying one desktop interaction per edge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import (
+    FMCADError,
+    HierarchyError,
+    NonIsomorphicHierarchyError,
+    ToolError,
+)
+from repro.fmcad.library import Library
+from repro.jcf.desktop import JCFDesktop
+from repro.jcf.project import JCFProject
+from repro.tools.layout.editor import Layout
+from repro.tools.schematic.model import Schematic
+
+Edge = Tuple[str, str]
+
+
+def extract_children_map(
+    library: Library, view_name: str
+) -> Dict[str, Set[str]]:
+    """parent -> child-set from every cell's default version of a view.
+
+    A cell that *has* the view (with data) appears as a key even when it
+    places no children — an empty child set is a statement, not an
+    absence; only cells without the view are unconstrained.
+    """
+    children: Dict[str, Set[str]] = {}
+    for cell in library.cells():
+        if not cell.has_cellview(view_name):
+            continue
+        cellview = cell.cellview(view_name)
+        if cellview.default_version is None:
+            continue
+        try:
+            data = library.read_version(cellview)
+            if view_name == "schematic":
+                refs = Schematic.from_bytes(data).subcell_refs()
+            elif view_name == "layout":
+                refs = Layout.from_bytes(data).subcell_refs()
+            else:
+                raise HierarchyError(
+                    f"view {view_name!r} carries no hierarchy information"
+                )
+        except (ToolError, FMCADError):
+            # unparsable or missing design file: contributes no hierarchy
+            # facts; the consistency guard's payload scan reports it
+            continue
+        children[cell.name] = set(refs)
+    return children
+
+
+def _edges_of(children: Dict[str, Set[str]]) -> List[Edge]:
+    return sorted(
+        (parent, child)
+        for parent, kids in children.items()
+        for child in kids
+    )
+
+
+def extract_functional_hierarchy(library: Library) -> List[Edge]:
+    """(parent, child) edges from every cell's default schematic version."""
+    return _edges_of(extract_children_map(library, "schematic"))
+
+
+def extract_physical_hierarchy(library: Library) -> List[Edge]:
+    """(parent, child) edges from every cell's default layout version."""
+    return _edges_of(extract_children_map(library, "layout"))
+
+
+def hierarchies_isomorphic(
+    functional: Dict[str, Set[str]], physical: Dict[str, Set[str]]
+) -> bool:
+    """True when the hierarchies agree wherever both are defined.
+
+    Arguments are parent -> child-set maps (see
+    :func:`extract_children_map`); plain edge lists are also accepted for
+    convenience.  A cell present in only one map constrains nothing; for
+    cells present in both, the child sets must be equal — including a
+    layout that flattens its schematic children away (empty set).
+    """
+    return not _isomorphism_conflicts(functional, physical)
+
+
+def _as_children_map(
+    hierarchy: "Dict[str, Set[str]] | List[Edge]",
+) -> Dict[str, Set[str]]:
+    if isinstance(hierarchy, dict):
+        return hierarchy
+    children: Dict[str, Set[str]] = {}
+    for parent, child in hierarchy:
+        children.setdefault(parent, set()).add(child)
+    return children
+
+
+def _isomorphism_conflicts(
+    functional: "Dict[str, Set[str]] | List[Edge]",
+    physical: "Dict[str, Set[str]] | List[Edge]",
+) -> List[str]:
+    func = _as_children_map(functional)
+    phys = _as_children_map(physical)
+    conflicts: List[str] = []
+    for parent in sorted(set(func) & set(phys)):
+        if func[parent] != phys[parent]:
+            only_func = sorted(func[parent] - phys[parent])
+            only_phys = sorted(phys[parent] - func[parent])
+            conflicts.append(
+                f"cell {parent!r}: schematic children {only_func} vs "
+                f"layout children {only_phys}"
+            )
+    return conflicts
+
+
+@dataclasses.dataclass(frozen=True)
+class HierarchySubmission:
+    """Result of one manual hierarchy submission."""
+
+    edges: Tuple[Edge, ...]
+    desktop_interactions: int
+    conflicts: Tuple[str, ...]
+    accepted: bool
+
+
+class HierarchyManager:
+    """Extracts, checks and submits hierarchies for the hybrid framework.
+
+    ``jcf3_strict`` (default True) reproduces JCF 3.0: non-isomorphic
+    hierarchies raise :class:`NonIsomorphicHierarchyError`.  Setting it
+    False simulates the future release the paper announces in Section 3.3
+    ("This feature will be supported in future releases of JCF"): the
+    union of both hierarchies is accepted.
+    """
+
+    def __init__(
+        self,
+        desktop: JCFDesktop,
+        jcf3_strict: bool = True,
+        procedural_interface: bool = False,
+    ) -> None:
+        self._desktop = desktop
+        self.jcf3_strict = jcf3_strict
+        #: Section 3.3 future work: "a JCF procedural interface which
+        #: might be used by the design tools to pass the hierarchy
+        #: information to JCF.  However, JCF release 3.0 does not support
+        #: this feature."  Off by default, faithfully.
+        self.procedural_interface = procedural_interface
+        #: rejected submissions, for the E33 experiment
+        self.rejections = 0
+        #: edges declared through the procedural interface (E33 ablation)
+        self.procedural_edges = 0
+        self.submissions: List[HierarchySubmission] = []
+
+    def submit_from_library(
+        self,
+        user: str,
+        project: JCFProject,
+        library: Library,
+    ) -> HierarchySubmission:
+        """Extract both hierarchies and submit them manually via the desktop.
+
+        This must happen *before* design work starts — "first the complete
+        design hierarchy information has to be defined and passed to JCF"
+        (Section 2.3).
+        """
+        functional_map = extract_children_map(library, "schematic")
+        physical_map = extract_children_map(library, "layout")
+        functional = _edges_of(functional_map)
+        physical = _edges_of(physical_map)
+        conflicts = _isomorphism_conflicts(functional_map, physical_map)
+        if conflicts and self.jcf3_strict:
+            self.rejections += 1
+            submission = HierarchySubmission(
+                edges=(),
+                desktop_interactions=0,
+                conflicts=tuple(conflicts),
+                accepted=False,
+            )
+            self.submissions.append(submission)
+            raise NonIsomorphicHierarchyError(
+                "JCF 3.0 does not support non-isomorphic hierarchies; "
+                + "; ".join(conflicts)
+            )
+        edges = sorted(set(functional) | set(physical))
+        self._require_cells_exist(project, edges)
+        interactions = self._desktop.submit_hierarchy(user, project, edges)
+        submission = HierarchySubmission(
+            edges=tuple(edges),
+            desktop_interactions=interactions,
+            conflicts=tuple(conflicts),
+            accepted=True,
+        )
+        self.submissions.append(submission)
+        return submission
+
+    def submit_procedurally(
+        self, project: JCFProject, edges: List[Edge]
+    ) -> int:
+        """Design tools pass hierarchy information directly to JCF.
+
+        This is the paper's Section 3.3 future work, enabled via
+        ``procedural_interface=True``: no desktop dialogs, no designer
+        interactions — the metadata updates are the only cost.  Edges
+        whose child cell is not (yet) mapped into the project are skipped;
+        the next bulk submission will pick them up.  Raises
+        :class:`~repro.errors.HierarchyError` under JCF 3.0, which has no
+        such interface.
+        """
+        if not self.procedural_interface:
+            raise HierarchyError(
+                "JCF release 3.0 does not support a procedural interface "
+                "for hierarchy submission (Section 3.3); enable "
+                "procedural_interface=True to simulate the future release"
+            )
+        declared = 0
+        for parent_name, child_name in edges:
+            parent = project.find_cell(parent_name)
+            child = project.find_cell(child_name)
+            if parent is None or child is None:
+                continue
+            if child.oid in {c.oid for c in parent.components()}:
+                continue
+            parent.add_component(child)
+            declared += 1
+        self.procedural_edges += declared
+        return declared
+
+    def verify_against_library(
+        self, project: JCFProject, library: Library
+    ) -> List[str]:
+        """Compare JCF CompOf metadata with the library's current files.
+
+        Any drift (a designer added an instance without re-submitting)
+        is a consistency finding — JCF can only "completely control the
+        data consistency of versioned hierarchical designs" (Section 2.3)
+        while its metadata matches the design files.
+        """
+        declared = set(self._desktop.declared_hierarchy(project))
+        functional = set(extract_functional_hierarchy(library))
+        physical = set(extract_physical_hierarchy(library))
+        current = functional | physical
+        problems = []
+        for edge in sorted(current - declared):
+            problems.append(
+                f"edge {edge[0]}->{edge[1]} present in design files but "
+                "not submitted to JCF"
+            )
+        for edge in sorted(declared - current):
+            problems.append(
+                f"edge {edge[0]}->{edge[1]} declared in JCF but absent "
+                "from design files"
+            )
+        return problems
+
+    def _require_cells_exist(
+        self, project: JCFProject, edges: List[Edge]
+    ) -> None:
+        known = {cell.name for cell in project.cells()}
+        missing = sorted(
+            {name for edge in edges for name in edge} - known
+        )
+        if missing:
+            raise HierarchyError(
+                f"hierarchy references cells not yet mapped into project "
+                f"{project.name!r}: {missing}"
+            )

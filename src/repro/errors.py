@@ -1,0 +1,221 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+The original JCF/FMCAD coupling distinguished framework-level failures
+(metadata, permissions, flows) from tool-level failures (a simulator run
+that fails, a DRC violation).  We mirror that split so callers can react
+to the same classes of error the 1995 prototype surfaced in its extra
+consistency windows.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# OMS database kernel
+# ---------------------------------------------------------------------------
+
+
+class OMSError(ReproError):
+    """Base class for errors raised by the OMS object store."""
+
+
+class SchemaError(OMSError):
+    """A schema definition or schema lookup is invalid."""
+
+
+class AttributeTypeError(OMSError):
+    """An attribute value does not conform to its declared type."""
+
+
+class UnknownObjectError(OMSError):
+    """An object id does not resolve to a live object."""
+
+
+class RelationshipError(OMSError):
+    """A relationship operation violated its cardinality or endpoint types."""
+
+
+class TransactionError(OMSError):
+    """A transactional operation was used outside a valid transaction."""
+
+
+class ClosedInterfaceError(OMSError):
+    """Direct access to OMS internals was attempted.
+
+    JCF 3.0's database has no public procedural interface; encapsulated
+    tools must go through file-system staging (paper Section 2.1).  This
+    error enforces that architectural property.
+    """
+
+
+# ---------------------------------------------------------------------------
+# JCF framework (master)
+# ---------------------------------------------------------------------------
+
+
+class JCFError(ReproError):
+    """Base class for errors raised by the JCF framework simulator."""
+
+
+class ResourceError(JCFError):
+    """A user, team or resource definition is invalid or unknown."""
+
+
+class AuthorizationError(JCFError):
+    """A user attempted an operation their team membership does not allow."""
+
+
+class FlowError(JCFError):
+    """A flow definition is structurally invalid (cycles, unknown steps)."""
+
+
+class FlowOrderError(FlowError):
+    """A tool invocation violated the fixed, prescribed flow order."""
+
+
+class FlowFrozenError(FlowError):
+    """An attempt was made to modify a flow after it was published.
+
+    Paper Section 2.1: "Flows are fixed and cannot be modified, i.e., the
+    user must follow the flow constraints."
+    """
+
+
+class WorkspaceError(JCFError):
+    """A workspace reservation or publication was invalid."""
+
+
+class ReservationConflictError(WorkspaceError):
+    """A cell version is already reserved in another private workspace."""
+
+
+class VersioningError(JCFError):
+    """Cell-version / variant bookkeeping was violated."""
+
+
+class ConfigurationError(JCFError):
+    """A configuration referenced incompatible or duplicate versions."""
+
+
+class ProjectError(JCFError):
+    """Project or cell structure operation failed."""
+
+
+class CrossProjectSharingError(ProjectError):
+    """Data sharing between projects was attempted.
+
+    Paper Section 3.1: "Not yet possible in JCF or in the combined
+    framework is data sharing between projects."
+    """
+
+
+# ---------------------------------------------------------------------------
+# FMCAD framework (slave)
+# ---------------------------------------------------------------------------
+
+
+class FMCADError(ReproError):
+    """Base class for errors raised by the FMCAD framework simulator."""
+
+
+class LibraryError(FMCADError):
+    """Library creation or lookup failed."""
+
+
+class MetaFileError(FMCADError):
+    """The library ``.meta`` file is corrupt, stale or inconsistent."""
+
+
+class CheckoutError(FMCADError):
+    """Checkout/checkin protocol was violated (double checkout etc.)."""
+
+
+class LockedError(CheckoutError):
+    """A cellview is locked by another user's checkout."""
+
+
+class ViewTypeError(FMCADError):
+    """An unknown or incompatible viewtype was used."""
+
+
+class PropertyError(FMCADError):
+    """A property operation used an invalid name or value type."""
+
+
+class ExtensionLanguageError(FMCADError):
+    """The extension-language interpreter rejected a program."""
+
+
+class MenuLockedError(FMCADError):
+    """A menu point locked by the coupling consistency guard was invoked.
+
+    Paper Section 2.4: extension-language procedures "lock menu points in
+    order to prevent data inconsistency".
+    """
+
+
+class ITCError(FMCADError):
+    """Inter-tool-communication routing failed."""
+
+
+# ---------------------------------------------------------------------------
+# Encapsulated design tools
+# ---------------------------------------------------------------------------
+
+
+class ToolError(ReproError):
+    """Base class for errors raised by the encapsulated design tools."""
+
+
+class SchematicError(ToolError):
+    """Schematic entry model violation (dangling pin, duplicate net...)."""
+
+
+class LayoutError(ToolError):
+    """Layout geometry or hierarchy violation."""
+
+
+class DRCError(LayoutError):
+    """A design-rule check failed."""
+
+
+class SimulationError(ToolError):
+    """The digital simulator rejected a netlist or stimulus."""
+
+
+# ---------------------------------------------------------------------------
+# Coupling layer (the paper's contribution)
+# ---------------------------------------------------------------------------
+
+
+class CouplingError(ReproError):
+    """Base class for errors raised by the hybrid JCF-FMCAD coupling."""
+
+
+class MappingError(CouplingError):
+    """The Table-1 data-model mapping could not be applied."""
+
+
+class HierarchyError(CouplingError):
+    """Design-hierarchy extraction or submission failed."""
+
+
+class NonIsomorphicHierarchyError(HierarchyError):
+    """Functional and physical hierarchies differ.
+
+    JCF 3.0 does not support non-isomorphic hierarchies (paper Sections
+    2.3 and 3.3); the hybrid framework must reject them unless the
+    future-release extension is explicitly enabled.
+    """
+
+
+class ConsistencyError(CouplingError):
+    """The consistency guard detected (or prevented) corrupt design state."""
+
+
+class EncapsulationError(CouplingError):
+    """A tool wrapper could not stage, launch or harvest a tool run."""

@@ -1,0 +1,67 @@
+"""FMCAD — simulator of the "widespread ECAD framework" of the paper.
+
+The paper leaves the framework pseudonymous ("FMCAD"), but its description
+— libraries as UNIX directories with one ``.meta`` file, cells / views /
+viewtypes / cellviews / cellview versions, a checkout/checkin concurrency
+model, a flexible extension language, inter-tool communication with
+cross-probing, and viewtype-dependent (non-isomorphic) hierarchies — is
+recognisably the CADENCE Design Framework II generation of ECAD
+frameworks.  This package implements that architecture (Figure 2 of the
+paper) faithfully, including its documented weaknesses:
+
+* one ``.meta`` file per library, refreshed **manually** (Section 2.2:
+  "the refreshment of the metadata objects is not performed
+  automatically"), so concurrent designers see stale metadata;
+* only one checked-out version per cellview at a time — no parallel work
+  on two versions of the same cellview (Section 2.2);
+* dynamic hierarchy binding to the default version, so derivation history
+  ("what belongs to what") is not recorded (Section 2.2 / 3.5).
+"""
+
+from repro.fmcad.metafile import MetaFile, MetaRecord
+from repro.fmcad.objects import (
+    Cell,
+    CellView,
+    CellViewVersion,
+    View,
+    ViewType,
+    VIEWTYPE_LAYOUT,
+    VIEWTYPE_SCHEMATIC,
+    VIEWTYPE_SYMBOL,
+    VIEWTYPE_SIMULATION,
+)
+from repro.fmcad.properties import PropertyBag
+from repro.fmcad.library import Library
+from repro.fmcad.checkout import CheckoutManager, CheckoutTicket
+from repro.fmcad.configurations import FMCADConfiguration
+from repro.fmcad.itc import ITCBus, ITCMessage, CrossProbe
+from repro.fmcad.extension import ExtensionInterpreter, ExtensionProcedure
+from repro.fmcad.session import MenuPoint, ToolSession
+from repro.fmcad.framework import FMCADFramework
+
+__all__ = [
+    "MetaFile",
+    "MetaRecord",
+    "Cell",
+    "CellView",
+    "CellViewVersion",
+    "View",
+    "ViewType",
+    "VIEWTYPE_LAYOUT",
+    "VIEWTYPE_SCHEMATIC",
+    "VIEWTYPE_SYMBOL",
+    "VIEWTYPE_SIMULATION",
+    "PropertyBag",
+    "Library",
+    "CheckoutManager",
+    "CheckoutTicket",
+    "FMCADConfiguration",
+    "ITCBus",
+    "ITCMessage",
+    "CrossProbe",
+    "ExtensionInterpreter",
+    "ExtensionProcedure",
+    "MenuPoint",
+    "ToolSession",
+    "FMCADFramework",
+]

@@ -1,0 +1,90 @@
+"""FMCAD configurations.
+
+Section 2.2: "A configuration is a collection of cellview versions that
+are related.  For each cellview, at maximum one version can be part of
+the configuration."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FMCADError
+from repro.fmcad.library import Library
+from repro.fmcad.objects import CellViewVersion
+
+
+class FMCADConfiguration:
+    """A named pin-down of at most one version per cellview."""
+
+    def __init__(self, name: str, library: Library) -> None:
+        self.name = name
+        self.library = library
+        #: (cell, view) -> version number
+        self._entries: Dict[Tuple[str, str], int] = {}
+
+    def add(self, cell_name: str, view_name: str, version_number: int) -> None:
+        """Pin *version_number* of a cellview into the configuration."""
+        cellview = self.library.cellview(cell_name, view_name)
+        cellview.version(version_number)  # validates existence
+        key = (cell_name, view_name)
+        if key in self._entries:
+            raise FMCADError(
+                f"configuration {self.name!r} already pins "
+                f"{cell_name}/{view_name} (at most one version per cellview)"
+            )
+        self._entries[key] = version_number
+
+    def replace(self, cell_name: str, view_name: str, version_number: int) -> None:
+        """Re-pin a cellview to a different version."""
+        key = (cell_name, view_name)
+        if key not in self._entries:
+            raise FMCADError(
+                f"configuration {self.name!r} does not pin "
+                f"{cell_name}/{view_name}"
+            )
+        self.library.cellview(cell_name, view_name).version(version_number)
+        self._entries[key] = version_number
+
+    def remove(self, cell_name: str, view_name: str) -> None:
+        key = (cell_name, view_name)
+        if key not in self._entries:
+            raise FMCADError(
+                f"configuration {self.name!r} does not pin "
+                f"{cell_name}/{view_name}"
+            )
+        del self._entries[key]
+
+    def version_of(self, cell_name: str, view_name: str) -> Optional[int]:
+        return self._entries.get((cell_name, view_name))
+
+    def resolve(self) -> List[CellViewVersion]:
+        """All pinned versions, as live objects (stable order)."""
+        resolved: List[CellViewVersion] = []
+        for (cell_name, view_name), number in sorted(self._entries.items()):
+            cellview = self.library.cellview(cell_name, view_name)
+            resolved.append(cellview.version(number))
+        return resolved
+
+    def entries(self) -> Dict[Tuple[str, str], int]:
+        return dict(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def validate(self) -> List[str]:
+        """List pins whose version files no longer exist."""
+        problems: List[str] = []
+        for (cell_name, view_name), number in sorted(self._entries.items()):
+            try:
+                version = self.library.cellview(cell_name, view_name).version(
+                    number
+                )
+            except FMCADError:
+                problems.append(f"{cell_name}/{view_name} v{number}: gone")
+                continue
+            if not version.path.exists():
+                problems.append(
+                    f"{cell_name}/{view_name} v{number}: file missing"
+                )
+        return problems

@@ -1,0 +1,120 @@
+"""Standard extension-language customizations.
+
+FMCAD's "very flexible customization language" (Section 2.2) is only as
+real as the programs written in it.  Besides the coupling's consistency
+guard (:mod:`repro.core.consistency`), this module ships the stock
+customizations a 1990s CAD site would install — written in the extension
+language and driven by framework events:
+
+* **invocation audit** — counts tool invocations per tool name in
+  interpreter state, queryable from both Lisp and Python;
+* **save reminder** — nags after N invocations without a save;
+* **cell watchlist** — flags invocations touching named critical cells.
+
+Framework events fire through :meth:`repro.fmcad.framework.
+FMCADFramework.log_invocation`, so every coupled tool run exercises these
+programs for real.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.fmcad.framework import FMCADFramework
+
+#: Counts invocations per tool in an association list held in Lisp state.
+AUDIT_PROGRAM = """
+(define audit-log nil)
+
+(define (audit-count tool)
+  (let ((entry (assoc-get audit-log tool)))
+    (if (null entry) 0 entry)))
+
+(define (on-tool-invocation tool user cell view)
+  (setq audit-log (assoc-put audit-log tool (+ 1 (audit-count tool)))))
+"""
+
+#: Reminds the designer to save after too many invocations.
+SAVE_REMINDER_PROGRAM = """
+(define unsaved-count 0)
+(define reminder-threshold 5)
+(define reminders nil)
+
+(define (on-invocation-maybe-remind tool user cell view)
+  (setq unsaved-count (+ unsaved-count 1))
+  (when (>= unsaved-count reminder-threshold)
+    (setq reminders (cons (strcat "save your work, " user) reminders))
+    (setq unsaved-count 0)))
+"""
+
+#: Flags invocations on critical cells.
+WATCHLIST_PROGRAM = """
+(define watchlist nil)
+(define watch-hits nil)
+
+(define (watch-cell cell)
+  (setq watchlist (cons cell watchlist)))
+
+(define (on-invocation-watch tool user cell view)
+  (when (member cell watchlist)
+    (setq watch-hits
+          (cons (strcat user " touched " cell "/" view) watch-hits))))
+"""
+
+
+def _install_assoc_builtins(framework: FMCADFramework) -> None:
+    """Association-list helpers the audit program uses."""
+
+    def assoc_get(alist, key):
+        for pair in alist or []:
+            if pair and pair[0] == key:
+                return pair[1]
+        return None
+
+    def assoc_put(alist, key, value):
+        rest = [pair for pair in (alist or []) if pair[0] != key]
+        return [[key, value]] + rest
+
+    framework.interpreter.register_builtin("assoc-get", assoc_get)
+    framework.interpreter.register_builtin("assoc-put", assoc_put)
+
+
+def apply_standard_customizations(framework: FMCADFramework) -> None:
+    """Load the stock programs and attach them to framework events."""
+    _install_assoc_builtins(framework)
+    interpreter = framework.interpreter
+    interpreter.run(AUDIT_PROGRAM)
+    interpreter.run(SAVE_REMINDER_PROGRAM)
+    interpreter.run(WATCHLIST_PROGRAM)
+    interpreter.add_trigger("tool-invocation", "on-tool-invocation")
+    interpreter.add_trigger("tool-invocation",
+                            "on-invocation-maybe-remind")
+    interpreter.add_trigger("tool-invocation", "on-invocation-watch")
+
+
+# -- Python-side queries into the Lisp state ---------------------------------
+
+
+def audit_counts(framework: FMCADFramework) -> Dict[str, int]:
+    """Tool invocation counts as recorded by the audit customization."""
+    alist = framework.interpreter.globals.lookup("audit-log") or []
+    return {tool: count for tool, count in alist}
+
+
+def pending_reminders(framework: FMCADFramework) -> List[str]:
+    """Messages the save-reminder customization has produced."""
+    return list(
+        framework.interpreter.globals.lookup("reminders") or []
+    )
+
+
+def watch_cell(framework: FMCADFramework, cell_name: str) -> None:
+    """Add *cell_name* to the watchlist customization."""
+    framework.interpreter.call("watch-cell", [cell_name])
+
+
+def watch_hits(framework: FMCADFramework) -> List[str]:
+    """Invocations that touched watched cells."""
+    return list(
+        framework.interpreter.globals.lookup("watch-hits") or []
+    )

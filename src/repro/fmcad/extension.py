@@ -1,0 +1,482 @@
+"""The FMCAD extension language.
+
+Section 2.2 calls FMCAD's customization language "very flexible"; Section
+2.4 reports that the coupling "was extended by several extension language
+procedures to trigger functions and lock menu points in order to prevent
+data inconsistency".  To make that mechanism real rather than decorative,
+this module implements a small Lisp-flavoured interpreter (in the spirit
+of SKILL):
+
+* s-expression reader (numbers, strings, symbols, quote, comments);
+* special forms: ``quote if cond define lambda let setq progn while and
+  or when unless``;
+* a standard library of list/arithmetic/string builtins;
+* host bindings: the embedding tool session registers Python callables
+  (e.g. ``lock-menu``) that procedures may invoke;
+* a trigger registry: procedures can be attached to named events and are
+  fired by the framework (``fire_trigger``).
+
+The consistency guard in :mod:`repro.core.consistency` is written *in*
+this language, exactly as the 1995 prototype customized FMCAD.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ExtensionLanguageError
+
+
+class Symbol(str):
+    """An interned-ish identifier; distinct from string literals."""
+
+
+SExpr = Union[Symbol, str, int, float, bool, List["SExpr"], None]
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+
+
+def tokenize(source: str) -> List[str]:
+    """Split *source* into parenthesis/string/atom tokens."""
+    tokens: List[str] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            i += 1
+        elif ch == ";":
+            while i < n and source[i] != "\n":
+                i += 1
+        elif ch in "()'":
+            tokens.append(ch)
+            i += 1
+        elif ch == '"':
+            j = i + 1
+            buf = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\" and j + 1 < n:
+                    j += 1
+                buf.append(source[j])
+                j += 1
+            if j >= n:
+                raise ExtensionLanguageError("unterminated string literal")
+            tokens.append('"' + "".join(buf) + '"')
+            i = j + 1
+        else:
+            j = i
+            while j < n and source[j] not in " \t\r\n()';\"":
+                j += 1
+            tokens.append(source[i:j])
+            i = j
+    return tokens
+
+
+def _atom(token: str) -> SExpr:
+    if token.startswith('"'):
+        return token[1:-1]
+    if token == "t":
+        return True
+    if token == "nil":
+        return None
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return Symbol(token)
+
+
+def parse(source: str) -> List[SExpr]:
+    """Read all top-level forms from *source*."""
+    tokens = tokenize(source)
+    forms: List[SExpr] = []
+    pos = 0
+
+    def read_form(at: int) -> Tuple[SExpr, int]:
+        if at >= len(tokens):
+            raise ExtensionLanguageError("unexpected end of input")
+        token = tokens[at]
+        if token == "(":
+            items: List[SExpr] = []
+            at += 1
+            while at < len(tokens) and tokens[at] != ")":
+                item, at = read_form(at)
+                items.append(item)
+            if at >= len(tokens):
+                raise ExtensionLanguageError("missing closing parenthesis")
+            return items, at + 1
+        if token == ")":
+            raise ExtensionLanguageError("unexpected ')'")
+        if token == "'":
+            quoted, at = read_form(at + 1)
+            return [Symbol("quote"), quoted], at
+        return _atom(token), at + 1
+
+    while pos < len(tokens):
+        form, pos = read_form(pos)
+        forms.append(form)
+    return forms
+
+
+# ---------------------------------------------------------------------------
+# Evaluator
+# ---------------------------------------------------------------------------
+
+
+class Environment:
+    """Lexically scoped variable bindings."""
+
+    def __init__(self, parent: Optional["Environment"] = None) -> None:
+        self._bindings: Dict[str, Any] = {}
+        self._parent = parent
+
+    def define(self, name: str, value: Any) -> None:
+        self._bindings[name] = value
+
+    def lookup(self, name: str) -> Any:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env._bindings:
+                return env._bindings[name]
+            env = env._parent
+        raise ExtensionLanguageError(f"unbound symbol: {name}")
+
+    def assign(self, name: str, value: Any) -> None:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env._bindings:
+                env._bindings[name] = value
+                return
+            env = env._parent
+        raise ExtensionLanguageError(f"setq of unbound symbol: {name}")
+
+
+@dataclasses.dataclass
+class ExtensionProcedure:
+    """A user-defined procedure (closure) in the extension language."""
+
+    name: str
+    params: List[str]
+    body: List[SExpr]
+    env: Environment
+
+    def __call__(self, interpreter: "ExtensionInterpreter", args: List[Any]) -> Any:
+        if len(args) != len(self.params):
+            raise ExtensionLanguageError(
+                f"procedure {self.name}: expected {len(self.params)} args, "
+                f"got {len(args)}"
+            )
+        local = Environment(self.env)
+        for param, arg in zip(self.params, args):
+            local.define(param, arg)
+        result: Any = None
+        for form in self.body:
+            result = interpreter.eval(form, local)
+        return result
+
+
+def _num(value: Any, op: str) -> Union[int, float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ExtensionLanguageError(f"{op}: expected number, got {value!r}")
+    return value
+
+
+class ExtensionInterpreter:
+    """Evaluator plus host bindings and the trigger registry."""
+
+    #: Hard cap on while-loop iterations: customization bugs must not hang
+    #: the framework.
+    MAX_ITERATIONS = 100_000
+
+    def __init__(self) -> None:
+        self.globals = Environment()
+        self.output: List[str] = []
+        self._triggers: Dict[str, List[str]] = {}
+        self._install_builtins()
+
+    # -- host integration ---------------------------------------------------
+
+    def register_builtin(self, name: str, fn: Callable[..., Any]) -> None:
+        """Expose a Python callable to extension programs."""
+        self.globals.define(name, fn)
+
+    def add_trigger(self, event: str, procedure_name: str) -> None:
+        """Attach an extension procedure to a named framework event."""
+        self.globals.lookup(procedure_name)  # must exist
+        self._triggers.setdefault(event, []).append(procedure_name)
+
+    def triggers_for(self, event: str) -> List[str]:
+        return list(self._triggers.get(event, []))
+
+    def fire_trigger(self, event: str, *args: Any) -> List[Any]:
+        """Invoke every procedure attached to *event*; returns their results."""
+        results = []
+        for name in self._triggers.get(event, []):
+            results.append(self.call(name, list(args)))
+        return results
+
+    # -- program execution ---------------------------------------------------
+
+    def run(self, source: str) -> Any:
+        """Parse and evaluate all forms in *source*; returns the last value."""
+        result: Any = None
+        for form in parse(source):
+            result = self.eval(form, self.globals)
+        return result
+
+    def call(self, name: str, args: Optional[List[Any]] = None) -> Any:
+        """Call a defined procedure or builtin from Python."""
+        fn = self.globals.lookup(name)
+        args = args or []
+        if isinstance(fn, ExtensionProcedure):
+            return fn(self, args)
+        if callable(fn):
+            return fn(*args)
+        raise ExtensionLanguageError(f"{name} is not callable")
+
+    # -- the evaluator itself --------------------------------------------------
+
+    def eval(self, form: SExpr, env: Environment) -> Any:
+        if isinstance(form, Symbol):
+            return env.lookup(form)
+        if not isinstance(form, list):
+            return form  # literal
+        if not form:
+            return None
+        head = form[0]
+        if isinstance(head, Symbol):
+            special = getattr(self, f"_sf_{head.replace('-', '_')}", None)
+            if special is not None and head in _SPECIAL_FORMS:
+                return special(form[1:], env)
+        fn = self.eval(head, env)
+        args = [self.eval(arg, env) for arg in form[1:]]
+        if isinstance(fn, ExtensionProcedure):
+            return fn(self, args)
+        if callable(fn):
+            try:
+                return fn(*args)
+            except ExtensionLanguageError:
+                raise
+            except Exception as exc:
+                raise ExtensionLanguageError(
+                    f"builtin {head!r} failed: {exc}"
+                ) from exc
+        raise ExtensionLanguageError(f"not callable: {head!r}")
+
+    # -- special forms -----------------------------------------------------------
+
+    def _sf_quote(self, rest: List[SExpr], env: Environment) -> Any:
+        if len(rest) != 1:
+            raise ExtensionLanguageError("quote takes one argument")
+        return rest[0]
+
+    def _sf_if(self, rest: List[SExpr], env: Environment) -> Any:
+        if len(rest) not in (2, 3):
+            raise ExtensionLanguageError("if takes 2 or 3 arguments")
+        if self.eval(rest[0], env):
+            return self.eval(rest[1], env)
+        return self.eval(rest[2], env) if len(rest) == 3 else None
+
+    def _sf_cond(self, rest: List[SExpr], env: Environment) -> Any:
+        for clause in rest:
+            if not isinstance(clause, list) or not clause:
+                raise ExtensionLanguageError("cond clause must be a list")
+            if self.eval(clause[0], env):
+                result: Any = None
+                for form in clause[1:]:
+                    result = self.eval(form, env)
+                return result
+        return None
+
+    def _sf_define(self, rest: List[SExpr], env: Environment) -> Any:
+        # (define (name p1 p2) body...) or (define name value)
+        if not rest:
+            raise ExtensionLanguageError("empty define")
+        target = rest[0]
+        if isinstance(target, list):
+            if not target or not all(isinstance(s, Symbol) for s in target):
+                raise ExtensionLanguageError("bad procedure signature")
+            name = str(target[0])
+            proc = ExtensionProcedure(
+                name=name,
+                params=[str(p) for p in target[1:]],
+                body=list(rest[1:]),
+                env=env,
+            )
+            env.define(name, proc)
+            return proc
+        if isinstance(target, Symbol):
+            if len(rest) != 2:
+                raise ExtensionLanguageError("define takes a name and a value")
+            value = self.eval(rest[1], env)
+            env.define(str(target), value)
+            return value
+        raise ExtensionLanguageError(f"cannot define {target!r}")
+
+    def _sf_procedure(self, rest: List[SExpr], env: Environment) -> Any:
+        # SKILL spelling: (procedure (name args...) body...)
+        return self._sf_define(rest, env)
+
+    def _sf_lambda(self, rest: List[SExpr], env: Environment) -> Any:
+        if not rest or not isinstance(rest[0], list):
+            raise ExtensionLanguageError("lambda needs a parameter list")
+        return ExtensionProcedure(
+            name="<lambda>",
+            params=[str(p) for p in rest[0]],
+            body=list(rest[1:]),
+            env=env,
+        )
+
+    def _sf_let(self, rest: List[SExpr], env: Environment) -> Any:
+        if not rest or not isinstance(rest[0], list):
+            raise ExtensionLanguageError("let needs a binding list")
+        local = Environment(env)
+        for binding in rest[0]:
+            if (
+                not isinstance(binding, list)
+                or len(binding) != 2
+                or not isinstance(binding[0], Symbol)
+            ):
+                raise ExtensionLanguageError(f"bad let binding: {binding!r}")
+            local.define(str(binding[0]), self.eval(binding[1], env))
+        result: Any = None
+        for form in rest[1:]:
+            result = self.eval(form, local)
+        return result
+
+    def _sf_setq(self, rest: List[SExpr], env: Environment) -> Any:
+        if len(rest) != 2 or not isinstance(rest[0], Symbol):
+            raise ExtensionLanguageError("setq takes a symbol and a value")
+        value = self.eval(rest[1], env)
+        env.assign(str(rest[0]), value)
+        return value
+
+    def _sf_progn(self, rest: List[SExpr], env: Environment) -> Any:
+        result: Any = None
+        for form in rest:
+            result = self.eval(form, env)
+        return result
+
+    def _sf_while(self, rest: List[SExpr], env: Environment) -> Any:
+        if not rest:
+            raise ExtensionLanguageError("while needs a condition")
+        iterations = 0
+        while self.eval(rest[0], env):
+            for form in rest[1:]:
+                self.eval(form, env)
+            iterations += 1
+            if iterations > self.MAX_ITERATIONS:
+                raise ExtensionLanguageError("while: iteration limit exceeded")
+        return None
+
+    def _sf_and(self, rest: List[SExpr], env: Environment) -> Any:
+        result: Any = True
+        for form in rest:
+            result = self.eval(form, env)
+            if not result:
+                return result
+        return result
+
+    def _sf_or(self, rest: List[SExpr], env: Environment) -> Any:
+        for form in rest:
+            result = self.eval(form, env)
+            if result:
+                return result
+        return None
+
+    def _sf_when(self, rest: List[SExpr], env: Environment) -> Any:
+        if not rest:
+            raise ExtensionLanguageError("when needs a condition")
+        if self.eval(rest[0], env):
+            return self._sf_progn(rest[1:], env)
+        return None
+
+    def _sf_unless(self, rest: List[SExpr], env: Environment) -> Any:
+        if not rest:
+            raise ExtensionLanguageError("unless needs a condition")
+        if not self.eval(rest[0], env):
+            return self._sf_progn(rest[1:], env)
+        return None
+
+    # -- builtins ----------------------------------------------------------------
+
+    def _install_builtins(self) -> None:
+        g = self.globals.define
+        g("+", lambda *xs: sum(_num(x, "+") for x in xs))
+        g("-", _builtin_sub)
+        g("*", _builtin_mul)
+        g("/", _builtin_div)
+        g("mod", lambda a, b: _num(a, "mod") % _num(b, "mod"))
+        g("<", lambda a, b: _num(a, "<") < _num(b, "<"))
+        g(">", lambda a, b: _num(a, ">") > _num(b, ">"))
+        g("<=", lambda a, b: _num(a, "<=") <= _num(b, "<="))
+        g(">=", lambda a, b: _num(a, ">=") >= _num(b, ">="))
+        g("=", lambda a, b: a == b)
+        g("!=", lambda a, b: a != b)
+        g("equal", lambda a, b: a == b)
+        g("not", lambda a: not a)
+        g("list", lambda *xs: list(xs))
+        g("car", lambda xs: xs[0] if xs else None)
+        g("cdr", lambda xs: list(xs[1:]) if xs else [])
+        g("cons", lambda x, xs: [x] + list(xs if xs is not None else []))
+        g("length", lambda xs: len(xs) if xs is not None else 0)
+        g("append", lambda *xss: [x for xs in xss if xs for x in xs])
+        g("nth", lambda i, xs: xs[i] if xs and 0 <= i < len(xs) else None)
+        g("member", lambda x, xs: x in xs if xs else False)
+        g("null", lambda x: x is None or x == [])
+        g("strcat", lambda *ss: "".join(str(s) for s in ss))
+        g("symbol-name", lambda s: str(s))
+        g("print", self._builtin_print)
+
+    def _builtin_print(self, *args: Any) -> None:
+        self.output.append(" ".join(str(a) for a in args))
+
+
+def _builtin_sub(first: Any, *rest: Any) -> Union[int, float]:
+    value = _num(first, "-")
+    if not rest:
+        return -value
+    for x in rest:
+        value -= _num(x, "-")
+    return value
+
+
+def _builtin_mul(*xs: Any) -> Union[int, float]:
+    value: Union[int, float] = 1
+    for x in xs:
+        value *= _num(x, "*")
+    return value
+
+
+def _builtin_div(a: Any, b: Any) -> Union[int, float]:
+    denominator = _num(b, "/")
+    if denominator == 0:
+        raise ExtensionLanguageError("/: division by zero")
+    return _num(a, "/") / denominator
+
+
+#: Names treated as special forms by the evaluator.
+_SPECIAL_FORMS = {
+    "quote",
+    "if",
+    "cond",
+    "define",
+    "procedure",
+    "lambda",
+    "let",
+    "setq",
+    "progn",
+    "while",
+    "and",
+    "or",
+    "when",
+    "unless",
+}

@@ -1,0 +1,127 @@
+"""Inter-tool communication (ITC).
+
+Section 2.2: "FMCAD provides all necessary interfaces and inter-tool
+communication (ITC), e.g., cross-probing between the schematic editor and
+layout editor."  Section 2.4 adds that under the coupling, "FMCAD's ITC
+could not be used normally" and had to be mediated by special wrappers —
+modelled here as interceptors that may veto or annotate messages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ITCError
+
+
+@dataclasses.dataclass(frozen=True)
+class ITCMessage:
+    """One message on the bus."""
+
+    sender: str
+    topic: str
+    payload: Dict[str, Any]
+    sequence: int
+
+
+#: An interceptor inspects a message before delivery.  It returns either
+#: the (possibly replaced) message to deliver, or None to veto delivery.
+Interceptor = Callable[[ITCMessage], Optional[ITCMessage]]
+
+#: A subscriber handler receives the delivered message.
+Handler = Callable[[ITCMessage], None]
+
+
+class ITCBus:
+    """Topic-based publish/subscribe between running tool sessions."""
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[str, List[Tuple[str, Handler]]] = {}
+        self._interceptors: List[Interceptor] = []
+        self._sequence = 0
+        self.delivered: List[ITCMessage] = []
+        self.vetoed: List[ITCMessage] = []
+
+    # -- membership ------------------------------------------------------------
+
+    def subscribe(self, session_id: str, topic: str, handler: Handler) -> None:
+        """Register *handler* of *session_id* for messages on *topic*."""
+        subscribers = self._subscriptions.setdefault(topic, [])
+        if any(sid == session_id for sid, _ in subscribers):
+            raise ITCError(
+                f"session {session_id!r} already subscribed to {topic!r}"
+            )
+        subscribers.append((session_id, handler))
+
+    def unsubscribe(self, session_id: str, topic: str) -> None:
+        subscribers = self._subscriptions.get(topic, [])
+        remaining = [(sid, h) for sid, h in subscribers if sid != session_id]
+        if len(remaining) == len(subscribers):
+            raise ITCError(
+                f"session {session_id!r} is not subscribed to {topic!r}"
+            )
+        self._subscriptions[topic] = remaining
+
+    def subscribers(self, topic: str) -> List[str]:
+        return [sid for sid, _ in self._subscriptions.get(topic, [])]
+
+    # -- wrapper mediation (Section 2.4) ------------------------------------------
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        """Install a coupling-wrapper interceptor on all traffic."""
+        self._interceptors.append(interceptor)
+
+    # -- messaging -------------------------------------------------------------------
+
+    def publish(
+        self, sender: str, topic: str, payload: Dict[str, Any]
+    ) -> Optional[ITCMessage]:
+        """Send a message; returns the delivered message or None if vetoed.
+
+        Delivery skips the sender's own subscription (a tool does not
+        cross-probe itself).
+        """
+        self._sequence += 1
+        message = ITCMessage(
+            sender=sender, topic=topic, payload=dict(payload),
+            sequence=self._sequence,
+        )
+        for interceptor in self._interceptors:
+            replacement = interceptor(message)
+            if replacement is None:
+                self.vetoed.append(message)
+                return None
+            message = replacement
+        for session_id, handler in self._subscriptions.get(topic, []):
+            if session_id != sender:
+                handler(message)
+        self.delivered.append(message)
+        return message
+
+
+class CrossProbe:
+    """Cross-probing helper between two tool sessions.
+
+    Selecting an object in the source tool highlights the corresponding
+    object in the target tool (schematic net -> layout shapes and back).
+    """
+
+    TOPIC = "crossprobe"
+
+    def __init__(self, bus: ITCBus, session_id: str) -> None:
+        self.bus = bus
+        self.session_id = session_id
+        self.highlighted: List[str] = []
+        bus.subscribe(session_id, self.TOPIC, self._on_probe)
+
+    def _on_probe(self, message: ITCMessage) -> None:
+        target = message.payload.get("object")
+        if target:
+            self.highlighted.append(str(target))
+
+    def probe(self, object_name: str) -> Optional[ITCMessage]:
+        """Announce a selection so peer tools highlight *object_name*."""
+        return self.bus.publish(
+            self.session_id, self.TOPIC, {"object": object_name}
+        )

@@ -1,0 +1,326 @@
+"""FMCAD libraries: UNIX directories of design files plus one ``.meta``.
+
+The library is the unit of design-data storage in FMCAD (Section 2.2) —
+there is no common database.  Version files are real files under the
+library directory; metadata lives in the single ``.meta`` file and in
+memory, and the two are reconciled only when a designer refreshes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.clock import SimClock
+from repro.errors import LibraryError, MetaFileError
+from repro.fmcad.metafile import MetaFile, MetaRecord
+from repro.fmcad.objects import (
+    Cell,
+    CellView,
+    CellViewVersion,
+    View,
+    resolve_viewtype,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class MetaSnapshot:
+    """A designer's cached picture of a library's metadata.
+
+    FMCAD does not push metadata updates (Section 2.2); designers work
+    from a snapshot taken at refresh time and are responsible for
+    re-refreshing.  ``bench_multiuser`` counts how often stale snapshots
+    would have misled a designer.
+    """
+
+    library_name: str
+    tick: int
+    records: Tuple[MetaRecord, ...]
+
+    def is_stale(self, library: "Library") -> bool:
+        return self.tick < library.tick
+
+    def versions_of(self, cell: str, view: str) -> List[int]:
+        return sorted(
+            r.version
+            for r in self.records
+            if r.cell == cell and r.view == view
+        )
+
+
+class Library:
+    """One FMCAD library: a directory, its design files, and its ``.meta``."""
+
+    def __init__(
+        self,
+        name: str,
+        root: pathlib.Path,
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        if not name or "/" in name:
+            raise LibraryError(f"invalid library name: {name!r}")
+        self.name = name
+        self.directory = pathlib.Path(root) / name
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.clock = clock or SimClock()
+        self.metafile = MetaFile(self.directory / ".meta")
+        self._cells: Dict[str, Cell] = {}
+        #: monotone change counter; bumped on every metadata mutation.
+        self.tick = 0
+
+    # -- opening an existing library from disk ----------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        name: str,
+        root: pathlib.Path,
+        clock: Optional[SimClock] = None,
+    ) -> "Library":
+        """Rebuild a library's in-memory state from its ``.meta`` file.
+
+        This is what the ``.meta`` file exists *for* (Section 2.2): it
+        describes the directory's contents, so a framework restart
+        recovers cells, cellviews and versions from it.  Versions written
+        but never flushed are invisible after reopening — faithfully: the
+        metadata was the designer's responsibility.
+        """
+        library = cls(name, root, clock=clock)
+        records, tick = library.metafile.read()
+        for record in sorted(
+            records, key=lambda r: (r.cell, r.view, r.version)
+        ):
+            if not library.has_cell(record.cell):
+                library.create_cell(record.cell)
+            cell = library.cell(record.cell)
+            if not cell.has_cellview(record.view):
+                library.create_cellview(
+                    record.cell, record.view, record.viewtype
+                )
+            cellview = cell.cellview(record.view)
+            path = (
+                library.directory / record.cell / record.view
+                / record.filename
+            )
+            cellview.add_version(
+                CellViewVersion(
+                    number=record.version,
+                    path=path,
+                    created_tick=record.tick,
+                    author=record.author,
+                )
+            )
+        library.tick = tick
+        return library
+
+    def orphaned_files(self) -> List[pathlib.Path]:
+        """Version files on disk that ``.meta`` does not describe.
+
+        These are the casualties of designers who forgot to flush before
+        the restart — listed so an administrator can recover them.
+        """
+        described = {
+            (r.cell, r.view, r.filename) for r in self.metafile.read()[0]
+        }
+        orphans: List[pathlib.Path] = []
+        for data_file in sorted(self.directory.glob("*/*/v*.dat")):
+            view_dir = data_file.parent
+            key = (view_dir.parent.name, view_dir.name, data_file.name)
+            if key not in described:
+                orphans.append(data_file)
+        return orphans
+
+    # -- structure -------------------------------------------------------------
+
+    def create_cell(self, name: str) -> Cell:
+        """Create the basic logical design object *name*."""
+        if name in self._cells:
+            raise LibraryError(f"library {self.name!r}: duplicate cell {name!r}")
+        if not name or "/" in name or name.startswith("."):
+            raise LibraryError(f"invalid cell name: {name!r}")
+        cell = Cell(name)
+        self._cells[name] = cell
+        (self.directory / name).mkdir(exist_ok=True)
+        self._bump()
+        return cell
+
+    def cell(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise LibraryError(
+                f"library {self.name!r} has no cell {name!r}"
+            ) from None
+
+    def has_cell(self, name: str) -> bool:
+        return name in self._cells
+
+    def cells(self) -> List[Cell]:
+        return [self._cells[name] for name in sorted(self._cells)]
+
+    def create_cellview(
+        self, cell_name: str, view_name: str, viewtype_name: Optional[str] = None
+    ) -> CellView:
+        """Create a cellview of *cell_name* for view *view_name*.
+
+        When *viewtype_name* is omitted the view name doubles as the
+        viewtype name (the common FMCAD convention: a view named
+        ``schematic`` of viewtype ``schematic``).
+        """
+        cell = self.cell(cell_name)
+        viewtype = resolve_viewtype(viewtype_name or view_name)
+        view = View(view_name, viewtype)
+        cellview = cell.add_cellview(CellView(cell_name, view))
+        (self.directory / cell_name / view_name).mkdir(parents=True, exist_ok=True)
+        self._bump()
+        return cellview
+
+    def cellview(self, cell_name: str, view_name: str) -> CellView:
+        return self.cell(cell_name).cellview(view_name)
+
+    def cellviews(self) -> List[CellView]:
+        found: List[CellView] = []
+        for cell in self.cells():
+            found.extend(cell.cellviews())
+        return found
+
+    # -- version data -----------------------------------------------------------
+
+    def _version_path(self, cellview: CellView, number: int) -> pathlib.Path:
+        return (
+            self.directory
+            / cellview.cell_name
+            / cellview.view.name
+            / f"v{number:04d}.dat"
+        )
+
+    def write_version(
+        self, cellview: CellView, data: bytes, author: str
+    ) -> CellViewVersion:
+        """Append a new version file for *cellview* with *data*.
+
+        This is the physical half of a checkin; concurrency rules are
+        enforced by :class:`~repro.fmcad.checkout.CheckoutManager`, which
+        is the only sanctioned caller during design work.
+        """
+        number = cellview.next_version_number()
+        path = self._version_path(cellview, number)
+        path.write_bytes(data)
+        self.clock.charge_native_io(len(data), files=1)
+        version = CellViewVersion(
+            number=number, path=path, created_tick=self.tick + 1, author=author
+        )
+        cellview.add_version(version)
+        self._bump()
+        return version
+
+    def read_version(
+        self, cellview: CellView, number: Optional[int] = None
+    ) -> bytes:
+        """Read a version's design file (default: the default version)."""
+        version = (
+            cellview.version(number)
+            if number is not None
+            else cellview.default_version
+        )
+        if version is None:
+            raise LibraryError(f"cellview {cellview.name} has no versions")
+        data = version.read_data()
+        self.clock.charge_native_io(len(data), files=1)
+        return data
+
+    # -- .meta maintenance ---------------------------------------------------------
+
+    def _bump(self) -> None:
+        self.tick += 1
+
+    def meta_records(self) -> List[MetaRecord]:
+        """The records a faithful ``.meta`` of current state would hold."""
+        records: List[MetaRecord] = []
+        for cellview in self.cellviews():
+            for version in cellview.versions:
+                records.append(
+                    MetaRecord(
+                        cell=cellview.cell_name,
+                        view=cellview.view.name,
+                        viewtype=cellview.viewtype.name,
+                        version=version.number,
+                        filename=version.path.name,
+                        author=version.author,
+                        tick=version.created_tick,
+                    )
+                )
+        return records
+
+    def flush_meta(self, user: str) -> bool:
+        """Write current metadata to ``.meta``; requires the writer lock.
+
+        Returns False when the lock is held by another user (a contention
+        event) — the caller must retry, exactly the explicit coordination
+        Section 3.1 complains about.
+        """
+        if not self.metafile.acquire(user):
+            return False
+        try:
+            self.metafile.write(self.meta_records(), self.tick, user)
+            self.clock.charge_native_io(
+                sum(len(r.to_line()) for r in self.meta_records()), files=1
+            )
+        finally:
+            self.metafile.release(user)
+        return True
+
+    def snapshot(self, user: str) -> MetaSnapshot:
+        """A designer's refresh: read the on-disk ``.meta``.
+
+        Note this reads what was last *flushed*, not live memory — an
+        un-flushed library yields an out-of-date snapshot, reproducing the
+        manual-refresh hazard.
+        """
+        records, tick = self.metafile.read()
+        self.clock.charge_native_io(
+            sum(len(r.to_line()) for r in records), files=1
+        )
+        return MetaSnapshot(
+            library_name=self.name, tick=tick, records=tuple(records)
+        )
+
+    def verify_meta(self) -> List[str]:
+        """Compare ``.meta`` against the directory; list discrepancies.
+
+        Used by the Section 3.2 consistency experiment: FMCAD itself never
+        runs this automatically.
+        """
+        problems: List[str] = []
+        try:
+            on_disk = self.metafile.index()
+        except MetaFileError as exc:
+            return [f"unreadable .meta: {exc}"]
+        live = {
+            (r.cell, r.view, r.version): r for r in self.meta_records()
+        }
+        for key in sorted(set(live) - set(on_disk)):
+            problems.append(f"missing from .meta: {key[0]}/{key[1]} v{key[2]}")
+        for key in sorted(set(on_disk) - set(live)):
+            problems.append(f"dangling in .meta: {key[0]}/{key[1]} v{key[2]}")
+        for key in sorted(set(on_disk) & set(live)):
+            if on_disk[key].filename != live[key].filename:
+                problems.append(
+                    f"filename mismatch for {key[0]}/{key[1]} v{key[2]}"
+                )
+        return problems
+
+    # -- statistics ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        cellviews = self.cellviews()
+        return {
+            "cells": len(self._cells),
+            "cellviews": len(cellviews),
+            "versions": sum(len(cv.versions) for cv in cellviews),
+            "bytes": sum(
+                v.size for cv in cellviews for v in cv.versions
+            ),
+            "tick": self.tick,
+        }

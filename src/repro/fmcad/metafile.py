@@ -1,0 +1,152 @@
+"""The library ``.meta`` file.
+
+Section 2.2: "The library consists of a UNIX directory and the related
+``.meta``-file describes the contents of the directory (metadata)."  Two
+consequences matter for the evaluation and are modelled exactly:
+
+* there is **one** ``.meta`` file per library, so concurrent designers
+  contend on a single writer lock ("severe locking problems",
+  Section 3.1);
+* the ``.meta`` content is refreshed **manually** — the in-memory picture
+  a designer works with can be stale relative to the directory until they
+  refresh (Section 2.2: "it is the responsibility of the designer to keep
+  his design up to date").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MetaFileError
+
+_HEADER = "#FMCAD-META 1"
+
+
+@dataclasses.dataclass(frozen=True)
+class MetaRecord:
+    """One line of the ``.meta`` file: one cellview version on disk."""
+
+    cell: str
+    view: str
+    viewtype: str
+    version: int
+    filename: str
+    author: str
+    tick: int
+
+    def to_line(self) -> str:
+        return "|".join(
+            [
+                self.cell,
+                self.view,
+                self.viewtype,
+                str(self.version),
+                self.filename,
+                self.author,
+                str(self.tick),
+            ]
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "MetaRecord":
+        parts = line.split("|")
+        if len(parts) != 7:
+            raise MetaFileError(f"malformed .meta record: {line!r}")
+        cell, view, viewtype, version, filename, author, tick = parts
+        try:
+            return cls(
+                cell=cell,
+                view=view,
+                viewtype=viewtype,
+                version=int(version),
+                filename=filename,
+                author=author,
+                tick=int(tick),
+            )
+        except ValueError as exc:
+            raise MetaFileError(f"malformed .meta record: {line!r}") from exc
+
+
+class MetaFile:
+    """Reader/writer for a library's single ``.meta`` file.
+
+    A cooperative single-writer lock models the coordination burden: a
+    writer must :meth:`acquire` before :meth:`write`; concurrent acquire
+    attempts fail and are counted as contention events, which the
+    Section 3.1 experiment aggregates.
+    """
+
+    def __init__(self, path: pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._writer: Optional[str] = None
+        #: contention accounting for bench_multiuser
+        self.contended_acquires = 0
+        self.total_acquires = 0
+
+    # -- locking -------------------------------------------------------------
+
+    @property
+    def writer(self) -> Optional[str]:
+        """User currently holding the writer lock, if any."""
+        return self._writer
+
+    def acquire(self, user: str) -> bool:
+        """Try to take the writer lock; False (and a contention tick) if held."""
+        self.total_acquires += 1
+        if self._writer is not None and self._writer != user:
+            self.contended_acquires += 1
+            return False
+        self._writer = user
+        return True
+
+    def release(self, user: str) -> None:
+        if self._writer != user:
+            raise MetaFileError(
+                f".meta writer lock held by {self._writer!r}, not {user!r}"
+            )
+        self._writer = None
+
+    # -- I/O -----------------------------------------------------------------
+
+    def write(self, records: List[MetaRecord], tick: int, user: str) -> None:
+        """Serialise *records*; caller must hold the writer lock."""
+        if self._writer != user:
+            raise MetaFileError(
+                f"write to .meta without the writer lock (held by "
+                f"{self._writer!r}, writer {user!r})"
+            )
+        lines = [_HEADER, f"tick={tick}"]
+        lines.extend(
+            record.to_line()
+            for record in sorted(
+                records, key=lambda r: (r.cell, r.view, r.version)
+            )
+        )
+        self.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    def read(self) -> Tuple[List[MetaRecord], int]:
+        """Parse the ``.meta`` file; returns (records, tick)."""
+        if not self.path.exists():
+            return [], 0
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines or lines[0] != _HEADER:
+            raise MetaFileError(f"{self.path}: missing {_HEADER!r} header")
+        if len(lines) < 2 or not lines[1].startswith("tick="):
+            raise MetaFileError(f"{self.path}: missing tick line")
+        try:
+            tick = int(lines[1][len("tick="):])
+        except ValueError as exc:
+            raise MetaFileError(f"{self.path}: bad tick line {lines[1]!r}") from exc
+        records = [MetaRecord.from_line(line) for line in lines[2:] if line]
+        return records, tick
+
+    def tick(self) -> int:
+        """The tick recorded in the on-disk file (0 when absent)."""
+        return self.read()[1]
+
+    def index(self) -> Dict[Tuple[str, str, int], MetaRecord]:
+        """Records keyed by (cell, view, version)."""
+        records, _ = self.read()
+        return {(r.cell, r.view, r.version): r for r in records}

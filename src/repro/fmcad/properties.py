@@ -1,0 +1,111 @@
+"""Typed property bags.
+
+Figure 2 attaches ``Property`` records to FMCAD design objects.  Properties
+are the framework's open-ended annotation mechanism (tool options, design
+intent, coupling bookkeeping); the coupling layer uses them to tag
+cellviews with JCF identities.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.errors import PropertyError
+
+#: Property value types FMCAD supports.
+_ALLOWED_TYPES = (str, int, float, bool)
+
+
+class PropertyBag:
+    """An ordered mapping of named, scalar-typed properties."""
+
+    def __init__(self) -> None:
+        self._props: Dict[str, Any] = {}
+
+    def set(self, name: str, value: Any) -> None:
+        """Set property *name*; value must be a scalar (str/int/float/bool)."""
+        if not name or not isinstance(name, str):
+            raise PropertyError(f"invalid property name: {name!r}")
+        if not isinstance(value, _ALLOWED_TYPES):
+            raise PropertyError(
+                f"property {name!r}: unsupported value type "
+                f"{type(value).__name__}"
+            )
+        self._props[name] = value
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._props.get(name, default)
+
+    def require(self, name: str) -> Any:
+        """Return property *name*; raise if absent."""
+        if name not in self._props:
+            raise PropertyError(f"missing property {name!r}")
+        return self._props[name]
+
+    def delete(self, name: str) -> None:
+        if name not in self._props:
+            raise PropertyError(f"missing property {name!r}")
+        del self._props[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._props
+
+    def __len__(self) -> int:
+        return len(self._props)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        return iter(sorted(self._props.items()))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self._props)
+
+    def copy_from(self, other: "PropertyBag") -> None:
+        """Merge all properties of *other* into this bag (other wins)."""
+        for name, value in other.items():
+            self.set(name, value)
+
+
+class PersistentPropertyBag(PropertyBag):
+    """A property bag mirrored to a JSON sidecar file.
+
+    FMCAD keeps properties with the design data (Section 2.2); mirroring
+    them to ``<version file>.props`` makes them survive a framework
+    restart, so rescanning a library from disk (``Library.open``) also
+    recovers the coupling's ``jcf_oid`` tags.
+    """
+
+    def __init__(self, path) -> None:
+        super().__init__()
+        import pathlib
+
+        self._path = pathlib.Path(path)
+        if self._path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        import json
+
+        try:
+            stored = json.loads(self._path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise PropertyError(
+                f"corrupt property sidecar {self._path}: {exc}"
+            ) from exc
+        for name, value in stored.items():
+            super().set(name, value)
+
+    def _flush(self) -> None:
+        import json
+
+        self._path.write_text(
+            json.dumps(self.as_dict(), sort_keys=True, indent=1),
+            encoding="utf-8",
+        )
+
+    def set(self, name, value) -> None:
+        super().set(name, value)
+        self._flush()
+
+    def delete(self, name) -> None:
+        super().delete(name)
+        self._flush()

@@ -1,0 +1,125 @@
+"""Running FMCAD tool sessions and their lockable menus.
+
+Each encapsulated tool runs inside a session whose menu points can be
+locked by extension-language procedures — the mechanism the 1995 coupling
+used "to prevent data inconsistency" (Section 2.4).  Menu invocations
+charge simulated UI time, which feeds the Section 3.4 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.clock import SimClock
+from repro.errors import FMCADError, MenuLockedError
+from repro.fmcad.itc import ITCBus
+
+
+class MenuPoint:
+    """One invocable menu entry of a tool session."""
+
+    def __init__(self, name: str, action: Callable[..., Any]) -> None:
+        self.name = name
+        self.action = action
+        self.locked = False
+        self.lock_reason: Optional[str] = None
+        self.invocations = 0
+
+    def lock(self, reason: str) -> None:
+        self.locked = True
+        self.lock_reason = reason
+
+    def unlock(self) -> None:
+        self.locked = False
+        self.lock_reason = None
+
+
+class ToolSession:
+    """A live instance of an FMCAD tool bound to a user and the ITC bus."""
+
+    def __init__(
+        self,
+        session_id: str,
+        tool_name: str,
+        user: str,
+        clock: SimClock,
+        bus: Optional[ITCBus] = None,
+    ) -> None:
+        self.session_id = session_id
+        self.tool_name = tool_name
+        self.user = user
+        self.clock = clock
+        self.bus = bus
+        self._menus: Dict[str, MenuPoint] = {}
+        self._closed = False
+        #: extra consistency windows shown by the coupling wrappers
+        #: (Section 2.4); each costs a UI interaction when displayed.
+        self.consistency_windows: List[str] = []
+        clock.charge_tool_startup()
+
+    # -- menu management --------------------------------------------------------
+
+    def register_menu(self, name: str, action: Callable[..., Any]) -> MenuPoint:
+        if name in self._menus:
+            raise FMCADError(
+                f"session {self.session_id}: duplicate menu point {name!r}"
+            )
+        menu = MenuPoint(name, action)
+        self._menus[name] = menu
+        return menu
+
+    def menu(self, name: str) -> MenuPoint:
+        try:
+            return self._menus[name]
+        except KeyError:
+            raise FMCADError(
+                f"session {self.session_id}: no menu point {name!r}"
+            ) from None
+
+    def menu_names(self) -> List[str]:
+        return sorted(self._menus)
+
+    def lock_menu(self, name: str, reason: str) -> None:
+        """Lock a menu point (called from extension-language guards)."""
+        self.menu(name).lock(reason)
+
+    def unlock_menu(self, name: str) -> None:
+        self.menu(name).unlock()
+
+    def invoke_menu(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """User picks a menu point: charges UI time and runs the action.
+
+        Raises :class:`MenuLockedError` when the consistency guard has
+        locked the entry — the designer sees a disabled menu item.
+        """
+        self._require_open()
+        menu = self.menu(name)
+        self.clock.charge_ui()
+        if menu.locked:
+            raise MenuLockedError(
+                f"menu point {name!r} in {self.tool_name} is locked: "
+                f"{menu.lock_reason}"
+            )
+        menu.invocations += 1
+        return menu.action(*args, **kwargs)
+
+    # -- coupling support ----------------------------------------------------------
+
+    def show_consistency_window(self, text: str) -> None:
+        """Display one of the coupling's additional consistency windows."""
+        self._require_open()
+        self.consistency_windows.append(text)
+        self.clock.charge_ui()
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise FMCADError(f"session {self.session_id} is closed")

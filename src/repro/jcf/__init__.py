@@ -1,0 +1,65 @@
+"""JCF — simulator of the JESSI-COMMON-Framework 3.0 (the master).
+
+The package reproduces the Figure 1 information architecture and the
+behaviours the paper evaluates:
+
+* a strict split between **resources** (users, teams, flows — metadata
+  defined in advance by the framework administrator) and **project data**
+  (cells, cell versions, variants, design objects);
+* **two-level versioning**: cell versions, and design-object versions
+  within a variant (Section 3.2);
+* the **workspace concept**: a cell version reserved in one user's
+  private workspace is writable only by that user; others read published
+  data (Section 2.1);
+* **fixed flows**: activities execute in the prescribed order only
+  (Sections 2.1/3.5), with every execution recording needs/creates
+  derivation relations;
+* hierarchy as **separate metadata** (CompOf), submitted manually via the
+  desktop (Sections 2.3/3.3) — isomorphic hierarchies only in JCF 3.0;
+* everything stored in the **OMS** database with its closed interface.
+"""
+
+from repro.jcf.model import build_jcf_schema
+from repro.jcf.resources import ResourceManager
+from repro.jcf.flows import (
+    ActivityDef,
+    FlowDef,
+    fpga_flow,
+    standard_encapsulation_flow,
+)
+from repro.jcf.framework import JCFFramework
+from repro.jcf.project import (
+    JCFCell,
+    JCFCellVersion,
+    JCFDesignObject,
+    JCFDesignObjectVersion,
+    JCFProject,
+    JCFVariant,
+)
+from repro.jcf.workspace import WorkspaceManager
+from repro.jcf.flow_engine import FlowEngine, FlowExecutionState
+from repro.jcf.versioning import VersioningService
+from repro.jcf.configurations import ConfigurationService
+from repro.jcf.desktop import JCFDesktop
+
+__all__ = [
+    "build_jcf_schema",
+    "ResourceManager",
+    "ActivityDef",
+    "FlowDef",
+    "fpga_flow",
+    "standard_encapsulation_flow",
+    "JCFFramework",
+    "JCFProject",
+    "JCFCell",
+    "JCFCellVersion",
+    "JCFVariant",
+    "JCFDesignObject",
+    "JCFDesignObjectVersion",
+    "WorkspaceManager",
+    "FlowEngine",
+    "FlowExecutionState",
+    "VersioningService",
+    "ConfigurationService",
+    "JCFDesktop",
+]

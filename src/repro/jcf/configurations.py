@@ -1,0 +1,141 @@
+"""JCF configurations: consistent sets of design-object versions.
+
+Figure 1's Configurations partition: a cell version owns configuration
+versions; configuration versions precede one another; each configuration
+pins design-object versions (at most one per design object).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.jcf.project import (
+    JCFCellVersion,
+    JCFDesignObjectVersion,
+    _Wrapper,
+)
+from repro.oms.database import OMSDatabase
+
+
+class JCFConfiguration(_Wrapper):
+    """One ConfigVersion object."""
+
+    @property
+    def name(self) -> str:
+        return self._obj.get("name")
+
+    @property
+    def number(self) -> int:
+        return self._obj.get("number")
+
+    @property
+    def cell_version(self) -> JCFCellVersion:
+        owners = self._db.sources("config_of", self.oid)
+        if not owners:
+            raise ConfigurationError(
+                f"configuration {self.name!r} has no cell version"
+            )
+        return JCFCellVersion(self._db, owners[0])
+
+    def pinned_versions(self) -> List[JCFDesignObjectVersion]:
+        return [
+            JCFDesignObjectVersion(self._db, obj)
+            for obj in self._db.targets("config_contains", self.oid)
+        ]
+
+    def predecessors(self) -> List["JCFConfiguration"]:
+        return [
+            JCFConfiguration(self._db, obj)
+            for obj in self._db.sources("config_precedes", self.oid)
+        ]
+
+
+class ConfigurationService:
+    """Creates and validates configuration versions."""
+
+    def __init__(self, database: OMSDatabase) -> None:
+        self._db = database
+
+    def create(
+        self,
+        cell_version: JCFCellVersion,
+        name: str,
+        predecessor: Optional[JCFConfiguration] = None,
+    ) -> JCFConfiguration:
+        """Open a new configuration version under *cell_version*."""
+        existing = self.configurations_of(cell_version)
+        if any(c.name == name for c in existing):
+            raise ConfigurationError(
+                f"cell version {cell_version.number}: duplicate "
+                f"configuration {name!r}"
+            )
+        number = max((c.number for c in existing), default=0) + 1
+        with self._db.transaction():
+            obj = self._db.create(
+                "ConfigVersion", {"name": name, "number": number}
+            )
+            self._db.link("config_of", cell_version.oid, obj.oid)
+            if predecessor is not None:
+                self._db.link("config_precedes", predecessor.oid, obj.oid)
+        return JCFConfiguration(self._db, obj)
+
+    def configurations_of(
+        self, cell_version: JCFCellVersion
+    ) -> List[JCFConfiguration]:
+        return [
+            JCFConfiguration(self._db, obj)
+            for obj in self._db.targets("config_of", cell_version.oid)
+        ]
+
+    def pin(
+        self,
+        configuration: JCFConfiguration,
+        version: JCFDesignObjectVersion,
+    ) -> None:
+        """Add a design-object version to the configuration.
+
+        Enforces membership (the version's variant must belong to the
+        configuration's cell version) and uniqueness (at most one version
+        per design object).
+        """
+        owner_cv = version.design_object.variant.cell_version
+        if owner_cv.oid != configuration.cell_version.oid:
+            raise ConfigurationError(
+                f"version {version.oid} belongs to cell version "
+                f"{owner_cv.number}, not the configuration's "
+                f"{configuration.cell_version.number}"
+            )
+        target_dobj = version.design_object.oid
+        for pinned in configuration.pinned_versions():
+            if pinned.design_object.oid == target_dobj:
+                raise ConfigurationError(
+                    f"configuration {configuration.name!r} already pins a "
+                    f"version of design object "
+                    f"{version.design_object.name!r}"
+                )
+        self._db.link("config_contains", configuration.oid, version.oid)
+
+    def unpin(
+        self,
+        configuration: JCFConfiguration,
+        version: JCFDesignObjectVersion,
+    ) -> None:
+        self._db.unlink("config_contains", configuration.oid, version.oid)
+
+    def validate(self, configuration: JCFConfiguration) -> List[str]:
+        """List integrity problems of a configuration (empty = consistent)."""
+        problems: List[str] = []
+        seen_objects = set()
+        for version in configuration.pinned_versions():
+            dobj = version.design_object
+            if dobj.oid in seen_objects:
+                problems.append(
+                    f"multiple versions of design object {dobj.name!r}"
+                )
+            seen_objects.add(dobj.oid)
+            if dobj.variant.cell_version.oid != configuration.cell_version.oid:
+                problems.append(
+                    f"version of {dobj.name!r} from a foreign cell version"
+                )
+        return problems

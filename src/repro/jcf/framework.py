@@ -1,0 +1,124 @@
+"""The JCF framework facade: one wired-up JESSI-COMMON-Framework 3.0."""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Dict, Optional
+
+from repro.clock import SimClock
+from repro.jcf.configurations import ConfigurationService
+from repro.jcf.desktop import JCFDesktop
+from repro.jcf.flow_engine import FlowEngine
+from repro.jcf.flows import FlowDef, FlowRegistry
+from repro.jcf.model import build_jcf_schema
+from repro.jcf.project import JCFProject
+from repro.jcf.resources import ResourceManager
+from repro.jcf.versioning import VersioningService
+from repro.jcf.workspace import WorkspaceManager
+from repro.oms.database import OMSDatabase
+from repro.oms.objects import OMSObject
+from repro.oms.query import QueryEngine
+from repro.oms.storage import StagingArea
+
+
+class JCFFramework:
+    """Facade over one JCF installation.
+
+    Wires the OMS database (with the Figure 1 schema), resource
+    management, flow registry and engine, workspaces, configurations and
+    the desktop.  Design data leaves the framework only through
+    :attr:`staging` — the closed-interface property of Section 2.1.
+    """
+
+    def __init__(
+        self,
+        root: pathlib.Path,
+        clock: Optional[SimClock] = None,
+        administrator: str = "admin",
+        enable_procedural_interface: bool = False,
+        allow_cross_project_sharing: bool = False,
+        snapshot: Optional[bytes] = None,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.clock = clock or SimClock()
+        self.schema = build_jcf_schema()
+        if snapshot is not None:
+            from repro.oms.snapshot import restore_snapshot
+
+            self.db = restore_snapshot(
+                self.schema,
+                snapshot,
+                clock=self.clock,
+                enable_procedural_interface=enable_procedural_interface,
+            )
+        else:
+            self.db = OMSDatabase(
+                self.schema,
+                clock=self.clock,
+                enable_procedural_interface=enable_procedural_interface,
+                policy={
+                    "cross_project_sharing": allow_cross_project_sharing
+                },
+            )
+        self.query = QueryEngine(self.db)
+        self.resources = ResourceManager(self.db, administrator=administrator)
+        self.flows = FlowRegistry(self.db)
+        self.engine = FlowEngine(self.db, self.flows)
+        self.workspaces = WorkspaceManager(self.db, self.resources)
+        self.configurations = ConfigurationService(self.db)
+        self.desktop = JCFDesktop(self.db, self.resources, self.workspaces)
+        self.versioning = VersioningService(self.db)
+        self.staging = StagingArea(self.db, self.root / "staging")
+        if snapshot is not None:
+            self.flows.rehydrate()
+
+    # -- persistence ---------------------------------------------------------
+
+    def save_snapshot(self) -> bytes:
+        """Serialise the whole metadata+design-data state (OMS snapshot)."""
+        from repro.oms.snapshot import dump_snapshot
+
+        return dump_snapshot(self.db)
+
+    # -- convenience -----------------------------------------------------------
+
+    def register_flow(self, flow_def: FlowDef) -> OMSObject:
+        """Materialise a flow definition as fixed metadata."""
+        return self.flows.register(flow_def)
+
+    def project(self, name: str) -> JCFProject:
+        found = self.desktop.find_project(name)
+        if found is None:
+            raise KeyError(f"no project {name!r}")
+        return found
+
+    def checkout_design_data(self, user: str, version) -> "object":
+        """Stage a design-object version out of OMS for *user*.
+
+        Enforces the workspace visibility rules of Section 2.1: other
+        users "are only allowed to read the published parts of the design
+        data".  Returns the staged file (and charges the copy — even this
+        read-only access pays, Section 3.6).
+        """
+        from repro.errors import AuthorizationError
+
+        cell_version = version.design_object.variant.cell_version
+        if not self.workspaces.can_read(user, cell_version):
+            holder = self.workspaces.reserved_by(cell_version)
+            raise AuthorizationError(
+                f"user {user!r} may not read unpublished data of cell "
+                f"version {cell_version.number} (reserved by {holder!r})"
+            )
+        return self.staging.export_object(version.oid)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "db": self.db.stats(),
+            "workspaces": self.workspaces.stats(),
+            "staging": self.staging.accounting(),
+            "flow_engine": {
+                "rejected_starts": self.engine.rejected_starts,
+                "forced_starts": self.engine.forced_starts,
+            },
+        }

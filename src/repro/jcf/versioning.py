@@ -1,0 +1,119 @@
+"""Two-level versioning analysis.
+
+Section 3.2: "FMCAD offers a rather simple versioning mechanism, while
+JCF-FMCAD provides a two-level versioning approach: versioning of cells,
+and versioning of design objects (within a cell)."
+
+``VersioningService`` provides the history queries the desktop exposes
+and — for the E32 experiment — quantifies what a one-level (FMCAD-style)
+scheme loses: the ability to distinguish *which cell version and variant*
+a given design state belonged to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.jcf.project import (
+    JCFCell,
+    JCFCellVersion,
+    JCFDesignObject,
+    JCFDesignObjectVersion,
+)
+from repro.oms.database import OMSDatabase
+
+
+@dataclasses.dataclass(frozen=True)
+class VersionedState:
+    """One addressable design state under two-level versioning."""
+
+    cell_name: str
+    cell_version: int
+    variant_name: str
+    design_object: str
+    object_version: int
+
+    def one_level_key(self) -> Tuple[str, str, int]:
+        """What an FMCAD-style scheme can address: cellview + version only."""
+        return (self.cell_name, self.design_object, self.object_version)
+
+
+class VersioningService:
+    """History queries plus the two-level vs one-level comparison."""
+
+    def __init__(self, database: OMSDatabase) -> None:
+        self._db = database
+
+    # -- history ------------------------------------------------------------
+
+    def cell_history(self, cell: JCFCell) -> List[JCFCellVersion]:
+        """Cell versions in precedes order (numbers are assigned in order)."""
+        return cell.versions()
+
+    def design_history(
+        self, design_object: JCFDesignObject
+    ) -> List[JCFDesignObjectVersion]:
+        return design_object.versions()
+
+    def predecessors_of(
+        self, cell_version: JCFCellVersion
+    ) -> List[JCFCellVersion]:
+        return [
+            JCFCellVersion(self._db, obj)
+            for obj in self._db.sources("cv_precedes", cell_version.oid)
+        ]
+
+    def successors_of(
+        self, cell_version: JCFCellVersion
+    ) -> List[JCFCellVersion]:
+        return [
+            JCFCellVersion(self._db, obj)
+            for obj in self._db.targets("cv_precedes", cell_version.oid)
+        ]
+
+    # -- two-level state enumeration (E32) --------------------------------------
+
+    def states_of_cell(self, cell: JCFCell) -> List[VersionedState]:
+        """Every addressable (cell version, variant, object, version) state."""
+        states: List[VersionedState] = []
+        for cell_version in cell.versions():
+            for variant in cell_version.variants():
+                for dobj in variant.design_objects():
+                    for dov in dobj.versions():
+                        states.append(
+                            VersionedState(
+                                cell_name=cell.name,
+                                cell_version=cell_version.number,
+                                variant_name=variant.name,
+                                design_object=dobj.name,
+                                object_version=dov.number,
+                            )
+                        )
+        return states
+
+    def one_level_collisions(self, cell: JCFCell) -> Dict[Tuple, int]:
+        """States an FMCAD-style one-level scheme cannot tell apart.
+
+        Returns, for each one-level key that is ambiguous, how many
+        distinct two-level states collapse onto it.  A non-empty result
+        demonstrates the Section 3.2 expressiveness gap.
+        """
+        states = self.states_of_cell(cell)
+        by_key: Dict[Tuple, int] = {}
+        for state in states:
+            key = state.one_level_key()
+            by_key[key] = by_key.get(key, 0) + 1
+        return {key: n for key, n in by_key.items() if n > 1}
+
+    def expressiveness_report(self, cell: JCFCell) -> Dict[str, int]:
+        """Summary numbers for the E32 benchmark table."""
+        states = self.states_of_cell(cell)
+        collisions = self.one_level_collisions(cell)
+        lost = sum(n - 1 for n in collisions.values())
+        return {
+            "two_level_states": len(states),
+            "one_level_states": len({s.one_level_key() for s in states}),
+            "ambiguous_keys": len(collisions),
+            "indistinguishable_states": lost,
+        }

@@ -1,0 +1,164 @@
+"""The JCF workspace concept — the kernel of its multi-user capabilities.
+
+Section 2.1: "the workspace concept of JCF allows only one user to work
+on a particular cell version if this cell version is reserved in his
+private workspace.  Other users are only allowed to read the published
+parts of the design data.  When the work is finished, the cell can be
+published and then be modified by other users."
+
+Unlike FMCAD's checkout model, reservation is per *cell version* — so two
+users can work on two different versions (or variants) of the same cell
+in parallel, the capability Section 3.1 credits the hybrid framework
+with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    AuthorizationError,
+    ReservationConflictError,
+    WorkspaceError,
+)
+from repro.jcf.project import JCFCellVersion
+from repro.jcf.resources import ResourceManager
+from repro.oms.database import OMSDatabase
+from repro.oms.objects import OMSObject
+
+
+class WorkspaceManager:
+    """Private workspaces and cell-version reservations."""
+
+    def __init__(self, database: OMSDatabase, resources: ResourceManager) -> None:
+        self._db = database
+        self._resources = resources
+        #: accounting for bench_multiuser
+        self.granted_reservations = 0
+        self.denied_reservations = 0
+
+    # -- workspace lifecycle ---------------------------------------------------
+
+    def workspace_for(self, user_name: str) -> OMSObject:
+        """The user's private workspace, created on first use."""
+        user = self._resources.user(user_name)
+        existing = self._db.targets("workspace_of", user.oid)
+        if existing:
+            return existing[0]
+        workspace = self._db.create("Workspace", {"owner": user_name})
+        self._db.link("workspace_of", user.oid, workspace.oid)
+        return workspace
+
+    # -- reservation protocol -----------------------------------------------------
+
+    def reserved_by(self, cell_version: JCFCellVersion) -> Optional[str]:
+        """Name of the user whose workspace holds *cell_version*, if any."""
+        holders = self._db.sources("reserves", cell_version.oid)
+        if not holders:
+            return None
+        return holders[0].get("owner")
+
+    def reserve(self, user_name: str, cell_version: JCFCellVersion) -> None:
+        """Reserve *cell_version* into the user's private workspace.
+
+        Requires team authorization (the user must belong to the team
+        attached to the cell version, or to a team supporting the owning
+        project) and exclusivity (no other workspace holds it).
+        """
+        self._require_authorized(user_name, cell_version)
+        if cell_version.published:
+            raise WorkspaceError(
+                f"cell version {cell_version.number} is published; create a "
+                "new version to continue work"
+            )
+        holder = self.reserved_by(cell_version)
+        if holder is not None and holder != user_name:
+            self.denied_reservations += 1
+            self._db.clock.charge_lock_wait()
+            raise ReservationConflictError(
+                f"cell version {cell_version.number} of cell "
+                f"{cell_version.cell.name!r} is reserved by {holder!r}"
+            )
+        if holder == user_name:
+            return  # idempotent
+        workspace = self.workspace_for(user_name)
+        self._db.link("reserves", workspace.oid, cell_version.oid)
+        self.granted_reservations += 1
+
+    def release(self, user_name: str, cell_version: JCFCellVersion) -> None:
+        """Drop the reservation without publishing."""
+        self._require_holder(user_name, cell_version)
+        workspace = self.workspace_for(user_name)
+        self._db.unlink("reserves", workspace.oid, cell_version.oid)
+
+    def publish(self, user_name: str, cell_version: JCFCellVersion) -> None:
+        """Finish work: publish the cell version and release it.
+
+        Published data becomes readable by everyone and writable by
+        no one; further changes need a new cell version.
+        """
+        self._require_holder(user_name, cell_version)
+        workspace = self.workspace_for(user_name)
+        with self._db.transaction():
+            cell_version.publish()
+            self._db.unlink("reserves", workspace.oid, cell_version.oid)
+
+    # -- access predicates -----------------------------------------------------------
+
+    def can_write(self, user_name: str, cell_version: JCFCellVersion) -> bool:
+        """Writable only inside the reserving user's workspace."""
+        return (
+            not cell_version.published
+            and self.reserved_by(cell_version) == user_name
+        )
+
+    def can_read(self, user_name: str, cell_version: JCFCellVersion) -> bool:
+        """Published data is readable by all; reserved data by its holder."""
+        if cell_version.published:
+            return True
+        return self.reserved_by(cell_version) == user_name
+
+    def reservations_of(self, user_name: str) -> List[JCFCellVersion]:
+        workspace = self.workspace_for(user_name)
+        return [
+            JCFCellVersion(self._db, obj)
+            for obj in self._db.targets("reserves", workspace.oid)
+        ]
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _require_holder(
+        self, user_name: str, cell_version: JCFCellVersion
+    ) -> None:
+        holder = self.reserved_by(cell_version)
+        if holder != user_name:
+            raise WorkspaceError(
+                f"cell version {cell_version.number} is not reserved by "
+                f"{user_name!r} (holder: {holder!r})"
+            )
+
+    def _require_authorized(
+        self, user_name: str, cell_version: JCFCellVersion
+    ) -> None:
+        team = cell_version.attached_team()
+        if team is not None:
+            if self._resources.is_member(user_name, team.get("name")):
+                return
+            raise AuthorizationError(
+                f"user {user_name!r} is not a member of team "
+                f"{team.get('name')!r} attached to this cell version"
+            )
+        project_oid = cell_version.cell.project_oid
+        if not self._resources.user_may_work_on(user_name, project_oid):
+            raise AuthorizationError(
+                f"user {user_name!r} belongs to no team supporting the "
+                "owning project"
+            )
+
+    # -- statistics -----------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "granted": self.granted_reservations,
+            "denied": self.denied_reservations,
+        }

@@ -1,0 +1,38 @@
+"""OMS — a re-implementation of the CADLAB object-oriented database kernel.
+
+JCF 3.0 stores both metadata and design data in a common object-oriented
+database called OMS (paper Section 2.1, [Meck92]).  Two architectural
+properties matter for the reproduction and are enforced here:
+
+* **Typed schema.**  Metadata lives as schema-checked objects with typed
+  attributes and cardinality-checked relationships (the Figure 1 model is
+  expressed on top of this kernel by :mod:`repro.jcf`).
+* **Closed interface.**  There is no public procedural interface; design
+  data enters and leaves the database only by whole-file copies through a
+  UNIX staging directory (:class:`~repro.oms.storage.StagingArea`).  This
+  is the property that makes read-only access to large designs expensive
+  (paper Section 3.6).
+"""
+
+from repro.oms.schema import AttributeDef, EntityType, RelationshipDef, Schema
+from repro.oms.objects import OMSObject
+from repro.oms.database import OMSDatabase
+from repro.oms.transactions import Transaction
+from repro.oms.query import QueryEngine
+from repro.oms.storage import StagingArea, StagedFile
+from repro.oms.snapshot import dump_snapshot, restore_snapshot
+
+__all__ = [
+    "AttributeDef",
+    "EntityType",
+    "RelationshipDef",
+    "Schema",
+    "OMSObject",
+    "OMSDatabase",
+    "Transaction",
+    "QueryEngine",
+    "StagingArea",
+    "StagedFile",
+    "dump_snapshot",
+    "restore_snapshot",
+]

@@ -1,0 +1,300 @@
+"""The OMS database: object storage, links, transactions, closed interface."""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.clock import SimClock
+from repro.errors import (
+    ClosedInterfaceError,
+    RelationshipError,
+    UnknownObjectError,
+)
+from repro.ids import IdAllocator
+from repro.oms.objects import OMSObject
+from repro.oms.schema import RelationshipDef, Schema
+from repro.oms.transactions import Transaction
+
+
+class DirectAccess:
+    """Procedural access to stored payloads, bypassing file staging.
+
+    JCF 3.0 does **not** offer this ("Direct access to the internal
+    structure of the stored data by an appropriate interface is not
+    possible", Section 2.1); the paper's future work (Section 3.3)
+    envisages exactly such a procedural interface.  It exists here purely
+    as the ablation arm of the Section 3.6 performance experiment and is
+    only reachable when the database was built with
+    ``enable_procedural_interface=True``.
+    """
+
+    def __init__(self, database: "OMSDatabase") -> None:
+        self._database = database
+
+    def read_payload(self, oid: str) -> Optional[bytes]:
+        """Read a design-data payload in place — no copy, metadata cost only."""
+        obj = self._database.get(oid)
+        self._database.clock.charge_metadata_op()
+        return obj.payload
+
+    def write_payload(self, oid: str, payload: bytes) -> None:
+        """Write a design-data payload in place."""
+        self._database.set_payload(oid, payload)
+        self._database.clock.charge_metadata_op()
+
+
+class OMSDatabase:
+    """Schema-checked object store with links, transactions and staging.
+
+    All mutating primitives journal their inverses into the active
+    transaction (if any), so a JCF desktop operation that fails midway
+    rolls back atomically.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        clock: Optional[SimClock] = None,
+        allocator: Optional[IdAllocator] = None,
+        enable_procedural_interface: bool = False,
+        policy: Optional[Dict[str, bool]] = None,
+    ) -> None:
+        self.schema = schema
+        self.clock = clock or SimClock()
+        self._allocator = allocator or IdAllocator()
+        self._objects: Dict[str, OMSObject] = {}
+        #: rel_name -> set of (source_oid, target_oid)
+        self._links: Dict[str, Set[Tuple[str, str]]] = {}
+        self._active_txn: Optional[Transaction] = None
+        self._procedural_interface_enabled = enable_procedural_interface
+        #: framework policy switches consulted by the typed wrappers
+        #: (e.g. the cross-project-sharing future-work extension)
+        self.policy: Dict[str, bool] = dict(policy or {})
+
+    # -- transactions ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """Run a block atomically; rolls back all mutations on exception."""
+        if self._active_txn is not None:
+            # Nested blocks join the outer transaction: the outermost
+            # commit/abort decides the fate of everything.
+            yield self._active_txn
+            return
+        txn = Transaction(self._allocator.allocate("txn"))
+        self._active_txn = txn
+        try:
+            yield txn
+        except BaseException:
+            self._active_txn = None
+            txn.abort()
+            raise
+        else:
+            self._active_txn = None
+            txn.commit()
+
+    def _journal(self, undo: Callable[[], None]) -> None:
+        if self._active_txn is not None:
+            self._active_txn.record_undo(undo)
+
+    # -- object lifecycle -------------------------------------------------------
+
+    def create(
+        self,
+        type_name: str,
+        values: Optional[Dict[str, Any]] = None,
+        payload: Optional[bytes] = None,
+    ) -> OMSObject:
+        """Create and store a new object of entity type *type_name*."""
+        entity = self.schema.entity(type_name)
+        complete = entity.validate_values(values or {})
+        oid = self._allocator.allocate(type_name)
+        obj = OMSObject(oid, entity, complete, payload)
+        self._objects[oid] = obj
+        self.clock.charge_metadata_op()
+        self._journal(lambda: self._objects.pop(oid, None))
+        return obj
+
+    def get(self, oid: str) -> OMSObject:
+        """Return the live object with id *oid*."""
+        obj = self._objects.get(oid)
+        if obj is None or obj.deleted:
+            raise UnknownObjectError(f"no such object: {oid!r}")
+        return obj
+
+    def exists(self, oid: str) -> bool:
+        obj = self._objects.get(oid)
+        return obj is not None and not obj.deleted
+
+    def delete(self, oid: str) -> None:
+        """Delete an object and all links touching it."""
+        obj = self.get(oid)
+        removed_links: List[Tuple[str, Tuple[str, str]]] = []
+        for rel_name, pairs in self._links.items():
+            touching = [pair for pair in pairs if oid in pair]
+            for pair in touching:
+                pairs.discard(pair)
+                removed_links.append((rel_name, pair))
+        del self._objects[oid]
+        self.clock.charge_metadata_op()
+
+        def undo() -> None:
+            self._objects[oid] = obj
+            for rel_name, pair in removed_links:
+                self._links.setdefault(rel_name, set()).add(pair)
+
+        self._journal(undo)
+
+    def set_attr(self, oid: str, name: str, value: Any) -> None:
+        """Schema-checked attribute update."""
+        obj = self.get(oid)
+        previous = obj._set(name, value)
+        self.clock.charge_metadata_op()
+        self._journal(lambda: obj._set(name, previous))
+
+    def set_payload(self, oid: str, payload: Optional[bytes]) -> None:
+        """Replace an object's design-data payload (journalled)."""
+        obj = self.get(oid)
+        previous = obj.payload
+        obj.payload = payload
+
+        def undo() -> None:
+            obj.payload = previous
+
+        self._journal(undo)
+
+    # -- links ---------------------------------------------------------------
+
+    def _check_cardinality(
+        self, rel: RelationshipDef, source_oid: str, target_oid: str
+    ) -> None:
+        pairs = self._links.get(rel.name, set())
+        if rel.cardinality in ("1:1", "1:N"):
+            # each target may have at most one source
+            for src, dst in pairs:
+                if dst == target_oid and src != source_oid:
+                    raise RelationshipError(
+                        f"{rel.name}: target {target_oid} already linked "
+                        f"from {src} (cardinality {rel.cardinality})"
+                    )
+        if rel.cardinality in ("1:1", "N:1"):
+            # each source may have at most one target
+            for src, dst in pairs:
+                if src == source_oid and dst != target_oid:
+                    raise RelationshipError(
+                        f"{rel.name}: source {source_oid} already linked "
+                        f"to {dst} (cardinality {rel.cardinality})"
+                    )
+
+    def link(self, rel_name: str, source_oid: str, target_oid: str) -> None:
+        """Create a typed, cardinality-checked link between two objects."""
+        rel = self.schema.relationship(rel_name)
+        source = self.get(source_oid)
+        target = self.get(target_oid)
+        if source.type_name != rel.source_type:
+            raise RelationshipError(
+                f"{rel_name}: source must be {rel.source_type!r}, "
+                f"got {source.type_name!r}"
+            )
+        if target.type_name != rel.target_type:
+            raise RelationshipError(
+                f"{rel_name}: target must be {rel.target_type!r}, "
+                f"got {target.type_name!r}"
+            )
+        self._check_cardinality(rel, source_oid, target_oid)
+        pairs = self._links.setdefault(rel_name, set())
+        pair = (source_oid, target_oid)
+        if pair in pairs:
+            return  # idempotent
+        pairs.add(pair)
+        self.clock.charge_metadata_op()
+        self._journal(lambda: pairs.discard(pair))
+
+    def unlink(self, rel_name: str, source_oid: str, target_oid: str) -> None:
+        """Remove a link; raises if it does not exist."""
+        self.schema.relationship(rel_name)
+        pairs = self._links.get(rel_name, set())
+        pair = (source_oid, target_oid)
+        if pair not in pairs:
+            raise RelationshipError(
+                f"{rel_name}: no link {source_oid} -> {target_oid}"
+            )
+        pairs.discard(pair)
+        self.clock.charge_metadata_op()
+        self._journal(lambda: pairs.add(pair))
+
+    def linked(self, rel_name: str, source_oid: str, target_oid: str) -> bool:
+        self.schema.relationship(rel_name)
+        return (source_oid, target_oid) in self._links.get(rel_name, set())
+
+    def targets(self, rel_name: str, source_oid: str) -> List[OMSObject]:
+        """Objects reachable from *source_oid* over *rel_name* (stable order)."""
+        self.schema.relationship(rel_name)
+        pairs = self._links.get(rel_name, set())
+        oids = sorted(dst for src, dst in pairs if src == source_oid)
+        return [self.get(oid) for oid in oids]
+
+    def sources(self, rel_name: str, target_oid: str) -> List[OMSObject]:
+        """Objects linking to *target_oid* over *rel_name* (stable order)."""
+        self.schema.relationship(rel_name)
+        pairs = self._links.get(rel_name, set())
+        oids = sorted(src for src, dst in pairs if dst == target_oid)
+        return [self.get(oid) for oid in oids]
+
+    # -- queries ----------------------------------------------------------------
+
+    def select(
+        self,
+        type_name: str,
+        predicate: Optional[Callable[[OMSObject], bool]] = None,
+    ) -> List[OMSObject]:
+        """All live objects of *type_name*, optionally filtered, id-ordered."""
+        self.schema.entity(type_name)  # raises on unknown type
+        matches = [
+            obj
+            for oid, obj in sorted(self._objects.items())
+            if obj.type_name == type_name and (predicate is None or predicate(obj))
+        ]
+        return matches
+
+    def count(self, type_name: str) -> int:
+        return len(self.select(type_name))
+
+    # -- closed interface (Section 2.1 / Section 3.6 ablation) -------------------
+
+    def procedural_interface(self) -> DirectAccess:
+        """Return direct payload access — only in the future-work ablation.
+
+        JCF 3.0 keeps OMS closed; calling this on a default-configured
+        database raises :class:`ClosedInterfaceError`, exactly as the 1995
+        encapsulation had to fall back to file staging.
+        """
+        if not self._procedural_interface_enabled:
+            raise ClosedInterfaceError(
+                "JCF 3.0 provides no procedural interface to OMS; design "
+                "data must be staged through the UNIX file system "
+                "(enable_procedural_interface=True simulates the paper's "
+                "future-work extension)"
+            )
+        return DirectAccess(self)
+
+    # -- statistics ---------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Counts by entity type and total payload bytes (for experiments)."""
+        by_type: Dict[str, int] = {}
+        payload_bytes = 0
+        for obj in self._objects.values():
+            by_type[obj.type_name] = by_type.get(obj.type_name, 0) + 1
+            payload_bytes += obj.payload_size
+        return {
+            "objects": len(self._objects),
+            "by_type": by_type,
+            "links": {
+                name: len(pairs)
+                for name, pairs in self._links.items()
+                if pairs
+            },
+            "payload_bytes": payload_bytes,
+        }

@@ -1,0 +1,76 @@
+"""Live objects managed by the OMS database."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import SchemaError
+from repro.oms.schema import EntityType
+
+
+class OMSObject:
+    """One persistent object: an instance of an :class:`EntityType`.
+
+    Attribute reads go through :meth:`get`; attribute writes must go
+    through the owning database so they are schema-checked and journalled
+    by the active transaction.  Design-data payloads (the actual contents
+    of design files) live in ``payload`` as raw bytes — OMS stores design
+    data as opaque blobs that are only reachable via file staging.
+    """
+
+    __slots__ = ("oid", "entity_type", "_values", "payload", "_deleted")
+
+    def __init__(
+        self,
+        oid: str,
+        entity_type: EntityType,
+        values: Dict[str, Any],
+        payload: Optional[bytes] = None,
+    ) -> None:
+        self.oid = oid
+        self.entity_type = entity_type
+        self._values = dict(values)
+        self.payload = payload
+        self._deleted = False
+
+    # -- attribute access ----------------------------------------------------
+
+    def get(self, name: str) -> Any:
+        """Return the value of attribute *name* (schema-checked name)."""
+        self.entity_type.attribute(name)  # raises SchemaError if unknown
+        return self._values.get(name)
+
+    def values(self) -> Dict[str, Any]:
+        """A copy of all attribute values."""
+        return dict(self._values)
+
+    # -- internal, used only by OMSDatabase ----------------------------------
+
+    def _set(self, name: str, value: Any) -> Any:
+        """Set attribute *name*; returns the previous value (for journals)."""
+        attr = self.entity_type.attribute(name)
+        if value is not None:
+            attr.validate(value)
+        elif attr.required:
+            raise SchemaError(
+                f"attribute {name!r} of {self.entity_type.name!r} is required"
+            )
+        previous = self._values.get(name)
+        self._values[name] = value
+        return previous
+
+    @property
+    def payload_size(self) -> int:
+        """Size in bytes of the design-data payload (0 when absent)."""
+        return len(self.payload) if self.payload else 0
+
+    @property
+    def type_name(self) -> str:
+        return self.entity_type.name
+
+    @property
+    def deleted(self) -> bool:
+        return self._deleted
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<OMSObject {self.oid} type={self.type_name}>"

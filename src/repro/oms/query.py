@@ -1,0 +1,119 @@
+"""Graph queries over the OMS store.
+
+The JCF desktop needs reachability questions ("which design-object
+versions belong to this cell version's variant?", "what derives from this
+schematic version?").  ``QueryEngine`` provides typed traversals on top of
+the primitive link tables.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.oms.database import OMSDatabase
+from repro.oms.objects import OMSObject
+
+
+class QueryEngine:
+    """Read-only traversal helpers over an :class:`OMSDatabase`."""
+
+    def __init__(self, database: OMSDatabase) -> None:
+        self._db = database
+
+    # -- single-hop ------------------------------------------------------------
+
+    def children(self, rel_name: str, oid: str) -> List[OMSObject]:
+        """Alias for :meth:`OMSDatabase.targets` with query semantics."""
+        return self._db.targets(rel_name, oid)
+
+    def parents(self, rel_name: str, oid: str) -> List[OMSObject]:
+        """Alias for :meth:`OMSDatabase.sources`."""
+        return self._db.sources(rel_name, oid)
+
+    def only_child(self, rel_name: str, oid: str) -> Optional[OMSObject]:
+        """The unique target over *rel_name*, or None; raises on ambiguity."""
+        found = self._db.targets(rel_name, oid)
+        if not found:
+            return None
+        if len(found) > 1:
+            raise ValueError(
+                f"{rel_name}: expected at most one target of {oid}, "
+                f"found {len(found)}"
+            )
+        return found[0]
+
+    # -- reachability -----------------------------------------------------------
+
+    def reachable(
+        self,
+        start_oid: str,
+        rel_names: Sequence[str],
+        max_depth: Optional[int] = None,
+    ) -> List[OMSObject]:
+        """Breadth-first closure from *start_oid* over the given link types.
+
+        The start object itself is not included.  Order is breadth-first
+        with deterministic (sorted-id) tie-breaking.
+        """
+        seen: Set[str] = {start_oid}
+        order: List[OMSObject] = []
+        frontier = deque([(start_oid, 0)])
+        while frontier:
+            oid, depth = frontier.popleft()
+            if max_depth is not None and depth >= max_depth:
+                continue
+            next_oids: List[str] = []
+            for rel_name in rel_names:
+                next_oids.extend(
+                    obj.oid for obj in self._db.targets(rel_name, oid)
+                )
+            for next_oid in sorted(set(next_oids)):
+                if next_oid in seen:
+                    continue
+                seen.add(next_oid)
+                order.append(self._db.get(next_oid))
+                frontier.append((next_oid, depth + 1))
+        return order
+
+    def ancestors(
+        self, start_oid: str, rel_names: Sequence[str]
+    ) -> List[OMSObject]:
+        """Breadth-first closure following links *backwards*."""
+        seen: Set[str] = {start_oid}
+        order: List[OMSObject] = []
+        frontier = deque([start_oid])
+        while frontier:
+            oid = frontier.popleft()
+            prev_oids: List[str] = []
+            for rel_name in rel_names:
+                prev_oids.extend(obj.oid for obj in self._db.sources(rel_name, oid))
+            for prev_oid in sorted(set(prev_oids)):
+                if prev_oid in seen:
+                    continue
+                seen.add(prev_oid)
+                order.append(self._db.get(prev_oid))
+                frontier.append(prev_oid)
+        return order
+
+    def path_exists(
+        self, source_oid: str, target_oid: str, rel_names: Sequence[str]
+    ) -> bool:
+        """True when *target_oid* is forward-reachable from *source_oid*."""
+        return any(
+            obj.oid == target_oid
+            for obj in self.reachable(source_oid, rel_names)
+        )
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def group_by(
+        self,
+        type_name: str,
+        key: Callable[[OMSObject], str],
+    ) -> Dict[str, List[OMSObject]]:
+        """Group all objects of *type_name* by a computed key."""
+        groups: Dict[str, List[OMSObject]] = {}
+        for obj in self._db.select(type_name):
+            groups.setdefault(key(obj), []).append(obj)
+        return groups

@@ -1,0 +1,277 @@
+"""Schema definitions for the OMS object store.
+
+A schema is a set of entity types (with typed attributes) and relationship
+types (with endpoint types and cardinalities).  JCF and FMCAD both express
+their Figure 1 / Figure 2 information models as OMS schemas, which lets
+the ``bench_models`` benchmark regenerate those figures by introspection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Tuple, Type
+
+from repro.errors import AttributeTypeError, SchemaError
+
+#: Attribute types supported by the kernel, by schema name.
+_ATTRIBUTE_TYPES: Dict[str, Tuple[Type, ...]] = {
+    "str": (str,),
+    "int": (int,),
+    "float": (int, float),
+    "bool": (bool,),
+    "bytes": (bytes,),
+    "list": (list, tuple),
+    "dict": (dict,),
+}
+
+#: Relationship cardinalities.  ``"1:N"`` means one source object may link
+#: to many targets while each target has at most one source.
+CARDINALITIES = ("1:1", "1:N", "N:1", "M:N")
+
+
+@dataclasses.dataclass(frozen=True)
+class AttributeDef:
+    """Declaration of one typed attribute of an entity type."""
+
+    name: str
+    type_name: str
+    required: bool = False
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if self.type_name not in _ATTRIBUTE_TYPES:
+            raise SchemaError(
+                f"attribute {self.name!r}: unknown type {self.type_name!r}; "
+                f"expected one of {sorted(_ATTRIBUTE_TYPES)}"
+            )
+        if self.default is not None:
+            self.validate(self.default)
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`AttributeTypeError` if *value* is ill-typed."""
+        if value is None:
+            if self.required:
+                raise AttributeTypeError(
+                    f"attribute {self.name!r} is required and cannot be None"
+                )
+            return
+        expected = _ATTRIBUTE_TYPES[self.type_name]
+        # bool is a subclass of int; keep int attributes strictly numeric.
+        if self.type_name in ("int", "float") and isinstance(value, bool):
+            raise AttributeTypeError(
+                f"attribute {self.name!r}: expected {self.type_name}, got bool"
+            )
+        if not isinstance(value, expected):
+            raise AttributeTypeError(
+                f"attribute {self.name!r}: expected {self.type_name}, "
+                f"got {type(value).__name__}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class EntityType:
+    """Declaration of one entity type (a node of the information model)."""
+
+    name: str
+    attributes: Tuple[AttributeDef, ...] = ()
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for attr in self.attributes:
+            if attr.name in seen:
+                raise SchemaError(
+                    f"entity {self.name!r}: duplicate attribute {attr.name!r}"
+                )
+            seen.add(attr.name)
+
+    def attribute(self, name: str) -> AttributeDef:
+        """Return the attribute definition named *name*."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"entity {self.name!r} has no attribute {name!r}")
+
+    def attribute_names(self) -> List[str]:
+        return [attr.name for attr in self.attributes]
+
+    def validate_values(self, values: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate and complete *values* against this entity type.
+
+        Unknown attribute names are rejected; missing optional attributes
+        receive their defaults; missing required attributes raise.
+        """
+        known = {attr.name for attr in self.attributes}
+        unknown = set(values) - known
+        if unknown:
+            raise SchemaError(
+                f"entity {self.name!r}: unknown attributes {sorted(unknown)}"
+            )
+        complete: Dict[str, Any] = {}
+        for attr in self.attributes:
+            value = values.get(attr.name, attr.default)
+            if value is None and attr.required:
+                raise AttributeTypeError(
+                    f"entity {self.name!r}: attribute {attr.name!r} is required"
+                )
+            if value is not None:
+                attr.validate(value)
+            complete[attr.name] = value
+        return complete
+
+
+@dataclasses.dataclass(frozen=True)
+class RelationshipDef:
+    """Declaration of one relationship type (an edge of the model)."""
+
+    name: str
+    source_type: str
+    target_type: str
+    cardinality: str = "M:N"
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cardinality not in CARDINALITIES:
+            raise SchemaError(
+                f"relationship {self.name!r}: cardinality {self.cardinality!r} "
+                f"not in {CARDINALITIES}"
+            )
+
+
+class Schema:
+    """A named collection of entity and relationship types."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._entities: Dict[str, EntityType] = {}
+        self._relationships: Dict[str, RelationshipDef] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_entity(self, entity: EntityType) -> EntityType:
+        if entity.name in self._entities:
+            raise SchemaError(f"duplicate entity type {entity.name!r}")
+        self._entities[entity.name] = entity
+        return entity
+
+    def define_entity(
+        self,
+        name: str,
+        attributes: Iterable[AttributeDef] = (),
+        doc: str = "",
+    ) -> EntityType:
+        """Convenience wrapper building and adding an :class:`EntityType`."""
+        return self.add_entity(EntityType(name, tuple(attributes), doc))
+
+    def add_relationship(self, rel: RelationshipDef) -> RelationshipDef:
+        if rel.name in self._relationships:
+            raise SchemaError(f"duplicate relationship type {rel.name!r}")
+        for endpoint in (rel.source_type, rel.target_type):
+            if endpoint not in self._entities:
+                raise SchemaError(
+                    f"relationship {rel.name!r}: unknown entity {endpoint!r}"
+                )
+        self._relationships[rel.name] = rel
+        return rel
+
+    def define_relationship(
+        self,
+        name: str,
+        source_type: str,
+        target_type: str,
+        cardinality: str = "M:N",
+        doc: str = "",
+    ) -> RelationshipDef:
+        """Convenience wrapper building and adding a :class:`RelationshipDef`."""
+        return self.add_relationship(
+            RelationshipDef(name, source_type, target_type, cardinality, doc)
+        )
+
+    # -- lookup --------------------------------------------------------------
+
+    def entity(self, name: str) -> EntityType:
+        try:
+            return self._entities[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no entity type {name!r}"
+            ) from None
+
+    def relationship(self, name: str) -> RelationshipDef:
+        try:
+            return self._relationships[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no relationship type {name!r}"
+            ) from None
+
+    def entity_names(self) -> List[str]:
+        return sorted(self._entities)
+
+    def relationship_names(self) -> List[str]:
+        return sorted(self._relationships)
+
+    def relationships_of(self, entity_name: str) -> List[RelationshipDef]:
+        """All relationship types touching *entity_name* (either endpoint)."""
+        return [
+            rel
+            for rel in self._relationships.values()
+            if entity_name in (rel.source_type, rel.target_type)
+        ]
+
+    # -- introspection (used to regenerate Figures 1 and 2) -------------------
+
+    def to_dot(self, title: str = "") -> str:
+        """Render the schema as a Graphviz DOT entity-relationship graph.
+
+        ``dot -Tpdf`` on the output literally regenerates the paper's
+        information-architecture figure for this model.
+        """
+        lines = [
+            "digraph schema {",
+            "  rankdir=LR;",
+            "  node [shape=record, fontsize=10];",
+        ]
+        if title:
+            lines.append(f'  label="{title}"; labelloc=t;')
+        for entity in sorted(self._entities.values(),
+                             key=lambda e: e.name):
+            attrs = "\\l".join(
+                f"{a.name}: {a.type_name}" for a in entity.attributes
+            )
+            label = entity.name if not attrs else (
+                f"{{{entity.name}|{attrs}\\l}}"
+            )
+            lines.append(f'  "{entity.name}" [label="{label}"];')
+        for rel in sorted(self._relationships.values(),
+                          key=lambda r: r.name):
+            lines.append(
+                f'  "{rel.source_type}" -> "{rel.target_type}" '
+                f'[label="{rel.name}\\n({rel.cardinality})", fontsize=8];'
+            )
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def describe(self) -> Dict[str, Any]:
+        """Return a JSON-friendly description of the whole schema."""
+        return {
+            "name": self.name,
+            "entities": {
+                ent.name: {
+                    "doc": ent.doc,
+                    "attributes": {
+                        a.name: a.type_name for a in ent.attributes
+                    },
+                }
+                for ent in self._entities.values()
+            },
+            "relationships": {
+                rel.name: {
+                    "source": rel.source_type,
+                    "target": rel.target_type,
+                    "cardinality": rel.cardinality,
+                    "doc": rel.doc,
+                }
+                for rel in self._relationships.values()
+            },
+        }

@@ -1,0 +1,121 @@
+"""Snapshot persistence for the OMS database.
+
+[Meck92] describes OMS as a persistent distributed kernel; for the
+reproduction the property that matters is durability across framework
+restarts.  ``dump_snapshot`` serialises the complete object graph
+(objects, typed attributes, payloads, links) to JSON bytes;
+``restore_snapshot`` rebuilds a database with identical object ids so
+every stored JCF reference (including ``jcf_oid`` tags in FMCAD
+properties) survives a restart.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Optional
+
+from repro.clock import SimClock
+from repro.errors import OMSError
+from repro.oms.database import OMSDatabase
+from repro.oms.objects import OMSObject
+from repro.oms.schema import Schema
+
+FORMAT = "repro-oms-snapshot-1"
+
+
+def dump_snapshot(database: OMSDatabase) -> bytes:
+    """Serialise the whole database (schema-agnostic object graph)."""
+    objects = []
+    for oid in sorted(database._objects):
+        obj = database._objects[oid]
+        payload = (
+            base64.b64encode(obj.payload).decode("ascii")
+            if obj.payload is not None
+            else None
+        )
+        objects.append({
+            "oid": oid,
+            "type": obj.type_name,
+            "values": obj.values(),
+            "payload": payload,
+        })
+    links = {
+        rel_name: sorted(list(pair) for pair in pairs)
+        for rel_name, pairs in database._links.items()
+        if pairs
+    }
+    doc = {
+        "format": FORMAT,
+        "schema": database.schema.name,
+        "objects": objects,
+        "links": links,
+        "policy": database.policy,
+    }
+    return json.dumps(doc, sort_keys=True, indent=1).encode("utf-8")
+
+
+def restore_snapshot(
+    schema: Schema,
+    data: bytes,
+    clock: Optional[SimClock] = None,
+    enable_procedural_interface: bool = False,
+) -> OMSDatabase:
+    """Rebuild a database from :func:`dump_snapshot` output.
+
+    Object ids are preserved exactly; the id allocator is fast-forwarded
+    so new objects never collide with restored ones.  The snapshot's
+    schema name must match *schema* — restoring a JCF snapshot into an
+    FMCAD-shaped schema is a hard error, not a best effort.
+    """
+    try:
+        doc = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise OMSError(f"corrupt snapshot: {exc}") from exc
+    if doc.get("format") != FORMAT:
+        raise OMSError(
+            f"not an OMS snapshot (format={doc.get('format')!r})"
+        )
+    if doc.get("schema") != schema.name:
+        raise OMSError(
+            f"snapshot is of schema {doc.get('schema')!r}, "
+            f"not {schema.name!r}"
+        )
+    database = OMSDatabase(
+        schema,
+        clock=clock,
+        enable_procedural_interface=enable_procedural_interface,
+        policy=doc.get("policy") or {},
+    )
+    for entry in doc["objects"]:
+        entity = schema.entity(entry["type"])
+        values = entity.validate_values(
+            {k: _json_value(v) for k, v in entry["values"].items()
+             if v is not None}
+        )
+        payload = (
+            base64.b64decode(entry["payload"])
+            if entry["payload"] is not None
+            else None
+        )
+        obj = OMSObject(entry["oid"], entity, values, payload)
+        database._objects[entry["oid"]] = obj
+        database._allocator.observe(entry["oid"])
+    for rel_name, pairs in doc["links"].items():
+        schema.relationship(rel_name)  # validates existence
+        for source_oid, target_oid in pairs:
+            if not (database.exists(source_oid)
+                    and database.exists(target_oid)):
+                raise OMSError(
+                    f"snapshot link {rel_name} references missing "
+                    f"objects: {source_oid} -> {target_oid}"
+                )
+            database._links.setdefault(rel_name, set()).add(
+                (source_oid, target_oid)
+            )
+    return database
+
+
+def _json_value(value):
+    """JSON round-trips tuples to lists; schema 'list' accepts both."""
+    return value

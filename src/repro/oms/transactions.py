@@ -1,0 +1,69 @@
+"""Transactions over the OMS object store.
+
+OMS is described as a distributed object-oriented database kernel
+[Meck92]; for the behaviours the paper evaluates, what matters is that
+JCF metadata updates are atomic — a failed desktop operation must not
+leave half-linked cells behind.  ``Transaction`` records inverse
+operations and plays them back on abort.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.errors import TransactionError
+
+
+class Transaction:
+    """An undo-journal transaction.
+
+    Used as a context manager via :meth:`repro.oms.database.OMSDatabase.
+    transaction`; commits on clean exit and rolls back when the body
+    raises.  Journal entries are zero-argument callables that undo one
+    primitive database mutation.
+    """
+
+    def __init__(self, txn_id: str) -> None:
+        self.txn_id = txn_id
+        self._journal: List[Callable[[], None]] = []
+        self._state = "active"
+
+    # -- journal -------------------------------------------------------------
+
+    def record_undo(self, undo: Callable[[], None]) -> None:
+        """Register the inverse of one primitive mutation."""
+        if self._state != "active":
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self._state}; cannot record"
+            )
+        self._journal.append(undo)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``"active"``, ``"committed"`` or ``"aborted"``."""
+        return self._state
+
+    @property
+    def journal_length(self) -> int:
+        return len(self._journal)
+
+    def commit(self) -> None:
+        if self._state != "active":
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self._state}; cannot commit"
+            )
+        self._journal.clear()
+        self._state = "committed"
+
+    def abort(self) -> None:
+        """Undo every journalled mutation, most recent first."""
+        if self._state != "active":
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self._state}; cannot abort"
+            )
+        while self._journal:
+            undo = self._journal.pop()
+            undo()
+        self._state = "aborted"

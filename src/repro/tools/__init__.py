@@ -1,0 +1,19 @@
+"""The three FMCAD design tools the 1995 encapsulation scenario contains.
+
+Section 2.4 lists them: a schematic entry tool, a layout entry tool and a
+digital simulator.  Each is implemented as a genuine tool (data model,
+editor operations, file format) so the coupling layer has real design
+data to version, stage, derive and keep consistent.
+"""
+
+from repro.tools.schematic import Schematic, SchematicEditor
+from repro.tools.layout import Layout, LayoutEditor
+from repro.tools.simulator import LogicSimulator
+
+__all__ = [
+    "Schematic",
+    "SchematicEditor",
+    "Layout",
+    "LayoutEditor",
+    "LogicSimulator",
+]

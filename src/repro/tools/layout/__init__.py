@@ -1,0 +1,31 @@
+"""Layout entry — the second encapsulated FMCAD tool.
+
+Rectangle-based mask geometry on named layers, cell placement hierarchy
+(the *physical* hierarchy, which may legitimately differ from the
+schematic hierarchy — the non-isomorphism of Sections 2.3/3.3), a DRC
+checker and a connectivity extractor used for cross-probing and LVS-lite
+consistency checks.
+"""
+
+from repro.tools.layout.geometry import LAYERS, Rect
+from repro.tools.layout.editor import Instance, Label, Layout, LayoutEditor
+from repro.tools.layout.drc import DesignRules, DRCViolation, run_drc
+from repro.tools.layout.extract import ExtractedNet, extract_connectivity, lvs_compare
+from repro.tools.layout.metrics import LayoutMetrics, compute_metrics
+
+__all__ = [
+    "LAYERS",
+    "Rect",
+    "Instance",
+    "Label",
+    "Layout",
+    "LayoutEditor",
+    "DesignRules",
+    "DRCViolation",
+    "run_drc",
+    "ExtractedNet",
+    "extract_connectivity",
+    "lvs_compare",
+    "LayoutMetrics",
+    "compute_metrics",
+]

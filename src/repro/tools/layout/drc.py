@@ -1,0 +1,120 @@
+"""Design-rule checking (DRC-lite).
+
+Per-layer minimum width and minimum spacing.  The flow can require a
+clean DRC before a layout version may be checked in, giving the forced
+flows of Section 3.5 a physical quality gate too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.tools.layout.editor import Layout
+from repro.tools.layout.geometry import LAYERS, Rect
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignRules:
+    """Minimum feature sizes per layer (database units)."""
+
+    min_width: Dict[str, int] = dataclasses.field(
+        default_factory=lambda: {
+            "nwell": 6,
+            "diff": 3,
+            "poly": 2,
+            "contact": 2,
+            "metal1": 3,
+            "via1": 2,
+            "metal2": 4,
+        }
+    )
+    min_spacing: Dict[str, int] = dataclasses.field(
+        default_factory=lambda: {
+            "nwell": 6,
+            "diff": 3,
+            "poly": 3,
+            "contact": 2,
+            "metal1": 3,
+            "via1": 3,
+            "metal2": 4,
+        }
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class DRCViolation:
+    """One rule violation."""
+
+    rule: str           # "width" or "spacing"
+    layer: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}[{self.layer}]: {self.detail}"
+
+
+def run_drc(
+    layout: Layout,
+    rules: Optional[DesignRules] = None,
+    resolver: Optional[Callable[[str], Layout]] = None,
+) -> List[DRCViolation]:
+    """Check the (flattened) layout against *rules*.
+
+    Hierarchical layouts need a *resolver* so placed subcells are checked
+    in context; flat layouts work without one.
+    """
+    rules = rules or DesignRules()
+    if layout.instances():
+        rects = layout.flatten(resolver)
+    else:
+        rects = list(layout.rects)
+    violations: List[DRCViolation] = []
+    violations.extend(_check_widths(rects, rules))
+    violations.extend(_check_spacing(rects, rules))
+    return violations
+
+
+def _check_widths(rects: List[Rect], rules: DesignRules) -> List[DRCViolation]:
+    violations = []
+    for rect in rects:
+        minimum = rules.min_width.get(rect.layer)
+        if minimum is not None and rect.width < minimum:
+            violations.append(
+                DRCViolation(
+                    rule="width",
+                    layer=rect.layer,
+                    detail=(
+                        f"rect {rect.bbox} width {rect.width} < {minimum}"
+                    ),
+                )
+            )
+    return violations
+
+
+def _check_spacing(rects: List[Rect], rules: DesignRules) -> List[DRCViolation]:
+    violations = []
+    by_layer: Dict[str, List[Rect]] = {layer: [] for layer in LAYERS}
+    for rect in rects:
+        by_layer[rect.layer].append(rect)
+    for layer, group in by_layer.items():
+        minimum = rules.min_spacing.get(layer)
+        if minimum is None:
+            continue
+        for i, first in enumerate(group):
+            for second in group[i + 1:]:
+                if first.touches(second):
+                    continue  # same net geometry, not a spacing issue
+                gap = first.distance_to(second)
+                if gap < minimum:
+                    violations.append(
+                        DRCViolation(
+                            rule="spacing",
+                            layer=layer,
+                            detail=(
+                                f"rects {first.bbox} and {second.bbox} "
+                                f"gap {gap} < {minimum}"
+                            ),
+                        )
+                    )
+    return violations

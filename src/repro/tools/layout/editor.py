@@ -1,0 +1,231 @@
+"""The layout data model and entry tool."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import LayoutError
+from repro.tools.layout.geometry import Rect
+
+
+@dataclasses.dataclass(frozen=True)
+class Label:
+    """A text label naming the geometry under a point (net name)."""
+
+    text: str
+    layer: str
+    x: int
+    y: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Instance:
+    """A placement of another cell's layout at an offset.
+
+    Instances form the *physical* hierarchy of the design.
+    """
+
+    name: str
+    cellref: str
+    dx: int
+    dy: int
+
+
+class Layout:
+    """Mask geometry of one cell: rectangles, labels, subcell placements."""
+
+    def __init__(self, cell_name: str) -> None:
+        self.cell_name = cell_name
+        self.rects: List[Rect] = []
+        self.labels: List[Label] = []
+        self._instances: Dict[str, Instance] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add_rect(self, rect: Rect) -> Rect:
+        self.rects.append(rect)
+        return rect
+
+    def add_label(self, label: Label) -> Label:
+        self.labels.append(label)
+        return label
+
+    def place(self, instance: Instance) -> Instance:
+        if instance.name in self._instances:
+            raise LayoutError(f"duplicate instance {instance.name!r}")
+        if instance.cellref == self.cell_name:
+            raise LayoutError(
+                f"cell {self.cell_name!r} cannot place itself"
+            )
+        self._instances[instance.name] = instance
+        return instance
+
+    def unplace(self, name: str) -> None:
+        if name not in self._instances:
+            raise LayoutError(f"no instance {name!r}")
+        del self._instances[name]
+
+    def instances(self) -> List[Instance]:
+        return [self._instances[name] for name in sorted(self._instances)]
+
+    def instance(self, name: str) -> Instance:
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise LayoutError(f"no instance {name!r}") from None
+
+    def subcell_refs(self) -> List[str]:
+        """Referenced subcell names — the physical hierarchy edge list."""
+        return sorted({inst.cellref for inst in self._instances.values()})
+
+    # -- flattening ----------------------------------------------------------------
+
+    def flatten(
+        self,
+        resolver: Optional[Callable[[str], "Layout"]] = None,
+        max_depth: int = 32,
+    ) -> List[Rect]:
+        """All rectangles including placed subcells, translated into place."""
+        return self._flatten(resolver, 0, max_depth, 0, 0)
+
+    def _flatten(
+        self,
+        resolver: Optional[Callable[[str], "Layout"]],
+        depth: int,
+        max_depth: int,
+        dx: int,
+        dy: int,
+    ) -> List[Rect]:
+        if depth > max_depth:
+            raise LayoutError(
+                f"layout hierarchy deeper than {max_depth}; recursion?"
+            )
+        flat = [rect.translated(dx, dy) for rect in self.rects]
+        for instance in self.instances():
+            if resolver is None:
+                raise LayoutError(
+                    f"layout {self.cell_name!r} places "
+                    f"{instance.cellref!r} but no resolver was supplied"
+                )
+            child = resolver(instance.cellref)
+            flat.extend(
+                child._flatten(
+                    resolver, depth + 1, max_depth,
+                    dx + instance.dx, dy + instance.dy,
+                )
+            )
+        return flat
+
+    # -- serialisation (the 'layout' viewtype file format) ----------------------------
+
+    def to_bytes(self) -> bytes:
+        doc = {
+            "format": "repro-layout-1",
+            "cell": self.cell_name,
+            "rects": [
+                {"layer": r.layer, "x1": r.x1, "y1": r.y1,
+                 "x2": r.x2, "y2": r.y2}
+                for r in self.rects
+            ],
+            "labels": [
+                {"text": l.text, "layer": l.layer, "x": l.x, "y": l.y}
+                for l in self.labels
+            ],
+            "instances": [
+                {"name": i.name, "cellref": i.cellref,
+                 "dx": i.dx, "dy": i.dy}
+                for i in self.instances()
+            ],
+        }
+        return json.dumps(doc, sort_keys=True, indent=1).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Layout":
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise LayoutError(f"corrupt layout file: {exc}") from exc
+        if doc.get("format") != "repro-layout-1":
+            raise LayoutError(
+                f"not a layout file (format={doc.get('format')!r})"
+            )
+        layout = cls(doc["cell"])
+        for entry in doc["rects"]:
+            layout.add_rect(
+                Rect(entry["layer"], entry["x1"], entry["y1"],
+                     entry["x2"], entry["y2"])
+            )
+        for entry in doc["labels"]:
+            layout.add_label(
+                Label(entry["text"], entry["layer"], entry["x"], entry["y"])
+            )
+        for entry in doc["instances"]:
+            layout.place(
+                Instance(entry["name"], entry["cellref"],
+                         entry["dx"], entry["dy"])
+            )
+        return layout
+
+
+class LayoutEditor:
+    """Stateful layout entry tool, mirroring the schematic editor's shape."""
+
+    TOOL_NAME = "layout_editor"
+
+    def __init__(self, layout: Optional[Layout] = None) -> None:
+        self.layout = layout or Layout("untitled")
+        self.dirty = layout is None
+        self.op_log: List[str] = []
+
+    @classmethod
+    def open_bytes(cls, data: bytes) -> "LayoutEditor":
+        editor = cls(Layout.from_bytes(data))
+        editor.dirty = False
+        return editor
+
+    def save_bytes(self) -> bytes:
+        data = self.layout.to_bytes()
+        self.dirty = False
+        self._log("save")
+        return data
+
+    def new_design(self, cell_name: str) -> None:
+        self.layout = Layout(cell_name)
+        self.dirty = True
+        self._log(f"new {cell_name}")
+
+    def load(self, layout: Layout) -> None:
+        """Replace the working design with *layout* (import/paste)."""
+        self.layout = layout
+        self.dirty = True
+        self._log(f"load {layout.cell_name}")
+
+    def draw_rect(
+        self, layer: str, x1: int, y1: int, x2: int, y2: int
+    ) -> Rect:
+        rect = self.layout.add_rect(Rect(layer, x1, y1, x2, y2))
+        self.dirty = True
+        self._log(f"rect {layer} ({x1},{y1})-({x2},{y2})")
+        return rect
+
+    def add_label(self, text: str, layer: str, x: int, y: int) -> Label:
+        label = self.layout.add_label(Label(text, layer, x, y))
+        self.dirty = True
+        self._log(f"label {text}@{layer}({x},{y})")
+        return label
+
+    def place_cell(self, name: str, cellref: str, dx: int, dy: int) -> Instance:
+        instance = self.layout.place(Instance(name, cellref, dx, dy))
+        self.dirty = True
+        self._log(f"place {name} -> {cellref} @({dx},{dy})")
+        return instance
+
+    def remove_instance(self, name: str) -> None:
+        self.layout.unplace(name)
+        self.dirty = True
+        self._log(f"unplace {name}")
+
+    def _log(self, entry: str) -> None:
+        self.op_log.append(entry)

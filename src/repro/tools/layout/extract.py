@@ -1,0 +1,131 @@
+"""Connectivity extraction and LVS-lite comparison.
+
+Touching geometry on the same layer is one electrical node; labels name
+nodes.  ``lvs_compare`` checks extracted net names against a schematic's
+net names — the consistency hook cross-probing and the coupling's guard
+use to relate the physical view to the logical one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.tools.layout.editor import Layout
+from repro.tools.layout.geometry import Rect
+from repro.tools.schematic.model import Schematic
+
+
+class _UnionFind:
+    """Tiny disjoint-set over integer indices."""
+
+    def __init__(self, size: int) -> None:
+        self._parent = list(range(size))
+
+    def find(self, i: int) -> int:
+        while self._parent[i] != i:
+            self._parent[i] = self._parent[self._parent[i]]
+            i = self._parent[i]
+        return i
+
+    def union(self, i: int, j: int) -> None:
+        self._parent[self.find(i)] = self.find(j)
+
+
+@dataclasses.dataclass
+class ExtractedNet:
+    """One electrical node: its geometry and the labels naming it."""
+
+    index: int
+    rects: List[Rect]
+    names: Set[str]
+
+    @property
+    def name(self) -> Optional[str]:
+        """The unique label name, or None when unnamed/conflicting."""
+        return next(iter(self.names)) if len(self.names) == 1 else None
+
+
+def extract_connectivity(
+    layout: Layout,
+    resolver: Optional[Callable[[str], Layout]] = None,
+) -> List[ExtractedNet]:
+    """Group (flattened) geometry into electrical nodes and name them.
+
+    Only same-layer continuity is considered; vias/contacts join layers
+    when a via rectangle touches shapes on the layers it connects
+    (contact: diff/poly <-> metal1; via1: metal1 <-> metal2).
+    """
+    if layout.instances():
+        rects = layout.flatten(resolver)
+    else:
+        rects = list(layout.rects)
+    uf = _UnionFind(len(rects))
+    for i, first in enumerate(rects):
+        for j in range(i + 1, len(rects)):
+            second = rects[j]
+            if first.connected_to(second):
+                uf.union(i, j)
+            elif _via_joins(first, second) or _via_joins(second, first):
+                uf.union(i, j)
+
+    groups: Dict[int, List[int]] = {}
+    for i in range(len(rects)):
+        groups.setdefault(uf.find(i), []).append(i)
+
+    nets: List[ExtractedNet] = []
+    for index, (root, members) in enumerate(sorted(groups.items())):
+        group_rects = [rects[i] for i in members]
+        names: Set[str] = set()
+        for label in layout.labels:
+            for rect in group_rects:
+                if (
+                    rect.layer == label.layer
+                    and rect.contains_point(label.x, label.y)
+                ):
+                    names.add(label.text)
+        nets.append(ExtractedNet(index=index, rects=group_rects, names=names))
+    return nets
+
+
+_VIA_CONNECTS = {
+    "contact": ("diff", "poly", "metal1"),
+    "via1": ("metal1", "metal2"),
+}
+
+
+def _via_joins(via: Rect, other: Rect) -> bool:
+    layers = _VIA_CONNECTS.get(via.layer)
+    return bool(layers) and other.layer in layers and via.touches(other)
+
+
+@dataclasses.dataclass(frozen=True)
+class LVSReport:
+    """Outcome of the layout-vs-schematic name comparison."""
+
+    matched: List[str]
+    missing_in_layout: List[str]
+    unknown_in_layout: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.missing_in_layout and not self.unknown_in_layout
+
+
+def lvs_compare(
+    layout: Layout,
+    schematic: Schematic,
+    resolver: Optional[Callable[[str], Layout]] = None,
+) -> LVSReport:
+    """Compare extracted net names with the schematic's net names."""
+    extracted_names = {
+        net.name
+        for net in extract_connectivity(layout, resolver)
+        if net.name is not None
+    }
+    schematic_names = {net.name for net in schematic.nets()}
+    return LVSReport(
+        matched=sorted(extracted_names & schematic_names),
+        missing_in_layout=sorted(schematic_names - extracted_names),
+        unknown_in_layout=sorted(extracted_names - schematic_names),
+    )

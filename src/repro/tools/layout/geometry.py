@@ -1,0 +1,103 @@
+"""Rectangles and layers.
+
+Coordinates are integers in layout database units; rectangles are
+axis-aligned and normalised (x1 < x2, y1 < y2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.errors import LayoutError
+
+#: The process layers the layout tool knows.
+LAYERS = (
+    "nwell",
+    "diff",
+    "poly",
+    "contact",
+    "metal1",
+    "via1",
+    "metal2",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle on one layer."""
+
+    layer: str
+    x1: int
+    y1: int
+    x2: int
+    y2: int
+
+    def __post_init__(self) -> None:
+        if self.layer not in LAYERS:
+            raise LayoutError(
+                f"unknown layer {self.layer!r}; known: {LAYERS}"
+            )
+        if self.x1 >= self.x2 or self.y1 >= self.y2:
+            raise LayoutError(
+                f"degenerate rectangle ({self.x1},{self.y1})-"
+                f"({self.x2},{self.y2}); corners must be ordered"
+            )
+
+    # -- measures -----------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """The smaller dimension (what min-width rules constrain)."""
+        return min(self.x2 - self.x1, self.y2 - self.y1)
+
+    @property
+    def area(self) -> int:
+        return (self.x2 - self.x1) * (self.y2 - self.y1)
+
+    @property
+    def bbox(self) -> Tuple[int, int, int, int]:
+        return (self.x1, self.y1, self.x2, self.y2)
+
+    # -- relations ------------------------------------------------------------
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when interiors intersect (same layer not required)."""
+        return (
+            self.x1 < other.x2
+            and other.x1 < self.x2
+            and self.y1 < other.y2
+            and other.y1 < self.y2
+        )
+
+    def touches(self, other: "Rect") -> bool:
+        """True when rectangles share interior or boundary."""
+        return (
+            self.x1 <= other.x2
+            and other.x1 <= self.x2
+            and self.y1 <= other.y2
+            and other.y1 <= self.y2
+        )
+
+    def connected_to(self, other: "Rect") -> bool:
+        """Electrical continuity: same layer and touching."""
+        return self.layer == other.layer and self.touches(other)
+
+    def contains_point(self, x: int, y: int) -> bool:
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+    def distance_to(self, other: "Rect") -> int:
+        """Chebyshev-style gap: 0 when touching or overlapping."""
+        dx = max(other.x1 - self.x2, self.x1 - other.x2, 0)
+        dy = max(other.y1 - self.y2, self.y1 - other.y2, 0)
+        if dx == 0 and dy == 0:
+            return 0
+        if dx == 0:
+            return dy
+        if dy == 0:
+            return dx
+        return max(dx, dy)
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.layer, self.x1 + dx, self.y1 + dy,
+                    self.x2 + dx, self.y2 + dy)

@@ -1,0 +1,95 @@
+"""Layout metrics: area, layer utilisation, wirelength estimates.
+
+Complements DRC and extraction with the quantities floorplanning
+discussions revolve around; the design consultant and reports can cite
+them without re-deriving geometry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.tools.layout.editor import Layout
+from repro.tools.layout.extract import extract_connectivity
+from repro.tools.layout.geometry import Rect
+
+
+@dataclasses.dataclass(frozen=True)
+class LayoutMetrics:
+    """Summary numbers for one (flattened) layout."""
+
+    cell_name: str
+    bounding_box: Tuple[int, int, int, int]
+    total_area: int
+    drawn_area_by_layer: Dict[str, int]
+    rect_count: int
+    net_count: int
+    #: per named net: half-perimeter wirelength of its geometry bbox
+    hpwl_by_net: Dict[str, int]
+
+    @property
+    def utilisation_by_layer(self) -> Dict[str, float]:
+        """Drawn area over bounding-box area, per layer (0..1+)."""
+        if self.total_area == 0:
+            return {layer: 0.0 for layer in self.drawn_area_by_layer}
+        return {
+            layer: drawn / self.total_area
+            for layer, drawn in self.drawn_area_by_layer.items()
+        }
+
+    @property
+    def total_hpwl(self) -> int:
+        return sum(self.hpwl_by_net.values())
+
+
+def _bbox_of(rects: List[Rect]) -> Tuple[int, int, int, int]:
+    return (
+        min(r.x1 for r in rects),
+        min(r.y1 for r in rects),
+        max(r.x2 for r in rects),
+        max(r.y2 for r in rects),
+    )
+
+
+def compute_metrics(
+    layout: Layout,
+    resolver: Optional[Callable[[str], Layout]] = None,
+) -> LayoutMetrics:
+    """Measure the layout (flattening placed subcells when present)."""
+    if layout.instances():
+        rects = layout.flatten(resolver)
+    else:
+        rects = list(layout.rects)
+    if not rects:
+        return LayoutMetrics(
+            cell_name=layout.cell_name,
+            bounding_box=(0, 0, 0, 0),
+            total_area=0,
+            drawn_area_by_layer={},
+            rect_count=0,
+            net_count=0,
+            hpwl_by_net={},
+        )
+    x1, y1, x2, y2 = _bbox_of(rects)
+    drawn: Dict[str, int] = {}
+    for rect in rects:
+        drawn[rect.layer] = drawn.get(rect.layer, 0) + rect.area
+
+    hpwl: Dict[str, int] = {}
+    nets = extract_connectivity(layout, resolver=resolver)
+    for net in nets:
+        if net.name is None:
+            continue
+        nx1, ny1, nx2, ny2 = _bbox_of(net.rects)
+        hpwl[net.name] = (nx2 - nx1) + (ny2 - ny1)
+
+    return LayoutMetrics(
+        cell_name=layout.cell_name,
+        bounding_box=(x1, y1, x2, y2),
+        total_area=(x2 - x1) * (y2 - y1),
+        drawn_area_by_layer=drawn,
+        rect_count=len(rects),
+        net_count=len(nets),
+        hpwl_by_net=hpwl,
+    )

@@ -1,0 +1,32 @@
+"""Schematic entry — the first encapsulated FMCAD tool.
+
+A hierarchical schematic model (ports, primitive gates, subcell
+instances, nets), an interactive editor, symbol generation, and a
+netlister that flattens hierarchy through a resolver — the same
+default-version dynamic binding FMCAD uses (Section 2.2).
+"""
+
+from repro.tools.schematic.model import (
+    Component,
+    Net,
+    Port,
+    Schematic,
+)
+from repro.tools.schematic.editor import SchematicEditor
+from repro.tools.schematic.symbols import Symbol, symbol_for
+from repro.tools.schematic.netlist import netlist_schematic
+from repro.tools.schematic.erc import ERCViolation, fanout_report, run_erc
+
+__all__ = [
+    "Component",
+    "Net",
+    "Port",
+    "Schematic",
+    "SchematicEditor",
+    "Symbol",
+    "symbol_for",
+    "netlist_schematic",
+    "ERCViolation",
+    "fanout_report",
+    "run_erc",
+]

@@ -1,0 +1,108 @@
+"""The interactive schematic entry tool.
+
+Wraps a :class:`~repro.tools.schematic.model.Schematic` with the
+operations an FMCAD menu would expose (place, wire, delete, save) and an
+operation log.  The coupling's encapsulation wrapper drives this editor
+through an FMCAD tool session.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SchematicError
+from repro.tools.schematic.model import Component, Schematic
+
+
+class SchematicEditor:
+    """Stateful editor over one schematic."""
+
+    TOOL_NAME = "schematic_editor"
+
+    def __init__(self, schematic: Optional[Schematic] = None) -> None:
+        self.schematic = schematic or Schematic("untitled")
+        self.dirty = schematic is None
+        self.op_log: List[str] = []
+
+    # -- file operations ----------------------------------------------------
+
+    @classmethod
+    def open_bytes(cls, data: bytes) -> "SchematicEditor":
+        """Open a design file as saved by :meth:`save_bytes`."""
+        editor = cls(Schematic.from_bytes(data))
+        editor.dirty = False
+        return editor
+
+    def save_bytes(self) -> bytes:
+        """Serialise the current schematic; clears the dirty flag."""
+        data = self.schematic.to_bytes()
+        self.dirty = False
+        self._log("save")
+        return data
+
+    # -- editing operations ----------------------------------------------------
+
+    def new_design(self, cell_name: str) -> None:
+        self.schematic = Schematic(cell_name)
+        self.dirty = True
+        self._log(f"new {cell_name}")
+
+    def load(self, schematic: Schematic) -> None:
+        """Replace the working design with *schematic* (import/paste)."""
+        self.schematic = schematic
+        self.dirty = True
+        self._log(f"load {schematic.cell_name}")
+
+    def add_port(self, name: str, direction: str) -> None:
+        self.schematic.add_port(name, direction)
+        self.dirty = True
+        self._log(f"port {name} {direction}")
+
+    def place_gate(self, name: str, gate_type: str, ninputs: int = 2) -> None:
+        """Place a primitive gate instance."""
+        self.schematic.add_component(
+            Component(name=name, ctype=gate_type, ninputs=ninputs)
+        )
+        self.dirty = True
+        self._log(f"place {gate_type} {name}")
+
+    def place_cell(self, name: str, cellref: str) -> None:
+        """Place an instance of another cell (hierarchy!)."""
+        self.schematic.add_component(
+            Component(name=name, ctype="CELL", cellref=cellref)
+        )
+        self.dirty = True
+        self._log(f"place CELL {name} -> {cellref}")
+
+    def wire(self, net_name: str, component_name: str, pin_name: str) -> None:
+        self.schematic.connect(net_name, component_name, pin_name)
+        self.dirty = True
+        self._log(f"wire {net_name} {component_name}.{pin_name}")
+
+    def unwire(self, net_name: str, component_name: str, pin_name: str) -> None:
+        self.schematic.disconnect(net_name, component_name, pin_name)
+        self.dirty = True
+        self._log(f"unwire {net_name} {component_name}.{pin_name}")
+
+    def delete(self, component_name: str) -> None:
+        self.schematic.remove_component(component_name)
+        self.dirty = True
+        self._log(f"delete {component_name}")
+
+    # -- checking -------------------------------------------------------------------
+
+    def check(self) -> List[str]:
+        """Run the schematic's structural checks."""
+        self._log("check")
+        return self.schematic.validate()
+
+    def require_clean(self) -> None:
+        problems = self.schematic.validate()
+        if problems:
+            raise SchematicError(
+                f"schematic {self.schematic.cell_name!r} has "
+                f"{len(problems)} problems: {problems[:5]}"
+            )
+
+    def _log(self, entry: str) -> None:
+        self.op_log.append(entry)

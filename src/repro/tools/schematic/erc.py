@@ -1,0 +1,114 @@
+"""Electrical rule checking (ERC) for schematics.
+
+Structural validation (``Schematic.validate``) catches dangling pins;
+ERC catches *electrical* mistakes: nets driven by two outputs, nets with
+no driver, inputs shorted to inputs only, and excessive fanout.  The
+schematic editor exposes this as a pre-save check, and flows may gate on
+a clean ERC just like they gate on a passing simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set, Tuple
+
+from repro.tools.schematic.model import Schematic
+
+
+@dataclasses.dataclass(frozen=True)
+class ERCViolation:
+    """One electrical rule violation."""
+
+    rule: str      # "multiple_drivers" | "no_driver" | "fanout"
+    net: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}[{self.net}]: {self.detail}"
+
+
+#: more readers than this on one net is flagged (buffering needed)
+DEFAULT_MAX_FANOUT = 16
+
+
+def _terminal_roles(
+    schematic: Schematic,
+) -> Dict[str, Tuple[Set[Tuple[str, str]], Set[Tuple[str, str]]]]:
+    """Per net: (driving terminals, reading terminals).
+
+    Primary ``in`` ports and component outputs drive; primary ``out``
+    ports and component inputs read.  CELL instance pins are counted as
+    readers (their direction is unknown without the subcell), which is
+    conservative: they can neither create nor mask driver conflicts.
+    """
+    roles: Dict[str, Tuple[Set, Set]] = {}
+    port_directions = {p.name: p.direction for p in schematic.ports()}
+    for net in schematic.nets():
+        drivers: Set[Tuple[str, str]] = set()
+        readers: Set[Tuple[str, str]] = set()
+        for component_name, pin_name in net.terminals:
+            if component_name == "":
+                if port_directions.get(pin_name) == "in":
+                    drivers.add(("", pin_name))
+                else:
+                    readers.add(("", pin_name))
+                continue
+            component = schematic.component(component_name)
+            if component.is_primitive:
+                if pin_name in component.output_pins():
+                    drivers.add((component_name, pin_name))
+                else:
+                    readers.add((component_name, pin_name))
+            else:
+                readers.add((component_name, pin_name))
+        roles[net.name] = (drivers, readers)
+    return roles
+
+
+def run_erc(
+    schematic: Schematic, max_fanout: int = DEFAULT_MAX_FANOUT
+) -> List[ERCViolation]:
+    """All electrical rule violations of *schematic* (empty = clean)."""
+    violations: List[ERCViolation] = []
+    for net_name, (drivers, readers) in sorted(
+        _terminal_roles(schematic).items()
+    ):
+        if len(drivers) > 1:
+            names = sorted(
+                f"{c or 'port'}.{p}" for c, p in drivers
+            )
+            violations.append(
+                ERCViolation(
+                    rule="multiple_drivers",
+                    net=net_name,
+                    detail=f"driven by {names}",
+                )
+            )
+        if not drivers and readers:
+            violations.append(
+                ERCViolation(
+                    rule="no_driver",
+                    net=net_name,
+                    detail=f"{len(readers)} reader(s), no driver",
+                )
+            )
+        if len(readers) > max_fanout:
+            violations.append(
+                ERCViolation(
+                    rule="fanout",
+                    net=net_name,
+                    detail=(
+                        f"{len(readers)} readers exceeds max fanout "
+                        f"{max_fanout}"
+                    ),
+                )
+            )
+    return violations
+
+
+def fanout_report(schematic: Schematic) -> Dict[str, int]:
+    """Reader count per net (for sizing/buffering decisions)."""
+    return {
+        net: len(readers)
+        for net, (_, readers) in _terminal_roles(schematic).items()
+    }

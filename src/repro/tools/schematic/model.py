@@ -1,0 +1,310 @@
+"""The schematic data model.
+
+A schematic is the logic diagram of one cell: primary ports, component
+instances (primitive gates or references to other cells), and nets
+connecting terminals.  Subcell references make the schematic hierarchy —
+the *functional* hierarchy the coupling layer extracts and submits to JCF
+(Sections 2.3/3.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import SchematicError
+from repro.tools.simulator.gates import GATE_TYPES
+
+#: component type used for hierarchical subcell instances
+CELL_TYPE = "CELL"
+
+PORT_DIRECTIONS = ("in", "out", "inout")
+
+
+@dataclasses.dataclass(frozen=True)
+class Port:
+    """A primary connection point of the schematic."""
+
+    name: str
+    direction: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in PORT_DIRECTIONS:
+            raise SchematicError(
+                f"port {self.name!r}: direction must be one of "
+                f"{PORT_DIRECTIONS}, got {self.direction!r}"
+            )
+
+
+class Component:
+    """One placed instance: a primitive gate or a subcell reference."""
+
+    def __init__(
+        self,
+        name: str,
+        ctype: str,
+        ninputs: int = 2,
+        cellref: Optional[str] = None,
+    ) -> None:
+        if ctype == CELL_TYPE:
+            if not cellref:
+                raise SchematicError(
+                    f"component {name!r}: CELL instances need a cellref"
+                )
+        elif ctype in GATE_TYPES:
+            lo, hi, _ = GATE_TYPES[ctype]
+            if not lo <= ninputs <= hi:
+                raise SchematicError(
+                    f"component {name!r} ({ctype}): {ninputs} inputs "
+                    f"outside {lo}..{hi}"
+                )
+        else:
+            raise SchematicError(
+                f"component {name!r}: unknown type {ctype!r}"
+            )
+        self.name = name
+        self.ctype = ctype
+        self.ninputs = ninputs
+        self.cellref = cellref
+
+    @property
+    def is_primitive(self) -> bool:
+        return self.ctype != CELL_TYPE
+
+    def pin_names(self) -> List[str]:
+        """Terminal names of this instance.
+
+        Primitives expose ``in0..inN-1`` plus ``out`` (DFF: ``d``, ``clk``,
+        ``q``); CELL instances expose their subcell's port names, which
+        are only known at netlist time — here we return the recorded pin
+        connections instead, so the model stays self-contained.
+        """
+        if self.ctype == "DFF":
+            return ["d", "clk", "q"]
+        if self.is_primitive:
+            return [f"in{i}" for i in range(self.ninputs)] + ["out"]
+        raise SchematicError(
+            f"component {self.name!r}: CELL pin names come from the "
+            "subcell's ports"
+        )
+
+    def output_pins(self) -> List[str]:
+        if self.ctype == "DFF":
+            return ["q"]
+        if self.is_primitive:
+            return ["out"]
+        raise SchematicError(
+            f"component {self.name!r}: CELL outputs come from the subcell"
+        )
+
+
+@dataclasses.dataclass
+class Net:
+    """A named electrical node: the set of terminals it connects.
+
+    Terminals are ``(component_name, pin_name)`` pairs; the pseudo
+    component name ``""`` denotes a primary port terminal.
+    """
+
+    name: str
+    terminals: Set[Tuple[str, str]] = dataclasses.field(default_factory=set)
+
+    def attach(self, component_name: str, pin_name: str) -> None:
+        self.terminals.add((component_name, pin_name))
+
+    def detach(self, component_name: str, pin_name: str) -> None:
+        self.terminals.discard((component_name, pin_name))
+
+
+class Schematic:
+    """The logic diagram of one cell."""
+
+    def __init__(self, cell_name: str) -> None:
+        self.cell_name = cell_name
+        self._ports: Dict[str, Port] = {}
+        self._components: Dict[str, Component] = {}
+        self._nets: Dict[str, Net] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_port(self, name: str, direction: str) -> Port:
+        if name in self._ports:
+            raise SchematicError(f"duplicate port {name!r}")
+        port = Port(name, direction)
+        self._ports[name] = port
+        # each port implicitly terminates a same-named net
+        net = self._nets.setdefault(name, Net(name))
+        net.attach("", name)
+        return port
+
+    def add_component(self, component: Component) -> Component:
+        if component.name in self._components:
+            raise SchematicError(f"duplicate component {component.name!r}")
+        if component.name == "":
+            raise SchematicError("component name cannot be empty")
+        self._components[component.name] = component
+        return component
+
+    def connect(self, net_name: str, component_name: str, pin_name: str) -> Net:
+        """Attach a component pin to a (possibly new) net."""
+        component = self.component(component_name)
+        if component.is_primitive and pin_name not in component.pin_names():
+            raise SchematicError(
+                f"component {component_name!r} has no pin {pin_name!r}"
+            )
+        net = self._nets.setdefault(net_name, Net(net_name))
+        net.attach(component_name, pin_name)
+        return net
+
+    def disconnect(self, net_name: str, component_name: str, pin_name: str) -> None:
+        net = self.net(net_name)
+        if (component_name, pin_name) not in net.terminals:
+            raise SchematicError(
+                f"net {net_name!r} does not connect "
+                f"{component_name}.{pin_name}"
+            )
+        net.detach(component_name, pin_name)
+        if not net.terminals:
+            del self._nets[net_name]
+
+    def remove_component(self, name: str) -> None:
+        self.component(name)  # raises if unknown
+        del self._components[name]
+        for net in list(self._nets.values()):
+            net.terminals = {
+                (c, p) for c, p in net.terminals if c != name
+            }
+            if not net.terminals:
+                del self._nets[net.name]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def port(self, name: str) -> Port:
+        try:
+            return self._ports[name]
+        except KeyError:
+            raise SchematicError(f"no port {name!r}") from None
+
+    def ports(self) -> List[Port]:
+        return [self._ports[name] for name in sorted(self._ports)]
+
+    def component(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise SchematicError(f"no component {name!r}") from None
+
+    def components(self) -> List[Component]:
+        return [self._components[name] for name in sorted(self._components)]
+
+    def net(self, name: str) -> Net:
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise SchematicError(f"no net {name!r}") from None
+
+    def nets(self) -> List[Net]:
+        return [self._nets[name] for name in sorted(self._nets)]
+
+    def net_of(self, component_name: str, pin_name: str) -> Optional[Net]:
+        for net in self._nets.values():
+            if (component_name, pin_name) in net.terminals:
+                return net
+        return None
+
+    def subcell_refs(self) -> List[str]:
+        """Referenced subcell names — the functional hierarchy edge list."""
+        return sorted(
+            {
+                c.cellref
+                for c in self._components.values()
+                if not c.is_primitive and c.cellref
+            }
+        )
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self) -> List[str]:
+        """Structural problems; empty list means clean."""
+        problems: List[str] = []
+        for component in self.components():
+            if component.is_primitive:
+                for pin in component.pin_names():
+                    if self.net_of(component.name, pin) is None:
+                        problems.append(
+                            f"dangling pin {component.name}.{pin}"
+                        )
+        for net in self.nets():
+            if len(net.terminals) < 2:
+                problems.append(f"net {net.name!r} has a single terminal")
+        # each pin may sit on at most one net
+        seen: Dict[Tuple[str, str], str] = {}
+        for net in self.nets():
+            for terminal in net.terminals:
+                if terminal in seen and terminal[0] != "":
+                    problems.append(
+                        f"pin {terminal[0]}.{terminal[1]} on both "
+                        f"{seen[terminal]!r} and {net.name!r}"
+                    )
+                seen[terminal] = net.name
+        return problems
+
+    # -- serialisation (the 'schematic' viewtype file format) -----------------------
+
+    def to_bytes(self) -> bytes:
+        doc = {
+            "format": "repro-schematic-1",
+            "cell": self.cell_name,
+            "ports": [
+                {"name": p.name, "direction": p.direction}
+                for p in self.ports()
+            ],
+            "components": [
+                {
+                    "name": c.name,
+                    "type": c.ctype,
+                    "ninputs": c.ninputs,
+                    "cellref": c.cellref,
+                }
+                for c in self.components()
+            ],
+            "nets": [
+                {
+                    "name": n.name,
+                    "terminals": sorted(list(t) for t in n.terminals),
+                }
+                for n in self.nets()
+            ],
+        }
+        return json.dumps(doc, sort_keys=True, indent=1).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Schematic":
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SchematicError(f"corrupt schematic file: {exc}") from exc
+        if doc.get("format") != "repro-schematic-1":
+            raise SchematicError(
+                f"not a schematic file (format={doc.get('format')!r})"
+            )
+        schematic = cls(doc["cell"])
+        for port in doc["ports"]:
+            schematic.add_port(port["name"], port["direction"])
+        for entry in doc["components"]:
+            schematic.add_component(
+                Component(
+                    name=entry["name"],
+                    ctype=entry["type"],
+                    ninputs=entry["ninputs"],
+                    cellref=entry.get("cellref"),
+                )
+            )
+        for net_doc in doc["nets"]:
+            net = schematic._nets.setdefault(
+                net_doc["name"], Net(net_doc["name"])
+            )
+            for component_name, pin_name in net_doc["terminals"]:
+                net.attach(component_name, pin_name)
+        return schematic

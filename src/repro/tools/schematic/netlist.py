@@ -1,0 +1,161 @@
+"""Netlisting: flatten a hierarchical schematic into simulator input.
+
+Subcell instances are resolved through a caller-supplied *resolver*
+``cellref -> Schematic``.  In the hybrid framework the resolver reads the
+default schematic version from the FMCAD library — the very dynamic
+binding Section 2.2 describes — while JCF separately records which
+versions the netlist actually consumed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import SchematicError
+from repro.tools.schematic.model import Component, Schematic
+from repro.tools.simulator.engine import Netlist
+from repro.tools.simulator.gates import Gate
+
+Resolver = Callable[[str], Schematic]
+
+#: Hierarchy deeper than this is almost certainly a recursion accident.
+MAX_DEPTH = 32
+
+
+def netlist_schematic(
+    schematic: Schematic,
+    resolver: Optional[Resolver] = None,
+    max_depth: int = MAX_DEPTH,
+) -> Netlist:
+    """Flatten *schematic* (recursively) into a gate-level netlist."""
+    netlist = Netlist(schematic.cell_name)
+    for port in schematic.ports():
+        if port.direction == "in":
+            netlist.add_input(port.name)
+        elif port.direction == "out":
+            netlist.add_output(port.name)
+        else:
+            raise SchematicError(
+                f"port {port.name!r}: inout ports cannot be netlisted"
+            )
+    _flatten(
+        schematic,
+        netlist,
+        prefix="",
+        port_map={},
+        resolver=resolver,
+        depth=0,
+        max_depth=max_depth,
+    )
+    return netlist
+
+
+def _flatten(
+    schematic: Schematic,
+    netlist: Netlist,
+    prefix: str,
+    port_map: Dict[str, str],
+    resolver: Optional[Resolver],
+    depth: int,
+    max_depth: int,
+) -> None:
+    if depth > max_depth:
+        raise SchematicError(
+            f"hierarchy deeper than {max_depth} at {prefix!r}; recursive "
+            "cell reference?"
+        )
+
+    def net_name(local: str) -> str:
+        return port_map.get(local, prefix + local)
+
+    for component in schematic.components():
+        if component.is_primitive:
+            _emit_gate(schematic, netlist, component, prefix, net_name)
+        else:
+            _descend(
+                schematic,
+                netlist,
+                component,
+                prefix,
+                net_name,
+                resolver,
+                depth,
+                max_depth,
+            )
+
+
+def _pin_net(
+    schematic: Schematic, component: Component, pin: str, where: str
+) -> str:
+    net = schematic.net_of(component.name, pin)
+    if net is None:
+        raise SchematicError(
+            f"{where}: pin {component.name}.{pin} is unconnected"
+        )
+    return net.name
+
+
+def _emit_gate(
+    schematic: Schematic,
+    netlist: Netlist,
+    component: Component,
+    prefix: str,
+    net_name: Callable[[str], str],
+) -> None:
+    where = f"cell {schematic.cell_name!r}"
+    if component.ctype == "DFF":
+        inputs = tuple(
+            net_name(_pin_net(schematic, component, pin, where))
+            for pin in ("d", "clk")
+        )
+        output = net_name(_pin_net(schematic, component, "q", where))
+    else:
+        inputs = tuple(
+            net_name(_pin_net(schematic, component, f"in{i}", where))
+            for i in range(component.ninputs)
+        )
+        output = net_name(_pin_net(schematic, component, "out", where))
+    netlist.add_gate(
+        Gate(
+            name=prefix + component.name,
+            gate_type=component.ctype,
+            inputs=inputs,
+            output=output,
+        )
+    )
+
+
+def _descend(
+    schematic: Schematic,
+    netlist: Netlist,
+    component: Component,
+    prefix: str,
+    net_name: Callable[[str], str],
+    resolver: Optional[Resolver],
+    depth: int,
+    max_depth: int,
+) -> None:
+    if resolver is None:
+        raise SchematicError(
+            f"cell {schematic.cell_name!r} instantiates "
+            f"{component.cellref!r} but no resolver was supplied"
+        )
+    subcell = resolver(component.cellref)  # type: ignore[arg-type]
+    child_prefix = f"{prefix}{component.name}/"
+    child_port_map: Dict[str, str] = {}
+    for port in subcell.ports():
+        parent_net = schematic.net_of(component.name, port.name)
+        if parent_net is not None:
+            child_port_map[port.name] = net_name(parent_net.name)
+        else:
+            # unconnected subcell port gets a private net
+            child_port_map[port.name] = f"{child_prefix}{port.name}"
+    _flatten(
+        subcell,
+        netlist,
+        prefix=child_prefix,
+        port_map=child_port_map,
+        resolver=resolver,
+        depth=depth + 1,
+        max_depth=max_depth,
+    )

@@ -1,0 +1,60 @@
+"""Symbol views.
+
+A symbol is the re-usable block representation of a cell: its name and
+port list, placed by parent schematics.  In FMCAD terms this is the
+``symbol`` viewtype that the ``Symbol in Sch.V`` relation of Figure 2
+references.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import List, Tuple
+
+from repro.errors import SchematicError
+from repro.tools.schematic.model import Schematic
+
+
+@dataclasses.dataclass(frozen=True)
+class Symbol:
+    """Block representation of a cell: name plus directed pins."""
+
+    cell_name: str
+    pins: Tuple[Tuple[str, str], ...]  # (name, direction)
+
+    def pin_names(self) -> List[str]:
+        return [name for name, _ in self.pins]
+
+    def to_bytes(self) -> bytes:
+        doc = {
+            "format": "repro-symbol-1",
+            "cell": self.cell_name,
+            "pins": [list(pin) for pin in self.pins],
+        }
+        return json.dumps(doc, sort_keys=True, indent=1).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Symbol":
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SchematicError(f"corrupt symbol file: {exc}") from exc
+        if doc.get("format") != "repro-symbol-1":
+            raise SchematicError(
+                f"not a symbol file (format={doc.get('format')!r})"
+            )
+        return cls(
+            cell_name=doc["cell"],
+            pins=tuple((name, direction) for name, direction in doc["pins"]),
+        )
+
+
+def symbol_for(schematic: Schematic) -> Symbol:
+    """Generate the symbol of *schematic* from its primary ports."""
+    pins = tuple((p.name, p.direction) for p in schematic.ports())
+    if not pins:
+        raise SchematicError(
+            f"cell {schematic.cell_name!r} has no ports; cannot make a symbol"
+        )
+    return Symbol(cell_name=schematic.cell_name, pins=pins)

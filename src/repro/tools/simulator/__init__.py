@@ -1,0 +1,51 @@
+"""Digital simulator — the third encapsulated FMCAD tool.
+
+An event-driven, four-valued (0/1/X/Z) gate-level logic simulator with
+per-gate transport delays, stimulus generators and waveform capture.  The
+flow's ``digital_simulation`` activity runs netlists produced by the
+schematic tool and gates layout entry on a passing result.
+"""
+
+from repro.tools.simulator.signals import Logic, resolve_bus
+from repro.tools.simulator.events import Event, EventQueue
+from repro.tools.simulator.gates import GATE_TYPES, Gate, evaluate_gate
+from repro.tools.simulator.engine import LogicSimulator, Netlist, SimulationResult
+from repro.tools.simulator.stimulus import Stimulus, clock_stimulus, vector_stimulus
+from repro.tools.simulator.testbench import Testbench, TestbenchReport
+from repro.tools.simulator.vcd import dump_vcd, parse_vcd_changes
+from repro.tools.simulator.timing import TimingReport, analyze_timing, settle_bound
+from repro.tools.simulator.faults import (
+    FaultSimReport,
+    StuckFault,
+    coverage_of_testbench,
+    enumerate_faults,
+    run_fault_simulation,
+)
+
+__all__ = [
+    "Logic",
+    "resolve_bus",
+    "Event",
+    "EventQueue",
+    "GATE_TYPES",
+    "Gate",
+    "evaluate_gate",
+    "LogicSimulator",
+    "Netlist",
+    "SimulationResult",
+    "Stimulus",
+    "clock_stimulus",
+    "vector_stimulus",
+    "Testbench",
+    "TestbenchReport",
+    "dump_vcd",
+    "parse_vcd_changes",
+    "TimingReport",
+    "analyze_timing",
+    "settle_bound",
+    "FaultSimReport",
+    "StuckFault",
+    "coverage_of_testbench",
+    "enumerate_faults",
+    "run_fault_simulation",
+]

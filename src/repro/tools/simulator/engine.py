@@ -1,0 +1,316 @@
+"""The event-driven simulation engine."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.tools.simulator.events import EventQueue
+from repro.tools.simulator.gates import Gate, evaluate_gate
+from repro.tools.simulator.signals import Logic
+
+
+class Netlist:
+    """A flat gate-level netlist: named nets, primary ports, gates."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self._gates: Dict[str, Gate] = {}
+        self._driver_of: Dict[str, str] = {}
+
+    def add_input(self, net: str) -> None:
+        if net in self.inputs:
+            raise SimulationError(f"duplicate primary input {net!r}")
+        if net in self._driver_of:
+            raise SimulationError(f"primary input {net!r} is gate-driven")
+        self.inputs.append(net)
+
+    def add_output(self, net: str) -> None:
+        if net in self.outputs:
+            raise SimulationError(f"duplicate primary output {net!r}")
+        self.outputs.append(net)
+
+    def add_gate(self, gate: Gate) -> Gate:
+        if gate.name in self._gates:
+            raise SimulationError(f"duplicate gate {gate.name!r}")
+        if gate.output in self._driver_of:
+            raise SimulationError(
+                f"net {gate.output!r} already driven by "
+                f"{self._driver_of[gate.output]!r}"
+            )
+        if gate.output in self.inputs:
+            raise SimulationError(
+                f"gate {gate.name!r} drives primary input {gate.output!r}"
+            )
+        self._gates[gate.name] = gate
+        self._driver_of[gate.output] = gate.name
+        return gate
+
+    def gates(self) -> List[Gate]:
+        return [self._gates[name] for name in sorted(self._gates)]
+
+    def gate(self, name: str) -> Gate:
+        try:
+            return self._gates[name]
+        except KeyError:
+            raise SimulationError(f"no gate {name!r}") from None
+
+    def nets(self) -> List[str]:
+        found: Set[str] = set(self.inputs) | set(self.outputs)
+        for gate in self._gates.values():
+            found.update(gate.inputs)
+            found.add(gate.output)
+        return sorted(found)
+
+    def readers_of(self, net: str) -> List[Gate]:
+        return [g for g in self.gates() if net in g.inputs]
+
+    def validate(self) -> List[str]:
+        """Structural checks; returns a list of problems (empty = clean)."""
+        problems: List[str] = []
+        driven = set(self._driver_of) | set(self.inputs)
+        for gate in self.gates():
+            for net in gate.inputs:
+                if net not in driven:
+                    problems.append(
+                        f"gate {gate.name!r}: input net {net!r} undriven"
+                    )
+        for net in self.outputs:
+            if net not in driven:
+                problems.append(f"primary output {net!r} undriven")
+        return problems
+
+    # -- serialisation (the simulation viewtype's file format) ---------------
+
+    def to_bytes(self) -> bytes:
+        doc = {
+            "format": "repro-netlist-1",
+            "name": self.name,
+            "inputs": self.inputs,
+            "outputs": self.outputs,
+            "gates": [
+                {
+                    "name": g.name,
+                    "type": g.gate_type,
+                    "inputs": list(g.inputs),
+                    "output": g.output,
+                    "delay": g.delay,
+                }
+                for g in self.gates()
+            ],
+        }
+        return json.dumps(doc, sort_keys=True, indent=1).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Netlist":
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SimulationError(f"corrupt netlist file: {exc}") from exc
+        if doc.get("format") != "repro-netlist-1":
+            raise SimulationError(
+                f"not a netlist file (format={doc.get('format')!r})"
+            )
+        netlist = cls(doc["name"])
+        for net in doc["inputs"]:
+            netlist.add_input(net)
+        for net in doc["outputs"]:
+            netlist.add_output(net)
+        for entry in doc["gates"]:
+            netlist.add_gate(
+                Gate(
+                    name=entry["name"],
+                    gate_type=entry["type"],
+                    inputs=tuple(entry["inputs"]),
+                    output=entry["output"],
+                    delay=entry.get("delay", -1),
+                )
+            )
+        return netlist
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Waveforms and summary of one simulation run."""
+
+    netlist_name: str
+    end_time: int
+    #: net -> [(time, value), ...] — only changes are recorded
+    waveforms: Dict[str, List[Tuple[int, Logic]]]
+    events_processed: int
+
+    def value_at(self, net: str, time: int) -> Logic:
+        """The value of *net* at *time* (last change at or before it)."""
+        changes = self.waveforms.get(net)
+        if not changes:
+            return Logic.X
+        value = Logic.X
+        for change_time, change_value in changes:
+            if change_time > time:
+                break
+            value = change_value
+        return value
+
+    def final_value(self, net: str) -> Logic:
+        changes = self.waveforms.get(net)
+        return changes[-1][1] if changes else Logic.X
+
+    def toggle_count(self, net: str) -> int:
+        """Number of recorded value changes on *net* (excl. the initial X)."""
+        return max(0, len(self.waveforms.get(net, [])) - 1)
+
+    def uninitialized_nets(self) -> List[str]:
+        """Nets still X or Z at the end of the run.
+
+        A non-empty list usually means the stimulus never initialised
+        part of the design — the classic cause of simulations that pass
+        trivially.  Testbench authors can assert on this.
+        """
+        return sorted(
+            net
+            for net, changes in self.waveforms.items()
+            if not changes[-1][1].is_known
+        )
+
+    def initialization_coverage(self) -> float:
+        """Fraction of nets holding a known value at the end (0..1)."""
+        if not self.waveforms:
+            return 1.0
+        known = sum(
+            1 for changes in self.waveforms.values()
+            if changes[-1][1].is_known
+        )
+        return known / len(self.waveforms)
+
+
+class LogicSimulator:
+    """Event-driven gate-level simulator with DFF support."""
+
+    #: Safety valve against oscillating combinational loops.
+    MAX_EVENTS = 1_000_000
+
+    def __init__(self, netlist: Netlist) -> None:
+        problems = netlist.validate()
+        if problems:
+            raise SimulationError(
+                f"netlist {netlist.name!r} is not simulatable: {problems}"
+            )
+        self.netlist = netlist
+
+    def run(
+        self,
+        stimuli: Sequence[Tuple[int, str, Logic]],
+        duration: Optional[int] = None,
+        forced: Optional[Dict[str, Logic]] = None,
+    ) -> SimulationResult:
+        """Simulate the netlist under *stimuli* ``(time, net, value)``.
+
+        Only primary inputs may be stimulated.  The run ends when the
+        event queue drains or *duration* is reached.
+
+        *forced* pins nets to fixed values for the whole run (events on
+        them are discarded) — the mechanism fault simulation uses to
+        model stuck-at faults.
+        """
+        forced = dict(forced or {})
+        unknown_forced = set(forced) - set(self.netlist.nets())
+        if unknown_forced:
+            raise SimulationError(
+                f"forced nets not in the netlist: {sorted(unknown_forced)}"
+            )
+        values: Dict[str, Logic] = {net: Logic.X for net in self.netlist.nets()}
+        waveforms: Dict[str, List[Tuple[int, Logic]]] = {
+            net: [(0, Logic.X)] for net in self.netlist.nets()
+        }
+        queue = EventQueue()
+        primary = set(self.netlist.inputs)
+        for net, value in forced.items():
+            queue.schedule(0, net, value)
+        for time, net, value in stimuli:
+            if net not in primary:
+                raise SimulationError(
+                    f"stimulus drives non-primary net {net!r}"
+                )
+            if net in forced:
+                continue  # the fault wins over the stimulus
+            queue.schedule(time, net, value)
+
+        dff_state: Dict[str, Logic] = {
+            gate.name: Logic.X
+            for gate in self.netlist.gates()
+            if gate.is_sequential
+        }
+        events_processed = 0
+        now = 0
+        while len(queue):
+            if duration is not None and queue.next_time > duration:
+                break
+            now, batch = queue.pop_simultaneous()
+            changed: List[str] = []
+            previous: Dict[str, Logic] = {}
+            for event in batch:
+                events_processed += 1
+                if events_processed > self.MAX_EVENTS:
+                    raise SimulationError(
+                        f"event limit exceeded at t={now}; oscillation in "
+                        f"netlist {self.netlist.name!r}?"
+                    )
+                if (
+                    event.net in forced
+                    and event.value is not forced[event.net]
+                ):
+                    continue  # stuck nets never move off the fault value
+                if values[event.net] is event.value:
+                    continue
+                if event.net not in previous:
+                    previous[event.net] = values[event.net]
+                values[event.net] = event.value
+                waveforms[event.net].append((now, event.value))
+                changed.append(event.net)
+            for net in changed:
+                for gate in self.netlist.readers_of(net):
+                    if gate.is_sequential:
+                        self._react_dff(
+                            gate, net, previous.get(net, Logic.X),
+                            values, dff_state, queue, now,
+                        )
+                    else:
+                        new_value = evaluate_gate(
+                            gate, [values[i] for i in gate.inputs]
+                        )
+                        queue.schedule(
+                            now + gate.effective_delay, gate.output, new_value
+                        )
+        return SimulationResult(
+            netlist_name=self.netlist.name,
+            end_time=now,
+            waveforms=waveforms,
+            events_processed=events_processed,
+        )
+
+    def _react_dff(
+        self,
+        gate: Gate,
+        changed_net: str,
+        old_value: Logic,
+        values: Dict[str, Logic],
+        dff_state: Dict[str, Logic],
+        queue: EventQueue,
+        now: int,
+    ) -> None:
+        """Latch D on the rising edge of the clock input."""
+        d_net, clk_net = gate.inputs
+        if changed_net != clk_net:
+            return  # D changes alone do nothing
+        new_clk = values[clk_net]
+        rising = old_value is Logic.ZERO and new_clk is Logic.ONE
+        if rising:
+            latched = values[d_net]
+            if not latched.is_known:
+                latched = Logic.X
+            dff_state[gate.name] = latched
+            queue.schedule(now + gate.effective_delay, gate.output, latched)

@@ -1,0 +1,67 @@
+"""The simulator's event queue."""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.tools.simulator.signals import Logic
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled value change: *net* takes *value* at *time*.
+
+    ``sequence`` breaks ties so same-time events apply in schedule order
+    (deterministic simulation).
+    """
+
+    time: int
+    sequence: int
+    net: str = dataclasses.field(compare=False)
+    value: Logic = dataclasses.field(compare=False)
+
+
+class EventQueue:
+    """A time-ordered queue of pending events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._sequence = 0
+
+    def schedule(self, time: int, net: str, value: Logic) -> Event:
+        """Enqueue a value change at absolute *time*."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        self._sequence += 1
+        event = Event(time=time, sequence=self._sequence, net=net, value=value)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop_next(self) -> Optional[Event]:
+        """Remove and return the earliest event, or None when empty."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def pop_simultaneous(self) -> Tuple[int, List[Event]]:
+        """Remove all events sharing the earliest timestamp.
+
+        Returns ``(time, events)``; events keep schedule order.  Raises
+        IndexError on an empty queue.
+        """
+        if not self._heap:
+            raise IndexError("empty event queue")
+        first = heapq.heappop(self._heap)
+        batch = [first]
+        while self._heap and self._heap[0].time == first.time:
+            batch.append(heapq.heappop(self._heap))
+        return first.time, batch
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def next_time(self) -> Optional[int]:
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,126 @@
+"""Gate models.
+
+Combinational primitives with pessimistic X-propagation (an unknown input
+makes the output unknown unless a controlling value decides it), plus a
+rising-edge D flip-flop for sequential designs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.tools.simulator.signals import Logic
+
+
+def _and(values: Sequence[Logic]) -> Logic:
+    if any(v is Logic.ZERO for v in values):
+        return Logic.ZERO  # controlling value
+    if all(v is Logic.ONE for v in values):
+        return Logic.ONE
+    return Logic.X
+
+
+def _or(values: Sequence[Logic]) -> Logic:
+    if any(v is Logic.ONE for v in values):
+        return Logic.ONE  # controlling value
+    if all(v is Logic.ZERO for v in values):
+        return Logic.ZERO
+    return Logic.X
+
+
+def _xor(values: Sequence[Logic]) -> Logic:
+    if not all(v.is_known for v in values):
+        return Logic.X
+    ones = sum(1 for v in values if v is Logic.ONE)
+    return Logic.from_bool(ones % 2 == 1)
+
+
+def _invert(value: Logic) -> Logic:
+    if value is Logic.ONE:
+        return Logic.ZERO
+    if value is Logic.ZERO:
+        return Logic.ONE
+    return Logic.X
+
+
+def _buf(values: Sequence[Logic]) -> Logic:
+    if len(values) != 1:
+        raise SimulationError(f"BUF expects 1 input, got {len(values)}")
+    value = values[0]
+    return value if value.is_known else Logic.X
+
+
+#: gate type -> (min_inputs, max_inputs, evaluator)
+GATE_TYPES: Dict[str, Tuple[int, int, object]] = {
+    "AND": (2, 8, _and),
+    "OR": (2, 8, _or),
+    "NAND": (2, 8, lambda vs: _invert(_and(vs))),
+    "NOR": (2, 8, lambda vs: _invert(_or(vs))),
+    "XOR": (2, 8, _xor),
+    "XNOR": (2, 8, lambda vs: _invert(_xor(vs))),
+    "NOT": (1, 1, lambda vs: _invert(vs[0])),
+    "BUF": (1, 1, _buf),
+    "DFF": (2, 2, None),  # sequential; handled by the engine
+}
+
+#: default transport delay per gate type (simulator time units)
+DEFAULT_DELAYS: Dict[str, int] = {
+    "AND": 2,
+    "OR": 2,
+    "NAND": 1,
+    "NOR": 1,
+    "XOR": 3,
+    "XNOR": 3,
+    "NOT": 1,
+    "BUF": 1,
+    "DFF": 2,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Gate:
+    """One netlist primitive.
+
+    For a DFF, ``inputs`` is ``(d, clk)`` and the output updates with the
+    latched D value on each rising clock edge.
+    """
+
+    name: str
+    gate_type: str
+    inputs: Tuple[str, ...]
+    output: str
+    delay: int = -1  # -1 -> use the type default
+
+    def __post_init__(self) -> None:
+        if self.gate_type not in GATE_TYPES:
+            raise SimulationError(
+                f"gate {self.name!r}: unknown type {self.gate_type!r}"
+            )
+        lo, hi, _ = GATE_TYPES[self.gate_type]
+        if not lo <= len(self.inputs) <= hi:
+            raise SimulationError(
+                f"gate {self.name!r} ({self.gate_type}): expected "
+                f"{lo}..{hi} inputs, got {len(self.inputs)}"
+            )
+        if not self.output:
+            raise SimulationError(f"gate {self.name!r}: missing output net")
+
+    @property
+    def effective_delay(self) -> int:
+        return self.delay if self.delay >= 0 else DEFAULT_DELAYS[self.gate_type]
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.gate_type == "DFF"
+
+
+def evaluate_gate(gate: Gate, input_values: Sequence[Logic]) -> Logic:
+    """Combinationally evaluate *gate* for *input_values*."""
+    if gate.is_sequential:
+        raise SimulationError(
+            f"gate {gate.name!r} is sequential; the engine latches it"
+        )
+    _, _, evaluator = GATE_TYPES[gate.gate_type]
+    return evaluator(list(input_values))  # type: ignore[operator]

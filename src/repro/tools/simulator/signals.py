@@ -1,0 +1,64 @@
+"""Four-valued logic for the digital simulator.
+
+Values follow the classic gate-level convention: ``0``/``1`` are driven
+levels, ``X`` is unknown/conflict, ``Z`` is high-impedance (undriven).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+
+class Logic(enum.Enum):
+    """One signal value."""
+
+    ZERO = "0"
+    ONE = "1"
+    X = "X"
+    Z = "Z"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @classmethod
+    def from_str(cls, text: str) -> "Logic":
+        for member in cls:
+            if member.value == text.upper():
+                return member
+        raise ValueError(f"not a logic value: {text!r}")
+
+    @classmethod
+    def from_bool(cls, value: bool) -> "Logic":
+        return cls.ONE if value else cls.ZERO
+
+    @property
+    def is_known(self) -> bool:
+        return self in (Logic.ZERO, Logic.ONE)
+
+    def to_bool(self) -> bool:
+        """Strict conversion; raises on X/Z."""
+        if self is Logic.ONE:
+            return True
+        if self is Logic.ZERO:
+            return False
+        raise ValueError(f"cannot convert {self} to bool")
+
+
+def resolve_bus(drivers: Iterable[Logic]) -> Logic:
+    """Resolve multiple drivers on one net (wired resolution).
+
+    Z yields to any driven value; conflicting driven values produce X;
+    any X driver poisons the net.
+    """
+    resolved = Logic.Z
+    for value in drivers:
+        if value is Logic.Z:
+            continue
+        if value is Logic.X:
+            return Logic.X
+        if resolved is Logic.Z:
+            resolved = value
+        elif resolved is not value:
+            return Logic.X
+    return resolved

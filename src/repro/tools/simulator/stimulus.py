@@ -1,0 +1,74 @@
+"""Stimulus construction helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.tools.simulator.signals import Logic
+
+
+@dataclasses.dataclass
+class Stimulus:
+    """A growing list of ``(time, net, value)`` drive events."""
+
+    events: List[Tuple[int, str, Logic]] = dataclasses.field(
+        default_factory=list
+    )
+
+    def drive(self, time: int, net: str, value: Logic) -> "Stimulus":
+        """Schedule *net* := *value* at *time*; chainable."""
+        if time < 0:
+            raise SimulationError(f"stimulus time must be >= 0, got {time}")
+        self.events.append((time, net, value))
+        return self
+
+    def drive_bits(self, time: int, assignments: Dict[str, str]) -> "Stimulus":
+        """Drive several nets at once from ``{"a": "1", "b": "0"}``."""
+        for net, bit in sorted(assignments.items()):
+            self.drive(time, net, Logic.from_str(bit))
+        return self
+
+    def extend(self, other: "Stimulus") -> "Stimulus":
+        self.events.extend(other.events)
+        return self
+
+    @property
+    def horizon(self) -> int:
+        """The last stimulus time (0 when empty)."""
+        return max((t for t, _, _ in self.events), default=0)
+
+
+def clock_stimulus(
+    net: str, period: int, cycles: int, start: int = 0
+) -> Stimulus:
+    """A square clock on *net*: low at *start*, rising every *period*."""
+    if period < 2:
+        raise SimulationError(f"clock period must be >= 2, got {period}")
+    stim = Stimulus()
+    half = period // 2
+    time = start
+    stim.drive(time, net, Logic.ZERO)
+    for _ in range(cycles):
+        stim.drive(time + half, net, Logic.ONE)
+        stim.drive(time + period, net, Logic.ZERO)
+        time += period
+    return stim
+
+
+def vector_stimulus(
+    nets: Sequence[str], vectors: Sequence[str], interval: int, start: int = 0
+) -> Stimulus:
+    """Apply test vectors: each string has one bit per net, every *interval*."""
+    stim = Stimulus()
+    time = start
+    for vector in vectors:
+        if len(vector) != len(nets):
+            raise SimulationError(
+                f"vector {vector!r} does not match {len(nets)} nets"
+            )
+        for net, bit in zip(nets, vector):
+            stim.drive(time, net, Logic.from_str(bit))
+        time += interval
+    return stim

@@ -1,0 +1,121 @@
+"""Testbenches: run a netlist against expectations and report pass/fail.
+
+The flow's ``digital_simulation`` activity succeeds or fails based on a
+testbench verdict, which is what lets forced flows act as a quality gate
+(Section 3.5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.tools.simulator.engine import LogicSimulator, Netlist
+from repro.tools.simulator.signals import Logic
+from repro.tools.simulator.stimulus import Stimulus
+
+
+@dataclasses.dataclass(frozen=True)
+class Check:
+    """Expect *net* to equal *value* at *time*."""
+
+    time: int
+    net: str
+    expected: Logic
+
+
+@dataclasses.dataclass
+class TestbenchReport:
+    """Outcome of one testbench run."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    netlist_name: str
+    passed: bool
+    failures: List[str]
+    checks_run: int
+    events_processed: int
+    #: stuck-at fault coverage of the stimulus, when graded (0..1)
+    fault_coverage: Optional[float] = None
+
+    def to_bytes(self) -> bytes:
+        """Serialise as the 'simulation' viewtype's result file."""
+        doc = {
+            "format": "repro-simreport-1",
+            "netlist": self.netlist_name,
+            "passed": self.passed,
+            "failures": self.failures,
+            "checks_run": self.checks_run,
+            "events_processed": self.events_processed,
+            "fault_coverage": self.fault_coverage,
+        }
+        return json.dumps(doc, sort_keys=True, indent=1).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TestbenchReport":
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SimulationError(f"corrupt simulation report: {exc}") from exc
+        if doc.get("format") != "repro-simreport-1":
+            raise SimulationError(
+                f"not a simulation report (format={doc.get('format')!r})"
+            )
+        return cls(
+            netlist_name=doc["netlist"],
+            passed=doc["passed"],
+            failures=list(doc["failures"]),
+            checks_run=doc["checks_run"],
+            events_processed=doc["events_processed"],
+            fault_coverage=doc.get("fault_coverage"),
+        )
+
+
+class Testbench:
+    """Stimulus + expected values for one netlist."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.stimulus = Stimulus()
+        self.checks: List[Check] = []
+
+    def drive(self, time: int, net: str, value: str) -> "Testbench":
+        self.stimulus.drive(time, net, Logic.from_str(value))
+        return self
+
+    def expect(self, time: int, net: str, value: str) -> "Testbench":
+        """Register a check; *net* must exist in the netlist."""
+        if net not in self.netlist.nets():
+            raise SimulationError(f"expect on unknown net {net!r}")
+        self.checks.append(Check(time, net, Logic.from_str(value)))
+        return self
+
+    def run(self, duration: Optional[int] = None) -> TestbenchReport:
+        """Simulate and evaluate all checks."""
+        horizon = max(
+            [self.stimulus.horizon]
+            + [check.time for check in self.checks]
+        ) + 100
+        simulator = LogicSimulator(self.netlist)
+        result = simulator.run(
+            self.stimulus.events, duration=duration or horizon
+        )
+        failures = []
+        for check in sorted(self.checks, key=lambda c: (c.time, c.net)):
+            actual = result.value_at(check.net, check.time)
+            if actual is not check.expected:
+                failures.append(
+                    f"t={check.time} net={check.net}: expected "
+                    f"{check.expected}, got {actual}"
+                )
+        return TestbenchReport(
+            netlist_name=self.netlist.name,
+            passed=not failures,
+            failures=failures,
+            checks_run=len(self.checks),
+            events_processed=result.events_processed,
+        )

@@ -1,0 +1,109 @@
+"""Static timing analysis (STA-lite) over gate-level netlists.
+
+The paper's framework context includes design consultants that advise on
+design quality; a timing report is the classic input to such advice.
+This module levelises the combinational netlist and computes per-net
+arrival times from gate delays, yielding the critical path.
+
+Sequential elements (DFFs) cut the timing graph: their outputs start new
+paths at time 0 (clock-to-Q is charged on the launching path), which is
+the standard register-to-register decomposition.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.tools.simulator.engine import Netlist
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingReport:
+    """Arrival times and the critical path of one netlist."""
+
+    netlist_name: str
+    #: net -> worst-case arrival time (simulator time units)
+    arrival: Dict[str, int]
+    #: nets along the critical path, source to endpoint
+    critical_path: Tuple[str, ...]
+    critical_delay: int
+
+    def arrival_of(self, net: str) -> int:
+        if net not in self.arrival:
+            raise SimulationError(f"no arrival time for net {net!r}")
+        return self.arrival[net]
+
+
+def analyze_timing(netlist: Netlist) -> TimingReport:
+    """Compute worst-case arrival times and the critical path.
+
+    Primary inputs and DFF outputs arrive at t=0.  Combinational loops
+    are reported as an error (they have no static arrival time).
+    """
+    problems = netlist.validate()
+    if problems:
+        raise SimulationError(
+            f"netlist {netlist.name!r} not analyzable: {problems}"
+        )
+
+    arrival: Dict[str, int] = {net: 0 for net in netlist.inputs}
+    predecessor: Dict[str, Optional[str]] = {
+        net: None for net in netlist.inputs
+    }
+    for gate in netlist.gates():
+        if gate.is_sequential:
+            # register output launches a fresh path after clock-to-Q
+            arrival[gate.output] = gate.effective_delay
+            predecessor[gate.output] = None
+
+    combinational = [g for g in netlist.gates() if not g.is_sequential]
+    remaining = list(combinational)
+    while remaining:
+        progressed = False
+        for gate in list(remaining):
+            if all(net in arrival for net in gate.inputs):
+                worst_input = max(
+                    gate.inputs, key=lambda net: arrival[net]
+                )
+                arrival[gate.output] = (
+                    arrival[worst_input] + gate.effective_delay
+                )
+                predecessor[gate.output] = worst_input
+                remaining.remove(gate)
+                progressed = True
+        if not progressed:
+            stuck = sorted(g.name for g in remaining)
+            raise SimulationError(
+                f"combinational loop through gates {stuck}"
+            )
+
+    if not arrival:
+        return TimingReport(
+            netlist_name=netlist.name,
+            arrival={},
+            critical_path=(),
+            critical_delay=0,
+        )
+    endpoint = max(arrival, key=lambda net: (arrival[net], net))
+    path: List[str] = [endpoint]
+    while predecessor.get(path[-1]) is not None:
+        path.append(predecessor[path[-1]])  # type: ignore[arg-type]
+    path.reverse()
+    return TimingReport(
+        netlist_name=netlist.name,
+        arrival=dict(arrival),
+        critical_path=tuple(path),
+        critical_delay=arrival[endpoint],
+    )
+
+
+def settle_bound(netlist: Netlist) -> int:
+    """An upper bound on how long one input change can ripple.
+
+    The event-driven simulation of a single input step settles no later
+    than the critical delay; testbenches use this to place their checks
+    safely after the dust settles.
+    """
+    return analyze_timing(netlist).critical_delay

@@ -1,0 +1,45 @@
+"""Synthetic workloads for the evaluation benchmarks.
+
+The 1995 evaluation used real Philips designs and designers; neither is
+available, so :mod:`repro.workloads.designs` generates deterministic
+hierarchical designs (valid schematics, matching or deliberately
+non-isomorphic layouts) and :mod:`repro.workloads.designers` replays
+scripted multi-user sessions against either framework configuration.
+"""
+
+from repro.workloads.designs import (
+    DesignSpec,
+    GeneratedDesign,
+    generate_design,
+    generate_layout_for,
+    make_combinational_cell,
+    populate_library,
+)
+from repro.workloads.designers import DesignerAgent, FMCADOnlyAgent, HybridAgent
+from repro.workloads.sessions import MultiUserSimulation, SessionMetrics
+from repro.workloads.metrics import summarize
+from repro.workloads.scripts import (
+    inverter_chain_bench,
+    inverter_chain_editor,
+    labelled_strap_layout,
+    subcell_wrapper_editor,
+)
+
+__all__ = [
+    "DesignSpec",
+    "GeneratedDesign",
+    "generate_design",
+    "generate_layout_for",
+    "make_combinational_cell",
+    "populate_library",
+    "DesignerAgent",
+    "FMCADOnlyAgent",
+    "HybridAgent",
+    "MultiUserSimulation",
+    "SessionMetrics",
+    "summarize",
+    "inverter_chain_bench",
+    "inverter_chain_editor",
+    "labelled_strap_layout",
+    "subcell_wrapper_editor",
+]

@@ -1,0 +1,174 @@
+"""Scripted designer agents for the multi-user experiments.
+
+Two agent families replay the same access pattern against the two
+concurrency models Section 3.1 compares:
+
+* :class:`FMCADOnlyAgent` — works directly on an FMCAD library through
+  checkout/checkin.  A cell held by a colleague simply blocks.
+* :class:`HybridAgent` — works through JCF workspaces.  A reserved cell
+  version triggers the hybrid capability FMCAD lacks: the agent derives a
+  *new cell version* (or variant) and works in parallel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional
+
+from repro.errors import LockedError, ReservationConflictError
+from repro.fmcad.framework import FMCADFramework
+from repro.fmcad.library import Library
+from repro.jcf.framework import JCFFramework
+from repro.jcf.project import JCFCellVersion, JCFProject
+
+
+@dataclasses.dataclass
+class AgentStats:
+    """Per-agent outcome counters."""
+
+    name: str
+    attempts: int = 0
+    completed: int = 0
+    blocked: int = 0
+    parallel_versions: int = 0
+    stale_reads: int = 0
+
+
+class DesignerAgent:
+    """Base class: one scripted designer working in rounds."""
+
+    def __init__(self, name: str, rng: random.Random) -> None:
+        self.name = name
+        self.rng = rng
+        self.stats = AgentStats(name=name)
+        self._busy_rounds = 0
+
+    def step(self, cells: List[str]) -> None:
+        """One simulation round: continue held work or try a new cell."""
+        if self._busy_rounds > 0:
+            self._busy_rounds -= 1
+            if self._busy_rounds == 0:
+                self._finish_work()
+            return
+        cell = self.rng.choice(cells)
+        self.stats.attempts += 1
+        if self._try_acquire(cell):
+            self._busy_rounds = self.rng.randint(1, 3)
+        else:
+            self.stats.blocked += 1
+
+    # -- hooks -------------------------------------------------------------
+
+    def _try_acquire(self, cell: str) -> bool:
+        raise NotImplementedError
+
+    def _finish_work(self) -> None:
+        raise NotImplementedError
+
+
+class FMCADOnlyAgent(DesignerAgent):
+    """Checkout/checkin worker against a bare FMCAD library."""
+
+    def __init__(
+        self,
+        name: str,
+        rng: random.Random,
+        fmcad: FMCADFramework,
+        library: Library,
+        view_name: str = "schematic",
+        flush_probability: float = 0.7,
+    ) -> None:
+        super().__init__(name, rng)
+        self.fmcad = fmcad
+        self.library = library
+        self.view_name = view_name
+        #: how reliably this designer remembers the manual .meta flush —
+        #: "it is the responsibility of the designer to keep his design up
+        #: to date" (Section 2.2)
+        self.flush_probability = flush_probability
+        self._ticket = None
+        self._snapshot = None
+        self._holds_meta_lock = False
+
+    def _try_acquire(self, cell: str) -> bool:
+        # the designer consults their (possibly stale) .meta snapshot first
+        self._snapshot = self.library.snapshot(self.name)
+        if self._snapshot.is_stale(self.library):
+            self.stats.stale_reads += 1
+        try:
+            self._ticket = self.fmcad.checkouts.checkout(
+                self.name, self.library, cell, self.view_name
+            )
+        except LockedError:
+            return False
+        # mark the checkout in the library metadata: the single .meta
+        # writer lock is held for the duration of the edit — the explicit
+        # coordination Section 3.1 calls a source of "severe locking
+        # problems".  A denied acquire is counted by the MetaFile.
+        self._holds_meta_lock = self.library.metafile.acquire(self.name)
+        return True
+
+    def _finish_work(self) -> None:
+        if self._ticket is None:
+            return
+        data = self._ticket.working_path.read_bytes() + b"\n;; edited"
+        self.fmcad.checkouts.checkin(self._ticket, self.library, data)
+        if self._holds_meta_lock:
+            self.library.metafile.release(self.name)
+            self._holds_meta_lock = False
+        # the designer must remember to flush metadata; the flush itself
+        # can also be denied when a colleague holds the writer lock
+        if self.rng.random() < self.flush_probability:
+            self.library.flush_meta(self.name)
+        self._ticket = None
+        self.stats.completed += 1
+
+
+class HybridAgent(DesignerAgent):
+    """Workspace-reservation worker under the hybrid framework."""
+
+    def __init__(
+        self,
+        name: str,
+        rng: random.Random,
+        jcf: JCFFramework,
+        project: JCFProject,
+    ) -> None:
+        super().__init__(name, rng)
+        self.jcf = jcf
+        self.project = project
+        self._held: Optional[JCFCellVersion] = None
+        self._variant_counter = 0
+
+    def _try_acquire(self, cell_name: str) -> bool:
+        cell = self.project.cell(cell_name)
+        cell_version = cell.latest_version()
+        if cell_version is None or cell_version.published:
+            cell_version = cell.create_version()
+        try:
+            self.jcf.workspaces.reserve(self.name, cell_version)
+            self._held = cell_version
+            return True
+        except ReservationConflictError:
+            # the hybrid capability: derive a new cell version and work on
+            # it in parallel (Section 3.1)
+            new_version = cell.create_version()
+            self.jcf.workspaces.reserve(self.name, new_version)
+            self._held = new_version
+            self.stats.parallel_versions += 1
+            return True
+
+    def _finish_work(self) -> None:
+        if self._held is None:
+            return
+        self._variant_counter += 1
+        variant_name = f"{self.name}_work{self._variant_counter}"
+        variant = self._held.create_variant(variant_name)
+        dobj = variant.create_design_object(
+            f"{self._held.cell.name}/schematic", "schematic"
+        )
+        dobj.new_version(b";; edited by " + self.name.encode())
+        self.jcf.workspaces.publish(self.name, self._held)
+        self._held = None
+        self.stats.completed += 1

@@ -1,0 +1,291 @@
+"""Deterministic synthetic design generation.
+
+Designs are trees of cells: leaves are random (seeded) combinational
+logic, parents instantiate their children and reduce the child outputs.
+Layouts are generated to match the schematic hierarchy (isomorphic) or to
+skip a hierarchy level (non-isomorphic — the Section 3.3 problem case).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.fmcad.framework import FMCADFramework
+from repro.fmcad.library import Library
+from repro.tools.layout.editor import Instance, Label, Layout
+from repro.tools.layout.geometry import Rect
+from repro.tools.schematic.model import Component, Schematic
+
+#: gate types the generator draws from (2-input, combinational)
+_GATE_POOL = ("AND", "OR", "NAND", "NOR", "XOR")
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignSpec:
+    """Parameters of one synthetic design."""
+
+    name: str
+    depth: int = 2          # hierarchy levels below the top cell
+    fanout: int = 2         # children per non-leaf cell
+    leaf_inputs: int = 4    # primary inputs per leaf cell
+    extra_gates: int = 2    # NOT padding per leaf (design-size knob)
+    seed: int = 0
+
+    @property
+    def num_cells(self) -> int:
+        """Total cells in the tree."""
+        return sum(self.fanout ** level for level in range(self.depth + 1))
+
+
+@dataclasses.dataclass
+class GeneratedDesign:
+    """A complete synthetic design: schematics and layouts per cell."""
+
+    spec: DesignSpec
+    top_cell: str
+    schematics: Dict[str, Schematic]
+    layouts: Dict[str, Layout]
+    #: (parent, child) edges of the functional hierarchy
+    hierarchy: List[Tuple[str, str]]
+
+    def cell_names(self) -> List[str]:
+        return sorted(self.schematics)
+
+
+def make_combinational_cell(
+    name: str,
+    n_inputs: int,
+    extra_gates: int,
+    rng: random.Random,
+) -> Schematic:
+    """A valid random combinational cell: ``in0..inN-1`` reduced to ``out``.
+
+    *extra_gates* NOT stages are applied to input signals first (each
+    producing a new internal signal), then a balanced reduction of all
+    signals guarantees every input and every intermediate net has both a
+    driver and a reader — the schematic always passes ``validate()``.
+    """
+    if n_inputs < 2:
+        raise ValueError(f"need at least 2 inputs, got {n_inputs}")
+    schematic = Schematic(name)
+    signals: List[str] = []
+    for i in range(n_inputs):
+        port = f"in{i}"
+        schematic.add_port(port, "in")
+        signals.append(port)
+    schematic.add_port("out", "out")
+
+    for pad in range(extra_gates):
+        source = signals[pad % len(signals)]
+        inverted = f"pad{pad}"
+        gate = Component(f"inv{pad}", "NOT", ninputs=1)
+        schematic.add_component(gate)
+        schematic.connect(source, gate.name, "in0")
+        schematic.connect(inverted, gate.name, "out")
+        signals.append(inverted)
+
+    gate_index = 0
+    while len(signals) > 1:
+        a = signals.pop(0)
+        b = signals.pop(0)
+        gate = Component(
+            f"g{gate_index}", rng.choice(_GATE_POOL), ninputs=2
+        )
+        gate_index += 1
+        schematic.add_component(gate)
+        out_net = "out" if not signals else f"n{gate_index}"
+        schematic.connect(a, gate.name, "in0")
+        schematic.connect(b, gate.name, "in1")
+        schematic.connect(out_net, gate.name, "out")
+        signals.append(out_net)
+    return schematic
+
+
+def make_parent_cell(
+    name: str,
+    children: List[Schematic],
+    n_inputs: int,
+    rng: random.Random,
+) -> Schematic:
+    """A parent cell instantiating *children* and reducing their outputs.
+
+    Every child input pin is wired to one of the parent's primary inputs
+    (round-robin); the child outputs feed a reduction tree ending at the
+    parent's ``out`` port.
+    """
+    schematic = Schematic(name)
+    for i in range(n_inputs):
+        schematic.add_port(f"in{i}", "in")
+    schematic.add_port("out", "out")
+
+    child_outputs: List[str] = []
+    for index, child in enumerate(children):
+        inst = f"u{index}"
+        schematic.add_component(
+            Component(inst, "CELL", cellref=child.cell_name)
+        )
+        pin = 0
+        for port in child.ports():
+            if port.direction == "in":
+                schematic.connect(f"in{pin % n_inputs}", inst, port.name)
+                pin += 1
+            elif port.direction == "out":
+                net = f"{inst}_{port.name}"
+                schematic.connect(net, inst, port.name)
+                child_outputs.append(net)
+
+    signals = child_outputs
+    gate_index = 0
+    if len(signals) == 1:
+        # single child output: buffer it to the parent output
+        buffer = Component("b0", "BUF", ninputs=1)
+        schematic.add_component(buffer)
+        schematic.connect(signals[0], buffer.name, "in0")
+        schematic.connect("out", buffer.name, "out")
+        return schematic
+    while len(signals) > 1:
+        a = signals.pop(0)
+        b = signals.pop(0)
+        gate = Component(
+            f"m{gate_index}", rng.choice(_GATE_POOL), ninputs=2
+        )
+        gate_index += 1
+        schematic.add_component(gate)
+        out_net = "out" if not signals else f"mn{gate_index}"
+        schematic.connect(a, gate.name, "in0")
+        schematic.connect(b, gate.name, "in1")
+        schematic.connect(out_net, gate.name, "out")
+        signals.append(out_net)
+    return schematic
+
+
+def generate_design(spec: DesignSpec) -> GeneratedDesign:
+    """Build the full cell tree for *spec* (schematics + layouts)."""
+    rng = random.Random(spec.seed)
+    schematics: Dict[str, Schematic] = {}
+    hierarchy: List[Tuple[str, str]] = []
+
+    def build(cell_name: str, level: int) -> Schematic:
+        if level == spec.depth:
+            schematic = make_combinational_cell(
+                cell_name, spec.leaf_inputs, spec.extra_gates, rng
+            )
+        else:
+            children = []
+            for i in range(spec.fanout):
+                child_name = f"{cell_name}_{i}"
+                children.append(build(child_name, level + 1))
+                hierarchy.append((cell_name, child_name))
+            schematic = make_parent_cell(
+                cell_name, children, spec.leaf_inputs, rng
+            )
+        schematics[cell_name] = schematic
+        return schematic
+
+    top_cell = spec.name
+    build(top_cell, 0)
+
+    layouts = {
+        name: generate_layout_for(schematic)
+        for name, schematic in schematics.items()
+    }
+    return GeneratedDesign(
+        spec=spec,
+        top_cell=top_cell,
+        schematics=schematics,
+        layouts=layouts,
+        hierarchy=sorted(hierarchy),
+    )
+
+
+def generate_layout_for(
+    schematic: Schematic,
+    isomorphic: bool = True,
+    skip_children: Optional[List[str]] = None,
+) -> Layout:
+    """A DRC-clean abstract layout whose hierarchy mirrors the schematic.
+
+    Each net becomes one labelled metal1 strap; each subcell instance
+    becomes a placement.  With ``isomorphic=False`` (or *skip_children*)
+    selected child instances are omitted and replaced by local geometry,
+    producing a physical hierarchy that differs from the functional one.
+    """
+    layout = Layout(schematic.cell_name)
+    pitch = 8  # >= metal1 spacing rule (3) with margin
+    for row, net in enumerate(schematic.nets()):
+        y = row * pitch
+        layout.add_rect(Rect("metal1", 0, y, 40, y + 4))
+        layout.add_label(Label(net.name, "metal1", 1, y + 1))
+
+    skipped = set(skip_children or [])
+    column = 0
+    for component in schematic.components():
+        if component.is_primitive:
+            continue
+        if not isomorphic or component.cellref in skipped:
+            # flatten: local geometry instead of the child placement
+            x = 100 + column * 50
+            layout.add_rect(Rect("poly", x, 0, x + 10, 10))
+            column += 1
+            continue
+        layout.place(
+            Instance(
+                name=component.name,
+                cellref=component.cellref,
+                dx=100 + column * 200,
+                dy=0,
+            )
+        )
+        column += 1
+    return layout
+
+
+def populate_library(
+    fmcad: FMCADFramework,
+    library_name: str,
+    design: GeneratedDesign,
+    author: str = "generator",
+    include_layouts: bool = True,
+) -> Library:
+    """Create an FMCAD library holding every cell of *design*.
+
+    Cellview versions are written bottom-up (children before parents) so
+    the default-version dynamic binding always resolves.
+    """
+    library = fmcad.create_library(library_name)
+    order = _bottom_up_order(design)
+    for cell_name in order:
+        library.create_cell(cell_name)
+        schematic_view = library.create_cellview(cell_name, "schematic")
+        library.write_version(
+            schematic_view, design.schematics[cell_name].to_bytes(), author
+        )
+        if include_layouts and cell_name in design.layouts:
+            layout_view = library.create_cellview(cell_name, "layout")
+            library.write_version(
+                layout_view, design.layouts[cell_name].to_bytes(), author
+            )
+    library.flush_meta(author)
+    return library
+
+
+def _bottom_up_order(design: GeneratedDesign) -> List[str]:
+    children: Dict[str, List[str]] = {}
+    for parent, child in design.hierarchy:
+        children.setdefault(parent, []).append(child)
+    order: List[str] = []
+
+    def visit(name: str) -> None:
+        for child in children.get(name, []):
+            visit(child)
+        if name not in order:
+            order.append(name)
+
+    visit(design.top_cell)
+    # include any cells not reachable from the top (defensive)
+    for name in design.cell_names():
+        if name not in order:
+            order.append(name)
+    return order

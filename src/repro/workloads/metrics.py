@@ -1,0 +1,66 @@
+"""Small statistics helpers for experiment reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than 2 samples."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """min/median/mean/max/std in one dict (benchmark table rows)."""
+    if not values:
+        return {"min": 0.0, "median": 0.0, "mean": 0.0, "max": 0.0, "std": 0.0}
+    return {
+        "min": float(min(values)),
+        "median": median(values),
+        "mean": mean(values),
+        "max": float(max(values)),
+        "std": stddev(values),
+    }
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio; infinity when the denominator is zero but not the numerator."""
+    if denominator == 0:
+        return math.inf if numerator else 0.0
+    return numerator / denominator
+
+
+def format_table(
+    headers: List[str], rows: List[List[object]]
+) -> str:
+    """Plain-text table used by the benchmark harnesses' reports."""
+    widths = [len(h) for h in headers]
+    rendered = [[str(cell) for cell in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rendered)
+    return "\n".join(lines)

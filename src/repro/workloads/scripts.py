@@ -1,0 +1,99 @@
+"""Reusable designer-action scripts.
+
+The examples, tests and benchmarks all need small, known-good designer
+actions (an inverter-chain schematic, a matching testbench, a labelled
+strap layout).  This module is their shared, public home, so downstream
+users scripting the hybrid framework can start from working material.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.tools.layout.editor import LayoutEditor
+from repro.tools.schematic.editor import SchematicEditor
+from repro.tools.simulator.testbench import Testbench
+
+EditorAction = Callable[[SchematicEditor], None]
+LayoutAction = Callable[[LayoutEditor], None]
+BenchAction = Callable[[Testbench], None]
+
+
+def inverter_chain_editor(n_stages: int = 2,
+                          in_port: str = "a",
+                          out_port: str = "y") -> EditorAction:
+    """Enter an *n_stages* NOT chain from *in_port* to *out_port*."""
+    if n_stages < 1:
+        raise ValueError("need at least one stage")
+
+    def edit(editor: SchematicEditor) -> None:
+        editor.add_port(in_port, "in")
+        editor.add_port(out_port, "out")
+        previous = in_port
+        for stage in range(n_stages):
+            name = f"inv{stage}"
+            editor.place_gate(name, "NOT", 1)
+            editor.wire(previous, name, "in0")
+            net = out_port if stage == n_stages - 1 else f"n{stage}"
+            editor.wire(net, name, "out")
+            previous = net
+
+    return edit
+
+
+def inverter_chain_bench(n_stages: int = 2,
+                         in_port: str = "a",
+                         out_port: str = "y") -> BenchAction:
+    """Testbench matching :func:`inverter_chain_editor` exactly."""
+    inverting = n_stages % 2 == 1
+
+    def configure(testbench: Testbench) -> None:
+        settle = 10 * n_stages + 10
+        testbench.drive(0, in_port, "0")
+        testbench.expect(settle, out_port, "1" if inverting else "0")
+        testbench.drive(100, in_port, "1")
+        testbench.expect(100 + settle, out_port,
+                         "0" if inverting else "1")
+
+    return configure
+
+
+def labelled_strap_layout(net_names: List[str]) -> LayoutAction:
+    """A DRC-clean layout with one labelled metal1 strap per net."""
+    if not net_names:
+        raise ValueError("need at least one net to draw")
+
+    def edit(editor: LayoutEditor) -> None:
+        pitch = 8  # comfortably above the metal1 spacing rule
+        for row, net in enumerate(net_names):
+            y = row * pitch
+            editor.draw_rect("metal1", 0, y, 40, y + 4)
+            editor.add_label(net, "metal1", 1, y + 1)
+
+    return edit
+
+
+def subcell_wrapper_editor(children: List[str],
+                           in_port: str = "x",
+                           out_port: str = "z") -> EditorAction:
+    """A parent schematic chaining *children* instances a->y in series.
+
+    Every child must expose an ``a`` input and a ``y`` output (the shape
+    :func:`inverter_chain_editor` produces).
+    """
+    if not children:
+        raise ValueError("need at least one child to place")
+
+    def edit(editor: SchematicEditor) -> None:
+        editor.add_port(in_port, "in")
+        editor.add_port(out_port, "out")
+        previous = in_port
+        for index, child in enumerate(children):
+            inst = f"u{index}"
+            editor.place_cell(inst, child)
+            editor.wire(previous, inst, "a")
+            net = out_port if index == len(children) - 1 else f"m{index}"
+            editor.wire(net, inst, "y")
+            previous = net
+
+    return edit

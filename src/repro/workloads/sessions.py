@@ -1,0 +1,159 @@
+"""Multi-user session simulation (the E31 workload driver)."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List
+
+from repro.clock import SimClock
+from repro.fmcad.framework import FMCADFramework
+from repro.jcf.framework import JCFFramework
+from repro.workloads.designers import (
+    DesignerAgent,
+    FMCADOnlyAgent,
+    HybridAgent,
+)
+from repro.workloads.designs import DesignSpec, generate_design
+
+
+@dataclasses.dataclass
+class SessionMetrics:
+    """Aggregate outcome of one multi-user simulation."""
+
+    mode: str
+    designers: int
+    cells: int
+    rounds: int
+    attempts: int
+    completed: int
+    blocked: int
+    parallel_versions: int
+    stale_reads: int
+    meta_contention: int
+    lock_wait_ms: float
+
+    @property
+    def block_rate(self) -> float:
+        """Fraction of access attempts that left the designer idle."""
+        return self.blocked / self.attempts if self.attempts else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed work items per designer per round."""
+        return self.completed / (self.designers * self.rounds)
+
+
+class MultiUserSimulation:
+    """Runs the same scripted team against either concurrency model."""
+
+    def __init__(
+        self,
+        designers: int,
+        cells: int,
+        rounds: int = 40,
+        seed: int = 0,
+    ) -> None:
+        if designers < 1 or cells < 1:
+            raise ValueError("need at least one designer and one cell")
+        self.designers = designers
+        self.cells = cells
+        self.rounds = rounds
+        self.seed = seed
+
+    def _design_spec(self) -> DesignSpec:
+        # a flat library with `cells` leaf cells is enough for contention
+        return DesignSpec(
+            name="mu", depth=0, fanout=1, leaf_inputs=2,
+            extra_gates=0, seed=self.seed,
+        )
+
+    def _cell_names(self) -> List[str]:
+        return [f"cell{i}" for i in range(self.cells)]
+
+    # -- FMCAD-only arm --------------------------------------------------------
+
+    def run_fmcad_only(self, root) -> SessionMetrics:
+        """The baseline: everyone checks out of one shared library."""
+        clock = SimClock()
+        fmcad = FMCADFramework(root, clock=clock)
+        library = fmcad.create_library("shared")
+        rng = random.Random(self.seed)
+        design = generate_design(self._design_spec())
+        leaf = design.schematics[design.top_cell]
+        for cell_name in self._cell_names():
+            library.create_cell(cell_name)
+            view = library.create_cellview(cell_name, "schematic")
+            library.write_version(view, leaf.to_bytes(), "setup")
+        library.flush_meta("setup")
+
+        agents: List[DesignerAgent] = [
+            FMCADOnlyAgent(f"user{i}", random.Random(self.seed + i),
+                           fmcad, library)
+            for i in range(self.designers)
+        ]
+        self._run_rounds(agents)
+        return self._collect(
+            "fmcad_only", agents,
+            meta_contention=library.metafile.contended_acquires,
+            lock_wait_ms=clock.elapsed_by_category().get("lock_wait", 0.0),
+        )
+
+    # -- hybrid arm ----------------------------------------------------------------
+
+    def run_hybrid(self, root) -> SessionMetrics:
+        """The hybrid framework: JCF workspaces over the same cell set."""
+        clock = SimClock()
+        jcf = JCFFramework(root, clock=clock)
+        for i in range(self.designers):
+            jcf.resources.define_user("admin", f"user{i}")
+        jcf.resources.define_team("admin", "team")
+        for i in range(self.designers):
+            jcf.resources.add_member("admin", f"user{i}", "team")
+        project = jcf.desktop.create_project("user0", "shared")
+        jcf.resources.assign_team_to_project("admin", "team", project.oid)
+        for cell_name in self._cell_names():
+            project.create_cell(cell_name)
+
+        agents: List[DesignerAgent] = [
+            HybridAgent(f"user{i}", random.Random(self.seed + i),
+                        jcf, project)
+            for i in range(self.designers)
+        ]
+        self._run_rounds(agents)
+        return self._collect(
+            "hybrid", agents,
+            meta_contention=0,
+            lock_wait_ms=clock.elapsed_by_category().get("lock_wait", 0.0),
+        )
+
+    # -- shared machinery ----------------------------------------------------------
+
+    def _run_rounds(self, agents: List[DesignerAgent]) -> None:
+        cells = self._cell_names()
+        for _ in range(self.rounds):
+            for agent in agents:
+                agent.step(cells)
+
+    def _collect(
+        self,
+        mode: str,
+        agents: List[DesignerAgent],
+        meta_contention: int,
+        lock_wait_ms: float,
+    ) -> SessionMetrics:
+        return SessionMetrics(
+            mode=mode,
+            designers=self.designers,
+            cells=self.cells,
+            rounds=self.rounds,
+            attempts=sum(a.stats.attempts for a in agents),
+            completed=sum(a.stats.completed for a in agents),
+            blocked=sum(a.stats.blocked for a in agents),
+            parallel_versions=sum(
+                a.stats.parallel_versions for a in agents
+            ),
+            stale_reads=sum(a.stats.stale_reads for a in agents),
+            meta_contention=meta_contention,
+            lock_wait_ms=lock_wait_ms,
+        )

@@ -1,0 +1,142 @@
+"""Unit tests for the consistency guard (Section 2.4 / 3.2)."""
+
+import pytest
+
+from repro.core.consistency import GUARDED_MENUS, ConsistencyGuard
+from repro.errors import MenuLockedError
+from tests.conftest import build_inverter_editor_fn
+
+
+@pytest.fixture
+def populated(adopted_cell):
+    """A hybrid environment with one successful schematic run."""
+    hybrid, project, library, cell = adopted_cell
+    hybrid.run_schematic_entry(
+        "alice", project, library, cell, build_inverter_editor_fn()
+    )
+    return hybrid, project, library, cell
+
+
+class TestMenuGuard:
+    def test_guard_session_locks_all_guarded_menus(self, hybrid):
+        session = hybrid.fmcad.open_session("schematic_editor", "alice")
+        hybrid.guard.guard_session(session)
+        for name in GUARDED_MENUS:
+            assert session.menu(name).locked
+            with pytest.raises(MenuLockedError):
+                session.invoke_menu(name)
+
+    def test_guard_respects_existing_registrations(self, hybrid):
+        session = hybrid.fmcad.open_session("schematic_editor", "alice")
+        session.register_menu("checkin", lambda: "raw checkin")
+        hybrid.guard.guard_session(session)
+        with pytest.raises(MenuLockedError):
+            session.invoke_menu("checkin")
+
+    def test_guard_written_in_extension_language(self, hybrid):
+        """The guard procedures exist inside the interpreter."""
+        assert hybrid.fmcad.interpreter.globals.lookup("guard-session")
+        assert hybrid.fmcad.interpreter.globals.lookup("guard-menu")
+
+
+class TestITCInterception:
+    def test_probe_into_reserved_cell_vetoed(self, populated):
+        hybrid, project, library, cell = populated
+        # the cell version is reserved by alice; a probe by bob is vetoed
+        received = []
+        hybrid.fmcad.bus.subscribe("peer", "crossprobe", received.append)
+        result = hybrid.fmcad.bus.publish(
+            "bob_session", "crossprobe",
+            {"cell": cell, "user": "bob", "object": "net1"},
+        )
+        assert result is None
+        assert received == []
+        assert len(hybrid.fmcad.bus.vetoed) == 1
+
+    def test_probe_by_holder_passes(self, populated):
+        hybrid, project, library, cell = populated
+        received = []
+        hybrid.fmcad.bus.subscribe("peer", "crossprobe", received.append)
+        result = hybrid.fmcad.bus.publish(
+            "alice_session", "crossprobe",
+            {"cell": cell, "user": "alice", "object": "net1"},
+        )
+        assert result is not None
+        assert len(received) == 1
+
+    def test_probe_without_cell_reference_passes(self, populated):
+        hybrid, *_ = populated
+        result = hybrid.fmcad.bus.publish(
+            "any", "crossprobe", {"object": "net1"}
+        )
+        assert result is not None
+
+    def test_interceptor_installed_once(self, hybrid):
+        hybrid.guard.install_itc_interceptor()
+        hybrid.guard.install_itc_interceptor()
+        assert len(hybrid.fmcad.bus._interceptors) == 1
+
+
+class TestScan:
+    def test_clean_environment_scans_clean(self, populated):
+        hybrid, project, library, _ = populated
+        assert hybrid.guard.scan(project, library) == []
+
+    def test_detects_fmcad_file_corruption(self, populated):
+        """A version file edited behind OMS's back differs from the blob."""
+        hybrid, project, library, cell = populated
+        version = library.cellview(cell, "schematic").version(1)
+        version.path.write_bytes(b"corrupted outside the coupling")
+        findings = hybrid.guard.scan(project, library)
+        assert any(f.kind == "payload" and "differ" in f.detail
+                   for f in findings)
+
+    def test_detects_deleted_version_file(self, populated):
+        hybrid, project, library, cell = populated
+        version = library.cellview(cell, "schematic").version(1)
+        version.path.unlink()
+        findings = hybrid.guard.scan(project, library)
+        assert any("deleted on disk" in f.detail for f in findings)
+
+    def test_detects_uncoupled_checkin(self, populated):
+        """A version created outside the coupling has no jcf_oid tag."""
+        hybrid, project, library, cell = populated
+        cellview = library.cellview(cell, "schematic")
+        library.write_version(cellview, b"rogue edit", "mallory")
+        findings = hybrid.guard.scan(project, library)
+        assert any("no JCF counterpart" in f.detail for f in findings)
+
+    def test_detects_stale_meta(self, populated):
+        hybrid, project, library, cell = populated
+        cellview = library.cellview(cell, "schematic")
+        # a rogue version also leaves .meta stale (no flush)
+        library.write_version(cellview, b"rogue", "mallory")
+        findings = hybrid.guard.scan(project, library)
+        assert any(f.kind == "meta" for f in findings)
+
+    def test_detects_hierarchy_drift(self, populated):
+        hybrid, project, library, cell = populated
+        from repro.tools.schematic.model import Component, Schematic
+
+        library.create_cell("orphan")
+        orphan_view = library.create_cellview("orphan", "schematic")
+        child = Schematic("orphan")
+        child.add_port("a", "in")
+        child.add_port("y", "out")
+        child.add_component(Component("g", "NOT", ninputs=1))
+        child.connect("a", "g", "in0")
+        child.connect("y", "g", "out")
+        library.write_version(orphan_view, child.to_bytes(), "x")
+        top_view = library.cellview(cell, "schematic")
+        schematic = Schematic.from_bytes(library.read_version(top_view))
+        schematic.add_component(Component("u9", "CELL", cellref="orphan"))
+        library.write_version(top_view, schematic.to_bytes(), "x")
+        findings = hybrid.guard.scan(project, library)
+        assert any(f.kind == "hierarchy" for f in findings)
+
+    def test_fmcad_baseline_detects_nothing(self, populated):
+        """Section 3.2/E32: bare FMCAD notices none of it."""
+        hybrid, project, library, cell = populated
+        version = library.cellview(cell, "schematic").version(1)
+        version.path.write_bytes(b"corrupted")
+        assert ConsistencyGuard.fmcad_baseline_scan(library) == []

@@ -1,0 +1,198 @@
+"""Unit tests for the design consultant."""
+
+import pytest
+
+from repro.core.consultant import DesignConsultant
+from repro.workloads.scripts import (
+    inverter_chain_bench,
+    inverter_chain_editor,
+    labelled_strap_layout,
+)
+
+
+@pytest.fixture
+def consultant_env(adopted_cell):
+    hybrid, project, library, cell = adopted_cell
+    consultant = DesignConsultant(hybrid.jcf, guard=hybrid.guard)
+    return hybrid, project, library, cell, consultant
+
+
+class TestFlowAdvice:
+    def test_fresh_cell_suggests_next_activity(self, consultant_env):
+        hybrid, project, library, cell, consultant = consultant_env
+        advice = consultant.advise(project, library)
+        flow_hints = [a for a in advice if a.topic == "flow"]
+        assert any("schematic_entry" in a.message for a in flow_hints)
+
+    def test_failed_activity_is_a_blocker(self, consultant_env):
+        hybrid, project, library, cell, consultant = consultant_env
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, inverter_chain_editor(2)
+        )
+
+        def wrong_bench(tb):
+            tb.drive(0, "a", "0")
+            tb.expect(40, "y", "1")  # wrong for a buffer
+
+        hybrid.run_simulation("alice", project, library, cell, wrong_bench)
+        advice = consultant.advise(project, library)
+        blockers = [a for a in advice if a.severity == "blocker"]
+        assert any("digital_simulation" in a.message for a in blockers)
+        # blockers come first
+        assert advice[0].severity == "blocker"
+
+    def test_cell_without_version_gets_hint(self, consultant_env):
+        hybrid, project, library, cell, consultant = consultant_env
+        project.create_cell("unstarted")
+        advice = consultant.advise(project, library)
+        assert any(
+            a.cell == "unstarted" and "no cell version" in a.message
+            for a in advice
+        )
+
+
+class TestQualityAdvice:
+    def test_erc_violations_surface(self, consultant_env):
+        hybrid, project, library, cell, consultant = consultant_env
+
+        def shorted(editor):
+            editor.add_port("a", "in")
+            editor.add_port("y", "out")
+            for name in ("g1", "g2"):
+                editor.place_gate(name, "NOT", 1)
+                editor.wire("a", name, "in0")
+                editor.wire("y", name, "out")  # two drivers on y
+
+        hybrid.run_schematic_entry("alice", project, library, cell,
+                                   shorted)
+        advice = consultant.advise(project, library)
+        assert any(
+            a.topic == "erc" and "multiple_drivers" in a.message
+            for a in advice
+        )
+
+    def test_timing_hint_reports_critical_path(self, consultant_env):
+        hybrid, project, library, cell, consultant = consultant_env
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, inverter_chain_editor(3)
+        )
+        advice = consultant.advise(project, library)
+        timing = [a for a in advice if a.topic == "timing"]
+        assert len(timing) == 1
+        assert "critical delay 3" in timing[0].message  # 3 NOTs x 1
+
+    def test_consistency_findings_included(self, consultant_env):
+        hybrid, project, library, cell, consultant = consultant_env
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, inverter_chain_editor(2)
+        )
+        version = library.cellview(cell, "schematic").version(1)
+        version.path.write_bytes(b"corrupted")
+        advice = consultant.advise(project, library)
+        assert any(a.topic == "consistency" for a in advice)
+
+
+class TestRendering:
+    def test_render_empty(self):
+        assert "nothing to report" in DesignConsultant.render([])
+
+    def test_render_lists_items(self, consultant_env):
+        hybrid, project, library, cell, consultant = consultant_env
+        text = DesignConsultant.render(consultant.advise(project, library))
+        assert text.startswith("design consultant report:")
+        assert "[hint]" in text
+
+
+class TestScripts:
+    """The shared scenario scripts are themselves correct."""
+
+    def test_chain_editor_and_bench_agree(self, consultant_env):
+        hybrid, project, library, cell, consultant = consultant_env
+        for stages in (1, 2, 3):
+            cell_name = f"chain{stages}"
+            library.create_cell(cell_name)
+            new_cell = project.create_cell(cell_name)
+            hybrid.prepare_cell("alice", project, cell_name,
+                                team_name="team1")
+            assert hybrid.run_schematic_entry(
+                "alice", project, library, cell_name,
+                inverter_chain_editor(stages),
+            ).success
+            assert hybrid.run_simulation(
+                "alice", project, library, cell_name,
+                inverter_chain_bench(stages),
+            ).success, stages
+
+    def test_strap_layout_is_drc_clean(self, consultant_env):
+        hybrid, project, library, cell, consultant = consultant_env
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, inverter_chain_editor(2)
+        )
+        hybrid.run_simulation(
+            "alice", project, library, cell, inverter_chain_bench(2)
+        )
+        result = hybrid.run_layout_entry(
+            "alice", project, library, cell,
+            labelled_strap_layout(["a", "y"]),
+        )
+        assert result.success
+        assert "waived" not in result.details
+
+    def test_script_validation(self):
+        from repro.workloads.scripts import (
+            subcell_wrapper_editor,
+        )
+
+        with pytest.raises(ValueError):
+            inverter_chain_editor(0)
+        with pytest.raises(ValueError):
+            labelled_strap_layout([])
+        with pytest.raises(ValueError):
+            subcell_wrapper_editor([])
+
+
+class TestFaultCoverageAdvice:
+    def test_ungraded_simulation_gets_hint(self, consultant_env):
+        hybrid, project, library, cell, consultant = consultant_env
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, inverter_chain_editor(2)
+        )
+        hybrid.run_simulation(
+            "alice", project, library, cell, inverter_chain_bench(2)
+        )
+        advice = consultant.advise(project, library)
+        assert any(
+            a.topic == "simulation" and "not graded" in a.message
+            for a in advice
+        )
+
+    def test_graded_full_coverage_is_silent(self, consultant_env):
+        hybrid, project, library, cell, consultant = consultant_env
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, inverter_chain_editor(2)
+        )
+        result = hybrid.run_simulation(
+            "alice", project, library, cell, inverter_chain_bench(2),
+            grade_coverage=True,
+        )
+        assert "fault coverage" in result.details
+        advice = consultant.advise(project, library)
+        assert not any(a.topic == "simulation" for a in advice)
+
+    def test_weak_patterns_draw_a_warning(self, consultant_env):
+        hybrid, project, library, cell, consultant = consultant_env
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, inverter_chain_editor(2)
+        )
+
+        def single_phase(tb):
+            tb.drive(0, "a", "0")
+            tb.expect(40, "y", "0")
+
+        hybrid.run_simulation(
+            "alice", project, library, cell, single_phase,
+            grade_coverage=True,
+        )
+        advice = consultant.advise(project, library)
+        warnings = [a for a in advice if a.topic == "simulation"]
+        assert warnings and "fault coverage only" in warnings[0].message

@@ -1,0 +1,112 @@
+"""Unit tests for the coupled cross-probing service."""
+
+import pytest
+
+from repro.core.crossprobe import CrossProbeService
+from repro.errors import ITCError
+from tests.conftest import build_inverter_editor_fn, simple_layout_fn
+from tests.conftest import inverter_testbench_fn
+
+
+@pytest.fixture
+def probed(adopted_cell):
+    """Cell with schematic + layout and an open cross-probe pair."""
+    hybrid, project, library, cell = adopted_cell
+    hybrid.run_schematic_entry(
+        "alice", project, library, cell, build_inverter_editor_fn(2)
+    )
+    hybrid.run_simulation(
+        "alice", project, library, cell, inverter_testbench_fn(2)
+    )
+    hybrid.run_layout_entry(
+        "alice", project, library, cell, simple_layout_fn()
+    )
+    service = CrossProbeService(hybrid.fmcad, library, cell, "alice")
+    yield hybrid, service, cell
+    service.close()
+
+
+class TestSchematicToLayout:
+    def test_probe_highlights_extracted_geometry(self, probed):
+        hybrid, service, cell = probed
+        result = service.probe_from_schematic("a")
+        assert result.delivered
+        assert result.resolved
+        assert result.highlighted_shapes >= 1
+        assert "a" in service.highlights_in_layout()
+
+    def test_probe_of_unlabelled_net_unresolved(self, probed):
+        hybrid, service, cell = probed
+        # n0 exists in the schematic but has no layout label
+        result = service.probe_from_schematic("n0")
+        assert result.delivered
+        assert not result.resolved
+        assert result.highlighted_shapes == 0
+
+    def test_unknown_net_rejected(self, probed):
+        _, service, _ = probed
+        with pytest.raises(ITCError):
+            service.probe_from_schematic("ghost_net")
+
+
+class TestLayoutToSchematic:
+    def test_reverse_probe_resolves(self, probed):
+        hybrid, service, cell = probed
+        result = service.probe_from_layout("y")
+        assert result.delivered and result.resolved
+        assert "y" in service.highlights_in_schematic()
+
+    def test_unextracted_net_rejected(self, probed):
+        _, service, _ = probed
+        with pytest.raises(ITCError):
+            service.probe_from_layout("n0")
+
+
+class TestGuardMediation:
+    def test_probe_by_non_holder_vetoed(self, probed):
+        """The consistency guard vetoes probes into reserved cells."""
+        hybrid, _, cell = probed
+        # bob opens his own probing pair on alice's reserved cell
+        library = hybrid.fmcad.library("chiplib")
+        bob_service = CrossProbeService(hybrid.fmcad, library, cell, "bob")
+        try:
+            result = bob_service.probe_from_schematic("a")
+            assert not result.delivered
+            assert result.highlighted_shapes == 0
+        finally:
+            bob_service.close()
+
+    def test_probe_after_publication_passes_for_all(self, probed):
+        hybrid, _, cell = probed
+        project = hybrid.jcf.desktop.find_project("chipA")
+        cell_version = project.cell(cell).latest_version()
+        hybrid.jcf.desktop.publish_cell_version("alice", cell_version)
+        library = hybrid.fmcad.library("chiplib")
+        bob_service = CrossProbeService(hybrid.fmcad, library, cell, "bob")
+        try:
+            result = bob_service.probe_from_schematic("a")
+            assert result.delivered
+        finally:
+            bob_service.close()
+
+
+class TestLifecycle:
+    def test_close_unsubscribes_and_closes_sessions(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn()
+        )
+        service = CrossProbeService(hybrid.fmcad, library, cell, "alice")
+        service.close()
+        assert service.schematic_session.closed
+        assert service.layout_session.closed
+        assert hybrid.fmcad.bus.subscribers("crossprobe") == []
+
+    def test_probe_without_schematic_raises(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        service = CrossProbeService(hybrid.fmcad, library, cell, "alice")
+        try:
+            with pytest.raises(ITCError):
+                service.probe_from_schematic("a")
+        finally:
+            service.close()

@@ -1,0 +1,101 @@
+"""Unit tests for the combined desktop UI accounting (Section 3.4)."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.desktop import (
+    CombinedDesktop,
+    FMCAD_SCHEMATIC,
+    JCF_DESKTOP,
+)
+
+
+@pytest.fixture
+def desktop():
+    return CombinedDesktop(SimClock())
+
+
+class TestTaskScoping:
+    def test_begin_end_produces_report(self, desktop):
+        desktop.begin_task("t1")
+        report = desktop.end_task()
+        assert report.task_name == "t1"
+        assert report.interactions == 0
+
+    def test_nested_tasks_rejected(self, desktop):
+        desktop.begin_task("t1")
+        with pytest.raises(RuntimeError):
+            desktop.begin_task("t2")
+
+    def test_end_without_begin_rejected(self, desktop):
+        with pytest.raises(RuntimeError):
+            desktop.end_task()
+
+    def test_interact_outside_task_rejected(self, desktop):
+        with pytest.raises(RuntimeError):
+            desktop.interact()
+
+    def test_enter_outside_task_rejected(self, desktop):
+        with pytest.raises(RuntimeError):
+            desktop.enter(JCF_DESKTOP)
+
+
+class TestContextAccounting:
+    def test_first_context_is_not_a_switch(self, desktop):
+        desktop.begin_task("t")
+        desktop.enter(JCF_DESKTOP)
+        report = desktop.end_task()
+        assert report.context_switches == 0
+        assert report.distinct_contexts == 1
+
+    def test_switches_counted_and_charged(self, desktop):
+        desktop.begin_task("t")
+        desktop.enter(JCF_DESKTOP)
+        desktop.enter(FMCAD_SCHEMATIC)
+        desktop.enter(JCF_DESKTOP)
+        report = desktop.end_task()
+        assert report.context_switches == 2
+        assert report.distinct_contexts == 2
+        assert desktop.clock.elapsed_by_category()["ui_switch"] > 0
+
+    def test_reentering_same_context_is_free(self, desktop):
+        desktop.begin_task("t")
+        desktop.enter(JCF_DESKTOP)
+        desktop.enter(JCF_DESKTOP)
+        assert desktop.end_task().context_switches == 0
+
+    def test_interactions_counted(self, desktop):
+        desktop.begin_task("t")
+        desktop.enter(JCF_DESKTOP)
+        desktop.interact(3)
+        desktop.interact()
+        assert desktop.end_task().interactions == 4
+
+    def test_interact_requires_context(self, desktop):
+        desktop.begin_task("t")
+        with pytest.raises(RuntimeError):
+            desktop.interact()
+
+    def test_new_task_resets_context(self, desktop):
+        desktop.begin_task("t1")
+        desktop.enter(JCF_DESKTOP)
+        desktop.end_task()
+        desktop.begin_task("t2")
+        desktop.enter(FMCAD_SCHEMATIC)  # fresh seat: not a switch
+        assert desktop.end_task().context_switches == 0
+
+
+class TestSummary:
+    def test_summary_by_task(self, desktop):
+        desktop.begin_task("hybrid_run")
+        desktop.enter(JCF_DESKTOP)
+        desktop.interact(2)
+        desktop.enter(FMCAD_SCHEMATIC)
+        desktop.interact(5)
+        desktop.end_task()
+        summary = desktop.summary()
+        assert summary["hybrid_run"] == {
+            "contexts": 2,
+            "switches": 1,
+            "interactions": 7,
+        }

@@ -1,0 +1,300 @@
+"""Unit tests for the encapsulated tool wrappers (Section 2.4)."""
+
+import pytest
+
+from repro.errors import (
+    EncapsulationError,
+    FlowOrderError,
+    MenuLockedError,
+)
+from tests.conftest import (
+    build_inverter_editor_fn,
+    inverter_testbench_fn,
+    simple_layout_fn,
+)
+
+
+class TestWorkspaceGate:
+    def test_unreserved_cell_rejected(self, hybrid):
+        library = hybrid.fmcad.create_library("lib")
+        library.create_cell("c1")
+        project = hybrid.adopt_library("alice", library)
+        # no prepare_cell/reserve
+        cell_version = project.cell("c1").latest_version()
+        cell_version.attach_flow(
+            hybrid.jcf.flows.flow_object("jcf_fmcad_flow")
+        )
+        with pytest.raises(EncapsulationError, match="reserve"):
+            hybrid.run_schematic_entry(
+                "alice", project, library, "c1",
+                build_inverter_editor_fn(),
+            )
+
+    def test_other_user_cannot_run_tools(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        with pytest.raises(EncapsulationError):
+            hybrid.run_schematic_entry(
+                "bob", project, library, cell, build_inverter_editor_fn()
+            )
+
+
+class TestSchematicEntry:
+    def test_successful_run_produces_both_versions(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        result = hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn()
+        )
+        assert result.success
+        assert result.fmcad_version == 1
+        assert hybrid.jcf.db.exists(result.jcf_version_oid)
+        # both sides hold identical bytes
+        fmcad_data = library.read_version(
+            library.cellview(cell, "schematic")
+        )
+        jcf_data = hybrid.jcf.db.get(result.jcf_version_oid).payload
+        assert fmcad_data == jcf_data
+
+    def test_invalid_schematic_fails_activity(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+
+        def bad_edit(editor):
+            editor.place_gate("floating", "AND")  # dangling pins
+
+        result = hybrid.run_schematic_entry(
+            "alice", project, library, cell, bad_edit
+        )
+        assert not result.success
+        assert "check failed" in result.details
+        # nothing was checked in — the cellview was never even created
+        assert not library.cell(cell).has_cellview("schematic")
+
+    def test_second_run_opens_previous_version(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn()
+        )
+        seen = {}
+
+        def incremental_edit(editor):
+            seen["ports"] = [p.name for p in editor.schematic.ports()]
+
+        result = hybrid.run_schematic_entry(
+            "alice", project, library, cell, incremental_edit
+        )
+        assert seen["ports"] == ["a", "y"]  # opened v1, not a blank sheet
+        assert result.fmcad_version == 2
+
+    def test_guarded_menus_locked_during_run(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        captured = {}
+
+        def probing_edit(editor):
+            session = hybrid.fmcad.sessions()[0]
+            captured["locked"] = session.menu("checkin").locked
+            editor.add_port("a", "in")
+            editor.add_port("y", "out")
+            editor.place_gate("g", "NOT", 1)
+            editor.wire("a", "g", "in0")
+            editor.wire("y", "g", "out")
+
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, probing_edit
+        )
+        assert captured["locked"] is True
+
+
+class TestFlowIntegration:
+    def test_out_of_order_run_rejected(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        with pytest.raises(FlowOrderError):
+            hybrid.run_layout_entry(
+                "alice", project, library, cell, simple_layout_fn()
+            )
+        assert hybrid.jcf.engine.rejected_starts == 1
+
+    def test_forced_early_run_shows_consistency_window(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn()
+        )
+        # layout before simulation, supervised
+        result = hybrid.run_layout_entry(
+            "alice", project, library, cell, simple_layout_fn(),
+            force_early=True,
+        )
+        assert result.success and result.forced_early
+        assert hybrid.jcf.engine.forced_starts == 1
+
+    def test_simulation_needs_schematic(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        with pytest.raises(FlowOrderError):
+            hybrid.run_simulation(
+                "alice", project, library, cell, inverter_testbench_fn()
+            )
+
+    def test_full_flow_records_derivations(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        r1 = hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn(2)
+        )
+        r2 = hybrid.run_simulation(
+            "alice", project, library, cell, inverter_testbench_fn(2)
+        )
+        r3 = hybrid.run_layout_entry(
+            "alice", project, library, cell, simple_layout_fn()
+        )
+        assert r1.success and r2.success and r3.success
+        schematic_version = hybrid.jcf.db.get(r1.jcf_version_oid)
+        from repro.jcf.project import JCFDesignObjectVersion
+
+        sv = JCFDesignObjectVersion(hybrid.jcf.db, schematic_version)
+        derived_oids = {v.oid for v in sv.derived_versions()}
+        assert {r2.jcf_version_oid, r3.jcf_version_oid} <= derived_oids
+
+    def test_failing_simulation_blocks_layout(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn(2)
+        )
+
+        def wrong_bench(tb):
+            tb.drive(0, "a", "0")
+            tb.expect(30, "y", "1")  # wrong: 2 inverters = buffer
+
+        result = hybrid.run_simulation(
+            "alice", project, library, cell, wrong_bench
+        )
+        assert not result.success
+        with pytest.raises(FlowOrderError):
+            hybrid.run_layout_entry(
+                "alice", project, library, cell, simple_layout_fn()
+            )
+
+
+class TestLayoutEntry:
+    def run_upto_layout(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn(2)
+        )
+        hybrid.run_simulation(
+            "alice", project, library, cell, inverter_testbench_fn(2)
+        )
+        return hybrid, project, library, cell
+
+    def test_drc_gate_blocks_dirty_layout(self, adopted_cell):
+        hybrid, project, library, cell = self.run_upto_layout(adopted_cell)
+
+        def thin_layout(editor):
+            editor.draw_rect("metal1", 0, 0, 10, 1)  # width violation
+
+        result = hybrid.run_layout_entry(
+            "alice", project, library, cell, thin_layout
+        )
+        assert not result.success
+        assert "DRC failed" in result.details
+
+    def test_drc_gate_can_be_waived(self, adopted_cell):
+        hybrid, project, library, cell = self.run_upto_layout(adopted_cell)
+
+        def thin_layout(editor):
+            editor.draw_rect("metal1", 0, 0, 10, 1)
+
+        result = hybrid.run_layout_entry(
+            "alice", project, library, cell, thin_layout, drc_gate=False
+        )
+        assert result.success
+        assert "waived" in result.details
+
+
+class TestSimulatorDynamicBinding:
+    def test_subcells_resolved_from_default_versions(self, hybrid):
+        """The simulator netlists through FMCAD's dynamic binding."""
+        library = hybrid.fmcad.create_library("hier")
+        for cell_name in ("leaf", "parent"):
+            library.create_cell(cell_name)
+        project = hybrid.adopt_library("alice", library)
+        hybrid.jcf.resources.assign_team_to_project(
+            "admin", "team1", project.oid
+        )
+        hybrid.prepare_cell("alice", project, "leaf", team_name="team1")
+        hybrid.prepare_cell("alice", project, "parent", team_name="team1")
+        hybrid.run_schematic_entry(
+            "alice", project, library, "leaf", build_inverter_editor_fn(1)
+        )
+
+        def parent_edit(editor):
+            editor.add_port("x", "in")
+            editor.add_port("z", "out")
+            editor.place_cell("u1", "leaf")
+            editor.wire("x", "u1", "a")
+            editor.wire("z", "u1", "y")
+
+        hybrid.run_schematic_entry(
+            "alice", project, library, "parent", parent_edit
+        )
+
+        def bench(tb):
+            tb.drive(0, "x", "0")
+            tb.expect(30, "z", "1")  # one inverter in the leaf
+
+        result = hybrid.run_simulation(
+            "alice", project, library, "parent", bench
+        )
+        assert result.success, result.details
+
+
+class TestSymbolEmission:
+    def test_schematic_entry_emits_symbol_view(self, adopted_cell):
+        """The 'Symbol in Sch.V' half of Figure 2: saving a schematic
+        auto-generates the symbol view in both frameworks."""
+        from repro.tools.schematic.symbols import Symbol
+
+        hybrid, project, library, cell = adopted_cell
+        result = hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn()
+        )
+        assert "symbol" in result.details
+        fmcad_cell = library.cell(cell)
+        assert fmcad_cell.has_cellview("symbol")
+        symbol = Symbol.from_bytes(
+            library.read_version(fmcad_cell.cellview("symbol"))
+        )
+        assert symbol.pins == (("a", "in"), ("y", "out"))
+
+    def test_symbol_recorded_as_jcf_design_object(self, adopted_cell):
+        from repro.core.mapping import WORKING_VARIANT
+
+        hybrid, project, library, cell = adopted_cell
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn()
+        )
+        variant = (
+            project.cell(cell).latest_version().variant(WORKING_VARIANT)
+        )
+        symbol_dobj = variant.find_design_object("symbol")
+        assert symbol_dobj is not None
+        assert symbol_dobj.latest_version() is not None
+
+    def test_symbol_emission_can_be_disabled(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        result = hybrid.schematic_entry.run(
+            "alice", project, library, cell,
+            edit_fn=build_inverter_editor_fn(), emit_symbol=False,
+        )
+        assert result.success
+        assert not library.cell(cell).has_cellview("symbol")
+
+    def test_symbol_in_derivation_record(self, adopted_cell):
+        from repro.core.mapping import WORKING_VARIANT
+
+        hybrid, project, library, cell = adopted_cell
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn()
+        )
+        variant = (
+            project.cell(cell).latest_version().variant(WORKING_VARIANT)
+        )
+        record = hybrid.jcf.engine.what_belongs_to_what(variant)
+        entry = next(iter(record.values()))
+        assert len(entry["creates"]) == 2  # schematic + symbol

@@ -1,0 +1,134 @@
+"""Unit tests for inter-framework design-data exchange archives."""
+
+import pytest
+
+from repro.core.exchange import (
+    ExchangeError,
+    export_archive,
+    import_archive,
+    read_manifest,
+)
+from repro.core.mapping import WORKING_VARIANT
+from tests.conftest import build_inverter_editor_fn
+
+
+@pytest.fixture
+def populated(adopted_cell):
+    hybrid, project, library, cell = adopted_cell
+    hybrid.run_schematic_entry(
+        "alice", project, library, cell, build_inverter_editor_fn()
+    )
+    # also declare a hierarchy edge to carry along
+    extra = project.create_cell("subblock")
+    hybrid.jcf.desktop.submit_hierarchy(
+        "alice", project, [(cell, "subblock")]
+    )
+    return hybrid, project, library, cell
+
+
+class TestExport:
+    def test_archive_created_with_manifest(self, populated, tmp_path):
+        hybrid, project, library, cell = populated
+        path = export_archive(hybrid.jcf, project, tmp_path / "p.tar")
+        manifest = read_manifest(path)
+        assert manifest["project"] == "chipA"
+        assert [c["name"] for c in manifest["cells"]] == [cell, "subblock"]
+        assert manifest["hierarchy"] == [[cell, "subblock"]]
+
+    def test_export_charges_copies(self, populated, tmp_path):
+        hybrid, project, library, cell = populated
+        before = hybrid.clock.elapsed_by_category().get("copy", 0.0)
+        export_archive(hybrid.jcf, project, tmp_path / "p.tar")
+        assert hybrid.clock.elapsed_by_category()["copy"] > before
+
+    def test_manifest_lists_all_versions(self, populated, tmp_path):
+        hybrid, project, library, cell = populated
+        # create a second schematic version through the flow
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell,
+            lambda editor: None,  # re-save the opened previous version
+        )
+        path = export_archive(hybrid.jcf, project, tmp_path / "p.tar")
+        manifest = read_manifest(path)
+        schematic = next(
+            obj
+            for c in manifest["cells"] if c["name"] == cell
+            for obj in c["objects"]
+            if obj["viewtype"] == "schematic"
+        )
+        assert schematic["versions"] == [1, 2]
+
+
+class TestImport:
+    def test_round_trip_preserves_everything(self, populated, tmp_path):
+        hybrid, project, library, cell = populated
+        path = export_archive(hybrid.jcf, project, tmp_path / "p.tar")
+        imported = import_archive(
+            hybrid.jcf, path, "alice", project_name="chipA_copy"
+        )
+        assert {c.name for c in imported.cells()} == {cell, "subblock"}
+        original_variant = (
+            project.cell(cell).latest_version().variant(WORKING_VARIANT)
+        )
+        copied_variant = (
+            imported.cell(cell).latest_version().variant(WORKING_VARIANT)
+        )
+        for dobj in original_variant.design_objects():
+            twin = copied_variant.design_object(dobj.name)
+            assert twin.viewtype_name == dobj.viewtype_name
+            for version in dobj.versions():
+                original_payload = hybrid.jcf.db.get(version.oid).payload
+                copied_payload = hybrid.jcf.db.get(
+                    twin.version(version.number).oid
+                ).payload
+                assert copied_payload == original_payload
+
+    def test_hierarchy_metadata_survives(self, populated, tmp_path):
+        hybrid, project, library, cell = populated
+        path = export_archive(hybrid.jcf, project, tmp_path / "p.tar")
+        imported = import_archive(
+            hybrid.jcf, path, "alice", project_name="copy"
+        )
+        assert hybrid.jcf.desktop.declared_hierarchy(imported) == [
+            (cell, "subblock")
+        ]
+
+    def test_import_into_existing_name_rejected(self, populated, tmp_path):
+        hybrid, project, library, cell = populated
+        path = export_archive(hybrid.jcf, project, tmp_path / "p.tar")
+        with pytest.raises(ExchangeError):
+            import_archive(hybrid.jcf, path, "alice")  # chipA exists
+
+    def test_import_to_second_framework(self, populated, tmp_path):
+        """The whole point: a different installation receives the design."""
+        from repro.jcf.framework import JCFFramework
+
+        hybrid, project, library, cell = populated
+        path = export_archive(hybrid.jcf, project, tmp_path / "p.tar")
+        other = JCFFramework(tmp_path / "other_site")
+        other.resources.define_user("admin", "remote_user")
+        imported = import_archive(other, path, "remote_user")
+        assert imported.name == "chipA"
+        assert imported.cell(cell)
+
+
+class TestRobustness:
+    def test_garbage_archive_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.tar"
+        bogus.write_bytes(b"this is not a tar archive")
+        with pytest.raises(ExchangeError):
+            read_manifest(bogus)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        import io
+        import json
+        import tarfile
+
+        path = tmp_path / "wrong.tar"
+        with tarfile.open(path, "w") as archive:
+            blob = json.dumps({"format": "other"}).encode()
+            info = tarfile.TarInfo("manifest.json")
+            info.size = len(blob)
+            archive.addfile(info, io.BytesIO(blob))
+        with pytest.raises(ExchangeError):
+            read_manifest(path)

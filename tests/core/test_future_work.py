@@ -1,0 +1,143 @@
+"""Unit tests for the paper's future-work extensions.
+
+Each Section 3.x ends with a limitation and an outlook; the reproduction
+implements both sides.  These tests cover the extension flags:
+
+* cross-project data sharing (Section 3.1 outlook);
+* the procedural hierarchy interface (Section 3.3 outlook);
+* (the OMS procedural interface and non-isomorphic hierarchies are
+  covered in test_database.py / test_hierarchy.py.)
+"""
+
+import pytest
+
+from repro.core import HybridFramework
+from repro.errors import CrossProjectSharingError, HierarchyError
+from repro.jcf.framework import JCFFramework
+from tests.conftest import build_inverter_editor_fn
+
+
+class TestCrossProjectSharing:
+    def make_two_projects(self, jcf):
+        project_a = jcf.desktop.create_project("alice", "chipA")
+        project_b = jcf.desktop.create_project("alice", "chipB")
+        top = project_a.create_cell("top")
+        shared = project_b.create_cell("shared_ip")
+        return top, shared
+
+    def test_default_jcf_forbids_sharing(self, tmp_path):
+        jcf = JCFFramework(tmp_path / "jcf")
+        jcf.resources.define_user("admin", "alice")
+        top, shared = self.make_two_projects(jcf)
+        with pytest.raises(CrossProjectSharingError):
+            top.add_component(shared)
+
+    def test_extension_allows_read_only_reference(self, tmp_path):
+        jcf = JCFFramework(
+            tmp_path / "jcf", allow_cross_project_sharing=True
+        )
+        jcf.resources.define_user("admin", "alice")
+        top, shared = self.make_two_projects(jcf)
+        top.add_component(shared)
+        assert [c.name for c in top.components()] == ["shared_ip"]
+        # the foreign cell keeps its owning project
+        assert shared.project_oid != top.project_oid
+
+    def test_hybrid_exposes_the_flag(self, tmp_path):
+        hybrid = HybridFramework(
+            tmp_path / "h", allow_cross_project_sharing=True
+        )
+        assert hybrid.jcf.db.policy["cross_project_sharing"] is True
+
+
+@pytest.fixture
+def procedural_hybrid(tmp_path):
+    hybrid = HybridFramework(
+        tmp_path / "proc", enable_hierarchy_procedural_interface=True
+    )
+    hybrid.jcf.resources.define_user("admin", "alice")
+    hybrid.jcf.resources.define_team("admin", "team")
+    hybrid.jcf.resources.add_member("admin", "alice", "team")
+    hybrid.setup_standard_flow()
+    library = hybrid.fmcad.create_library("lib")
+    library.create_cell("leaf")
+    library.create_cell("parent")
+    project = hybrid.adopt_library("alice", library, "proj")
+    hybrid.jcf.resources.assign_team_to_project("admin", "team",
+                                                project.oid)
+    hybrid.prepare_cell("alice", project, "leaf", team_name="team")
+    hybrid.prepare_cell("alice", project, "parent", team_name="team")
+    return hybrid, project, library
+
+
+class TestProceduralHierarchyInterface:
+    def test_disabled_by_default(self, hybrid):
+        project = hybrid.jcf.desktop.create_project("alice", "p")
+        with pytest.raises(HierarchyError, match="3.0"):
+            hybrid.hierarchy.submit_procedurally(project, [("a", "b")])
+
+    def test_tools_pass_hierarchy_automatically(self, procedural_hybrid):
+        hybrid, project, library = procedural_hybrid
+        hybrid.run_schematic_entry(
+            "alice", project, library, "leaf", build_inverter_editor_fn()
+        )
+
+        def parent_edit(editor):
+            editor.add_port("x", "in")
+            editor.add_port("z", "out")
+            editor.place_cell("u1", "leaf")
+            editor.wire("x", "u1", "a")
+            editor.wire("z", "u1", "y")
+
+        interactions_before = hybrid.jcf.desktop.total_interactions()
+        hybrid.run_schematic_entry(
+            "alice", project, library, "parent", parent_edit
+        )
+        # the CompOf edge appeared without any extra desktop dialog
+        assert hybrid.jcf.desktop.declared_hierarchy(project) == [
+            ("parent", "leaf")
+        ]
+        assert (
+            hybrid.jcf.desktop.total_interactions() == interactions_before
+        )
+        assert hybrid.hierarchy.procedural_edges == 1
+
+    def test_no_drift_under_procedural_interface(self, procedural_hybrid):
+        """With tools feeding JCF, metadata never drifts from the files."""
+        hybrid, project, library = procedural_hybrid
+        hybrid.run_schematic_entry(
+            "alice", project, library, "leaf", build_inverter_editor_fn()
+        )
+
+        def parent_edit(editor):
+            editor.add_port("x", "in")
+            editor.add_port("z", "out")
+            editor.place_cell("u1", "leaf")
+            editor.wire("x", "u1", "a")
+            editor.wire("z", "u1", "y")
+
+        hybrid.run_schematic_entry(
+            "alice", project, library, "parent", parent_edit
+        )
+        assert hybrid.hierarchy.verify_against_library(
+            project, library
+        ) == []
+
+    def test_procedural_submission_idempotent(self, procedural_hybrid):
+        hybrid, project, library = procedural_hybrid
+        declared = hybrid.hierarchy.submit_procedurally(
+            project, [("parent", "leaf")]
+        )
+        assert declared == 1
+        declared_again = hybrid.hierarchy.submit_procedurally(
+            project, [("parent", "leaf")]
+        )
+        assert declared_again == 0
+        assert hybrid.hierarchy.procedural_edges == 1
+
+    def test_unknown_cells_skipped(self, procedural_hybrid):
+        hybrid, project, library = procedural_hybrid
+        declared = hybrid.hierarchy.submit_procedurally(
+            project, [("parent", "not_mapped_yet")]
+        )
+        assert declared == 0

@@ -1,0 +1,143 @@
+"""Unit tests for hierarchy extraction, isomorphism, and submission."""
+
+import pytest
+
+from repro.core.hierarchy import (
+    HierarchyManager,
+    extract_functional_hierarchy,
+    extract_physical_hierarchy,
+    hierarchies_isomorphic,
+)
+from repro.errors import HierarchyError, NonIsomorphicHierarchyError
+from repro.workloads.designs import (
+    DesignSpec,
+    generate_design,
+    generate_layout_for,
+    populate_library,
+)
+
+
+@pytest.fixture
+def design():
+    return generate_design(
+        DesignSpec(name="top", depth=2, fanout=2, leaf_inputs=2, seed=3)
+    )
+
+
+@pytest.fixture
+def library(hybrid, design):
+    return populate_library(hybrid.fmcad, "genlib", design)
+
+
+class TestExtraction:
+    def test_functional_matches_generator(self, library, design):
+        assert extract_functional_hierarchy(library) == design.hierarchy
+
+    def test_physical_matches_functional_when_isomorphic(
+        self, library, design
+    ):
+        functional = extract_functional_hierarchy(library)
+        physical = extract_physical_hierarchy(library)
+        assert functional == physical
+        assert hierarchies_isomorphic(functional, physical)
+
+    def test_cells_without_views_contribute_nothing(self, hybrid):
+        library = hybrid.fmcad.create_library("empty")
+        library.create_cell("bare")
+        assert extract_functional_hierarchy(library) == []
+        assert extract_physical_hierarchy(library) == []
+
+
+class TestIsomorphism:
+    def test_disjoint_parents_never_conflict(self):
+        functional = [("a", "b")]
+        physical = [("c", "d")]
+        assert hierarchies_isomorphic(functional, physical)
+
+    def test_same_parent_different_children_conflicts(self):
+        functional = [("top", "alu")]
+        physical = [("top", "alu_left"), ("top", "alu_right")]
+        assert not hierarchies_isomorphic(functional, physical)
+
+    def test_equal_hierarchies_isomorphic(self):
+        edges = [("a", "b"), ("b", "c")]
+        assert hierarchies_isomorphic(edges, list(edges))
+
+
+class TestSubmission:
+    def test_submission_pays_one_interaction_per_edge(
+        self, hybrid, library, design
+    ):
+        project = hybrid.mapper.import_library(library, "alice")
+        submission = hybrid.hierarchy.submit_from_library(
+            "alice", project, library
+        )
+        assert submission.accepted
+        assert submission.desktop_interactions == len(design.hierarchy)
+        assert (
+            hybrid.jcf.desktop.declared_hierarchy(project)
+            == design.hierarchy
+        )
+
+    def test_submission_requires_mapped_cells(self, hybrid, library):
+        project = hybrid.jcf.desktop.create_project("alice", "fresh")
+        with pytest.raises(HierarchyError):
+            hybrid.hierarchy.submit_from_library("alice", project, library)
+
+    def test_non_isomorphic_rejected_in_jcf3_mode(self, hybrid, design):
+        # regenerate the top layout flattening one child away
+        design.layouts[design.top_cell] = generate_layout_for(
+            design.schematics[design.top_cell], isomorphic=False
+        )
+        library = populate_library(hybrid.fmcad, "noniso", design)
+        project = hybrid.mapper.import_library(library, "alice")
+        with pytest.raises(NonIsomorphicHierarchyError):
+            hybrid.hierarchy.submit_from_library("alice", project, library)
+        assert hybrid.hierarchy.rejections == 1
+
+    def test_future_mode_accepts_non_isomorphic(self, hybrid, design):
+        design.layouts[design.top_cell] = generate_layout_for(
+            design.schematics[design.top_cell], isomorphic=False
+        )
+        library = populate_library(hybrid.fmcad, "noniso", design)
+        project = hybrid.mapper.import_library(library, "alice")
+        future = HierarchyManager(hybrid.jcf.desktop, jcf3_strict=False)
+        submission = future.submit_from_library("alice", project, library)
+        assert submission.accepted
+        assert submission.conflicts  # recorded, not fatal
+
+
+class TestDriftDetection:
+    def test_clean_after_submission(self, hybrid, library):
+        project = hybrid.mapper.import_library(library, "alice")
+        hybrid.hierarchy.submit_from_library("alice", project, library)
+        assert (
+            hybrid.hierarchy.verify_against_library(project, library) == []
+        )
+
+    def test_new_instance_without_resubmission_detected(
+        self, hybrid, library, design
+    ):
+        project = hybrid.mapper.import_library(library, "alice")
+        hybrid.hierarchy.submit_from_library("alice", project, library)
+        # a designer adds an instance behind JCF's back
+        from repro.tools.schematic.model import Component, Schematic
+
+        top_view = library.cellview("top", "schematic")
+        schematic = Schematic.from_bytes(library.read_version(top_view))
+        schematic.add_component(
+            Component("sneaky", "CELL", cellref="top_0_0")
+        )
+        library.write_version(top_view, schematic.to_bytes(), "mallory")
+        problems = hybrid.hierarchy.verify_against_library(project, library)
+        assert any("top->top_0_0" in p for p in problems)
+
+    def test_stale_declared_edge_detected(self, hybrid, library):
+        project = hybrid.mapper.import_library(library, "alice")
+        hybrid.hierarchy.submit_from_library("alice", project, library)
+        # declare an edge that no design file contains
+        hybrid.jcf.desktop.submit_hierarchy(
+            "alice", project, [("top_0_0", "top_1_1")]
+        )
+        problems = hybrid.hierarchy.verify_against_library(project, library)
+        assert any("declared in JCF but absent" in p for p in problems)

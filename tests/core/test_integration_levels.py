@@ -1,0 +1,172 @@
+"""Unit tests for black-box integration and the FPGA flow."""
+
+import pytest
+
+from repro.core import HybridFramework
+from repro.core.integration import (
+    BlackBoxToolWrapper,
+    IntegrationLevel,
+)
+from repro.errors import EncapsulationError, FlowOrderError
+from repro.jcf.flows import fpga_flow
+from tests.conftest import build_inverter_editor_fn
+
+
+@pytest.fixture
+def fpga_env(tmp_path):
+    hybrid = HybridFramework(tmp_path / "fpga")
+    hybrid.jcf.resources.define_user("admin", "alice")
+    hybrid.jcf.resources.define_team("admin", "team")
+    hybrid.jcf.resources.add_member("admin", "alice", "team")
+    hybrid.register_flow(fpga_flow())
+    library = hybrid.fmcad.create_library("fpgalib")
+    library.create_cell("ctrl")
+    project = hybrid.adopt_library("alice", library, "fpga_proj")
+    hybrid.jcf.resources.assign_team_to_project("admin", "team",
+                                                project.oid)
+    hybrid.prepare_cell("alice", project, "ctrl", flow_name="fpga_flow",
+                        team_name="team")
+    return hybrid, project, library
+
+
+def synthesis_tool(inputs):
+    schematic = inputs["schematic"]
+    return True, b"NETLIST from " + schematic[:20], "synthesised"
+
+
+def par_tool(inputs):
+    return True, b"PLACED " + inputs["netlist"][:10], "placed and routed"
+
+
+def bitstream_tool(inputs):
+    return True, b"BITS " + inputs["placement"][:10], "bitstream ready"
+
+
+def wrappers_for(hybrid):
+    make = lambda activity, tool, viewtype, fn: BlackBoxToolWrapper(
+        hybrid.jcf, hybrid.fmcad, hybrid.mapper, hybrid.guard,
+        activity_name=activity, tool_name=tool,
+        output_viewtype=viewtype, tool_fn=fn,
+    )
+    return (
+        make("synthesis", "synthesis_tool", "netlist", synthesis_tool),
+        make("place_and_route", "place_route_tool", "placement", par_tool),
+        make("bitstream_generation", "bitstream_tool", "bitstream",
+             bitstream_tool),
+    )
+
+
+class TestFpgaFlowDefinition:
+    def test_flow_is_valid_dag(self):
+        flow = fpga_flow()
+        order = flow.topological_order()
+        assert order == [
+            "schematic_entry", "synthesis", "place_and_route",
+            "bitstream_generation",
+        ]
+
+    def test_black_box_level_flags(self):
+        assert BlackBoxToolWrapper.INTEGRATION is IntegrationLevel.BLACK_BOX
+        assert BlackBoxToolWrapper.GUARD_MENUS is False
+
+
+class TestBlackBoxRuns:
+    def run_whole_flow(self, fpga_env):
+        hybrid, project, library = fpga_env
+        hybrid.run_schematic_entry(
+            "alice", project, library, "ctrl", build_inverter_editor_fn()
+        )
+        results = []
+        for wrapper in wrappers_for(hybrid):
+            results.append(
+                wrapper.run("alice", project, library, "ctrl")
+            )
+        return hybrid, project, library, results
+
+    def test_full_fpga_flow_succeeds(self, fpga_env):
+        hybrid, project, library, results = self.run_whole_flow(fpga_env)
+        assert all(r.success for r in results)
+        cell = library.cell("ctrl")
+        for view in ("netlist", "placement", "bitstream"):
+            assert cell.has_cellview(view)
+            assert cell.cellview(view).default_version is not None
+
+    def test_derivation_chain_through_black_boxes(self, fpga_env):
+        hybrid, project, library, results = self.run_whole_flow(fpga_env)
+        from repro.jcf.project import JCFDesignObjectVersion
+
+        bitstream = JCFDesignObjectVersion(
+            hybrid.jcf.db, hybrid.jcf.db.get(results[-1].jcf_version_oid)
+        )
+        chain = hybrid.jcf.engine.derivation_chain(bitstream)
+        viewtypes = {v.design_object.viewtype_name for v in chain}
+        assert {"schematic", "netlist", "placement"} <= viewtypes
+
+    def test_flow_order_enforced_for_black_boxes(self, fpga_env):
+        hybrid, project, library = fpga_env
+        synthesis, par, bits = wrappers_for(hybrid)
+        with pytest.raises(FlowOrderError):
+            par.run("alice", project, library, "ctrl")
+
+    def test_black_box_session_has_no_guarded_menus(self, fpga_env):
+        hybrid, project, library = fpga_env
+        hybrid.run_schematic_entry(
+            "alice", project, library, "ctrl", build_inverter_editor_fn()
+        )
+        seen = {}
+        original_open = hybrid.fmcad.open_session
+
+        def spy(tool_name, user):
+            session = original_open(tool_name, user)
+            seen["session"] = session
+            return session
+
+        hybrid.fmcad.open_session = spy
+        synthesis, *_ = wrappers_for(hybrid)
+        synthesis.run("alice", project, library, "ctrl")
+        hybrid.fmcad.open_session = original_open
+        session = seen["session"]
+        assert all(
+            not session.menu(name).locked
+            for name in session.menu_names()
+        )
+
+    def test_crashing_black_box_fails_activity(self, fpga_env):
+        hybrid, project, library = fpga_env
+        hybrid.run_schematic_entry(
+            "alice", project, library, "ctrl", build_inverter_editor_fn()
+        )
+
+        def broken(inputs):
+            raise RuntimeError("license server down")
+
+        wrapper = BlackBoxToolWrapper(
+            hybrid.jcf, hybrid.fmcad, hybrid.mapper, hybrid.guard,
+            activity_name="synthesis", tool_name="synthesis_tool",
+            output_viewtype="netlist", tool_fn=broken,
+        )
+        with pytest.raises(EncapsulationError, match="crashed"):
+            wrapper.run("alice", project, library, "ctrl")
+        # the flow records the failure and allows a retry
+        synthesis, *_ = wrappers_for(hybrid)
+        assert synthesis.run("alice", project, library, "ctrl").success
+
+    def test_unsuccessful_tool_blocks_successor(self, fpga_env):
+        hybrid, project, library = fpga_env
+        hybrid.run_schematic_entry(
+            "alice", project, library, "ctrl", build_inverter_editor_fn()
+        )
+
+        def failing(inputs):
+            return False, None, "timing not met"
+
+        wrapper = BlackBoxToolWrapper(
+            hybrid.jcf, hybrid.fmcad, hybrid.mapper, hybrid.guard,
+            activity_name="synthesis", tool_name="synthesis_tool",
+            output_viewtype="netlist", tool_fn=failing,
+        )
+        result = wrapper.run("alice", project, library, "ctrl")
+        assert not result.success
+        _, par, _ = wrappers_for(hybrid)
+        with pytest.raises(FlowOrderError):
+            par.run("alice", project, library, "ctrl")

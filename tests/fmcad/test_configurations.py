@@ -1,0 +1,72 @@
+"""Unit tests for FMCAD configurations."""
+
+import pytest
+
+from repro.errors import FMCADError
+from repro.fmcad.configurations import FMCADConfiguration
+from repro.fmcad.library import Library
+
+
+@pytest.fixture
+def library(tmp_path, clock):
+    lib = Library("lib", tmp_path, clock=clock)
+    for cell in ("alu", "fpu"):
+        lib.create_cell(cell)
+        cellview = lib.create_cellview(cell, "schematic")
+        lib.write_version(cellview, b"v1", "a")
+        lib.write_version(cellview, b"v2", "a")
+    return lib
+
+
+@pytest.fixture
+def config(library):
+    return FMCADConfiguration("golden", library)
+
+
+class TestPinning:
+    def test_add_and_resolve(self, config):
+        config.add("alu", "schematic", 1)
+        config.add("fpu", "schematic", 2)
+        resolved = config.resolve()
+        assert [v.number for v in resolved] == [1, 2]
+
+    def test_at_most_one_version_per_cellview(self, config):
+        config.add("alu", "schematic", 1)
+        with pytest.raises(FMCADError):
+            config.add("alu", "schematic", 2)
+
+    def test_add_unknown_version_raises(self, config):
+        with pytest.raises(FMCADError):
+            config.add("alu", "schematic", 99)
+
+    def test_replace_repins(self, config):
+        config.add("alu", "schematic", 1)
+        config.replace("alu", "schematic", 2)
+        assert config.version_of("alu", "schematic") == 2
+
+    def test_replace_unpinned_raises(self, config):
+        with pytest.raises(FMCADError):
+            config.replace("alu", "schematic", 1)
+
+    def test_remove(self, config):
+        config.add("alu", "schematic", 1)
+        config.remove("alu", "schematic")
+        assert config.version_of("alu", "schematic") is None
+        assert len(config) == 0
+
+    def test_remove_unpinned_raises(self, config):
+        with pytest.raises(FMCADError):
+            config.remove("alu", "schematic")
+
+
+class TestValidation:
+    def test_clean_configuration(self, config):
+        config.add("alu", "schematic", 1)
+        assert config.validate() == []
+
+    def test_detects_deleted_version_file(self, config, library):
+        config.add("alu", "schematic", 2)
+        version = library.cellview("alu", "schematic").version(2)
+        version.path.unlink()
+        problems = config.validate()
+        assert problems and "file missing" in problems[0]

@@ -1,0 +1,95 @@
+"""Unit tests for the standard extension-language customizations."""
+
+import pytest
+
+from repro.fmcad.customizations import (
+    apply_standard_customizations,
+    audit_counts,
+    pending_reminders,
+    watch_cell,
+    watch_hits,
+)
+
+
+@pytest.fixture
+def customized(fmcad):
+    apply_standard_customizations(fmcad)
+    return fmcad
+
+
+class TestInvocationAudit:
+    def test_counts_accumulate_per_tool(self, customized):
+        for _ in range(3):
+            customized.log_invocation("schematic_editor", "alice",
+                                      "alu", "schematic")
+        customized.log_invocation("layout_editor", "alice", "alu",
+                                  "layout")
+        counts = audit_counts(customized)
+        assert counts == {"schematic_editor": 3, "layout_editor": 1}
+
+    def test_counts_queryable_from_lisp(self, customized):
+        customized.log_invocation("schematic_editor", "alice", "alu",
+                                  "schematic")
+        assert customized.interpreter.run(
+            '(audit-count "schematic_editor")'
+        ) == 1
+        assert customized.interpreter.run(
+            '(audit-count "never_run")'
+        ) == 0
+
+    def test_no_invocations_empty_audit(self, customized):
+        assert audit_counts(customized) == {}
+
+
+class TestSaveReminder:
+    def test_reminder_after_threshold(self, customized):
+        for _ in range(5):
+            customized.log_invocation("schematic_editor", "bob", "alu",
+                                      "schematic")
+        reminders = pending_reminders(customized)
+        assert reminders == ["save your work, bob"]
+
+    def test_counter_resets_after_reminder(self, customized):
+        for _ in range(10):
+            customized.log_invocation("schematic_editor", "bob", "alu",
+                                      "schematic")
+        assert len(pending_reminders(customized)) == 2
+
+    def test_below_threshold_no_reminder(self, customized):
+        for _ in range(4):
+            customized.log_invocation("schematic_editor", "bob", "alu",
+                                      "schematic")
+        assert pending_reminders(customized) == []
+
+
+class TestWatchlist:
+    def test_watched_cell_flagged(self, customized):
+        watch_cell(customized, "top")
+        customized.log_invocation("layout_editor", "carol", "top",
+                                  "layout")
+        customized.log_invocation("layout_editor", "carol", "other",
+                                  "layout")
+        hits = watch_hits(customized)
+        assert hits == ["carol touched top/layout"]
+
+    def test_unwatched_invocations_silent(self, customized):
+        customized.log_invocation("layout_editor", "carol", "alu",
+                                  "layout")
+        assert watch_hits(customized) == []
+
+
+class TestThroughTheCoupling:
+    def test_coupled_runs_fire_the_customizations(self, adopted_cell):
+        from tests.conftest import build_inverter_editor_fn
+
+        hybrid, project, library, cell = adopted_cell
+        apply_standard_customizations(hybrid.fmcad)
+        watch_cell(hybrid.fmcad, cell)
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn()
+        )
+        counts = audit_counts(hybrid.fmcad)
+        assert counts.get("schematic_editor") == 1
+        assert watch_hits(hybrid.fmcad) == [
+            f"alice touched {cell}/schematic"
+        ]

@@ -1,0 +1,196 @@
+"""Unit tests for the extension-language interpreter."""
+
+import pytest
+
+from repro.errors import ExtensionLanguageError
+from repro.fmcad.extension import ExtensionInterpreter, parse, tokenize
+
+
+@pytest.fixture
+def interp():
+    return ExtensionInterpreter()
+
+
+class TestReader:
+    def test_tokenize_basic(self):
+        assert tokenize("(+ 1 2)") == ["(", "+", "1", "2", ")"]
+
+    def test_tokenize_strings_with_spaces(self):
+        tokens = tokenize('(print "hello world")')
+        assert '"hello world"' in tokens
+
+    def test_tokenize_comments_ignored(self):
+        assert tokenize("; comment\n(f)") == ["(", "f", ")"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ExtensionLanguageError):
+            tokenize('"oops')
+
+    def test_parse_nested(self):
+        forms = parse("(a (b c) d)")
+        assert len(forms) == 1
+        assert forms[0][1] == ["b", "c"]
+
+    def test_parse_quote_sugar(self):
+        forms = parse("'(1 2)")
+        assert forms[0][0] == "quote"
+
+    def test_missing_paren_raises(self):
+        with pytest.raises(ExtensionLanguageError):
+            parse("(a (b)")
+
+    def test_stray_paren_raises(self):
+        with pytest.raises(ExtensionLanguageError):
+            parse(")")
+
+
+class TestEvaluation:
+    def test_arithmetic(self, interp):
+        assert interp.run("(+ 1 2 3)") == 6
+        assert interp.run("(- 10 3 2)") == 5
+        assert interp.run("(* 2 3 4)") == 24
+        assert interp.run("(/ 10 4)") == 2.5
+
+    def test_division_by_zero(self, interp):
+        with pytest.raises(ExtensionLanguageError):
+            interp.run("(/ 1 0)")
+
+    def test_comparisons(self, interp):
+        assert interp.run("(< 1 2)") is True
+        assert interp.run("(>= 2 2)") is True
+        assert interp.run("(= 1 1)") is True
+        assert interp.run('(equal "a" "a")') is True
+
+    def test_string_literal_strips_quotes(self, interp):
+        assert interp.run('"session:000001"') == "session:000001"
+
+    def test_if_branches(self, interp):
+        assert interp.run("(if (< 1 2) 10 20)") == 10
+        assert interp.run("(if (> 1 2) 10 20)") == 20
+        assert interp.run("(if nil 1)") is None
+
+    def test_cond(self, interp):
+        program = "(cond ((= 1 2) 10) ((= 1 1) 20) (t 30))"
+        assert interp.run(program) == 20
+
+    def test_define_value_and_setq(self, interp):
+        interp.run("(define x 5) (setq x (+ x 1))")
+        assert interp.run("x") == 6
+
+    def test_setq_unbound_raises(self, interp):
+        with pytest.raises(ExtensionLanguageError):
+            interp.run("(setq ghost 1)")
+
+    def test_define_procedure_and_call(self, interp):
+        interp.run("(define (double n) (* n 2))")
+        assert interp.run("(double 21)") == 42
+        assert interp.call("double", [5]) == 10
+
+    def test_procedure_skill_spelling(self, interp):
+        interp.run("(procedure (inc n) (+ n 1))")
+        assert interp.call("inc", [1]) == 2
+
+    def test_wrong_arity_raises(self, interp):
+        interp.run("(define (f a b) a)")
+        with pytest.raises(ExtensionLanguageError):
+            interp.call("f", [1])
+
+    def test_lambda_and_closure(self, interp):
+        interp.run(
+            "(define (adder n) (lambda (x) (+ x n)))"
+            "(define add5 (adder 5))"
+        )
+        assert interp.run("(add5 3)") == 8
+
+    def test_let_scoping(self, interp):
+        interp.run("(define x 1)")
+        assert interp.run("(let ((x 10) (y 2)) (+ x y))") == 12
+        assert interp.run("x") == 1
+
+    def test_while_loop(self, interp):
+        interp.run(
+            "(define i 0) (define total 0)"
+            "(while (< i 5) (setq total (+ total i)) (setq i (+ i 1)))"
+        )
+        assert interp.run("total") == 10
+
+    def test_while_iteration_limit(self, interp):
+        interp.MAX_ITERATIONS = 100
+        with pytest.raises(ExtensionLanguageError):
+            interp.run("(while t 1)")
+
+    def test_and_or_short_circuit(self, interp):
+        assert interp.run("(and 1 2 3)") == 3
+        assert interp.run("(and 1 nil 3)") is None
+        assert interp.run("(or nil 2 3)") == 2
+
+    def test_when_unless(self, interp):
+        assert interp.run("(when (< 1 2) 1 2 3)") == 3
+        assert interp.run("(unless (< 1 2) 99)") is None
+
+    def test_list_operations(self, interp):
+        assert interp.run("(car (list 1 2 3))") == 1
+        assert interp.run("(cdr (list 1 2 3))") == [2, 3]
+        assert interp.run("(cons 0 (list 1))") == [0, 1]
+        assert interp.run("(length (append (list 1) (list 2 3)))") == 3
+        assert interp.run("(nth 1 (list 10 20 30))") == 20
+        assert interp.run("(member 2 (list 1 2))") is True
+
+    def test_strcat(self, interp):
+        assert interp.run('(strcat "a" "b" 1)') == "ab1"
+
+    def test_print_collects_output(self, interp):
+        interp.run('(print "hello" 42)')
+        assert interp.output == ["hello 42"]
+
+    def test_unbound_symbol_raises(self, interp):
+        with pytest.raises(ExtensionLanguageError):
+            interp.run("ghost")
+
+    def test_calling_non_callable_raises(self, interp):
+        interp.run("(define x 5)")
+        with pytest.raises(ExtensionLanguageError):
+            interp.run("(x 1)")
+
+
+class TestHostIntegration:
+    def test_register_builtin(self, interp):
+        seen = []
+        interp.register_builtin("host-log", lambda msg: seen.append(msg))
+        interp.run('(host-log "from-script")')
+        assert seen == ["from-script"]
+
+    def test_builtin_exception_wrapped(self, interp):
+        def boom():
+            raise ValueError("no")
+
+        interp.register_builtin("boom", boom)
+        with pytest.raises(ExtensionLanguageError):
+            interp.run("(boom)")
+
+
+class TestTriggers:
+    def test_trigger_fires_procedures(self, interp):
+        interp.run("(define hits 0) (define (on-save) (setq hits (+ hits 1)))")
+        interp.add_trigger("save", "on-save")
+        interp.fire_trigger("save")
+        interp.fire_trigger("save")
+        assert interp.run("hits") == 2
+
+    def test_trigger_receives_arguments(self, interp):
+        interp.run("(define last nil) (define (on-open name) (setq last name))")
+        interp.add_trigger("open", "on-open")
+        interp.fire_trigger("open", "alu")
+        assert interp.run("last") == "alu"
+
+    def test_trigger_on_unknown_procedure_raises(self, interp):
+        with pytest.raises(ExtensionLanguageError):
+            interp.add_trigger("save", "ghost-proc")
+
+    def test_unattached_event_is_noop(self, interp):
+        assert interp.fire_trigger("nothing") == []
+
+    def test_triggers_for_lists_names(self, interp):
+        interp.run("(define (p) 1)")
+        interp.add_trigger("e", "p")
+        assert interp.triggers_for("e") == ["p"]

@@ -1,0 +1,84 @@
+"""Unit tests for the FMCAD framework facade."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.fmcad.framework import FMCADFramework
+
+
+class TestLibraries:
+    def test_create_and_lookup(self, fmcad):
+        fmcad.create_library("lib1")
+        assert fmcad.library("lib1").name == "lib1"
+
+    def test_duplicate_library_rejected(self, fmcad):
+        fmcad.create_library("lib1")
+        with pytest.raises(LibraryError):
+            fmcad.create_library("lib1")
+
+    def test_unknown_library_raises(self, fmcad):
+        with pytest.raises(LibraryError):
+            fmcad.library("ghost")
+
+    def test_libraries_share_the_framework_clock(self, fmcad):
+        library = fmcad.create_library("lib1")
+        assert library.clock is fmcad.clock
+
+
+class TestSessions:
+    def test_open_session_allocates_ids(self, fmcad):
+        s1 = fmcad.open_session("schematic_editor", "alice")
+        s2 = fmcad.open_session("layout_editor", "bob")
+        assert s1.session_id != s2.session_id
+        assert fmcad.session(s1.session_id) is s1
+
+    def test_close_session(self, fmcad):
+        session = fmcad.open_session("schematic_editor", "alice")
+        fmcad.close_session(session.session_id)
+        assert session.closed
+        with pytest.raises(LibraryError):
+            fmcad.session(session.session_id)
+
+    def test_extension_can_lock_session_menus(self, fmcad):
+        session = fmcad.open_session("schematic_editor", "alice")
+        session.register_menu("save", lambda: None)
+        fmcad.interpreter.run(
+            f'(lock-menu "{session.session_id}" "save" "guarded")'
+        )
+        assert session.menu("save").locked
+        assert fmcad.interpreter.run(
+            f'(menu-locked "{session.session_id}" "save")'
+        ) is True
+        fmcad.interpreter.run(
+            f'(unlock-menu "{session.session_id}" "save")'
+        )
+        assert not session.menu("save").locked
+
+
+class TestConfigurations:
+    def test_create_configuration(self, fmcad):
+        fmcad.create_library("lib1")
+        config = fmcad.create_configuration("golden", "lib1")
+        assert fmcad.configuration("golden") is config
+
+    def test_duplicate_configuration_rejected(self, fmcad):
+        fmcad.create_library("lib1")
+        fmcad.create_configuration("golden", "lib1")
+        with pytest.raises(LibraryError):
+            fmcad.create_configuration("golden", "lib1")
+
+
+class TestInvocationLog:
+    def test_log_is_flat_and_relationless(self, fmcad):
+        fmcad.log_invocation("schematic_editor", "alice", "alu", "schematic")
+        fmcad.log_invocation("layout_editor", "alice", "alu", "layout")
+        assert len(fmcad.invocation_log) == 2
+        assert fmcad.invocation_log[0].sequence == 1
+        # the Section 3.5 claim: no derivation info whatsoever
+        assert fmcad.derivation_relations() == []
+
+    def test_stats_shape(self, fmcad):
+        fmcad.create_library("lib1")
+        stats = fmcad.stats()
+        assert "lib1" in stats["libraries"]
+        assert stats["invocations"] == 0

@@ -1,0 +1,109 @@
+"""Unit tests for inter-tool communication and cross-probing."""
+
+import pytest
+
+from repro.errors import ITCError
+from repro.fmcad.itc import CrossProbe, ITCBus
+
+
+@pytest.fixture
+def bus():
+    return ITCBus()
+
+
+class TestSubscriptions:
+    def test_subscribe_and_publish(self, bus):
+        received = []
+        bus.subscribe("s1", "topic", received.append)
+        bus.publish("s2", "topic", {"k": "v"})
+        assert len(received) == 1
+        assert received[0].payload == {"k": "v"}
+
+    def test_sender_does_not_receive_own_message(self, bus):
+        received = []
+        bus.subscribe("s1", "topic", received.append)
+        bus.publish("s1", "topic", {})
+        assert received == []
+
+    def test_double_subscribe_raises(self, bus):
+        bus.subscribe("s1", "t", lambda m: None)
+        with pytest.raises(ITCError):
+            bus.subscribe("s1", "t", lambda m: None)
+
+    def test_unsubscribe(self, bus):
+        received = []
+        bus.subscribe("s1", "t", received.append)
+        bus.unsubscribe("s1", "t")
+        bus.publish("s2", "t", {})
+        assert received == []
+
+    def test_unsubscribe_unknown_raises(self, bus):
+        with pytest.raises(ITCError):
+            bus.unsubscribe("ghost", "t")
+
+    def test_subscribers_listing(self, bus):
+        bus.subscribe("s1", "t", lambda m: None)
+        bus.subscribe("s2", "t", lambda m: None)
+        assert bus.subscribers("t") == ["s1", "s2"]
+
+    def test_sequence_numbers_increase(self, bus):
+        m1 = bus.publish("s", "t", {})
+        m2 = bus.publish("s", "t", {})
+        assert m2.sequence > m1.sequence
+
+
+class TestInterceptors:
+    def test_interceptor_can_veto(self, bus):
+        received = []
+        bus.subscribe("s1", "t", received.append)
+        bus.add_interceptor(lambda m: None)
+        result = bus.publish("s2", "t", {"x": 1})
+        assert result is None
+        assert received == []
+        assert len(bus.vetoed) == 1
+
+    def test_interceptor_can_rewrite(self, bus):
+        import dataclasses
+
+        received = []
+        bus.subscribe("s1", "t", received.append)
+        bus.add_interceptor(
+            lambda m: dataclasses.replace(
+                m, payload={**m.payload, "checked": True}
+            )
+        )
+        bus.publish("s2", "t", {"x": 1})
+        assert received[0].payload == {"x": 1, "checked": True}
+
+    def test_interceptors_chain(self, bus):
+        order = []
+
+        def first(m):
+            order.append("first")
+            return m
+
+        def second(m):
+            order.append("second")
+            return m
+
+        bus.add_interceptor(first)
+        bus.add_interceptor(second)
+        bus.publish("s", "t", {})
+        assert order == ["first", "second"]
+
+
+class TestCrossProbe:
+    def test_probe_highlights_in_peer(self, bus):
+        schematic = CrossProbe(bus, "schematic_session")
+        layout = CrossProbe(bus, "layout_session")
+        schematic.probe("net_clk")
+        assert layout.highlighted == ["net_clk"]
+        assert schematic.highlighted == []  # not self
+
+    def test_bidirectional_probing(self, bus):
+        schematic = CrossProbe(bus, "s")
+        layout = CrossProbe(bus, "l")
+        layout.probe("net_a")
+        schematic.probe("net_b")
+        assert schematic.highlighted == ["net_a"]
+        assert layout.highlighted == ["net_b"]

@@ -1,0 +1,151 @@
+"""Unit tests for FMCAD design objects and properties."""
+
+import pathlib
+
+import pytest
+
+from repro.errors import FMCADError, PropertyError, ViewTypeError
+from repro.fmcad.objects import (
+    Cell,
+    CellView,
+    CellViewVersion,
+    View,
+    VIEWTYPE_LAYOUT,
+    VIEWTYPE_SCHEMATIC,
+    resolve_viewtype,
+)
+from repro.fmcad.properties import PropertyBag
+
+
+class TestViewTypes:
+    def test_resolve_known(self):
+        assert resolve_viewtype("schematic").tool_name == "schematic_editor"
+        assert resolve_viewtype("layout").tool_name == "layout_editor"
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ViewTypeError):
+            resolve_viewtype("hologram")
+
+    def test_symbol_shares_schematic_tool(self):
+        """Viewtypes can be switched with the same tool (Section 2.2)."""
+        assert (
+            resolve_viewtype("symbol").tool_name
+            == resolve_viewtype("schematic").tool_name
+        )
+
+
+class TestCellView:
+    def make_cellview(self):
+        return CellView("alu", View("schematic", VIEWTYPE_SCHEMATIC))
+
+    def test_name_combines_cell_and_view(self):
+        assert self.make_cellview().name == "alu/schematic"
+
+    def test_default_version_is_newest(self, tmp_path):
+        cellview = self.make_cellview()
+        for n in (1, 2):
+            path = tmp_path / f"v{n}.dat"
+            path.write_bytes(b"x")
+            cellview.add_version(CellViewVersion(n, path, n, "a"))
+        assert cellview.default_version.number == 2
+
+    def test_version_numbers_must_advance(self, tmp_path):
+        cellview = self.make_cellview()
+        path = tmp_path / "v.dat"
+        path.write_bytes(b"x")
+        cellview.add_version(CellViewVersion(2, path, 1, "a"))
+        with pytest.raises(FMCADError):
+            cellview.add_version(CellViewVersion(1, path, 2, "a"))
+
+    def test_missing_version_raises(self):
+        with pytest.raises(FMCADError):
+            self.make_cellview().version(3)
+
+    def test_next_version_number(self, tmp_path):
+        cellview = self.make_cellview()
+        assert cellview.next_version_number() == 1
+        path = tmp_path / "v.dat"
+        path.write_bytes(b"x")
+        cellview.add_version(CellViewVersion(1, path, 1, "a"))
+        assert cellview.next_version_number() == 2
+
+    def test_version_read_missing_file_raises(self):
+        version = CellViewVersion(1, pathlib.Path("/nonexistent/v.dat"), 1, "a")
+        with pytest.raises(FMCADError):
+            version.read_data()
+
+
+class TestCell:
+    def test_add_and_get_cellview(self):
+        cell = Cell("alu")
+        cellview = CellView("alu", View("layout", VIEWTYPE_LAYOUT))
+        cell.add_cellview(cellview)
+        assert cell.cellview("layout") is cellview
+        assert cell.has_cellview("layout")
+
+    def test_duplicate_view_rejected(self):
+        cell = Cell("alu")
+        cell.add_cellview(CellView("alu", View("layout", VIEWTYPE_LAYOUT)))
+        with pytest.raises(FMCADError):
+            cell.add_cellview(
+                CellView("alu", View("layout", VIEWTYPE_LAYOUT))
+            )
+
+    def test_unknown_view_raises(self):
+        with pytest.raises(FMCADError):
+            Cell("alu").cellview("ghost")
+
+    def test_cellviews_sorted_by_view(self):
+        cell = Cell("alu")
+        cell.add_cellview(CellView("alu", View("schematic", VIEWTYPE_SCHEMATIC)))
+        cell.add_cellview(CellView("alu", View("layout", VIEWTYPE_LAYOUT)))
+        assert [cv.view.name for cv in cell.cellviews()] == [
+            "layout",
+            "schematic",
+        ]
+
+
+class TestPropertyBag:
+    def test_set_get(self):
+        bag = PropertyBag()
+        bag.set("width", 4)
+        assert bag.get("width") == 4
+
+    def test_get_default(self):
+        assert PropertyBag().get("missing", "d") == "d"
+
+    def test_require_missing_raises(self):
+        with pytest.raises(PropertyError):
+            PropertyBag().require("missing")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(PropertyError):
+            PropertyBag().set("x", [1, 2])
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(PropertyError):
+            PropertyBag().set("", 1)
+
+    def test_delete(self):
+        bag = PropertyBag()
+        bag.set("x", 1)
+        bag.delete("x")
+        assert "x" not in bag
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(PropertyError):
+            PropertyBag().delete("x")
+
+    def test_items_sorted(self):
+        bag = PropertyBag()
+        bag.set("z", 1)
+        bag.set("a", 2)
+        assert [k for k, _ in bag.items()] == ["a", "z"]
+
+    def test_copy_from_merges(self):
+        a, b = PropertyBag(), PropertyBag()
+        a.set("x", 1)
+        b.set("x", 2)
+        b.set("y", 3)
+        a.copy_from(b)
+        assert a.get("x") == 2 and a.get("y") == 3

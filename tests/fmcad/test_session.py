@@ -1,0 +1,96 @@
+"""Unit tests for tool sessions and lockable menus."""
+
+import pytest
+
+from repro.errors import FMCADError, MenuLockedError
+from repro.fmcad.session import ToolSession
+
+
+@pytest.fixture
+def session(clock):
+    return ToolSession("session:1", "schematic_editor", "alice", clock)
+
+
+class TestMenus:
+    def test_invoke_runs_action(self, session):
+        session.register_menu("save", lambda: "saved")
+        assert session.invoke_menu("save") == "saved"
+        assert session.menu("save").invocations == 1
+
+    def test_invoke_passes_arguments(self, session):
+        session.register_menu("add", lambda a, b: a + b)
+        assert session.invoke_menu("add", 2, 3) == 5
+
+    def test_duplicate_menu_rejected(self, session):
+        session.register_menu("save", lambda: None)
+        with pytest.raises(FMCADError):
+            session.register_menu("save", lambda: None)
+
+    def test_unknown_menu_raises(self, session):
+        with pytest.raises(FMCADError):
+            session.invoke_menu("ghost")
+
+    def test_locked_menu_raises_with_reason(self, session):
+        session.register_menu("checkin", lambda: None)
+        session.lock_menu("checkin", "JCF owns versioning")
+        with pytest.raises(MenuLockedError, match="JCF owns versioning"):
+            session.invoke_menu("checkin")
+
+    def test_locked_menu_does_not_run_action(self, session):
+        calls = []
+        session.register_menu("checkin", lambda: calls.append(1))
+        session.lock_menu("checkin", "guard")
+        with pytest.raises(MenuLockedError):
+            session.invoke_menu("checkin")
+        assert calls == []
+
+    def test_unlock_restores(self, session):
+        session.register_menu("checkin", lambda: "ok")
+        session.lock_menu("checkin", "guard")
+        session.unlock_menu("checkin")
+        assert session.invoke_menu("checkin") == "ok"
+
+    def test_menu_names_sorted(self, session):
+        session.register_menu("zz", lambda: None)
+        session.register_menu("aa", lambda: None)
+        assert session.menu_names() == ["aa", "zz"]
+
+
+class TestCosts:
+    def test_startup_charged(self, clock):
+        before = clock.now_ms
+        ToolSession("s", "t", "u", clock)
+        assert clock.elapsed_by_category()["tool"] > 0
+        assert clock.now_ms > before
+
+    def test_menu_invocation_charges_ui(self, session, clock):
+        session.register_menu("save", lambda: None)
+        ui_before = clock.elapsed_by_category().get("ui", 0.0)
+        session.invoke_menu("save")
+        assert clock.elapsed_by_category()["ui"] > ui_before
+
+    def test_locked_invocation_still_costs_the_click(self, session, clock):
+        session.register_menu("save", lambda: None)
+        session.lock_menu("save", "guard")
+        ui_before = clock.elapsed_by_category().get("ui", 0.0)
+        with pytest.raises(MenuLockedError):
+            session.invoke_menu("save")
+        assert clock.elapsed_by_category()["ui"] > ui_before
+
+
+class TestConsistencyWindows:
+    def test_window_recorded_and_charged(self, session, clock):
+        ui_before = clock.elapsed_by_category().get("ui", 0.0)
+        session.show_consistency_window("predecessor not finished")
+        assert session.consistency_windows == ["predecessor not finished"]
+        assert clock.elapsed_by_category()["ui"] > ui_before
+
+
+class TestLifecycle:
+    def test_closed_session_rejects_operations(self, session):
+        session.register_menu("save", lambda: None)
+        session.close()
+        with pytest.raises(FMCADError):
+            session.invoke_menu("save")
+        with pytest.raises(FMCADError):
+            session.show_consistency_window("late")

@@ -1,0 +1,130 @@
+"""Integration: failure injection across the coupling boundary.
+
+Each test corrupts one layer of the hybrid environment and checks the
+framework degrades the way the paper's architecture implies: the hybrid
+scan sees what bare FMCAD cannot, failed activities block the flow, and
+transactional metadata never half-commits.
+"""
+
+import pytest
+
+from repro.core.consistency import ConsistencyGuard
+from repro.errors import EncapsulationError, FlowOrderError
+from tests.conftest import (
+    build_inverter_editor_fn,
+    inverter_testbench_fn,
+)
+
+
+class TestToolCrashMidRun:
+    def test_crashing_edit_fn_fails_activity_and_cleans_up(
+        self, adopted_cell
+    ):
+        hybrid, project, library, cell = adopted_cell
+
+        def crashing_edit(editor):
+            raise RuntimeError("tool segfaulted")
+
+        with pytest.raises(Exception):
+            hybrid.run_schematic_entry(
+                "alice", project, library, cell, crashing_edit
+            )
+        # the execution is marked failed, not stuck running
+        from repro.core.mapping import WORKING_VARIANT
+        from repro.jcf.model import EXEC_FAILED
+
+        variant = (
+            project.cell(cell).latest_version().variant(WORKING_VARIANT)
+        )
+        state = hybrid.jcf.engine.state_of(variant)
+        assert state.status_by_activity["schematic_entry"] == EXEC_FAILED
+        # the session was closed despite the crash
+        assert hybrid.fmcad.sessions() == []
+        # and the flow can be retried
+        result = hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn()
+        )
+        assert result.success
+
+    def test_crash_does_not_leave_fmcad_checkout(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+
+        def crashing_edit(editor):
+            raise RuntimeError("boom")
+
+        with pytest.raises(Exception):
+            hybrid.run_schematic_entry(
+                "alice", project, library, cell, crashing_edit
+            )
+        assert hybrid.fmcad.checkouts.active_tickets() == []
+
+
+class TestCorruptionDetectionAsymmetry:
+    def test_hybrid_sees_what_fmcad_misses(self, adopted_cell):
+        """The E32 asymmetry on one concrete corruption."""
+        hybrid, project, library, cell = adopted_cell
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn()
+        )
+        version = library.cellview(cell, "schematic").version(1)
+        version.path.write_bytes(b"bitrot")
+        hybrid_findings = hybrid.guard.scan(project, library)
+        fmcad_findings = ConsistencyGuard.fmcad_baseline_scan(library)
+        assert len(hybrid_findings) > len(fmcad_findings) == 0
+
+
+class TestFlowGateUnderFailure:
+    def test_failed_simulation_blocks_until_fixed(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn(2)
+        )
+
+        def broken_bench(tb):
+            tb.drive(0, "a", "0")
+            tb.expect(30, "y", "1")  # wrong for a 2-stage buffer
+
+        assert not hybrid.run_simulation(
+            "alice", project, library, cell, broken_bench
+        ).success
+        with pytest.raises(FlowOrderError):
+            hybrid.run_layout_entry(
+                "alice", project, library, cell, lambda e: None
+            )
+        # fix the bench, rerun, layout unblocks
+        assert hybrid.run_simulation(
+            "alice", project, library, cell, inverter_testbench_fn(2)
+        ).success
+        from tests.conftest import simple_layout_fn
+
+        assert hybrid.run_layout_entry(
+            "alice", project, library, cell, simple_layout_fn()
+        ).success
+
+
+class TestTransactionalMetadata:
+    def test_failed_import_leaves_no_partial_project(self, hybrid):
+        """A mid-import crash must not leave half a project behind."""
+        library = hybrid.fmcad.create_library("lib")
+        library.create_cell("good")
+        cellview = library.create_cellview("good", "schematic")
+        library.write_version(cellview, b"data", "setup")
+        # delete the version file so the import crashes mid-way
+        cellview.versions[0].path.unlink()
+        before = hybrid.jcf.db.count("DesignObjectVersion")
+        with pytest.raises(Exception):
+            hybrid.mapper.import_library(library, "alice")
+        # design-object versions were not half-created
+        assert hybrid.jcf.db.count("DesignObjectVersion") == before
+
+
+class TestWorkspaceIsolationUnderConcurrency:
+    def test_bob_cannot_interfere_with_alices_run(self, adopted_cell):
+        hybrid, project, library, cell = adopted_cell
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn()
+        )
+        with pytest.raises(EncapsulationError):
+            hybrid.run_simulation(
+                "bob", project, library, cell, inverter_testbench_fn()
+            )

@@ -1,0 +1,129 @@
+"""Integration: the complete coupled design flow of Section 2.4.
+
+Drives the hybrid framework through adopt -> prepare -> schematic ->
+simulate -> layout for a hierarchical design, then checks every paper
+claim about the resulting state: derivation relations, two-level
+versioning, consistency, publication.
+"""
+
+import pytest
+
+from repro.core.mapping import WORKING_VARIANT
+from repro.jcf.project import JCFDesignObjectVersion
+from tests.conftest import (
+    build_inverter_editor_fn,
+    inverter_testbench_fn,
+    simple_layout_fn,
+)
+
+
+@pytest.fixture
+def flowed(adopted_cell):
+    hybrid, project, library, cell = adopted_cell
+    results = [
+        hybrid.run_schematic_entry(
+            "alice", project, library, cell, build_inverter_editor_fn(2)
+        ),
+        hybrid.run_simulation(
+            "alice", project, library, cell, inverter_testbench_fn(2)
+        ),
+        hybrid.run_layout_entry(
+            "alice", project, library, cell, simple_layout_fn()
+        ),
+    ]
+    return hybrid, project, library, cell, results
+
+
+class TestFullFlow:
+    def test_all_activities_succeed(self, flowed):
+        *_, results = flowed
+        assert all(r.success for r in results)
+
+    def test_flow_is_complete(self, flowed):
+        hybrid, project, library, cell, _ = flowed
+        variant = (
+            project.cell(cell).latest_version().variant(WORKING_VARIANT)
+        )
+        assert hybrid.jcf.engine.state_of(variant).complete
+
+    def test_fmcad_library_holds_all_three_views(self, flowed):
+        _, project, library, cell, _ = flowed
+        fmcad_cell = library.cell(cell)
+        for view in ("schematic", "simulation", "layout"):
+            assert fmcad_cell.has_cellview(view)
+            assert fmcad_cell.cellview(view).default_version is not None
+
+    def test_jcf_holds_matching_design_objects(self, flowed):
+        hybrid, project, library, cell, _ = flowed
+        variant = (
+            project.cell(cell).latest_version().variant(WORKING_VARIANT)
+        )
+        viewtypes = {
+            d.viewtype_name for d in variant.design_objects()
+        }
+        assert viewtypes == {"schematic", "symbol", "simulation", "layout"}
+
+    def test_what_belongs_to_what_complete(self, flowed):
+        """Every execution records its inputs and outputs (Section 3.5)."""
+        hybrid, project, library, cell, _ = flowed
+        variant = (
+            project.cell(cell).latest_version().variant(WORKING_VARIANT)
+        )
+        report = hybrid.jcf.engine.what_belongs_to_what(variant)
+        assert len(report) == 3
+        for key, record in report.items():
+            assert record["creates"], key  # every run produced something
+        sim_entry = next(
+            v for k, v in report.items() if "digital_simulation" in k
+        )
+        assert sim_entry["needs"]  # the simulation consumed the schematic
+
+    def test_derivation_chain_reaches_schematic(self, flowed):
+        hybrid, project, library, cell, results = flowed
+        layout_version = JCFDesignObjectVersion(
+            hybrid.jcf.db, hybrid.jcf.db.get(results[2].jcf_version_oid)
+        )
+        chain = hybrid.jcf.engine.derivation_chain(layout_version)
+        assert results[0].jcf_version_oid in {v.oid for v in chain}
+
+    def test_consistency_scan_clean(self, flowed):
+        hybrid, project, library, cell, _ = flowed
+        assert hybrid.guard.scan(project, library) == []
+
+    def test_publication_freezes_the_cell(self, flowed):
+        hybrid, project, library, cell, _ = flowed
+        cell_version = project.cell(cell).latest_version()
+        hybrid.jcf.desktop.publish_cell_version("alice", cell_version)
+        assert cell_version.published
+        from repro.errors import EncapsulationError
+
+        with pytest.raises(EncapsulationError):
+            hybrid.run_schematic_entry(
+                "alice", project, library, cell,
+                build_inverter_editor_fn(),
+            )
+
+    def test_configuration_pins_the_flow_outputs(self, flowed):
+        hybrid, project, library, cell, results = flowed
+        cell_version = project.cell(cell).latest_version()
+        config = hybrid.jcf.configurations.create(cell_version, "tapeout")
+        variant = cell_version.variant(WORKING_VARIANT)
+        for dobj in variant.design_objects():
+            hybrid.jcf.configurations.pin(config, dobj.latest_version())
+        assert hybrid.jcf.configurations.validate(config) == []
+        # schematic + symbol + simulation + layout
+        assert len(config.pinned_versions()) == 4
+
+    def test_clock_accounted_all_categories(self, flowed):
+        hybrid, *_ = flowed
+        categories = hybrid.clock.elapsed_by_category()
+        for expected in ("metadata", "ui", "tool", "copy", "native_io"):
+            assert categories.get(expected, 0) > 0, expected
+
+    def test_export_round_trip_after_flow(self, flowed):
+        hybrid, project, library, cell, _ = flowed
+        exported = hybrid.mapper.export_project(project, "release")
+        assert exported.cell(cell).has_cellview("layout")
+        original = library.read_version(library.cellview(cell, "layout"))
+        copied = exported.read_version(exported.cellview(cell, "layout"))
+        assert original == copied

@@ -1,0 +1,138 @@
+"""Integration soak: randomized multi-user activity, global invariants.
+
+A seeded monkey drives the hybrid framework through hundreds of random
+public-API operations (reserve, run tools in random order with random
+failures, publish, derive versions, corrupt nothing).  After every
+burst, the global invariants the paper's architecture promises must
+hold:
+
+* recorded execution histories never violate the fixed flow order;
+* reservation state is consistent (a cell version has at most one
+  holder, and the holder can always write);
+* the consistency scan stays clean (no corruption was injected, so any
+  finding is a coupling bug);
+* all FMCAD/OMS payload mirrors stay byte-identical.
+"""
+
+import random
+
+import pytest
+
+from repro.core import HybridFramework
+from repro.core.mapping import WORKING_VARIANT
+from repro.errors import FlowOrderError, ReproError
+from repro.jcf.model import EXEC_DONE
+from repro.workloads.scripts import (
+    inverter_chain_bench,
+    inverter_chain_editor,
+    labelled_strap_layout,
+)
+
+USERS = ("u0", "u1", "u2")
+CELLS = ("c0", "c1", "c2", "c3")
+ORDER = ("schematic_entry", "digital_simulation", "layout_entry")
+
+
+@pytest.fixture
+def soak_env(tmp_path):
+    hybrid = HybridFramework(tmp_path / "soak")
+    for user in USERS:
+        hybrid.jcf.resources.define_user("admin", user)
+    hybrid.jcf.resources.define_team("admin", "team")
+    for user in USERS:
+        hybrid.jcf.resources.add_member("admin", user, "team")
+    hybrid.setup_standard_flow()
+    library = hybrid.fmcad.create_library("lib")
+    for cell in CELLS:
+        library.create_cell(cell)
+    project = hybrid.adopt_library("u0", library, "proj")
+    hybrid.jcf.resources.assign_team_to_project("admin", "team",
+                                                project.oid)
+    return hybrid, project, library
+
+
+def random_action(hybrid, project, library, rng):
+    """One random designer operation; exceptions are part of the game."""
+    user = rng.choice(USERS)
+    cell = rng.choice(CELLS)
+    action = rng.choice(
+        ("reserve", "schematic", "simulate", "layout", "publish",
+         "release")
+    )
+    try:
+        if action == "reserve":
+            hybrid.prepare_cell(user, project, cell, team_name="team")
+        elif action == "schematic":
+            hybrid.run_schematic_entry(
+                user, project, library, cell,
+                inverter_chain_editor(rng.randint(1, 3)),
+            )
+        elif action == "simulate":
+            # half the benches are wrong on purpose (wrong parity)
+            stages = rng.randint(1, 3)
+            bench_stages = stages if rng.random() < 0.5 else stages + 1
+            hybrid.run_simulation(
+                user, project, library, cell,
+                inverter_chain_bench(bench_stages),
+            )
+        elif action == "layout":
+            hybrid.run_layout_entry(
+                user, project, library, cell,
+                labelled_strap_layout(["a", "y"]),
+            )
+        elif action == "publish":
+            cell_version = project.cell(cell).latest_version()
+            if cell_version is not None:
+                hybrid.jcf.workspaces.publish(user, cell_version)
+        elif action == "release":
+            cell_version = project.cell(cell).latest_version()
+            if cell_version is not None:
+                hybrid.jcf.workspaces.release(user, cell_version)
+    except ReproError:
+        pass  # rejections are the framework doing its job
+
+
+def assert_invariants(hybrid, project, library):
+    # 1. recorded histories respect the fixed order
+    for cell_name in CELLS:
+        for cell_version in project.cell(cell_name).versions():
+            if cell_version.attached_flow() is None:
+                continue  # never prepared for design work
+            for variant in cell_version.variants():
+                if variant.name != WORKING_VARIANT:
+                    continue
+                state = hybrid.jcf.engine.state_of(variant)
+                done_indices = [
+                    ORDER.index(name)
+                    for name, status in state.status_by_activity.items()
+                    if status == EXEC_DONE
+                ]
+                # done activities form a prefix of the prescribed order
+                assert sorted(done_indices) == list(
+                    range(len(done_indices))
+                ), (cell_name, state.status_by_activity)
+    # 2. reservation consistency
+    for cell_name in CELLS:
+        for cell_version in project.cell(cell_name).versions():
+            holder = hybrid.jcf.workspaces.reserved_by(cell_version)
+            if holder is not None:
+                assert hybrid.jcf.workspaces.can_write(
+                    holder, cell_version
+                )
+                assert not cell_version.published
+    # 3. no corruption was injected, so the scan must be clean
+    assert hybrid.guard.scan(project, library) == []
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_soak_invariants_hold(soak_env, seed):
+    hybrid, project, library = soak_env
+    rng = random.Random(seed)
+    for burst in range(6):
+        for _ in range(25):
+            random_action(hybrid, project, library, rng)
+        assert_invariants(hybrid, project, library)
+    # the monkey must have achieved *something*
+    stats = hybrid.jcf.db.stats()
+    assert stats["by_type"].get("ActiveExecVersion", 0) > 0
+    assert hybrid.fmcad.invocation_log

@@ -1,0 +1,83 @@
+"""Unit tests for JCF configuration versions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def setup(jcf):
+    project = jcf.desktop.create_project("alice", "chipA")
+    cell = project.create_cell("alu")
+    version = cell.create_version()
+    variant = version.create_variant("work")
+    schematic = variant.create_design_object("s", "schematic")
+    sv1 = schematic.new_version(b"s1")
+    sv2 = schematic.new_version(b"s2")
+    layout = variant.create_design_object("l", "layout")
+    lv1 = layout.new_version(b"l1")
+    return jcf, version, sv1, sv2, lv1
+
+
+class TestCreation:
+    def test_create_numbers_sequentially(self, setup):
+        jcf, version, *_ = setup
+        c1 = jcf.configurations.create(version, "alpha")
+        c2 = jcf.configurations.create(version, "beta")
+        assert (c1.number, c2.number) == (1, 2)
+
+    def test_duplicate_name_rejected(self, setup):
+        jcf, version, *_ = setup
+        jcf.configurations.create(version, "alpha")
+        with pytest.raises(ConfigurationError):
+            jcf.configurations.create(version, "alpha")
+
+    def test_predecessor_links(self, setup):
+        jcf, version, *_ = setup
+        c1 = jcf.configurations.create(version, "alpha")
+        c2 = jcf.configurations.create(version, "beta", predecessor=c1)
+        assert [c.oid for c in c2.predecessors()] == [c1.oid]
+
+    def test_back_reference(self, setup):
+        jcf, version, *_ = setup
+        config = jcf.configurations.create(version, "alpha")
+        assert config.cell_version.oid == version.oid
+
+
+class TestPinning:
+    def test_pin_and_resolve(self, setup):
+        jcf, version, sv1, sv2, lv1 = setup
+        config = jcf.configurations.create(version, "alpha")
+        jcf.configurations.pin(config, sv1)
+        jcf.configurations.pin(config, lv1)
+        assert {v.oid for v in config.pinned_versions()} == {sv1.oid, lv1.oid}
+
+    def test_one_version_per_design_object(self, setup):
+        jcf, version, sv1, sv2, _ = setup
+        config = jcf.configurations.create(version, "alpha")
+        jcf.configurations.pin(config, sv1)
+        with pytest.raises(ConfigurationError):
+            jcf.configurations.pin(config, sv2)
+
+    def test_foreign_cell_version_rejected(self, setup):
+        jcf, version, sv1, *_ = setup
+        other_version = version.cell.create_version()
+        other_config = jcf.configurations.create(other_version, "other")
+        with pytest.raises(ConfigurationError):
+            jcf.configurations.pin(other_config, sv1)
+
+    def test_unpin(self, setup):
+        jcf, version, sv1, sv2, _ = setup
+        config = jcf.configurations.create(version, "alpha")
+        jcf.configurations.pin(config, sv1)
+        jcf.configurations.unpin(config, sv1)
+        jcf.configurations.pin(config, sv2)  # now allowed
+        assert [v.oid for v in config.pinned_versions()] == [sv2.oid]
+
+
+class TestValidation:
+    def test_clean_config_validates(self, setup):
+        jcf, version, sv1, *_ = setup
+        config = jcf.configurations.create(version, "alpha")
+        jcf.configurations.pin(config, sv1)
+        assert jcf.configurations.validate(config) == []

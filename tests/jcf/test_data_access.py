@@ -1,0 +1,71 @@
+"""Unit tests for workspace-enforced design-data access (Section 2.1)."""
+
+import pytest
+
+from repro.errors import AuthorizationError
+
+
+@pytest.fixture
+def reserved_data(jcf):
+    """A design-object version inside a cell version reserved by alice."""
+    project = jcf.desktop.create_project("alice", "chipA")
+    jcf.resources.assign_team_to_project("admin", "team1", project.oid)
+    cell = project.create_cell("alu")
+    cell_version = cell.create_version()
+    jcf.workspaces.reserve("alice", cell_version)
+    variant = cell_version.create_variant("work")
+    dobj = variant.create_design_object("alu/schematic", "schematic")
+    version = dobj.new_version(b"secret work in progress")
+    return jcf, cell_version, version
+
+
+class TestReadVisibility:
+    def test_holder_reads_their_own_data(self, reserved_data):
+        jcf, cell_version, version = reserved_data
+        staged = jcf.checkout_design_data("alice", version)
+        assert staged.path.read_bytes() == b"secret work in progress"
+
+    def test_other_user_blocked_while_reserved(self, reserved_data):
+        jcf, cell_version, version = reserved_data
+        with pytest.raises(AuthorizationError, match="reserved by 'alice'"):
+            jcf.checkout_design_data("bob", version)
+
+    def test_everyone_reads_after_publication(self, reserved_data):
+        jcf, cell_version, version = reserved_data
+        jcf.workspaces.publish("alice", cell_version)
+        staged = jcf.checkout_design_data("bob", version)
+        assert staged.size > 0
+
+    def test_read_only_access_still_pays_the_copy(self, reserved_data):
+        """Section 3.6's point, now with access control in the loop."""
+        jcf, cell_version, version = reserved_data
+        before = jcf.clock.elapsed_by_category().get("copy", 0.0)
+        jcf.checkout_design_data("alice", version)
+        assert jcf.clock.elapsed_by_category()["copy"] > before
+
+
+class TestFlowStateRendering:
+    def test_render_state_lists_blockers(self, jcf_with_flow):
+        jcf = jcf_with_flow
+        project = jcf.desktop.create_project("alice", "p")
+        cell_version = project.create_cell("c").create_version()
+        cell_version.attach_flow(jcf.flows.flow_object("jcf_fmcad_flow"))
+        variant = cell_version.create_variant("v")
+        text = jcf.engine.render_state(variant)
+        assert "flow jcf_fmcad_flow on variant v" in text
+        assert "[not_started] layout_entry" in text
+        assert "blocked by digital_simulation" in text
+
+    def test_render_state_shows_progress(self, jcf_with_flow):
+        jcf = jcf_with_flow
+        project = jcf.desktop.create_project("alice", "p")
+        cell_version = project.create_cell("c").create_version()
+        cell_version.attach_flow(jcf.flows.flow_object("jcf_fmcad_flow"))
+        variant = cell_version.create_variant("v")
+        execution = jcf.engine.start_activity(variant, "schematic_entry")
+        jcf.engine.finish_activity(execution)
+        text = jcf.engine.render_state(variant)
+        assert "[done] schematic_entry" in text
+        assert "[not_started] digital_simulation" in text
+        # simulation's predecessor is done, so no blocked note for it
+        assert "digital_simulation  (blocked" not in text

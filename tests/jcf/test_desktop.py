@@ -1,0 +1,113 @@
+"""Unit tests for the JCF desktop (interactive metadata surface)."""
+
+import pytest
+
+from repro.errors import ProjectError
+
+
+class TestProjectOperations:
+    def test_create_project_charges_ui(self, jcf):
+        before = jcf.clock.elapsed_by_category().get("ui", 0.0)
+        jcf.desktop.create_project("alice", "chipA")
+        assert jcf.clock.elapsed_by_category()["ui"] > before
+        assert jcf.desktop.interactions_by_user["alice"] == 1
+
+    def test_duplicate_project_rejected(self, jcf):
+        jcf.desktop.create_project("alice", "chipA")
+        with pytest.raises(ProjectError):
+            jcf.desktop.create_project("bob", "chipA")
+
+    def test_find_project(self, jcf):
+        jcf.desktop.create_project("alice", "chipA")
+        assert jcf.desktop.find_project("chipA").name == "chipA"
+        assert jcf.desktop.find_project("ghost") is None
+
+
+class TestHierarchySubmission:
+    def test_one_interaction_per_edge(self, jcf):
+        project = jcf.desktop.create_project("alice", "chipA")
+        for name in ("top", "alu", "fpu"):
+            jcf.desktop.create_cell("alice", project, name)
+        interactions_before = jcf.desktop.total_interactions()
+        count = jcf.desktop.submit_hierarchy(
+            "alice", project, [("top", "alu"), ("top", "fpu")]
+        )
+        assert count == 2
+        assert jcf.desktop.total_interactions() == interactions_before + 2
+
+    def test_submission_is_idempotent(self, jcf):
+        project = jcf.desktop.create_project("alice", "chipA")
+        for name in ("top", "alu"):
+            jcf.desktop.create_cell("alice", project, name)
+        jcf.desktop.submit_hierarchy("alice", project, [("top", "alu")])
+        jcf.desktop.submit_hierarchy("alice", project, [("top", "alu")])
+        assert jcf.desktop.declared_hierarchy(project) == [("top", "alu")]
+
+    def test_declared_hierarchy_sorted(self, jcf):
+        project = jcf.desktop.create_project("alice", "chipA")
+        for name in ("top", "alu", "fpu"):
+            jcf.desktop.create_cell("alice", project, name)
+        jcf.desktop.submit_hierarchy(
+            "alice", project, [("top", "fpu"), ("top", "alu")]
+        )
+        assert jcf.desktop.declared_hierarchy(project) == [
+            ("top", "alu"),
+            ("top", "fpu"),
+        ]
+
+    def test_unknown_cell_in_edge_raises(self, jcf):
+        project = jcf.desktop.create_project("alice", "chipA")
+        jcf.desktop.create_cell("alice", project, "top")
+        with pytest.raises(ProjectError):
+            jcf.desktop.submit_hierarchy(
+                "alice", project, [("top", "ghost")]
+            )
+
+
+class TestWorkspaceViaDesktop:
+    def test_reserve_and_publish(self, jcf):
+        project = jcf.desktop.create_project("alice", "chipA")
+        jcf.resources.assign_team_to_project("admin", "team1", project.oid)
+        cell = jcf.desktop.create_cell("alice", project, "alu")
+        version = cell.create_version()
+        jcf.desktop.reserve_cell_version("alice", version)
+        assert jcf.workspaces.can_write("alice", version)
+        jcf.desktop.publish_cell_version("alice", version)
+        assert version.published
+
+
+class TestBrowsing:
+    def test_browse_variant(self, jcf):
+        project = jcf.desktop.create_project("alice", "chipA")
+        variant = (
+            project.create_cell("alu").create_version().create_variant("w")
+        )
+        dobj = variant.create_design_object("d", "schematic")
+        dobj.new_version(b"1")
+        dobj.new_version(b"2")
+        listing = jcf.desktop.browse_variant("alice", variant)
+        assert listing == {"d": [1, 2]}
+
+
+class TestProjectRendering:
+    def test_render_project_tree(self, jcf):
+        project = jcf.desktop.create_project("alice", "chipA")
+        jcf.resources.assign_team_to_project("admin", "team1", project.oid)
+        top = jcf.desktop.create_cell("alice", project, "top")
+        alu = jcf.desktop.create_cell("alice", project, "alu")
+        top.add_component(alu)
+        version = alu.create_version()
+        jcf.workspaces.reserve("alice", version)
+        variant = version.create_variant("work")
+        dobj = variant.create_design_object("alu/schematic", "schematic")
+        dobj.new_version(b"1")
+        dobj.new_version(b"2")
+        text = jcf.desktop.render_project(project)
+        assert "project chipA" in text
+        assert "cell top  (components: alu)" in text
+        assert "v1 [in_work, reserved by alice]" in text
+        assert "variant work: alu/schematic(2)" in text
+
+    def test_render_empty_project(self, jcf):
+        project = jcf.desktop.create_project("alice", "empty")
+        assert jcf.desktop.render_project(project) == "project empty"

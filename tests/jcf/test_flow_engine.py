@@ -1,0 +1,160 @@
+"""Unit tests for flow execution and derivation recording."""
+
+import pytest
+
+from repro.errors import FlowError, FlowOrderError
+from repro.jcf.model import EXEC_DONE, EXEC_NOT_STARTED, EXEC_RUNNING
+
+
+@pytest.fixture
+def variant(jcf_with_flow):
+    jcf = jcf_with_flow
+    project = jcf.desktop.create_project("alice", "chipA")
+    cell = project.create_cell("alu")
+    version = cell.create_version()
+    version.attach_flow(jcf.flows.flow_object("jcf_fmcad_flow"))
+    return version.create_variant("work")
+
+
+class TestOrderEnforcement:
+    def test_first_activity_starts(self, jcf_with_flow, variant):
+        execution = jcf_with_flow.engine.start_activity(
+            variant, "schematic_entry"
+        )
+        assert execution.status == EXEC_RUNNING
+
+    def test_out_of_order_rejected(self, jcf_with_flow, variant):
+        with pytest.raises(FlowOrderError):
+            jcf_with_flow.engine.start_activity(variant, "layout_entry")
+        assert jcf_with_flow.engine.rejected_starts == 1
+
+    def test_failed_predecessor_blocks_successor(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        execution = engine.start_activity(variant, "schematic_entry")
+        engine.finish_activity(execution, success=False)
+        with pytest.raises(FlowOrderError):
+            engine.start_activity(variant, "digital_simulation")
+
+    def test_failed_activity_can_be_retried(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        execution = engine.start_activity(variant, "schematic_entry")
+        engine.finish_activity(execution, success=False)
+        retry = engine.start_activity(variant, "schematic_entry")
+        engine.finish_activity(retry, success=True)
+        assert engine.state_of(variant).status_by_activity[
+            "schematic_entry"
+        ] == EXEC_DONE
+
+    def test_force_early_overrides_order(self, jcf_with_flow, variant):
+        """Section 2.4: wrappers enabled execution before the predecessor
+        finished — marked as forced."""
+        engine = jcf_with_flow.engine
+        execution = engine.start_activity(
+            variant, "digital_simulation", force_early=True
+        )
+        assert execution.forced_early
+        assert engine.forced_starts == 1
+
+    def test_force_early_in_order_is_not_marked(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        execution = engine.start_activity(
+            variant, "schematic_entry", force_early=True
+        )
+        assert not execution.forced_early
+
+    def test_double_start_while_running_rejected(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        engine.start_activity(variant, "schematic_entry")
+        with pytest.raises(FlowError):
+            engine.start_activity(variant, "schematic_entry")
+
+    def test_variant_without_flow_raises(self, jcf_with_flow):
+        jcf = jcf_with_flow
+        project = jcf.desktop.create_project("alice", "p")
+        version = project.create_cell("c").create_version()
+        variant = version.create_variant("v")
+        with pytest.raises(FlowError):
+            jcf.engine.start_activity(variant, "schematic_entry")
+
+
+class TestState:
+    def test_initial_state_all_not_started(self, jcf_with_flow, variant):
+        state = jcf_with_flow.engine.state_of(variant)
+        assert set(state.status_by_activity.values()) == {EXEC_NOT_STARTED}
+        assert not state.complete
+
+    def test_runnable_respects_predecessors(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        state = engine.state_of(variant)
+        assert state.runnable(jcf_with_flow.flows) == ["schematic_entry"]
+        execution = engine.start_activity(variant, "schematic_entry")
+        engine.finish_activity(execution)
+        state = engine.state_of(variant)
+        assert state.runnable(jcf_with_flow.flows) == ["digital_simulation"]
+
+    def test_complete_after_all_done(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        for name in ("schematic_entry", "digital_simulation", "layout_entry"):
+            execution = engine.start_activity(variant, name)
+            engine.finish_activity(execution)
+        assert engine.state_of(variant).complete
+
+
+class TestDerivationRecording:
+    def make_versions(self, variant):
+        schematic = variant.create_design_object("s", "schematic")
+        simulation = variant.create_design_object("r", "simulation")
+        return schematic.new_version(b"s1"), simulation.new_version(b"r1")
+
+    def test_needs_creates_links(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        sv, rv = self.make_versions(variant)
+        e1 = engine.start_activity(variant, "schematic_entry")
+        engine.finish_activity(e1, creates=[sv])
+        e2 = engine.start_activity(variant, "digital_simulation")
+        engine.finish_activity(e2, needs=[sv], creates=[rv])
+        assert [v.oid for v in e2.needed_versions()] == [sv.oid]
+        assert [v.oid for v in e2.created_versions()] == [rv.oid]
+
+    def test_derived_relation_recorded(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        sv, rv = self.make_versions(variant)
+        e1 = engine.start_activity(variant, "schematic_entry")
+        engine.finish_activity(e1, creates=[sv])
+        e2 = engine.start_activity(variant, "digital_simulation")
+        engine.finish_activity(e2, needs=[sv], creates=[rv])
+        assert rv.oid in [v.oid for v in sv.derived_versions()]
+
+    def test_derivation_chain_transitive(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        schematic = variant.create_design_object("s", "schematic")
+        simulation = variant.create_design_object("r", "simulation")
+        layout = variant.create_design_object("l", "layout")
+        sv = schematic.new_version(b"s")
+        rv = simulation.new_version(b"r")
+        lv = layout.new_version(b"l")
+        e1 = engine.start_activity(variant, "schematic_entry")
+        engine.finish_activity(e1, creates=[sv])
+        e2 = engine.start_activity(variant, "digital_simulation")
+        engine.finish_activity(e2, needs=[sv], creates=[rv])
+        e3 = engine.start_activity(variant, "layout_entry")
+        engine.finish_activity(e3, needs=[rv], creates=[lv])
+        chain = engine.derivation_chain(lv)
+        assert {v.oid for v in chain} == {sv.oid, rv.oid}
+
+    def test_what_belongs_to_what(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        sv, rv = self.make_versions(variant)
+        e1 = engine.start_activity(variant, "schematic_entry")
+        engine.finish_activity(e1, creates=[sv])
+        report = engine.what_belongs_to_what(variant)
+        assert len(report) == 1
+        entry = next(iter(report.values()))
+        assert entry["creates"] == [sv.oid]
+
+    def test_finish_twice_rejected(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        execution = engine.start_activity(variant, "schematic_entry")
+        engine.finish_activity(execution)
+        with pytest.raises(FlowError):
+            engine.finish_activity(execution)

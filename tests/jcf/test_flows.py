@@ -1,0 +1,173 @@
+"""Unit tests for flow definitions and the flow registry."""
+
+import pytest
+
+from repro.errors import FlowError, FlowFrozenError
+from repro.jcf.flows import (
+    ActivityDef,
+    FlowDef,
+    FlowRegistry,
+    standard_encapsulation_flow,
+)
+
+
+class TestFlowDef:
+    def test_duplicate_activity_names_rejected(self):
+        with pytest.raises(FlowError):
+            FlowDef(
+                "f",
+                (
+                    ActivityDef("a", "tool"),
+                    ActivityDef("a", "tool"),
+                ),
+            )
+
+    def test_unknown_predecessor_rejected(self):
+        with pytest.raises(FlowError):
+            FlowDef("f", (ActivityDef("a", "t", predecessors=("ghost",)),))
+
+    def test_cycle_rejected(self):
+        with pytest.raises(FlowError):
+            FlowDef(
+                "f",
+                (
+                    ActivityDef("a", "t", predecessors=("b",)),
+                    ActivityDef("b", "t", predecessors=("a",)),
+                ),
+            )
+
+    def test_self_cycle_rejected(self):
+        with pytest.raises(FlowError):
+            FlowDef("f", (ActivityDef("a", "t", predecessors=("a",)),))
+
+    def test_topological_order_respects_precedence(self):
+        flow = standard_encapsulation_flow()
+        order = flow.topological_order()
+        assert order.index("schematic_entry") < order.index(
+            "digital_simulation"
+        )
+        assert order.index("digital_simulation") < order.index("layout_entry")
+
+    def test_successors_of(self):
+        flow = standard_encapsulation_flow()
+        assert flow.successors_of("schematic_entry") == ["digital_simulation"]
+        assert flow.successors_of("layout_entry") == []
+
+    def test_unknown_activity_lookup_raises(self):
+        with pytest.raises(FlowError):
+            standard_encapsulation_flow().activity("ghost")
+
+    def test_standard_flow_shape(self):
+        """The Section 2.4 scenario: three tools, one activity each."""
+        flow = standard_encapsulation_flow()
+        assert [a.tool_name for a in flow.activities] == [
+            "schematic_editor",
+            "digital_simulator",
+            "layout_editor",
+        ]
+        sim = flow.activity("digital_simulation")
+        assert sim.needs == ("schematic",)
+        assert sim.creates == ("simulation",)
+
+
+class TestFlowRegistry:
+    def test_register_materialises_metadata(self, jcf):
+        registry = FlowRegistry(jcf.db)
+        registry.register(standard_encapsulation_flow())
+        flow_obj = registry.flow_object("jcf_fmcad_flow")
+        assert flow_obj.get("frozen") is True
+        activities = jcf.db.targets("flow_has_activity", flow_obj.oid)
+        assert len(activities) == 3
+
+    def test_activity_tool_links(self, jcf):
+        registry = FlowRegistry(jcf.db)
+        registry.register(standard_encapsulation_flow())
+        flow_obj = registry.flow_object("jcf_fmcad_flow")
+        for activity in jcf.db.targets("flow_has_activity", flow_obj.oid):
+            tools = jcf.db.targets("activity_uses_tool", activity.oid)
+            assert len(tools) == 1
+
+    def test_precedes_links_materialised(self, jcf):
+        registry = FlowRegistry(jcf.db)
+        registry.register(standard_encapsulation_flow())
+        flow_obj = registry.flow_object("jcf_fmcad_flow")
+        by_name = {
+            a.get("name"): a
+            for a in jcf.db.targets("flow_has_activity", flow_obj.oid)
+        }
+        assert jcf.db.linked(
+            "activity_precedes",
+            by_name["schematic_entry"].oid,
+            by_name["digital_simulation"].oid,
+        )
+
+    def test_reregistration_rejected(self, jcf):
+        registry = FlowRegistry(jcf.db)
+        registry.register(standard_encapsulation_flow())
+        with pytest.raises(FlowFrozenError):
+            registry.register(standard_encapsulation_flow())
+
+    def test_modify_always_raises(self, jcf):
+        """Flows are fixed and cannot be modified (Section 2.1)."""
+        registry = FlowRegistry(jcf.db)
+        registry.register(standard_encapsulation_flow())
+        with pytest.raises(FlowFrozenError):
+            registry.modify("jcf_fmcad_flow")
+
+    def test_unknown_flow_raises(self, jcf):
+        registry = FlowRegistry(jcf.db)
+        with pytest.raises(FlowError):
+            registry.definition("ghost")
+        with pytest.raises(FlowError):
+            registry.flow_object("ghost")
+
+    def test_viewtypes_shared_not_duplicated(self, jcf):
+        registry = FlowRegistry(jcf.db)
+        registry.register(standard_encapsulation_flow())
+        names = [o.get("name") for o in jcf.db.select("ViewType")]
+        assert len(names) == len(set(names))
+
+
+class TestRehydration:
+    def test_rehydrate_rebuilds_definitions(self, jcf):
+        """A snapshot-restored framework recovers flows from metadata."""
+        from repro.jcf.model import build_jcf_schema
+        from repro.oms.snapshot import dump_snapshot, restore_snapshot
+
+        registry = FlowRegistry(jcf.db)
+        registry.register(standard_encapsulation_flow())
+        snapshot = dump_snapshot(jcf.db)
+
+        restored_db = restore_snapshot(build_jcf_schema(), snapshot)
+        fresh_registry = FlowRegistry(restored_db)
+        recovered = fresh_registry.rehydrate()
+        assert recovered == ["jcf_fmcad_flow"]
+        definition = fresh_registry.definition("jcf_fmcad_flow")
+        original = standard_encapsulation_flow()
+        assert {a.name for a in definition.activities} == {
+            a.name for a in original.activities
+        }
+        restored_sim = definition.activity("digital_simulation")
+        assert restored_sim.needs == ("schematic",)
+        assert restored_sim.creates == ("simulation",)
+        assert restored_sim.predecessors == ("schematic_entry",)
+        assert restored_sim.tool_name == "digital_simulator"
+
+    def test_rehydrate_is_idempotent(self, jcf):
+        registry = FlowRegistry(jcf.db)
+        registry.register(standard_encapsulation_flow())
+        assert registry.rehydrate() == []  # already known
+
+    def test_rehydrated_flow_stays_frozen(self, jcf):
+        from repro.jcf.model import build_jcf_schema
+        from repro.oms.snapshot import dump_snapshot, restore_snapshot
+
+        registry = FlowRegistry(jcf.db)
+        registry.register(standard_encapsulation_flow())
+        restored_db = restore_snapshot(
+            build_jcf_schema(), dump_snapshot(jcf.db)
+        )
+        fresh_registry = FlowRegistry(restored_db)
+        fresh_registry.rehydrate()
+        with pytest.raises(FlowFrozenError):
+            fresh_registry.register(standard_encapsulation_flow())

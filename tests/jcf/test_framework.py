@@ -1,0 +1,53 @@
+"""Unit tests for the JCF framework facade."""
+
+import pytest
+
+from repro.jcf.flows import standard_encapsulation_flow
+from repro.jcf.framework import JCFFramework
+
+
+class TestWiring:
+    def test_shared_clock_everywhere(self, jcf):
+        assert jcf.db.clock is jcf.clock
+        library_roots = jcf.staging.root
+        assert library_roots.exists()
+
+    def test_register_flow_and_lookup(self, jcf):
+        jcf.register_flow(standard_encapsulation_flow())
+        assert jcf.flows.names() == ["jcf_fmcad_flow"]
+        assert jcf.flows.flow_object("jcf_fmcad_flow").get("frozen")
+
+    def test_project_lookup(self, jcf):
+        jcf.desktop.create_project("alice", "chipA")
+        assert jcf.project("chipA").name == "chipA"
+        with pytest.raises(KeyError):
+            jcf.project("ghost")
+
+    def test_stats_shape(self, jcf):
+        stats = jcf.stats()
+        assert "db" in stats and "workspaces" in stats
+        assert stats["flow_engine"]["rejected_starts"] == 0
+
+    def test_closed_interface_by_default(self, jcf):
+        from repro.errors import ClosedInterfaceError
+
+        with pytest.raises(ClosedInterfaceError):
+            jcf.db.procedural_interface()
+
+    def test_policy_defaults_to_no_sharing(self, jcf):
+        assert jcf.db.policy == {"cross_project_sharing": False}
+
+
+class TestDesignDataThroughStaging:
+    def test_design_data_leaves_via_staging_only(self, jcf):
+        """The architectural property of Section 2.1, end to end."""
+        project = jcf.desktop.create_project("alice", "p")
+        variant = (
+            project.create_cell("c").create_version().create_variant("v")
+        )
+        dobj = variant.create_design_object("c/schematic", "schematic")
+        version = dobj.new_version(b"design bytes")
+        staged = jcf.staging.export_object(version.oid)
+        assert staged.path.read_bytes() == b"design bytes"
+        # the copy was charged against the shared clock
+        assert jcf.clock.elapsed_by_category()["copy"] > 0

@@ -1,0 +1,103 @@
+"""Unit tests for the Figure 1 schema (JCF 3.0 information model)."""
+
+from repro.jcf.model import build_jcf_schema
+
+#: Every box of Figure 1 that the schema must contain.
+FIGURE1_ENTITIES = {
+    "User",
+    "Team",
+    "Flow",
+    "Activity",
+    "ActivityProxy",
+    "Tool",
+    "ViewType",
+    "Project",
+    "Cell",
+    "CellVersion",
+    "Variant",
+    "DesignObject",
+    "DesignObjectVersion",
+    "ActiveExecVersion",
+    "ConfigVersion",
+    "Workspace",
+}
+
+#: Every labelled edge of Figure 1 the schema must contain.
+FIGURE1_RELATIONSHIPS = {
+    "member_of",
+    "team_supports",
+    "flow_has_activity",
+    "activity_precedes",
+    "activity_uses_tool",
+    "activity_needs",
+    "activity_creates",
+    "has_entry",
+    "comp_of",
+    "cell_version_of",
+    "cv_precedes",
+    "cv_flow",
+    "cv_team",
+    "variant_of",
+    "dobj_in_variant",
+    "dobj_viewtype",
+    "dov_of",
+    "derived",
+    "equivalent",
+    "exec_of_activity",
+    "exec_in_variant",
+    "needs_of_version",
+    "creates_version",
+    "config_of",
+    "config_precedes",
+    "config_contains",
+    "workspace_of",
+    "reserves",
+}
+
+
+class TestFigure1Schema:
+    def test_all_figure1_entities_present(self):
+        schema = build_jcf_schema()
+        assert FIGURE1_ENTITIES <= set(schema.entity_names())
+
+    def test_all_figure1_relationships_present(self):
+        schema = build_jcf_schema()
+        assert FIGURE1_RELATIONSHIPS <= set(schema.relationship_names())
+
+    def test_cell_versions_belong_to_one_cell(self):
+        schema = build_jcf_schema()
+        assert schema.relationship("cell_version_of").cardinality == "1:N"
+
+    def test_variants_belong_to_one_cell_version(self):
+        schema = build_jcf_schema()
+        assert schema.relationship("variant_of").cardinality == "1:N"
+
+    def test_workspace_reservation_is_exclusive(self):
+        """A cell version sits in at most one workspace (Section 2.1)."""
+        schema = build_jcf_schema()
+        assert schema.relationship("reserves").cardinality == "1:N"
+
+    def test_one_workspace_per_user(self):
+        schema = build_jcf_schema()
+        assert schema.relationship("workspace_of").cardinality == "1:1"
+
+    def test_activity_uses_one_tool(self):
+        schema = build_jcf_schema()
+        assert schema.relationship("activity_uses_tool").cardinality == "N:1"
+
+    def test_cells_owned_by_one_project(self):
+        schema = build_jcf_schema()
+        assert schema.relationship("cell_in_project").cardinality == "N:1"
+
+    def test_derivation_is_many_to_many(self):
+        schema = build_jcf_schema()
+        assert schema.relationship("derived").cardinality == "M:N"
+
+    def test_schema_is_reconstructible(self):
+        """Two builds produce identical descriptions (determinism)."""
+        assert build_jcf_schema().describe() == build_jcf_schema().describe()
+
+    def test_metadata_split_documented(self):
+        """CompOf is documented as separate, manually submitted metadata."""
+        schema = build_jcf_schema()
+        assert "manually" in schema.relationship("comp_of").doc

@@ -1,0 +1,211 @@
+"""Unit tests for project structure, versioning and design objects."""
+
+import pytest
+
+from repro.errors import (
+    CrossProjectSharingError,
+    ProjectError,
+    VersioningError,
+)
+from repro.jcf.project import JCFProject
+
+
+@pytest.fixture
+def project(jcf):
+    return jcf.desktop.create_project("alice", "chipA")
+
+
+class TestProjectAndCells:
+    def test_create_and_find_cell(self, project):
+        project.create_cell("alu")
+        assert project.cell("alu").name == "alu"
+
+    def test_duplicate_cell_rejected(self, project):
+        project.create_cell("alu")
+        with pytest.raises(ProjectError):
+            project.create_cell("alu")
+
+    def test_same_cell_name_allowed_across_projects(self, jcf, project):
+        other = jcf.desktop.create_project("alice", "chipB")
+        project.create_cell("alu")
+        other.create_cell("alu")  # no clash: different namespaces
+
+    def test_entry_cells(self, project):
+        project.create_cell("top", entry=True)
+        project.create_cell("alu")
+        assert [c.name for c in project.entry_cells()] == ["top"]
+
+    def test_unknown_cell_raises(self, project):
+        with pytest.raises(ProjectError):
+            project.cell("ghost")
+
+
+class TestCompOfHierarchy:
+    def test_add_and_query_components(self, project):
+        top = project.create_cell("top")
+        alu = project.create_cell("alu")
+        top.add_component(alu)
+        assert [c.name for c in top.components()] == ["alu"]
+        assert [c.name for c in alu.used_in()] == ["top"]
+
+    def test_cycle_rejected(self, project):
+        a = project.create_cell("a")
+        b = project.create_cell("b")
+        a.add_component(b)
+        with pytest.raises(ProjectError):
+            b.add_component(a)
+
+    def test_self_composition_rejected(self, project):
+        a = project.create_cell("a")
+        with pytest.raises(ProjectError):
+            a.add_component(a)
+
+    def test_cross_project_sharing_rejected(self, jcf, project):
+        """Section 3.1: no data sharing between projects."""
+        other = jcf.desktop.create_project("alice", "chipB")
+        mine = project.create_cell("mine")
+        theirs = other.create_cell("theirs")
+        with pytest.raises(CrossProjectSharingError):
+            mine.add_component(theirs)
+
+    def test_diamond_is_allowed(self, project):
+        top = project.create_cell("top")
+        left = project.create_cell("left")
+        right = project.create_cell("right")
+        leaf = project.create_cell("leaf")
+        top.add_component(left)
+        top.add_component(right)
+        left.add_component(leaf)
+        right.add_component(leaf)
+        assert [c.name for c in leaf.used_in()] == ["left", "right"]
+
+
+class TestCellVersions:
+    def test_versions_number_sequentially(self, project):
+        cell = project.create_cell("alu")
+        v1 = cell.create_version()
+        v2 = cell.create_version()
+        assert (v1.number, v2.number) == (1, 2)
+        assert cell.latest_version().number == 2
+
+    def test_precedes_links_created(self, jcf, project):
+        cell = project.create_cell("alu")
+        v1 = cell.create_version()
+        v2 = cell.create_version()
+        assert jcf.db.linked("cv_precedes", v1.oid, v2.oid)
+
+    def test_version_lookup(self, project):
+        cell = project.create_cell("alu")
+        cell.create_version()
+        assert cell.version(1).number == 1
+        with pytest.raises(VersioningError):
+            cell.version(9)
+
+    def test_publish_changes_status(self, project):
+        cell = project.create_cell("alu")
+        version = cell.create_version()
+        assert not version.published
+        version.publish()
+        assert version.published
+
+    def test_attach_flow_and_team(self, jcf_with_flow, project):
+        jcf = jcf_with_flow
+        cell = project.create_cell("alu")
+        version = cell.create_version()
+        version.attach_flow(jcf.flows.flow_object("jcf_fmcad_flow"))
+        version.attach_team(jcf.resources.team("team1"))
+        assert version.attached_flow().get("name") == "jcf_fmcad_flow"
+        assert version.attached_team().get("name") == "team1"
+
+    def test_reattach_flow_replaces(self, jcf_with_flow, project):
+        from repro.jcf.flows import ActivityDef, FlowDef
+
+        jcf = jcf_with_flow
+        jcf.register_flow(FlowDef("other", (ActivityDef("x", "t"),)))
+        cell = project.create_cell("alu")
+        version = cell.create_version()
+        version.attach_flow(jcf.flows.flow_object("jcf_fmcad_flow"))
+        version.attach_flow(jcf.flows.flow_object("other"))
+        assert version.attached_flow().get("name") == "other"
+
+
+class TestVariants:
+    def test_create_variant(self, project):
+        cell = project.create_cell("alu")
+        version = cell.create_version()
+        variant = version.create_variant("exploration1")
+        assert variant.name == "exploration1"
+        assert version.variant("exploration1").oid == variant.oid
+
+    def test_duplicate_variant_rejected(self, project):
+        cell = project.create_cell("alu")
+        version = cell.create_version()
+        version.create_variant("v")
+        with pytest.raises(VersioningError):
+            version.create_variant("v")
+
+    def test_variant_derivation_tracked(self, project):
+        cell = project.create_cell("alu")
+        version = cell.create_version()
+        base = version.create_variant("base")
+        derived = version.create_variant("lowpower", derived_from=base)
+        assert [v.name for v in derived.derived_from()] == ["base"]
+
+    def test_variant_back_reference(self, project):
+        cell = project.create_cell("alu")
+        version = cell.create_version()
+        variant = version.create_variant("v")
+        assert variant.cell_version.oid == version.oid
+
+
+class TestDesignObjects:
+    def make_variant(self, project):
+        cell = project.create_cell("alu")
+        return cell.create_version().create_variant("work")
+
+    def test_create_design_object_with_viewtype(self, project):
+        variant = self.make_variant(project)
+        dobj = variant.create_design_object("alu/schematic", "schematic")
+        assert dobj.viewtype_name == "schematic"
+        assert variant.design_object("alu/schematic").oid == dobj.oid
+
+    def test_duplicate_design_object_rejected(self, project):
+        variant = self.make_variant(project)
+        variant.create_design_object("d", "schematic")
+        with pytest.raises(VersioningError):
+            variant.create_design_object("d", "layout")
+
+    def test_find_by_viewtype(self, project):
+        variant = self.make_variant(project)
+        variant.create_design_object("s", "schematic")
+        variant.create_design_object("l", "layout")
+        assert variant.find_design_object("layout").name == "l"
+        assert variant.find_design_object("simulation") is None
+
+    def test_versions_store_payload(self, project):
+        variant = self.make_variant(project)
+        dobj = variant.create_design_object("d", "schematic")
+        v1 = dobj.new_version(b"abc")
+        v2 = dobj.new_version(b"defgh")
+        assert (v1.number, v2.number) == (1, 2)
+        assert v2.payload_size == 5
+        assert dobj.latest_version().number == 2
+
+    def test_derivation_relations(self, project):
+        variant = self.make_variant(project)
+        schematic = variant.create_design_object("s", "schematic")
+        layout = variant.create_design_object("l", "layout")
+        sv = schematic.new_version(b"s1")
+        lv = layout.new_version(b"l1")
+        sv.record_derived(lv)
+        assert [v.oid for v in sv.derived_versions()] == [lv.oid]
+        assert [v.oid for v in lv.derivation_sources()] == [sv.oid]
+
+    def test_equivalence_is_symmetric_view(self, project):
+        variant = self.make_variant(project)
+        dobj = variant.create_design_object("d", "schematic")
+        a = dobj.new_version(b"a")
+        b = dobj.new_version(b"b")
+        a.mark_equivalent(b)
+        assert b.oid in [v.oid for v in a.equivalents()]
+        assert a.oid in [v.oid for v in b.equivalents()]

@@ -1,0 +1,78 @@
+"""Unit tests for administrator-controlled resources."""
+
+import pytest
+
+from repro.errors import AuthorizationError, ResourceError
+
+
+class TestAdministratorPrivilege:
+    def test_only_admin_defines_users(self, jcf):
+        with pytest.raises(AuthorizationError):
+            jcf.resources.define_user("alice", "mallory")
+
+    def test_only_admin_defines_teams(self, jcf):
+        with pytest.raises(AuthorizationError):
+            jcf.resources.define_team("alice", "rogues")
+
+    def test_only_admin_changes_membership(self, jcf):
+        with pytest.raises(AuthorizationError):
+            jcf.resources.add_member("alice", "carol", "team1")
+
+
+class TestUsers:
+    def test_define_and_find(self, jcf):
+        assert jcf.resources.user("alice").get("name") == "alice"
+
+    def test_duplicate_user_rejected(self, jcf):
+        with pytest.raises(ResourceError):
+            jcf.resources.define_user("admin", "alice")
+
+    def test_unknown_user_raises(self, jcf):
+        with pytest.raises(ResourceError):
+            jcf.resources.user("ghost")
+
+    def test_users_listing(self, jcf):
+        names = {u.get("name") for u in jcf.resources.users()}
+        assert {"alice", "bob", "carol"} <= names
+
+
+class TestTeams:
+    def test_membership(self, jcf):
+        assert jcf.resources.is_member("alice", "team1")
+        assert not jcf.resources.is_member("carol", "team1")
+
+    def test_remove_member(self, jcf):
+        jcf.resources.remove_member("admin", "bob", "team1")
+        assert not jcf.resources.is_member("bob", "team1")
+
+    def test_teams_of(self, jcf):
+        jcf.resources.define_team("admin", "team2")
+        jcf.resources.add_member("admin", "alice", "team2")
+        assert jcf.resources.teams_of("alice") == ["team1", "team2"]
+
+    def test_members_of(self, jcf):
+        assert jcf.resources.members_of("team1") == ["alice", "bob"]
+
+    def test_duplicate_team_rejected(self, jcf):
+        with pytest.raises(ResourceError):
+            jcf.resources.define_team("admin", "team1")
+
+    def test_is_member_with_unknown_names_is_false(self, jcf):
+        assert not jcf.resources.is_member("ghost", "team1")
+        assert not jcf.resources.is_member("alice", "ghost_team")
+
+
+class TestProjectSupport:
+    def test_team_supports_project(self, jcf):
+        project = jcf.desktop.create_project("alice", "p1")
+        jcf.resources.assign_team_to_project("admin", "team1", project.oid)
+        assert jcf.resources.team_supports_project("team1", project.oid)
+        assert jcf.resources.user_may_work_on("alice", project.oid)
+        assert not jcf.resources.user_may_work_on("carol", project.oid)
+
+    def test_assignment_needs_admin(self, jcf):
+        project = jcf.desktop.create_project("alice", "p1")
+        with pytest.raises(AuthorizationError):
+            jcf.resources.assign_team_to_project(
+                "alice", "team1", project.oid
+            )

@@ -1,0 +1,74 @@
+"""Unit tests for two-level versioning analysis (Section 3.2)."""
+
+import pytest
+
+
+@pytest.fixture
+def cell(jcf):
+    project = jcf.desktop.create_project("alice", "chipA")
+    return project.create_cell("alu")
+
+
+class TestHistories:
+    def test_cell_history_ordered(self, jcf, cell):
+        cell.create_version()
+        cell.create_version()
+        history = jcf.versioning.cell_history(cell)
+        assert [cv.number for cv in history] == [1, 2]
+
+    def test_predecessors_successors(self, jcf, cell):
+        v1 = cell.create_version()
+        v2 = cell.create_version()
+        assert [cv.oid for cv in jcf.versioning.successors_of(v1)] == [v2.oid]
+        assert [cv.oid for cv in jcf.versioning.predecessors_of(v2)] == [
+            v1.oid
+        ]
+
+    def test_design_history(self, jcf, cell):
+        variant = cell.create_version().create_variant("w")
+        dobj = variant.create_design_object("d", "schematic")
+        dobj.new_version(b"1")
+        dobj.new_version(b"2")
+        assert [
+            v.number for v in jcf.versioning.design_history(dobj)
+        ] == [1, 2]
+
+
+class TestTwoLevelExpressiveness:
+    def build_two_level_history(self, cell):
+        """Same design object evolves in two cell versions and variants."""
+        for _ in range(2):
+            version = cell.create_version()
+            for variant_name in ("variantA", "variantB"):
+                variant = version.create_variant(variant_name)
+                dobj = variant.create_design_object("alu/schematic",
+                                                    "schematic")
+                dobj.new_version(b"x")
+                dobj.new_version(b"y")
+
+    def test_states_enumerated(self, jcf, cell):
+        self.build_two_level_history(cell)
+        states = jcf.versioning.states_of_cell(cell)
+        # 2 cell versions x 2 variants x 1 object x 2 versions
+        assert len(states) == 8
+
+    def test_one_level_scheme_loses_distinctions(self, jcf, cell):
+        """The E32 claim: FMCAD's flat (cellview, version) key cannot
+        tell apart states living in different cell versions/variants."""
+        self.build_two_level_history(cell)
+        report = jcf.versioning.expressiveness_report(cell)
+        assert report["two_level_states"] == 8
+        assert report["one_level_states"] == 2  # only v1 and v2 of the view
+        assert report["indistinguishable_states"] == 6
+
+    def test_single_variant_has_no_collisions(self, jcf, cell):
+        version = cell.create_version()
+        variant = version.create_variant("only")
+        dobj = variant.create_design_object("d", "schematic")
+        dobj.new_version(b"1")
+        report = jcf.versioning.expressiveness_report(cell)
+        assert report["indistinguishable_states"] == 0
+
+    def test_empty_cell_report(self, jcf, cell):
+        report = jcf.versioning.expressiveness_report(cell)
+        assert report["two_level_states"] == 0

@@ -1,0 +1,128 @@
+"""Unit tests for the workspace concept (Section 2.1)."""
+
+import pytest
+
+from repro.errors import (
+    AuthorizationError,
+    ReservationConflictError,
+    WorkspaceError,
+)
+
+
+@pytest.fixture
+def cell_version(jcf):
+    project = jcf.desktop.create_project("alice", "chipA")
+    jcf.resources.assign_team_to_project("admin", "team1", project.oid)
+    cell = project.create_cell("alu")
+    return cell.create_version()
+
+
+class TestReservation:
+    def test_reserve_grants_write(self, jcf, cell_version):
+        jcf.workspaces.reserve("alice", cell_version)
+        assert jcf.workspaces.can_write("alice", cell_version)
+        assert jcf.workspaces.reserved_by(cell_version) == "alice"
+
+    def test_second_user_conflicts(self, jcf, cell_version):
+        jcf.workspaces.reserve("alice", cell_version)
+        with pytest.raises(ReservationConflictError):
+            jcf.workspaces.reserve("bob", cell_version)
+        assert jcf.workspaces.denied_reservations == 1
+
+    def test_reserve_is_idempotent_for_holder(self, jcf, cell_version):
+        jcf.workspaces.reserve("alice", cell_version)
+        jcf.workspaces.reserve("alice", cell_version)
+        assert jcf.workspaces.granted_reservations == 1
+
+    def test_non_team_member_rejected(self, jcf, cell_version):
+        with pytest.raises(AuthorizationError):
+            jcf.workspaces.reserve("carol", cell_version)
+
+    def test_team_attached_to_cell_version_wins(self, jcf, cell_version):
+        jcf.resources.define_team("admin", "team2")
+        jcf.resources.add_member("admin", "carol", "team2")
+        cell_version.attach_team(jcf.resources.team("team2"))
+        # carol is in team2 which is attached, so she may reserve;
+        # alice (team1) is not in the attached team any more
+        jcf.workspaces.reserve("carol", cell_version)
+        jcf.workspaces.release("carol", cell_version)
+        with pytest.raises(AuthorizationError):
+            jcf.workspaces.reserve("alice", cell_version)
+
+    def test_published_version_cannot_be_reserved(self, jcf, cell_version):
+        cell_version.publish()
+        with pytest.raises(WorkspaceError):
+            jcf.workspaces.reserve("alice", cell_version)
+
+    def test_conflict_charges_lock_wait(self, jcf, cell_version):
+        jcf.workspaces.reserve("alice", cell_version)
+        with pytest.raises(ReservationConflictError):
+            jcf.workspaces.reserve("bob", cell_version)
+        assert jcf.clock.elapsed_by_category()["lock_wait"] > 0
+
+
+class TestReadVisibility:
+    def test_unpublished_readable_only_by_holder(self, jcf, cell_version):
+        jcf.workspaces.reserve("alice", cell_version)
+        assert jcf.workspaces.can_read("alice", cell_version)
+        assert not jcf.workspaces.can_read("bob", cell_version)
+
+    def test_published_readable_by_everyone(self, jcf, cell_version):
+        jcf.workspaces.reserve("alice", cell_version)
+        jcf.workspaces.publish("alice", cell_version)
+        assert jcf.workspaces.can_read("bob", cell_version)
+        assert jcf.workspaces.can_read("carol", cell_version)
+
+    def test_published_writable_by_nobody(self, jcf, cell_version):
+        jcf.workspaces.reserve("alice", cell_version)
+        jcf.workspaces.publish("alice", cell_version)
+        assert not jcf.workspaces.can_write("alice", cell_version)
+
+
+class TestPublishAndRelease:
+    def test_publish_requires_holder(self, jcf, cell_version):
+        jcf.workspaces.reserve("alice", cell_version)
+        with pytest.raises(WorkspaceError):
+            jcf.workspaces.publish("bob", cell_version)
+
+    def test_publish_releases_reservation(self, jcf, cell_version):
+        jcf.workspaces.reserve("alice", cell_version)
+        jcf.workspaces.publish("alice", cell_version)
+        assert jcf.workspaces.reserved_by(cell_version) is None
+        assert cell_version.published
+
+    def test_release_without_publish(self, jcf, cell_version):
+        jcf.workspaces.reserve("alice", cell_version)
+        jcf.workspaces.release("alice", cell_version)
+        assert jcf.workspaces.reserved_by(cell_version) is None
+        assert not cell_version.published
+        # bob can now take it
+        jcf.workspaces.reserve("bob", cell_version)
+
+    def test_release_requires_holder(self, jcf, cell_version):
+        with pytest.raises(WorkspaceError):
+            jcf.workspaces.release("alice", cell_version)
+
+
+class TestParallelVersions:
+    def test_two_users_on_different_versions_of_same_cell(self, jcf):
+        """The Section 3.1 capability FMCAD lacks."""
+        project = jcf.desktop.create_project("alice", "chipA")
+        jcf.resources.assign_team_to_project("admin", "team1", project.oid)
+        cell = project.create_cell("alu")
+        v1 = cell.create_version()
+        v2 = cell.create_version()
+        jcf.workspaces.reserve("alice", v1)
+        jcf.workspaces.reserve("bob", v2)  # no conflict!
+        assert jcf.workspaces.can_write("alice", v1)
+        assert jcf.workspaces.can_write("bob", v2)
+
+    def test_reservations_of_user(self, jcf, cell_version):
+        jcf.workspaces.reserve("alice", cell_version)
+        held = jcf.workspaces.reservations_of("alice")
+        assert [cv.oid for cv in held] == [cell_version.oid]
+
+    def test_workspace_created_once_per_user(self, jcf, cell_version):
+        w1 = jcf.workspaces.workspace_for("alice")
+        w2 = jcf.workspaces.workspace_for("alice")
+        assert w1.oid == w2.oid

@@ -1,0 +1,65 @@
+"""Unit tests for OMSObject behaviour."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.oms.objects import OMSObject
+from repro.oms.schema import AttributeDef, EntityType
+
+
+@pytest.fixture
+def entity():
+    return EntityType(
+        "Thing",
+        (
+            AttributeDef("name", "str", required=True),
+            AttributeDef("size", "int", default=0),
+        ),
+    )
+
+
+class TestAttributes:
+    def test_get_known_attribute(self, entity):
+        obj = OMSObject("t:1", entity, {"name": "x", "size": 3})
+        assert obj.get("name") == "x"
+        assert obj.get("size") == 3
+
+    def test_get_unknown_attribute_raises(self, entity):
+        obj = OMSObject("t:1", entity, {"name": "x"})
+        with pytest.raises(SchemaError):
+            obj.get("colour")
+
+    def test_values_returns_copy(self, entity):
+        obj = OMSObject("t:1", entity, {"name": "x"})
+        values = obj.values()
+        values["name"] = "mutated"
+        assert obj.get("name") == "x"
+
+    def test_internal_set_validates(self, entity):
+        obj = OMSObject("t:1", entity, {"name": "x"})
+        with pytest.raises(Exception):
+            obj._set("size", "not an int")
+
+    def test_internal_set_returns_previous(self, entity):
+        obj = OMSObject("t:1", entity, {"name": "x", "size": 1})
+        previous = obj._set("size", 2)
+        assert previous == 1
+        assert obj.get("size") == 2
+
+    def test_required_cannot_be_cleared(self, entity):
+        obj = OMSObject("t:1", entity, {"name": "x"})
+        with pytest.raises(SchemaError):
+            obj._set("name", None)
+
+
+class TestPayload:
+    def test_payload_size(self, entity):
+        obj = OMSObject("t:1", entity, {"name": "x"}, payload=b"12345")
+        assert obj.payload_size == 5
+
+    def test_no_payload_size_zero(self, entity):
+        obj = OMSObject("t:1", entity, {"name": "x"})
+        assert obj.payload_size == 0
+
+    def test_type_name(self, entity):
+        assert OMSObject("t:1", entity, {"name": "x"}).type_name == "Thing"

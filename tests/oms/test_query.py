@@ -1,0 +1,88 @@
+"""Unit tests for the OMS query engine."""
+
+import pytest
+
+from repro.oms.query import QueryEngine
+
+
+@pytest.fixture
+def chain(db):
+    """a -> b -> c -> d over 'linked'; returns (engine, [a,b,c,d])."""
+    objs = [db.create("Thing", {"name": n}) for n in "abcd"]
+    for src, dst in zip(objs, objs[1:]):
+        db.link("linked", src.oid, dst.oid)
+    return QueryEngine(db), objs
+
+
+class TestSingleHop:
+    def test_children(self, chain):
+        engine, objs = chain
+        assert [o.oid for o in engine.children("linked", objs[0].oid)] == [
+            objs[1].oid
+        ]
+
+    def test_parents(self, chain):
+        engine, objs = chain
+        assert [o.oid for o in engine.parents("linked", objs[1].oid)] == [
+            objs[0].oid
+        ]
+
+    def test_only_child_none(self, chain):
+        engine, objs = chain
+        assert engine.only_child("linked", objs[3].oid) is None
+
+    def test_only_child_unique(self, chain):
+        engine, objs = chain
+        child = engine.only_child("linked", objs[0].oid)
+        assert child.oid == objs[1].oid
+
+    def test_only_child_ambiguous_raises(self, db):
+        engine = QueryEngine(db)
+        a = db.create("Thing", {"name": "a"})
+        for n in "bc":
+            other = db.create("Thing", {"name": n})
+            db.link("linked", a.oid, other.oid)
+        with pytest.raises(ValueError):
+            engine.only_child("linked", a.oid)
+
+
+class TestReachability:
+    def test_reachable_excludes_start(self, chain):
+        engine, objs = chain
+        found = engine.reachable(objs[0].oid, ["linked"])
+        assert objs[0].oid not in [o.oid for o in found]
+        assert len(found) == 3
+
+    def test_reachable_respects_max_depth(self, chain):
+        engine, objs = chain
+        found = engine.reachable(objs[0].oid, ["linked"], max_depth=2)
+        assert [o.oid for o in found] == [objs[1].oid, objs[2].oid]
+
+    def test_reachable_handles_cycles(self, db):
+        engine = QueryEngine(db)
+        a = db.create("Thing", {"name": "a"})
+        b = db.create("Thing", {"name": "b"})
+        db.link("linked", a.oid, b.oid)
+        db.link("linked", b.oid, a.oid)
+        found = engine.reachable(a.oid, ["linked"])
+        assert [o.oid for o in found] == [b.oid]
+
+    def test_ancestors(self, chain):
+        engine, objs = chain
+        found = engine.ancestors(objs[3].oid, ["linked"])
+        assert {o.oid for o in found} == {o.oid for o in objs[:3]}
+
+    def test_path_exists(self, chain):
+        engine, objs = chain
+        assert engine.path_exists(objs[0].oid, objs[3].oid, ["linked"])
+        assert not engine.path_exists(objs[3].oid, objs[0].oid, ["linked"])
+
+
+class TestGroupBy:
+    def test_group_by_key(self, db):
+        engine = QueryEngine(db)
+        for name, size in [("a", 1), ("b", 1), ("c", 2)]:
+            db.create("Thing", {"name": name, "size": size})
+        groups = engine.group_by("Thing", lambda o: str(o.get("size")))
+        assert sorted(groups) == ["1", "2"]
+        assert len(groups["1"]) == 2

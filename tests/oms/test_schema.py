@@ -1,0 +1,159 @@
+"""Unit tests for OMS schema definitions."""
+
+import pytest
+
+from repro.errors import AttributeTypeError, SchemaError
+from repro.oms.schema import AttributeDef, EntityType, RelationshipDef, Schema
+
+
+class TestAttributeDef:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("x", "complex128")
+
+    def test_default_must_match_type(self):
+        with pytest.raises(AttributeTypeError):
+            AttributeDef("x", "int", default="nope")
+
+    def test_validate_accepts_matching_value(self):
+        AttributeDef("x", "str").validate("hello")
+
+    def test_validate_rejects_mismatched_value(self):
+        with pytest.raises(AttributeTypeError):
+            AttributeDef("x", "int").validate("hello")
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(AttributeTypeError):
+            AttributeDef("x", "int").validate(True)
+
+    def test_int_accepted_for_float(self):
+        AttributeDef("x", "float").validate(3)
+
+    def test_none_ok_when_optional(self):
+        AttributeDef("x", "str").validate(None)
+
+    def test_none_rejected_when_required(self):
+        with pytest.raises(AttributeTypeError):
+            AttributeDef("x", "str", required=True).validate(None)
+
+
+class TestEntityType:
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            EntityType(
+                "E", (AttributeDef("a", "str"), AttributeDef("a", "int"))
+            )
+
+    def test_attribute_lookup(self):
+        entity = EntityType("E", (AttributeDef("a", "str"),))
+        assert entity.attribute("a").type_name == "str"
+
+    def test_unknown_attribute_lookup_raises(self):
+        with pytest.raises(SchemaError):
+            EntityType("E").attribute("missing")
+
+    def test_validate_values_fills_defaults(self):
+        entity = EntityType(
+            "E",
+            (
+                AttributeDef("a", "str", required=True),
+                AttributeDef("n", "int", default=7),
+            ),
+        )
+        values = entity.validate_values({"a": "x"})
+        assert values == {"a": "x", "n": 7}
+
+    def test_validate_values_rejects_unknown_names(self):
+        entity = EntityType("E", (AttributeDef("a", "str"),))
+        with pytest.raises(SchemaError):
+            entity.validate_values({"zzz": 1})
+
+    def test_validate_values_requires_required(self):
+        entity = EntityType("E", (AttributeDef("a", "str", required=True),))
+        with pytest.raises(AttributeTypeError):
+            entity.validate_values({})
+
+
+class TestRelationshipDef:
+    def test_bad_cardinality_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationshipDef("r", "A", "B", "many-to-few")
+
+    @pytest.mark.parametrize("cardinality", ["1:1", "1:N", "N:1", "M:N"])
+    def test_all_cardinalities_accepted(self, cardinality):
+        RelationshipDef("r", "A", "B", cardinality)
+
+
+class TestSchema:
+    def test_duplicate_entity_rejected(self):
+        schema = Schema("s")
+        schema.define_entity("E")
+        with pytest.raises(SchemaError):
+            schema.define_entity("E")
+
+    def test_relationship_requires_known_endpoints(self):
+        schema = Schema("s")
+        schema.define_entity("A")
+        with pytest.raises(SchemaError):
+            schema.define_relationship("r", "A", "Ghost")
+
+    def test_duplicate_relationship_rejected(self):
+        schema = Schema("s")
+        schema.define_entity("A")
+        schema.define_relationship("r", "A", "A")
+        with pytest.raises(SchemaError):
+            schema.define_relationship("r", "A", "A")
+
+    def test_entity_names_sorted(self):
+        schema = Schema("s")
+        schema.define_entity("Zeta")
+        schema.define_entity("Alpha")
+        assert schema.entity_names() == ["Alpha", "Zeta"]
+
+    def test_relationships_of_touches_both_endpoints(self):
+        schema = Schema("s")
+        schema.define_entity("A")
+        schema.define_entity("B")
+        schema.define_relationship("ab", "A", "B")
+        schema.define_relationship("bb", "B", "B")
+        names = [r.name for r in schema.relationships_of("B")]
+        assert names == ["ab", "bb"]
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        schema = Schema("s")
+        schema.define_entity("A", [AttributeDef("x", "int")])
+        schema.define_entity("B")
+        schema.define_relationship("ab", "A", "B", "1:N", doc="edge")
+        doc = schema.describe()
+        json.dumps(doc)  # must not raise
+        assert doc["entities"]["A"]["attributes"] == {"x": "int"}
+        assert doc["relationships"]["ab"]["cardinality"] == "1:N"
+
+
+class TestDotRendering:
+    def make_schema(self):
+        schema = Schema("s")
+        schema.define_entity("A", [AttributeDef("x", "int")])
+        schema.define_entity("B")
+        schema.define_relationship("ab", "A", "B", "1:N")
+        return schema
+
+    def test_dot_contains_nodes_and_edges(self):
+        dot = self.make_schema().to_dot()
+        assert dot.startswith("digraph schema {")
+        assert '"A" [label="{A|x: int\\l}"];' in dot
+        assert '"B" [label="B"];' in dot
+        assert '"A" -> "B" [label="ab\\n(1:N)"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_title_optional(self):
+        with_title = self.make_schema().to_dot("My Figure")
+        without = self.make_schema().to_dot()
+        assert 'label="My Figure"' in with_title
+        assert "labelloc" not in without
+
+    def test_dot_deterministic(self):
+        schema = self.make_schema()
+        assert schema.to_dot() == schema.to_dot()

@@ -1,0 +1,111 @@
+"""Unit tests for OMS snapshot persistence."""
+
+import pytest
+
+from repro.errors import OMSError
+from repro.oms.schema import Schema
+from repro.oms.snapshot import dump_snapshot, restore_snapshot
+
+
+@pytest.fixture
+def populated(db):
+    box = db.create("Box", {"label": "b1"})
+    thing = db.create("Thing", {"name": "t1", "size": 5},
+                      payload=b"\x00binary\xff")
+    other = db.create("Thing", {"name": "t2"})
+    db.link("contains", box.oid, thing.oid)
+    db.link("linked", thing.oid, other.oid)
+    return db, box, thing, other
+
+
+class TestRoundTrip:
+    def test_objects_and_ids_preserved(self, populated, simple_schema):
+        db, box, thing, other = populated
+        restored = restore_snapshot(simple_schema, dump_snapshot(db))
+        assert restored.get(thing.oid).get("name") == "t1"
+        assert restored.get(thing.oid).get("size") == 5
+        assert restored.get(box.oid).get("label") == "b1"
+
+    def test_binary_payload_preserved(self, populated, simple_schema):
+        db, box, thing, other = populated
+        restored = restore_snapshot(simple_schema, dump_snapshot(db))
+        assert restored.get(thing.oid).payload == b"\x00binary\xff"
+
+    def test_links_preserved(self, populated, simple_schema):
+        db, box, thing, other = populated
+        restored = restore_snapshot(simple_schema, dump_snapshot(db))
+        assert restored.linked("contains", box.oid, thing.oid)
+        assert restored.linked("linked", thing.oid, other.oid)
+
+    def test_new_ids_do_not_collide(self, populated, simple_schema):
+        db, box, thing, other = populated
+        restored = restore_snapshot(simple_schema, dump_snapshot(db))
+        fresh = restored.create("Thing", {"name": "new"})
+        assert fresh.oid not in {box.oid, thing.oid, other.oid}
+
+    def test_policy_preserved(self, simple_schema):
+        from repro.oms.database import OMSDatabase
+
+        db = OMSDatabase(simple_schema, policy={"cross_project_sharing":
+                                                True})
+        restored = restore_snapshot(simple_schema, dump_snapshot(db))
+        assert restored.policy["cross_project_sharing"] is True
+
+    def test_stats_identical(self, populated, simple_schema):
+        db, *_ = populated
+        restored = restore_snapshot(simple_schema, dump_snapshot(db))
+        assert restored.stats() == db.stats()
+
+    def test_double_round_trip_stable(self, populated, simple_schema):
+        db, *_ = populated
+        once = dump_snapshot(db)
+        twice = dump_snapshot(restore_snapshot(simple_schema, once))
+        assert once == twice
+
+
+class TestValidation:
+    def test_garbage_rejected(self, simple_schema):
+        with pytest.raises(OMSError):
+            restore_snapshot(simple_schema, b"garbage")
+
+    def test_wrong_format_rejected(self, simple_schema):
+        with pytest.raises(OMSError):
+            restore_snapshot(simple_schema, b'{"format": "other"}')
+
+    def test_schema_mismatch_rejected(self, populated):
+        db, *_ = populated
+        wrong = Schema("different")
+        with pytest.raises(OMSError, match="schema"):
+            restore_snapshot(wrong, dump_snapshot(db))
+
+
+class TestJCFSnapshot:
+    def test_whole_jcf_state_survives_a_restart(self, jcf_with_flow):
+        """The framework-level story: restore and keep working."""
+        from repro.jcf.model import build_jcf_schema
+
+        jcf = jcf_with_flow
+        project = jcf.desktop.create_project("alice", "chipA")
+        cell = project.create_cell("alu")
+        version = cell.create_version()
+        version.attach_flow(jcf.flows.flow_object("jcf_fmcad_flow"))
+        variant = version.create_variant("work")
+        dobj = variant.create_design_object("alu/schematic", "schematic")
+        dobj.new_version(b"the design")
+
+        snapshot = dump_snapshot(jcf.db)
+        restored_db = restore_snapshot(build_jcf_schema(), snapshot)
+
+        # navigate the restored graph with the same wrappers
+        from repro.jcf.project import JCFProject
+
+        projects = restored_db.select(
+            "Project", lambda o: o.get("name") == "chipA"
+        )
+        restored_project = JCFProject(restored_db, projects[0])
+        restored_cell = restored_project.cell("alu")
+        restored_variant = restored_cell.version(1).variant("work")
+        restored_dobj = restored_variant.design_object("alu/schematic")
+        assert restored_db.get(
+            restored_dobj.latest_version().oid
+        ).payload == b"the design"

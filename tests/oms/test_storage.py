@@ -1,0 +1,104 @@
+"""Unit tests for the OMS file-system staging area (Section 2.1 copies)."""
+
+import pytest
+
+from repro.errors import OMSError
+from repro.oms.storage import StagingArea
+
+
+@pytest.fixture
+def staging(db, tmp_path):
+    return StagingArea(db, tmp_path / "staging")
+
+
+class TestExport:
+    def test_export_writes_real_file(self, db, staging):
+        obj = db.create("Thing", {"name": "x"}, payload=b"design data")
+        staged = staging.export_object(obj.oid)
+        assert staged.path.read_bytes() == b"design data"
+        assert staged.size == len(b"design data")
+
+    def test_export_charges_copy_cost(self, db, staging):
+        obj = db.create("Thing", {"name": "x"}, payload=b"d" * 1000)
+        before = db.clock.elapsed_by_category().get("copy", 0.0)
+        staging.export_object(obj.oid)
+        after = db.clock.elapsed_by_category()["copy"]
+        assert after > before
+
+    def test_export_empty_payload_ok(self, db, staging):
+        obj = db.create("Thing", {"name": "x"})
+        staged = staging.export_object(obj.oid)
+        assert staged.size == 0
+
+    def test_export_custom_filename(self, db, staging):
+        obj = db.create("Thing", {"name": "x"}, payload=b"d")
+        staged = staging.export_object(obj.oid, filename="work.dat")
+        assert staged.path.name == "work.dat"
+
+
+class TestImport:
+    def test_import_reads_back_edited_file(self, db, staging):
+        obj = db.create("Thing", {"name": "x"}, payload=b"v1")
+        staged = staging.export_object(obj.oid)
+        staged.path.write_bytes(b"v2 edited by the tool")
+        size = staging.import_object(obj.oid)
+        assert size == len(b"v2 edited by the tool")
+        assert db.get(obj.oid).payload == b"v2 edited by the tool"
+
+    def test_import_without_export_needs_path(self, db, staging):
+        obj = db.create("Thing", {"name": "x"})
+        with pytest.raises(OMSError):
+            staging.import_object(obj.oid)
+
+    def test_import_explicit_path(self, db, staging, tmp_path):
+        obj = db.create("Thing", {"name": "x"})
+        external = tmp_path / "ext.dat"
+        external.write_bytes(b"external")
+        staging.import_object(obj.oid, external)
+        assert db.get(obj.oid).payload == b"external"
+
+    def test_import_missing_file_raises(self, db, staging, tmp_path):
+        obj = db.create("Thing", {"name": "x"})
+        with pytest.raises(OMSError):
+            staging.import_object(obj.oid, tmp_path / "ghost.dat")
+
+
+class TestBookkeeping:
+    def test_accounting_accumulates(self, db, staging):
+        obj = db.create("Thing", {"name": "x"}, payload=b"12345")
+        staging.export_object(obj.oid)
+        staging.import_object(obj.oid)
+        acc = staging.accounting()
+        assert acc["bytes_exported"] == 5
+        assert acc["bytes_imported"] == 5
+        assert acc["files_exported"] == 1
+        assert acc["files_imported"] == 1
+
+    def test_read_only_access_still_pays(self, db, staging):
+        """Section 3.6: even read-only access copies the data out."""
+        obj = db.create("Thing", {"name": "x"}, payload=b"z" * 10_000)
+        staging.export_object(obj.oid)  # "just reading"
+        assert staging.accounting()["bytes_exported"] == 10_000
+        assert db.clock.elapsed_by_category()["copy"] > 0
+
+    def test_release_removes_file(self, db, staging):
+        obj = db.create("Thing", {"name": "x"}, payload=b"d")
+        staged = staging.export_object(obj.oid)
+        staging.release(obj.oid)
+        assert not staged.path.exists()
+        assert not staging.is_staged(obj.oid)
+
+    def test_clear_removes_everything(self, db, staging):
+        for i in range(3):
+            obj = db.create("Thing", {"name": str(i)}, payload=b"d")
+            staging.export_object(obj.oid)
+        staging.clear()
+        assert staging.staged() == []
+
+    def test_staged_listing_ordered(self, db, staging):
+        oids = []
+        for i in range(3):
+            obj = db.create("Thing", {"name": str(i)}, payload=b"d")
+            staging.export_object(obj.oid)
+            oids.append(obj.oid)
+        assert [s.oid for s in staging.staged()] == sorted(oids)

@@ -1,0 +1,45 @@
+"""Unit tests for the transaction object itself."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.oms.transactions import Transaction
+
+
+class TestTransaction:
+    def test_initial_state_active(self):
+        assert Transaction("t1").state == "active"
+
+    def test_commit_clears_journal(self):
+        txn = Transaction("t1")
+        txn.record_undo(lambda: None)
+        txn.commit()
+        assert txn.state == "committed"
+        assert txn.journal_length == 0
+
+    def test_abort_runs_undos_in_reverse(self):
+        order = []
+        txn = Transaction("t1")
+        txn.record_undo(lambda: order.append("first"))
+        txn.record_undo(lambda: order.append("second"))
+        txn.abort()
+        assert order == ["second", "first"]
+        assert txn.state == "aborted"
+
+    def test_record_after_commit_raises(self):
+        txn = Transaction("t1")
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.record_undo(lambda: None)
+
+    def test_double_commit_raises(self):
+        txn = Transaction("t1")
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_abort_after_commit_raises(self):
+        txn = Transaction("t1")
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.abort()

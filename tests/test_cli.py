@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestInfo:
+    def test_info_exits_zero(self):
+        code, text = run_cli(["info"])
+        assert code == 0
+
+    def test_info_lists_systems_and_table1(self):
+        _, text = run_cli(["info"])
+        assert "repro.jcf" in text
+        assert "repro.fmcad" in text
+        assert "DesignObjectVersion" in text
+        assert "Cellview Version" in text
+
+
+class TestDemo:
+    def test_demo_runs_full_flow(self, tmp_path):
+        code, text = run_cli(["demo", "--workspace", str(tmp_path / "d")])
+        assert code == 0
+        for activity in ("schematic_entry", "digital_simulation",
+                         "layout_entry"):
+            assert activity in text
+        assert "FAILED" not in text
+        assert "derivation record" in text
+
+    def test_demo_uses_given_workspace(self, tmp_path):
+        workspace = tmp_path / "demo_ws"
+        code, text = run_cli(["demo", "--workspace", str(workspace)])
+        assert code == 0
+        assert workspace.exists()
+        assert str(workspace) in text
+
+
+class TestSelfcheck:
+    def test_selfcheck_passes(self):
+        code, text = run_cli(["selfcheck"])
+        assert code == 0
+        assert "selfcheck passed" in text
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            run_cli([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            run_cli(["frobnicate"])
+
+
+class TestConsult:
+    def test_consult_prints_report(self):
+        code, text = run_cli(["consult"])
+        assert code == 0
+        assert "design consultant report:" in text
+        # flow hint: simulation is the next runnable activity
+        assert "digital_simulation" in text

@@ -1,0 +1,82 @@
+"""Unit tests for the simulated clock and cost model."""
+
+import pytest
+
+from repro.clock import CostModel, SimClock
+
+
+class TestCharging:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ms == 0.0
+
+    def test_charge_advances_time(self):
+        clock = SimClock()
+        clock.charge("x", 10.0)
+        clock.charge("y", 5.0)
+        assert clock.now_ms == 15.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge("x", -1.0)
+
+    def test_categories_accumulate_independently(self):
+        clock = SimClock()
+        clock.charge("a", 1.0)
+        clock.charge("b", 2.0)
+        clock.charge("a", 3.0)
+        assert clock.elapsed_by_category() == {"a": 4.0, "b": 2.0}
+
+    def test_events_are_chronological(self):
+        clock = SimClock()
+        clock.charge("a", 1.0)
+        clock.charge("b", 2.0)
+        times = [t for t, _, _ in clock.events]
+        assert times == sorted(times)
+
+
+class TestCostHelpers:
+    def test_metadata_op_uses_model_rate(self):
+        model = CostModel(metadata_op_ms=7.0)
+        clock = SimClock(model)
+        clock.charge_metadata_op(3)
+        assert clock.now_ms == 21.0
+
+    def test_copy_charges_per_byte_plus_per_file(self):
+        model = CostModel(copy_byte_ms=1.0, copy_file_ms=10.0)
+        clock = SimClock(model)
+        clock.charge_copy(100, files=2)
+        assert clock.now_ms == 120.0
+
+    def test_copy_dominates_native_io_for_same_bytes(self):
+        """The architectural point of Section 3.6: OMS staging is the
+        expensive path compared to native library access."""
+        clock = SimClock()
+        clock.charge_copy(1_000_000)
+        copy_cost = clock.elapsed_by_category()["copy"]
+        clock.charge_native_io(1_000_000)
+        native_cost = clock.elapsed_by_category()["native_io"]
+        assert copy_cost > native_cost
+
+    def test_ui_context_switch_costs_more_than_interaction(self):
+        clock = SimClock()
+        clock.charge_ui()
+        clock.charge_ui_context_switch()
+        by_cat = clock.elapsed_by_category()
+        assert by_cat["ui_switch"] > by_cat["ui"]
+
+    def test_lock_wait_poll_count(self):
+        model = CostModel(lock_wait_poll_ms=100.0)
+        clock = SimClock(model)
+        clock.charge_lock_wait(polls=4)
+        assert clock.elapsed_by_category()["lock_wait"] == 400.0
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        clock = SimClock()
+        clock.charge_metadata_op()
+        clock.charge_ui()
+        clock.reset()
+        assert clock.now_ms == 0.0
+        assert clock.elapsed_by_category() == {}
+        assert clock.events == []

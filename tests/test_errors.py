@@ -1,0 +1,116 @@
+"""Unit tests for the exception hierarchy contract.
+
+Callers catch by family (framework vs tool vs coupling); these tests pin
+the inheritance relationships the public API documents.
+"""
+
+import pytest
+
+from repro import errors
+
+
+class TestFamilies:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.SchemaError,
+            errors.AttributeTypeError,
+            errors.UnknownObjectError,
+            errors.RelationshipError,
+            errors.TransactionError,
+            errors.ClosedInterfaceError,
+        ],
+    )
+    def test_oms_family(self, exception):
+        assert issubclass(exception, errors.OMSError)
+        assert issubclass(exception, errors.ReproError)
+
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.ResourceError,
+            errors.AuthorizationError,
+            errors.FlowError,
+            errors.WorkspaceError,
+            errors.VersioningError,
+            errors.ConfigurationError,
+            errors.ProjectError,
+        ],
+    )
+    def test_jcf_family(self, exception):
+        assert issubclass(exception, errors.JCFError)
+
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.LibraryError,
+            errors.MetaFileError,
+            errors.CheckoutError,
+            errors.LockedError,
+            errors.ViewTypeError,
+            errors.PropertyError,
+            errors.ExtensionLanguageError,
+            errors.MenuLockedError,
+            errors.ITCError,
+        ],
+    )
+    def test_fmcad_family(self, exception):
+        assert issubclass(exception, errors.FMCADError)
+
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.SchematicError,
+            errors.LayoutError,
+            errors.DRCError,
+            errors.SimulationError,
+        ],
+    )
+    def test_tool_family(self, exception):
+        assert issubclass(exception, errors.ToolError)
+
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.MappingError,
+            errors.HierarchyError,
+            errors.NonIsomorphicHierarchyError,
+            errors.ConsistencyError,
+            errors.EncapsulationError,
+        ],
+    )
+    def test_coupling_family(self, exception):
+        assert issubclass(exception, errors.CouplingError)
+
+
+class TestSpecifics:
+    def test_locked_is_a_checkout_error(self):
+        assert issubclass(errors.LockedError, errors.CheckoutError)
+
+    def test_reservation_conflict_is_a_workspace_error(self):
+        assert issubclass(
+            errors.ReservationConflictError, errors.WorkspaceError
+        )
+
+    def test_flow_order_and_frozen_are_flow_errors(self):
+        assert issubclass(errors.FlowOrderError, errors.FlowError)
+        assert issubclass(errors.FlowFrozenError, errors.FlowError)
+
+    def test_non_isomorphic_is_a_hierarchy_error(self):
+        assert issubclass(
+            errors.NonIsomorphicHierarchyError, errors.HierarchyError
+        )
+
+    def test_cross_project_sharing_is_a_project_error(self):
+        assert issubclass(
+            errors.CrossProjectSharingError, errors.ProjectError
+        )
+
+    def test_drc_is_a_layout_error(self):
+        assert issubclass(errors.DRCError, errors.LayoutError)
+
+    def test_families_are_disjoint(self):
+        """A JCF error must never be caught by an FMCAD handler."""
+        assert not issubclass(errors.JCFError, errors.FMCADError)
+        assert not issubclass(errors.FMCADError, errors.JCFError)
+        assert not issubclass(errors.ToolError, errors.CouplingError)

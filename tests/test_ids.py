@@ -1,0 +1,59 @@
+"""Unit tests for deterministic identifier allocation."""
+
+from repro.ids import IdAllocator
+
+
+class TestIdAllocator:
+    def test_first_id_is_one(self):
+        assert IdAllocator().allocate("cell") == "cell:000001"
+
+    def test_ids_are_monotone_per_kind(self):
+        ids = IdAllocator()
+        first = ids.allocate("cell")
+        second = ids.allocate("cell")
+        assert first < second
+
+    def test_kinds_count_independently(self):
+        ids = IdAllocator()
+        ids.allocate("cell")
+        ids.allocate("cell")
+        assert ids.allocate("flow") == "flow:000001"
+
+    def test_reset_restarts_counters(self):
+        ids = IdAllocator()
+        ids.allocate("cell")
+        ids.reset()
+        assert ids.allocate("cell") == "cell:000001"
+
+    def test_two_allocators_are_independent(self):
+        a, b = IdAllocator(), IdAllocator()
+        a.allocate("x")
+        assert b.allocate("x") == "x:000001"
+
+    def test_id_embeds_kind_prefix(self):
+        assert IdAllocator().allocate("DesignObject").startswith(
+            "DesignObject:"
+        )
+
+
+class TestObserve:
+    def test_observe_fast_forwards(self):
+        ids = IdAllocator()
+        ids.observe("cell:000042")
+        assert ids.allocate("cell") == "cell:000043"
+
+    def test_observe_never_rewinds(self):
+        ids = IdAllocator()
+        for _ in range(10):
+            ids.allocate("cell")
+        ids.observe("cell:000003")
+        assert ids.allocate("cell") == "cell:000011"
+
+    def test_observe_malformed_rejected(self):
+        import pytest
+
+        ids = IdAllocator()
+        with pytest.raises(ValueError):
+            ids.observe("no-number")
+        with pytest.raises(ValueError):
+            ids.observe("cell:xyz")

@@ -1,0 +1,328 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fmcad.extension import ExtensionInterpreter
+from repro.fmcad.metafile import MetaRecord
+from repro.oms.database import OMSDatabase
+from repro.oms.schema import AttributeDef, Schema
+from repro.tools.layout.geometry import LAYERS, Rect
+from repro.tools.simulator.engine import LogicSimulator, Netlist
+from repro.tools.simulator.gates import Gate
+from repro.tools.simulator.signals import Logic, resolve_bus
+from repro.workloads.designs import make_combinational_cell
+from repro.tools.schematic.netlist import netlist_schematic
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+logic_values = st.sampled_from(list(Logic))
+
+rects = st.builds(
+    lambda layer, x, y, w, h: Rect(layer, x, y, x + w, y + h),
+    st.sampled_from(LAYERS),
+    st.integers(-1000, 1000),
+    st.integers(-1000, 1000),
+    st.integers(1, 200),
+    st.integers(1, 200),
+)
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+)
+
+
+# ---------------------------------------------------------------------------
+# four-valued logic
+# ---------------------------------------------------------------------------
+
+
+class TestLogicProperties:
+    @given(st.lists(logic_values, max_size=6))
+    def test_bus_resolution_order_independent(self, drivers):
+        shuffled = list(drivers)
+        random.Random(0).shuffle(shuffled)
+        assert resolve_bus(drivers) is resolve_bus(shuffled)
+
+    @given(st.lists(logic_values, max_size=6))
+    def test_adding_z_never_changes_resolution(self, drivers):
+        assert resolve_bus(drivers + [Logic.Z]) is resolve_bus(drivers)
+
+    @given(st.lists(logic_values, min_size=1, max_size=6))
+    def test_adding_x_forces_x_or_keeps(self, drivers):
+        resolved = resolve_bus(drivers + [Logic.X])
+        assert resolved is Logic.X
+
+    @given(logic_values)
+    def test_round_trip_through_string(self, value):
+        assert Logic.from_str(str(value)) is value
+
+
+# ---------------------------------------------------------------------------
+# geometry
+# ---------------------------------------------------------------------------
+
+
+class TestGeometryProperties:
+    @given(rects, rects)
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(rects, rects)
+    def test_touch_symmetric(self, a, b):
+        assert a.touches(b) == b.touches(a)
+
+    @given(rects, rects)
+    def test_overlap_implies_touch(self, a, b):
+        if a.overlaps(b):
+            assert a.touches(b)
+
+    @given(rects, rects)
+    def test_distance_symmetric_and_consistent(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+        if a.touches(b):
+            assert a.distance_to(b) == 0
+        else:
+            assert a.distance_to(b) > 0
+
+    @given(rects, st.integers(-500, 500), st.integers(-500, 500))
+    def test_translation_preserves_shape(self, rect, dx, dy):
+        moved = rect.translated(dx, dy)
+        assert moved.width == rect.width
+        assert moved.area == rect.area
+
+    @given(rects)
+    def test_self_overlap(self, rect):
+        assert rect.overlaps(rect)
+        assert rect.touches(rect)
+
+
+# ---------------------------------------------------------------------------
+# metafile records
+# ---------------------------------------------------------------------------
+
+
+class TestMetaRecordProperties:
+    @given(
+        st.text(alphabet="abcdefgh0123456789_.", min_size=1, max_size=20),
+        st.text(alphabet="abcdefgh", min_size=1, max_size=10),
+        st.integers(1, 10_000),
+        st.integers(0, 10_000),
+    )
+    def test_round_trip(self, cell, view, version, tick):
+        record = MetaRecord(
+            cell=cell,
+            view=view,
+            viewtype=view,
+            version=version,
+            filename=f"v{version}.dat",
+            author="alice",
+            tick=tick,
+        )
+        assert MetaRecord.from_line(record.to_line()) == record
+
+
+# ---------------------------------------------------------------------------
+# extension language arithmetic agrees with Python
+# ---------------------------------------------------------------------------
+
+
+class TestExtensionProperties:
+    @given(
+        st.integers(-10_000, 10_000), st.integers(-10_000, 10_000)
+    )
+    def test_addition_matches_python(self, a, b):
+        interp = ExtensionInterpreter()
+        assert interp.run(f"(+ {a} {b})") == a + b
+
+    @given(
+        st.integers(-100, 100),
+        st.integers(-100, 100),
+        st.integers(-100, 100),
+    )
+    def test_arith_expression(self, a, b, c):
+        interp = ExtensionInterpreter()
+        assert interp.run(f"(- (* {a} {b}) {c})") == a * b - c
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_comparison_matches_python(self, a, b):
+        interp = ExtensionInterpreter()
+        assert interp.run(f"(< {a} {b})") == (a < b)
+
+    @given(st.lists(st.integers(-50, 50), max_size=8))
+    def test_list_length(self, values):
+        interp = ExtensionInterpreter()
+        literal = " ".join(str(v) for v in values)
+        assert interp.run(f"(length (list {literal}))") == len(values)
+
+
+# ---------------------------------------------------------------------------
+# OMS kernel invariants under random operation sequences
+# ---------------------------------------------------------------------------
+
+
+def _fresh_db():
+    schema = Schema("prop")
+    schema.define_entity(
+        "Node", [AttributeDef("name", "str", required=True)]
+    )
+    schema.define_relationship("edge", "Node", "Node", "M:N")
+    return OMSDatabase(schema)
+
+
+class TestOMSProperties:
+    @given(st.lists(st.sampled_from(["create", "delete", "link"]),
+                    max_size=30),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_random_ops_keep_links_consistent(self, ops, rng):
+        """No link ever dangles: both endpoints of every link exist."""
+        db = _fresh_db()
+        live = []
+        for op in ops:
+            if op == "create" or not live:
+                live.append(db.create("Node", {"name": "n"}).oid)
+            elif op == "delete":
+                victim = rng.choice(live)
+                live.remove(victim)
+                db.delete(victim)
+            else:
+                db.link("edge", rng.choice(live), rng.choice(live))
+        for src, dst in db._links.get("edge", set()):
+            assert db.exists(src) and db.exists(dst)
+
+    @given(st.lists(st.tuples(st.sampled_from(["attr", "link"]),
+                              st.booleans()), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_aborted_transactions_never_leak(self, steps):
+        """State after a rolled-back transaction equals state before."""
+        db = _fresh_db()
+        a = db.create("Node", {"name": "a"})
+        b = db.create("Node", {"name": "b"})
+        before_stats = db.stats()
+        try:
+            with db.transaction():
+                for kind, flag in steps:
+                    if kind == "attr":
+                        db.set_attr(a.oid, "name", "changed")
+                    else:
+                        if flag:
+                            db.link("edge", a.oid, b.oid)
+                        else:
+                            db.create("Node", {"name": "temp"})
+                raise RuntimeError("force rollback")
+        except RuntimeError:
+            pass
+        assert db.stats() == before_stats
+        assert db.get(a.oid).get("name") == "a"
+
+
+# ---------------------------------------------------------------------------
+# simulator: generated combinational cells behave like their Python model
+# ---------------------------------------------------------------------------
+
+
+def _python_eval(netlist: Netlist, inputs: dict) -> dict:
+    """Reference evaluation of an acyclic combinational netlist."""
+    values = dict(inputs)
+    remaining = list(netlist.gates())
+    ops = {
+        "AND": lambda vs: all(vs),
+        "OR": lambda vs: any(vs),
+        "NAND": lambda vs: not all(vs),
+        "NOR": lambda vs: not any(vs),
+        "XOR": lambda vs: sum(vs) % 2 == 1,
+        "XNOR": lambda vs: sum(vs) % 2 == 0,
+        "NOT": lambda vs: not vs[0],
+        "BUF": lambda vs: vs[0],
+    }
+    while remaining:
+        progressed = False
+        for gate in list(remaining):
+            if all(net in values for net in gate.inputs):
+                values[gate.output] = ops[gate.gate_type](
+                    [values[n] for n in gate.inputs]
+                )
+                remaining.remove(gate)
+                progressed = True
+        assert progressed, "combinational loop?"
+    return values
+
+
+class TestSimulatorProperties:
+    @given(
+        st.integers(2, 5),
+        st.integers(0, 4),
+        st.integers(0, 2**16),
+        st.integers(0, 31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_generated_cell_matches_reference_model(
+        self, n_inputs, extra, seed, pattern
+    ):
+        """Event-driven simulation settles to the zero-delay truth value."""
+        cell = make_combinational_cell(
+            "cell", n_inputs, extra, random.Random(seed)
+        )
+        netlist = netlist_schematic(cell)
+        bits = {
+            f"in{i}": bool((pattern >> i) & 1) for i in range(n_inputs)
+        }
+        expected = _python_eval(netlist, bits)["out"]
+        stimuli = [
+            (0, net, Logic.from_bool(bit)) for net, bit in bits.items()
+        ]
+        result = LogicSimulator(netlist).run(stimuli)
+        assert result.final_value("out") is Logic.from_bool(expected)
+
+    @given(st.integers(0, 7))
+    def test_adder_matches_integer_addition(self, row):
+        netlist = Netlist("fa")
+        for net in ("a", "b", "cin"):
+            netlist.add_input(net)
+        netlist.add_output("sum")
+        netlist.add_output("cout")
+        netlist.add_gate(Gate("x1", "XOR", ("a", "b"), "ab"))
+        netlist.add_gate(Gate("x2", "XOR", ("ab", "cin"), "sum"))
+        netlist.add_gate(Gate("a1", "AND", ("a", "b"), "t1"))
+        netlist.add_gate(Gate("a2", "AND", ("ab", "cin"), "t2"))
+        netlist.add_gate(Gate("o1", "OR", ("t1", "t2"), "cout"))
+        a, b, c = (row >> 2) & 1, (row >> 1) & 1, row & 1
+        result = LogicSimulator(netlist).run(
+            [
+                (0, "a", Logic.from_bool(bool(a))),
+                (0, "b", Logic.from_bool(bool(b))),
+                (0, "cin", Logic.from_bool(bool(c))),
+            ]
+        )
+        total = a + b + c
+        assert result.final_value("sum") is Logic.from_bool(
+            bool(total % 2)
+        )
+        assert result.final_value("cout") is Logic.from_bool(
+            bool(total // 2)
+        )
+
+
+# ---------------------------------------------------------------------------
+# generated designs are always valid
+# ---------------------------------------------------------------------------
+
+
+class TestDesignGeneratorProperties:
+    @given(
+        st.integers(2, 6),
+        st.integers(0, 6),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_leaf_cells_always_validate(self, n_inputs, extra, seed):
+        cell = make_combinational_cell(
+            "leaf", n_inputs, extra, random.Random(seed)
+        )
+        assert cell.validate() == []
+        assert netlist_schematic(cell).validate() == []

@@ -1,0 +1,134 @@
+"""Additional property-based tests: netlister, extraction, exchange, VCD."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tools.layout.editor import Label, Layout
+from repro.tools.layout.extract import extract_connectivity
+from repro.tools.layout.geometry import Rect
+from repro.tools.schematic.model import Component, Schematic
+from repro.tools.schematic.netlist import netlist_schematic
+from repro.tools.simulator.engine import LogicSimulator
+from repro.tools.simulator.signals import Logic
+from repro.tools.simulator.vcd import dump_vcd, parse_vcd_changes
+from repro.workloads.designs import (
+    DesignSpec,
+    generate_design,
+    make_combinational_cell,
+)
+
+
+class TestNetlisterProperties:
+    @given(
+        st.integers(2, 4),
+        st.integers(1, 3),
+        st.integers(0, 2**10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_flat_gate_count_sums_over_instances(
+        self, n_instances, n_inputs_exp, seed
+    ):
+        """Flattening N instances of a leaf yields N x leaf gates."""
+        n_inputs = n_inputs_exp + 1
+        leaf = make_combinational_cell(
+            "leaf", n_inputs, 1, random.Random(seed)
+        )
+        leaf_gates = len(netlist_schematic(leaf).gates())
+        parent = Schematic("top")
+        parent.add_port("x", "in")
+        parent.add_port("z", "out")
+        previous = "x"
+        for index in range(n_instances):
+            inst = f"u{index}"
+            parent.add_component(Component(inst, "CELL", cellref="leaf"))
+            for pin in range(n_inputs):
+                parent.connect(previous, inst, f"in{pin}")
+            out_net = "z" if index == n_instances - 1 else f"m{index}"
+            parent.connect(out_net, inst, "out")
+            previous = out_net
+        flat = netlist_schematic(parent, lambda ref: leaf)
+        assert len(flat.gates()) == n_instances * leaf_gates
+
+    @given(st.integers(0, 2**12), st.integers(1, 2))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_tree_netlists_deterministically(self, seed, depth):
+        spec = DesignSpec(name="t", depth=depth, fanout=2, seed=seed)
+        design_a = generate_design(spec)
+        design_b = generate_design(spec)
+        flat_a = netlist_schematic(
+            design_a.schematics["t"], lambda r: design_a.schematics[r]
+        )
+        flat_b = netlist_schematic(
+            design_b.schematics["t"], lambda r: design_b.schematics[r]
+        )
+        assert flat_a.to_bytes() == flat_b.to_bytes()
+
+
+class TestExtractionProperties:
+    @given(
+        st.lists(
+            st.builds(
+                lambda x, y, w, h: Rect("metal1", x, y, x + w, y + h),
+                st.integers(0, 300),
+                st.integers(0, 300),
+                st.integers(1, 40),
+                st.integers(1, 40),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_net_count_bounded_by_rect_count(self, rects):
+        layout = Layout("cell")
+        for rect in rects:
+            layout.add_rect(rect)
+        nets = extract_connectivity(layout)
+        assert 1 <= len(nets) <= len(rects)
+        assert sum(len(net.rects) for net in nets) == len(rects)
+
+    @given(
+        st.lists(
+            st.builds(
+                lambda x, y: Rect("metal1", x, y, x + 10, y + 10),
+                st.integers(0, 200),
+                st.integers(0, 200),
+            ),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_adding_a_bridging_rect_never_increases_nets(self, rects):
+        layout = Layout("cell")
+        for rect in rects:
+            layout.add_rect(rect)
+        before = len(extract_connectivity(layout))
+        # a huge rect touching everything collapses the partition
+        layout.add_rect(Rect("metal1", 0, 0, 300, 300))
+        after = len(extract_connectivity(layout))
+        assert after <= before
+
+
+class TestVCDProperties:
+    @given(st.integers(0, 2**10), st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_vcd_round_trip_preserves_change_counts(self, seed, n_inputs):
+        cell = make_combinational_cell(
+            "cell", n_inputs, 1, random.Random(seed)
+        )
+        netlist = netlist_schematic(cell)
+        stimuli = []
+        rng = random.Random(seed)
+        for time in range(0, 200, 40):
+            for net in netlist.inputs:
+                stimuli.append(
+                    (time, net,
+                     Logic.ONE if rng.random() < 0.5 else Logic.ZERO)
+                )
+        result = LogicSimulator(netlist).run(stimuli)
+        changes = parse_vcd_changes(dump_vcd(result))
+        for net, waveform in result.waveforms.items():
+            assert len(changes[net]) == len(waveform)

@@ -1,0 +1,126 @@
+"""Property-based tests for flow-order enforcement and DRC invariance."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FlowOrderError
+from repro.jcf.flows import FlowRegistry, standard_encapsulation_flow
+from repro.jcf.framework import JCFFramework
+from repro.jcf.model import EXEC_DONE
+from repro.tools.layout.drc import run_drc
+from repro.tools.layout.editor import Layout
+from repro.tools.layout.geometry import LAYERS, Rect
+
+ACTIVITIES = ("schematic_entry", "digital_simulation", "layout_entry")
+VALID_ORDER = {name: i for i, name in enumerate(ACTIVITIES)}
+
+
+def fresh_variant(tmp_root):
+    jcf = JCFFramework(tmp_root)
+    jcf.register_flow(standard_encapsulation_flow())
+    jcf.resources.define_user("admin", "u")
+    project = jcf.desktop.create_project("u", "p")
+    cell_version = project.create_cell("c").create_version()
+    cell_version.attach_flow(jcf.flows.flow_object("jcf_fmcad_flow"))
+    return jcf, cell_version.create_variant("v")
+
+
+class TestFlowOrderProperties:
+    @given(st.permutations(ACTIVITIES))
+    @settings(max_examples=6, deadline=None)
+    def test_any_invocation_order_ends_in_valid_history(self, order):
+        """Whatever order a designer tries, the recorded execution
+        history always respects the prescribed precedence."""
+        import tempfile
+
+        jcf, variant = fresh_variant(tempfile.mkdtemp())
+        completed = []
+        for activity in order:
+            try:
+                execution = jcf.engine.start_activity(variant, activity)
+            except FlowOrderError:
+                continue  # rejected: the designer is told to wait
+            jcf.engine.finish_activity(execution)
+            completed.append(activity)
+        # whatever completed, it completed in prescribed order
+        indices = [VALID_ORDER[name] for name in completed]
+        assert indices == sorted(indices)
+        # and the state machine agrees with the list we built
+        state = jcf.engine.state_of(variant)
+        done = {
+            name
+            for name, status in state.status_by_activity.items()
+            if status == EXEC_DONE
+        }
+        assert done == set(completed)
+
+    @given(st.permutations(ACTIVITIES), st.integers(0, 2**16))
+    @settings(max_examples=6, deadline=None)
+    def test_retrying_rejections_always_completes_the_flow(
+        self, order, seed
+    ):
+        """A persistent designer who retries after each rejection always
+        finishes — the fixed flow never deadlocks."""
+        import tempfile
+
+        jcf, variant = fresh_variant(tempfile.mkdtemp())
+        pending = list(order)
+        rng = random.Random(seed)
+        safety = 0
+        while pending:
+            safety += 1
+            assert safety < 50, "flow deadlocked"
+            activity = rng.choice(pending)
+            try:
+                execution = jcf.engine.start_activity(variant, activity)
+            except FlowOrderError:
+                continue
+            jcf.engine.finish_activity(execution)
+            pending.remove(activity)
+        assert jcf.engine.state_of(variant).complete
+
+
+rect_strategy = st.builds(
+    lambda layer, x, y, w, h: Rect(layer, x, y, x + w, y + h),
+    st.sampled_from(LAYERS),
+    st.integers(-200, 200),
+    st.integers(-200, 200),
+    st.integers(1, 50),
+    st.integers(1, 50),
+)
+
+
+class TestDRCProperties:
+    @given(
+        st.lists(rect_strategy, min_size=1, max_size=10),
+        st.integers(-1000, 1000),
+        st.integers(-1000, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_drc_is_translation_invariant(self, rects, dx, dy):
+        """Moving the whole layout never changes its violation count."""
+        layout = Layout("a")
+        moved = Layout("b")
+        for rect in rects:
+            layout.add_rect(rect)
+            moved.add_rect(rect.translated(dx, dy))
+        assert len(run_drc(layout)) == len(run_drc(moved))
+
+    @given(st.lists(rect_strategy, min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_adding_geometry_never_fixes_violations(self, rects):
+        """DRC violations are monotone: more shapes, never fewer errors
+        of the kinds already present (width violations persist)."""
+        layout = Layout("a")
+        for rect in rects[:-1]:
+            layout.add_rect(rect)
+        width_before = sum(
+            1 for v in run_drc(layout) if v.rule == "width"
+        )
+        layout.add_rect(rects[-1])
+        width_after = sum(
+            1 for v in run_drc(layout) if v.rule == "width"
+        )
+        assert width_after >= width_before

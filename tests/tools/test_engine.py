@@ -1,0 +1,201 @@
+"""Unit tests for the event-driven simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.tools.simulator.engine import LogicSimulator, Netlist
+from repro.tools.simulator.events import EventQueue
+from repro.tools.simulator.gates import Gate
+from repro.tools.simulator.signals import Logic
+
+
+def inverter_netlist():
+    netlist = Netlist("inv")
+    netlist.add_input("a")
+    netlist.add_output("y")
+    netlist.add_gate(Gate("g", "NOT", ("a",), "y"))
+    return netlist
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        queue.schedule(10, "a", Logic.ONE)
+        queue.schedule(5, "b", Logic.ZERO)
+        assert queue.pop_next().net == "b"
+        assert queue.pop_next().net == "a"
+
+    def test_ties_broken_by_schedule_order(self):
+        queue = EventQueue()
+        queue.schedule(5, "first", Logic.ONE)
+        queue.schedule(5, "second", Logic.ONE)
+        time, batch = queue.pop_simultaneous()
+        assert time == 5
+        assert [e.net for e in batch] == ["first", "second"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, "a", Logic.ONE)
+
+    def test_pop_empty(self):
+        assert EventQueue().pop_next() is None
+        with pytest.raises(IndexError):
+            EventQueue().pop_simultaneous()
+
+
+class TestNetlistStructure:
+    def test_duplicate_gate_rejected(self):
+        netlist = inverter_netlist()
+        with pytest.raises(SimulationError):
+            netlist.add_gate(Gate("g", "NOT", ("a",), "z"))
+
+    def test_multiple_drivers_rejected(self):
+        netlist = inverter_netlist()
+        with pytest.raises(SimulationError):
+            netlist.add_gate(Gate("g2", "NOT", ("a",), "y"))
+
+    def test_gate_driving_primary_input_rejected(self):
+        netlist = inverter_netlist()
+        with pytest.raises(SimulationError):
+            netlist.add_gate(Gate("g2", "NOT", ("y",), "a"))
+
+    def test_validate_flags_undriven_nets(self):
+        netlist = Netlist("bad")
+        netlist.add_output("y")
+        netlist.add_gate(Gate("g", "NOT", ("floating",), "y"))
+        problems = netlist.validate()
+        assert any("undriven" in p for p in problems)
+
+    def test_simulator_rejects_invalid_netlist(self):
+        netlist = Netlist("bad")
+        netlist.add_output("y")
+        with pytest.raises(SimulationError):
+            LogicSimulator(netlist)
+
+    def test_serialisation_round_trip(self):
+        netlist = inverter_netlist()
+        restored = Netlist.from_bytes(netlist.to_bytes())
+        assert restored.name == "inv"
+        assert [g.name for g in restored.gates()] == ["g"]
+        assert restored.inputs == ["a"] and restored.outputs == ["y"]
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(SimulationError):
+            Netlist.from_bytes(b"not json at all")
+
+    def test_from_bytes_rejects_wrong_format(self):
+        with pytest.raises(SimulationError):
+            Netlist.from_bytes(b'{"format": "something-else"}')
+
+
+class TestSimulation:
+    def test_inverter_inverts(self):
+        result = LogicSimulator(inverter_netlist()).run(
+            [(0, "a", Logic.ZERO), (50, "a", Logic.ONE)]
+        )
+        assert result.value_at("y", 40) is Logic.ONE
+        assert result.value_at("y", 90) is Logic.ZERO
+
+    def test_everything_starts_x(self):
+        result = LogicSimulator(inverter_netlist()).run([])
+        assert result.value_at("y", 0) is Logic.X
+        assert result.final_value("y") is Logic.X
+
+    def test_delay_is_respected(self):
+        netlist = Netlist("slow")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate(Gate("g", "BUF", ("a",), "y", delay=7))
+        result = LogicSimulator(netlist).run([(0, "a", Logic.ONE)])
+        assert result.value_at("y", 6) is Logic.X
+        assert result.value_at("y", 7) is Logic.ONE
+
+    def test_stimulating_internal_net_rejected(self):
+        with pytest.raises(SimulationError):
+            LogicSimulator(inverter_netlist()).run([(0, "y", Logic.ONE)])
+
+    def test_glitch_propagation_through_chain(self):
+        netlist = Netlist("chain")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate(Gate("g1", "NOT", ("a",), "n1", delay=1))
+        netlist.add_gate(Gate("g2", "NOT", ("n1",), "y", delay=1))
+        result = LogicSimulator(netlist).run(
+            [(0, "a", Logic.ZERO), (10, "a", Logic.ONE)]
+        )
+        assert result.value_at("y", 5) is Logic.ZERO
+        assert result.value_at("y", 15) is Logic.ONE
+        assert result.toggle_count("y") >= 2
+
+    def test_duration_cuts_off(self):
+        result = LogicSimulator(inverter_netlist()).run(
+            [(0, "a", Logic.ZERO), (100, "a", Logic.ONE)], duration=50
+        )
+        assert result.final_value("y") is Logic.ONE  # only first stimulus ran
+
+    def test_event_limit_safety_valve(self):
+        """Runaway activity is stopped instead of hanging the framework."""
+        simulator = LogicSimulator(inverter_netlist())
+        simulator.MAX_EVENTS = 3
+        stimuli = [(t, "a", Logic.ONE if t % 20 else Logic.ZERO)
+                   for t in range(0, 200, 10)]
+        with pytest.raises(SimulationError, match="event limit"):
+            simulator.run(stimuli)
+
+
+class TestDFF:
+    def make_register(self):
+        netlist = Netlist("reg")
+        netlist.add_input("d")
+        netlist.add_input("clk")
+        netlist.add_output("q")
+        netlist.add_gate(Gate("ff", "DFF", ("d", "clk"), "q"))
+        return netlist
+
+    def test_latches_on_rising_edge(self):
+        result = LogicSimulator(self.make_register()).run(
+            [
+                (0, "clk", Logic.ZERO),
+                (0, "d", Logic.ONE),
+                (10, "clk", Logic.ONE),
+            ]
+        )
+        assert result.value_at("q", 20) is Logic.ONE
+
+    def test_d_changes_alone_do_nothing(self):
+        result = LogicSimulator(self.make_register()).run(
+            [
+                (0, "clk", Logic.ZERO),
+                (5, "d", Logic.ONE),
+                (15, "d", Logic.ZERO),
+            ]
+        )
+        assert result.final_value("q") is Logic.X
+
+    def test_falling_edge_does_not_latch(self):
+        result = LogicSimulator(self.make_register()).run(
+            [
+                (0, "clk", Logic.ZERO),
+                (0, "d", Logic.ONE),
+                (10, "clk", Logic.ONE),   # latch 1
+                (20, "clk", Logic.ZERO),  # falling: no effect
+                (25, "d", Logic.ZERO),
+            ]
+        )
+        assert result.final_value("q") is Logic.ONE
+
+    def test_two_stage_shift_register(self):
+        netlist = Netlist("shift2")
+        netlist.add_input("d")
+        netlist.add_input("clk")
+        netlist.add_output("q2")
+        netlist.add_gate(Gate("ff1", "DFF", ("d", "clk"), "q1"))
+        netlist.add_gate(Gate("ff2", "DFF", ("q1", "clk"), "q2"))
+        stimuli = [(0, "d", Logic.ONE), (0, "clk", Logic.ZERO)]
+        # two rising edges move the 1 through both stages
+        for edge, time in enumerate((10, 30)):
+            stimuli.append((time, "clk", Logic.ONE))
+            stimuli.append((time + 10, "clk", Logic.ZERO))
+        result = LogicSimulator(netlist).run(stimuli)
+        assert result.value_at("q2", 25) is Logic.X  # after first edge
+        assert result.value_at("q2", 45) is Logic.ONE  # after second

@@ -1,0 +1,118 @@
+"""Unit tests for the schematic electrical rule checker."""
+
+from repro.tools.schematic.erc import fanout_report, run_erc
+from repro.tools.schematic.model import Component, Schematic
+
+
+def clean_inverter():
+    schematic = Schematic("inv")
+    schematic.add_port("a", "in")
+    schematic.add_port("y", "out")
+    schematic.add_component(Component("g", "NOT", ninputs=1))
+    schematic.connect("a", "g", "in0")
+    schematic.connect("y", "g", "out")
+    return schematic
+
+
+class TestCleanDesigns:
+    def test_inverter_clean(self):
+        assert run_erc(clean_inverter()) == []
+
+    def test_input_port_counts_as_driver(self):
+        schematic = clean_inverter()
+        violations = run_erc(schematic)
+        assert not any(v.net == "a" for v in violations)
+
+
+class TestMultipleDrivers:
+    def test_two_gate_outputs_on_one_net(self):
+        schematic = Schematic("bad")
+        schematic.add_port("a", "in")
+        schematic.add_port("y", "out")
+        for name in ("g1", "g2"):
+            schematic.add_component(Component(name, "NOT", ninputs=1))
+            schematic.connect("a", name, "in0")
+            schematic.connect("y", name, "out")  # both drive y!
+        violations = run_erc(schematic)
+        assert any(
+            v.rule == "multiple_drivers" and v.net == "y"
+            for v in violations
+        )
+
+    def test_input_port_shorted_to_gate_output(self):
+        schematic = Schematic("bad")
+        schematic.add_port("a", "in")
+        schematic.add_port("b", "in")
+        schematic.add_component(Component("g", "NOT", ninputs=1))
+        schematic.connect("a", "g", "in0")
+        schematic.connect("b", "g", "out")  # output drives input port net
+        violations = run_erc(schematic)
+        assert any(v.rule == "multiple_drivers" for v in violations)
+
+
+class TestNoDriver:
+    def test_floating_gate_input(self):
+        schematic = Schematic("bad")
+        schematic.add_port("y", "out")
+        schematic.add_component(Component("g", "NOT", ninputs=1))
+        schematic.connect("float", "g", "in0")
+        schematic.connect("y", "g", "out")
+        violations = run_erc(schematic)
+        assert any(
+            v.rule == "no_driver" and v.net == "float" for v in violations
+        )
+
+    def test_output_port_without_driver(self):
+        schematic = Schematic("bad")
+        schematic.add_port("y", "out")
+        violations = run_erc(schematic)
+        assert any(v.rule == "no_driver" and v.net == "y"
+                   for v in violations)
+
+
+class TestFanout:
+    def make_fanout_design(self, readers):
+        schematic = Schematic("fan")
+        schematic.add_port("a", "in")
+        for i in range(readers):
+            schematic.add_component(Component(f"g{i}", "NOT", ninputs=1))
+            schematic.connect("a", f"g{i}", "in0")
+            schematic.connect(f"n{i}", f"g{i}", "out")
+            # terminate each inverter output
+            schematic.add_component(Component(f"t{i}", "NOT", ninputs=1))
+            schematic.connect(f"n{i}", f"t{i}", "in0")
+            schematic.connect(f"o{i}", f"t{i}", "out")
+        return schematic
+
+    def test_within_limit_clean(self):
+        violations = run_erc(self.make_fanout_design(4), max_fanout=8)
+        assert not any(v.rule == "fanout" for v in violations)
+
+    def test_exceeding_limit_flagged(self):
+        violations = run_erc(self.make_fanout_design(5), max_fanout=4)
+        assert any(
+            v.rule == "fanout" and v.net == "a" for v in violations
+        )
+
+    def test_fanout_report_counts_readers(self):
+        report = fanout_report(self.make_fanout_design(3))
+        assert report["a"] == 3
+
+
+class TestCellInstances:
+    def test_cell_pins_count_as_readers(self):
+        schematic = Schematic("top")
+        schematic.add_port("a", "in")
+        schematic.add_component(Component("u1", "CELL", cellref="sub"))
+        schematic.connect("a", "u1", "p")
+        assert run_erc(schematic) == []
+
+    def test_cell_only_net_is_undriven(self):
+        schematic = Schematic("top")
+        schematic.add_component(Component("u1", "CELL", cellref="sub"))
+        schematic.add_component(Component("u2", "CELL", cellref="sub"))
+        schematic.connect("n", "u1", "p")
+        schematic.connect("n", "u2", "q")
+        violations = run_erc(schematic)
+        assert any(v.rule == "no_driver" and v.net == "n"
+                   for v in violations)

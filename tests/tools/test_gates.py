@@ -1,0 +1,128 @@
+"""Unit tests for gate models and X-propagation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.tools.simulator.gates import (
+    DEFAULT_DELAYS,
+    Gate,
+    evaluate_gate,
+)
+from repro.tools.simulator.signals import Logic
+
+Z = Logic.ZERO
+O = Logic.ONE
+X = Logic.X
+
+
+def run(gate_type, values, ninputs=2):
+    gate = Gate("g", gate_type, tuple(f"i{k}" for k in range(ninputs)), "o")
+    return evaluate_gate(gate, values)
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(Z, Z, Z), (Z, O, Z), (O, Z, Z), (O, O, O)],
+    )
+    def test_and(self, a, b, expected):
+        assert run("AND", [a, b]) is expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(Z, Z, Z), (Z, O, O), (O, Z, O), (O, O, O)],
+    )
+    def test_or(self, a, b, expected):
+        assert run("OR", [a, b]) is expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(Z, Z, O), (O, O, Z), (Z, O, O)],
+    )
+    def test_nand(self, a, b, expected):
+        assert run("NAND", [a, b]) is expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(Z, Z, O), (O, O, Z), (Z, O, Z)],
+    )
+    def test_nor(self, a, b, expected):
+        assert run("NOR", [a, b]) is expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(Z, Z, Z), (Z, O, O), (O, Z, O), (O, O, Z)],
+    )
+    def test_xor(self, a, b, expected):
+        assert run("XOR", [a, b]) is expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(Z, Z, O), (O, O, O), (Z, O, Z)],
+    )
+    def test_xnor(self, a, b, expected):
+        assert run("XNOR", [a, b]) is expected
+
+    def test_not(self):
+        assert run("NOT", [Z], ninputs=1) is O
+        assert run("NOT", [O], ninputs=1) is Z
+
+    def test_buf(self):
+        assert run("BUF", [O], ninputs=1) is O
+
+    def test_wide_and(self):
+        assert run("AND", [O, O, O, Z], ninputs=4) is Z
+
+
+class TestXPropagation:
+    def test_and_controlling_zero_beats_x(self):
+        assert run("AND", [Z, X]) is Z
+
+    def test_and_x_without_controlling_value(self):
+        assert run("AND", [O, X]) is X
+
+    def test_or_controlling_one_beats_x(self):
+        assert run("OR", [O, X]) is O
+
+    def test_or_x_without_controlling_value(self):
+        assert run("OR", [Z, X]) is X
+
+    def test_xor_always_poisoned_by_x(self):
+        assert run("XOR", [O, X]) is X
+
+    def test_not_of_x(self):
+        assert run("NOT", [X], ninputs=1) is X
+
+    def test_z_treated_as_unknown(self):
+        assert run("AND", [O, Logic.Z]) is X
+        assert run("BUF", [Logic.Z], ninputs=1) is X
+
+
+class TestGateStructure:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SimulationError):
+            Gate("g", "MAJORITY", ("a", "b"), "o")
+
+    def test_arity_bounds_enforced(self):
+        with pytest.raises(SimulationError):
+            Gate("g", "NOT", ("a", "b"), "o")
+        with pytest.raises(SimulationError):
+            Gate("g", "AND", ("a",), "o")
+
+    def test_missing_output_rejected(self):
+        with pytest.raises(SimulationError):
+            Gate("g", "AND", ("a", "b"), "")
+
+    def test_default_delay_by_type(self):
+        gate = Gate("g", "XOR", ("a", "b"), "o")
+        assert gate.effective_delay == DEFAULT_DELAYS["XOR"]
+
+    def test_explicit_delay_wins(self):
+        gate = Gate("g", "XOR", ("a", "b"), "o", delay=9)
+        assert gate.effective_delay == 9
+
+    def test_dff_is_sequential(self):
+        gate = Gate("ff", "DFF", ("d", "clk"), "q")
+        assert gate.is_sequential
+        with pytest.raises(SimulationError):
+            evaluate_gate(gate, [O, O])

@@ -1,0 +1,49 @@
+"""Unit tests for simulation initialization-coverage analysis."""
+
+from repro.tools.simulator.engine import LogicSimulator, Netlist
+from repro.tools.simulator.gates import Gate
+from repro.tools.simulator.signals import Logic
+
+
+def two_path_netlist():
+    """Two independent inverters; we can initialise one and not the other."""
+    netlist = Netlist("twopaths")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_output("x")
+    netlist.add_output("y")
+    netlist.add_gate(Gate("g1", "NOT", ("a",), "x"))
+    netlist.add_gate(Gate("g2", "NOT", ("b",), "y"))
+    return netlist
+
+
+class TestUninitializedNets:
+    def test_fully_driven_design_has_full_coverage(self):
+        result = LogicSimulator(two_path_netlist()).run(
+            [(0, "a", Logic.ZERO), (0, "b", Logic.ONE)]
+        )
+        assert result.uninitialized_nets() == []
+        assert result.initialization_coverage() == 1.0
+
+    def test_undriven_path_reported(self):
+        result = LogicSimulator(two_path_netlist()).run(
+            [(0, "a", Logic.ZERO)]  # b never driven
+        )
+        assert result.uninitialized_nets() == ["b", "y"]
+        assert result.initialization_coverage() == 0.5
+
+    def test_no_stimulus_means_zero_coverage(self):
+        result = LogicSimulator(two_path_netlist()).run([])
+        assert result.initialization_coverage() == 0.0
+        assert len(result.uninitialized_nets()) == 4
+
+    def test_dff_without_clock_stays_uninitialized(self):
+        netlist = Netlist("reg")
+        netlist.add_input("d")
+        netlist.add_input("clk")
+        netlist.add_output("q")
+        netlist.add_gate(Gate("ff", "DFF", ("d", "clk"), "q"))
+        result = LogicSimulator(netlist).run(
+            [(0, "d", Logic.ONE)]  # no clock edge ever
+        )
+        assert "q" in result.uninitialized_nets()

@@ -1,0 +1,267 @@
+"""Unit tests for layout geometry, editor, DRC and extraction."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.tools.layout.drc import DesignRules, run_drc
+from repro.tools.layout.editor import Instance, Label, Layout, LayoutEditor
+from repro.tools.layout.extract import extract_connectivity, lvs_compare
+from repro.tools.layout.geometry import Rect
+from repro.tools.schematic.model import Component, Schematic
+
+
+class TestRect:
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(LayoutError):
+            Rect("unobtainium", 0, 0, 1, 1)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(LayoutError):
+            Rect("metal1", 5, 0, 5, 10)
+        with pytest.raises(LayoutError):
+            Rect("metal1", 10, 0, 5, 5)
+
+    def test_width_is_smaller_dimension(self):
+        assert Rect("metal1", 0, 0, 10, 3).width == 3
+        assert Rect("metal1", 0, 0, 3, 10).width == 3
+
+    def test_area(self):
+        assert Rect("metal1", 0, 0, 4, 5).area == 20
+
+    def test_overlap_vs_touch(self):
+        a = Rect("metal1", 0, 0, 10, 10)
+        abutting = Rect("metal1", 10, 0, 20, 10)
+        overlapping = Rect("metal1", 5, 5, 15, 15)
+        apart = Rect("metal1", 50, 0, 60, 10)
+        assert not a.overlaps(abutting) and a.touches(abutting)
+        assert a.overlaps(overlapping)
+        assert not a.touches(apart)
+
+    def test_connected_requires_same_layer(self):
+        a = Rect("metal1", 0, 0, 10, 10)
+        b = Rect("metal2", 5, 5, 15, 15)
+        assert not a.connected_to(b)
+
+    def test_distance(self):
+        a = Rect("metal1", 0, 0, 10, 10)
+        assert a.distance_to(Rect("metal1", 12, 0, 20, 10)) == 2
+        assert a.distance_to(Rect("metal1", 0, 15, 10, 20)) == 5
+        assert a.distance_to(Rect("metal1", 5, 5, 8, 8)) == 0
+
+    def test_translated(self):
+        moved = Rect("metal1", 0, 0, 4, 4).translated(10, 20)
+        assert moved.bbox == (10, 20, 14, 24)
+
+    def test_contains_point(self):
+        rect = Rect("metal1", 0, 0, 10, 10)
+        assert rect.contains_point(0, 0)
+        assert rect.contains_point(10, 10)
+        assert not rect.contains_point(11, 5)
+
+
+class TestLayoutModel:
+    def test_place_and_unplace(self):
+        layout = Layout("top")
+        layout.place(Instance("u1", "alu", 0, 0))
+        assert layout.subcell_refs() == ["alu"]
+        layout.unplace("u1")
+        assert layout.instances() == []
+
+    def test_duplicate_instance_rejected(self):
+        layout = Layout("top")
+        layout.place(Instance("u1", "alu", 0, 0))
+        with pytest.raises(LayoutError):
+            layout.place(Instance("u1", "fpu", 0, 0))
+
+    def test_self_placement_rejected(self):
+        with pytest.raises(LayoutError):
+            Layout("top").place(Instance("u1", "top", 0, 0))
+
+    def test_flatten_translates(self):
+        child = Layout("leaf")
+        child.add_rect(Rect("metal1", 0, 0, 4, 4))
+        parent = Layout("top")
+        parent.place(Instance("u1", "leaf", 100, 200))
+        flat = parent.flatten(lambda ref: child)
+        assert flat[0].bbox == (100, 200, 104, 204)
+
+    def test_flatten_without_resolver_raises(self):
+        parent = Layout("top")
+        parent.place(Instance("u1", "leaf", 0, 0))
+        with pytest.raises(LayoutError):
+            parent.flatten()
+
+    def test_flatten_depth_capped(self):
+        layout = Layout("a")
+        layout.place(Instance("u", "b", 0, 0))
+        other = Layout("b")
+        other.place(Instance("u", "a", 0, 0))
+        resolver = {"a": layout, "b": other}.__getitem__
+        with pytest.raises(LayoutError, match="deeper"):
+            layout.flatten(resolver)
+
+    def test_serialisation_round_trip(self):
+        layout = Layout("cell")
+        layout.add_rect(Rect("poly", 0, 0, 5, 5))
+        layout.add_label(Label("net1", "poly", 1, 1))
+        layout.place(Instance("u1", "sub", 10, 10))
+        restored = Layout.from_bytes(layout.to_bytes())
+        assert restored.cell_name == "cell"
+        assert restored.rects[0].layer == "poly"
+        assert restored.labels[0].text == "net1"
+        assert restored.instance("u1").dx == 10
+        assert restored.to_bytes() == layout.to_bytes()
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(LayoutError):
+            Layout.from_bytes(b"junk")
+
+
+class TestLayoutEditor:
+    def test_operations_log_and_dirty(self):
+        editor = LayoutEditor()
+        editor.new_design("cell")
+        editor.draw_rect("metal1", 0, 0, 10, 10)
+        editor.add_label("n", "metal1", 1, 1)
+        editor.place_cell("u1", "sub", 5, 5)
+        assert editor.dirty
+        assert len(editor.op_log) == 4
+        editor.save_bytes()
+        assert not editor.dirty
+
+    def test_open_bytes(self):
+        editor = LayoutEditor()
+        editor.new_design("cell")
+        editor.draw_rect("metal1", 0, 0, 10, 10)
+        reopened = LayoutEditor.open_bytes(editor.save_bytes())
+        assert len(reopened.layout.rects) == 1
+
+
+class TestDRC:
+    def test_clean_layout(self):
+        layout = Layout("ok")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 10))
+        layout.add_rect(Rect("metal1", 20, 0, 30, 10))
+        assert run_drc(layout) == []
+
+    def test_width_violation(self):
+        layout = Layout("thin")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 2))  # min width 3
+        violations = run_drc(layout)
+        assert len(violations) == 1
+        assert violations[0].rule == "width"
+
+    def test_spacing_violation(self):
+        layout = Layout("close")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 10))
+        layout.add_rect(Rect("metal1", 11, 0, 21, 10))  # gap 1 < 3
+        violations = run_drc(layout)
+        assert any(v.rule == "spacing" for v in violations)
+
+    def test_touching_rects_are_not_a_spacing_issue(self):
+        layout = Layout("joined")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 10))
+        layout.add_rect(Rect("metal1", 10, 0, 20, 10))
+        assert run_drc(layout) == []
+
+    def test_different_layers_do_not_interact(self):
+        layout = Layout("stack")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 10))
+        layout.add_rect(Rect("metal2", 11, 0, 21, 10))
+        assert run_drc(layout) == []
+
+    def test_custom_rules(self):
+        rules = DesignRules(min_width={"metal1": 20}, min_spacing={})
+        layout = Layout("c")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 10))
+        assert len(run_drc(layout, rules)) == 1
+
+    def test_hierarchical_drc_catches_cross_cell_violation(self):
+        child = Layout("leaf")
+        child.add_rect(Rect("metal1", 0, 0, 10, 10))
+        parent = Layout("top")
+        parent.add_rect(Rect("metal1", 0, 0, 10, 10))
+        # placing the child 1 unit away creates a spacing violation that
+        # neither cell has on its own
+        parent.place(Instance("u1", "leaf", 11, 0))
+        violations = run_drc(parent, resolver=lambda ref: child)
+        assert any(v.rule == "spacing" for v in violations)
+
+
+class TestExtraction:
+    def test_touching_same_layer_is_one_net(self):
+        layout = Layout("c")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 4))
+        layout.add_rect(Rect("metal1", 10, 0, 20, 4))
+        layout.add_label(Label("a", "metal1", 1, 1))
+        nets = extract_connectivity(layout)
+        assert len(nets) == 1
+        assert nets[0].name == "a"
+        assert len(nets[0].rects) == 2
+
+    def test_separate_geometry_is_separate_nets(self):
+        layout = Layout("c")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 4))
+        layout.add_rect(Rect("metal1", 50, 0, 60, 4))
+        assert len(extract_connectivity(layout)) == 2
+
+    def test_via_joins_layers(self):
+        layout = Layout("c")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 4))
+        layout.add_rect(Rect("via1", 4, 0, 7, 4))
+        layout.add_rect(Rect("metal2", 0, 0, 10, 4))
+        nets = extract_connectivity(layout)
+        assert len(nets) == 1
+
+    def test_conflicting_labels_leave_net_unnamed(self):
+        layout = Layout("c")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 4))
+        layout.add_label(Label("a", "metal1", 1, 1))
+        layout.add_label(Label("b", "metal1", 5, 1))
+        nets = extract_connectivity(layout)
+        assert nets[0].name is None
+        assert nets[0].names == {"a", "b"}
+
+    def test_label_on_other_layer_ignored(self):
+        layout = Layout("c")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 4))
+        layout.add_label(Label("a", "metal2", 1, 1))
+        assert extract_connectivity(layout)[0].name is None
+
+
+class TestLVS:
+    def make_schematic(self):
+        schematic = Schematic("inv")
+        schematic.add_port("a", "in")
+        schematic.add_port("y", "out")
+        schematic.add_component(Component("g", "NOT", ninputs=1))
+        schematic.connect("a", "g", "in0")
+        schematic.connect("y", "g", "out")
+        return schematic
+
+    def test_clean_compare(self):
+        layout = Layout("inv")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 4))
+        layout.add_label(Label("a", "metal1", 1, 1))
+        layout.add_rect(Rect("metal1", 0, 10, 10, 14))
+        layout.add_label(Label("y", "metal1", 1, 11))
+        report = lvs_compare(layout, self.make_schematic())
+        assert report.clean
+        assert report.matched == ["a", "y"]
+
+    def test_missing_net_reported(self):
+        layout = Layout("inv")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 4))
+        layout.add_label(Label("a", "metal1", 1, 1))
+        report = lvs_compare(layout, self.make_schematic())
+        assert not report.clean
+        assert report.missing_in_layout == ["y"]
+
+    def test_unknown_net_reported(self):
+        layout = Layout("inv")
+        for i, name in enumerate(("a", "y", "mystery")):
+            y = i * 10
+            layout.add_rect(Rect("metal1", 0, y, 10, y + 4))
+            layout.add_label(Label(name, "metal1", 1, y + 1))
+        report = lvs_compare(layout, self.make_schematic())
+        assert report.unknown_in_layout == ["mystery"]

@@ -1,0 +1,80 @@
+"""Unit tests for layout metrics."""
+
+from repro.tools.layout.editor import Instance, Label, Layout
+from repro.tools.layout.geometry import Rect
+from repro.tools.layout.metrics import compute_metrics
+
+
+def simple_layout():
+    layout = Layout("cell")
+    layout.add_rect(Rect("metal1", 0, 0, 10, 4))     # area 40
+    layout.add_rect(Rect("metal1", 20, 0, 30, 4))    # area 40
+    layout.add_rect(Rect("poly", 0, 10, 4, 20))      # area 40
+    layout.add_label(Label("a", "metal1", 1, 1))
+    layout.add_label(Label("b", "metal1", 21, 1))
+    return layout
+
+
+class TestBasicMetrics:
+    def test_bounding_box_and_area(self):
+        metrics = compute_metrics(simple_layout())
+        assert metrics.bounding_box == (0, 0, 30, 20)
+        assert metrics.total_area == 600
+
+    def test_drawn_area_by_layer(self):
+        metrics = compute_metrics(simple_layout())
+        assert metrics.drawn_area_by_layer == {"metal1": 80, "poly": 40}
+
+    def test_utilisation(self):
+        metrics = compute_metrics(simple_layout())
+        assert abs(metrics.utilisation_by_layer["metal1"] - 80 / 600) < 1e-9
+
+    def test_counts(self):
+        metrics = compute_metrics(simple_layout())
+        assert metrics.rect_count == 3
+        assert metrics.net_count == 3  # two labelled metal nets + poly
+
+    def test_empty_layout(self):
+        metrics = compute_metrics(Layout("empty"))
+        assert metrics.total_area == 0
+        assert metrics.rect_count == 0
+        assert metrics.utilisation_by_layer == {}
+
+
+class TestHPWL:
+    def test_single_rect_net_hpwl(self):
+        metrics = compute_metrics(simple_layout())
+        # net 'a': one 10x4 rect -> 10 + 4
+        assert metrics.hpwl_by_net["a"] == 14
+
+    def test_spanning_net_hpwl(self):
+        layout = Layout("span")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 4))
+        layout.add_rect(Rect("metal1", 10, 0, 100, 4))  # touching: same net
+        layout.add_label(Label("bus", "metal1", 1, 1))
+        metrics = compute_metrics(layout)
+        assert metrics.hpwl_by_net["bus"] == 100 + 4
+
+    def test_unnamed_nets_excluded_from_hpwl(self):
+        layout = Layout("anon")
+        layout.add_rect(Rect("metal1", 0, 0, 10, 4))
+        metrics = compute_metrics(layout)
+        assert metrics.hpwl_by_net == {}
+        assert metrics.net_count == 1
+
+    def test_total_hpwl_sums(self):
+        metrics = compute_metrics(simple_layout())
+        assert metrics.total_hpwl == sum(metrics.hpwl_by_net.values())
+
+
+class TestHierarchical:
+    def test_flattened_metrics(self):
+        child = Layout("leaf")
+        child.add_rect(Rect("metal1", 0, 0, 10, 10))
+        parent = Layout("top")
+        parent.place(Instance("u1", "leaf", 0, 0))
+        parent.place(Instance("u2", "leaf", 100, 0))
+        metrics = compute_metrics(parent, resolver=lambda ref: child)
+        assert metrics.rect_count == 2
+        assert metrics.bounding_box == (0, 0, 110, 10)
+        assert metrics.drawn_area_by_layer["metal1"] == 200

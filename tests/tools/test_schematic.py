@@ -1,0 +1,265 @@
+"""Unit tests for the schematic model, editor, symbols and netlister."""
+
+import pytest
+
+from repro.errors import SchematicError
+from repro.tools.schematic.editor import SchematicEditor
+from repro.tools.schematic.model import Component, Schematic
+from repro.tools.schematic.netlist import netlist_schematic
+from repro.tools.schematic.symbols import Symbol, symbol_for
+
+
+def inverter_schematic():
+    schematic = Schematic("inv")
+    schematic.add_port("a", "in")
+    schematic.add_port("y", "out")
+    schematic.add_component(Component("g", "NOT", ninputs=1))
+    schematic.connect("a", "g", "in0")
+    schematic.connect("y", "g", "out")
+    return schematic
+
+
+class TestModel:
+    def test_port_direction_validated(self):
+        with pytest.raises(SchematicError):
+            Schematic("c").add_port("p", "sideways")
+
+    def test_duplicate_port_rejected(self):
+        schematic = Schematic("c")
+        schematic.add_port("a", "in")
+        with pytest.raises(SchematicError):
+            schematic.add_port("a", "out")
+
+    def test_unknown_component_type_rejected(self):
+        with pytest.raises(SchematicError):
+            Component("c", "FLUXCAP")
+
+    def test_cell_instance_requires_cellref(self):
+        with pytest.raises(SchematicError):
+            Component("c", "CELL")
+
+    def test_primitive_pin_names(self):
+        assert Component("c", "AND", ninputs=3).pin_names() == [
+            "in0", "in1", "in2", "out",
+        ]
+        assert Component("f", "DFF").pin_names() == ["d", "clk", "q"]
+
+    def test_connect_unknown_pin_rejected(self):
+        schematic = Schematic("c")
+        schematic.add_component(Component("g", "NOT", ninputs=1))
+        with pytest.raises(SchematicError):
+            schematic.connect("n", "g", "in7")
+
+    def test_disconnect_removes_empty_net(self):
+        schematic = Schematic("c")
+        schematic.add_component(Component("g", "NOT", ninputs=1))
+        schematic.connect("n", "g", "in0")
+        schematic.disconnect("n", "g", "in0")
+        with pytest.raises(SchematicError):
+            schematic.net("n")
+
+    def test_remove_component_cleans_nets(self):
+        schematic = inverter_schematic()
+        schematic.remove_component("g")
+        # port nets survive (port terminal), but have a single terminal
+        assert schematic.components() == []
+        assert ("g", "in0") not in schematic.net("a").terminals
+
+    def test_validate_clean(self):
+        assert inverter_schematic().validate() == []
+
+    def test_validate_dangling_pin(self):
+        schematic = Schematic("c")
+        schematic.add_component(Component("g", "NOT", ninputs=1))
+        problems = schematic.validate()
+        assert any("dangling" in p for p in problems)
+
+    def test_validate_single_terminal_net(self):
+        schematic = Schematic("c")
+        schematic.add_port("a", "in")  # port net with no other terminal
+        problems = schematic.validate()
+        assert any("single terminal" in p for p in problems)
+
+    def test_subcell_refs(self):
+        schematic = Schematic("top")
+        schematic.add_component(Component("u1", "CELL", cellref="alu"))
+        schematic.add_component(Component("u2", "CELL", cellref="alu"))
+        schematic.add_component(Component("u3", "CELL", cellref="fpu"))
+        assert schematic.subcell_refs() == ["alu", "fpu"]
+
+    def test_serialisation_round_trip(self):
+        original = inverter_schematic()
+        restored = Schematic.from_bytes(original.to_bytes())
+        assert restored.cell_name == "inv"
+        assert [p.name for p in restored.ports()] == ["a", "y"]
+        assert restored.validate() == []
+        assert restored.to_bytes() == original.to_bytes()
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(SchematicError):
+            Schematic.from_bytes(b"garbage")
+
+
+class TestEditor:
+    def test_editing_sets_dirty_and_logs(self):
+        editor = SchematicEditor()
+        editor.new_design("cell")
+        editor.add_port("a", "in")
+        assert editor.dirty
+        assert any("port a" in op for op in editor.op_log)
+
+    def test_save_clears_dirty(self):
+        editor = SchematicEditor()
+        editor.new_design("cell")
+        editor.save_bytes()
+        assert not editor.dirty
+
+    def test_open_bytes_round_trip(self):
+        editor = SchematicEditor()
+        editor.new_design("inv")
+        editor.add_port("a", "in")
+        editor.add_port("y", "out")
+        editor.place_gate("g", "NOT", 1)
+        editor.wire("a", "g", "in0")
+        editor.wire("y", "g", "out")
+        data = editor.save_bytes()
+        reopened = SchematicEditor.open_bytes(data)
+        assert not reopened.dirty
+        assert reopened.schematic.cell_name == "inv"
+
+    def test_require_clean_raises_on_problems(self):
+        editor = SchematicEditor()
+        editor.new_design("bad")
+        editor.place_gate("g", "AND")
+        with pytest.raises(SchematicError):
+            editor.require_clean()
+
+    def test_check_returns_problem_list(self):
+        editor = SchematicEditor()
+        editor.new_design("bad")
+        editor.place_gate("g", "AND")
+        assert editor.check()
+
+    def test_place_cell_and_delete(self):
+        editor = SchematicEditor()
+        editor.new_design("top")
+        editor.place_cell("u1", "alu")
+        assert editor.schematic.subcell_refs() == ["alu"]
+        editor.delete("u1")
+        assert editor.schematic.subcell_refs() == []
+
+
+class TestSymbols:
+    def test_symbol_from_ports(self):
+        symbol = symbol_for(inverter_schematic())
+        assert symbol.cell_name == "inv"
+        assert symbol.pins == (("a", "in"), ("y", "out"))
+
+    def test_symbol_requires_ports(self):
+        with pytest.raises(SchematicError):
+            symbol_for(Schematic("portless"))
+
+    def test_symbol_round_trip(self):
+        symbol = symbol_for(inverter_schematic())
+        restored = Symbol.from_bytes(symbol.to_bytes())
+        assert restored == symbol
+
+    def test_symbol_from_garbage_raises(self):
+        with pytest.raises(SchematicError):
+            Symbol.from_bytes(b"junk")
+
+
+class TestNetlister:
+    def test_flat_netlist(self):
+        netlist = netlist_schematic(inverter_schematic())
+        assert [g.gate_type for g in netlist.gates()] == ["NOT"]
+        assert netlist.inputs == ["a"] and netlist.outputs == ["y"]
+
+    def test_hierarchical_flattening_prefixes_names(self):
+        child = inverter_schematic()
+        parent = Schematic("top")
+        parent.add_port("x", "in")
+        parent.add_port("z", "out")
+        parent.add_component(Component("u1", "CELL", cellref="inv"))
+        parent.connect("x", "u1", "a")
+        parent.connect("z", "u1", "y")
+        netlist = netlist_schematic(parent, lambda ref: child)
+        assert [g.name for g in netlist.gates()] == ["u1/g"]
+        gate = netlist.gates()[0]
+        assert gate.inputs == ("x",) and gate.output == "z"
+
+    def test_two_levels_of_hierarchy(self):
+        leaf = inverter_schematic()
+        middle = Schematic("mid")
+        middle.add_port("a", "in")
+        middle.add_port("y", "out")
+        middle.add_component(Component("w", "CELL", cellref="inv"))
+        middle.connect("a", "w", "a")
+        middle.connect("y", "w", "y")
+        top = Schematic("top")
+        top.add_port("p", "in")
+        top.add_port("q", "out")
+        top.add_component(Component("m", "CELL", cellref="mid"))
+        top.connect("p", "m", "a")
+        top.connect("q", "m", "y")
+        resolver = {"inv": leaf, "mid": middle}.__getitem__
+        netlist = netlist_schematic(top, resolver)
+        assert [g.name for g in netlist.gates()] == ["m/w/g"]
+
+    def test_missing_resolver_raises(self):
+        parent = Schematic("top")
+        parent.add_component(Component("u1", "CELL", cellref="inv"))
+        with pytest.raises(SchematicError):
+            netlist_schematic(parent)
+
+    def test_recursion_depth_capped(self):
+        recursive = Schematic("loop")
+        recursive.add_port("a", "in")
+        recursive.add_port("y", "out")
+        recursive.add_component(Component("u", "CELL", cellref="loop"))
+        recursive.connect("a", "u", "a")
+        recursive.connect("y", "u", "y")
+        with pytest.raises(SchematicError, match="deeper"):
+            netlist_schematic(recursive, lambda ref: recursive)
+
+    def test_dangling_primitive_pin_raises(self):
+        bad = Schematic("bad")
+        bad.add_port("y", "out")
+        bad.add_component(Component("g", "NOT", ninputs=1))
+        bad.connect("y", "g", "out")
+        with pytest.raises(SchematicError, match="unconnected"):
+            netlist_schematic(bad)
+
+    def test_unconnected_subcell_port_gets_private_net(self):
+        child = inverter_schematic()
+        parent = Schematic("top")
+        parent.add_port("x", "in")
+        parent.add_component(Component("u1", "CELL", cellref="inv"))
+        parent.connect("x", "u1", "a")  # child's y left unconnected
+        netlist = netlist_schematic(parent, lambda ref: child)
+        assert netlist.gates()[0].output == "u1/y"
+
+    def test_inout_ports_rejected(self):
+        schematic = Schematic("c")
+        schematic.add_port("p", "inout")
+        with pytest.raises(SchematicError):
+            netlist_schematic(schematic)
+
+    def test_netlisted_hierarchy_simulates(self):
+        child = inverter_schematic()
+        parent = Schematic("buf2")
+        parent.add_port("x", "in")
+        parent.add_port("z", "out")
+        for i, inst in enumerate(("u1", "u2")):
+            parent.add_component(Component(inst, "CELL", cellref="inv"))
+        parent.connect("x", "u1", "a")
+        parent.connect("mid", "u1", "y")
+        parent.connect("mid", "u2", "a")
+        parent.connect("z", "u2", "y")
+        netlist = netlist_schematic(parent, lambda ref: child)
+        from repro.tools.simulator.testbench import Testbench
+
+        bench = Testbench(netlist)
+        bench.drive(0, "x", "1").expect(20, "z", "1")
+        bench.drive(40, "x", "0").expect(60, "z", "0")
+        assert bench.run().passed

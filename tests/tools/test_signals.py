@@ -1,0 +1,55 @@
+"""Unit tests for four-valued logic."""
+
+import pytest
+
+from repro.tools.simulator.signals import Logic, resolve_bus
+
+
+class TestLogic:
+    def test_from_str(self):
+        assert Logic.from_str("0") is Logic.ZERO
+        assert Logic.from_str("1") is Logic.ONE
+        assert Logic.from_str("x") is Logic.X
+        assert Logic.from_str("z") is Logic.Z
+
+    def test_from_str_invalid(self):
+        with pytest.raises(ValueError):
+            Logic.from_str("2")
+
+    def test_from_bool(self):
+        assert Logic.from_bool(True) is Logic.ONE
+        assert Logic.from_bool(False) is Logic.ZERO
+
+    def test_is_known(self):
+        assert Logic.ZERO.is_known and Logic.ONE.is_known
+        assert not Logic.X.is_known and not Logic.Z.is_known
+
+    def test_to_bool_strict(self):
+        assert Logic.ONE.to_bool() is True
+        assert Logic.ZERO.to_bool() is False
+        with pytest.raises(ValueError):
+            Logic.X.to_bool()
+
+    def test_str(self):
+        assert str(Logic.X) == "X"
+
+
+class TestBusResolution:
+    def test_empty_is_z(self):
+        assert resolve_bus([]) is Logic.Z
+
+    def test_z_yields_to_driven(self):
+        assert resolve_bus([Logic.Z, Logic.ONE]) is Logic.ONE
+        assert resolve_bus([Logic.ZERO, Logic.Z]) is Logic.ZERO
+
+    def test_conflict_is_x(self):
+        assert resolve_bus([Logic.ONE, Logic.ZERO]) is Logic.X
+
+    def test_x_poisons(self):
+        assert resolve_bus([Logic.ONE, Logic.X]) is Logic.X
+
+    def test_agreeing_drivers_ok(self):
+        assert resolve_bus([Logic.ONE, Logic.ONE]) is Logic.ONE
+
+    def test_all_z(self):
+        assert resolve_bus([Logic.Z, Logic.Z]) is Logic.Z

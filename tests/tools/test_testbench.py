@@ -1,0 +1,128 @@
+"""Unit tests for stimulus helpers and testbenches."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.tools.simulator.engine import Netlist
+from repro.tools.simulator.gates import Gate
+from repro.tools.simulator.signals import Logic
+from repro.tools.simulator.stimulus import (
+    Stimulus,
+    clock_stimulus,
+    vector_stimulus,
+)
+from repro.tools.simulator.testbench import (
+    Testbench as Bench,
+    TestbenchReport as BenchReport,
+)
+
+
+def and_netlist():
+    netlist = Netlist("and2")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_output("y")
+    netlist.add_gate(Gate("g", "AND", ("a", "b"), "y"))
+    return netlist
+
+
+class TestStimulus:
+    def test_drive_chainable(self):
+        stim = Stimulus().drive(0, "a", Logic.ONE).drive(5, "b", Logic.ZERO)
+        assert len(stim.events) == 2
+        assert stim.horizon == 5
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Stimulus().drive(-1, "a", Logic.ONE)
+
+    def test_drive_bits(self):
+        stim = Stimulus().drive_bits(10, {"a": "1", "b": "0"})
+        nets = {net for _, net, _ in stim.events}
+        assert nets == {"a", "b"}
+
+    def test_extend(self):
+        a = Stimulus().drive(0, "a", Logic.ONE)
+        b = Stimulus().drive(5, "b", Logic.ZERO)
+        a.extend(b)
+        assert len(a.events) == 2
+
+    def test_clock_stimulus_edges(self):
+        stim = clock_stimulus("clk", period=10, cycles=2)
+        times = sorted(t for t, _, _ in stim.events)
+        assert times == [0, 5, 10, 15, 20]
+
+    def test_clock_period_bound(self):
+        with pytest.raises(SimulationError):
+            clock_stimulus("clk", period=1, cycles=1)
+
+    def test_vector_stimulus(self):
+        stim = vector_stimulus(["a", "b"], ["00", "01", "11"], interval=10)
+        assert len(stim.events) == 6
+        assert stim.horizon == 20
+
+    def test_vector_length_mismatch(self):
+        with pytest.raises(SimulationError):
+            vector_stimulus(["a", "b"], ["011"], interval=10)
+
+
+class TestTestbench:
+    def test_passing_bench(self):
+        bench = Bench(and_netlist())
+        bench.drive(0, "a", "1").drive(0, "b", "1").expect(20, "y", "1")
+        bench.drive(50, "b", "0").expect(70, "y", "0")
+        report = bench.run()
+        assert report.passed
+        assert report.checks_run == 2
+        assert report.failures == []
+
+    def test_failing_bench_reports_details(self):
+        bench = Bench(and_netlist())
+        bench.drive(0, "a", "1").drive(0, "b", "0")
+        bench.expect(20, "y", "1")  # wrong: AND(1,0)=0
+        report = bench.run()
+        assert not report.passed
+        assert "expected 1" in report.failures[0]
+
+    def test_expect_unknown_net_rejected(self):
+        bench = Bench(and_netlist())
+        with pytest.raises(SimulationError):
+            bench.expect(0, "ghost", "1")
+
+    def test_report_serialisation_round_trip(self):
+        bench = Bench(and_netlist())
+        bench.drive(0, "a", "1").drive(0, "b", "1").expect(20, "y", "1")
+        report = bench.run()
+        restored = BenchReport.from_bytes(report.to_bytes())
+        assert restored.passed == report.passed
+        assert restored.netlist_name == "and2"
+        assert restored.checks_run == 1
+
+    def test_report_from_garbage_raises(self):
+        with pytest.raises(SimulationError):
+            BenchReport.from_bytes(b"nope")
+
+    def test_exhaustive_adder(self):
+        """Full adder built from gates: all 8 input rows verified."""
+        netlist = Netlist("fa")
+        for net in ("a", "b", "cin"):
+            netlist.add_input(net)
+        netlist.add_output("sum")
+        netlist.add_output("cout")
+        netlist.add_gate(Gate("x1", "XOR", ("a", "b"), "ab"))
+        netlist.add_gate(Gate("x2", "XOR", ("ab", "cin"), "sum"))
+        netlist.add_gate(Gate("a1", "AND", ("a", "b"), "t1"))
+        netlist.add_gate(Gate("a2", "AND", ("ab", "cin"), "t2"))
+        netlist.add_gate(Gate("o1", "OR", ("t1", "t2"), "cout"))
+        bench = Bench(netlist)
+        for i in range(8):
+            a, b, c = (i >> 2) & 1, (i >> 1) & 1, i & 1
+            t = i * 50
+            bench.drive(t, "a", str(a))
+            bench.drive(t, "b", str(b))
+            bench.drive(t, "cin", str(c))
+            total = a + b + c
+            bench.expect(t + 40, "sum", str(total % 2))
+            bench.expect(t + 40, "cout", str(total // 2))
+        report = bench.run()
+        assert report.passed, report.failures

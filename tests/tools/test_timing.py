@@ -1,0 +1,100 @@
+"""Unit tests for static timing analysis."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.tools.simulator.engine import LogicSimulator, Netlist
+from repro.tools.simulator.gates import DEFAULT_DELAYS, Gate
+from repro.tools.simulator.signals import Logic
+from repro.tools.simulator.timing import analyze_timing, settle_bound
+
+
+def chain_netlist(stages: int, delay: int = 2) -> Netlist:
+    netlist = Netlist("chain")
+    netlist.add_input("a")
+    netlist.add_output("y")
+    previous = "a"
+    for i in range(stages):
+        out = "y" if i == stages - 1 else f"n{i}"
+        netlist.add_gate(Gate(f"g{i}", "BUF", (previous,), out,
+                              delay=delay))
+        previous = out
+    return netlist
+
+
+class TestArrivalTimes:
+    def test_inputs_arrive_at_zero(self):
+        report = analyze_timing(chain_netlist(3))
+        assert report.arrival_of("a") == 0
+
+    def test_chain_accumulates_delay(self):
+        report = analyze_timing(chain_netlist(4, delay=3))
+        assert report.critical_delay == 12
+        assert report.arrival_of("y") == 12
+
+    def test_worst_input_wins(self):
+        netlist = Netlist("converge")
+        netlist.add_input("fast")
+        netlist.add_input("slow")
+        netlist.add_output("y")
+        netlist.add_gate(Gate("d1", "BUF", ("slow",), "s1", delay=10))
+        netlist.add_gate(Gate("m", "AND", ("fast", "s1"), "y", delay=1))
+        report = analyze_timing(netlist)
+        assert report.arrival_of("y") == 11
+        assert report.critical_path == ("slow", "s1", "y")
+
+    def test_default_delays_used(self):
+        netlist = Netlist("x")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_output("y")
+        netlist.add_gate(Gate("g", "XOR", ("a", "b"), "y"))
+        report = analyze_timing(netlist)
+        assert report.critical_delay == DEFAULT_DELAYS["XOR"]
+
+    def test_unknown_net_raises(self):
+        report = analyze_timing(chain_netlist(1))
+        with pytest.raises(SimulationError):
+            report.arrival_of("ghost")
+
+
+class TestSequentialCuts:
+    def test_dff_output_launches_new_path(self):
+        netlist = Netlist("pipe")
+        netlist.add_input("d")
+        netlist.add_input("clk")
+        netlist.add_output("y")
+        netlist.add_gate(Gate("pre", "BUF", ("d",), "dd", delay=50))
+        netlist.add_gate(Gate("ff", "DFF", ("dd", "clk"), "q"))
+        netlist.add_gate(Gate("post", "BUF", ("q",), "y", delay=1))
+        report = analyze_timing(netlist)
+        # the 50-unit pre-register path does not reach y: the register
+        # cuts it, so y arrives at clk-to-Q + 1
+        assert report.arrival_of("y") == DEFAULT_DELAYS["DFF"] + 1
+        # the launching path is still the overall critical one
+        assert report.critical_delay == 50
+
+    def test_invalid_netlist_rejected(self):
+        netlist = Netlist("bad")
+        netlist.add_output("y")
+        netlist.add_gate(Gate("g", "BUF", ("floating",), "y"))
+        with pytest.raises(SimulationError):
+            analyze_timing(netlist)
+
+
+class TestSettleBound:
+    def test_simulation_settles_within_bound(self):
+        """Dynamic simulation of a step settles by the static bound."""
+        netlist = chain_netlist(5, delay=4)
+        bound = settle_bound(netlist)
+        assert bound == 20
+        result = LogicSimulator(netlist).run([(0, "a", Logic.ONE)])
+        assert result.value_at("y", bound) is Logic.ONE
+        assert result.value_at("y", bound - 1) is not Logic.ONE
+
+    def test_gateless_netlist_has_zero_delay(self):
+        netlist = Netlist("wire_only")
+        netlist.add_input("a")
+        netlist.add_output("a")  # a feed-through
+        report = analyze_timing(netlist)
+        assert report.critical_delay == 0

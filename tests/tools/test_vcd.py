@@ -1,0 +1,89 @@
+"""Unit tests for VCD waveform export."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.tools.simulator.engine import LogicSimulator, Netlist
+from repro.tools.simulator.gates import Gate
+from repro.tools.simulator.signals import Logic
+from repro.tools.simulator.vcd import (
+    _identifier,
+    dump_vcd,
+    parse_vcd_changes,
+)
+
+
+@pytest.fixture
+def result():
+    netlist = Netlist("inv")
+    netlist.add_input("a")
+    netlist.add_output("y")
+    netlist.add_gate(Gate("g", "NOT", ("a",), "y"))
+    return LogicSimulator(netlist).run(
+        [(0, "a", Logic.ZERO), (50, "a", Logic.ONE)]
+    )
+
+
+class TestIdentifiers:
+    def test_first_identifiers_single_char(self):
+        assert _identifier(0) == "!"
+        assert _identifier(1) == '"'
+
+    def test_identifiers_unique(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            _identifier(-1)
+
+
+class TestDump:
+    def test_header_fields(self, result):
+        text = dump_vcd(result)
+        assert "$timescale 1ns $end" in text
+        assert "$scope module inv $end" in text
+        assert "$enddefinitions $end" in text
+
+    def test_every_net_declared(self, result):
+        text = dump_vcd(result)
+        for net in ("a", "y"):
+            assert f" {net} $end" in text
+
+    def test_subset_of_nets(self, result):
+        text = dump_vcd(result, nets=["y"])
+        assert " y $end" in text
+        assert " a $end" not in text
+
+    def test_unknown_net_rejected(self, result):
+        with pytest.raises(SimulationError):
+            dump_vcd(result, nets=["ghost"])
+
+    def test_deterministic(self, result):
+        assert dump_vcd(result) == dump_vcd(result)
+
+    def test_initial_values_in_dumpvars(self, result):
+        text = dump_vcd(result)
+        dumpvars = text.split("$dumpvars")[1].split("$end")[0]
+        # both nets start as x
+        assert dumpvars.count("x") == 2
+
+
+class TestRoundTrip:
+    def test_changes_survive_round_trip(self, result):
+        changes = parse_vcd_changes(dump_vcd(result))
+        assert set(changes) == {"a", "y"}
+        # a: x@0 -> 0@0 -> 1@50
+        values_a = [(t, v) for t, v in changes["a"]]
+        assert values_a[0] == (0, "x")
+        assert (0, "0") in values_a
+        assert (50, "1") in values_a
+
+    def test_output_transitions_present(self, result):
+        changes = parse_vcd_changes(dump_vcd(result))
+        values_y = {v for _, v in changes["y"]}
+        assert {"x", "0", "1"} == values_y
+
+    def test_malformed_var_line_rejected(self):
+        with pytest.raises(SimulationError):
+            parse_vcd_changes("$var wire $end\n$enddefinitions $end\n")

@@ -1,0 +1,114 @@
+"""Unit tests for the scripted designer agents."""
+
+import random
+
+import pytest
+
+from repro.fmcad.framework import FMCADFramework
+from repro.jcf.framework import JCFFramework
+from repro.workloads.designers import FMCADOnlyAgent, HybridAgent
+
+
+@pytest.fixture
+def fmcad_setup(tmp_path):
+    fmcad = FMCADFramework(tmp_path / "f")
+    library = fmcad.create_library("shared")
+    library.create_cell("cell0")
+    view = library.create_cellview("cell0", "schematic")
+    library.write_version(view, b"base", "setup")
+    library.flush_meta("setup")
+    return fmcad, library
+
+
+@pytest.fixture
+def jcf_setup(tmp_path):
+    jcf = JCFFramework(tmp_path / "j")
+    for name in ("u1", "u2"):
+        jcf.resources.define_user("admin", name)
+    jcf.resources.define_team("admin", "team")
+    for name in ("u1", "u2"):
+        jcf.resources.add_member("admin", name, "team")
+    project = jcf.desktop.create_project("u1", "p")
+    jcf.resources.assign_team_to_project("admin", "team", project.oid)
+    project.create_cell("cell0")
+    return jcf, project
+
+
+class TestFMCADOnlyAgent:
+    def test_agent_completes_work_cycle(self, fmcad_setup):
+        fmcad, library = fmcad_setup
+        agent = FMCADOnlyAgent("u1", random.Random(0), fmcad, library,
+                               flush_probability=1.0)
+        for _ in range(10):
+            agent.step(["cell0"])
+        assert agent.stats.completed > 0
+        assert agent.stats.blocked == 0  # alone, never blocked
+
+    def test_agent_checkin_creates_versions(self, fmcad_setup):
+        fmcad, library = fmcad_setup
+        agent = FMCADOnlyAgent("u1", random.Random(0), fmcad, library,
+                               flush_probability=1.0)
+        for _ in range(10):
+            agent.step(["cell0"])
+        cellview = library.cellview("cell0", "schematic")
+        assert len(cellview.versions) == 1 + agent.stats.completed
+
+    def test_two_agents_contend(self, fmcad_setup):
+        fmcad, library = fmcad_setup
+        agents = [
+            FMCADOnlyAgent(f"u{i}", random.Random(i), fmcad, library)
+            for i in range(2)
+        ]
+        for _ in range(20):
+            for agent in agents:
+                agent.step(["cell0"])
+        assert sum(a.stats.blocked for a in agents) > 0
+
+    def test_unflushed_meta_produces_stale_reads(self, fmcad_setup):
+        fmcad, library = fmcad_setup
+        never_flushes = FMCADOnlyAgent(
+            "u1", random.Random(0), fmcad, library, flush_probability=0.0
+        )
+        observer = FMCADOnlyAgent(
+            "u2", random.Random(1), fmcad, library, flush_probability=0.0
+        )
+        for _ in range(20):
+            never_flushes.step(["cell0"])
+            observer.step(["cell0"])
+        assert observer.stats.stale_reads > 0
+
+
+class TestHybridAgent:
+    def test_agent_publishes_work(self, jcf_setup):
+        jcf, project = jcf_setup
+        agent = HybridAgent("u1", random.Random(0), jcf, project)
+        for _ in range(10):
+            agent.step(["cell0"])
+        assert agent.stats.completed > 0
+        assert agent.stats.blocked == 0
+
+    def test_conflict_becomes_parallel_version(self, jcf_setup):
+        jcf, project = jcf_setup
+        first = HybridAgent("u1", random.Random(0), jcf, project)
+        second = HybridAgent("u2", random.Random(1), jcf, project)
+        # force the conflict deterministically
+        assert first._try_acquire("cell0")
+        assert second._try_acquire("cell0")
+        assert second.stats.parallel_versions == 1
+        cell = project.cell("cell0")
+        assert len(cell.versions()) == 2
+        holders = {
+            jcf.workspaces.reserved_by(cv) for cv in cell.versions()
+        }
+        assert holders == {"u1", "u2"}
+
+    def test_completed_work_leaves_design_objects(self, jcf_setup):
+        jcf, project = jcf_setup
+        agent = HybridAgent("u1", random.Random(0), jcf, project)
+        assert agent._try_acquire("cell0")
+        agent._finish_work()
+        cell = project.cell("cell0")
+        variant_names = [
+            v.name for cv in cell.versions() for v in cv.variants()
+        ]
+        assert variant_names == ["u1_work1"]

@@ -1,0 +1,151 @@
+"""Unit tests for synthetic design generation."""
+
+import random
+
+import pytest
+
+from repro.tools.layout.drc import run_drc
+from repro.tools.schematic.netlist import netlist_schematic
+from repro.workloads.designs import (
+    DesignSpec,
+    generate_design,
+    generate_layout_for,
+    make_combinational_cell,
+    make_parent_cell,
+    populate_library,
+)
+
+
+class TestLeafGeneration:
+    def test_leaf_is_structurally_valid(self):
+        rng = random.Random(0)
+        cell = make_combinational_cell("leaf", 4, 3, rng)
+        assert cell.validate() == []
+
+    def test_leaf_netlists_and_has_gates(self):
+        rng = random.Random(0)
+        cell = make_combinational_cell("leaf", 4, 2, rng)
+        netlist = netlist_schematic(cell)
+        assert netlist.validate() == []
+        # 3 reduction gates for 4 inputs + 2 NOTs + 2 extra reductions
+        assert len(netlist.gates()) >= 5
+
+    def test_extra_gates_scale_size(self):
+        small = make_combinational_cell("s", 4, 0, random.Random(0))
+        big = make_combinational_cell("b", 4, 10, random.Random(0))
+        assert len(big.components()) > len(small.components())
+
+    def test_deterministic_for_same_seed(self):
+        a = make_combinational_cell("c", 4, 2, random.Random(7))
+        b = make_combinational_cell("c", 4, 2, random.Random(7))
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_too_few_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            make_combinational_cell("c", 1, 0, random.Random(0))
+
+
+class TestDesignGeneration:
+    def test_cell_count_matches_spec(self):
+        spec = DesignSpec(name="top", depth=2, fanout=2)
+        design = generate_design(spec)
+        assert len(design.schematics) == spec.num_cells == 7
+
+    def test_hierarchy_edges_form_tree(self):
+        design = generate_design(DesignSpec(name="top", depth=2, fanout=3))
+        children = [child for _, child in design.hierarchy]
+        assert len(children) == len(set(children))  # each child one parent
+
+    def test_every_schematic_valid(self):
+        design = generate_design(DesignSpec(name="top", depth=2, fanout=2))
+        for name, schematic in design.schematics.items():
+            assert schematic.validate() == [], name
+
+    def test_top_netlists_through_hierarchy(self):
+        design = generate_design(DesignSpec(name="top", depth=2, fanout=2))
+        netlist = netlist_schematic(
+            design.schematics[design.top_cell],
+            lambda ref: design.schematics[ref],
+        )
+        assert netlist.validate() == []
+
+    def test_depth_zero_is_single_leaf(self):
+        design = generate_design(DesignSpec(name="only", depth=0))
+        assert design.cell_names() == ["only"]
+        assert design.hierarchy == []
+
+    def test_deterministic_per_seed(self):
+        spec = DesignSpec(name="top", depth=1, fanout=2, seed=5)
+        a = generate_design(spec)
+        b = generate_design(spec)
+        assert a.schematics["top"].to_bytes() == b.schematics["top"].to_bytes()
+
+
+class TestLayoutGeneration:
+    def test_layouts_match_schematic_hierarchy(self):
+        design = generate_design(DesignSpec(name="top", depth=1, fanout=2))
+        top_layout = design.layouts["top"]
+        top_schematic = design.schematics["top"]
+        assert top_layout.subcell_refs() == top_schematic.subcell_refs()
+
+    def test_layouts_drc_clean(self):
+        design = generate_design(DesignSpec(name="top", depth=1, fanout=2))
+        for name, layout in design.layouts.items():
+            violations = run_drc(
+                layout, resolver=lambda ref: design.layouts[ref]
+            )
+            assert violations == [], (name, violations[:3])
+
+    def test_non_isomorphic_layout_drops_instances(self):
+        design = generate_design(DesignSpec(name="top", depth=1, fanout=2))
+        flattened = generate_layout_for(
+            design.schematics["top"], isomorphic=False
+        )
+        assert flattened.subcell_refs() == []
+
+    def test_skip_children_selective(self):
+        design = generate_design(DesignSpec(name="top", depth=1, fanout=2))
+        partial = generate_layout_for(
+            design.schematics["top"], skip_children=["top_0"]
+        )
+        assert partial.subcell_refs() == ["top_1"]
+
+    def test_every_net_labelled(self):
+        design = generate_design(DesignSpec(name="top", depth=0))
+        layout = design.layouts["top"]
+        schematic = design.schematics["top"]
+        labels = {label.text for label in layout.labels}
+        assert {net.name for net in schematic.nets()} <= labels
+
+
+class TestPopulateLibrary:
+    def test_library_holds_all_cells_and_views(self, fmcad):
+        design = generate_design(DesignSpec(name="top", depth=1, fanout=2))
+        library = populate_library(fmcad, "lib", design)
+        assert len(library.cells()) == 3
+        for cell in library.cells():
+            assert cell.has_cellview("schematic")
+            assert cell.has_cellview("layout")
+            assert cell.cellview("schematic").default_version is not None
+
+    def test_meta_flushed(self, fmcad):
+        design = generate_design(DesignSpec(name="top", depth=0))
+        library = populate_library(fmcad, "lib", design)
+        assert library.verify_meta() == []
+
+    def test_layouts_optional(self, fmcad):
+        design = generate_design(DesignSpec(name="top", depth=0))
+        library = populate_library(
+            fmcad, "lib", design, include_layouts=False
+        )
+        assert not library.cell("top").has_cellview("layout")
+
+
+class TestParentCell:
+    def test_single_child_buffered(self):
+        rng = random.Random(0)
+        child = make_combinational_cell("c", 2, 0, rng)
+        parent = make_parent_cell("p", [child], 2, rng)
+        assert parent.validate() == []
+        netlist = netlist_schematic(parent, lambda ref: child)
+        assert any(g.gate_type == "BUF" for g in netlist.gates())

@@ -1,0 +1,92 @@
+"""Unit tests for multi-user simulation and metrics helpers."""
+
+import pytest
+
+from repro.workloads.metrics import (
+    format_table,
+    mean,
+    median,
+    ratio,
+    stddev,
+    summarize,
+)
+from repro.workloads.sessions import MultiUserSimulation
+
+
+class TestMetricsHelpers:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+        assert median([]) == 0.0
+
+    def test_stddev(self):
+        assert stddev([5, 5, 5]) == 0.0
+        assert stddev([1]) == 0.0
+        assert stddev([0, 4]) == 2.0
+
+    def test_summarize_shape(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+
+    def test_ratio(self):
+        assert ratio(4, 2) == 2.0
+        assert ratio(0, 0) == 0.0
+        assert ratio(1, 0) == float("inf")
+
+    def test_format_table_aligns(self):
+        table = format_table(["a", "bbbb"], [["xx", 1], ["y", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+
+
+class TestMultiUserSimulation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MultiUserSimulation(designers=0, cells=1)
+        with pytest.raises(ValueError):
+            MultiUserSimulation(designers=1, cells=0)
+
+    def test_fmcad_arm_produces_blocking(self, tmp_path):
+        sim = MultiUserSimulation(designers=6, cells=2, rounds=25, seed=2)
+        metrics = sim.run_fmcad_only(tmp_path / "f")
+        assert metrics.mode == "fmcad_only"
+        assert metrics.blocked > 0
+        assert metrics.block_rate > 0
+        assert metrics.completed > 0
+
+    def test_hybrid_arm_never_blocks(self, tmp_path):
+        sim = MultiUserSimulation(designers=6, cells=2, rounds=25, seed=2)
+        metrics = sim.run_hybrid(tmp_path / "h")
+        assert metrics.blocked == 0
+        assert metrics.parallel_versions > 0
+
+    def test_hybrid_beats_fmcad_on_throughput(self, tmp_path):
+        """The E31 headline: hybrid completes more work under contention."""
+        sim = MultiUserSimulation(designers=8, cells=2, rounds=30, seed=3)
+        fmcad = sim.run_fmcad_only(tmp_path / "f")
+        hybrid = sim.run_hybrid(tmp_path / "h")
+        assert hybrid.completed > fmcad.completed
+        assert hybrid.block_rate < fmcad.block_rate
+
+    def test_fmcad_staleness_appears(self, tmp_path):
+        sim = MultiUserSimulation(designers=8, cells=2, rounds=30, seed=3)
+        metrics = sim.run_fmcad_only(tmp_path / "f")
+        assert metrics.stale_reads > 0
+
+    def test_deterministic_per_seed(self, tmp_path):
+        sim = MultiUserSimulation(designers=4, cells=2, rounds=20, seed=9)
+        a = sim.run_fmcad_only(tmp_path / "a")
+        b = sim.run_fmcad_only(tmp_path / "b")
+        assert (a.blocked, a.completed) == (b.blocked, b.completed)
+
+    def test_single_designer_never_blocks(self, tmp_path):
+        sim = MultiUserSimulation(designers=1, cells=3, rounds=20, seed=1)
+        metrics = sim.run_fmcad_only(tmp_path / "f")
+        assert metrics.blocked == 0
