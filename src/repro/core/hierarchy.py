@@ -234,7 +234,7 @@ class HierarchyManager:
             child = project.find_cell(child_name)
             if parent is None or child is None:
                 continue
-            if child.oid in {c.oid for c in parent.components()}:
+            if parent.has_component(child):
                 continue
             parent.add_component(child)
             declared += 1

@@ -1,25 +1,56 @@
-"""Deterministic identifier allocation.
+"""Deterministic identifier allocation and numeric-aware ordering.
 
 Benchmarks must be reproducible run-to-run, so all object identifiers in
 the reproduction come from per-kind monotone counters instead of UUIDs.
 Identifiers look like ``cell:000017`` — the kind prefix makes log output
 and error messages self-describing.
+
+Identifiers are zero-padded to six digits for readability, but the
+counters do not stop there: the millionth cell is ``cell:1000000``.
+Lexicographic ordering breaks at that point (``"cell:1000000" <
+"cell:0999999"``), so every place that orders identifiers must use
+:func:`sort_key`, which compares ``(kind, int(n))`` and therefore
+survives arbitrarily large counters.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator
+from functools import lru_cache
+from typing import Dict, Iterator, Tuple
+
+
+@lru_cache(maxsize=1 << 16)
+def sort_key(identifier: str) -> Tuple[str, int, str]:
+    """Numeric-aware ordering key for allocator-style identifiers.
+
+    ``cell:1000000`` sorts after ``cell:0999999`` (lexicographic order
+    would reverse them).  Identifiers that do not look like
+    ``kind:number`` still get a total order, keyed on the raw string, so
+    mixed collections sort deterministically.
+    """
+    kind, sep, number_text = identifier.rpartition(":")
+    if sep and number_text.isdigit() and number_text.isascii():
+        return (kind, int(number_text), identifier)
+    return (identifier, -1, identifier)
 
 
 class IdAllocator:
     """Allocates deterministic, human-readable identifiers per kind."""
 
+    #: re-exported so callers ordering ids need not import the module fn
+    sort_key = staticmethod(sort_key)
+
     def __init__(self) -> None:
         self._counters: Dict[str, Iterator[int]] = {}
 
     def allocate(self, kind: str) -> str:
-        """Return the next identifier for *kind*, e.g. ``"cell:000001"``."""
+        """Return the next identifier for *kind*, e.g. ``"cell:000001"``.
+
+        Numbers beyond 999,999 simply grow past the six-digit padding;
+        consumers must order ids with :func:`sort_key`, never
+        lexicographically.
+        """
         counter = self._counters.setdefault(kind, itertools.count(1))
         return f"{kind}:{next(counter):06d}"
 
@@ -27,10 +58,11 @@ class IdAllocator:
         """Fast-forward the counter of *identifier*'s kind past it.
 
         Used when restoring persisted objects so freshly allocated ids
-        never collide with restored ones.
+        never collide with restored ones.  Accepts numbers of any width,
+        including the 7+-digit ids allocated past ``kind:999999``.
         """
         kind, _, number_text = identifier.rpartition(":")
-        if not kind or not number_text.isdigit():
+        if not kind or not (number_text.isdigit() and number_text.isascii()):
             raise ValueError(f"malformed identifier: {identifier!r}")
         seen = int(number_text)
         current = self._counters.get(kind)

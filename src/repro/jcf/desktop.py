@@ -82,18 +82,25 @@ class JCFDesktop:
             self._interact(user)
             parent = project.cell(parent_name)
             child = project.cell(child_name)
-            if not self._db.linked("comp_of", parent.oid, child.oid):
+            if not parent.has_component(child):
                 parent.add_component(child)
         return len(edges)
 
     def declared_hierarchy(
         self, project: JCFProject
     ) -> List[Tuple[str, str]]:
-        """All CompOf edges of the project, as (parent, child) names."""
-        edges: List[Tuple[str, str]] = []
-        for cell in project.cells():
-            for child in cell.components():
-                edges.append((cell.name, child.name))
+        """All CompOf edges of the project, as (parent, child) names.
+
+        One batched ``neighbors()`` expansion over the whole cell list
+        instead of a ``targets()`` scan per cell.
+        """
+        cells = project.cells()
+        children = self._db.neighbors("comp_of", [cell.oid for cell in cells])
+        edges: List[Tuple[str, str]] = [
+            (cell.name, child.get("name"))
+            for cell in cells
+            for child in children.get(cell.oid, [])
+        ]
         return sorted(edges)
 
     # -- workspace operations -----------------------------------------------------------

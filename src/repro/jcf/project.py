@@ -15,6 +15,7 @@ from repro.errors import (
     ProjectError,
     VersioningError,
 )
+from repro.ids import sort_key
 from repro.jcf.model import STATUS_IN_WORK, STATUS_PUBLISHED
 from repro.oms.database import OMSDatabase
 from repro.oms.objects import OMSObject
@@ -72,8 +73,8 @@ class JCFProject(_Wrapper):
 
     def find_cell(self, name: str) -> Optional["JCFCell"]:
         for obj in self._db.select("Cell", lambda o: o.get("name") == name):
-            owners = self._db.targets("cell_in_project", obj.oid)
-            if owners and owners[0].oid == self.oid:
+            owners = self._db.target_oids("cell_in_project", obj.oid)
+            if owners and owners[0] == self.oid:
                 return JCFCell(self._db, obj)
         return None
 
@@ -105,10 +106,10 @@ class JCFCell(_Wrapper):
 
     @property
     def project_oid(self) -> str:
-        owners = self._db.targets("cell_in_project", self.oid)
+        owners = self._db.target_oids("cell_in_project", self.oid)
         if not owners:
             raise ProjectError(f"cell {self.name!r} has no owning project")
-        return owners[0].oid
+        return owners[0]
 
     # -- CompOf hierarchy (separate metadata) --------------------------------
 
@@ -136,17 +137,22 @@ class JCFCell(_Wrapper):
         self._db.link("comp_of", self.oid, child.oid)
 
     def _would_cycle(self, child: "JCFCell") -> bool:
+        # oid-level DFS: no object fetches, just adjacency-index probes
         frontier = [child.oid]
         seen = set(frontier)
         while frontier:
             oid = frontier.pop()
             if oid == self.oid:
                 return True
-            for nxt in self._db.targets("comp_of", oid):
-                if nxt.oid not in seen:
-                    seen.add(nxt.oid)
-                    frontier.append(nxt.oid)
+            for nxt_oid in self._db.target_oids("comp_of", oid):
+                if nxt_oid not in seen:
+                    seen.add(nxt_oid)
+                    frontier.append(nxt_oid)
         return False
+
+    def has_component(self, child: "JCFCell") -> bool:
+        """True when *child* is already a direct CompOf component (O(1))."""
+        return self._db.linked("comp_of", self.oid, child.oid)
 
     def components(self) -> List["JCFCell"]:
         return [
@@ -214,9 +220,9 @@ class JCFCellVersion(_Wrapper):
     # -- attached flow and team ---------------------------------------------------
 
     def attach_flow(self, flow_obj: OMSObject) -> None:
-        existing = self._db.targets("cv_flow", self.oid)
+        existing = self._db.target_oids("cv_flow", self.oid)
         if existing:
-            self._db.unlink("cv_flow", self.oid, existing[0].oid)
+            self._db.unlink("cv_flow", self.oid, existing[0])
         self._db.link("cv_flow", self.oid, flow_obj.oid)
 
     def attached_flow(self) -> Optional[OMSObject]:
@@ -224,9 +230,9 @@ class JCFCellVersion(_Wrapper):
         return found[0] if found else None
 
     def attach_team(self, team_obj: OMSObject) -> None:
-        existing = self._db.targets("cv_team", self.oid)
+        existing = self._db.target_oids("cv_team", self.oid)
         if existing:
-            self._db.unlink("cv_team", self.oid, existing[0].oid)
+            self._db.unlink("cv_team", self.oid, existing[0])
         self._db.link("cv_team", self.oid, team_obj.oid)
 
     def attached_team(self) -> Optional[OMSObject]:
@@ -445,5 +451,5 @@ class JCFDesignObjectVersion(_Wrapper):
         by_oid = {obj.oid: obj for obj in forward + backward}
         return [
             JCFDesignObjectVersion(self._db, by_oid[oid])
-            for oid in sorted(by_oid)
+            for oid in sorted(by_oid, key=sort_key)
         ]

@@ -75,19 +75,42 @@ class VersioningService:
     # -- two-level state enumeration (E32) --------------------------------------
 
     def states_of_cell(self, cell: JCFCell) -> List[VersionedState]:
-        """Every addressable (cell version, variant, object, version) state."""
+        """Every addressable (cell version, variant, object, version) state.
+
+        Expands each level of the two-level hierarchy with one batched
+        :meth:`~repro.oms.database.OMSDatabase.neighbors` call instead of
+        one ``targets()`` call per parent object — three index passes for
+        the whole cell, regardless of how many versions and variants it
+        has accumulated.
+        """
+        cell_versions = cell.versions()
+        variant_map = self._db.neighbors(
+            "variant_of", [cv.oid for cv in cell_versions]
+        )
+        dobj_map = self._db.neighbors(
+            "dobj_in_variant",
+            [v.oid for vs in variant_map.values() for v in vs],
+        )
+        dov_map = self._db.neighbors(
+            "dov_of",
+            [d.oid for ds in dobj_map.values() for d in ds],
+        )
         states: List[VersionedState] = []
-        for cell_version in cell.versions():
-            for variant in cell_version.variants():
-                for dobj in variant.design_objects():
-                    for dov in dobj.versions():
+        for cell_version in cell_versions:
+            for variant in variant_map.get(cell_version.oid, []):
+                for dobj in dobj_map.get(variant.oid, []):
+                    versions = sorted(
+                        dov_map.get(dobj.oid, []),
+                        key=lambda obj: obj.get("number"),
+                    )
+                    for dov in versions:
                         states.append(
                             VersionedState(
                                 cell_name=cell.name,
                                 cell_version=cell_version.number,
-                                variant_name=variant.name,
-                                design_object=dobj.name,
-                                object_version=dov.number,
+                                variant_name=variant.get("name"),
+                                design_object=dobj.get("name"),
+                                object_version=dov.get("number"),
                             )
                         )
         return states

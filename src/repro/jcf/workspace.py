@@ -42,9 +42,9 @@ class WorkspaceManager:
     def workspace_for(self, user_name: str) -> OMSObject:
         """The user's private workspace, created on first use."""
         user = self._resources.user(user_name)
-        existing = self._db.targets("workspace_of", user.oid)
+        existing = self._db.target_oids("workspace_of", user.oid)
         if existing:
-            return existing[0]
+            return self._db.get(existing[0])
         workspace = self._db.create("Workspace", {"owner": user_name})
         self._db.link("workspace_of", user.oid, workspace.oid)
         return workspace
@@ -52,11 +52,15 @@ class WorkspaceManager:
     # -- reservation protocol -----------------------------------------------------
 
     def reserved_by(self, cell_version: JCFCellVersion) -> Optional[str]:
-        """Name of the user whose workspace holds *cell_version*, if any."""
-        holders = self._db.sources("reserves", cell_version.oid)
-        if not holders:
+        """Name of the user whose workspace holds *cell_version*, if any.
+
+        One O(1) reverse-index probe — this predicate runs on every
+        read/write access check, so it must not fetch or scan objects.
+        """
+        holder_oid = self._db.source_oids("reserves", cell_version.oid)
+        if not holder_oid:
             return None
-        return holders[0].get("owner")
+        return self._db.get(holder_oid[0]).get("owner")
 
     def reserve(self, user_name: str, cell_version: JCFCellVersion) -> None:
         """Reserve *cell_version* into the user's private workspace.

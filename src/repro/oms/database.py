@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import contextlib
-from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.clock import SimClock
 from repro.errors import (
@@ -11,7 +11,8 @@ from repro.errors import (
     RelationshipError,
     UnknownObjectError,
 )
-from repro.ids import IdAllocator
+from repro.ids import IdAllocator, sort_key
+from repro.oms.links import LinkStore
 from repro.oms.objects import OMSObject
 from repro.oms.schema import RelationshipDef, Schema
 from repro.oms.transactions import Transaction
@@ -64,8 +65,8 @@ class OMSDatabase:
         self.clock = clock or SimClock()
         self._allocator = allocator or IdAllocator()
         self._objects: Dict[str, OMSObject] = {}
-        #: rel_name -> set of (source_oid, target_oid)
-        self._links: Dict[str, Set[Tuple[str, str]]] = {}
+        #: adjacency-indexed link store; mutated ONLY via _link_add/_link_remove
+        self._link_index = LinkStore()
         self._active_txn: Optional[Transaction] = None
         self._procedural_interface_enabled = enable_procedural_interface
         #: framework policy switches consulted by the typed wrappers
@@ -113,7 +114,14 @@ class OMSDatabase:
         obj = OMSObject(oid, entity, complete, payload)
         self._objects[oid] = obj
         self.clock.charge_metadata_op()
-        self._journal(lambda: self._objects.pop(oid, None))
+
+        def undo() -> None:
+            self._objects.pop(oid, None)
+            # stale references held by typed wrappers must observe the
+            # rollback, exactly as they observe delete()
+            obj._deleted = True
+
+        self._journal(undo)
         return obj
 
     def get(self, oid: str) -> OMSObject:
@@ -128,21 +136,23 @@ class OMSDatabase:
         return obj is not None and not obj.deleted
 
     def delete(self, oid: str) -> None:
-        """Delete an object and all links touching it."""
+        """Delete an object and all links touching it (O(degree), not O(E)).
+
+        The object's ``deleted`` flag is set so callers holding a stale
+        :class:`OMSObject` reference (typed wrappers cache them) observe
+        the deletion instead of silently reading removed state.
+        """
         obj = self.get(oid)
-        removed_links: List[Tuple[str, Tuple[str, str]]] = []
-        for rel_name, pairs in self._links.items():
-            touching = [pair for pair in pairs if oid in pair]
-            for pair in touching:
-                pairs.discard(pair)
-                removed_links.append((rel_name, pair))
+        removed_links = self._link_index.remove_touching(oid)
         del self._objects[oid]
+        obj._deleted = True
         self.clock.charge_metadata_op()
 
         def undo() -> None:
             self._objects[oid] = obj
+            obj._deleted = False
             for rel_name, pair in removed_links:
-                self._links.setdefault(rel_name, set()).add(pair)
+                self._link_add(rel_name, *pair)
 
         self._journal(undo)
 
@@ -165,27 +175,41 @@ class OMSDatabase:
         self._journal(undo)
 
     # -- links ---------------------------------------------------------------
+    #
+    # All mutations flow through _link_add/_link_remove so the forward and
+    # reverse adjacency indexes can never desync — in particular every
+    # transaction-undo closure calls these primitives rather than mutating
+    # a captured set (the old flat-store undo lambdas did exactly that,
+    # which silently breaks the moment a second index exists).
+
+    def _link_add(self, rel_name: str, source_oid: str, target_oid: str) -> bool:
+        return self._link_index.add(rel_name, source_oid, target_oid)
+
+    def _link_remove(
+        self, rel_name: str, source_oid: str, target_oid: str
+    ) -> bool:
+        return self._link_index.remove(rel_name, source_oid, target_oid)
 
     def _check_cardinality(
         self, rel: RelationshipDef, source_oid: str, target_oid: str
     ) -> None:
-        pairs = self._links.get(rel.name, set())
+        # O(1): the reverse/forward indexes answer "already linked?" directly
         if rel.cardinality in ("1:1", "1:N"):
             # each target may have at most one source
-            for src, dst in pairs:
-                if dst == target_oid and src != source_oid:
-                    raise RelationshipError(
-                        f"{rel.name}: target {target_oid} already linked "
-                        f"from {src} (cardinality {rel.cardinality})"
-                    )
+            src = self._link_index.first_source(rel.name, target_oid)
+            if src is not None and src != source_oid:
+                raise RelationshipError(
+                    f"{rel.name}: target {target_oid} already linked "
+                    f"from {src} (cardinality {rel.cardinality})"
+                )
         if rel.cardinality in ("1:1", "N:1"):
             # each source may have at most one target
-            for src, dst in pairs:
-                if src == source_oid and dst != target_oid:
-                    raise RelationshipError(
-                        f"{rel.name}: source {source_oid} already linked "
-                        f"to {dst} (cardinality {rel.cardinality})"
-                    )
+            dst = self._link_index.first_target(rel.name, source_oid)
+            if dst is not None and dst != target_oid:
+                raise RelationshipError(
+                    f"{rel.name}: source {source_oid} already linked "
+                    f"to {dst} (cardinality {rel.cardinality})"
+                )
 
     def link(self, rel_name: str, source_oid: str, target_oid: str) -> None:
         """Create a typed, cardinality-checked link between two objects."""
@@ -203,44 +227,99 @@ class OMSDatabase:
                 f"got {target.type_name!r}"
             )
         self._check_cardinality(rel, source_oid, target_oid)
-        pairs = self._links.setdefault(rel_name, set())
-        pair = (source_oid, target_oid)
-        if pair in pairs:
+        if not self._link_add(rel_name, source_oid, target_oid):
             return  # idempotent
-        pairs.add(pair)
         self.clock.charge_metadata_op()
-        self._journal(lambda: pairs.discard(pair))
+        self._journal(
+            lambda: self._link_remove(rel_name, source_oid, target_oid)
+        )
 
     def unlink(self, rel_name: str, source_oid: str, target_oid: str) -> None:
         """Remove a link; raises if it does not exist."""
         self.schema.relationship(rel_name)
-        pairs = self._links.get(rel_name, set())
-        pair = (source_oid, target_oid)
-        if pair not in pairs:
+        if not self._link_remove(rel_name, source_oid, target_oid):
             raise RelationshipError(
                 f"{rel_name}: no link {source_oid} -> {target_oid}"
             )
-        pairs.discard(pair)
         self.clock.charge_metadata_op()
-        self._journal(lambda: pairs.add(pair))
+        self._journal(lambda: self._link_add(rel_name, source_oid, target_oid))
 
     def linked(self, rel_name: str, source_oid: str, target_oid: str) -> bool:
         self.schema.relationship(rel_name)
-        return (source_oid, target_oid) in self._links.get(rel_name, set())
+        return self._link_index.contains(rel_name, source_oid, target_oid)
 
     def targets(self, rel_name: str, source_oid: str) -> List[OMSObject]:
         """Objects reachable from *source_oid* over *rel_name* (stable order)."""
         self.schema.relationship(rel_name)
-        pairs = self._links.get(rel_name, set())
-        oids = sorted(dst for src, dst in pairs if src == source_oid)
-        return [self.get(oid) for oid in oids]
+        return [
+            self.get(oid)
+            for oid in self._link_index.targets_of(rel_name, source_oid)
+        ]
 
     def sources(self, rel_name: str, target_oid: str) -> List[OMSObject]:
         """Objects linking to *target_oid* over *rel_name* (stable order)."""
         self.schema.relationship(rel_name)
-        pairs = self._links.get(rel_name, set())
-        oids = sorted(src for src, dst in pairs if dst == target_oid)
-        return [self.get(oid) for oid in oids]
+        return [
+            self.get(oid)
+            for oid in self._link_index.sources_of(rel_name, target_oid)
+        ]
+
+    def target_oids(self, rel_name: str, source_oid: str) -> List[str]:
+        """Like :meth:`targets` but returns bare oids — no object fetch."""
+        self.schema.relationship(rel_name)
+        return self._link_index.targets_of(rel_name, source_oid)
+
+    def source_oids(self, rel_name: str, target_oid: str) -> List[str]:
+        """Like :meth:`sources` but returns bare oids — no object fetch."""
+        self.schema.relationship(rel_name)
+        return self._link_index.sources_of(rel_name, target_oid)
+
+    def out_degree(self, rel_name: str, source_oid: str) -> int:
+        """Number of targets of *source_oid* over *rel_name*, O(1)."""
+        self.schema.relationship(rel_name)
+        return self._link_index.out_degree(rel_name, source_oid)
+
+    def in_degree(self, rel_name: str, target_oid: str) -> int:
+        """Number of sources of *target_oid* over *rel_name*, O(1)."""
+        self.schema.relationship(rel_name)
+        return self._link_index.in_degree(rel_name, target_oid)
+
+    def neighbors(
+        self,
+        rel_name: str,
+        oids: Sequence[str],
+        direction: str = "out",
+    ) -> Dict[str, List[OMSObject]]:
+        """Batch single-hop expansion over one relation.
+
+        One schema check for the whole batch, one O(degree) index probe
+        per oid — the API the JCF services use instead of issuing
+        ``targets()``/``sources()`` calls in a loop.  ``direction`` is
+        ``"out"`` (follow links forward) or ``"in"`` (backwards).  Only
+        oids with at least one neighbor appear in the result.
+        """
+        self.schema.relationship(rel_name)
+        if direction == "out":
+            probe = self._link_index.targets_of
+        elif direction == "in":
+            probe = self._link_index.sources_of
+        else:
+            raise ValueError(f"direction must be 'out' or 'in': {direction!r}")
+        expanded: Dict[str, List[OMSObject]] = {}
+        for oid in oids:
+            found = probe(rel_name, oid)
+            if found:
+                expanded[oid] = [self.get(n) for n in found]
+        return expanded
+
+    def link_pairs(self, rel_name: str) -> Set[Tuple[str, str]]:
+        """A copy of the relation's ``(source, target)`` pair set."""
+        self.schema.relationship(rel_name)
+        return self._link_index.pairs(rel_name)
+
+    def relation_names(self) -> List[str]:
+        """Relations holding at least one link, sorted by name."""
+        return self._link_index.relation_names()
 
     # -- queries ----------------------------------------------------------------
 
@@ -253,7 +332,9 @@ class OMSDatabase:
         self.schema.entity(type_name)  # raises on unknown type
         matches = [
             obj
-            for oid, obj in sorted(self._objects.items())
+            for oid, obj in sorted(
+                self._objects.items(), key=lambda kv: sort_key(kv[0])
+            )
             if obj.type_name == type_name and (predicate is None or predicate(obj))
         ]
         return matches
@@ -292,9 +373,8 @@ class OMSDatabase:
             "objects": len(self._objects),
             "by_type": by_type,
             "links": {
-                name: len(pairs)
-                for name, pairs in self._links.items()
-                if pairs
+                name: self._link_index.count(name)
+                for name in self._link_index.relation_names()
             },
             "payload_bytes": payload_bytes,
         }

@@ -1,0 +1,245 @@
+"""Adjacency-indexed link storage for the OMS kernel.
+
+The original store kept one flat ``Set[(source, target)]`` per relation,
+which made every metadata query — ``targets()``, ``sources()`` and the
+cardinality guard inside ``link()`` — a full O(E) scan of the relation.
+Those scans sit on the hot path of every JCF desktop operation the paper
+times in Section 3.6, so :class:`LinkStore` replaces them with a
+per-relation adjacency index:
+
+* ``pairs`` — the authoritative membership set, O(1) containment;
+* ``forward`` — ``source → [targets]``, kept sorted by the numeric
+  :func:`repro.ids.sort_key` so listings stay ordered past ``:999999``;
+* ``reverse`` — ``target → [sources]``, same ordering.
+
+Every query is O(degree); cardinality lookups (`first_target`,
+`first_source`) are O(1).  All three structures are mutated **only**
+through :meth:`add` and :meth:`remove`, so they can never drift apart —
+transaction undo closures must call back into these primitives instead
+of poking captured sets (the bug class that motivated this store).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.ids import sort_key
+
+#: one directed link: (source_oid, target_oid)
+Pair = Tuple[str, str]
+
+
+def _insort(ordered: List[str], oid: str) -> None:
+    """Insert *oid* into a sort_key-ordered list (python3.9-safe bisect)."""
+    key = sort_key(oid)
+    lo, hi = 0, len(ordered)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if sort_key(ordered[mid]) < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    ordered.insert(lo, oid)
+
+
+def _remove_sorted(ordered: List[str], oid: str) -> None:
+    """Remove *oid* from a sort_key-ordered list via bisect."""
+    key = sort_key(oid)
+    lo, hi = 0, len(ordered)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if sort_key(ordered[mid]) < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo < len(ordered) and ordered[lo] == oid:
+        ordered.pop(lo)
+    else:  # pragma: no cover - defensive; keys are unique per oid
+        ordered.remove(oid)
+
+
+class _RelationIndex:
+    """The three views of one relation's link set (always in lockstep)."""
+
+    __slots__ = ("pairs", "forward", "reverse")
+
+    def __init__(self) -> None:
+        self.pairs: Set[Pair] = set()
+        self.forward: Dict[str, List[str]] = {}
+        self.reverse: Dict[str, List[str]] = {}
+
+    def add(self, source_oid: str, target_oid: str) -> bool:
+        pair = (source_oid, target_oid)
+        if pair in self.pairs:
+            return False
+        self.pairs.add(pair)
+        _insort(self.forward.setdefault(source_oid, []), target_oid)
+        _insort(self.reverse.setdefault(target_oid, []), source_oid)
+        return True
+
+    def remove(self, source_oid: str, target_oid: str) -> bool:
+        pair = (source_oid, target_oid)
+        if pair not in self.pairs:
+            return False
+        self.pairs.discard(pair)
+        forward = self.forward[source_oid]
+        _remove_sorted(forward, target_oid)
+        if not forward:
+            del self.forward[source_oid]
+        reverse = self.reverse[target_oid]
+        _remove_sorted(reverse, source_oid)
+        if not reverse:
+            del self.reverse[target_oid]
+        return True
+
+
+class LinkStore:
+    """All typed links of one database, adjacency-indexed per relation."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, _RelationIndex] = {}
+
+    # -- mutation primitives (the ONLY writers of the indexes) ---------------
+
+    def add(self, rel_name: str, source_oid: str, target_oid: str) -> bool:
+        """Insert one link; returns False when it already existed."""
+        index = self._relations.get(rel_name)
+        if index is None:
+            index = self._relations[rel_name] = _RelationIndex()
+        return index.add(source_oid, target_oid)
+
+    def remove(self, rel_name: str, source_oid: str, target_oid: str) -> bool:
+        """Remove one link; returns False when it was absent."""
+        index = self._relations.get(rel_name)
+        if index is None:
+            return False
+        return index.remove(source_oid, target_oid)
+
+    def remove_touching(self, oid: str) -> List[Tuple[str, Pair]]:
+        """Remove every link with *oid* at either end, across relations.
+
+        O(degree of *oid*), not O(E): the adjacency indexes name exactly
+        the pairs to drop.  Returns ``[(rel_name, pair), ...]`` so object
+        deletion can journal an exact inverse.
+        """
+        removed: List[Tuple[str, Pair]] = []
+        for rel_name, index in self._relations.items():
+            touching = [(oid, dst) for dst in index.forward.get(oid, ())]
+            touching += [
+                (src, oid)
+                for src in index.reverse.get(oid, ())
+                if src != oid  # self-link already captured by forward
+            ]
+            for pair in touching:
+                index.remove(*pair)
+                removed.append((rel_name, pair))
+        return removed
+
+    # -- queries (all O(degree) or O(1)) -------------------------------------
+
+    def contains(self, rel_name: str, source_oid: str, target_oid: str) -> bool:
+        index = self._relations.get(rel_name)
+        return index is not None and (source_oid, target_oid) in index.pairs
+
+    def targets_of(self, rel_name: str, source_oid: str) -> List[str]:
+        """Target oids of *source_oid*, numeric-sorted (a fresh list)."""
+        index = self._relations.get(rel_name)
+        if index is None:
+            return []
+        return list(index.forward.get(source_oid, ()))
+
+    def sources_of(self, rel_name: str, target_oid: str) -> List[str]:
+        """Source oids pointing at *target_oid*, numeric-sorted."""
+        index = self._relations.get(rel_name)
+        if index is None:
+            return []
+        return list(index.reverse.get(target_oid, ()))
+
+    def first_target(self, rel_name: str, source_oid: str) -> Optional[str]:
+        """Lowest-keyed target of *source_oid*, O(1) (cardinality guard)."""
+        index = self._relations.get(rel_name)
+        if index is None:
+            return None
+        ordered = index.forward.get(source_oid)
+        return ordered[0] if ordered else None
+
+    def first_source(self, rel_name: str, target_oid: str) -> Optional[str]:
+        """Lowest-keyed source of *target_oid*, O(1) (cardinality guard)."""
+        index = self._relations.get(rel_name)
+        if index is None:
+            return None
+        ordered = index.reverse.get(target_oid)
+        return ordered[0] if ordered else None
+
+    def out_degree(self, rel_name: str, source_oid: str) -> int:
+        index = self._relations.get(rel_name)
+        if index is None:
+            return 0
+        return len(index.forward.get(source_oid, ()))
+
+    def in_degree(self, rel_name: str, target_oid: str) -> int:
+        index = self._relations.get(rel_name)
+        if index is None:
+            return 0
+        return len(index.reverse.get(target_oid, ()))
+
+    def count(self, rel_name: str) -> int:
+        index = self._relations.get(rel_name)
+        return len(index.pairs) if index is not None else 0
+
+    def pairs(self, rel_name: str) -> Set[Pair]:
+        """A copy of the relation's pair set (naive-scan baselines, dumps)."""
+        index = self._relations.get(rel_name)
+        return set(index.pairs) if index is not None else set()
+
+    def iter_pairs(self, rel_name: str) -> Iterator[Pair]:
+        """Iterate the relation's pairs without copying (read-only)."""
+        index = self._relations.get(rel_name)
+        if index is not None:
+            yield from index.pairs
+
+    def relation_names(self) -> List[str]:
+        """Relations that currently hold at least one link, sorted."""
+        return sorted(
+            name for name, index in self._relations.items() if index.pairs
+        )
+
+    # -- invariants (test hook) ----------------------------------------------
+
+    def check_integrity(self) -> List[str]:
+        """Cross-check the three views of every relation; [] when healthy."""
+        problems: List[str] = []
+        for rel_name, index in self._relations.items():
+            from_forward = {
+                (src, dst)
+                for src, dsts in index.forward.items()
+                for dst in dsts
+            }
+            from_reverse = {
+                (src, dst)
+                for dst, srcs in index.reverse.items()
+                for src in srcs
+            }
+            if from_forward != index.pairs:
+                problems.append(
+                    f"{rel_name}: forward index desynced "
+                    f"({len(from_forward)} vs {len(index.pairs)} pairs)"
+                )
+            if from_reverse != index.pairs:
+                problems.append(
+                    f"{rel_name}: reverse index desynced "
+                    f"({len(from_reverse)} vs {len(index.pairs)} pairs)"
+                )
+            for owner, ordered in list(index.forward.items()) + list(
+                index.reverse.items()
+            ):
+                keys = [sort_key(oid) for oid in ordered]
+                if keys != sorted(keys):
+                    problems.append(
+                        f"{rel_name}: adjacency list of {owner!r} out of order"
+                    )
+                if not ordered:
+                    problems.append(
+                        f"{rel_name}: empty adjacency list kept for {owner!r}"
+                    )
+        return problems

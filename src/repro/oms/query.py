@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
+from repro.ids import sort_key
 from repro.oms.database import OMSDatabase
 from repro.oms.objects import OMSObject
 
@@ -65,10 +66,8 @@ class QueryEngine:
                 continue
             next_oids: List[str] = []
             for rel_name in rel_names:
-                next_oids.extend(
-                    obj.oid for obj in self._db.targets(rel_name, oid)
-                )
-            for next_oid in sorted(set(next_oids)):
+                next_oids.extend(self._db.target_oids(rel_name, oid))
+            for next_oid in sorted(set(next_oids), key=sort_key):
                 if next_oid in seen:
                     continue
                 seen.add(next_oid)
@@ -87,8 +86,8 @@ class QueryEngine:
             oid = frontier.popleft()
             prev_oids: List[str] = []
             for rel_name in rel_names:
-                prev_oids.extend(obj.oid for obj in self._db.sources(rel_name, oid))
-            for prev_oid in sorted(set(prev_oids)):
+                prev_oids.extend(self._db.source_oids(rel_name, oid))
+            for prev_oid in sorted(set(prev_oids), key=sort_key):
                 if prev_oid in seen:
                     continue
                 seen.add(prev_oid)

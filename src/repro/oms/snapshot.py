@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.clock import SimClock
 from repro.errors import OMSError
+from repro.ids import sort_key
 from repro.oms.database import OMSDatabase
 from repro.oms.objects import OMSObject
 from repro.oms.schema import Schema
@@ -25,9 +26,15 @@ FORMAT = "repro-oms-snapshot-1"
 
 
 def dump_snapshot(database: OMSDatabase) -> bytes:
-    """Serialise the whole database (schema-agnostic object graph)."""
+    """Serialise the whole database (schema-agnostic object graph).
+
+    Objects and link pairs are ordered by the numeric
+    :func:`repro.ids.sort_key`, so dumps stay deterministic (and diffs
+    stay minimal) even past the millionth id of a kind, where
+    lexicographic ordering would reshuffle everything.
+    """
     objects = []
-    for oid in sorted(database._objects):
+    for oid in sorted(database._objects, key=sort_key):
         obj = database._objects[oid]
         payload = (
             base64.b64encode(obj.payload).decode("ascii")
@@ -41,9 +48,14 @@ def dump_snapshot(database: OMSDatabase) -> bytes:
             "payload": payload,
         })
     links = {
-        rel_name: sorted(list(pair) for pair in pairs)
-        for rel_name, pairs in database._links.items()
-        if pairs
+        rel_name: [
+            list(pair)
+            for pair in sorted(
+                database.link_pairs(rel_name),
+                key=lambda pair: (sort_key(pair[0]), sort_key(pair[1])),
+            )
+        ]
+        for rel_name in database.relation_names()
     }
     doc = {
         "format": FORMAT,
@@ -110,9 +122,10 @@ def restore_snapshot(
                     f"snapshot link {rel_name} references missing "
                     f"objects: {source_oid} -> {target_oid}"
                 )
-            database._links.setdefault(rel_name, set()).add(
-                (source_oid, target_oid)
-            )
+            # restore through the index-aware primitive so the forward
+            # and reverse adjacency indexes are rebuilt alongside the
+            # pair set
+            database._link_add(rel_name, source_oid, target_oid)
     return database
 
 

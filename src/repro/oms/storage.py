@@ -15,6 +15,7 @@ import pathlib
 from typing import Dict, List, Optional
 
 from repro.errors import OMSError
+from repro.ids import sort_key
 from repro.oms.database import OMSDatabase
 
 
@@ -92,8 +93,10 @@ class StagingArea:
     # -- bookkeeping ----------------------------------------------------------------
 
     def staged(self) -> List[StagedFile]:
-        """All files currently staged, ordered by object id."""
-        return [self._staged[oid] for oid in sorted(self._staged)]
+        """All files currently staged, ordered by (numeric) object id."""
+        return [
+            self._staged[oid] for oid in sorted(self._staged, key=sort_key)
+        ]
 
     def is_staged(self, oid: str) -> bool:
         return oid in self._staged

@@ -9,7 +9,7 @@ operations and plays them back on abort.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.errors import TransactionError
 
@@ -58,12 +58,30 @@ class Transaction:
         self._state = "committed"
 
     def abort(self) -> None:
-        """Undo every journalled mutation, most recent first."""
+        """Undo every journalled mutation, most recent first.
+
+        A raising undo step must not leave the store half rolled back:
+        every remaining journal entry still runs, the transaction always
+        ends ``"aborted"``, and the failures are then re-raised as one
+        :class:`TransactionError` carrying (and chained from) the first.
+        """
         if self._state != "active":
             raise TransactionError(
                 f"transaction {self.txn_id} is {self._state}; cannot abort"
             )
+        first_failure: Optional[BaseException] = None
+        failed = 0
         while self._journal:
             undo = self._journal.pop()
-            undo()
+            try:
+                undo()
+            except BaseException as exc:
+                failed += 1
+                if first_failure is None:
+                    first_failure = exc
         self._state = "aborted"
+        if first_failure is not None:
+            raise TransactionError(
+                f"transaction {self.txn_id}: {failed} undo step(s) raised "
+                f"during rollback; first failure: {first_failure!r}"
+            ) from first_failure

@@ -40,6 +40,33 @@ class TestObjectLifecycle:
         db.delete(b.oid)
         assert db.targets("linked", a.oid) == []
 
+    def test_delete_marks_stale_references_deleted(self, db):
+        """Callers holding the OMSObject (typed wrappers cache them) must
+        see the deletion instead of silently reading removed state."""
+        obj = db.create("Thing", {"name": "x"})
+        stale = db.get(obj.oid)
+        assert not stale.deleted
+        db.delete(obj.oid)
+        assert stale.deleted
+
+    def test_delete_rollback_clears_deleted_flag(self, db):
+        obj = db.create("Thing", {"name": "x"})
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.delete(obj.oid)
+                assert obj.deleted
+                raise RuntimeError("boom")
+        assert not obj.deleted
+        assert db.get(obj.oid) is obj
+
+    def test_create_rollback_marks_object_deleted(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                obj = db.create("Thing", {"name": "gone"})
+                raise RuntimeError("boom")
+        assert obj.deleted
+        assert not db.exists(obj.oid)
+
     def test_set_attr_is_schema_checked(self, db):
         obj = db.create("Thing", {"name": "x"})
         with pytest.raises(Exception):

@@ -1,0 +1,209 @@
+"""Property tests: the indexed link store behaves exactly like a naive
+flat pair-set model under random link/unlink/delete/rollback interleavings,
+and an aborted transaction restores the database bit-for-bit.
+"""
+
+from typing import Dict, List, Set, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ids import sort_key
+from repro.oms.database import OMSDatabase
+from repro.oms.schema import AttributeDef, Schema
+from repro.oms.snapshot import dump_snapshot
+
+RELATIONS = ("edge", "owns")  # M:N and 1:N — both cardinality code paths
+
+
+class _Rollback(Exception):
+    """Raised inside a transaction block to force an abort."""
+
+
+def _fresh_db() -> OMSDatabase:
+    schema = Schema("prop")
+    schema.define_entity(
+        "Node", [AttributeDef("name", "str", required=True)]
+    )
+    schema.define_relationship("edge", "Node", "Node", "M:N")
+    schema.define_relationship("owns", "Node", "Node", "1:N")
+    return OMSDatabase(schema)
+
+
+Model = Dict[str, Set[Tuple[str, str]]]
+
+
+def _naive_targets(model: Model, rel: str, src: str) -> List[str]:
+    return sorted(
+        (d for s, d in model[rel] if s == src), key=sort_key
+    )
+
+
+def _naive_sources(model: Model, rel: str, dst: str) -> List[str]:
+    return sorted(
+        (s for s, d in model[rel] if d == dst), key=sort_key
+    )
+
+
+def _link_allowed(model: Model, rel: str, src: str, dst: str) -> bool:
+    """Naive-model cardinality prediction (owns is 1:N)."""
+    if rel != "owns":
+        return True
+    return not any(d == dst and s != src for s, d in model[rel])
+
+
+def _apply_op(db, model: Model, live: List[str], op: str, data) -> None:
+    """Apply one mutation to both the database and the naive model.
+
+    Ops are pre-validated against the model so they never raise — a
+    raising op inside a transaction block would abort the whole block.
+    """
+    if op == "create" or not live:
+        live.append(db.create("Node", {"name": "n"}).oid)
+    elif op == "link":
+        src = data.draw(st.sampled_from(live))
+        dst = data.draw(st.sampled_from(live))
+        rel = data.draw(st.sampled_from(RELATIONS))
+        if _link_allowed(model, rel, src, dst):
+            db.link(rel, src, dst)
+            model[rel].add((src, dst))
+    elif op == "unlink":
+        candidates = [
+            (rel, pair) for rel in RELATIONS for pair in sorted(model[rel])
+        ]
+        if not candidates:
+            return
+        rel, pair = data.draw(st.sampled_from(candidates))
+        db.unlink(rel, *pair)
+        model[rel].discard(pair)
+    elif op == "delete":
+        victim = data.draw(st.sampled_from(live))
+        live.remove(victim)
+        db.delete(victim)
+        for rel in RELATIONS:
+            model[rel] = {
+                pair for pair in model[rel] if victim not in pair
+            }
+    else:  # pragma: no cover - defensive
+        raise AssertionError(f"unknown op {op!r}")
+
+
+def _assert_equivalent(db, model: Model, live: List[str]) -> None:
+    for rel in RELATIONS:
+        assert db.link_pairs(rel) == model[rel]
+        for oid in live:
+            assert db.target_oids(rel, oid) == _naive_targets(
+                model, rel, oid
+            )
+            assert db.source_oids(rel, oid) == _naive_sources(
+                model, rel, oid
+            )
+            assert db.out_degree(rel, oid) == len(
+                _naive_targets(model, rel, oid)
+            )
+            assert db.in_degree(rel, oid) == len(
+                _naive_sources(model, rel, oid)
+            )
+    assert db._link_index.check_integrity() == []
+
+
+OPS = ["create", "link", "link", "unlink", "delete"]
+
+
+class TestIndexedEqualsNaive:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_random_interleavings(self, data):
+        """Indexed queries ≡ naive scans after any op/rollback sequence."""
+        db = _fresh_db()
+        model: Model = {rel: set() for rel in RELATIONS}
+        live: List[str] = []
+        for _ in range(data.draw(st.integers(3, 25))):
+            action = data.draw(
+                st.sampled_from(OPS + ["txn_abort", "txn_commit"])
+            )
+            if action in ("txn_abort", "txn_commit"):
+                saved_model = {rel: set(model[rel]) for rel in RELATIONS}
+                saved_live = list(live)
+                try:
+                    with db.transaction():
+                        for _ in range(data.draw(st.integers(1, 6))):
+                            _apply_op(
+                                db, model, live,
+                                data.draw(st.sampled_from(OPS)), data,
+                            )
+                        if action == "txn_abort":
+                            raise _Rollback()
+                except _Rollback:
+                    # rolled back: the naive model rewinds too
+                    for rel in RELATIONS:
+                        model[rel] = saved_model[rel]
+                    live[:] = saved_live
+            else:
+                _apply_op(db, model, live, action, data)
+            _assert_equivalent(db, model, live)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_cardinality_rejections_match_naive_prediction(self, data):
+        """db.link raises exactly when the naive 1:N scan predicts it."""
+        from repro.errors import RelationshipError
+
+        db = _fresh_db()
+        model: Model = {rel: set() for rel in RELATIONS}
+        live = [db.create("Node", {"name": "n"}).oid for _ in range(4)]
+        for _ in range(data.draw(st.integers(1, 25))):
+            src = data.draw(st.sampled_from(live))
+            dst = data.draw(st.sampled_from(live))
+            allowed = _link_allowed(model, "owns", src, dst)
+            try:
+                db.link("owns", src, dst)
+                raised = False
+            except RelationshipError:
+                raised = True
+            assert raised == (not allowed)
+            if not raised:
+                model["owns"].add((src, dst))
+        assert db.link_pairs("owns") == model["owns"]
+
+
+class TestAbortedTransactionIsBitIdentical:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_rollback_restores_pre_transaction_snapshot(self, data):
+        """Random link/unlink/delete/set_attr inside an aborted transaction
+        leave objects, links and indexes bit-identical to the snapshot."""
+        db = _fresh_db()
+        model: Model = {rel: set() for rel in RELATIONS}
+        live: List[str] = []
+        # seed phase: build an arbitrary committed state
+        for _ in range(data.draw(st.integers(1, 12))):
+            _apply_op(
+                db, model, live, data.draw(st.sampled_from(OPS)), data
+            )
+        before = dump_snapshot(db)
+        try:
+            with db.transaction():
+                for _ in range(data.draw(st.integers(1, 10))):
+                    op = data.draw(
+                        st.sampled_from(OPS + ["set_attr", "payload"])
+                    )
+                    if op == "set_attr":
+                        if live:
+                            db.set_attr(
+                                data.draw(st.sampled_from(live)),
+                                "name",
+                                data.draw(st.sampled_from(["x", "y", "z"])),
+                            )
+                    elif op == "payload":
+                        if live:
+                            db.set_payload(
+                                data.draw(st.sampled_from(live)), b"scratch"
+                            )
+                    else:
+                        _apply_op(db, model, live, op, data)
+                raise _Rollback()
+        except _Rollback:
+            pass
+        assert dump_snapshot(db) == before
+        assert db._link_index.check_integrity() == []

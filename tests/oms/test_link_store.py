@@ -1,0 +1,186 @@
+"""Unit tests for the adjacency-indexed link store and its database API."""
+
+import pytest
+
+from repro.ids import sort_key
+from repro.oms.links import LinkStore
+
+
+class TestLinkStorePrimitives:
+    def test_add_and_contains(self):
+        store = LinkStore()
+        assert store.add("r", "a:000001", "a:000002")
+        assert store.contains("r", "a:000001", "a:000002")
+        assert not store.contains("r", "a:000002", "a:000001")
+
+    def test_add_is_idempotent(self):
+        store = LinkStore()
+        assert store.add("r", "a:000001", "a:000002")
+        assert not store.add("r", "a:000001", "a:000002")
+        assert store.count("r") == 1
+
+    def test_remove_unknown_returns_false(self):
+        store = LinkStore()
+        assert not store.remove("r", "a:000001", "a:000002")
+
+    def test_forward_and_reverse_agree(self):
+        store = LinkStore()
+        store.add("r", "a:000001", "b:000001")
+        store.add("r", "a:000001", "b:000002")
+        store.add("r", "a:000002", "b:000001")
+        assert store.targets_of("r", "a:000001") == ["b:000001", "b:000002"]
+        assert store.sources_of("r", "b:000001") == ["a:000001", "a:000002"]
+        assert store.out_degree("r", "a:000001") == 2
+        assert store.in_degree("r", "b:000001") == 2
+        assert store.check_integrity() == []
+
+    def test_remove_updates_both_indexes(self):
+        store = LinkStore()
+        store.add("r", "a:000001", "b:000001")
+        store.add("r", "a:000001", "b:000002")
+        store.remove("r", "a:000001", "b:000001")
+        assert store.targets_of("r", "a:000001") == ["b:000002"]
+        assert store.sources_of("r", "b:000001") == []
+        assert store.check_integrity() == []
+
+    def test_numeric_order_survives_seven_digit_ids(self):
+        store = LinkStore()
+        store.add("r", "s:000001", "cell:1000000")
+        store.add("r", "s:000001", "cell:0999999")
+        store.add("r", "s:000001", "cell:0000002")
+        assert store.targets_of("r", "s:000001") == [
+            "cell:0000002",
+            "cell:0999999",
+            "cell:1000000",
+        ]
+
+    def test_first_target_and_source_are_minimal(self):
+        store = LinkStore()
+        store.add("r", "s:000002", "t:000009")
+        store.add("r", "s:000002", "t:000003")
+        store.add("r", "s:000001", "t:000003")
+        assert store.first_target("r", "s:000002") == "t:000003"
+        assert store.first_source("r", "t:000003") == "s:000001"
+        assert store.first_target("r", "missing:000001") is None
+
+    def test_remove_touching_covers_both_directions_and_self_links(self):
+        store = LinkStore()
+        store.add("r", "x:000001", "y:000001")
+        store.add("r", "y:000002", "x:000001")
+        store.add("r", "x:000001", "x:000001")  # self link
+        store.add("q", "x:000001", "z:000001")
+        store.add("q", "u:000001", "v:000001")  # untouched
+        removed = store.remove_touching("x:000001")
+        assert sorted(removed) == [
+            ("q", ("x:000001", "z:000001")),
+            ("r", ("x:000001", "x:000001")),
+            ("r", ("x:000001", "y:000001")),
+            ("r", ("y:000002", "x:000001")),
+        ]
+        assert store.count("r") == 0
+        assert store.pairs("q") == {("u:000001", "v:000001")}
+        assert store.check_integrity() == []
+
+    def test_relation_names_skips_emptied_relations(self):
+        store = LinkStore()
+        store.add("r", "a:000001", "b:000001")
+        store.add("q", "a:000001", "b:000001")
+        store.remove("q", "a:000001", "b:000001")
+        assert store.relation_names() == ["r"]
+
+    def test_iter_pairs_matches_pairs(self):
+        store = LinkStore()
+        store.add("r", "a:000001", "b:000001")
+        store.add("r", "a:000002", "b:000002")
+        assert set(store.iter_pairs("r")) == store.pairs("r")
+
+
+class TestDatabaseLinkAPI:
+    def test_target_oids_sorted_numerically(self, db):
+        a = db.create("Thing", {"name": "a"})
+        targets = [db.create("Thing", {"name": f"t{i}"}) for i in range(4)]
+        for t in reversed(targets):
+            db.link("linked", a.oid, t.oid)
+        oids = db.target_oids("linked", a.oid)
+        assert oids == sorted(oids, key=sort_key)
+        assert oids == [t.oid for t in targets]
+
+    def test_source_oids(self, db):
+        a = db.create("Thing", {"name": "a"})
+        b = db.create("Thing", {"name": "b"})
+        db.link("linked", a.oid, b.oid)
+        assert db.source_oids("linked", b.oid) == [a.oid]
+
+    def test_degrees(self, db):
+        a = db.create("Thing", {"name": "a"})
+        b = db.create("Thing", {"name": "b"})
+        c = db.create("Thing", {"name": "c"})
+        db.link("linked", a.oid, b.oid)
+        db.link("linked", a.oid, c.oid)
+        assert db.out_degree("linked", a.oid) == 2
+        assert db.in_degree("linked", b.oid) == 1
+        assert db.in_degree("linked", a.oid) == 0
+
+    def test_neighbors_batch_out(self, db):
+        a = db.create("Thing", {"name": "a"})
+        b = db.create("Thing", {"name": "b"})
+        c = db.create("Thing", {"name": "c"})
+        db.link("linked", a.oid, b.oid)
+        db.link("linked", b.oid, c.oid)
+        expanded = db.neighbors("linked", [a.oid, b.oid, c.oid])
+        assert {k: [o.oid for o in v] for k, v in expanded.items()} == {
+            a.oid: [b.oid],
+            b.oid: [c.oid],
+        }
+
+    def test_neighbors_batch_in(self, db):
+        a = db.create("Thing", {"name": "a"})
+        b = db.create("Thing", {"name": "b"})
+        db.link("linked", a.oid, b.oid)
+        expanded = db.neighbors("linked", [b.oid], direction="in")
+        assert [o.oid for o in expanded[b.oid]] == [a.oid]
+
+    def test_neighbors_rejects_bad_direction(self, db):
+        with pytest.raises(ValueError):
+            db.neighbors("linked", [], direction="sideways")
+
+    def test_neighbors_checks_schema(self, db):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            db.neighbors("no_such_rel", [])
+
+    def test_link_pairs_returns_copy(self, db):
+        a = db.create("Thing", {"name": "a"})
+        b = db.create("Thing", {"name": "b"})
+        db.link("linked", a.oid, b.oid)
+        pairs = db.link_pairs("linked")
+        pairs.clear()
+        assert db.linked("linked", a.oid, b.oid)
+
+    def test_cardinality_still_enforced_via_index(self, db):
+        from repro.errors import RelationshipError
+
+        box1 = db.create("Box", {"label": "1"})
+        box2 = db.create("Box", {"label": "2"})
+        thing = db.create("Thing", {"name": "t"})
+        db.link("contains", box1.oid, thing.oid)
+        with pytest.raises(RelationshipError):
+            db.link("contains", box2.oid, thing.oid)
+        # after unlinking, the slot frees up — indexes must have forgotten
+        db.unlink("contains", box1.oid, thing.oid)
+        db.link("contains", box2.oid, thing.oid)
+
+    def test_indexes_survive_rollback(self, db):
+        a = db.create("Thing", {"name": "a"})
+        b = db.create("Thing", {"name": "b"})
+        db.link("linked", a.oid, b.oid)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.unlink("linked", a.oid, b.oid)
+                db.link("linked", b.oid, a.oid)
+                raise RuntimeError("boom")
+        assert db.target_oids("linked", a.oid) == [b.oid]
+        assert db.source_oids("linked", b.oid) == [a.oid]
+        assert db.target_oids("linked", b.oid) == []
+        assert db._link_index.check_integrity() == []

@@ -43,3 +43,44 @@ class TestTransaction:
         txn.commit()
         with pytest.raises(TransactionError):
             txn.abort()
+
+
+class TestAbortWithFailingUndos:
+    def test_abort_runs_all_undos_despite_failure(self):
+        """A raising undo must not stop the rollback mid-journal."""
+        ran = []
+        txn = Transaction("t1")
+        txn.record_undo(lambda: ran.append("first"))
+        txn.record_undo(lambda: (_ for _ in ()).throw(ValueError("bad undo")))
+        txn.record_undo(lambda: ran.append("last"))
+        with pytest.raises(TransactionError):
+            txn.abort()
+        assert ran == ["last", "first"]
+
+    def test_abort_with_failure_still_ends_aborted(self):
+        txn = Transaction("t1")
+        txn.record_undo(lambda: (_ for _ in ()).throw(ValueError("bad")))
+        with pytest.raises(TransactionError):
+            txn.abort()
+        assert txn.state == "aborted"
+        assert txn.journal_length == 0
+
+    def test_transaction_error_chains_first_failure(self):
+        first = ValueError("first failure")
+        second = KeyError("second failure")
+        txn = Transaction("t1")
+        # journal replays most-recent-first, so record in reverse
+        txn.record_undo(lambda: (_ for _ in ()).throw(first))
+        txn.record_undo(lambda: (_ for _ in ()).throw(second))
+        with pytest.raises(TransactionError) as excinfo:
+            txn.abort()
+        assert excinfo.value.__cause__ is second
+        assert "2 undo step(s)" in str(excinfo.value)
+
+    def test_double_abort_after_failed_abort_raises(self):
+        txn = Transaction("t1")
+        txn.record_undo(lambda: (_ for _ in ()).throw(ValueError()))
+        with pytest.raises(TransactionError):
+            txn.abort()
+        with pytest.raises(TransactionError):
+            txn.abort()

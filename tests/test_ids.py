@@ -1,6 +1,6 @@
-"""Unit tests for deterministic identifier allocation."""
+"""Unit tests for deterministic identifier allocation and ordering."""
 
-from repro.ids import IdAllocator
+from repro.ids import IdAllocator, sort_key
 
 
 class TestIdAllocator:
@@ -57,3 +57,52 @@ class TestObserve:
             ids.observe("no-number")
         with pytest.raises(ValueError):
             ids.observe("cell:xyz")
+
+    def test_observe_accepts_seven_digit_ids(self):
+        ids = IdAllocator()
+        ids.observe("cell:1000000")
+        assert ids.allocate("cell") == "cell:1000001"
+
+    def test_observe_never_rewinds_past_the_million(self):
+        ids = IdAllocator()
+        ids.observe("cell:1000005")
+        ids.observe("cell:000003")
+        assert ids.allocate("cell") == "cell:1000006"
+
+
+class TestSortKey:
+    def test_equal_padding_matches_lexicographic(self):
+        ids = [f"cell:{n:06d}" for n in (3, 17, 999999, 1)]
+        assert sorted(ids, key=sort_key) == sorted(ids)
+
+    def test_million_sorts_after_allocator_max(self):
+        """The allocator pads to six digits, so the millionth id breaks
+        lexicographic order ('cell:1000000' < 'cell:999999')."""
+        ids = IdAllocator()
+        for _ in range(999_999):
+            last_padded = ids.allocate("cell")
+        millionth = ids.allocate("cell")
+        assert millionth == "cell:1000000"
+        assert millionth < last_padded  # the lexicographic trap
+        assert sort_key(millionth) > sort_key(last_padded)
+
+    def test_kinds_group_before_numbers(self):
+        ordered = sorted(
+            ["flow:000002", "cell:1000000", "cell:000001", "flow:000001"],
+            key=sort_key,
+        )
+        assert ordered == [
+            "cell:000001",
+            "cell:1000000",
+            "flow:000001",
+            "flow:000002",
+        ]
+
+    def test_non_numeric_identifiers_still_totally_ordered(self):
+        ids = ["plain", "cell:xyz", "cell:000001", "a:b:000002"]
+        ordered = sorted(ids, key=sort_key)
+        assert sorted(ordered, key=sort_key) == ordered
+        assert len(set(map(sort_key, ids))) == len(ids)
+
+    def test_allocator_exports_sort_key(self):
+        assert IdAllocator.sort_key("x:000001") == sort_key("x:000001")

@@ -192,8 +192,9 @@ class TestOMSProperties:
                 db.delete(victim)
             else:
                 db.link("edge", rng.choice(live), rng.choice(live))
-        for src, dst in db._links.get("edge", set()):
+        for src, dst in db.link_pairs("edge"):
             assert db.exists(src) and db.exists(dst)
+        assert db._link_index.check_integrity() == []
 
     @given(st.lists(st.tuples(st.sampled_from(["attr", "link"]),
                               st.booleans()), max_size=20))
