@@ -10,9 +10,13 @@ model (deterministic) plus real wall time of the in-memory code paths:
    simulated latency grows linearly with design size and dominates for
    complex, realistic designs;
 3. **ablation**: the procedural interface the paper lists as future
-   work removes the copy entirely, making read access size-independent.
+   work removes the copy entirely, making read access size-independent —
+   and copy-on-write staging closes most of that gap *without* opening
+   the OMS interface: a re-export of unchanged data is validated by
+   digest and priced like a metadata operation.
 """
 
+import os
 import pathlib
 import tempfile
 
@@ -21,6 +25,10 @@ from repro.workloads.metrics import format_table
 
 #: design-data sizes (bytes): small academic -> complex realistic design
 SIZES = [1_000, 10_000, 100_000, 1_000_000]
+if os.environ.get("REPRO_BENCH_SMOKE"):
+    # CI smoke mode: keep the endpoints so every shape assertion
+    # (flatness, linearity, >10x growth) still exercises the full range
+    SIZES = [1_000, 1_000_000]
 
 
 def fresh_jcf(procedural=False):
@@ -41,6 +49,7 @@ class TestPerformance:
         rows = []
         metadata_costs = []
         copy_costs = []
+        cow_costs = []
         native_costs = []
         direct_costs = []
         for size in SIZES:
@@ -57,6 +66,12 @@ class TestPerformance:
             jcf.staging.export_object(version.oid)
             copy_ms = jcf.clock.now_ms - before
             copy_costs.append(copy_ms)
+
+            # -- the same read-only access repeated: CoW digest hit ----------
+            before = jcf.clock.now_ms
+            jcf.staging.export_object(version.oid)
+            cow_ms = jcf.clock.now_ms - before
+            cow_costs.append(cow_ms)
 
             # -- the same bytes accessed natively in FMCAD -------------------
             before = jcf.clock.now_ms
@@ -78,6 +93,7 @@ class TestPerformance:
                 f"{size:>9,}",
                 f"{metadata_ms:.1f}",
                 f"{copy_ms:.1f}",
+                f"{cow_ms:.1f}",
                 f"{native_ms:.1f}",
                 f"{copy_ms / native_ms:.1f}x",
                 f"{direct_ms:.1f}",
@@ -109,6 +125,12 @@ class TestPerformance:
         # ablation: direct access is flat and metadata-priced
         assert max(direct_costs) == min(direct_costs)
         assert direct_costs[-1] < copy_costs[-1] / 10
+        # CoW staging closes most of the gap without opening OMS: a
+        # repeated read-only export is flat, size-independent and priced
+        # exactly like the future-work procedural read
+        assert max(cow_costs) == min(cow_costs)
+        assert cow_costs[-1] < copy_costs[-1] / 10
+        assert cow_costs == direct_costs
 
         # real wall time of the staging copy path on the largest design
         jcf = fresh_jcf()
@@ -123,7 +145,8 @@ class TestPerformance:
             [
                 "design bytes",
                 "metadata op",
-                "staged read (hybrid)",
+                "first staged read (hybrid)",
+                "re-export (CoW hit)",
                 "native read (FMCAD)",
                 "hybrid penalty",
                 "procedural read (ablation)",
@@ -134,8 +157,12 @@ class TestPerformance:
             "\n\npaper claims reproduced: metadata performance is "
             "sufficiently high and\nflat; design-data operations copy "
             "through the file system even for read-only\naccess, "
-            "acceptable for small designs but dominant for complex ones; "
-            "the\nfuture-work procedural interface eliminates the copy."
+            "acceptable for small designs but dominant for complex ones. "
+            "The\nfuture-work procedural interface eliminates the copy — "
+            "and copy-on-write\nstaging closes most of that gap while "
+            "keeping OMS closed: after the first\nexport, repeated "
+            "read-only access is a digest probe, flat and metadata-"
+            "priced,\nidentical in cost to the procedural read."
         )
         report_writer("e36_performance", report)
 

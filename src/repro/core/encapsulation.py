@@ -110,8 +110,14 @@ class _ToolWrapper:
     def _stage_needs(
         self, variant: JCFVariant, viewtypes: Tuple[str, ...]
     ) -> List[Tuple[JCFDesignObjectVersion, bytes]]:
-        """Export each needed design object's latest version via staging."""
-        staged: List[Tuple[JCFDesignObjectVersion, bytes]] = []
+        """Export the needed design objects' latest versions via staging.
+
+        One batched staging request covers all needs: unchanged files
+        already in the staging area are revalidated by digest instead of
+        re-copied, so a rerun of the same activity pays metadata cost
+        only.
+        """
+        versions: List[JCFDesignObjectVersion] = []
         for viewtype in viewtypes:
             dobj = variant.find_design_object(viewtype)
             if dobj is None or dobj.latest_version() is None:
@@ -119,10 +125,14 @@ class _ToolWrapper:
                     f"variant {variant.name!r} has no {viewtype!r} design "
                     "data; run the producing activity first"
                 )
-            version = dobj.latest_version()
-            staged_file = self.jcf.staging.export_object(version.oid)
-            staged.append((version, staged_file.path.read_bytes()))
-        return staged
+            versions.append(dobj.latest_version())
+        staged_files = self.jcf.staging.export_objects(
+            [version.oid for version in versions]
+        )
+        return [
+            (version, staged_file.path.read_bytes())
+            for version, staged_file in zip(versions, staged_files)
+        ]
 
     def _ensure_design_object(
         self, variant: JCFVariant, name: str, viewtype: str

@@ -3,10 +3,16 @@
 [Seep94a] ("Basic Requirements for an Efficient Inter-Framework-
 Communication", by the same authors) motivates moving design data between
 framework islands.  This module packages a JCF project into a portable
-archive — a tar file with a JSON manifest plus one member per
-design-object version — and unpacks such archives into a fresh project,
-so two hybrid installations can exchange designs without sharing a
-database.
+archive — a tar file with a JSON manifest plus one member per *unique
+payload* — and unpacks such archives into a fresh project, so two hybrid
+installations can exchange designs without sharing a database.
+
+Format 2 is content-addressed: every manifest version entry carries the
+payload digest, and payload bytes live under ``data/blobs/<digest>.bin``
+exactly once no matter how many versions share them.  A version-dense
+project where most versions are unchanged re-checkins therefore ships a
+fraction of the naive bytes, and the import side re-interns each unique
+payload once.
 
 The archive intentionally carries the *working-variant* view only (the
 same one-level restriction as a Table 1 export): versions, hierarchy
@@ -28,42 +34,52 @@ from repro.jcf.framework import JCFFramework
 from repro.jcf.project import JCFProject
 
 MANIFEST_NAME = "manifest.json"
-FORMAT = "repro-exchange-1"
+FORMAT = "repro-exchange-2"
 
 
 class ExchangeError(CouplingError):
     """An archive could not be written or read."""
 
 
-def _manifest_for(project: JCFProject, desktop) -> Dict:
-    cells = []
+def _working_design_objects(project: JCFProject):
+    """Yield (cell, design object) pairs of every working variant."""
     for cell in project.cells():
         cell_version = cell.latest_version()
-        objects = []
-        if cell_version is not None:
-            for variant in cell_version.variants():
-                if variant.name != WORKING_VARIANT:
-                    continue
-                for dobj in variant.design_objects():
-                    objects.append({
-                        "name": dobj.name,
-                        "viewtype": dobj.viewtype_name,
-                        "versions": [v.number for v in dobj.versions()],
-                    })
-        cells.append({"name": cell.name, "objects": objects})
+        if cell_version is None:
+            continue
+        for variant in cell_version.variants():
+            if variant.name != WORKING_VARIANT:
+                continue
+            for dobj in variant.design_objects():
+                yield cell, dobj
+
+
+def _manifest_for(project: JCFProject, desktop) -> Dict:
+    cells: Dict[str, List[Dict]] = {cell.name: [] for cell in project.cells()}
+    for cell, dobj in _working_design_objects(project):
+        cells[cell.name].append({
+            "name": dobj.name,
+            "viewtype": dobj.viewtype_name,
+            "versions": [
+                {"number": v.number, "digest": v.payload_digest or ""}
+                for v in dobj.versions()
+            ],
+        })
     return {
         "format": FORMAT,
         "project": project.name,
-        "cells": cells,
+        "cells": [
+            {"name": name, "objects": objects}
+            for name, objects in cells.items()
+        ],
         "hierarchy": [
             list(edge) for edge in desktop.declared_hierarchy(project)
         ],
     }
 
 
-def _member_name(cell: str, dobj: str, number: int) -> str:
-    safe = dobj.replace("/", "__")
-    return f"data/{cell}/{safe}/v{number:04d}.bin"
+def _blob_member_name(digest: str) -> str:
+    return f"data/blobs/{digest}.bin"
 
 
 def export_archive(
@@ -74,34 +90,33 @@ def export_archive(
     """Write *project* (working variants, all versions) to a tar archive.
 
     Payloads leave OMS through the staging area, so the export pays the
-    usual copy costs — an inter-framework transfer is design-data I/O.
+    usual copy costs — but only once per unique payload: versions sharing
+    a digest share one archive member, and the O(1) digest probe decides
+    that without materializing anything.
     """
     path = pathlib.Path(path)
     manifest = _manifest_for(project, jcf.desktop)
+    # one representative version oid per unique payload digest
+    representatives: Dict[str, str] = {}
+    for _cell, dobj in _working_design_objects(project):
+        for version in dobj.versions():
+            digest = version.payload_digest
+            if digest is not None and digest not in representatives:
+                representatives[digest] = version.oid
     with tarfile.open(path, "w") as archive:
         blob = json.dumps(manifest, indent=1, sort_keys=True).encode()
         info = tarfile.TarInfo(MANIFEST_NAME)
         info.size = len(blob)
         archive.addfile(info, io.BytesIO(blob))
-        for cell in project.cells():
-            cell_version = cell.latest_version()
-            if cell_version is None:
-                continue
-            for variant in cell_version.variants():
-                if variant.name != WORKING_VARIANT:
-                    continue
-                for dobj in variant.design_objects():
-                    for version in dobj.versions():
-                        staged = jcf.staging.export_object(version.oid)
-                        payload = staged.path.read_bytes()
-                        jcf.staging.release(version.oid)
-                        member = tarfile.TarInfo(
-                            _member_name(
-                                cell.name, dobj.name, version.number
-                            )
-                        )
-                        member.size = len(payload)
-                        archive.addfile(member, io.BytesIO(payload))
+        digests = sorted(representatives)
+        oids = [representatives[d] for d in digests]
+        staged = jcf.staging.export_objects(oids)
+        for digest, staged_file in zip(digests, staged):
+            payload = staged_file.path.read_bytes()
+            jcf.staging.release(staged_file.oid)
+            member = tarfile.TarInfo(_blob_member_name(digest))
+            member.size = len(payload)
+            archive.addfile(member, io.BytesIO(payload))
     return path
 
 
@@ -133,6 +148,9 @@ def import_archive(
 
     Recreates cells, the working variant with all design-object versions
     (payloads imported into OMS), and the CompOf hierarchy metadata.
+    Each unique payload crosses the OMS boundary once; versions that
+    share it are re-attached by digest, and consecutive versions of one
+    object re-form delta chains as they are stored.
     """
     manifest = read_manifest(path)
     name = project_name or manifest["project"]
@@ -142,7 +160,22 @@ def import_archive(
             "project_name"
         )
     project = jcf.desktop.create_project(user, name)
+    payload_cache: Dict[str, bytes] = {}
     with tarfile.open(path, "r") as archive:
+
+        def blob_payload(digest: str) -> bytes:
+            if digest in payload_cache:
+                return payload_cache[digest]
+            member_name = _blob_member_name(digest)
+            member = archive.extractfile(member_name)
+            if member is None:
+                raise ExchangeError(f"{path}: missing member {member_name}")
+            payload = member.read()
+            # the unique bytes cross the OMS boundary exactly once
+            jcf.clock.charge_copy(len(payload), files=1)
+            payload_cache[digest] = payload
+            return payload
+
         for cell_doc in manifest["cells"]:
             cell = project.create_cell(cell_doc["name"])
             cell_version = cell.create_version()
@@ -151,19 +184,8 @@ def import_archive(
                 dobj = variant.create_design_object(
                     obj_doc["name"], obj_doc["viewtype"]
                 )
-                for number in obj_doc["versions"]:
-                    member_name = _member_name(
-                        cell_doc["name"], obj_doc["name"], number
-                    )
-                    member = archive.extractfile(member_name)
-                    if member is None:
-                        raise ExchangeError(
-                            f"{path}: missing member {member_name}"
-                        )
-                    payload = member.read()
-                    version = dobj.new_version(payload)
-                    # imported data crossed the OMS boundary
-                    jcf.clock.charge_copy(len(payload), files=1)
+                for entry in obj_doc["versions"]:
+                    dobj.new_version(blob_payload(entry["digest"]))
         edges: List[Tuple[str, str]] = [
             (parent, child) for parent, child in manifest["hierarchy"]
         ]

@@ -9,6 +9,8 @@ memory, and the two are reconciled only when a designer refreshes.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import os
 import pathlib
 from typing import Dict, List, Optional, Tuple
 
@@ -68,6 +70,8 @@ class Library:
         self._cells: Dict[str, Cell] = {}
         #: monotone change counter; bumped on every metadata mutation.
         self.tick = 0
+        #: checkins stored as hard links because the data did not change
+        self.dedup_links = 0
 
     # -- opening an existing library from disk ----------------------------------
 
@@ -203,14 +207,36 @@ class Library:
         This is the physical half of a checkin; concurrency rules are
         enforced by :class:`~repro.fmcad.checkout.CheckoutManager`, which
         is the only sanctioned caller during design work.
+
+        A checkin whose bytes match the previous version (the tool only
+        read the data) is stored as a hard link to the existing file —
+        one directory entry, no second copy, per-file overhead only.
         """
         number = cellview.next_version_number()
         path = self._version_path(cellview, number)
-        path.write_bytes(data)
-        self.clock.charge_native_io(len(data), files=1)
+        digest = hashlib.sha256(data).hexdigest()
+        previous = cellview.default_version
+        linked = False
+        if (
+            previous is not None
+            and previous.path.exists()
+            and previous.content_digest() == digest
+        ):
+            try:
+                os.link(previous.path, path)
+                linked = True
+            except OSError:
+                pass  # filesystem without hard links: fall back to a copy
+        if linked:
+            self.clock.charge_native_io(0, files=1)
+            self.dedup_links += 1
+        else:
+            path.write_bytes(data)
+            self.clock.charge_native_io(len(data), files=1)
         version = CellViewVersion(
             number=number, path=path, created_tick=self.tick + 1, author=author
         )
+        version._content_digest = digest
         cellview.add_version(version)
         self._bump()
         return version
@@ -322,5 +348,6 @@ class Library:
             "bytes": sum(
                 v.size for cv in cellviews for v in cv.versions
             ),
+            "dedup_links": self.dedup_links,
             "tick": self.tick,
         }

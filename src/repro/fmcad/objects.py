@@ -15,6 +15,7 @@ The named object kinds follow Section 2.2 verbatim:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import pathlib
 from typing import Dict, List, Optional
 
@@ -114,6 +115,9 @@ class CellViewVersion:
         self.path = pathlib.Path(path)
         self.created_tick = created_tick
         self.author = author
+        # version files are immutable once written, so their content
+        # digest can be cached; Library.write_version sets it eagerly
+        self._content_digest: Optional[str] = None
         # properties live next to the design file and survive restarts
         self.properties = PersistentPropertyBag(
             self.path.with_name(self.path.name + ".props")
@@ -124,6 +128,12 @@ class CellViewVersion:
         if not self.path.exists():
             raise FMCADError(f"version file missing: {self.path}")
         return self.path.read_bytes()
+
+    def content_digest(self) -> str:
+        """Content address of the version file (cached after first read)."""
+        if self._content_digest is None:
+            self._content_digest = hashlib.sha256(self.read_data()).hexdigest()
+        return self._content_digest
 
     @property
     def size(self) -> int:

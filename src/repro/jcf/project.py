@@ -374,14 +374,22 @@ class JCFDesignObject(_Wrapper):
     def new_version(
         self, payload: bytes, directory_path: str = ""
     ) -> "JCFDesignObjectVersion":
-        """Store a new design-object version with *payload* in OMS."""
+        """Store a new design-object version with *payload* in OMS.
+
+        The payload is delta-encoded against the previous version when
+        that saves space — version chains of small edits cost roughly one
+        full payload plus the edits, not N full copies.  Reconstruction
+        is transparent to every reader.
+        """
         latest = self.latest_version()
         number = latest.number + 1 if latest else 1
+        base = self._db.payload_stat(latest.oid) if latest else None
         with self._db.transaction():
             obj = self._db.create(
                 "DesignObjectVersion",
                 {"number": number, "directory_path": directory_path},
                 payload=payload,
+                payload_delta_base=base.digest if base else None,
             )
             self._db.link("dov_of", self.oid, obj.oid)
         return JCFDesignObjectVersion(self._db, obj)
@@ -422,7 +430,13 @@ class JCFDesignObjectVersion(_Wrapper):
 
     @property
     def payload_size(self) -> int:
+        """Payload size — an O(1) blob-table probe, no bytes materialized."""
         return self._db.get(self.oid).payload_size
+
+    @property
+    def payload_digest(self) -> Optional[str]:
+        """Content digest of the payload — O(1), no bytes materialized."""
+        return self._db.get(self.oid).payload_digest
 
     # -- Figure 1 'derived' / 'equivalent' relations -----------------------------
 

@@ -72,6 +72,45 @@ class VersioningService:
             for obj in self._db.targets("cv_precedes", cell_version.oid)
         ]
 
+    def chain_storage(self, design_object: JCFDesignObject) -> Dict[str, int]:
+        """Storage shape of a design object's version chain.
+
+        ``logical_bytes`` is what N full copies would occupy;
+        ``stored_bytes`` is what the content-addressed store actually
+        holds (full payloads plus delta middles).  The gap is the E36
+        delta-chain saving; ``max_depth`` stays bounded by
+        :attr:`~repro.oms.blobs.BlobStore.MAX_CHAIN_DEPTH`.
+        """
+        logical = 0
+        stored = 0
+        full = 0
+        deltas = 0
+        max_depth = 0
+        seen: set = set()
+        for version in design_object.versions():
+            shape = self._db.describe_payload(version.oid)
+            if shape is None:
+                continue
+            logical += shape["size"]
+            digest = self._db.payload_stat(version.oid).digest
+            if digest in seen:
+                continue  # identical payloads share one stored blob
+            seen.add(digest)
+            stored += shape["stored_bytes"]
+            if shape["is_delta"]:
+                deltas += 1
+            else:
+                full += 1
+            max_depth = max(max_depth, shape["depth"])
+        return {
+            "versions": len(design_object.versions()),
+            "logical_bytes": logical,
+            "stored_bytes": stored,
+            "full_payloads": full,
+            "delta_payloads": deltas,
+            "max_depth": max_depth,
+        }
+
     # -- two-level state enumeration (E32) --------------------------------------
 
     def states_of_cell(self, cell: JCFCell) -> List[VersionedState]:

@@ -45,8 +45,10 @@ class WorkspaceManager:
         existing = self._db.target_oids("workspace_of", user.oid)
         if existing:
             return self._db.get(existing[0])
-        workspace = self._db.create("Workspace", {"owner": user_name})
-        self._db.link("workspace_of", user.oid, workspace.oid)
+        # atomically: a failed link must not leak an orphan workspace
+        with self._db.transaction():
+            workspace = self._db.create("Workspace", {"owner": user_name})
+            self._db.link("workspace_of", user.oid, workspace.oid)
         return workspace
 
     # -- reservation protocol -----------------------------------------------------

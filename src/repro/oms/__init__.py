@@ -15,6 +15,7 @@ properties matter for the reproduction and are enforced here:
 """
 
 from repro.oms.schema import AttributeDef, EntityType, RelationshipDef, Schema
+from repro.oms.blobs import BlobStat, BlobStore, PayloadHandle, digest_bytes
 from repro.oms.objects import OMSObject
 from repro.oms.database import OMSDatabase
 from repro.oms.transactions import Transaction
@@ -27,6 +28,10 @@ __all__ = [
     "EntityType",
     "RelationshipDef",
     "Schema",
+    "BlobStat",
+    "BlobStore",
+    "PayloadHandle",
+    "digest_bytes",
     "OMSObject",
     "OMSDatabase",
     "Transaction",

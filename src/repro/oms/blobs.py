@@ -1,0 +1,320 @@
+"""Content-addressed payload storage for OMS design data.
+
+Section 3.6 blames design-data operations — whole-file copies "to and
+from the database via the UNIX file system", even for read-only access —
+for the hybrid framework's cost on realistic designs.  The copy is only
+necessary when the bytes on either side actually differ, and in a
+version-dense design database most bytes are shared: re-exports of
+unchanged data, re-imports after read-only tool runs, and version chains
+where each version is a small edit of its predecessor.
+
+``BlobStore`` makes that sharing explicit:
+
+* **Digest addressing.**  Every payload is keyed by the SHA-256 digest of
+  its full content.  Storing the same bytes twice costs one reference
+  count bump, never a second copy (``dedup_hits`` counts these).
+* **Reference counting.**  Objects hold references to blobs; a blob's
+  bytes are freed exactly when the last reference drops.  Refcounts are
+  asserted non-negative — a buggy caller raises instead of corrupting.
+* **Delta chains.**  A payload may be stored as a *delta* against a base
+  blob (common prefix + common suffix + replaced middle).  Reconstruction
+  is transparent; :meth:`BlobStore.stat` answers digest/size probes in
+  O(1) without ever materializing bytes.  A delta holds a reference on
+  its base, so bases stay alive while dependents exist.  Chain depth is
+  bounded by :attr:`BlobStore.MAX_CHAIN_DEPTH`: once a chain is that
+  deep the next payload is stored in full, which bounds reconstruction
+  work at ``O(MAX_CHAIN_DEPTH)`` delta applications.
+
+The store is deliberately clock-agnostic: cost accounting stays with the
+staging area and database, which decide what a dedup hit is *worth*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, List, Optional
+
+from repro.errors import OMSError
+
+
+def digest_bytes(data: bytes) -> str:
+    """The content address of *data*: hex SHA-256."""
+    return hashlib.sha256(data).hexdigest()
+
+
+#: digest of the empty payload — what an absent/empty design file hashes to
+EMPTY_DIGEST = digest_bytes(b"")
+
+#: fixed bookkeeping overhead assumed per delta entry (bytes); a delta is
+#: only worth storing when middle + overhead undercuts the full payload
+_DELTA_OVERHEAD = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class BlobStat:
+    """O(1) answer to "what would these bytes be?" — no materialization."""
+
+    digest: str
+    size: int
+
+
+class _Entry:
+    """One stored blob: full bytes, or a delta against ``base_digest``."""
+
+    __slots__ = (
+        "refcount", "size", "depth",
+        "data", "base_digest", "prefix_len", "suffix_len", "middle",
+    )
+
+    def __init__(
+        self,
+        size: int,
+        data: Optional[bytes] = None,
+        base_digest: Optional[str] = None,
+        prefix_len: int = 0,
+        suffix_len: int = 0,
+        middle: bytes = b"",
+        depth: int = 0,
+    ) -> None:
+        self.refcount = 1
+        self.size = size
+        self.depth = depth
+        self.data = data
+        self.base_digest = base_digest
+        self.prefix_len = prefix_len
+        self.suffix_len = suffix_len
+        self.middle = middle
+
+    @property
+    def is_delta(self) -> bool:
+        return self.data is None
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes this entry actually occupies (middle only, for deltas)."""
+        if self.is_delta:
+            return len(self.middle) + _DELTA_OVERHEAD
+        return len(self.data)
+
+
+class BlobStore:
+    """Digest-keyed, refcounted, delta-capable payload table."""
+
+    #: longest allowed base chain under a delta; beyond this the payload
+    #: is stored in full, flattening the chain (bounds reconstruction)
+    MAX_CHAIN_DEPTH = 64
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, _Entry] = {}
+        #: payloads interned that were already present (copies avoided)
+        self.dedup_hits = 0
+        #: payloads stored as deltas instead of full copies
+        self.delta_stores = 0
+
+    # -- storing -------------------------------------------------------------
+
+    def intern(
+        self, data: bytes, base_digest: Optional[str] = None
+    ) -> str:
+        """Store *data* (dedup by content) and take one reference on it.
+
+        When *base_digest* names a stored blob, the new payload is
+        delta-encoded against it if that actually saves space and the
+        chain stays under :attr:`MAX_CHAIN_DEPTH`.  Returns the digest.
+        """
+        digest = digest_bytes(data)
+        entry = self._entries.get(digest)
+        if entry is not None:
+            entry.refcount += 1
+            self.dedup_hits += 1
+            return digest
+        entry = self._encode(data, base_digest)
+        self._entries[digest] = entry
+        return digest
+
+    def _encode(self, data: bytes, base_digest: Optional[str]) -> _Entry:
+        base = (
+            self._entries.get(base_digest)
+            if base_digest is not None
+            else None
+        )
+        if base is None or base.depth >= self.MAX_CHAIN_DEPTH:
+            return _Entry(size=len(data), data=data)
+        base_bytes = self.materialize(base_digest)
+        prefix = _common_prefix(base_bytes, data)
+        suffix = _common_suffix(base_bytes[prefix:], data[prefix:])
+        middle = data[prefix:len(data) - suffix]
+        if len(middle) + _DELTA_OVERHEAD >= len(data):
+            return _Entry(size=len(data), data=data)
+        base.refcount += 1  # the delta keeps its base alive
+        self.delta_stores += 1
+        return _Entry(
+            size=len(data),
+            base_digest=base_digest,
+            prefix_len=prefix,
+            suffix_len=suffix,
+            middle=middle,
+            depth=base.depth + 1,
+        )
+
+    # -- reading -------------------------------------------------------------
+
+    def contains(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def stat(self, digest: str) -> BlobStat:
+        """Digest and size in O(1) — never touches payload bytes."""
+        return BlobStat(digest=digest, size=self._require(digest).size)
+
+    def materialize(self, digest: str) -> bytes:
+        """Reconstruct the full payload, applying the delta chain."""
+        chain: List[_Entry] = []
+        entry = self._require(digest)
+        while entry.is_delta:
+            chain.append(entry)
+            entry = self._require(entry.base_digest)
+        data = entry.data
+        for delta in reversed(chain):
+            tail = data[len(data) - delta.suffix_len:] if delta.suffix_len else b""
+            data = data[:delta.prefix_len] + delta.middle + tail
+        return data
+
+    def describe(self, digest: str) -> Dict[str, int]:
+        """Storage shape of one entry (for experiments and assertions)."""
+        entry = self._require(digest)
+        return {
+            "size": entry.size,
+            "stored_bytes": entry.stored_bytes,
+            "depth": entry.depth,
+            "refcount": entry.refcount,
+            "is_delta": int(entry.is_delta),
+        }
+
+    # -- reference management ------------------------------------------------
+
+    def incref(self, digest: str) -> None:
+        self._require(digest).refcount += 1
+
+    def decref(self, digest: str) -> None:
+        """Drop one reference; frees the entry when none remain."""
+        entry = self._require(digest)
+        entry.refcount -= 1
+        if entry.refcount == 0:
+            self._free(digest, entry)
+
+    def release(self, digest: str) -> Optional[bytes]:
+        """Like :meth:`decref`, but hands back the bytes if this was the
+        last reference — the hook transaction undo journals use so a
+        rolled-back overwrite can re-intern exactly what was freed."""
+        entry = self._require(digest)
+        if entry.refcount == 1:
+            data = self.materialize(digest)
+            entry.refcount = 0
+            self._free(digest, entry)
+            return data
+        entry.refcount -= 1
+        return None
+
+    def _free(self, digest: str, entry: _Entry) -> None:
+        del self._entries[digest]
+        if entry.is_delta:
+            self.decref(entry.base_digest)  # may cascade up the chain
+
+    def _require(self, digest: str) -> _Entry:
+        entry = self._entries.get(digest)
+        if entry is None:
+            raise OMSError(f"unknown blob: {digest!r}")
+        if entry.refcount <= 0:  # pragma: no cover - internal invariant
+            raise OMSError(
+                f"blob {digest!r} refcount {entry.refcount} is not positive"
+            )
+        return entry
+
+    # -- statistics and invariants -------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Dedup/delta effectiveness counters for experiments."""
+        full = sum(1 for e in self._entries.values() if not e.is_delta)
+        return {
+            "blobs": len(self._entries),
+            "full_blobs": full,
+            "delta_blobs": len(self._entries) - full,
+            "logical_bytes": sum(e.size for e in self._entries.values()),
+            "stored_bytes": sum(
+                e.stored_bytes for e in self._entries.values()
+            ),
+            "dedup_hits": self.dedup_hits,
+            "delta_stores": self.delta_stores,
+            "max_chain_depth": max(
+                (e.depth for e in self._entries.values()), default=0
+            ),
+        }
+
+    def check(self) -> None:
+        """Raise :class:`OMSError` on any broken store invariant.
+
+        Used by the property tests: refcounts strictly positive, every
+        delta's base present, depths consistent, and every entry
+        reconstructing to bytes that hash back to its own key.
+        """
+        for digest, entry in self._entries.items():
+            if entry.refcount <= 0:
+                raise OMSError(
+                    f"blob {digest!r}: refcount {entry.refcount} <= 0"
+                )
+            if entry.is_delta:
+                base = self._entries.get(entry.base_digest)
+                if base is None:
+                    raise OMSError(
+                        f"blob {digest!r}: missing base {entry.base_digest!r}"
+                    )
+                if entry.depth != base.depth + 1:
+                    raise OMSError(f"blob {digest!r}: inconsistent depth")
+            data = self.materialize(digest)
+            if len(data) != entry.size or digest_bytes(data) != digest:
+                raise OMSError(
+                    f"blob {digest!r}: reconstruction does not match key"
+                )
+
+
+class PayloadHandle:
+    """An object's reference to its interned payload.
+
+    The handle never caches bytes: size and digest probes are O(1)
+    against the store, and :meth:`materialize` reconstructs on demand.
+    One handle corresponds to exactly one store reference, owned by the
+    database primitives that created it.
+    """
+
+    __slots__ = ("store", "digest")
+
+    def __init__(self, store: BlobStore, digest: str) -> None:
+        self.store = store
+        self.digest = digest
+
+    @property
+    def size(self) -> int:
+        return self.store.stat(self.digest).size
+
+    def materialize(self) -> bytes:
+        return self.store.materialize(self.digest)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PayloadHandle {self.digest[:12]}>"
+
+
+def _common_prefix(a: bytes, b: bytes) -> int:
+    bound = min(len(a), len(b))
+    lo = 0
+    while lo < bound and a[lo] == b[lo]:
+        lo += 1
+    return lo
+
+
+def _common_suffix(a: bytes, b: bytes) -> int:
+    bound = min(len(a), len(b))
+    n = 0
+    while n < bound and a[len(a) - 1 - n] == b[len(b) - 1 - n]:
+        n += 1
+    return n

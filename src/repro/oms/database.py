@@ -12,6 +12,7 @@ from repro.errors import (
     UnknownObjectError,
 )
 from repro.ids import IdAllocator, sort_key
+from repro.oms.blobs import BlobStat, BlobStore, PayloadHandle
 from repro.oms.links import LinkStore
 from repro.oms.objects import OMSObject
 from repro.oms.schema import RelationshipDef, Schema
@@ -65,6 +66,9 @@ class OMSDatabase:
         self.clock = clock or SimClock()
         self._allocator = allocator or IdAllocator()
         self._objects: Dict[str, OMSObject] = {}
+        #: content-addressed payload table; every stored payload is
+        #: interned here, so identical design data is held exactly once
+        self._blobs = BlobStore()
         #: adjacency-indexed link store; mutated ONLY via _link_add/_link_remove
         self._link_index = LinkStore()
         self._active_txn: Optional[Transaction] = None
@@ -106,17 +110,28 @@ class OMSDatabase:
         type_name: str,
         values: Optional[Dict[str, Any]] = None,
         payload: Optional[bytes] = None,
+        payload_delta_base: Optional[str] = None,
     ) -> OMSObject:
-        """Create and store a new object of entity type *type_name*."""
+        """Create and store a new object of entity type *type_name*.
+
+        *payload_delta_base* may name the digest of an already-stored
+        blob (typically the previous version of the same design object);
+        the new payload is then delta-encoded against it when worthwhile.
+        """
         entity = self.schema.entity(type_name)
         complete = entity.validate_values(values or {})
         oid = self._allocator.allocate(type_name)
-        obj = OMSObject(oid, entity, complete, payload)
+        handle = self._intern_payload(payload, payload_delta_base)
+        obj = OMSObject(oid, entity, complete, handle)
         self._objects[oid] = obj
         self.clock.charge_metadata_op()
 
         def undo() -> None:
             self._objects.pop(oid, None)
+            if handle is not None:
+                # the object is gone for good, so a plain decref suffices
+                self._blobs.decref(handle.digest)
+                obj._payload = None
             # stale references held by typed wrappers must observe the
             # rollback, exactly as they observe delete()
             obj._deleted = True
@@ -146,9 +161,16 @@ class OMSDatabase:
         removed_links = self._link_index.remove_touching(oid)
         del self._objects[oid]
         obj._deleted = True
+        handle = obj.payload_handle
+        freed = self._drop_payload_ref(handle.digest) if handle else None
         self.clock.charge_metadata_op()
 
         def undo() -> None:
+            if handle is not None:
+                if freed is not None:
+                    self._blobs.intern(freed)
+                else:
+                    self._blobs.incref(handle.digest)
             self._objects[oid] = obj
             obj._deleted = False
             for rel_name, pair in removed_links:
@@ -163,16 +185,92 @@ class OMSDatabase:
         self.clock.charge_metadata_op()
         self._journal(lambda: obj._set(name, previous))
 
-    def set_payload(self, oid: str, payload: Optional[bytes]) -> None:
-        """Replace an object's design-data payload (journalled)."""
+    def set_payload(
+        self,
+        oid: str,
+        payload: Optional[bytes],
+        payload_delta_base: Optional[str] = None,
+    ) -> None:
+        """Replace an object's design-data payload (journalled).
+
+        The bytes are interned into the content-addressed blob store:
+        writing a payload some other object already holds costs a
+        refcount bump, not a second copy.
+        """
         obj = self.get(oid)
-        previous = obj.payload
-        obj.payload = payload
+        previous = obj.payload_handle
+        handle = self._intern_payload(payload, payload_delta_base)
+        obj._payload = handle
+        freed = (
+            self._drop_payload_ref(previous.digest)
+            if previous is not None
+            else None
+        )
 
         def undo() -> None:
-            obj.payload = previous
+            # restore the previous reference BEFORE dropping the new one:
+            # when both are the same blob, the reverse order would free
+            # the entry and then incref a digest that no longer exists
+            if previous is not None:
+                if freed is not None:
+                    # the last reference was dropped; re-intern the exact
+                    # bytes so the digest (and `previous` handle) is valid
+                    # again
+                    self._blobs.intern(freed)
+                else:
+                    self._blobs.incref(previous.digest)
+            if handle is not None:
+                self._blobs.decref(handle.digest)
+            obj._payload = previous
 
         self._journal(undo)
+
+    def payload_stat(self, oid: str) -> Optional[BlobStat]:
+        """Digest and size of an object's payload in O(1) — no bytes read.
+
+        Returns ``None`` when the object has no payload.  This is the
+        probe the copy-on-write staging area uses to decide whether a
+        staged file is already up to date.
+        """
+        handle = self.get(oid).payload_handle
+        if handle is None:
+            return None
+        return self._blobs.stat(handle.digest)
+
+    def describe_payload(self, oid: str) -> Optional[Dict[str, int]]:
+        """Storage shape (full/delta, stored bytes, chain depth) of a payload."""
+        handle = self.get(oid).payload_handle
+        if handle is None:
+            return None
+        return self._blobs.describe(handle.digest)
+
+    def blob_stats(self) -> Dict[str, int]:
+        """Dedup/delta counters of the content-addressed payload store."""
+        return self._blobs.stats()
+
+    def check_blobs(self) -> None:
+        """Verify every blob-store invariant (property-test hook)."""
+        self._blobs.check()
+
+    def _intern_payload(
+        self, payload: Optional[bytes], base_digest: Optional[str] = None
+    ) -> Optional[PayloadHandle]:
+        if payload is None:
+            return None
+        return PayloadHandle(self._blobs, self._blobs.intern(payload, base_digest))
+
+    def _drop_payload_ref(self, digest: str) -> Optional[bytes]:
+        """Drop one payload reference; keep the bytes only if an active
+        transaction might need them back on abort."""
+        if self._active_txn is not None:
+            return self._blobs.release(digest)
+        self._blobs.decref(digest)
+        return None
+
+    def _attach_payload(self, obj: OMSObject, payload: Optional[bytes]) -> None:
+        """Intern *payload* for an object being inserted directly (snapshot
+        restore) — bypasses journalling, which restore does not need."""
+        obj._payload = self._intern_payload(payload)
 
     # -- links ---------------------------------------------------------------
     #
@@ -377,4 +475,5 @@ class OMSDatabase:
                 for name in self._link_index.relation_names()
             },
             "payload_bytes": payload_bytes,
+            "blobs": self._blobs.stats(),
         }

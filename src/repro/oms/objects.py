@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.errors import SchemaError
+from repro.oms.blobs import PayloadHandle, digest_bytes
 from repro.oms.schema import EntityType
 
 
@@ -14,23 +15,27 @@ class OMSObject:
     Attribute reads go through :meth:`get`; attribute writes must go
     through the owning database so they are schema-checked and journalled
     by the active transaction.  Design-data payloads (the actual contents
-    of design files) live in ``payload`` as raw bytes — OMS stores design
-    data as opaque blobs that are only reachable via file staging.
+    of design files) are opaque blobs only reachable via file staging:
+    inside a database they are interned into its content-addressed
+    :class:`~repro.oms.blobs.BlobStore` and held here as a
+    :class:`~repro.oms.blobs.PayloadHandle`; a standalone object (built
+    outside any database, e.g. in unit tests) keeps raw bytes.  Reading
+    ``payload`` transparently materializes either form.
     """
 
-    __slots__ = ("oid", "entity_type", "_values", "payload", "_deleted")
+    __slots__ = ("oid", "entity_type", "_values", "_payload", "_deleted")
 
     def __init__(
         self,
         oid: str,
         entity_type: EntityType,
         values: Dict[str, Any],
-        payload: Optional[bytes] = None,
+        payload: Union[bytes, PayloadHandle, None] = None,
     ) -> None:
         self.oid = oid
         self.entity_type = entity_type
         self._values = dict(values)
-        self.payload = payload
+        self._payload = payload
         self._deleted = False
 
     # -- attribute access ----------------------------------------------------
@@ -59,10 +64,50 @@ class OMSObject:
         self._values[name] = value
         return previous
 
+    # -- payload access ------------------------------------------------------
+
+    @property
+    def payload(self) -> Optional[bytes]:
+        """The design-data bytes (materialized from the blob store)."""
+        if isinstance(self._payload, PayloadHandle):
+            return self._payload.materialize()
+        return self._payload
+
+    @payload.setter
+    def payload(self, value: Union[bytes, PayloadHandle, None]) -> None:
+        # Only the owning database assigns handles; everyone else stores
+        # raw bytes (standalone objects never see a blob store).
+        self._payload = value
+
+    @property
+    def payload_handle(self) -> Optional[PayloadHandle]:
+        """The interned-payload handle, if this object lives in a database."""
+        if isinstance(self._payload, PayloadHandle):
+            return self._payload
+        return None
+
     @property
     def payload_size(self) -> int:
-        """Size in bytes of the design-data payload (0 when absent)."""
-        return len(self.payload) if self.payload else 0
+        """Size in bytes of the design-data payload (0 when absent).
+
+        O(1) for interned payloads — a blob-table probe, no bytes read.
+        """
+        if isinstance(self._payload, PayloadHandle):
+            return self._payload.size
+        return len(self._payload) if self._payload else 0
+
+    @property
+    def payload_digest(self) -> Optional[str]:
+        """Content digest of the payload, ``None`` when absent.
+
+        O(1) for interned payloads; standalone raw bytes are hashed on
+        demand.
+        """
+        if isinstance(self._payload, PayloadHandle):
+            return self._payload.digest
+        if self._payload is None:
+            return None
+        return digest_bytes(self._payload)
 
     @property
     def type_name(self) -> str:

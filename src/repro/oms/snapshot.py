@@ -110,7 +110,11 @@ def restore_snapshot(
             if entry["payload"] is not None
             else None
         )
-        obj = OMSObject(entry["oid"], entity, values, payload)
+        obj = OMSObject(entry["oid"], entity, values)
+        # intern through the blob store so payloads shared across objects
+        # are deduplicated on restore too (delta chains are flattened by
+        # the dump; dedup is by content, so restore keeps one copy each)
+        database._attach_payload(obj, payload)
         database._objects[entry["oid"]] = obj
         database._allocator.observe(entry["oid"])
     for rel_name, pairs in doc["links"].items():

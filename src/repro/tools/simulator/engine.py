@@ -21,6 +21,11 @@ class Netlist:
         self.outputs: List[str] = []
         self._gates: Dict[str, Gate] = {}
         self._driver_of: Dict[str, str] = {}
+        #: net -> gates reading it, appended by add_gate; sorted lazily so
+        #: readers_of() is O(degree), not a rescan of every gate
+        self._fanout: Dict[str, List[Gate]] = {}
+        self._fanout_dirty: Set[str] = set()
+        self._nets_cache: Optional[List[str]] = None
 
     def add_input(self, net: str) -> None:
         if net in self.inputs:
@@ -28,11 +33,13 @@ class Netlist:
         if net in self._driver_of:
             raise SimulationError(f"primary input {net!r} is gate-driven")
         self.inputs.append(net)
+        self._nets_cache = None
 
     def add_output(self, net: str) -> None:
         if net in self.outputs:
             raise SimulationError(f"duplicate primary output {net!r}")
         self.outputs.append(net)
+        self._nets_cache = None
 
     def add_gate(self, gate: Gate) -> Gate:
         if gate.name in self._gates:
@@ -48,6 +55,12 @@ class Netlist:
             )
         self._gates[gate.name] = gate
         self._driver_of[gate.output] = gate.name
+        # dict.fromkeys dedups a net wired to several pins of one gate —
+        # the gate must still appear once in that net's fanout
+        for net in dict.fromkeys(gate.inputs):
+            self._fanout.setdefault(net, []).append(gate)
+            self._fanout_dirty.add(net)
+        self._nets_cache = None
         return gate
 
     def gates(self) -> List[Gate]:
@@ -60,14 +73,22 @@ class Netlist:
             raise SimulationError(f"no gate {name!r}") from None
 
     def nets(self) -> List[str]:
-        found: Set[str] = set(self.inputs) | set(self.outputs)
-        for gate in self._gates.values():
-            found.update(gate.inputs)
-            found.add(gate.output)
-        return sorted(found)
+        if self._nets_cache is None:
+            found: Set[str] = set(self.inputs) | set(self.outputs)
+            for gate in self._gates.values():
+                found.update(gate.inputs)
+                found.add(gate.output)
+            self._nets_cache = sorted(found)
+        return list(self._nets_cache)
 
     def readers_of(self, net: str) -> List[Gate]:
-        return [g for g in self.gates() if net in g.inputs]
+        readers = self._fanout.get(net)
+        if readers is None:
+            return []
+        if net in self._fanout_dirty:
+            readers.sort(key=lambda g: g.name)
+            self._fanout_dirty.discard(net)
+        return list(readers)
 
     def validate(self) -> List[str]:
         """Structural checks; returns a list of problems (empty = clean)."""

@@ -56,7 +56,19 @@ class TestExport:
             for obj in c["objects"]
             if obj["viewtype"] == "schematic"
         )
-        assert schematic["versions"] == [1, 2]
+        assert [entry["number"] for entry in schematic["versions"]] == [1, 2]
+        # both versions have identical content (a re-save), so format 2
+        # records the same digest twice and ships the payload once
+        digests = {entry["digest"] for entry in schematic["versions"]}
+        assert len(digests) == 1
+        import tarfile
+
+        with tarfile.open(path) as archive:
+            blob_members = [
+                name for name in archive.getnames()
+                if name.startswith("data/blobs/")
+            ]
+        assert len(blob_members) == len(set(blob_members))
 
 
 class TestImport:

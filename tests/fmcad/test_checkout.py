@@ -111,7 +111,12 @@ class TestAccounting:
         with pytest.raises(LockedError):
             manager.checkout("bob", library, "alu", "schematic")
         stats = manager.stats()
-        assert stats == {"active": 1, "granted": 1, "denied": 1}
+        assert stats == {
+            "active": 1,
+            "granted": 1,
+            "denied": 1,
+            "validated_working_files": 0,
+        }
         manager.checkin(ticket, library, b"x")
         assert manager.stats()["active"] == 0
 

@@ -17,6 +17,27 @@ def cell_version(jcf):
     return cell.create_version()
 
 
+class TestWorkspaceCreation:
+    def test_failed_link_leaks_no_orphan_workspace(self, jcf, monkeypatch):
+        """workspace_for is atomic: create + workspace_of link together."""
+        original_link = jcf.db.link
+
+        def failing_link(rel_name, source_oid, target_oid):
+            if rel_name == "workspace_of":
+                raise RuntimeError("simulated link failure")
+            return original_link(rel_name, source_oid, target_oid)
+
+        monkeypatch.setattr(jcf.db, "link", failing_link)
+        with pytest.raises(RuntimeError):
+            jcf.workspaces.workspace_for("alice")
+        monkeypatch.undo()
+        assert jcf.db.count("Workspace") == 0
+        # a retry after the failure works and creates exactly one
+        workspace = jcf.workspaces.workspace_for("alice")
+        assert workspace.get("owner") == "alice"
+        assert jcf.db.count("Workspace") == 1
+
+
 class TestReservation:
     def test_reserve_grants_write(self, jcf, cell_version):
         jcf.workspaces.reserve("alice", cell_version)

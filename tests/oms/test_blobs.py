@@ -1,0 +1,132 @@
+"""Unit tests for the content-addressed payload store."""
+
+import pytest
+
+from repro.errors import OMSError
+from repro.oms.blobs import BlobStore, digest_bytes
+
+
+@pytest.fixture
+def store():
+    return BlobStore()
+
+
+class TestInterning:
+    def test_intern_returns_content_digest(self, store):
+        digest = store.intern(b"hello")
+        assert digest == digest_bytes(b"hello")
+        assert store.materialize(digest) == b"hello"
+
+    def test_identical_payloads_stored_once(self, store):
+        d1 = store.intern(b"same bytes")
+        d2 = store.intern(b"same bytes")
+        assert d1 == d2
+        stats = store.stats()
+        assert stats["blobs"] == 1
+        assert stats["dedup_hits"] == 1
+        assert store.describe(d1)["refcount"] == 2
+
+    def test_stat_is_exact_without_materializing(self, store):
+        digest = store.intern(b"x" * 12345)
+        stat = store.stat(digest)
+        assert stat.size == 12345
+        assert stat.digest == digest
+
+    def test_unknown_digest_raises(self, store):
+        with pytest.raises(OMSError):
+            store.stat("deadbeef")
+        with pytest.raises(OMSError):
+            store.materialize("deadbeef")
+
+
+class TestRefcounting:
+    def test_decref_frees_at_zero(self, store):
+        digest = store.intern(b"transient")
+        store.decref(digest)
+        assert not store.contains(digest)
+
+    def test_release_returns_bytes_only_when_freed(self, store):
+        digest = store.intern(b"payload")
+        store.incref(digest)
+        assert store.release(digest) is None  # one reference remains
+        assert store.release(digest) == b"payload"
+        assert not store.contains(digest)
+
+    def test_decref_below_zero_raises(self, store):
+        digest = store.intern(b"x")
+        store.decref(digest)
+        with pytest.raises(OMSError):
+            store.decref(digest)
+
+
+class TestDeltaChains:
+    def test_small_edit_stored_as_delta(self, store):
+        base = b"A" * 10_000
+        edited = b"A" * 5_000 + b"PATCH" + b"A" * 5_000
+        base_digest = store.intern(base)
+        edited_digest = store.intern(edited, base_digest=base_digest)
+        shape = store.describe(edited_digest)
+        assert shape["is_delta"] == 1
+        assert shape["stored_bytes"] < 1_000
+        assert store.materialize(edited_digest) == edited
+
+    def test_unrelated_payload_stored_full(self, store):
+        base_digest = store.intern(b"A" * 100)
+        other_digest = store.intern(b"B" * 100, base_digest=base_digest)
+        assert store.describe(other_digest)["is_delta"] == 0
+
+    def test_tiny_payload_never_delta(self, store):
+        # middle + overhead >= full payload: delta not worthwhile
+        base_digest = store.intern(b"ab")
+        digest = store.intern(b"ac", base_digest=base_digest)
+        assert store.describe(digest)["is_delta"] == 0
+
+    def test_chain_depth_bounded(self, store):
+        data = bytearray(b"x" * 2_000)
+        digest = store.intern(bytes(data))
+        for i in range(BlobStore.MAX_CHAIN_DEPTH + 10):
+            data[i % 2_000] = (data[i % 2_000] + 1) % 256
+            digest = store.intern(bytes(data), base_digest=digest)
+        assert store.stats()["max_chain_depth"] <= BlobStore.MAX_CHAIN_DEPTH
+        assert store.materialize(digest) == bytes(data)
+
+    def test_base_kept_alive_by_delta(self, store):
+        base = b"B" * 1_000
+        edited = base[:-10] + b"0123456789"
+        base_digest = store.intern(base)
+        edited_digest = store.intern(edited, base_digest=base_digest)
+        assert store.describe(edited_digest)["is_delta"] == 1
+        store.decref(base_digest)  # the delta's reference keeps it stored
+        assert store.materialize(edited_digest) == edited
+        store.decref(edited_digest)  # cascades: frees delta, then base
+        assert not store.contains(base_digest)
+        assert not store.contains(edited_digest)
+
+    def test_delta_against_missing_base_stores_full(self, store):
+        digest = store.intern(b"y" * 500, base_digest="no-such-digest")
+        assert store.describe(digest)["is_delta"] == 0
+
+    def test_prefix_and_suffix_both_used(self, store):
+        base = b"HEAD" + b"m" * 1_000 + b"TAIL"
+        edited = b"HEAD" + b"n" * 1_000 + b"TAIL"
+        base_digest = store.intern(base)
+        edited_digest = store.intern(edited, base_digest=base_digest)
+        assert store.materialize(edited_digest) == edited
+
+    def test_version_chain_costs_one_full_payload_plus_deltas(self, store):
+        """The E36 storage claim at the store level."""
+        payload = bytearray(b"d" * 50_000)
+        digest = store.intern(bytes(payload))
+        for i in range(49):
+            payload[i * 10] = ord("e")
+            digest = store.intern(bytes(payload), base_digest=digest)
+        stats = store.stats()
+        assert stats["full_blobs"] == 1
+        assert stats["delta_blobs"] == 49
+        assert stats["stored_bytes"] < 50_000 + 49 * 1_000
+        assert stats["logical_bytes"] == 50 * 50_000
+
+    def test_check_passes_on_live_store(self, store):
+        base = store.intern(b"q" * 300)
+        store.intern(b"q" * 200 + b"r" * 100, base_digest=base)
+        store.check()

@@ -63,10 +63,119 @@ class TestImport:
             staging.import_object(obj.oid, tmp_path / "ghost.dat")
 
 
+class TestCopyOnWrite:
+    def test_reexport_unchanged_is_metadata_only(self, db, staging):
+        obj = db.create("Thing", {"name": "x"}, payload=b"d" * 10_000)
+        staging.export_object(obj.oid)
+        copied = db.clock.elapsed_by_category()["copy"]
+        staging.export_object(obj.oid)  # file already valid on disk
+        acc = staging.accounting()
+        assert acc["export_hits"] == 1
+        assert acc["bytes_exported"] == 10_000  # only the first copy
+        assert db.clock.elapsed_by_category()["copy"] == copied
+
+    def test_reexport_after_tool_clobbered_file_recopies(self, db, staging):
+        obj = db.create("Thing", {"name": "x"}, payload=b"good data")
+        staged = staging.export_object(obj.oid)
+        staged.path.write_bytes(b"scribbled")
+        staged = staging.export_object(obj.oid)
+        assert staged.path.read_bytes() == b"good data"
+        assert staging.accounting()["export_hits"] == 0
+
+    def test_import_unchanged_skips_db_write(self, db, staging):
+        obj = db.create("Thing", {"name": "x"}, payload=b"stable")
+        staging.export_object(obj.oid)
+        staging.import_object(obj.oid)  # tool only read the file
+        acc = staging.accounting()
+        assert acc["import_hits"] == 1
+        assert acc["bytes_imported"] == 0
+        assert db.get(obj.oid).payload == b"stable"
+
+    def test_naive_mode_always_copies(self, db, tmp_path):
+        naive = StagingArea(db, tmp_path / "naive", copy_on_write=False)
+        obj = db.create("Thing", {"name": "x"}, payload=b"12345")
+        naive.export_object(obj.oid)
+        naive.export_object(obj.oid)
+        naive.import_object(obj.oid)
+        acc = naive.accounting()
+        assert acc["export_hits"] == 0 and acc["import_hits"] == 0
+        assert acc["bytes_exported"] == 10
+        assert acc["bytes_imported"] == 5
+
+    def test_batch_export_charges_one_copy_for_misses(self, db, staging):
+        oids = [
+            db.create("Thing", {"name": str(i)}, payload=b"p%d" % i).oid
+            for i in range(4)
+        ]
+        staged = staging.export_objects(oids)
+        assert [s.oid for s in staged] == oids
+        for s in staged:
+            assert s.path.read_bytes() == db.get(s.oid).payload
+        # a second batch is all hits: no new bytes, no new files
+        before = staging.accounting()
+        staging.export_objects(oids)
+        after = staging.accounting()
+        assert after["bytes_exported"] == before["bytes_exported"]
+        assert after["files_exported"] == before["files_exported"]
+        assert after["export_hits"] == before["export_hits"] + 4
+
+    def test_batch_import_detects_changes(self, db, staging):
+        oids = [
+            db.create("Thing", {"name": str(i)}, payload=b"orig").oid
+            for i in range(3)
+        ]
+        staged = staging.export_objects(oids)
+        staged[1].path.write_bytes(b"edited")
+        sizes = staging.import_objects(oids)
+        assert sizes[oids[1]] == len(b"edited")
+        assert db.get(oids[1]).payload == b"edited"
+        assert db.get(oids[0]).payload == b"orig"
+        acc = staging.accounting()
+        assert acc["import_hits"] == 2
+        assert acc["files_imported"] == 1
+
+
+class TestCollisions:
+    def test_export_filename_collision_raises(self, db, staging):
+        a = db.create("Thing", {"name": "a"}, payload=b"A")
+        b = db.create("Thing", {"name": "b"}, payload=b"B")
+        staging.export_object(a.oid, filename="shared.dat")
+        with pytest.raises(OMSError):
+            staging.export_object(b.oid, filename="shared.dat")
+        # the original staged file is untouched
+        assert staging._staged[a.oid].path.read_bytes() == b"A"
+
+    def test_released_filename_can_be_reused(self, db, staging):
+        a = db.create("Thing", {"name": "a"}, payload=b"A")
+        b = db.create("Thing", {"name": "b"}, payload=b"B")
+        staging.export_object(a.oid, filename="shared.dat")
+        staging.release(a.oid)
+        staged = staging.export_object(b.oid, filename="shared.dat")
+        assert staged.path.read_bytes() == b"B"
+
+    def test_reexport_new_filename_releases_old_claim(self, db, staging):
+        a = db.create("Thing", {"name": "a"}, payload=b"A")
+        b = db.create("Thing", {"name": "b"}, payload=b"B")
+        staging.export_object(a.oid, filename="first.dat")
+        staging.export_object(a.oid, filename="second.dat")
+        # first.dat is no longer claimed by a, so b may take it
+        staged = staging.export_object(b.oid, filename="first.dat")
+        assert staged.path.read_bytes() == b"B"
+
+    def test_import_into_other_oids_file_raises(self, db, staging):
+        a = db.create("Thing", {"name": "a"}, payload=b"A")
+        b = db.create("Thing", {"name": "b"}, payload=b"B")
+        staged = staging.export_object(a.oid)
+        with pytest.raises(OMSError):
+            staging.import_object(b.oid, staged.path)
+
+
 class TestBookkeeping:
     def test_accounting_accumulates(self, db, staging):
         obj = db.create("Thing", {"name": "x"}, payload=b"12345")
         staging.export_object(obj.oid)
+        staged = staging.staged()[0]
+        staged.path.write_bytes(b"54321")  # the tool rewrote the data
         staging.import_object(obj.oid)
         acc = staging.accounting()
         assert acc["bytes_exported"] == 5
@@ -87,6 +196,15 @@ class TestBookkeeping:
         staging.release(obj.oid)
         assert not staged.path.exists()
         assert not staging.is_staged(obj.oid)
+
+    def test_release_tolerates_already_unlinked_file(self, db, staging):
+        obj = db.create("Thing", {"name": "x"}, payload=b"d")
+        staged = staging.export_object(obj.oid)
+        staged.path.unlink()  # a tidy tool removed its input itself
+        staging.release(obj.oid)
+        assert not staging.is_staged(obj.oid)
+        # accounting is untouched by release either way
+        assert staging.accounting()["files_exported"] == 1
 
     def test_clear_removes_everything(self, db, staging):
         for i in range(3):

@@ -88,6 +88,42 @@ class TestNetlistStructure:
             Netlist.from_bytes(b'{"format": "something-else"}')
 
 
+class TestFanoutIndex:
+    def test_readers_ordered_by_gate_name(self):
+        netlist = Netlist("fan")
+        netlist.add_input("a")
+        # insert out of name order; readers_of must still sort by name
+        netlist.add_gate(Gate("z_gate", "NOT", ("a",), "y2"))
+        netlist.add_gate(Gate("a_gate", "NOT", ("a",), "y1"))
+        assert [g.name for g in netlist.readers_of("a")] == [
+            "a_gate", "z_gate"
+        ]
+
+    def test_unread_net_has_no_readers(self):
+        netlist = inverter_netlist()
+        assert netlist.readers_of("y") == []
+        assert netlist.readers_of("nonexistent") == []
+
+    def test_gate_with_repeated_input_listed_once(self):
+        netlist = Netlist("dup")
+        netlist.add_input("a")
+        netlist.add_gate(Gate("g", "AND", ("a", "a"), "y"))
+        assert [g.name for g in netlist.readers_of("a")] == ["g"]
+
+    def test_nets_cache_invalidated_by_mutation(self):
+        netlist = inverter_netlist()
+        assert netlist.nets() == ["a", "y"]
+        netlist.add_gate(Gate("g2", "NOT", ("y",), "z"))
+        assert netlist.nets() == ["a", "y", "z"]
+        netlist.add_output("z")
+        assert netlist.nets() == ["a", "y", "z"]
+
+    def test_nets_result_is_a_copy(self):
+        netlist = inverter_netlist()
+        netlist.nets().append("tampered")
+        assert "tampered" not in netlist.nets()
+
+
 class TestSimulation:
     def test_inverter_inverts(self):
         result = LogicSimulator(inverter_netlist()).run(
