@@ -12,6 +12,12 @@ Commands
     Exercise one coupled flow end-to-end and verify the invariants the
     paper claims (derivation record complete, consistency scan clean);
     exits non-zero on failure.
+``audit``
+    Cross-framework crash-consistency audit of a saved workspace (or a
+    fresh demo environment); exits non-zero when findings remain.
+``recover``
+    Run two-phase crash recovery on a saved workspace, print what was
+    repaired, then re-audit; exits non-zero when the audit stays dirty.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from typing import List, Optional
 import repro
 from repro.core import HybridFramework
 from repro.core.mapping import TABLE1_MAPPING, WORKING_VARIANT
+from repro.errors import ReproError
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,6 +59,30 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "consult",
         help="run the demo flow and print the design consultant's report",
+    )
+    audit = subparsers.add_parser(
+        "audit", help="cross-framework crash-consistency audit"
+    )
+    audit.add_argument(
+        "--workspace",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "saved hybrid workspace to audit (default: run the demo flow "
+            "in a temp dir and audit that)"
+        ),
+    )
+    recover = subparsers.add_parser(
+        "recover", help="repair crash leavings, then re-audit"
+    )
+    recover.add_argument(
+        "--workspace",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "saved hybrid workspace to recover (default: temp demo "
+            "environment, which needs no repair)"
+        ),
     )
     return parser
 
@@ -150,6 +181,9 @@ def cmd_demo(out, workspace: Optional[pathlib.Path]) -> int:
     out.write(
         f"\nsimulated designer time: {hybrid.clock.now_ms:,.0f} ms\n"
     )
+    if workspace is not None:
+        hybrid.save_state()
+        out.write(f"saved: {root / HybridFramework.SNAPSHOT_NAME}\n")
     return 0 if all(r.success for r in results) else 1
 
 
@@ -205,6 +239,49 @@ def cmd_consult(out) -> int:
     return 0 if result.success else 1
 
 
+def _open_for_inspection(workspace: Optional[pathlib.Path]):
+    """A hybrid environment to audit/recover.
+
+    A saved workspace (one containing a JCF snapshot) is reopened in
+    place — the restart path recovery is designed for.  Naming a
+    workspace without a snapshot is an error: auditing anything other
+    than the named store would report a state nobody asked about.  With
+    no workspace at all, a demo environment is built and its flow run,
+    so the commands have a real (healthy) coupling to inspect.
+    """
+    if workspace is not None:
+        if not (workspace / HybridFramework.SNAPSHOT_NAME).exists():
+            raise ReproError(
+                f"no {HybridFramework.SNAPSHOT_NAME} in {workspace}: "
+                "not a saved hybrid workspace (see 'demo', or "
+                "HybridFramework.save_state())"
+            )
+        return HybridFramework.reopen(workspace)
+    root, hybrid, project, library = _demo_environment(None)
+    _run_demo_flow(hybrid, project, library)
+    return hybrid
+
+
+def cmd_audit(out, workspace: Optional[pathlib.Path]) -> int:
+    hybrid = _open_for_inspection(workspace)
+    report = hybrid.audit()
+    out.write(report.render() + "\n")
+    return 0 if report.clean else 1
+
+
+def cmd_recover(out, workspace: Optional[pathlib.Path]) -> int:
+    hybrid = _open_for_inspection(workspace)
+    report = hybrid.recover()
+    out.write(report.summary() + "\n")
+    audit = hybrid.audit()
+    out.write(audit.render() + "\n")
+    if workspace is not None:
+        # persist the repaired state, or the next reopen would replay
+        # the pre-recovery snapshot and find the same wreckage again
+        hybrid.save_state()
+    return 0 if audit.clean else 1
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -217,6 +294,18 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_selfcheck(out)
     if args.command == "consult":
         return cmd_consult(out)
+    if args.command == "audit":
+        try:
+            return cmd_audit(out, args.workspace)
+        except ReproError as error:
+            out.write(f"error: {error}\n")
+            return 2
+    if args.command == "recover":
+        try:
+            return cmd_recover(out, args.workspace)
+        except ReproError as error:
+            out.write(f"error: {error}\n")
+            return 2
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

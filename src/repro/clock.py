@@ -50,6 +50,8 @@ class CostModel:
     ui_context_switch_ms: float = 4000.0
     tool_startup_ms: float = 2500.0
     lock_wait_poll_ms: float = 1000.0
+    #: base backoff before retrying a transient fault; doubles per attempt.
+    retry_backoff_ms: float = 250.0
 
 
 class SimClock:
@@ -135,6 +137,12 @@ class SimClock:
     def charge_lock_wait(self, polls: int = 1) -> float:
         """Charge waiting on a lock (checkout or reservation)."""
         return self.charge("lock_wait", self.cost_model.lock_wait_poll_ms * polls)
+
+    def charge_retry_backoff(self, attempt: int = 0) -> float:
+        """Charge the bounded-exponential backoff before retry *attempt*+1."""
+        return self.charge(
+            "retry_backoff", self.cost_model.retry_backoff_ms * (2 ** attempt)
+        )
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -12,16 +12,18 @@ the hybrid framework's "more powerful data consistency check" (Section
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.hierarchy import HierarchyManager
 from repro.core.mapping import DataModelMapper
+from repro.core.recovery import IntentJournal
 from repro.fmcad.framework import FMCADFramework
 from repro.fmcad.itc import ITCMessage
 from repro.fmcad.library import Library
 from repro.fmcad.session import ToolSession
 from repro.jcf.framework import JCFFramework
-from repro.jcf.project import JCFProject
+from repro.jcf.model import EXEC_RUNNING
+from repro.jcf.project import JCFCellVersion, JCFProject
 
 #: Menu points the guard locks in every coupled tool session: versioning
 #: and hierarchy manipulation belong to the master framework now.
@@ -41,6 +43,44 @@ GUARD_PROGRAM = """
   (guard-menu sid "purge_versions")
   t)
 """
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditFinding:
+    """One cross-framework invariant violation found by :meth:`audit`."""
+
+    category: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.category}] {self.detail}"
+
+
+@dataclasses.dataclass
+class AuditReport:
+    """Outcome of one cross-framework audit pass."""
+
+    findings: List[AuditFinding] = dataclasses.field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_category(self) -> Dict[str, List[AuditFinding]]:
+        grouped: Dict[str, List[AuditFinding]] = {}
+        for finding in self.findings:
+            grouped.setdefault(finding.category, []).append(finding)
+        return grouped
+
+    def render(self) -> str:
+        if self.clean:
+            return "audit: clean"
+        lines = [f"audit: {len(self.findings)} finding(s)"]
+        for category, findings in sorted(self.by_category().items()):
+            lines.append(f"  {category}: {len(findings)}")
+            for finding in findings:
+                lines.append(f"    - {finding.detail}")
+        return "\n".join(lines)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -69,6 +109,7 @@ class ConsistencyGuard:
         self.fmcad = fmcad
         self.mapper = mapper
         self.hierarchy = hierarchy
+        self.intents = IntentJournal(jcf.db)
         self._interceptor_installed = False
         fmcad.interpreter.run(GUARD_PROGRAM)
 
@@ -200,6 +241,126 @@ class ConsistencyGuard:
                             )
                         )
         return findings
+
+    # -- crash-consistency audit (recovery's acceptance check) ----------------------
+
+    def audit(self) -> AuditReport:
+        """Audit the whole coupling for crash leavings.
+
+        Unlike :meth:`scan`, which compares one project against one
+        library, the audit sweeps every invariant a crashed coupled run
+        can break: untagged or mistagged FMCAD versions, dangling
+        checkout tickets, leaked tool sessions, executions stuck
+        ``running``, intents never settled, reservations that outlived
+        their legitimacy, unrecorded staging files, and payload
+        refcounts that disagree with the live object graph.  A clean
+        report is the definition of "recovered".
+        """
+        report = AuditReport()
+        self._audit_versions(report)
+        self._audit_tickets(report)
+        self._audit_sessions(report)
+        self._audit_executions(report)
+        self._audit_intents(report)
+        self._audit_reservations(report)
+        self._audit_staging(report)
+        self._audit_blobs(report)
+        return report
+
+    def _each_library(self) -> List[Library]:
+        """Every library: the open ones plus any still closed on disk."""
+        libraries = list(self.fmcad.libraries())
+        open_names = {library.name for library in libraries}
+        for name in self.fmcad.known_library_names():
+            if name not in open_names:
+                libraries.append(self.fmcad.open_library(name))
+        return libraries
+
+    def _audit_versions(self, report: AuditReport) -> None:
+        for library in self._each_library():
+            for cellview in library.cellviews():
+                for version in cellview.versions:
+                    oid = version.properties.get("jcf_oid")
+                    where = (
+                        f"{library.name}:{cellview.name} v{version.number}"
+                    )
+                    if oid is None:
+                        report.findings.append(AuditFinding(
+                            "orphan-version",
+                            f"{where} carries no jcf_oid cross-tag",
+                        ))
+                    elif not self.jcf.db.exists(oid):
+                        report.findings.append(AuditFinding(
+                            "unpaired-tag",
+                            f"{where} tags dead OMS object {oid}",
+                        ))
+
+    def _audit_tickets(self, report: AuditReport) -> None:
+        for ticket in self.fmcad.checkouts.active_tickets():
+            report.findings.append(AuditFinding(
+                "dangling-ticket",
+                f"open checkout of {ticket.cellview_key} by {ticket.user}",
+            ))
+
+    def _audit_sessions(self, report: AuditReport) -> None:
+        for session in self.fmcad.sessions():
+            report.findings.append(AuditFinding(
+                "leaked-session",
+                f"tool session {session.session_id} ({session.tool_name}, "
+                f"user {session.user}) still open",
+            ))
+
+    def _audit_executions(self, report: AuditReport) -> None:
+        for obj in self.jcf.db.select(
+            "ActiveExecVersion", lambda o: o.get("status") == EXEC_RUNNING
+        ):
+            report.findings.append(AuditFinding(
+                "stale-execution",
+                f"execution {obj.oid} still running",
+            ))
+
+    def _audit_intents(self, report: AuditReport) -> None:
+        for intent in self.intents.pending():
+            report.findings.append(AuditFinding(
+                "pending-intent",
+                f"intent {intent.oid} ({intent.get('kind')} on "
+                f"{intent.get('cell')!r} by {intent.get('user')}) never "
+                "settled",
+            ))
+
+    def _audit_reservations(self, report: AuditReport) -> None:
+        db = self.jcf.db
+        for workspace in db.select("Workspace"):
+            owner = workspace.get("owner")
+            try:
+                self.jcf.resources.user(owner)
+                owner_known = True
+            except Exception:
+                owner_known = False
+            for cv_oid in db.target_oids("reserves", workspace.oid):
+                cell_version = JCFCellVersion(db, db.get(cv_oid))
+                if owner_known and not cell_version.published:
+                    continue
+                reason = (
+                    "already published" if cell_version.published
+                    else "unknown owner"
+                )
+                report.findings.append(AuditFinding(
+                    "orphan-reservation",
+                    f"{owner} reserves cell version {cell_version.number} "
+                    f"of {cell_version.cell.name!r} ({reason})",
+                ))
+
+    def _audit_staging(self, report: AuditReport) -> None:
+        for path in self.jcf.staging.orphan_files():
+            report.findings.append(AuditFinding(
+                "staging-orphan",
+                f"unrecorded staging file {path.name}",
+            ))
+
+    def _audit_blobs(self, report: AuditReport) -> None:
+        for problem in self.jcf.db.verify_payload_refcounts():
+            report.findings.append(AuditFinding("blob-refcount", problem))
 
     # -- the FMCAD baseline (what the slave notices by itself) ----------------------
 

@@ -22,6 +22,7 @@ from repro.core.encapsulation import (
 )
 from repro.core.hierarchy import HierarchyManager
 from repro.core.mapping import DataModelMapper
+from repro.core.recovery import CouplingRecovery, IntentJournal, RecoveryReport
 from repro.fmcad.framework import FMCADFramework
 from repro.fmcad.library import Library
 from repro.jcf.flows import FlowDef, standard_encapsulation_flow
@@ -93,6 +94,8 @@ class HybridFramework:
         self.layout_entry = LayoutEntryWrapper(
             self.jcf, self.fmcad, self.mapper, self.guard
         )
+        self.intents = IntentJournal(self.jcf.db)
+        self.recovery = CouplingRecovery(self.jcf, self.fmcad)
 
     # -- environment setup --------------------------------------------------------
 
@@ -253,7 +256,25 @@ class HybridFramework:
         instance.layout_entry = LayoutEntryWrapper(
             instance.jcf, instance.fmcad, instance.mapper, instance.guard
         )
+        instance.intents = IntentJournal(instance.jcf.db)
+        instance.recovery = CouplingRecovery(instance.jcf, instance.fmcad)
+        # staged files from the previous process are a durable CoW cache:
+        # re-adopt the ones that still match a live payload, leave true
+        # crash leavings for recover() to reclaim
+        instance.jcf.staging.adopt_existing()
         return instance
+
+    # -- crash recovery ---------------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Repair the leavings of crashed coupled runs (see
+        :mod:`repro.core.recovery`).  Run on a quiesced environment —
+        typically right after :meth:`reopen`."""
+        return self.recovery.recover()
+
+    def audit(self):
+        """Cross-framework crash-consistency audit; clean means healthy."""
+        return self.guard.audit()
 
     # -- statistics ------------------------------------------------------------------------
 

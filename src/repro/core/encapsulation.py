@@ -25,13 +25,16 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.core.consistency import ConsistencyGuard
 from repro.core.mapping import WORKING_VARIANT, DataModelMapper
+from repro.core.recovery import IntentJournal
 from repro.errors import (
     EncapsulationError,
     FlowOrderError,
     SchematicError,
 )
+from repro.faults import CrashFault, fault_point, with_retries
 from repro.fmcad.framework import FMCADFramework
 from repro.fmcad.library import Library
+from repro.jcf.model import EXEC_RUNNING, INTENT_ABORTED, INTENT_DONE
 from repro.jcf.framework import JCFFramework
 from repro.jcf.project import (
     JCFCellVersion,
@@ -82,6 +85,7 @@ class _ToolWrapper:
         self.fmcad = fmcad
         self.mapper = mapper
         self.guard = guard
+        self.intents = IntentJournal(jcf.db)
 
     # -- context helpers ------------------------------------------------------
 
@@ -150,8 +154,19 @@ class _ToolWrapper:
         cell_name: str,
         data: bytes,
         viewtype: Optional[str] = None,
-    ) -> Tuple[int, JCFDesignObjectVersion]:
-        """Check *data* into FMCAD and import it into OMS; cross-tag both."""
+        completed: Optional[list] = None,
+    ) -> Tuple["object", JCFDesignObjectVersion]:
+        """Check *data* into FMCAD and import it into OMS.
+
+        Returns ``(fmcad cellview version, jcf version)``.  The caller
+        owns the surrounding OMS transaction and places the ``jcf_oid``
+        cross-tags after it commits; each FMCAD version checked in is
+        appended to *completed* so the caller can compensate them if the
+        transaction aborts.  A failed checkin or import cancels the
+        checkout ticket (and undoes a half-landed version) instead of
+        leaking it — unless the failure is a simulated crash, which
+        cleans up nothing by definition.
+        """
         viewtype = viewtype or self.VIEWTYPE
         cell = library.cell(cell_name)
         if not cell.has_cellview(viewtype):
@@ -159,9 +174,27 @@ class _ToolWrapper:
         ticket = self.fmcad.checkouts.checkout(
             user, library, cell_name, viewtype
         )
-        fmcad_version = self.fmcad.checkouts.checkin(ticket, library, data)
+        fault_point("harvest.after_checkout")
+        try:
+            fmcad_version = self.fmcad.checkouts.checkin(
+                ticket, library, data
+            )
+            if completed is not None:
+                completed.append((viewtype, fmcad_version))
+            fault_point("harvest.after_checkin")
+        except CrashFault:
+            raise
+        except Exception:
+            if ticket.open:
+                cellview = library.cellview(cell_name, viewtype)
+                latest = cellview.default_version
+                if latest is not None and latest.number != ticket.base_version:
+                    # checkin died after writing the version file
+                    library.drop_version(cellview, latest.number)
+                self.fmcad.checkouts.cancel(ticket, library)
+            raise
         library.flush_meta(user)
-
+        fault_point("harvest.before_import")
         dobj = self._ensure_design_object(
             variant, f"{cell_name}/{viewtype}", viewtype
         )
@@ -170,8 +203,29 @@ class _ToolWrapper:
         )
         # the result crosses the OMS boundary: charge the staging copy
         self.jcf.db.clock.charge_copy(len(data), files=1)
-        fmcad_version.properties.set("jcf_oid", jcf_version.oid)
-        return fmcad_version.number, jcf_version
+        fault_point("harvest.after_import")
+        return fmcad_version, jcf_version
+
+    def _compensate_checkins(
+        self, user: str, library: Library, cell_name: str, completed: list
+    ) -> None:
+        """Undo FMCAD checkins whose OMS transaction rolled back."""
+        for viewtype, fmcad_version in reversed(completed):
+            cellview = library.cellview(cell_name, viewtype)
+            library.drop_version(cellview, fmcad_version.number)
+        if completed:
+            library.flush_meta(user)
+
+    def _cancel_dangling_tickets(
+        self, library: Library, cell_name: str
+    ) -> None:
+        """Cancel any open checkout this run left on its target cell."""
+        for ticket in self.fmcad.checkouts.active_tickets():
+            if (
+                ticket.library_name == library.name
+                and ticket.cell_name == cell_name
+            ):
+                self.fmcad.checkouts.cancel(ticket, library)
 
     # -- the coupled run ----------------------------------------------------------
 
@@ -206,6 +260,31 @@ class _ToolWrapper:
         except FlowOrderError:
             raise  # out-of-order without supervision: rejected outright
 
+        # the window between starting the activity and journalling the
+        # intent: a crash here leaves a running execution no intent
+        # describes — recovery's generic execution sweep covers it
+        fault_point("run.after_start")
+
+        # phase one: journal the intent — durable before any FMCAD side
+        # effect, carrying the per-view version baseline recovery needs
+        # to tell this run's half-work from pre-existing state
+        intent_oid = self.intents.begin(
+            kind=self.ACTIVITY,
+            user=user,
+            library=library.name,
+            cell=cell_name,
+            activity=self.ACTIVITY,
+            execution_oid=execution.oid,
+            variant_oid=variant.oid,
+            fmcad_base=[
+                [
+                    cv.view.name,
+                    cv.default_version.number if cv.default_version else 0,
+                ]
+                for cv in library.cell(cell_name).cellviews()
+            ],
+        )
+
         session = self.fmcad.open_session(self.TOOL, user)
         if self.GUARD_MENUS:
             self.guard.guard_session(session)
@@ -214,10 +293,20 @@ class _ToolWrapper:
                 f"activity {self.ACTIVITY!r} started before its "
                 "predecessor finished — results are provisional"
             )
+        crashed = False
+        #: views that reached durability — non-empty only after the
+        #: harvest transaction commits (cleared when it aborts)
+        harvested: List[Tuple[object, JCFDesignObjectVersion]] = []
         try:
-            needs = self._stage_needs(variant, activity_def.needs)
-            success, data, details = self._tool_step(
-                session, library, cell_name, needs, **tool_kwargs
+            needs = with_retries(
+                lambda: self._stage_needs(variant, activity_def.needs),
+                clock=self.jcf.clock,
+            )
+            success, data, details = with_retries(
+                lambda: self._tool_step(
+                    session, library, cell_name, needs, **tool_kwargs
+                ),
+                clock=self.jcf.clock,
             )
             fmcad_number: Optional[int] = None
             jcf_version: Optional[JCFDesignObjectVersion] = None
@@ -231,19 +320,54 @@ class _ToolWrapper:
                     if isinstance(data, dict)
                     else {self.VIEWTYPE: data}
                 )
-                for viewtype, view_data in outputs.items():
-                    number, version = self._harvest(
-                        user, library, variant, cell_name, view_data,
-                        viewtype=viewtype,
+                # phase two: harvest every view inside ONE OMS
+                # transaction, compensating completed FMCAD checkins if
+                # it aborts — no more half-harvested multi-view runs
+                completed: List[Tuple[str, object]] = []
+                try:
+                    with self.jcf.db.transaction():
+                        for viewtype, view_data in outputs.items():
+                            fmcad_version, version = self._harvest(
+                                user, library, variant, cell_name,
+                                view_data, viewtype=viewtype,
+                                completed=completed,
+                            )
+                            harvested.append((fmcad_version, version))
+                            creates.append(version)
+                            if viewtype == self.VIEWTYPE:
+                                fmcad_number = fmcad_version.number
+                                jcf_version = version
+                        primary = outputs.get(self.VIEWTYPE)
+                        if primary is not None:
+                            self._pass_hierarchy_to_jcf(
+                                project, cell_name, primary
+                            )
+                except CrashFault:
+                    raise  # a dead process compensates nothing
+                except Exception:
+                    # the OMS side already rolled itself back; undo the
+                    # FMCAD checkins that went with it
+                    self._compensate_checkins(
+                        user, library, cell_name, completed
                     )
-                    creates.append(version)
-                    if viewtype == self.VIEWTYPE:
-                        fmcad_number, jcf_version = number, version
-                primary = outputs.get(self.VIEWTYPE)
-                if primary is not None:
-                    self._pass_hierarchy_to_jcf(
-                        project, cell_name, primary
+                    harvested.clear()  # nothing survived the abort
+                    creates.clear()
+                    raise
+                # the OMS transaction committed: both sides are durable.
+                # Cross-tag the FMCAD versions now — a crash in this
+                # window is the roll-forward case (recovery repairs the
+                # tag from the matching payload digest).  Tag placement
+                # is idempotent, so glitches are simply retried.
+                for fmcad_version, version in harvested:
+                    with_retries(
+                        lambda fv=fmcad_version, v=version: (
+                            fault_point("harvest.before_tag"),
+                            fv.properties.set("jcf_oid", v.oid),
+                        ),
+                        clock=self.jcf.clock,
                     )
+            # outputs durable and cross-tagged; derivation record pending
+            fault_point("run.before_finish")
             self.jcf.engine.finish_activity(
                 execution,
                 needs=[version for version, _ in needs],
@@ -253,6 +377,7 @@ class _ToolWrapper:
             self.fmcad.log_invocation(
                 self.TOOL, user, cell_name, self.VIEWTYPE
             )
+            self.intents.finish(intent_oid, INTENT_DONE)
             return ToolRunResult(
                 activity_name=self.ACTIVITY,
                 cell_name=cell_name,
@@ -262,11 +387,31 @@ class _ToolWrapper:
                 forced_early=execution.forced_early,
                 details=details,
             )
+        except CrashFault:
+            # simulated process death: no application-level cleanup may
+            # run — recovery repairs the wreckage from the intent record
+            crashed = True
+            raise
         except Exception:
-            self.jcf.engine.finish_activity(execution, success=False)
+            # an ordinary failure (tool error, exhausted retries): the
+            # process is alive, so it cleans up after itself.  Anything
+            # the committed transaction made durable keeps its cross-tag
+            # — only a dead process leaves tagging to recovery.
+            for fmcad_version, version in harvested:
+                if fmcad_version.properties.get("jcf_oid") is None:
+                    fmcad_version.properties.set("jcf_oid", version.oid)
+            if execution.status == EXEC_RUNNING:
+                self.jcf.engine.finish_activity(execution, success=False)
+            self._cancel_dangling_tickets(library, cell_name)
+            self.intents.finish(
+                intent_oid,
+                INTENT_DONE if harvested else INTENT_ABORTED,
+                note="failed after outputs committed" if harvested else "",
+            )
             raise
         finally:
-            self.fmcad.close_session(session.session_id)
+            if not crashed:
+                self.fmcad.close_session(session.session_id)
 
     def _pass_hierarchy_to_jcf(
         self, project: JCFProject, cell_name: str, data: bytes
@@ -332,7 +477,7 @@ class SchematicEntryWrapper(_ToolWrapper):
         else:
             editor = SchematicEditor()
             editor.new_design(cell_name)
-        session.register_menu("edit", lambda: edit_fn(editor))
+        session.register_menu("edit", lambda: edit_fn(editor), replace=True)
         session.invoke_menu("edit")
         try:
             editor.require_clean()
@@ -382,7 +527,7 @@ class DigitalSimulatorWrapper(_ToolWrapper):
         netlist = netlist_schematic(schematic, resolver)
         testbench = Testbench(netlist)
         session.register_menu(
-            "configure", lambda: testbench_fn(testbench)
+            "configure", lambda: testbench_fn(testbench), replace=True
         )
         session.invoke_menu("configure")
         report = testbench.run()
@@ -436,7 +581,7 @@ class LayoutEntryWrapper(_ToolWrapper):
         else:
             editor = LayoutEditor()
             editor.new_design(cell_name)
-        session.register_menu("edit", lambda: edit_fn(editor))
+        session.register_menu("edit", lambda: edit_fn(editor), replace=True)
         session.invoke_menu("edit")
 
         def resolver(cellref: str) -> Layout:

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import pathlib
 import tarfile
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.mapping import WORKING_VARIANT
 from repro.errors import CouplingError
+from repro.faults import CrashFault, fault_point, with_retries
 from repro.jcf.framework import JCFFramework
 from repro.jcf.project import JCFProject
 
@@ -103,20 +105,37 @@ def export_archive(
             digest = version.payload_digest
             if digest is not None and digest not in representatives:
                 representatives[digest] = version.oid
-    with tarfile.open(path, "w") as archive:
-        blob = json.dumps(manifest, indent=1, sort_keys=True).encode()
-        info = tarfile.TarInfo(MANIFEST_NAME)
-        info.size = len(blob)
-        archive.addfile(info, io.BytesIO(blob))
-        digests = sorted(representatives)
-        oids = [representatives[d] for d in digests]
-        staged = jcf.staging.export_objects(oids)
-        for digest, staged_file in zip(digests, staged):
-            payload = staged_file.path.read_bytes()
-            jcf.staging.release(staged_file.oid)
-            member = tarfile.TarInfo(_blob_member_name(digest))
-            member.size = len(payload)
-            archive.addfile(member, io.BytesIO(payload))
+
+    # the archive is built under a .partial name and renamed into place
+    # only when complete, so a crash mid-write never leaves a truncated
+    # tar masquerading as a finished archive
+    partial = path.with_name(path.name + ".partial")
+
+    def write_archive() -> None:
+        with tarfile.open(partial, "w") as archive:
+            blob = json.dumps(manifest, indent=1, sort_keys=True).encode()
+            info = tarfile.TarInfo(MANIFEST_NAME)
+            info.size = len(blob)
+            archive.addfile(info, io.BytesIO(blob))
+            digests = sorted(representatives)
+            oids = [representatives[d] for d in digests]
+            staged = jcf.staging.export_objects(oids)
+            for digest, staged_file in zip(digests, staged):
+                payload = staged_file.path.read_bytes()
+                jcf.staging.release(staged_file.oid)
+                member = tarfile.TarInfo(_blob_member_name(digest))
+                member.size = len(payload)
+                archive.addfile(member, io.BytesIO(payload))
+                fault_point("exchange.write")
+        os.replace(partial, path)
+
+    try:
+        with_retries(write_archive, clock=jcf.clock)
+    except CrashFault:
+        raise  # the .partial stays behind, as a real crash would leave it
+    except Exception:
+        partial.unlink(missing_ok=True)
+        raise
     return path
 
 
@@ -153,42 +172,48 @@ def import_archive(
     object re-form delta chains as they are stored.
     """
     manifest = read_manifest(path)
+    fault_point("exchange.before_import")
     name = project_name or manifest["project"]
     if jcf.desktop.find_project(name) is not None:
         raise ExchangeError(
             f"project {name!r} already exists; pass a different "
             "project_name"
         )
-    project = jcf.desktop.create_project(user, name)
     payload_cache: Dict[str, bytes] = {}
-    with tarfile.open(path, "r") as archive:
+    # the whole unpack is one OMS transaction: a failure partway leaves
+    # no half-imported project behind, just the untouched archive
+    with jcf.db.transaction():
+        project = jcf.desktop.create_project(user, name)
+        with tarfile.open(path, "r") as archive:
 
-        def blob_payload(digest: str) -> bytes:
-            if digest in payload_cache:
-                return payload_cache[digest]
-            member_name = _blob_member_name(digest)
-            member = archive.extractfile(member_name)
-            if member is None:
-                raise ExchangeError(f"{path}: missing member {member_name}")
-            payload = member.read()
-            # the unique bytes cross the OMS boundary exactly once
-            jcf.clock.charge_copy(len(payload), files=1)
-            payload_cache[digest] = payload
-            return payload
+            def blob_payload(digest: str) -> bytes:
+                if digest in payload_cache:
+                    return payload_cache[digest]
+                member_name = _blob_member_name(digest)
+                member = archive.extractfile(member_name)
+                if member is None:
+                    raise ExchangeError(
+                        f"{path}: missing member {member_name}"
+                    )
+                payload = member.read()
+                # the unique bytes cross the OMS boundary exactly once
+                jcf.clock.charge_copy(len(payload), files=1)
+                payload_cache[digest] = payload
+                return payload
 
-        for cell_doc in manifest["cells"]:
-            cell = project.create_cell(cell_doc["name"])
-            cell_version = cell.create_version()
-            variant = cell_version.create_variant(WORKING_VARIANT)
-            for obj_doc in cell_doc["objects"]:
-                dobj = variant.create_design_object(
-                    obj_doc["name"], obj_doc["viewtype"]
-                )
-                for entry in obj_doc["versions"]:
-                    dobj.new_version(blob_payload(entry["digest"]))
-        edges: List[Tuple[str, str]] = [
-            (parent, child) for parent, child in manifest["hierarchy"]
-        ]
-        if edges:
-            jcf.desktop.submit_hierarchy(user, project, edges)
+            for cell_doc in manifest["cells"]:
+                cell = project.create_cell(cell_doc["name"])
+                cell_version = cell.create_version()
+                variant = cell_version.create_variant(WORKING_VARIANT)
+                for obj_doc in cell_doc["objects"]:
+                    dobj = variant.create_design_object(
+                        obj_doc["name"], obj_doc["viewtype"]
+                    )
+                    for entry in obj_doc["versions"]:
+                        dobj.new_version(blob_payload(entry["digest"]))
+            edges: List[Tuple[str, str]] = [
+                (parent, child) for parent, child in manifest["hierarchy"]
+            ]
+            if edges:
+                jcf.desktop.submit_hierarchy(user, project, edges)
     return project

@@ -1,0 +1,275 @@
+"""Deterministic crash/transient fault injection for the coupling kernel.
+
+The paper's value proposition is that the master/slave coupling keeps
+JCF's design management and FMCAD's tool data *consistent* — which is
+only credible if the protocol survives dying between its steps.  This
+module provides the harness the crash-consistency suite drives:
+
+* **Fault points** are named places woven through the coupled protocol
+  (``checkout.after_checkin``, ``harvest.before_import``,
+  ``staging.write``, ``blobs.intern``, ...).  Each call site invokes
+  :func:`fault_point`, which is a single global load plus a ``None``
+  check when no plan is active — ``bench_faults.py`` asserts the
+  disabled overhead stays under 2% of a coupled run.
+* A :class:`FaultPlan` is a deterministic schedule: rules that raise
+  :class:`CrashFault` or :class:`TransientFault` on the *n*-th traversal
+  of a fault point.  Seeded random plans (:meth:`FaultPlan.random_plan`)
+  give reproducible chaos for the hypothesis suite.
+* :class:`CrashFault` simulates the process dying at that instant: the
+  protocol code deliberately performs **no** cleanup for it (open OMS
+  transactions self-abort, which models the database's own crash
+  recovery; everything else — tickets, sessions, staged files, FMCAD
+  version files — stays broken until
+  :class:`repro.core.recovery.CouplingRecovery` repairs it).
+* :class:`TransientFault` simulates a recoverable glitch (NFS hiccup,
+  tool license blip).  Retry boundaries call :func:`with_retries`, which
+  retries with bounded exponential backoff charged to the simulated
+  clock.
+
+Not to be confused with :mod:`repro.tools.simulator.faults`, which
+models stuck-at faults in simulated *circuits*; this module injects
+faults into the *framework* itself.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import random
+from collections import Counter
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+
+
+class FaultError(ReproError):
+    """Base class for injected faults."""
+
+
+class CrashFault(FaultError):
+    """Simulated process death: no application-level cleanup may run."""
+
+
+class TransientFault(FaultError):
+    """Simulated recoverable glitch: retry boundaries may retry it."""
+
+
+KIND_CRASH = "crash"
+KIND_TRANSIENT = "transient"
+
+#: Every fault point woven through the production code, by subsystem.
+#: ``FaultPlan`` validates rule names against this registry so a typo in
+#: a test schedules a fault that can never fire loudly, not silently.
+FAULT_POINTS: Tuple[str, ...] = (
+    # coupled tool run (core/encapsulation.py)
+    "run.after_start",        # activity started, intent not yet journalled
+    "run.before_finish",      # outputs durable+tagged, derivation not recorded
+    "harvest.after_checkout", # ticket held, nothing written
+    "harvest.after_checkin",  # FMCAD version exists, OMS import pending
+    "harvest.before_import",  # ditto, after the .meta flush
+    "harvest.after_import",   # OMS version created (uncommitted)
+    "harvest.before_tag",     # both sides committed, cross-tag missing
+    # FMCAD checkout protocol (fmcad/checkout.py)
+    "checkout.after_grant",   # ticket registered, cellview locked
+    "checkout.after_checkin", # version written, ticket still open
+    # staging I/O (oms/storage.py)
+    "staging.write",          # staged file written, not yet recorded
+    "staging.import",         # import requested, database not yet written
+    # payload interning (oms/blobs.py)
+    "blobs.intern",
+    # project exchange (core/exchange.py)
+    "exchange.write",         # archive member about to be written
+    "exchange.before_import", # manifest read, nothing imported yet
+)
+
+_KNOWN_POINTS = frozenset(FAULT_POINTS)
+
+
+@dataclasses.dataclass
+class FaultRule:
+    """Fire *kind* at *point*, starting on the ``on_hit``-th traversal.
+
+    A transient rule fires ``times`` consecutive traversals (so
+    ``times`` smaller than the retry budget exercises recovery-by-retry,
+    and ``times`` >= the budget exercises retry exhaustion); a crash
+    rule fires exactly once — the process is dead afterwards.
+    """
+
+    point: str
+    kind: str
+    on_hit: int = 1
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.point not in _KNOWN_POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r}; known points: "
+                f"{sorted(_KNOWN_POINTS)}"
+            )
+        if self.kind not in (KIND_CRASH, KIND_TRANSIENT):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.on_hit < 1 or self.times < 1:
+            raise ValueError("on_hit and times must be >= 1")
+
+    def should_fire(self, hit: int) -> bool:
+        if self.kind == KIND_CRASH:
+            return hit == self.on_hit
+        return self.on_hit <= hit < self.on_hit + self.times
+
+
+class FaultPlan:
+    """A deterministic schedule of faults over the registered points."""
+
+    def __init__(self, rules: Sequence[FaultRule] = ()) -> None:
+        self._rules: Dict[str, List[FaultRule]] = {}
+        for rule in rules:
+            self._rules.setdefault(rule.point, []).append(rule)
+        #: traversal count per fault point (hits, fired or not)
+        self.hits: Counter = Counter()
+        #: chronological ``(point, kind, hit_number)`` firing log
+        self.fired: List[Tuple[str, str, int]] = []
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def crash(cls, point: str, on_hit: int = 1) -> "FaultPlan":
+        return cls([FaultRule(point, KIND_CRASH, on_hit)])
+
+    @classmethod
+    def transient(
+        cls, point: str, on_hit: int = 1, times: int = 1
+    ) -> "FaultPlan":
+        return cls([FaultRule(point, KIND_TRANSIENT, on_hit, times)])
+
+    @classmethod
+    def random_plan(
+        cls,
+        seed: int,
+        points: Sequence[str] = FAULT_POINTS,
+        max_hit: int = 3,
+        transient_probability: float = 0.0,
+    ) -> "FaultPlan":
+        """A seeded one-fault schedule: same seed, same schedule."""
+        rng = random.Random(seed)
+        point = rng.choice(list(points))
+        on_hit = rng.randint(1, max_hit)
+        if rng.random() < transient_probability:
+            return cls.transient(point, on_hit, times=rng.randint(1, 2))
+        return cls.crash(point, on_hit)
+
+    def add_crash(self, point: str, on_hit: int = 1) -> "FaultPlan":
+        self._rules.setdefault(point, []).append(
+            FaultRule(point, KIND_CRASH, on_hit)
+        )
+        return self
+
+    def add_transient(
+        self, point: str, on_hit: int = 1, times: int = 1
+    ) -> "FaultPlan":
+        self._rules.setdefault(point, []).append(
+            FaultRule(point, KIND_TRANSIENT, on_hit, times)
+        )
+        return self
+
+    # -- firing ------------------------------------------------------------
+
+    def hit(self, point: str) -> None:
+        """Record one traversal of *point*; raise if a rule schedules it."""
+        self.hits[point] += 1
+        rules = self._rules.get(point)
+        if not rules:
+            return
+        count = self.hits[point]
+        for rule in rules:
+            if rule.should_fire(count):
+                self.fired.append((point, rule.kind, count))
+                if rule.kind == KIND_CRASH:
+                    raise CrashFault(
+                        f"injected crash at {point!r} (hit {count})"
+                    )
+                raise TransientFault(
+                    f"injected transient fault at {point!r} (hit {count})"
+                )
+
+    @property
+    def crash_fired(self) -> bool:
+        return any(kind == KIND_CRASH for _, kind, _ in self.fired)
+
+    @property
+    def points(self) -> List[str]:
+        return sorted(self._rules)
+
+
+# -- activation ---------------------------------------------------------------
+
+#: the active plan; ``None`` keeps every fault point a no-op check
+_plan: Optional[FaultPlan] = None
+
+
+def fault_point(name: str) -> None:
+    """Traverse the named fault point.
+
+    The disabled path is deliberately minimal — one module-global load
+    and a ``None`` comparison — so leaving the points woven into hot
+    paths (``blobs.intern``, staging writes) costs nothing measurable.
+    """
+    if _plan is not None:
+        _plan.hit(name)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _plan
+
+
+def activate(plan: FaultPlan) -> None:
+    global _plan
+    _plan = plan
+
+
+def deactivate() -> None:
+    global _plan
+    _plan = None
+
+
+@contextlib.contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate *plan* for the duration of the block (always deactivates)."""
+    activate(plan)
+    try:
+        yield plan
+    finally:
+        deactivate()
+
+
+# -- retry boundary -----------------------------------------------------------
+
+#: default retry budget at staging/tool retry boundaries
+DEFAULT_RETRY_ATTEMPTS = 3
+
+
+def with_retries(
+    fn: Callable[[], T],
+    clock=None,
+    attempts: int = DEFAULT_RETRY_ATTEMPTS,
+) -> T:
+    """Run *fn*, retrying :class:`TransientFault` with bounded backoff.
+
+    Backoff between attempts is charged to the simulated *clock* (when
+    given) via :meth:`repro.clock.SimClock.charge_retry_backoff`, so a
+    glitchy-but-recovering run shows up as latency, exactly like a real
+    retry loop would.  :class:`CrashFault` (and everything else) passes
+    straight through: a dead process does not retry.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except TransientFault:
+            if attempt == attempts - 1:
+                raise
+            if clock is not None:
+                clock.charge_retry_backoff(attempt)
+    raise AssertionError("unreachable")  # pragma: no cover

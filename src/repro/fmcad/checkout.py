@@ -16,9 +16,10 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import pathlib
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import CheckoutError, LockedError
+from repro.faults import fault_point
 from repro.fmcad.library import Library
 from repro.fmcad.objects import CellView, CellViewVersion
 
@@ -43,9 +44,16 @@ class CheckoutTicket:
 class CheckoutManager:
     """Enforces the one-checkout-per-cellview rule across a set of libraries."""
 
-    def __init__(self, workdir: pathlib.Path) -> None:
+    def __init__(
+        self,
+        workdir: pathlib.Path,
+        library_resolver: Optional[Callable[[str], Library]] = None,
+    ) -> None:
         self.workdir = pathlib.Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
+        #: maps a ticket's ``library_name`` back to the Library, so
+        #: recovery can cancel tickets it only knows by name
+        self._library_resolver = library_resolver
         self._active: Dict[str, CheckoutTicket] = {}
         #: accounting for bench_multiuser
         self.denied_checkouts = 0
@@ -118,6 +126,7 @@ class CheckoutManager:
         self._active[key] = ticket
         cellview.locked_by = user
         self.granted_checkouts += 1
+        fault_point("checkout.after_grant")
         return ticket
 
     def checkin(
@@ -141,12 +150,29 @@ class CheckoutManager:
         if data is None:
             data = ticket.working_path.read_bytes()
         version = library.write_version(cellview, data, author=ticket.user)
+        # the version file now exists but the ticket is still open — a
+        # crash here is the classic half-checkin recovery must repair
+        fault_point("checkout.after_checkin")
         self._close(ticket, cellview)
         return version
 
-    def cancel(self, ticket: CheckoutTicket, library: Library) -> None:
-        """Abandon a checkout without creating a version."""
+    def cancel(
+        self, ticket: CheckoutTicket, library: Optional[Library] = None
+    ) -> None:
+        """Abandon a checkout without creating a version.
+
+        *library* may be omitted when the manager was built with a
+        library resolver — the failure paths and crash recovery only
+        hold the ticket, not the Library object it came from.
+        """
         self._require_open(ticket)
+        if library is None:
+            if self._library_resolver is None:
+                raise CheckoutError(
+                    f"cancel of {ticket.cellview_key} needs a Library: no "
+                    "resolver configured"
+                )
+            library = self._library_resolver(ticket.library_name)
         cellview = library.cellview(ticket.cell_name, ticket.view_name)
         self._close(ticket, cellview)
 

@@ -54,7 +54,9 @@ class FMCADFramework:
         self.clock = clock or SimClock()
         self.ids = IdAllocator()
         self._libraries: Dict[str, Library] = {}
-        self.checkouts = CheckoutManager(self.root / "_workareas")
+        self.checkouts = CheckoutManager(
+            self.root / "_workareas", library_resolver=self.library
+        )
         self.bus = ITCBus()
         self.interpreter = ExtensionInterpreter()
         self._sessions: Dict[str, ToolSession] = {}

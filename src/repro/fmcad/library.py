@@ -241,6 +241,34 @@ class Library:
         self._bump()
         return version
 
+    def drop_version(self, cellview: CellView, number: int) -> None:
+        """Destroy version *number* of *cellview*: record, file, sidecar.
+
+        This is the compensating action of crash recovery — FMCAD itself
+        never deletes design data.  Only the newest version may be
+        dropped, preserving the monotone version chain.  The unlink is a
+        directory-entry removal, so hard-link-dedup'd checkins keep the
+        shared payload alive for the surviving versions.
+        """
+        latest = cellview.default_version
+        if latest is None or latest.number != number:
+            raise LibraryError(
+                f"cellview {cellview.name}: can only drop the newest "
+                f"version, not {number}"
+            )
+        version = cellview.remove_version(number)
+        try:
+            version.path.unlink()
+        except FileNotFoundError:
+            pass  # the crash may have happened before the file landed
+        sidecar = version.path.with_name(version.path.name + ".props")
+        try:
+            sidecar.unlink()
+        except FileNotFoundError:
+            pass
+        self.clock.charge_native_io(0, files=1)
+        self._bump()
+
     def read_version(
         self, cellview: CellView, number: Optional[int] = None
     ) -> bytes:

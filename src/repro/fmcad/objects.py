@@ -189,6 +189,17 @@ class CellView:
             )
         self.versions.append(version)
 
+    def remove_version(self, number: int) -> CellViewVersion:
+        """Drop the version record *number* from the chain.
+
+        Metadata-only: the version file stays on disk — callers that
+        mean to destroy data go through ``Library.drop_version``, which
+        also removes the file and the property sidecar.
+        """
+        version = self.version(number)  # raises when absent
+        self.versions.remove(version)
+        return version
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<CellView {self.name} versions={len(self.versions)}>"
 

@@ -59,11 +59,19 @@ class ToolSession:
 
     # -- menu management --------------------------------------------------------
 
-    def register_menu(self, name: str, action: Callable[..., Any]) -> MenuPoint:
-        if name in self._menus:
-            raise FMCADError(
-                f"session {self.session_id}: duplicate menu point {name!r}"
-            )
+    def register_menu(
+        self, name: str, action: Callable[..., Any], replace: bool = False
+    ) -> MenuPoint:
+        """Add a menu point; *replace* lets a retried tool step re-register
+        its own entry (lock state is preserved across the replacement)."""
+        existing = self._menus.get(name)
+        if existing is not None:
+            if not replace:
+                raise FMCADError(
+                    f"session {self.session_id}: duplicate menu point {name!r}"
+                )
+            existing.action = action
+            return existing
         menu = MenuPoint(name, action)
         self._menus[name] = menu
         return menu

@@ -36,6 +36,7 @@ import hashlib
 from typing import Dict, List, Optional
 
 from repro.errors import OMSError
+from repro.faults import fault_point
 
 
 def digest_bytes(data: bytes) -> str:
@@ -123,6 +124,7 @@ class BlobStore:
         delta-encoded against it if that actually saves space and the
         chain stays under :attr:`MAX_CHAIN_DEPTH`.  Returns the digest.
         """
+        fault_point("blobs.intern")
         digest = digest_bytes(data)
         entry = self._entries.get(digest)
         if entry is not None:
@@ -250,6 +252,40 @@ class BlobStore:
                 (e.depth for e in self._entries.values()), default=0
             ),
         }
+
+    def reference_audit(self, external: Dict[str, int]) -> List[str]:
+        """Compare refcounts against *external* reference claims.
+
+        *external* maps digest -> how many references live objects hold
+        (one per :class:`PayloadHandle`).  Internally, each delta entry
+        holds one more reference on its base.  Any digest whose stored
+        refcount disagrees with the sum — or that only one side knows
+        about — is reported.  The crash suite uses this to prove blob
+        refcounts stayed *exact* through crash and recovery.
+        """
+        internal: Dict[str, int] = {}
+        for entry in self._entries.values():
+            if entry.is_delta:
+                internal[entry.base_digest] = (
+                    internal.get(entry.base_digest, 0) + 1
+                )
+        problems: List[str] = []
+        for digest in sorted(set(external) - set(self._entries)):
+            if external[digest]:
+                problems.append(
+                    f"blob {digest[:12]}: {external[digest]} live references "
+                    "but no store entry"
+                )
+        for digest in sorted(self._entries):
+            expected = external.get(digest, 0) + internal.get(digest, 0)
+            actual = self._entries[digest].refcount
+            if actual != expected:
+                problems.append(
+                    f"blob {digest[:12]}: refcount {actual}, expected "
+                    f"{expected} ({external.get(digest, 0)} live + "
+                    f"{internal.get(digest, 0)} delta-base)"
+                )
+        return problems
 
     def check(self) -> None:
         """Raise :class:`OMSError` on any broken store invariant.

@@ -8,6 +8,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set,
 from repro.clock import SimClock
 from repro.errors import (
     ClosedInterfaceError,
+    OMSError,
     RelationshipError,
     UnknownObjectError,
 )
@@ -78,6 +79,16 @@ class OMSDatabase:
         self.policy: Dict[str, bool] = dict(policy or {})
 
     # -- transactions ---------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while a transaction block is active.
+
+        Durability-sensitive writers (the coupling intent journal) check
+        this: an intent written inside somebody's transaction would
+        vanish on abort, defeating its purpose.
+        """
+        return self._active_txn is not None
 
     @contextlib.contextmanager
     def transaction(self) -> Iterator[Transaction]:
@@ -251,6 +262,28 @@ class OMSDatabase:
     def check_blobs(self) -> None:
         """Verify every blob-store invariant (property-test hook)."""
         self._blobs.check()
+
+    def verify_payload_refcounts(self) -> List[str]:
+        """Cross-check blob refcounts against live object payloads.
+
+        Recomputes, from scratch, how many references each digest should
+        hold (one per live object's payload handle, plus delta-base
+        references counted by the store itself) and reports every
+        mismatch.  Must be called outside any transaction — an open undo
+        journal legitimately pins extra references.
+        """
+        if self.in_transaction:
+            raise OMSError(
+                "verify_payload_refcounts: cannot audit inside a transaction"
+            )
+        external: Dict[str, int] = {}
+        for obj in self._objects.values():
+            if obj.deleted:
+                continue
+            handle = obj.payload_handle
+            if handle is not None:
+                external[handle.digest] = external.get(handle.digest, 0) + 1
+        return self._blobs.reference_audit(external)
 
     def _intern_payload(
         self, payload: Optional[bytes], base_digest: Optional[str] = None

@@ -25,6 +25,7 @@ import pathlib
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import OMSError
+from repro.faults import fault_point
 from repro.ids import sort_key
 from repro.oms.blobs import EMPTY_DIGEST, BlobStat, digest_bytes
 from repro.oms.database import OMSDatabase
@@ -88,6 +89,9 @@ class StagingArea:
         else:
             payload = self._db.get(oid).payload or b""
             path.write_bytes(payload)
+            # the staged file exists but is not yet recorded — a crash
+            # here leaves a staging orphan for recovery to reclaim
+            fault_point("staging.write")
             self._db.clock.charge_copy(len(payload), files=1)
             staged = StagedFile(oid=oid, path=path, size=stat.size, digest=stat.digest)
             self.bytes_exported += len(payload)
@@ -122,6 +126,7 @@ class StagingArea:
             else:
                 payload = self._db.get(oid).payload or b""
                 path.write_bytes(payload)
+                fault_point("staging.write")
                 miss_bytes += len(payload)
                 misses += 1
                 self.bytes_exported += len(payload)
@@ -145,6 +150,7 @@ class StagingArea:
         skipped — the common case after a read-only tool run.
         """
         path = self._resolve_import_path(oid, path)
+        fault_point("staging.import")
         payload = path.read_bytes()
         digest = digest_bytes(payload)
         stat = self._payload_stat(oid)
@@ -174,6 +180,7 @@ class StagingArea:
         self._db.clock.charge_metadata_op()
         for oid in oids:
             path = self._resolve_import_path(oid, None)
+            fault_point("staging.import")
             payload = path.read_bytes()
             digest = digest_bytes(payload)
             stat = self._payload_stat(oid)
@@ -225,6 +232,56 @@ class StagingArea:
         """Remove every staged file."""
         for oid in list(self._staged):
             self.release(oid)
+
+    def orphan_files(self) -> List[pathlib.Path]:
+        """Files under the staging root that no staging record claims.
+
+        These are the leavings of a crash between writing a staged file
+        and recording it (the ``staging.write`` window) — the bytes are
+        all safely in OMS, so the files are pure waste.
+        """
+        claimed = set(self._by_path)
+        return sorted(
+            p for p in self.root.iterdir()
+            if p.is_file() and p not in claimed
+        )
+
+    def adopt_existing(self) -> List[pathlib.Path]:
+        """Re-record staged files a previous process left behind.
+
+        Staged files are a durable copy-on-write cache, but the records
+        claiming them live in memory — after a restart every file under
+        the root looks like an orphan.  A file whose name maps back to a
+        live object and whose content matches that object's payload
+        digest is re-adopted (the next export of that object is a free
+        hit); anything else stays orphaned for recovery to reclaim.
+        """
+        adopted: List[pathlib.Path] = []
+        for path in self.orphan_files():
+            head, sep, tail = path.name.rpartition("_")
+            oid = f"{head}:{tail}" if sep else path.name
+            if not self._db.exists(oid):
+                continue
+            stat = self._payload_stat(oid)
+            if digest_bytes(path.read_bytes()) != stat.digest:
+                continue
+            self._record(
+                StagedFile(
+                    oid=oid, path=path, size=stat.size, digest=stat.digest
+                )
+            )
+            adopted.append(path)
+        return adopted
+
+    def reclaim_orphans(self) -> List[pathlib.Path]:
+        """Delete and return every orphaned staging file."""
+        orphans = self.orphan_files()
+        for path in orphans:
+            try:
+                path.unlink()
+            except FileNotFoundError:  # pragma: no cover - race tolerance
+                pass
+        return orphans
 
     def accounting(self) -> Dict[str, int]:
         """Cumulative staging traffic (bytes, file counts, CoW hits)."""

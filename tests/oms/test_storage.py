@@ -220,3 +220,41 @@ class TestBookkeeping:
             staging.export_object(obj.oid)
             oids.append(obj.oid)
         assert [s.oid for s in staging.staged()] == sorted(oids)
+
+
+class TestAdoptExisting:
+    """Restart semantics: staged files are a durable CoW cache."""
+
+    def test_adopts_matching_file_as_free_export_hit(self, db, tmp_path):
+        first = StagingArea(db, tmp_path / "staging")
+        obj = db.create("Thing", {"name": "x"}, payload=b"design data")
+        first.export_object(obj.oid)
+        # a fresh process: records are gone, the file remains
+        second = StagingArea(db, tmp_path / "staging")
+        assert second.orphan_files() != []
+        adopted = second.adopt_existing()
+        assert len(adopted) == 1
+        assert second.is_staged(obj.oid)
+        assert second.orphan_files() == []
+        # the next export is a digest hit, not a rewrite
+        second.export_object(obj.oid)
+        assert second.accounting()["export_hits"] == 1
+        assert second.accounting()["bytes_exported"] == 0
+
+    def test_stale_content_stays_orphaned(self, db, tmp_path):
+        first = StagingArea(db, tmp_path / "staging")
+        obj = db.create("Thing", {"name": "x"}, payload=b"old")
+        staged = first.export_object(obj.oid)
+        staged.path.write_bytes(b"edited but never imported")
+        second = StagingArea(db, tmp_path / "staging")
+        assert second.adopt_existing() == []
+        assert second.orphan_files() == [staged.path]
+        assert second.reclaim_orphans() == [staged.path]
+
+    def test_unknown_file_stays_orphaned(self, db, tmp_path):
+        area = StagingArea(db, tmp_path / "staging")
+        stray = area.root / "Thing_999999"
+        stray.write_bytes(b"whatever")
+        (area.root / "notes.txt").write_bytes(b"not an oid at all")
+        assert area.adopt_existing() == []
+        assert len(area.orphan_files()) == 2

@@ -68,3 +68,69 @@ class TestConsult:
         assert "design consultant report:" in text
         # flow hint: simulation is the next runnable activity
         assert "digital_simulation" in text
+
+
+class TestAuditRecover:
+    def test_audit_without_workspace_inspects_demo(self):
+        code, text = run_cli(["audit"])
+        assert code == 0
+        assert "audit: clean" in text
+
+    def test_recover_without_workspace_finds_nothing(self):
+        code, text = run_cli(["recover"])
+        assert code == 0
+        assert "nothing to repair" in text
+        assert "audit: clean" in text
+
+    def test_audit_refuses_unsaved_workspace(self, tmp_path):
+        code, text = run_cli(["audit", "--workspace", str(tmp_path)])
+        assert code == 2
+        assert "error:" in text and "not a saved hybrid workspace" in text
+
+    def test_recover_refuses_unsaved_workspace(self, tmp_path):
+        code, text = run_cli(["recover", "--workspace", str(tmp_path)])
+        assert code == 2
+        assert "error:" in text
+
+    def test_demo_saves_reopenable_workspace(self, tmp_path):
+        workspace = tmp_path / "ws"
+        code, text = run_cli(["demo", "--workspace", str(workspace)])
+        assert code == 0
+        assert "saved:" in text
+        code, text = run_cli(["audit", "--workspace", str(workspace)])
+        assert code == 0
+        assert "audit: clean" in text
+
+    def test_crashed_workspace_audits_dirty_then_recovers(self, tmp_path):
+        from repro.core import HybridFramework
+        from repro.faults import CrashFault, FaultPlan, inject
+        from tests.conftest import build_inverter_editor_fn
+
+        root = tmp_path / "ws"
+        hybrid = HybridFramework(root)
+        resources = hybrid.jcf.resources
+        resources.define_user("admin", "alice")
+        resources.define_team("admin", "team1")
+        resources.add_member("admin", "alice", "team1")
+        hybrid.setup_standard_flow()
+        library = hybrid.fmcad.create_library("chiplib")
+        library.create_cell("inv2")
+        project = hybrid.adopt_library("alice", library, "chipA")
+        resources.assign_team_to_project("admin", "team1", project.oid)
+        hybrid.prepare_cell("alice", project, "inv2", team_name="team1")
+        with inject(FaultPlan.crash("harvest.after_checkin")):
+            with pytest.raises(CrashFault):
+                hybrid.run_schematic_entry(
+                    "alice", project, library, "inv2",
+                    build_inverter_editor_fn(),
+                )
+        hybrid.save_state()
+
+        code, text = run_cli(["audit", "--workspace", str(root)])
+        assert code == 1
+        assert "finding(s)" in text
+        code, text = run_cli(["recover", "--workspace", str(root)])
+        assert code == 0
+        assert "audit: clean" in text
+        code, text = run_cli(["audit", "--workspace", str(root)])
+        assert code == 0

@@ -1,0 +1,140 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.faults import (
+    DEFAULT_RETRY_ATTEMPTS,
+    FAULT_POINTS,
+    CrashFault,
+    FaultPlan,
+    FaultRule,
+    TransientFault,
+    active_plan,
+    fault_point,
+    inject,
+    with_retries,
+)
+
+
+class TestFaultRule:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultRule("no.such.point", "crash")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("staging.write", "meteor")
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("staging.write", "crash", on_hit=0)
+        with pytest.raises(ValueError):
+            FaultRule("staging.write", "transient", times=0)
+
+    def test_crash_fires_exactly_once(self):
+        rule = FaultRule("staging.write", "crash", on_hit=2)
+        assert [h for h in range(1, 6) if rule.should_fire(h)] == [2]
+
+    def test_transient_fires_a_window(self):
+        rule = FaultRule("staging.write", "transient", on_hit=2, times=3)
+        assert [h for h in range(1, 8) if rule.should_fire(h)] == [2, 3, 4]
+
+
+class TestFaultPlan:
+    def test_disabled_fault_point_is_noop(self):
+        assert active_plan() is None
+        fault_point("staging.write")  # must not raise, not count anywhere
+
+    def test_crash_on_nth_hit(self):
+        with inject(FaultPlan.crash("blobs.intern", on_hit=3)) as plan:
+            fault_point("blobs.intern")
+            fault_point("blobs.intern")
+            with pytest.raises(CrashFault):
+                fault_point("blobs.intern")
+        assert plan.hits["blobs.intern"] == 3
+        assert plan.fired == [("blobs.intern", "crash", 3)]
+        assert plan.crash_fired
+
+    def test_transient_fires_then_clears(self):
+        plan = FaultPlan.transient("staging.import", on_hit=1, times=2)
+        with inject(plan):
+            with pytest.raises(TransientFault):
+                fault_point("staging.import")
+            with pytest.raises(TransientFault):
+                fault_point("staging.import")
+            fault_point("staging.import")  # window over
+        assert not plan.crash_fired
+        assert len(plan.fired) == 2
+
+    def test_inject_always_deactivates(self):
+        with pytest.raises(RuntimeError):
+            with inject(FaultPlan.crash("staging.write")):
+                raise RuntimeError("boom")
+        assert active_plan() is None
+
+    def test_untargeted_points_still_counted(self):
+        with inject(FaultPlan.crash("staging.write", on_hit=99)) as plan:
+            fault_point("blobs.intern")
+            fault_point("staging.write")
+        assert plan.hits["blobs.intern"] == 1
+        assert plan.hits["staging.write"] == 1
+        assert plan.fired == []
+
+    def test_random_plan_is_deterministic(self):
+        a = FaultPlan.random_plan(seed=1234, transient_probability=0.5)
+        b = FaultPlan.random_plan(seed=1234, transient_probability=0.5)
+        assert a.points == b.points
+        assert a.points[0] in FAULT_POINTS
+
+
+class TestWithRetries:
+    def test_transient_retried_to_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientFault("blip")
+            return "ok"
+
+        clock = SimClock()
+        assert with_retries(flaky, clock=clock) == "ok"
+        assert calls["n"] == 3
+        # two backoffs charged, exponentially
+        backoff = clock.elapsed_by_category().get("retry_backoff", 0)
+        base = clock.cost_model.retry_backoff_ms
+        assert backoff == base * (2 ** 0) + base * (2 ** 1)
+
+    def test_exhausted_retries_reraise(self):
+        def always_flaky():
+            raise TransientFault("blip")
+
+        with pytest.raises(TransientFault):
+            with_retries(always_flaky, attempts=DEFAULT_RETRY_ATTEMPTS)
+
+    def test_crash_is_never_retried(self):
+        calls = {"n": 0}
+
+        def dead():
+            calls["n"] += 1
+            raise CrashFault("dead")
+
+        with pytest.raises(CrashFault):
+            with_retries(dead)
+        assert calls["n"] == 1
+
+    def test_ordinary_errors_pass_through(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("not a fault")
+
+        with pytest.raises(ValueError):
+            with_retries(broken)
+        assert calls["n"] == 1
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            with_retries(lambda: None, attempts=0)
