@@ -15,13 +15,24 @@ subsystem charges abstract cost units (milliseconds of simulated time)
 through a shared clock, and the benchmarks report simulated latencies that
 depend only on the workload, never on the host machine.  pytest-benchmark
 separately measures real wall time of the in-memory code paths.
+
+Concurrency (the parallel coupled-run scheduler) adds *lanes*: a lane is
+a private simulated timeline for one concurrent run.  While a thread has
+a lane bound (:meth:`SimClock.use_lane`), its charges advance the lane
+instead of the master clock; category totals still accumulate globally,
+so ``elapsed_by_category`` reports **summed resource time** while
+``now_ms`` — after the scheduler folds lane ends back with
+:meth:`SimClock.advance_to` — reports **critical-path makespan**.  Lane
+starts are pinned by the scheduler to the wave start, so lane-relative
+timestamps depend only on the workload, never on thread interleaving.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from collections import Counter
-from typing import Dict, List, Optional, Tuple
+import threading
+from collections import Counter, deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 
 @dataclasses.dataclass(frozen=True)
@@ -52,6 +63,47 @@ class CostModel:
     lock_wait_poll_ms: float = 1000.0
     #: base backoff before retrying a transient fault; doubles per attempt.
     retry_backoff_ms: float = 250.0
+    #: durable flush of one OMS commit.  Zero by default so single-run
+    #: workloads keep their historical cost profile; the scheduler's
+    #: group-commit benchmark sets it non-zero to show that a wave of N
+    #: runs pays this once, not N times.
+    commit_flush_ms: float = 0.0
+
+
+#: default ring-buffer capacity for per-charge event records.  Category
+#: totals and the running clock are exact regardless; only the itemised
+#: event trail is bounded.
+DEFAULT_MAX_EVENTS = 65536
+
+
+class Lane:
+    """A private simulated timeline for one concurrent run.
+
+    Created via :meth:`SimClock.open_lane`; bound to a thread with
+    :meth:`SimClock.use_lane`.  All charges made while bound advance the
+    lane's ``now_ms`` instead of the master clock.
+    """
+
+    __slots__ = ("name", "start_ms", "_now_ms")
+
+    def __init__(self, name: str, start_ms: float) -> None:
+        self.name = name
+        self.start_ms = start_ms
+        self._now_ms = start_ms
+
+    @property
+    def now_ms(self) -> float:
+        return self._now_ms
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Simulated time this lane has consumed since it opened."""
+        return self._now_ms - self.start_ms
+
+
+class _LaneBinding(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[Lane] = []
 
 
 class SimClock:
@@ -61,44 +113,128 @@ class SimClock:
     tallied by category so experiments can break latency down into
     metadata / copy / UI / tool components, which is exactly the split
     Section 3.6 discusses.
+
+    Thread-safe: charging is serialised by an internal lock, and a thread
+    that has a :class:`Lane` bound charges its lane rather than the master
+    clock (see the module docstring for the makespan accounting model).
     """
 
-    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        record_events: bool = True,
+        max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+    ) -> None:
         self.cost_model = cost_model or CostModel()
+        #: set False to skip per-charge event records entirely (accounting
+        #: totals are always kept)
+        self.record_events = record_events
         self._now_ms: float = 0.0
         self._by_category: Counter = Counter()
-        self._events: List[Tuple[float, str, float]] = []
+        self._events: Deque[Tuple[float, str, float]] = deque(maxlen=max_events)
+        self._events_seen = 0
+        self._lock = threading.RLock()
+        self._binding = _LaneBinding()
 
     # -- reading the clock -------------------------------------------------
 
     @property
     def now_ms(self) -> float:
-        """Current simulated time in milliseconds."""
+        """Current simulated time in milliseconds.
+
+        When the calling thread has a lane bound this is the *lane* time —
+        so timestamps taken inside a scheduled run are deterministic
+        per-run values, independent of what other workers are doing.
+        """
+        lane = self.current_lane()
+        if lane is not None:
+            return lane.now_ms
         return self._now_ms
 
     def elapsed_by_category(self) -> Dict[str, float]:
-        """Total charged milliseconds per category."""
-        return dict(self._by_category)
+        """Total charged milliseconds per category (summed across lanes)."""
+        with self._lock:
+            return dict(self._by_category)
 
     @property
     def events(self) -> List[Tuple[float, str, float]]:
-        """Chronological ``(timestamp_ms, category, charged_ms)`` records."""
-        return list(self._events)
+        """Chronological ``(timestamp_ms, category, charged_ms)`` records.
+
+        Bounded: only the most recent ``max_events`` are retained.  Use
+        :meth:`events_dropped` to see how many older records were evicted;
+        accounting totals are unaffected by eviction.
+        """
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def events_recorded(self) -> int:
+        """Total number of events ever recorded (including evicted ones)."""
+        return self._events_seen
+
+    @property
+    def events_dropped(self) -> int:
+        """Events evicted from the bounded ring buffer."""
+        with self._lock:
+            return self._events_seen - len(self._events)
+
+    # -- lanes -------------------------------------------------------------
+
+    def open_lane(self, name: str, start_ms: Optional[float] = None) -> Lane:
+        """Create a lane starting at *start_ms* (default: master now).
+
+        The scheduler passes an explicit wave-start time so every lane of
+        a wave starts at the same deterministic instant.
+        """
+        with self._lock:
+            start = self._now_ms if start_ms is None else start_ms
+        return Lane(name, start)
+
+    def use_lane(self, lane: Lane) -> "_LaneContext":
+        """Context manager binding *lane* to the calling thread."""
+        return _LaneContext(self, lane)
+
+    def current_lane(self) -> Optional[Lane]:
+        """The lane bound to the calling thread, if any."""
+        stack = self._binding.stack
+        return stack[-1] if stack else None
+
+    def advance_to(self, timestamp_ms: float) -> float:
+        """Fold a lane end back into the master clock (makespan merge).
+
+        Moves the master clock forward to *timestamp_ms* if it is ahead;
+        never moves it backwards.  No category is charged — the resource
+        time was already accounted when the lane charged it.
+        """
+        with self._lock:
+            if timestamp_ms > self._now_ms:
+                self._now_ms = timestamp_ms
+            return self._now_ms
 
     # -- charging ----------------------------------------------------------
 
     def charge(self, category: str, milliseconds: float) -> float:
         """Advance the clock by *milliseconds*, tagged with *category*.
 
-        Returns the new simulated time.  Negative charges are rejected so a
-        buggy cost computation can never run time backwards.
+        Returns the new simulated time (lane time when a lane is bound).
+        Negative charges are rejected so a buggy cost computation can
+        never run time backwards.
         """
         if milliseconds < 0:
             raise ValueError(f"negative charge: {milliseconds!r} ms for {category!r}")
-        self._now_ms += milliseconds
-        self._by_category[category] += milliseconds
-        self._events.append((self._now_ms, category, milliseconds))
-        return self._now_ms
+        lane = self.current_lane()
+        with self._lock:
+            if lane is not None:
+                lane._now_ms += milliseconds
+                timestamp = lane._now_ms
+            else:
+                self._now_ms += milliseconds
+                timestamp = self._now_ms
+            self._by_category[category] += milliseconds
+            if self.record_events:
+                self._events.append((timestamp, category, milliseconds))
+                self._events_seen += 1
+            return timestamp
 
     def charge_metadata_op(self, count: int = 1) -> float:
         """Charge *count* JCF-desktop metadata operations."""
@@ -144,10 +280,40 @@ class SimClock:
             "retry_backoff", self.cost_model.retry_backoff_ms * (2 ** attempt)
         )
 
+    def charge_commit_flush(self, commits: int = 1) -> float:
+        """Charge the durable flush of *commits* OMS commits.
+
+        Group-commit coalesces a wave's worth of commits into one flush;
+        with the default cost model this is free (``commit_flush_ms=0``).
+        """
+        return self.charge(
+            "commit_flush", self.cost_model.commit_flush_ms * commits
+        )
+
     # -- lifecycle ----------------------------------------------------------
 
     def reset(self) -> None:
         """Zero the clock and all accounting."""
-        self._now_ms = 0.0
-        self._by_category.clear()
-        self._events.clear()
+        with self._lock:
+            self._now_ms = 0.0
+            self._by_category.clear()
+            self._events.clear()
+            self._events_seen = 0
+
+
+class _LaneContext:
+    """Binds a lane to the current thread for the duration of a block."""
+
+    def __init__(self, clock: SimClock, lane: Lane) -> None:
+        self._clock = clock
+        self._lane = lane
+
+    def __enter__(self) -> Lane:
+        self._clock._binding.stack.append(self._lane)
+        return self._lane
+
+    def __exit__(self, *exc_info: object) -> None:
+        stack = self._clock._binding.stack
+        if not stack or stack[-1] is not self._lane:
+            raise RuntimeError("lane binding stack corrupted")
+        stack.pop()

@@ -23,6 +23,7 @@ from repro.core.encapsulation import (
 from repro.core.hierarchy import HierarchyManager
 from repro.core.mapping import DataModelMapper
 from repro.core.recovery import CouplingRecovery, IntentJournal, RecoveryReport
+from repro.core.scheduler import BatchResult, BatchScheduler, RunRequest
 from repro.fmcad.framework import FMCADFramework
 from repro.fmcad.library import Library
 from repro.jcf.flows import FlowDef, standard_encapsulation_flow
@@ -185,6 +186,26 @@ class HybridFramework:
             user, project, library, cell_name,
             force_early=force_early, edit_fn=edit_fn, drc_gate=drc_gate,
         )
+
+    # -- batched parallel runs ---------------------------------------------------------
+
+    def run_many(
+        self,
+        requests,
+        workers: int = 4,
+        seed: int = 0,
+    ) -> BatchResult:
+        """Execute a batch of coupled runs on a worker pool.
+
+        Builds the conflict/dependency graph over *requests* (a sequence
+        of :class:`~repro.core.scheduler.RunRequest`), executes
+        independent runs concurrently in waves, and returns a
+        :class:`~repro.core.scheduler.BatchResult`.  Given the same batch
+        and *seed*, the final OMS snapshot is byte-identical for any
+        worker count — ``workers=1`` is the sequential baseline.
+        """
+        scheduler = BatchScheduler(self, workers=workers, seed=seed)
+        return scheduler.run(requests)
 
     # -- persistence ----------------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, List, Optional, Tuple
 
+from repro.core import gates
 from repro.core.consistency import ConsistencyGuard
 from repro.core.mapping import WORKING_VARIANT, DataModelMapper
 from repro.core.recovery import IntentJournal
@@ -253,46 +254,54 @@ class _ToolWrapper:
             flow_name.get("name")
         ).activity(self.ACTIVITY)
 
-        try:
-            execution = self.jcf.engine.start_activity(
-                variant, self.ACTIVITY, force_early=force_early
+        # everything snapshot-visible this run allocates happens in two
+        # gate.ordered() sections (open / commit); under the scheduler the
+        # wave executes them in fixed turn order, which is what makes a
+        # parallel batch bit-identical to its sequential execution.  With
+        # no scheduler the gate is a NullGate and nothing changes.
+        gate = gates.current_gate()
+
+        with gate.ordered():
+            try:
+                execution = self.jcf.engine.start_activity(
+                    variant, self.ACTIVITY, force_early=force_early
+                )
+            except FlowOrderError:
+                raise  # out-of-order without supervision: rejected outright
+
+            # the window between starting the activity and journalling the
+            # intent: a crash here leaves a running execution no intent
+            # describes — recovery's generic execution sweep covers it
+            fault_point("run.after_start")
+
+            # phase one: journal the intent — durable before any FMCAD side
+            # effect, carrying the per-view version baseline recovery needs
+            # to tell this run's half-work from pre-existing state
+            intent_oid = self.intents.begin(
+                kind=self.ACTIVITY,
+                user=user,
+                library=library.name,
+                cell=cell_name,
+                activity=self.ACTIVITY,
+                execution_oid=execution.oid,
+                variant_oid=variant.oid,
+                fmcad_base=[
+                    [
+                        cv.view.name,
+                        cv.default_version.number if cv.default_version else 0,
+                    ]
+                    for cv in library.cell(cell_name).cellviews()
+                ],
             )
-        except FlowOrderError:
-            raise  # out-of-order without supervision: rejected outright
 
-        # the window between starting the activity and journalling the
-        # intent: a crash here leaves a running execution no intent
-        # describes — recovery's generic execution sweep covers it
-        fault_point("run.after_start")
-
-        # phase one: journal the intent — durable before any FMCAD side
-        # effect, carrying the per-view version baseline recovery needs
-        # to tell this run's half-work from pre-existing state
-        intent_oid = self.intents.begin(
-            kind=self.ACTIVITY,
-            user=user,
-            library=library.name,
-            cell=cell_name,
-            activity=self.ACTIVITY,
-            execution_oid=execution.oid,
-            variant_oid=variant.oid,
-            fmcad_base=[
-                [
-                    cv.view.name,
-                    cv.default_version.number if cv.default_version else 0,
-                ]
-                for cv in library.cell(cell_name).cellviews()
-            ],
-        )
-
-        session = self.fmcad.open_session(self.TOOL, user)
-        if self.GUARD_MENUS:
-            self.guard.guard_session(session)
-        if execution.forced_early:
-            session.show_consistency_window(
-                f"activity {self.ACTIVITY!r} started before its "
-                "predecessor finished — results are provisional"
-            )
+            session = self.fmcad.open_session(self.TOOL, user)
+            if self.GUARD_MENUS:
+                self.guard.guard_session(session)
+            if execution.forced_early:
+                session.show_consistency_window(
+                    f"activity {self.ACTIVITY!r} started before its "
+                    "predecessor finished — results are provisional"
+                )
         crashed = False
         #: views that reached durability — non-empty only after the
         #: harvest transaction commits (cleared when it aborts)
@@ -308,76 +317,80 @@ class _ToolWrapper:
                 ),
                 clock=self.jcf.clock,
             )
-            fmcad_number: Optional[int] = None
-            jcf_version: Optional[JCFDesignObjectVersion] = None
-            creates: List[JCFDesignObjectVersion] = []
-            if data is not None:
-                # a tool may emit several views at once (e.g. schematic
-                # plus the auto-generated symbol); bytes means one view
-                # of the wrapper's primary viewtype
-                outputs = (
-                    data
-                    if isinstance(data, dict)
-                    else {self.VIEWTYPE: data}
+            # the commit section — everything from the harvest
+            # transaction to the derivation record runs in wave turn
+            # order under the scheduler
+            with gate.ordered():
+                fmcad_number: Optional[int] = None
+                jcf_version: Optional[JCFDesignObjectVersion] = None
+                creates: List[JCFDesignObjectVersion] = []
+                if data is not None:
+                    # a tool may emit several views at once (e.g. schematic
+                    # plus the auto-generated symbol); bytes means one view
+                    # of the wrapper's primary viewtype
+                    outputs = (
+                        data
+                        if isinstance(data, dict)
+                        else {self.VIEWTYPE: data}
+                    )
+                    # phase two: harvest every view inside ONE OMS
+                    # transaction, compensating completed FMCAD checkins if
+                    # it aborts — no more half-harvested multi-view runs
+                    completed: List[Tuple[str, object]] = []
+                    try:
+                        with self.jcf.db.transaction():
+                            for viewtype, view_data in outputs.items():
+                                fmcad_version, version = self._harvest(
+                                    user, library, variant, cell_name,
+                                    view_data, viewtype=viewtype,
+                                    completed=completed,
+                                )
+                                harvested.append((fmcad_version, version))
+                                creates.append(version)
+                                if viewtype == self.VIEWTYPE:
+                                    fmcad_number = fmcad_version.number
+                                    jcf_version = version
+                            primary = outputs.get(self.VIEWTYPE)
+                            if primary is not None:
+                                self._pass_hierarchy_to_jcf(
+                                    project, cell_name, primary
+                                )
+                    except CrashFault:
+                        raise  # a dead process compensates nothing
+                    except Exception:
+                        # the OMS side already rolled itself back; undo the
+                        # FMCAD checkins that went with it
+                        self._compensate_checkins(
+                            user, library, cell_name, completed
+                        )
+                        harvested.clear()  # nothing survived the abort
+                        creates.clear()
+                        raise
+                    # the OMS transaction committed: both sides are durable.
+                    # Cross-tag the FMCAD versions now — a crash in this
+                    # window is the roll-forward case (recovery repairs the
+                    # tag from the matching payload digest).  Tag placement
+                    # is idempotent, so glitches are simply retried.
+                    for fmcad_version, version in harvested:
+                        with_retries(
+                            lambda fv=fmcad_version, v=version: (
+                                fault_point("harvest.before_tag"),
+                                fv.properties.set("jcf_oid", v.oid),
+                            ),
+                            clock=self.jcf.clock,
+                        )
+                # outputs durable and cross-tagged; derivation record pending
+                fault_point("run.before_finish")
+                self.jcf.engine.finish_activity(
+                    execution,
+                    needs=[version for version, _ in needs],
+                    creates=creates,
+                    success=success,
                 )
-                # phase two: harvest every view inside ONE OMS
-                # transaction, compensating completed FMCAD checkins if
-                # it aborts — no more half-harvested multi-view runs
-                completed: List[Tuple[str, object]] = []
-                try:
-                    with self.jcf.db.transaction():
-                        for viewtype, view_data in outputs.items():
-                            fmcad_version, version = self._harvest(
-                                user, library, variant, cell_name,
-                                view_data, viewtype=viewtype,
-                                completed=completed,
-                            )
-                            harvested.append((fmcad_version, version))
-                            creates.append(version)
-                            if viewtype == self.VIEWTYPE:
-                                fmcad_number = fmcad_version.number
-                                jcf_version = version
-                        primary = outputs.get(self.VIEWTYPE)
-                        if primary is not None:
-                            self._pass_hierarchy_to_jcf(
-                                project, cell_name, primary
-                            )
-                except CrashFault:
-                    raise  # a dead process compensates nothing
-                except Exception:
-                    # the OMS side already rolled itself back; undo the
-                    # FMCAD checkins that went with it
-                    self._compensate_checkins(
-                        user, library, cell_name, completed
-                    )
-                    harvested.clear()  # nothing survived the abort
-                    creates.clear()
-                    raise
-                # the OMS transaction committed: both sides are durable.
-                # Cross-tag the FMCAD versions now — a crash in this
-                # window is the roll-forward case (recovery repairs the
-                # tag from the matching payload digest).  Tag placement
-                # is idempotent, so glitches are simply retried.
-                for fmcad_version, version in harvested:
-                    with_retries(
-                        lambda fv=fmcad_version, v=version: (
-                            fault_point("harvest.before_tag"),
-                            fv.properties.set("jcf_oid", v.oid),
-                        ),
-                        clock=self.jcf.clock,
-                    )
-            # outputs durable and cross-tagged; derivation record pending
-            fault_point("run.before_finish")
-            self.jcf.engine.finish_activity(
-                execution,
-                needs=[version for version, _ in needs],
-                creates=creates,
-                success=success,
-            )
-            self.fmcad.log_invocation(
-                self.TOOL, user, cell_name, self.VIEWTYPE
-            )
-            self.intents.finish(intent_oid, INTENT_DONE)
+                self.fmcad.log_invocation(
+                    self.TOOL, user, cell_name, self.VIEWTYPE
+                )
+                self.intents.finish(intent_oid, INTENT_DONE)
             return ToolRunResult(
                 activity_name=self.ACTIVITY,
                 cell_name=cell_name,

@@ -41,6 +41,7 @@ equality).
 from __future__ import annotations
 
 import dataclasses
+import shutil
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CouplingError, FMCADError, LibraryError
@@ -186,7 +187,27 @@ class CouplingRecovery:
         self._sweep_reservations(report)
         for path in self.jcf.staging.reclaim_orphans():
             report.reclaimed_staging_files.append(path.name)
+        self._sweep_staging_sandboxes(report)
         return report
+
+    def _sweep_staging_sandboxes(self, report: RecoveryReport) -> None:
+        """Remove sandbox directories crashed scheduled runs left behind.
+
+        Each scheduled run stages through a private subdirectory of the
+        staging root (``JCFFramework.staging_sandbox``); a clean run
+        removes its own.  Whatever directories survive a crash hold only
+        export copies — the bytes are all safely inside OMS — so they
+        are reclaimed wholesale.
+        """
+        root = self.jcf.staging.root
+        for subdir in sorted(p for p in root.iterdir() if p.is_dir()):
+            for path in sorted(subdir.rglob("*")):
+                if path.is_file():
+                    path.unlink()
+                    report.reclaimed_staging_files.append(
+                        f"{subdir.name}/{path.name}"
+                    )
+            shutil.rmtree(subdir, ignore_errors=True)
 
     # -- per-intent repair -----------------------------------------------------
 

@@ -43,6 +43,20 @@ class TransactionError(OMSError):
     """A transactional operation was used outside a valid transaction."""
 
 
+class QueryError(OMSError):
+    """A query primitive was used against data that violates its contract."""
+
+
+class LockContentionError(OMSError):
+    """A non-blocking lock acquisition found the lock already held.
+
+    Raised by :class:`repro.oms.locks.LockManager` when a caller asked
+    for ``blocking=False`` — the scheduler treats this as "the conflict
+    graph missed an edge" and defers the run to a later wave instead of
+    risking a wait that could deadlock against its commit ordering.
+    """
+
+
 class ClosedInterfaceError(OMSError):
     """Direct access to OMS internals was attempted.
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import random
+import threading
 from collections import Counter
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
@@ -130,6 +131,9 @@ class FaultPlan:
         self.hits: Counter = Counter()
         #: chronological ``(point, kind, hit_number)`` firing log
         self.fired: List[Tuple[str, str, int]] = []
+        #: scheduler workers traverse points concurrently; the decision
+        #: "does hit N fire?" must be atomic per point
+        self._lock = threading.Lock()
 
     # -- construction ------------------------------------------------------
 
@@ -176,22 +180,31 @@ class FaultPlan:
     # -- firing ------------------------------------------------------------
 
     def hit(self, point: str) -> None:
-        """Record one traversal of *point*; raise if a rule schedules it."""
-        self.hits[point] += 1
-        rules = self._rules.get(point)
-        if not rules:
+        """Record one traversal of *point*; raise if a rule schedules it.
+
+        Thread-safe: the count-and-decide step runs under a lock so two
+        concurrent traversals can never both claim the same hit number;
+        the fault itself is raised outside the lock.
+        """
+        with self._lock:
+            self.hits[point] += 1
+            rules = self._rules.get(point)
+            if not rules:
+                return
+            count = self.hits[point]
+            firing: Optional[FaultRule] = None
+            for rule in rules:
+                if rule.should_fire(count):
+                    firing = rule
+                    self.fired.append((point, rule.kind, count))
+                    break
+        if firing is None:
             return
-        count = self.hits[point]
-        for rule in rules:
-            if rule.should_fire(count):
-                self.fired.append((point, rule.kind, count))
-                if rule.kind == KIND_CRASH:
-                    raise CrashFault(
-                        f"injected crash at {point!r} (hit {count})"
-                    )
-                raise TransientFault(
-                    f"injected transient fault at {point!r} (hit {count})"
-                )
+        if firing.kind == KIND_CRASH:
+            raise CrashFault(f"injected crash at {point!r} (hit {count})")
+        raise TransientFault(
+            f"injected transient fault at {point!r} (hit {count})"
+        )
 
     @property
     def crash_fired(self) -> bool:

@@ -16,6 +16,7 @@ survives arbitrarily large counters.
 from __future__ import annotations
 
 import itertools
+import threading
 from functools import lru_cache
 from typing import Dict, Iterator, Tuple
 
@@ -43,6 +44,11 @@ class IdAllocator:
 
     def __init__(self) -> None:
         self._counters: Dict[str, Iterator[int]] = {}
+        # allocation must stay atomic under the parallel scheduler: two
+        # workers allocating the same kind concurrently must never see
+        # the same counter value (determinism then comes from *ordering*
+        # the allocating sections, see repro.core.gates)
+        self._lock = threading.Lock()
 
     def allocate(self, kind: str) -> str:
         """Return the next identifier for *kind*, e.g. ``"cell:000001"``.
@@ -51,8 +57,9 @@ class IdAllocator:
         consumers must order ids with :func:`sort_key`, never
         lexicographically.
         """
-        counter = self._counters.setdefault(kind, itertools.count(1))
-        return f"{kind}:{next(counter):06d}"
+        with self._lock:
+            counter = self._counters.setdefault(kind, itertools.count(1))
+            return f"{kind}:{next(counter):06d}"
 
     def observe(self, identifier: str) -> None:
         """Fast-forward the counter of *identifier*'s kind past it.
@@ -65,11 +72,13 @@ class IdAllocator:
         if not kind or not (number_text.isdigit() and number_text.isascii()):
             raise ValueError(f"malformed identifier: {identifier!r}")
         seen = int(number_text)
-        current = self._counters.get(kind)
-        # peek at the counter without consuming: rebuild from max
-        next_value = next(current) if current is not None else 1
-        self._counters[kind] = itertools.count(max(next_value, seen + 1))
+        with self._lock:
+            current = self._counters.get(kind)
+            # peek at the counter without consuming: rebuild from max
+            next_value = next(current) if current is not None else 1
+            self._counters[kind] = itertools.count(max(next_value, seen + 1))
 
     def reset(self) -> None:
         """Forget all counters (used between independent experiments)."""
-        self._counters.clear()
+        with self._lock:
+            self._counters.clear()

@@ -15,7 +15,7 @@ consistency guard can show its extra windows.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import FlowError, FlowOrderError
 from repro.jcf.flows import FlowRegistry
@@ -107,6 +107,17 @@ class FlowEngine:
         self.rejected_starts = 0
         #: early starts forced through by the coupling wrappers
         self.forced_starts = 0
+        #: variant oid -> (flow name, status-by-activity) — the
+        #: materialised index behind :meth:`state_of`.  Maintained by
+        #: start/finish_activity; a transaction that aborts pops its
+        #: variant's entry via a journalled undo, so the cache can never
+        #: serve state a rollback took back.  Concurrent runs touch
+        #: disjoint variants (scheduler conflict graph), so plain dict
+        #: operations suffice.
+        self._state_cache: Dict[str, tuple] = {}
+        #: cache effectiveness counters (bench_flow / regression tests)
+        self.state_cache_hits = 0
+        self.state_cache_misses = 0
 
     # -- state inspection -------------------------------------------------------
 
@@ -126,18 +137,55 @@ class FlowEngine:
         ]
 
     def state_of(self, variant: JCFVariant) -> FlowExecutionState:
-        """Latest status per activity of the variant's flow."""
+        """Latest status per activity of the variant's flow.
+
+        Served from the per-variant index when possible — O(activities)
+        instead of rescanning every ``exec_in_variant`` execution.  The
+        cached entry remembers which flow it was computed against, so a
+        re-attached flow forces a rescan rather than serving stale
+        activity names.
+        """
         flow_name = self._flow_name_of(variant)
+        cached = self._state_cache.get(variant.oid)
+        if cached is not None and cached[0] == flow_name:
+            self.state_cache_hits += 1
+            return FlowExecutionState(
+                variant_name=variant.name,
+                flow_name=flow_name,
+                status_by_activity=dict(cached[1]),
+            )
+        self.state_cache_misses += 1
         flow_def = self._flows.definition(flow_name)
         status = {a.name: EXEC_NOT_STARTED for a in flow_def.activities}
         for execution in self.executions_of(variant):
             # executions come back id-ordered == chronological
             status[execution.activity_name] = execution.status
+        self._state_cache[variant.oid] = (flow_name, dict(status))
         return FlowExecutionState(
             variant_name=variant.name,
             flow_name=flow_name,
             status_by_activity=status,
         )
+
+    def invalidate_state_cache(self, variant_oid: Optional[str] = None) -> None:
+        """Drop the materialised state index (for one variant or all).
+
+        Needed only by callers that mutate executions behind the
+        engine's back; start/finish_activity maintain the index
+        themselves.
+        """
+        if variant_oid is None:
+            self._state_cache.clear()
+        else:
+            self._state_cache.pop(variant_oid, None)
+
+    def _cache_status(
+        self, variant_oid: str, activity_name: str, status: str
+    ) -> None:
+        """Fold one status change into the index (entry may be absent)."""
+        cached = self._state_cache.get(variant_oid)
+        if cached is not None:
+            cached[1][activity_name] = status
 
     # -- execution protocol ----------------------------------------------------------
 
@@ -187,6 +235,13 @@ class FlowEngine:
             )
             self._db.link("exec_of_activity", activity_obj.oid, exec_obj.oid)
             self._db.link("exec_in_variant", variant.oid, exec_obj.oid)
+            # if this transaction (or an outer one it joined) aborts, the
+            # execution vanishes — the journalled undo drops the index
+            # entry so the cache cannot keep reporting it as running
+            self._db._journal(
+                lambda: self._state_cache.pop(variant.oid, None)
+            )
+        self._cache_status(variant.oid, activity_name, EXEC_RUNNING)
         return JCFExecution(self._db, exec_obj)
 
     def finish_activity(
@@ -207,6 +262,8 @@ class FlowEngine:
                 f"execution {execution.oid} is {execution.status}; only "
                 "running executions can finish"
             )
+        variant_oid = execution.variant.oid
+        activity_name = execution.activity_name
         with self._db.transaction():
             for needed in needs:
                 self._db.link("needs_of_version", execution.oid, needed.oid)
@@ -221,6 +278,12 @@ class FlowEngine:
             self._db.set_attr(
                 execution.oid, "finished_ms", self._db.clock.now_ms
             )
+            self._db._journal(
+                lambda: self._state_cache.pop(variant_oid, None)
+            )
+        self._cache_status(
+            variant_oid, activity_name, EXEC_DONE if success else EXEC_FAILED
+        )
 
     # -- derivation queries (Section 3.5) ------------------------------------------------
 

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import contextlib
 import pathlib
-from typing import Any, Dict, Optional
+import threading
+from typing import Any, Dict, Iterator, Optional
 
 from repro.clock import SimClock
 from repro.jcf.configurations import ConfigurationService
@@ -69,9 +71,57 @@ class JCFFramework:
         self.configurations = ConfigurationService(self.db)
         self.desktop = JCFDesktop(self.db, self.resources, self.workspaces)
         self.versioning = VersioningService(self.db)
-        self.staging = StagingArea(self.db, self.root / "staging")
+        self._default_staging = StagingArea(self.db, self.root / "staging")
+        self._staging_local = threading.local()
         if snapshot is not None:
             self.flows.rehydrate()
+
+    # -- staging ---------------------------------------------------------------
+
+    @property
+    def staging(self) -> StagingArea:
+        """The staging area serving the calling thread.
+
+        Normally the framework-wide default area; inside a
+        :meth:`staging_sandbox` block (one per scheduled run) it is that
+        run's private sandbox, so concurrent runs can never collide on
+        staged file names.
+        """
+        override = getattr(self._staging_local, "area", None)
+        return override if override is not None else self._default_staging
+
+    @contextlib.contextmanager
+    def staging_sandbox(self, name: str) -> Iterator[StagingArea]:
+        """Bind a private staging directory to the calling thread.
+
+        The sandbox lives at ``<staging root>/<name>`` — inside the
+        default area's root, so the crash audit and recovery sweeps can
+        find a crashed run's leavings by scanning subdirectories.  The
+        caller owns cleanup: the scheduler clears a sandbox after a
+        clean run and deliberately leaves crash leavings for
+        ``CouplingRecovery.recover()``.
+        """
+        sandbox = StagingArea(
+            self.db,
+            self._default_staging.root / name,
+            copy_on_write=self._default_staging.copy_on_write,
+        )
+        previous = getattr(self._staging_local, "area", None)
+        self._staging_local.area = sandbox
+        try:
+            yield sandbox
+        finally:
+            self._staging_local.area = previous
+            # fold the sandbox's traffic into the framework-wide
+            # accounting so stats() still reports total staging cost
+            default = self._default_staging
+            with default._lock:
+                default.bytes_exported += sandbox.bytes_exported
+                default.bytes_imported += sandbox.bytes_imported
+                default.files_exported += sandbox.files_exported
+                default.files_imported += sandbox.files_imported
+                default.export_hits += sandbox.export_hits
+                default.import_hits += sandbox.import_hits
 
     # -- persistence ---------------------------------------------------------
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import threading
 from typing import Dict, List, Optional
 
 from repro.errors import OMSError
@@ -112,6 +113,9 @@ class BlobStore:
         self.dedup_hits = 0
         #: payloads stored as deltas instead of full copies
         self.delta_stores = 0
+        #: serialises refcount and chain mutations under the parallel
+        #: scheduler; reentrant because _free cascades through decref
+        self._lock = threading.RLock()
 
     # -- storing -------------------------------------------------------------
 
@@ -126,14 +130,15 @@ class BlobStore:
         """
         fault_point("blobs.intern")
         digest = digest_bytes(data)
-        entry = self._entries.get(digest)
-        if entry is not None:
-            entry.refcount += 1
-            self.dedup_hits += 1
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                entry.refcount += 1
+                self.dedup_hits += 1
+                return digest
+            entry = self._encode(data, base_digest)
+            self._entries[digest] = entry
             return digest
-        entry = self._encode(data, base_digest)
-        self._entries[digest] = entry
-        return digest
 
     def _encode(self, data: bytes, base_digest: Optional[str]) -> _Entry:
         base = (
@@ -167,16 +172,18 @@ class BlobStore:
 
     def stat(self, digest: str) -> BlobStat:
         """Digest and size in O(1) — never touches payload bytes."""
-        return BlobStat(digest=digest, size=self._require(digest).size)
+        with self._lock:
+            return BlobStat(digest=digest, size=self._require(digest).size)
 
     def materialize(self, digest: str) -> bytes:
         """Reconstruct the full payload, applying the delta chain."""
-        chain: List[_Entry] = []
-        entry = self._require(digest)
-        while entry.is_delta:
-            chain.append(entry)
-            entry = self._require(entry.base_digest)
-        data = entry.data
+        with self._lock:
+            chain: List[_Entry] = []
+            entry = self._require(digest)
+            while entry.is_delta:
+                chain.append(entry)
+                entry = self._require(entry.base_digest)
+            data = entry.data
         for delta in reversed(chain):
             tail = data[len(data) - delta.suffix_len:] if delta.suffix_len else b""
             data = data[:delta.prefix_len] + delta.middle + tail
@@ -184,7 +191,8 @@ class BlobStore:
 
     def describe(self, digest: str) -> Dict[str, int]:
         """Storage shape of one entry (for experiments and assertions)."""
-        entry = self._require(digest)
+        with self._lock:
+            entry = self._require(digest)
         return {
             "size": entry.size,
             "stored_bytes": entry.stored_bytes,
@@ -196,27 +204,30 @@ class BlobStore:
     # -- reference management ------------------------------------------------
 
     def incref(self, digest: str) -> None:
-        self._require(digest).refcount += 1
+        with self._lock:
+            self._require(digest).refcount += 1
 
     def decref(self, digest: str) -> None:
         """Drop one reference; frees the entry when none remain."""
-        entry = self._require(digest)
-        entry.refcount -= 1
-        if entry.refcount == 0:
-            self._free(digest, entry)
+        with self._lock:
+            entry = self._require(digest)
+            entry.refcount -= 1
+            if entry.refcount == 0:
+                self._free(digest, entry)
 
     def release(self, digest: str) -> Optional[bytes]:
         """Like :meth:`decref`, but hands back the bytes if this was the
         last reference — the hook transaction undo journals use so a
         rolled-back overwrite can re-intern exactly what was freed."""
-        entry = self._require(digest)
-        if entry.refcount == 1:
-            data = self.materialize(digest)
-            entry.refcount = 0
-            self._free(digest, entry)
-            return data
-        entry.refcount -= 1
-        return None
+        with self._lock:
+            entry = self._require(digest)
+            if entry.refcount == 1:
+                data = self.materialize(digest)
+                entry.refcount = 0
+                self._free(digest, entry)
+                return data
+            entry.refcount -= 1
+            return None
 
     def _free(self, digest: str, entry: _Entry) -> None:
         del self._entries[digest]
@@ -237,21 +248,22 @@ class BlobStore:
 
     def stats(self) -> Dict[str, int]:
         """Dedup/delta effectiveness counters for experiments."""
-        full = sum(1 for e in self._entries.values() if not e.is_delta)
-        return {
-            "blobs": len(self._entries),
-            "full_blobs": full,
-            "delta_blobs": len(self._entries) - full,
-            "logical_bytes": sum(e.size for e in self._entries.values()),
-            "stored_bytes": sum(
-                e.stored_bytes for e in self._entries.values()
-            ),
-            "dedup_hits": self.dedup_hits,
-            "delta_stores": self.delta_stores,
-            "max_chain_depth": max(
-                (e.depth for e in self._entries.values()), default=0
-            ),
-        }
+        with self._lock:
+            full = sum(1 for e in self._entries.values() if not e.is_delta)
+            return {
+                "blobs": len(self._entries),
+                "full_blobs": full,
+                "delta_blobs": len(self._entries) - full,
+                "logical_bytes": sum(e.size for e in self._entries.values()),
+                "stored_bytes": sum(
+                    e.stored_bytes for e in self._entries.values()
+                ),
+                "dedup_hits": self.dedup_hits,
+                "delta_stores": self.delta_stores,
+                "max_chain_depth": max(
+                    (e.depth for e in self._entries.values()), default=0
+                ),
+            }
 
     def reference_audit(self, external: Dict[str, int]) -> List[str]:
         """Compare refcounts against *external* reference claims.

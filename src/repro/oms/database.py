@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import contextlib
+import functools
+import threading
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.clock import SimClock
@@ -10,14 +12,16 @@ from repro.errors import (
     ClosedInterfaceError,
     OMSError,
     RelationshipError,
+    TransactionError,
     UnknownObjectError,
 )
 from repro.ids import IdAllocator, sort_key
 from repro.oms.blobs import BlobStat, BlobStore, PayloadHandle
 from repro.oms.links import LinkStore
+from repro.oms.locks import LockManager
 from repro.oms.objects import OMSObject
 from repro.oms.schema import RelationshipDef, Schema
-from repro.oms.transactions import Transaction
+from repro.oms.transactions import GroupCommit, Transaction
 
 
 class DirectAccess:
@@ -47,12 +51,35 @@ class DirectAccess:
         self._database.clock.charge_metadata_op()
 
 
+def _synchronized(method):
+    """Serialise one public store operation on the database mutex.
+
+    Primitive reads and writes become atomic with respect to each other;
+    the mutex is reentrant, so journalled undos (which call mutating
+    primitives back during an abort) and predicate callbacks that issue
+    further queries are safe.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._mutex:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 class OMSDatabase:
     """Schema-checked object store with links, transactions and staging.
 
     All mutating primitives journal their inverses into the active
     transaction (if any), so a JCF desktop operation that fails midway
     rolls back atomically.
+
+    Thread-safety is layered: the internal reentrant mutex makes every
+    primitive operation atomic (no torn index updates), per-thread
+    transactions keep undo journals private to their worker, and the
+    :class:`~repro.oms.locks.LockManager` in :attr:`locks` gives the
+    scheduler run-level isolation on top.
     """
 
     def __init__(
@@ -72,7 +99,22 @@ class OMSDatabase:
         self._blobs = BlobStore()
         #: adjacency-indexed link store; mutated ONLY via _link_add/_link_remove
         self._link_index = LinkStore()
-        self._active_txn: Optional[Transaction] = None
+        #: per-thread active transaction — under the parallel scheduler
+        #: every worker runs its own undo journal
+        self._txn_local = threading.local()
+        #: serialises every structural read/write of the shared stores;
+        #: reentrant because journalled undos call mutating primitives
+        #: back while an abort holds the lock
+        self._mutex = threading.RLock()
+        #: run-level read/write isolation for the scheduler (coarser than
+        #: the mutex: held across a whole coupled run, not one primitive)
+        self.locks = LockManager()
+        #: open group-commit batch (shared across threads), if any
+        self._commit_group: Optional[GroupCommit] = None
+        #: durable-flush accounting for the group-commit experiment
+        self.commit_count = 0
+        self.flush_count = 0
+        self.coalesced_commits = 0
         self._procedural_interface_enabled = enable_procedural_interface
         #: framework policy switches consulted by the typed wrappers
         #: (e.g. the cross-project-sharing future-work extension)
@@ -81,8 +123,16 @@ class OMSDatabase:
     # -- transactions ---------------------------------------------------------
 
     @property
+    def _active_txn(self) -> Optional[Transaction]:
+        return getattr(self._txn_local, "txn", None)
+
+    @_active_txn.setter
+    def _active_txn(self, txn: Optional[Transaction]) -> None:
+        self._txn_local.txn = txn
+
+    @property
     def in_transaction(self) -> bool:
-        """True while a transaction block is active.
+        """True while a transaction block is active **on this thread**.
 
         Durability-sensitive writers (the coupling intent journal) check
         this: an intent written inside somebody's transaction would
@@ -92,7 +142,12 @@ class OMSDatabase:
 
     @contextlib.contextmanager
     def transaction(self) -> Iterator[Transaction]:
-        """Run a block atomically; rolls back all mutations on exception."""
+        """Run a block atomically; rolls back all mutations on exception.
+
+        Transactions are per-thread: concurrent workers each journal
+        into their own transaction, while the primitive mutations they
+        make are serialised by the store mutex.
+        """
         if self._active_txn is not None:
             # Nested blocks join the outer transaction: the outermost
             # commit/abort decides the fate of everything.
@@ -104,11 +159,60 @@ class OMSDatabase:
             yield txn
         except BaseException:
             self._active_txn = None
-            txn.abort()
+            # roll back under the mutex: the undo closures mutate the
+            # shared stores directly
+            with self._mutex:
+                txn.abort()
             raise
         else:
             self._active_txn = None
             txn.commit()
+            self._note_top_level_commit()
+
+    def _note_top_level_commit(self) -> None:
+        """Account the durable flush of one committed top-level txn.
+
+        Inside an open :meth:`group_commit` batch the flush is deferred
+        to the group; otherwise it is charged immediately.  With the
+        default cost model (``commit_flush_ms=0``) the charge is free
+        either way — only the counters move.
+        """
+        with self._mutex:
+            self.commit_count += 1
+            group = self._commit_group
+            if group is not None:
+                group.note_commit()
+                return
+            self.flush_count += 1
+        self.clock.charge_commit_flush()
+
+    @contextlib.contextmanager
+    def group_commit(self) -> Iterator[GroupCommit]:
+        """Coalesce all top-level commits in this block into one flush.
+
+        The scheduler opens one group per wave; every run's metadata
+        transaction then registers with the group instead of flushing
+        individually, and the group pays a single durable flush when it
+        closes.  Groups do not nest.
+        """
+        with self._mutex:
+            if self._commit_group is not None:
+                raise TransactionError(
+                    "group_commit: a commit group is already open"
+                )
+            group = GroupCommit(self._allocator.allocate("commitgroup"))
+            self._commit_group = group
+        try:
+            yield group
+        finally:
+            with self._mutex:
+                self._commit_group = None
+                commits = group.close()
+                if commits:
+                    self.flush_count += 1
+                    self.coalesced_commits += commits - 1
+            if commits:
+                self.clock.charge_commit_flush()
 
     def _journal(self, undo: Callable[[], None]) -> None:
         if self._active_txn is not None:
@@ -116,6 +220,7 @@ class OMSDatabase:
 
     # -- object lifecycle -------------------------------------------------------
 
+    @_synchronized
     def create(
         self,
         type_name: str,
@@ -161,6 +266,7 @@ class OMSDatabase:
         obj = self._objects.get(oid)
         return obj is not None and not obj.deleted
 
+    @_synchronized
     def delete(self, oid: str) -> None:
         """Delete an object and all links touching it (O(degree), not O(E)).
 
@@ -189,6 +295,7 @@ class OMSDatabase:
 
         self._journal(undo)
 
+    @_synchronized
     def set_attr(self, oid: str, name: str, value: Any) -> None:
         """Schema-checked attribute update."""
         obj = self.get(oid)
@@ -196,6 +303,7 @@ class OMSDatabase:
         self.clock.charge_metadata_op()
         self._journal(lambda: obj._set(name, previous))
 
+    @_synchronized
     def set_payload(
         self,
         oid: str,
@@ -263,6 +371,7 @@ class OMSDatabase:
         """Verify every blob-store invariant (property-test hook)."""
         self._blobs.check()
 
+    @_synchronized
     def verify_payload_refcounts(self) -> List[str]:
         """Cross-check blob refcounts against live object payloads.
 
@@ -342,6 +451,7 @@ class OMSDatabase:
                     f"to {dst} (cardinality {rel.cardinality})"
                 )
 
+    @_synchronized
     def link(self, rel_name: str, source_oid: str, target_oid: str) -> None:
         """Create a typed, cardinality-checked link between two objects."""
         rel = self.schema.relationship(rel_name)
@@ -365,6 +475,7 @@ class OMSDatabase:
             lambda: self._link_remove(rel_name, source_oid, target_oid)
         )
 
+    @_synchronized
     def unlink(self, rel_name: str, source_oid: str, target_oid: str) -> None:
         """Remove a link; raises if it does not exist."""
         self.schema.relationship(rel_name)
@@ -375,10 +486,12 @@ class OMSDatabase:
         self.clock.charge_metadata_op()
         self._journal(lambda: self._link_add(rel_name, source_oid, target_oid))
 
+    @_synchronized
     def linked(self, rel_name: str, source_oid: str, target_oid: str) -> bool:
         self.schema.relationship(rel_name)
         return self._link_index.contains(rel_name, source_oid, target_oid)
 
+    @_synchronized
     def targets(self, rel_name: str, source_oid: str) -> List[OMSObject]:
         """Objects reachable from *source_oid* over *rel_name* (stable order)."""
         self.schema.relationship(rel_name)
@@ -387,6 +500,7 @@ class OMSDatabase:
             for oid in self._link_index.targets_of(rel_name, source_oid)
         ]
 
+    @_synchronized
     def sources(self, rel_name: str, target_oid: str) -> List[OMSObject]:
         """Objects linking to *target_oid* over *rel_name* (stable order)."""
         self.schema.relationship(rel_name)
@@ -395,26 +509,31 @@ class OMSDatabase:
             for oid in self._link_index.sources_of(rel_name, target_oid)
         ]
 
+    @_synchronized
     def target_oids(self, rel_name: str, source_oid: str) -> List[str]:
         """Like :meth:`targets` but returns bare oids — no object fetch."""
         self.schema.relationship(rel_name)
         return self._link_index.targets_of(rel_name, source_oid)
 
+    @_synchronized
     def source_oids(self, rel_name: str, target_oid: str) -> List[str]:
         """Like :meth:`sources` but returns bare oids — no object fetch."""
         self.schema.relationship(rel_name)
         return self._link_index.sources_of(rel_name, target_oid)
 
+    @_synchronized
     def out_degree(self, rel_name: str, source_oid: str) -> int:
         """Number of targets of *source_oid* over *rel_name*, O(1)."""
         self.schema.relationship(rel_name)
         return self._link_index.out_degree(rel_name, source_oid)
 
+    @_synchronized
     def in_degree(self, rel_name: str, target_oid: str) -> int:
         """Number of sources of *target_oid* over *rel_name*, O(1)."""
         self.schema.relationship(rel_name)
         return self._link_index.in_degree(rel_name, target_oid)
 
+    @_synchronized
     def neighbors(
         self,
         rel_name: str,
@@ -443,17 +562,20 @@ class OMSDatabase:
                 expanded[oid] = [self.get(n) for n in found]
         return expanded
 
+    @_synchronized
     def link_pairs(self, rel_name: str) -> Set[Tuple[str, str]]:
         """A copy of the relation's ``(source, target)`` pair set."""
         self.schema.relationship(rel_name)
         return self._link_index.pairs(rel_name)
 
+    @_synchronized
     def relation_names(self) -> List[str]:
         """Relations holding at least one link, sorted by name."""
         return self._link_index.relation_names()
 
     # -- queries ----------------------------------------------------------------
 
+    @_synchronized
     def select(
         self,
         type_name: str,
@@ -493,6 +615,7 @@ class OMSDatabase:
 
     # -- statistics ---------------------------------------------------------------
 
+    @_synchronized
     def stats(self) -> Dict[str, Any]:
         """Counts by entity type and total payload bytes (for experiments)."""
         by_type: Dict[str, int] = {}

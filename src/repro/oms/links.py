@@ -17,6 +17,15 @@ Every query is O(degree); cardinality lookups (`first_target`,
 through :meth:`add` and :meth:`remove`, so they can never drift apart —
 transaction undo closures must call back into these primitives instead
 of poking captured sets (the bug class that motivated this store).
+
+Threading contract: ``LinkStore`` itself is **not** internally locked.
+Every call — reads included, because they copy adjacency lists that a
+concurrent ``_insort`` would resize underneath them — must arrive
+through :class:`repro.oms.database.OMSDatabase`, whose reentrant store
+mutex serialises all primitive operations.  Queries return fresh list
+copies, so results stay valid after the mutex is released; run-level
+isolation on top of that is the scheduler's
+:class:`~repro.oms.locks.LockManager`'s job.
 """
 
 from __future__ import annotations
@@ -123,7 +132,11 @@ class LinkStore:
         deletion can journal an exact inverse.
         """
         removed: List[Tuple[str, Pair]] = []
-        for rel_name, index in self._relations.items():
+        # sorted by relation name: the removal (and hence undo-journal)
+        # order must not depend on relation registration order, which can
+        # differ between otherwise-identical runs of a scheduled batch
+        for rel_name in sorted(self._relations):
+            index = self._relations[rel_name]
             touching = [(oid, dst) for dst in index.forward.get(oid, ())]
             touching += [
                 (src, oid)

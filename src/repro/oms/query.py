@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
+from repro.errors import QueryError
 from repro.ids import sort_key
 from repro.oms.database import OMSDatabase
 from repro.oms.objects import OMSObject
@@ -33,12 +34,16 @@ class QueryEngine:
         return self._db.sources(rel_name, oid)
 
     def only_child(self, rel_name: str, oid: str) -> Optional[OMSObject]:
-        """The unique target over *rel_name*, or None; raises on ambiguity."""
+        """The unique target over *rel_name*, or None.
+
+        Raises :class:`~repro.errors.QueryError` on ambiguity, so callers
+        can catch the typed OMS hierarchy instead of a bare ValueError.
+        """
         found = self._db.targets(rel_name, oid)
         if not found:
             return None
         if len(found) > 1:
-            raise ValueError(
+            raise QueryError(
                 f"{rel_name}: expected at most one target of {oid}, "
                 f"found {len(found)}"
             )

@@ -21,7 +21,9 @@ always-copy behaviour (the baseline arm of ``bench_staging``).
 from __future__ import annotations
 
 import dataclasses
+import functools
 import pathlib
+import threading
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import OMSError
@@ -39,6 +41,22 @@ class StagedFile:
     path: pathlib.Path
     size: int
     digest: str = EMPTY_DIGEST
+
+
+def _synchronized(method):
+    """Serialise one staging operation on the area's reentrant lock.
+
+    Concurrent scheduler workers share one default area (plus private
+    sandboxes); the lock keeps the staged-file records, path claims and
+    accounting counters coherent under that sharing.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 class StagingArea:
@@ -67,9 +85,11 @@ class StagingArea:
         self.export_hits = 0
         #: database writes avoided because the tool left the file unchanged
         self.import_hits = 0
+        self._lock = threading.RLock()
 
     # -- export: OMS -> file system (checkout for tool use) ---------------------
 
+    @_synchronized
     def export_object(self, oid: str, filename: Optional[str] = None) -> StagedFile:
         """Copy the payload of *oid* out of OMS into a staging file.
 
@@ -99,6 +119,7 @@ class StagingArea:
         self._record(staged)
         return staged
 
+    @_synchronized
     def export_objects(
         self,
         oids: Sequence[str],
@@ -140,6 +161,7 @@ class StagingArea:
 
     # -- import: file system -> OMS (checkin after tool run) ----------------------
 
+    @_synchronized
     def import_object(self, oid: str, path: Optional[pathlib.Path] = None) -> int:
         """Copy a staging file back into the payload of *oid*.
 
@@ -167,6 +189,7 @@ class StagingArea:
         )
         return len(payload)
 
+    @_synchronized
     def import_objects(self, oids: Sequence[str]) -> Dict[str, int]:
         """Import many previously-staged objects with one batched charge.
 
@@ -202,6 +225,7 @@ class StagingArea:
 
     # -- bookkeeping ----------------------------------------------------------------
 
+    @_synchronized
     def staged(self) -> List[StagedFile]:
         """All files currently staged, ordered by (numeric) object id."""
         return [
@@ -211,6 +235,7 @@ class StagingArea:
     def is_staged(self, oid: str) -> bool:
         return oid in self._staged
 
+    @_synchronized
     def release(self, oid: str) -> None:
         """Remove the staged copy of *oid* from the file system.
 
@@ -228,11 +253,13 @@ class StagingArea:
         except FileNotFoundError:
             pass
 
+    @_synchronized
     def clear(self) -> None:
         """Remove every staged file."""
         for oid in list(self._staged):
             self.release(oid)
 
+    @_synchronized
     def orphan_files(self) -> List[pathlib.Path]:
         """Files under the staging root that no staging record claims.
 
@@ -246,6 +273,7 @@ class StagingArea:
             if p.is_file() and p not in claimed
         )
 
+    @_synchronized
     def adopt_existing(self) -> List[pathlib.Path]:
         """Re-record staged files a previous process left behind.
 
@@ -273,6 +301,7 @@ class StagingArea:
             adopted.append(path)
         return adopted
 
+    @_synchronized
     def reclaim_orphans(self) -> List[pathlib.Path]:
         """Delete and return every orphaned staging file."""
         orphans = self.orphan_files()
@@ -283,6 +312,7 @@ class StagingArea:
                 pass
         return orphans
 
+    @_synchronized
     def accounting(self) -> Dict[str, int]:
         """Cumulative staging traffic (bytes, file counts, CoW hits)."""
         return {

@@ -9,6 +9,7 @@ operations and plays them back on abort.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List, Optional
 
 from repro.errors import TransactionError
@@ -85,3 +86,42 @@ class Transaction:
                 f"transaction {self.txn_id}: {failed} undo step(s) raised "
                 f"during rollback; first failure: {first_failure!r}"
             ) from first_failure
+
+
+class GroupCommit:
+    """One open commit group: top-level commits flushed together.
+
+    Opened by :meth:`repro.oms.database.OMSDatabase.group_commit`.  While
+    a group is open, every top-level transaction commit registers here
+    instead of charging its own durable flush; when the group closes, the
+    whole batch pays **one** flush.  This is the classic group-commit
+    amortisation — the parallel scheduler opens one group per wave, so a
+    wave of N runs costs one flush, not N.
+
+    Thread-safe: worker threads of one wave commit concurrently.
+    """
+
+    def __init__(self, group_id: str) -> None:
+        self.group_id = group_id
+        self._lock = threading.Lock()
+        self.commits = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def note_commit(self) -> None:
+        """Register one top-level commit into this group."""
+        with self._lock:
+            if self._closed:
+                raise TransactionError(
+                    f"commit group {self.group_id} is closed; cannot join"
+                )
+            self.commits += 1
+
+    def close(self) -> int:
+        """Seal the group; returns the number of coalesced commits."""
+        with self._lock:
+            self._closed = True
+            return self.commits

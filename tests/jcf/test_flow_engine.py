@@ -158,3 +158,83 @@ class TestDerivationRecording:
         engine.finish_activity(execution)
         with pytest.raises(FlowError):
             engine.finish_activity(execution)
+
+
+class TestStateCache:
+    def test_repeated_state_of_hits_cache(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        engine.state_of(variant)
+        misses = engine.state_cache_misses
+        before = engine.state_cache_hits
+        for _ in range(5):
+            engine.state_of(variant)
+        assert engine.state_cache_hits == before + 5
+        assert engine.state_cache_misses == misses
+
+    def test_cache_tracks_start_and_finish(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        engine.state_of(variant)  # warm
+        execution = engine.start_activity(variant, "schematic_entry")
+        state = engine.state_of(variant)  # served from cache
+        assert state.status_by_activity["schematic_entry"] == EXEC_RUNNING
+        engine.finish_activity(execution)
+        state = engine.state_of(variant)
+        assert state.status_by_activity["schematic_entry"] == EXEC_DONE
+        # the cached answer matches a forced rescan exactly
+        cached = state.status_by_activity
+        engine.invalidate_state_cache(variant.oid)
+        rescanned = engine.state_of(variant).status_by_activity
+        assert cached == rescanned
+
+    def test_aborted_transaction_invalidates_cache(self, jcf_with_flow, variant):
+        """A start_activity joined to an outer transaction that aborts
+        must not leave the cache claiming the activity is running."""
+        engine = jcf_with_flow.engine
+        db = jcf_with_flow.db
+        engine.state_of(variant)  # warm
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                engine.start_activity(variant, "schematic_entry")
+                raise RuntimeError("boom")
+        state = engine.state_of(variant)
+        assert state.status_by_activity["schematic_entry"] == EXEC_NOT_STARTED
+        # and starting again (for real) works
+        engine.start_activity(variant, "schematic_entry")
+        assert (
+            engine.state_of(variant).status_by_activity["schematic_entry"]
+            == EXEC_RUNNING
+        )
+
+    def test_returned_state_is_a_copy(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        state = engine.state_of(variant)
+        state.status_by_activity["schematic_entry"] = "vandalised"
+        assert (
+            engine.state_of(variant).status_by_activity["schematic_entry"]
+            == EXEC_NOT_STARTED
+        )
+
+    def test_reattached_flow_forces_rescan(self, jcf_with_flow, variant):
+        from repro.jcf.flows import FlowDef, ActivityDef
+
+        jcf = jcf_with_flow
+        engine = jcf.engine
+        engine.state_of(variant)  # warm against jcf_fmcad_flow
+        other = FlowDef(
+            "other_flow",
+            (ActivityDef("lone_activity", "lone_tool"),),
+        )
+        jcf.register_flow(other)
+        variant.cell_version.attach_flow(jcf.flows.flow_object("other_flow"))
+        misses = engine.state_cache_misses
+        state = engine.state_of(variant)
+        assert engine.state_cache_misses == misses + 1
+        assert set(state.status_by_activity) == {"lone_activity"}
+
+    def test_global_invalidation(self, jcf_with_flow, variant):
+        engine = jcf_with_flow.engine
+        engine.state_of(variant)
+        engine.invalidate_state_cache()
+        misses = engine.state_cache_misses
+        engine.state_of(variant)
+        assert engine.state_cache_misses == misses + 1

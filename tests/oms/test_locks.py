@@ -1,0 +1,168 @@
+"""The OMS lock manager: RWLock semantics and ordered acquisition."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import LockContentionError
+from repro.oms.locks import Acquisition, LockManager, RWLock
+
+
+class TestRWLock:
+    def test_read_is_shared(self):
+        lock = RWLock("k")
+        lock.acquire_read()
+        lock.acquire_read()  # a second reader enters freely
+        lock.release_read()
+        lock.release_read()
+
+    def test_write_excludes_write_nonblocking(self):
+        lock = RWLock("k")
+        lock.acquire_write()
+        with pytest.raises(LockContentionError):
+            lock.acquire_write(blocking=False)
+        lock.release_write()
+
+    def test_write_excludes_read_nonblocking(self):
+        lock = RWLock("k")
+        lock.acquire_write()
+        with pytest.raises(LockContentionError):
+            lock.acquire_read(blocking=False)
+        lock.release_write()
+
+    def test_read_excludes_write_nonblocking(self):
+        lock = RWLock("k")
+        lock.acquire_read()
+        with pytest.raises(LockContentionError):
+            lock.acquire_write(blocking=False)
+        lock.release_read()
+
+    def test_reentrant_read(self):
+        lock = RWLock("k")
+        lock.acquire_read()
+        lock.acquire_read()  # same thread, counted
+        lock.release_read()
+        lock.release_read()
+
+    def test_read_while_holding_write_refused(self):
+        # mode changes by the holder are refused, never deadlocked
+        lock = RWLock("k")
+        lock.acquire_write()
+        with pytest.raises(LockContentionError):
+            lock.acquire_read()
+        lock.release_write()
+
+    def test_upgrade_refused(self):
+        # read -> write upgrade deadlocks classically; refused instead
+        lock = RWLock("k")
+        lock.acquire_read()
+        with pytest.raises(LockContentionError):
+            lock.acquire_write()
+        lock.release_read()
+
+    def test_write_blocks_other_thread_until_release(self):
+        lock = RWLock("k")
+        lock.acquire_write()
+        entered = threading.Event()
+
+        def reader():
+            lock.acquire_read()
+            entered.set()
+            lock.release_read()
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert not entered.wait(0.05)
+        lock.release_write()
+        assert entered.wait(2.0)
+        thread.join()
+
+    def test_timeout_raises(self):
+        lock = RWLock("k")
+        lock.acquire_write()
+        with pytest.raises(LockContentionError):
+            lock.acquire_read(timeout=0.01)
+        lock.release_write()
+
+    def test_release_without_hold_raises(self):
+        lock = RWLock("k")
+        with pytest.raises(LockContentionError):
+            lock.release_read()
+        with pytest.raises(LockContentionError):
+            lock.release_write()
+
+
+class TestLockManager:
+    def test_acquire_and_release(self):
+        manager = LockManager()
+        acq = manager.acquire(read=("a",), write=("b",))
+        assert isinstance(acq, Acquisition)
+        acq.release()
+        # all free again
+        acq2 = manager.acquire(write=("a", "b"))
+        acq2.release()
+
+    def test_acquiring_context(self):
+        manager = LockManager()
+        with manager.acquiring(write=("k",)):
+            with pytest.raises(LockContentionError):
+                manager.acquire(write=("k",), blocking=False)
+        manager.acquire(write=("k",), blocking=False).release()
+
+    def test_write_supersedes_read(self):
+        manager = LockManager()
+        with manager.acquiring(read=("k",), write=("k",)):
+            # held as write, so even a read from elsewhere is refused
+            with pytest.raises(LockContentionError):
+                manager.acquire(read=("k",), blocking=False)
+
+    def test_global_order_is_sort_key(self):
+        manager = LockManager()
+        acq = manager.acquire(
+            write=("cell/lib/b", "cell/lib/a", "cell/lib/c")
+        )
+        keys = [key for key, _mode in acq.keys]
+        assert keys == sorted(keys)
+        acq.release()
+
+    def test_partial_failure_releases_grants(self):
+        manager = LockManager()
+        with manager.acquiring(write=("b",)):
+            with pytest.raises(LockContentionError):
+                manager.acquire(write=("a", "b"), blocking=False)
+            # "a" was granted then rolled back: it must be free now
+            manager.acquire(write=("a",), blocking=False).release()
+
+    def test_counters(self):
+        manager = LockManager()
+        with manager.acquiring(write=("k",)):
+            try:
+                manager.acquire(write=("k",), blocking=False)
+            except LockContentionError:
+                pass
+        stats = manager.stats()
+        assert stats["contentions"] == 1
+        assert stats["acquisitions"] >= 1
+
+    def test_concurrent_writers_serialise(self):
+        manager = LockManager()
+        counter = {"value": 0, "max_inside": 0}
+        guard = threading.Lock()
+
+        def bump():
+            for _ in range(50):
+                with manager.acquiring(write=("shared",)):
+                    with guard:
+                        counter["value"] += 1
+                        counter["max_inside"] = max(
+                            counter["max_inside"], 1
+                        )
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter["value"] == 200

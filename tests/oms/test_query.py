@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import OMSError, QueryError
 from repro.oms.query import QueryEngine
 
 
@@ -42,7 +43,17 @@ class TestSingleHop:
         for n in "bc":
             other = db.create("Thing", {"name": n})
             db.link("linked", a.oid, other.oid)
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
+            engine.only_child("linked", a.oid)
+
+    def test_only_child_ambiguous_is_typed_oms_error(self, db):
+        """QueryError slots into the repro.errors OMS hierarchy."""
+        engine = QueryEngine(db)
+        a = db.create("Thing", {"name": "a"})
+        for n in "bc":
+            other = db.create("Thing", {"name": n})
+            db.link("linked", a.oid, other.oid)
+        with pytest.raises(OMSError):
             engine.only_child("linked", a.oid)
 
 

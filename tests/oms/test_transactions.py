@@ -84,3 +84,78 @@ class TestAbortWithFailingUndos:
             txn.abort()
         with pytest.raises(TransactionError):
             txn.abort()
+
+
+class TestGroupCommit:
+    def test_commits_coalesce_into_one_flush(self, db):
+        flushes = db.flush_count
+        with db.group_commit():
+            for i in range(5):
+                with db.transaction():
+                    db.create("Thing", {"name": f"t{i}"})
+        assert db.flush_count == flushes + 1
+        assert db.coalesced_commits == 4
+        assert db.commit_count >= 5
+
+    def test_commits_outside_group_flush_individually(self, db):
+        flushes = db.flush_count
+        for i in range(3):
+            with db.transaction():
+                db.create("Thing", {"name": f"t{i}"})
+        assert db.flush_count == flushes + 3
+        assert db.coalesced_commits == 0
+
+    def test_empty_group_flushes_nothing(self, db):
+        flushes = db.flush_count
+        with db.group_commit():
+            pass
+        assert db.flush_count == flushes
+
+    def test_groups_do_not_nest(self, db):
+        from repro.errors import TransactionError
+
+        with db.group_commit():
+            with pytest.raises(TransactionError):
+                with db.group_commit():
+                    pass
+
+    def test_group_reusable_after_close(self, db):
+        with db.group_commit():
+            with db.transaction():
+                db.create("Thing", {"name": "a"})
+        with db.group_commit():
+            with db.transaction():
+                db.create("Thing", {"name": "b"})
+        assert db.flush_count == 2
+
+    def test_aborted_transactions_do_not_count(self, db):
+        flushes = db.flush_count
+        with db.group_commit():
+            with pytest.raises(RuntimeError):
+                with db.transaction():
+                    db.create("Thing", {"name": "x"})
+                    raise RuntimeError("abort")
+        assert db.flush_count == flushes  # nothing committed, no flush
+        assert db.coalesced_commits == 0
+
+    def test_flush_cost_charged_once_per_group(self, clock, simple_schema):
+        from repro.clock import CostModel
+        from repro.oms.database import OMSDatabase
+
+        clock = type(clock)(CostModel(commit_flush_ms=3.0))
+        db = OMSDatabase(simple_schema, clock=clock)
+        with db.group_commit():
+            for i in range(4):
+                with db.transaction():
+                    db.create("Thing", {"name": f"t{i}"})
+        assert clock.elapsed_by_category()["commit_flush"] == 3.0
+
+    def test_closed_group_refuses_commits(self):
+        from repro.errors import TransactionError
+        from repro.oms.transactions import GroupCommit
+
+        group = GroupCommit("commitgroup:000001")
+        group.note_commit()
+        assert group.close() == 1
+        with pytest.raises(TransactionError):
+            group.note_commit()

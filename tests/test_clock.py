@@ -80,3 +80,111 @@ class TestReset:
         assert clock.now_ms == 0.0
         assert clock.elapsed_by_category() == {}
         assert clock.events == []
+
+class TestBoundedEvents:
+    def test_ring_buffer_truncates_but_totals_survive(self):
+        clock = SimClock(max_events=10)
+        for _ in range(25):
+            clock.charge("a", 1.0)
+        assert len(clock.events) == 10
+        assert clock.events_recorded == 25
+        assert clock.events_dropped == 15
+        # accounting is unaffected by eviction
+        assert clock.now_ms == 25.0
+        assert clock.elapsed_by_category() == {"a": 25.0}
+
+    def test_recording_can_be_disabled(self):
+        clock = SimClock(record_events=False)
+        clock.charge("a", 5.0)
+        assert clock.events == []
+        assert clock.events_recorded == 0
+        assert clock.now_ms == 5.0
+
+    def test_kept_events_are_the_most_recent(self):
+        clock = SimClock(max_events=3)
+        for i in range(6):
+            clock.charge(f"c{i}", 1.0)
+        assert [c for _, c, _ in clock.events] == ["c3", "c4", "c5"]
+
+    def test_reset_zeroes_event_counters(self):
+        clock = SimClock(max_events=4)
+        for _ in range(9):
+            clock.charge("a", 1.0)
+        clock.reset()
+        assert clock.events == []
+        assert clock.events_recorded == 0
+        assert clock.events_dropped == 0
+
+
+class TestLanes:
+    def test_lane_charges_do_not_advance_master(self):
+        clock = SimClock()
+        clock.charge("setup", 10.0)
+        lane = clock.open_lane("run0")
+        with clock.use_lane(lane):
+            clock.charge("tool", 100.0)
+        assert clock.now_ms == 10.0          # master untouched
+        assert lane.now_ms == 110.0          # started at master now
+        assert lane.elapsed_ms == 100.0
+        # resource accounting still sums globally
+        assert clock.elapsed_by_category()["tool"] == 100.0
+
+    def test_explicit_start_ms(self):
+        clock = SimClock()
+        lane = clock.open_lane("run1", start_ms=50.0)
+        assert lane.start_ms == 50.0 and lane.now_ms == 50.0
+
+    def test_advance_to_merges_makespan(self):
+        clock = SimClock()
+        lanes = [clock.open_lane(f"r{i}") for i in range(3)]
+        for i, lane in enumerate(lanes):
+            with clock.use_lane(lane):
+                clock.charge("tool", 10.0 * (i + 1))
+        clock.advance_to(max(lane.now_ms for lane in lanes))
+        assert clock.now_ms == 30.0          # critical path, not 60
+        assert clock.elapsed_by_category()["tool"] == 60.0  # summed
+
+    def test_advance_to_never_rewinds(self):
+        clock = SimClock()
+        clock.charge("a", 100.0)
+        clock.advance_to(10.0)
+        assert clock.now_ms == 100.0
+
+    def test_lane_binding_is_per_thread(self):
+        import threading
+
+        clock = SimClock()
+        lane = clock.open_lane("mine")
+        seen = {}
+
+        def other():
+            seen["lane"] = clock.current_lane()
+
+        with clock.use_lane(lane):
+            thread = threading.Thread(target=other)
+            thread.start()
+            thread.join()
+            assert clock.current_lane() is lane
+        assert seen["lane"] is None
+        assert clock.current_lane() is None
+
+    def test_nested_lanes_restore(self):
+        clock = SimClock()
+        outer = clock.open_lane("outer")
+        inner = clock.open_lane("inner")
+        with clock.use_lane(outer):
+            with clock.use_lane(inner):
+                assert clock.current_lane() is inner
+            assert clock.current_lane() is outer
+
+
+class TestCommitFlush:
+    def test_default_model_flushes_free(self):
+        clock = SimClock()
+        clock.charge_commit_flush(5)
+        assert clock.now_ms == 0.0
+
+    def test_flush_cost_scales_with_commits(self):
+        clock = SimClock(CostModel(commit_flush_ms=4.0))
+        clock.charge_commit_flush(3)
+        assert clock.elapsed_by_category()["commit_flush"] == 12.0

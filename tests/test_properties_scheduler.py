@@ -1,0 +1,155 @@
+"""Property-based tests for the parallel coupled-run scheduler.
+
+Two promises, probed with random batches and schedule seeds:
+
+1. **Determinism** — for any batch of valid coupled runs and any seed,
+   executing with several workers commits an OMS snapshot byte-identical
+   to executing the same batch with one worker.
+2. **Recovery convergence** — after a crash fault fires mid-wave,
+   ``recover()`` restores a clean audit and a second ``recover()`` is a
+   fixpoint (repairs nothing).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coupling import HybridFramework
+from repro.core.scheduler import RunRequest
+from repro.faults import FaultPlan, inject
+from tests.conftest import (
+    build_inverter_editor_fn,
+    inverter_testbench_fn,
+    simple_layout_fn,
+)
+
+#: per-cell flow chain; a batch assigns each cell a prefix of it
+CHAIN = ("schematic_entry", "digital_simulation", "layout_entry")
+
+KWARGS = {
+    "schematic_entry": lambda: {"edit_fn": build_inverter_editor_fn(2)},
+    "digital_simulation": lambda: {
+        "testbench_fn": inverter_testbench_fn(2)
+    },
+    "layout_entry": lambda: {"edit_fn": simple_layout_fn()},
+}
+
+
+@st.composite
+def batches(draw):
+    """A valid batch: per-cell runs follow the flow chain in order,
+    cells interleave arbitrarily."""
+    n_cells = draw(st.integers(min_value=1, max_value=3))
+    # sequence of cell picks; each pick emits that cell's next activity
+    picks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_cells - 1),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    progress = [0] * n_cells
+    plan = []
+    for cell_index in picks:
+        step = progress[cell_index]
+        if step >= len(CHAIN):
+            continue
+        progress[cell_index] = step + 1
+        plan.append((cell_index, CHAIN[step]))
+    return n_cells, plan
+
+
+def build_environment(root: pathlib.Path, n_cells: int):
+    if root.exists():
+        shutil.rmtree(root)
+    hybrid = HybridFramework(root)
+    resources = hybrid.jcf.resources
+    resources.define_user("admin", "alice")
+    resources.define_team("admin", "team1")
+    resources.add_member("admin", "alice", "team1")
+    hybrid.setup_standard_flow()
+    library = hybrid.fmcad.create_library("chiplib")
+    cells = [f"cell{i}" for i in range(n_cells)]
+    for cell in cells:
+        library.create_cell(cell)
+    project = hybrid.adopt_library("alice", library, "chipA")
+    resources.assign_team_to_project("admin", "team1", project.oid)
+    for cell in cells:
+        hybrid.prepare_cell("alice", project, cell, team_name="team1")
+    return hybrid, project, library, cells
+
+
+def requests_for(plan, project, library, cells):
+    return [
+        RunRequest(
+            "alice", project, library, cells[cell_index], activity,
+            kwargs=KWARGS[activity](),
+        )
+        for cell_index, activity in plan
+    ]
+
+
+class TestSchedulerDeterminism:
+    @given(batch=batches(), seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_parallel_snapshot_equals_sequential(self, batch, seed):
+        n_cells, plan = batch
+        base = pathlib.Path(tempfile.mkdtemp(prefix="prop_sched_"))
+        try:
+            # both arms at the same path: snapshots embed absolute paths
+            root = base / "env"
+            snapshots = []
+            statuses = []
+            for workers in (1, 3):
+                hybrid, project, library, cells = build_environment(
+                    root, n_cells
+                )
+                result = hybrid.run_many(
+                    requests_for(plan, project, library, cells),
+                    workers=workers,
+                    seed=seed,
+                )
+                statuses.append([o.status for o in result.outcomes])
+                assert hybrid.audit().clean
+                snapshots.append(hybrid.jcf.save_snapshot())
+            assert statuses[0] == statuses[1]
+            assert snapshots[0] == snapshots[1]
+        finally:
+            shutil.rmtree(base, ignore_errors=True)
+
+
+class TestCrashRecoveryConvergence:
+    @given(
+        batch=batches(),
+        seed=st.integers(min_value=0, max_value=2**16),
+        crash_hit=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_double_recover_is_fixpoint(self, batch, seed, crash_hit):
+        n_cells, plan = batch
+        base = pathlib.Path(tempfile.mkdtemp(prefix="prop_crash_"))
+        try:
+            hybrid, project, library, cells = build_environment(
+                base / "env", n_cells
+            )
+            plan_obj = FaultPlan.crash("run.before_finish", on_hit=crash_hit)
+            with inject(plan_obj):
+                hybrid.run_many(
+                    requests_for(plan, project, library, cells),
+                    workers=3,
+                    seed=seed,
+                )
+            hybrid.recover()
+            assert hybrid.audit().clean
+            second = hybrid.recover()
+            assert second.empty(), (
+                f"second recover() repaired something: {second.summary()}"
+            )
+            assert hybrid.audit().clean
+        finally:
+            shutil.rmtree(base, ignore_errors=True)
