@@ -18,6 +18,12 @@ Commands
 ``recover``
     Run two-phase crash recovery on a saved workspace, print what was
     repaired, then re-audit; exits non-zero when the audit stays dirty.
+``scrub``
+    Verify every stored payload against its content address and report
+    damage; with ``--repair``, heal from cross-framework peer copies and
+    quarantine what cannot be healed.  Exit codes are cron-friendly:
+    0 = store verified, 1 = actionable damage remains, 2 = could not
+    open the workspace at all.
 """
 
 from __future__ import annotations
@@ -82,6 +88,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "saved hybrid workspace to recover (default: temp demo "
             "environment, which needs no repair)"
+        ),
+    )
+    scrub = subparsers.add_parser(
+        "scrub",
+        help="verify all stored payloads; optionally repair/quarantine",
+    )
+    scrub.add_argument(
+        "--workspace",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "saved hybrid workspace to scrub (default: temp demo "
+            "environment, which is pristine)"
+        ),
+    )
+    scrub.add_argument(
+        "--repair",
+        action="store_true",
+        help=(
+            "heal damaged payloads from peer copies in the other "
+            "framework; quarantine anything unrepairable"
         ),
     )
     return parser
@@ -282,6 +309,19 @@ def cmd_recover(out, workspace: Optional[pathlib.Path]) -> int:
     return 0 if audit.clean else 1
 
 
+def cmd_scrub(out, workspace: Optional[pathlib.Path], repair: bool) -> int:
+    from repro.integrity import Scrubber
+
+    hybrid = _open_for_inspection(workspace)
+    report = Scrubber(hybrid.jcf, hybrid.fmcad).scrub(repair=repair)
+    out.write(report.render() + "\n")
+    if repair and workspace is not None:
+        # repairs rewrote files and may have converted delta payloads to
+        # full ones; persist so the next reopen sees the healed store
+        hybrid.save_state()
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -303,6 +343,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "recover":
         try:
             return cmd_recover(out, args.workspace)
+        except ReproError as error:
+            out.write(f"error: {error}\n")
+            return 2
+    if args.command == "scrub":
+        try:
+            return cmd_scrub(out, args.workspace, args.repair)
         except ReproError as error:
             out.write(f"error: {error}\n")
             return 2

@@ -15,6 +15,8 @@ import dataclasses
 from typing import Dict, List, Optional
 
 from repro.core.hierarchy import HierarchyManager
+from repro.errors import IntegrityError
+from repro.integrity.scrub import Scrubber
 from repro.core.mapping import DataModelMapper
 from repro.core.recovery import IntentJournal
 from repro.fmcad.framework import FMCADFramework
@@ -170,8 +172,23 @@ class ConsistencyGuard:
         findings: List[Inconsistency] = []
         for problem in library.verify_meta():
             findings.append(Inconsistency("meta", problem, "hybrid"))
-        for problem in self.hierarchy.verify_against_library(project, library):
-            findings.append(Inconsistency("hierarchy", problem, "hybrid"))
+        try:
+            for problem in self.hierarchy.verify_against_library(
+                project, library
+            ):
+                findings.append(Inconsistency("hierarchy", problem, "hybrid"))
+        except IntegrityError as exc:
+            # a verified read tripped over damaged bytes mid-extraction;
+            # that is itself the strongest possible finding
+            findings.append(
+                Inconsistency(
+                    "integrity",
+                    f"{exc.location or 'library data'}: "
+                    f"{exc.classification or 'corrupt'} detected during "
+                    "hierarchy extraction",
+                    "hybrid",
+                )
+            )
         findings.extend(self._scan_payloads(library))
         findings.extend(self._scan_configurations(project))
         return findings
@@ -265,6 +282,7 @@ class ConsistencyGuard:
         self._audit_reservations(report)
         self._audit_staging(report)
         self._audit_blobs(report)
+        self._audit_integrity(report)
         return report
 
     def _each_library(self) -> List[Library]:
@@ -373,6 +391,21 @@ class ConsistencyGuard:
     def _audit_blobs(self, report: AuditReport) -> None:
         for problem in self.jcf.db.verify_payload_refcounts():
             report.findings.append(AuditFinding("blob-refcount", problem))
+
+    def _audit_integrity(self, report: AuditReport) -> None:
+        """Report-only integrity scrub over every storage area.
+
+        Only *actionable* damage counts: informational orphans are
+        covered by the dedicated sweeps above, and known-quarantined
+        losses were already surfaced by the recovery pass that
+        quarantined them — re-reporting forever would make a recovered
+        store permanently un-auditable.
+        """
+        for finding in Scrubber(self.jcf, self.fmcad).scrub().findings:
+            if finding.actionable:
+                report.findings.append(
+                    AuditFinding("integrity", str(finding))
+                )
 
     # -- the FMCAD baseline (what the slave notices by itself) ----------------------
 

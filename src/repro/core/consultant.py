@@ -22,7 +22,7 @@ import dataclasses
 from typing import List, Optional
 
 from repro.core.consistency import ConsistencyGuard
-from repro.errors import ReproError, ToolError
+from repro.errors import IntegrityError, ReproError, ToolError
 from repro.fmcad.library import Library
 from repro.jcf.framework import JCFFramework
 from repro.jcf.model import EXEC_FAILED
@@ -163,7 +163,7 @@ class DesignConsultant:
             schematic = Schematic.from_bytes(
                 library.read_version(cellview)
             )
-        except ToolError:
+        except (ToolError, IntegrityError):
             advice.append(
                 Advice(
                     severity="blocker",
@@ -208,6 +208,8 @@ class DesignConsultant:
             )
         except ToolError:
             return []  # not a testbench report (black-box flows)
+        except IntegrityError:
+            return []  # corrupt on disk; the consistency scan reports it
         if report.fault_coverage is None:
             return [
                 Advice(

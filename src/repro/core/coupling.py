@@ -8,6 +8,7 @@ language, ITC).  See ``examples/quickstart.py`` for a guided tour.
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Any, Dict, Optional
 
@@ -220,7 +221,11 @@ class HybridFramework:
         caller's responsibility, exactly as they were the designer's.
         """
         path = self.root / self.SNAPSHOT_NAME
-        path.write_bytes(self.jcf.save_snapshot())
+        # temp-file + atomic rename: a crash mid-save leaves the previous
+        # snapshot intact instead of a torn file that poisons reopen()
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(self.jcf.save_snapshot())
+        os.replace(tmp, path)
         return path
 
     @classmethod

@@ -135,7 +135,10 @@ class _ToolWrapper:
             [version.oid for version in versions]
         )
         return [
-            (version, staged_file.path.read_bytes())
+            # verified read: a staged file that rotted since its export
+            # raises IntegrityError here instead of feeding the tool
+            # garbage it would dutifully parse into a broken design
+            (version, self.jcf.staging.read_staged(staged_file.oid))
             for version, staged_file in zip(versions, staged_files)
         ]
 

@@ -47,6 +47,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.errors import CouplingError, FMCADError, LibraryError
 from repro.fmcad.framework import FMCADFramework
 from repro.fmcad.library import Library
+from repro.integrity.scrub import Scrubber
 from repro.jcf.flow_engine import JCFExecution
 from repro.jcf.framework import JCFFramework
 from repro.jcf.model import (
@@ -140,6 +141,10 @@ class RecoveryReport:
     failed_executions: List[str] = dataclasses.field(default_factory=list)
     released_reservations: List[str] = dataclasses.field(default_factory=list)
     reclaimed_staging_files: List[str] = dataclasses.field(default_factory=list)
+    #: corrupt payloads healed from verified peer copies (integrity scrub)
+    repaired_payloads: List[str] = dataclasses.field(default_factory=list)
+    #: unrepairable payloads taken out of service, never to be read again
+    quarantined_payloads: List[str] = dataclasses.field(default_factory=list)
 
     def empty(self) -> bool:
         return not any(
@@ -167,6 +172,7 @@ class CouplingRecovery:
         self.jcf = jcf
         self.fmcad = fmcad
         self.intents = IntentJournal(jcf.db)
+        self.scrubber = Scrubber(jcf, fmcad)
 
     # -- the recovery pass -----------------------------------------------------
 
@@ -188,7 +194,25 @@ class CouplingRecovery:
         for path in self.jcf.staging.reclaim_orphans():
             report.reclaimed_staging_files.append(path.name)
         self._sweep_staging_sandboxes(report)
+        self._scrub_storage(report)
         return report
+
+    def _scrub_storage(self, report: RecoveryReport) -> None:
+        """Leave a fully *verified* store, not just a consistent one.
+
+        The structural sweeps above repair what crashed runs broke; this
+        final pass re-verifies every stored payload and heals at-rest
+        corruption from verified peer copies (see
+        :class:`repro.integrity.scrub.Scrubber`).  Whatever has no
+        surviving peer is quarantined so no later read can ever be
+        served the damage silently.
+        """
+        scrub = self.scrubber.scrub(repair=True)
+        for finding in scrub.findings:
+            if finding.action == "repaired":
+                report.repaired_payloads.append(str(finding))
+            elif finding.action == "quarantined":
+                report.quarantined_payloads.append(str(finding))
 
     def _sweep_staging_sandboxes(self, report: RecoveryReport) -> None:
         """Remove sandbox directories crashed scheduled runs left behind.

@@ -15,6 +15,36 @@ class ReproError(Exception):
 
 
 # ---------------------------------------------------------------------------
+# Storage integrity (cross-cutting: OMS payloads, staging, FMCAD files)
+# ---------------------------------------------------------------------------
+
+
+class IntegrityError(ReproError):
+    """Stored bytes failed verification against their recorded checksum.
+
+    Raised by every verified read path — blob materialization, staged
+    file validation, FMCAD version files, ``.meta`` parsing, snapshot
+    restore — instead of handing garbage to the caller.  ``location``
+    identifies the damaged artifact, ``classification`` is one of the
+    scrubber's damage classes (bit-rot, truncation, torn-write, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        location: str = "",
+        classification: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.location = location
+        self.classification = classification
+
+
+class QuarantinedError(IntegrityError):
+    """A read hit a payload the scrubber has quarantined as unrepairable."""
+
+
+# ---------------------------------------------------------------------------
 # OMS database kernel
 # ---------------------------------------------------------------------------
 
@@ -55,6 +85,21 @@ class LockContentionError(OMSError):
     graph missed an edge" and defers the run to a later wave instead of
     risking a wait that could deadlock against its commit ordering.
     """
+
+
+class SnapshotIntegrityError(OMSError, IntegrityError):
+    """A persisted snapshot failed its embedded checksum or would not parse.
+
+    Inherits both :class:`OMSError` (existing snapshot handlers keep
+    working) and :class:`IntegrityError` (the scrubber and verified
+    readers treat it as a storage-integrity failure).
+    """
+
+    def __init__(self, message: str, location: str = "",
+                 classification: str = "") -> None:
+        OMSError.__init__(self, message)
+        self.location = location
+        self.classification = classification
 
 
 class ClosedInterfaceError(OMSError):
@@ -142,6 +187,21 @@ class LibraryError(FMCADError):
 
 class MetaFileError(FMCADError):
     """The library ``.meta`` file is corrupt, stale or inconsistent."""
+
+
+class MetaIntegrityError(MetaFileError, IntegrityError):
+    """A ``.meta`` file failed its whole-file checksum (torn write/rot).
+
+    Inherits both :class:`MetaFileError` (existing ``.meta`` handlers
+    keep working) and :class:`IntegrityError` (the scrubber and verified
+    readers treat it as a storage-integrity failure).
+    """
+
+    def __init__(self, message: str, location: str = "",
+                 classification: str = "") -> None:
+        MetaFileError.__init__(self, message)
+        self.location = location
+        self.classification = classification
 
 
 class CheckoutError(FMCADError):

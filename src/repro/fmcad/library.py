@@ -15,7 +15,8 @@ import pathlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.clock import SimClock
-from repro.errors import LibraryError, MetaFileError
+from repro.errors import IntegrityError, LibraryError, MetaFileError
+from repro.faults import corruption_point
 from repro.fmcad.metafile import MetaFile, MetaRecord
 from repro.fmcad.objects import (
     Cell,
@@ -72,6 +73,16 @@ class Library:
         self.tick = 0
         #: checkins stored as hard links because the data did not change
         self.dedup_links = 0
+        #: every read_version re-digests the file against the recorded
+        #: content address; ``False`` is the unverified benchmark arm
+        self.verify_reads = True
+        # a crash between the .meta temp write and its atomic rename
+        # leaves a stale .meta.tmp behind; it is never valid data
+        stale = self.directory / ".meta.tmp"
+        try:
+            stale.unlink()
+        except FileNotFoundError:
+            pass
 
     # -- opening an existing library from disk ----------------------------------
 
@@ -107,14 +118,17 @@ class Library:
                 library.directory / record.cell / record.view
                 / record.filename
             )
-            cellview.add_version(
-                CellViewVersion(
-                    number=record.version,
-                    path=path,
-                    created_tick=record.tick,
-                    author=record.author,
-                )
+            version = CellViewVersion(
+                number=record.version,
+                path=path,
+                created_tick=record.tick,
+                author=record.author,
             )
+            if record.digest:
+                # the .meta record carries the content address, so reads
+                # of this version stay verified across restarts
+                version._content_digest = record.digest
+            cellview.add_version(version)
         library.tick = tick
         return library
 
@@ -221,6 +235,12 @@ class Library:
             previous is not None
             and previous.path.exists()
             and previous.content_digest() == digest
+            # never hard-link onto bytes that rotted since their digest
+            # was cached: the new version would share the damage.  The
+            # re-hash only runs on the dedup-candidate path, so clean
+            # checkins of changed data pay nothing extra.
+            and hashlib.sha256(previous.path.read_bytes()).hexdigest()
+            == digest
         ):
             try:
                 os.link(previous.path, path)
@@ -231,12 +251,13 @@ class Library:
             self.clock.charge_native_io(0, files=1)
             self.dedup_links += 1
         else:
-            path.write_bytes(data)
+            path.write_bytes(corruption_point("fmcad.version_file", data))
             self.clock.charge_native_io(len(data), files=1)
         version = CellViewVersion(
             number=number, path=path, created_tick=self.tick + 1, author=author
         )
         version._content_digest = digest
+        version._content_size = len(data)
         cellview.add_version(version)
         self._bump()
         return version
@@ -281,6 +302,15 @@ class Library:
         if version is None:
             raise LibraryError(f"cellview {cellview.name} has no versions")
         data = version.read_data()
+        if self.verify_reads:
+            problem = version.classify_damage(data)
+            if problem is not None:
+                raise IntegrityError(
+                    f"library {self.name!r}: version file {version.path} "
+                    f"fails verification ({problem})",
+                    location=str(version.path),
+                    classification=problem,
+                )
         self.clock.charge_native_io(len(data), files=1)
         return data
 
@@ -303,6 +333,7 @@ class Library:
                         filename=version.path.name,
                         author=version.author,
                         tick=version.created_tick,
+                        digest=version._content_digest or "",
                     )
                 )
         return records
@@ -364,6 +395,61 @@ class Library:
                     f"filename mismatch for {key[0]}/{key[1]} v{key[2]}"
                 )
         return problems
+
+    # -- storage integrity -----------------------------------------------------------
+
+    def scrub_versions(self) -> List[Tuple[CellViewVersion, str]]:
+        """Re-hash every version file; list ``(version, classification)``.
+
+        Only versions with a known content digest can fail — a version
+        reconstructed from a pre-digest ``.meta`` record has nothing to
+        be held against and is reported clean.
+        """
+        findings: List[Tuple[CellViewVersion, str]] = []
+        for cellview in self.cellviews():
+            for version in cellview.versions:
+                problem = version.verify()
+                if problem is not None:
+                    findings.append((version, problem))
+        return findings
+
+    def repair_version(self, version: CellViewVersion, data: bytes) -> None:
+        """Overwrite a damaged version file with verified pristine bytes.
+
+        *data* must hash to the version's recorded content address.
+        Writing through the existing path also heals every hard link the
+        dedup checkin created — the links share one inode, and they were
+        all equally damaged.
+        """
+        expected = version._content_digest
+        if expected is None or hashlib.sha256(data).hexdigest() != expected:
+            raise IntegrityError(
+                f"repair source for {version.path} does not hash to the "
+                "recorded content address — refusing to store it",
+                location=str(version.path),
+                classification="bit-rot",
+            )
+        version.path.write_bytes(data)
+        version._content_size = len(data)
+
+    def verified_version_bytes(self, digest: str) -> Optional[bytes]:
+        """Bytes of any version file proving *digest*, else ``None``.
+
+        This is the peer-repair lookup: a corrupt OMS blob can be healed
+        from the FMCAD copy of the same payload, but only after that copy
+        re-proves its own content address.
+        """
+        for cellview in self.cellviews():
+            for version in cellview.versions:
+                if version._content_digest != digest:
+                    continue
+                try:
+                    data = version.path.read_bytes()
+                except FileNotFoundError:
+                    continue
+                if hashlib.sha256(data).hexdigest() == digest:
+                    return data
+        return None
 
     # -- statistics ------------------------------------------------------------------
 

@@ -116,8 +116,15 @@ class CellViewVersion:
         self.created_tick = created_tick
         self.author = author
         # version files are immutable once written, so their content
-        # digest can be cached; Library.write_version sets it eagerly
+        # digest can be cached; Library.write_version sets it eagerly and
+        # Library.open seeds it from the .meta record, which is what makes
+        # verified reads possible after a restart
         self._content_digest: Optional[str] = None
+        # pristine byte count at write time; lets a digest mismatch be
+        # classified (truncation vs torn write vs bit-rot).  Unknown for
+        # versions reconstructed from .meta, where mismatches default to
+        # the bit-rot class
+        self._content_size: Optional[int] = None
         # properties live next to the design file and survive restarts
         self.properties = PersistentPropertyBag(
             self.path.with_name(self.path.name + ".props")
@@ -134,6 +141,34 @@ class CellViewVersion:
         if self._content_digest is None:
             self._content_digest = hashlib.sha256(self.read_data()).hexdigest()
         return self._content_digest
+
+    def classify_damage(self, data: bytes) -> Optional[str]:
+        """``None`` when *data* matches the known digest, else a class.
+
+        Without a known digest (a version whose ``.meta`` record predates
+        the digest column) there is nothing to hold the bytes against, so
+        the answer is ``None`` — trust-on-first-read, the same boundary
+        the store had everywhere before verified reads existed.
+        """
+        expected = self._content_digest
+        if expected is None:
+            return None
+        if hashlib.sha256(data).hexdigest() == expected:
+            return None
+        if self._content_size is not None:
+            if len(data) < self._content_size:
+                return "truncation"
+            if len(data) > self._content_size:
+                return "torn-write"
+        return "bit-rot"
+
+    def verify(self) -> Optional[str]:
+        """Damage classification of the on-disk file, ``None`` if clean."""
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return "missing" if self._content_digest is not None else None
+        return self.classify_damage(data)
 
     @property
     def size(self) -> int:

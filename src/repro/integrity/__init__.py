@@ -1,0 +1,12 @@
+"""Storage integrity: verified reads, scrubbing, and peer repair.
+
+The coupling stores every design payload at least twice — an OMS blob on
+the master side and a version file in an FMCAD library on the slave side
+(paper Section 2.1: all data moves through the UNIX file system).  That
+duplication is usually discussed as overhead; this package exploits it
+as redundancy: when one copy rots, the other is a repair source.
+"""
+
+from repro.integrity.scrub import ScrubFinding, ScrubReport, Scrubber
+
+__all__ = ["ScrubFinding", "ScrubReport", "Scrubber"]

@@ -36,8 +36,8 @@ import hashlib
 import threading
 from typing import Dict, List, Optional
 
-from repro.errors import OMSError
-from repro.faults import fault_point
+from repro.errors import IntegrityError, OMSError, QuarantinedError
+from repro.faults import corruption_point, fault_point
 
 
 def digest_bytes(data: bytes) -> str:
@@ -61,11 +61,36 @@ class BlobStat:
     size: int
 
 
+#: damage classifications shared with the scrubber
+CLASS_BIT_ROT = "bit-rot"        # same length, different bytes
+CLASS_TRUNCATION = "truncation"  # shorter than the recorded size
+CLASS_TORN_WRITE = "torn-write"  # longer / structurally wrong
+
+
+def classify_damage(
+    expected_size: int, data: bytes, expected_digest: str
+) -> Optional[str]:
+    """``None`` if *data* matches its content address, else a class.
+
+    The fast path is a single C-speed SHA-256 over the bytes; size
+    comparison only runs once the hash has already disagreed, to name
+    the damage: shorter than recorded is truncation, longer is a torn
+    write, same length is bit-rot.
+    """
+    if digest_bytes(data) == expected_digest:
+        return None
+    if len(data) < expected_size:
+        return CLASS_TRUNCATION
+    if len(data) > expected_size:
+        return CLASS_TORN_WRITE
+    return CLASS_BIT_ROT
+
+
 class _Entry:
     """One stored blob: full bytes, or a delta against ``base_digest``."""
 
     __slots__ = (
-        "refcount", "size", "depth",
+        "refcount", "size", "depth", "quarantined", "verified",
         "data", "base_digest", "prefix_len", "suffix_len", "middle",
     )
 
@@ -82,6 +107,12 @@ class _Entry:
         self.refcount = 1
         self.size = size
         self.depth = depth
+        self.quarantined = False
+        #: verified-read fast path: stored bytes are immutable after the
+        #: intern (damage lands *at* the write, never later), so one
+        #: successful verification proves every later read of the same
+        #: entry.  Repair resets it; the scrubber bypasses it entirely.
+        self.verified = False
         self.data = data
         self.base_digest = base_digest
         self.prefix_len = prefix_len
@@ -107,12 +138,20 @@ class BlobStore:
     #: is stored in full, flattening the chain (bounds reconstruction)
     MAX_CHAIN_DEPTH = 64
 
-    def __init__(self) -> None:
+    def __init__(self, verify_reads: bool = True) -> None:
         self._entries: Dict[str, _Entry] = {}
         #: payloads interned that were already present (copies avoided)
         self.dedup_hits = 0
         #: payloads stored as deltas instead of full copies
         self.delta_stores = 0
+        #: every materialization re-digests the reconstructed bytes and
+        #: raises IntegrityError on mismatch; ``False`` is the unverified
+        #: baseline arm of ``bench_integrity``
+        self.verify_reads = verify_reads
+        #: reads that paid the verification re-digest
+        self.verifications = 0
+        #: verified reads served by the verified-once fast path instead
+        self.verification_hits = 0
         #: serialises refcount and chain mutations under the parallel
         #: scheduler; reentrant because _free cascades through decref
         self._lock = threading.RLock()
@@ -141,27 +180,36 @@ class BlobStore:
             return digest
 
     def _encode(self, data: bytes, base_digest: Optional[str]) -> _Entry:
+        # the recorded size is always that of the pristine payload; the
+        # stored representation passes through the corruption point so an
+        # injected fault damages what lands at rest, not the size the
+        # verifier will hold the bytes against
+        size = len(data)
         base = (
             self._entries.get(base_digest)
             if base_digest is not None
             else None
         )
         if base is None or base.depth >= self.MAX_CHAIN_DEPTH:
-            return _Entry(size=len(data), data=data)
+            return _Entry(
+                size=size, data=corruption_point("blobs.payload", data)
+            )
         base_bytes = self.materialize(base_digest)
         prefix = _common_prefix(base_bytes, data)
         suffix = _common_suffix(base_bytes[prefix:], data[prefix:])
         middle = data[prefix:len(data) - suffix]
         if len(middle) + _DELTA_OVERHEAD >= len(data):
-            return _Entry(size=len(data), data=data)
+            return _Entry(
+                size=size, data=corruption_point("blobs.payload", data)
+            )
         base.refcount += 1  # the delta keeps its base alive
         self.delta_stores += 1
         return _Entry(
-            size=len(data),
+            size=size,
             base_digest=base_digest,
             prefix_len=prefix,
             suffix_len=suffix,
-            middle=middle,
+            middle=corruption_point("blobs.payload", middle),
             depth=base.depth + 1,
         )
 
@@ -175,8 +223,54 @@ class BlobStore:
         with self._lock:
             return BlobStat(digest=digest, size=self._require(digest).size)
 
-    def materialize(self, digest: str) -> bytes:
-        """Reconstruct the full payload, applying the delta chain."""
+    def materialize(self, digest: str, verify: Optional[bool] = None) -> bytes:
+        """Reconstruct the full payload, applying the delta chain.
+
+        With verification on (the default — see :attr:`verify_reads`)
+        the reconstructed bytes are re-digested against the content
+        address and an :class:`IntegrityError` is raised instead of
+        returning garbage.  The whole chain is covered by one hash over
+        the final bytes: a damaged base or a damaged delta both change
+        the reconstruction, so per-link checks would only add cost.
+        """
+        if verify is None:
+            verify = self.verify_reads
+        with self._lock:
+            target = self._require(digest)
+            if target.quarantined:
+                raise QuarantinedError(
+                    f"blob {digest[:12]} is quarantined: its bytes failed "
+                    "verification and no repair source was found",
+                    location=f"blob:{digest}",
+                )
+        data = self._reconstruct(digest)
+        if verify:
+            if target.verified:
+                # fast path: this entry (and therefore the chain under
+                # it) already proved its digest once, and stored bytes
+                # never mutate after the intern — skip the re-hash
+                self.verification_hits += 1
+                return data
+            self.verifications += 1
+            problem = classify_damage(target.size, data, digest)
+            if problem is not None:
+                raise IntegrityError(
+                    f"blob {digest[:12]}: stored bytes fail verification "
+                    f"({problem}; {len(data)} bytes, recorded size "
+                    f"{target.size})",
+                    location=f"blob:{digest}",
+                    classification=problem,
+                )
+            target.verified = True
+        return data
+
+    def _reconstruct(self, digest: str) -> bytes:
+        """Chain walk + delta application; no quarantine or hash checks.
+
+        The scrubber uses this to look at bytes the public read path
+        refuses to serve; :meth:`check` uses it to keep its own
+        ``OMSError`` contract.
+        """
         with self._lock:
             chain: List[_Entry] = []
             entry = self._require(digest)
@@ -218,7 +312,14 @@ class BlobStore:
     def release(self, digest: str) -> Optional[bytes]:
         """Like :meth:`decref`, but hands back the bytes if this was the
         last reference — the hook transaction undo journals use so a
-        rolled-back overwrite can re-intern exactly what was freed."""
+        rolled-back overwrite can re-intern exactly what was freed.
+
+        The handed-back bytes go through the verified read path: if the
+        last copy is corrupt this raises :class:`IntegrityError` and
+        leaves the refcount untouched, so an undo journal never
+        re-interns garbage and the damaged entry stays addressable for
+        the scrubber to repair.
+        """
         with self._lock:
             entry = self._require(digest)
             if entry.refcount == 1:
@@ -243,6 +344,76 @@ class BlobStore:
                 f"blob {digest!r} refcount {entry.refcount} is not positive"
             )
         return entry
+
+    # -- integrity: scrub, repair, quarantine --------------------------------
+
+    def scrub(self) -> Dict[str, str]:
+        """Re-verify every stored payload; map digest -> damage class.
+
+        Quarantined entries are skipped — they are already known-bad and
+        reporting them again would keep a clean store from reaching the
+        scrubber's fixpoint.  A corrupt base surfaces both as itself and
+        through every delta stacked on it; repairing the base (and
+        re-scrubbing) clears the children, which is why the scrubber's
+        repair loop iterates.
+        """
+        with self._lock:
+            digests = sorted(self._entries)
+        findings: Dict[str, str] = {}
+        for digest in digests:
+            with self._lock:
+                entry = self._entries.get(digest)
+                if entry is None or entry.quarantined:
+                    continue
+                size = entry.size
+            problem = classify_damage(size, self._reconstruct(digest), digest)
+            if problem is not None:
+                findings[digest] = problem
+        return findings
+
+    def repair(self, digest: str, data: bytes) -> None:
+        """Replace a damaged entry's stored bytes with a verified copy.
+
+        *data* must hash to *digest* — the repair source (a peer FMCAD
+        library file, a staged export, ...) proves itself pristine before
+        it is allowed to overwrite anything.  A delta entry is converted
+        to a full entry in place: its chain position (depth, refcount,
+        children's bases) is preserved, only the representation changes,
+        and the old base loses the reference the delta held.
+        """
+        if digest_bytes(data) != digest:
+            raise IntegrityError(
+                f"repair source for blob {digest[:12]} hashes to "
+                f"{digest_bytes(data)[:12]} — refusing to store it",
+                location=f"blob:{digest}",
+                classification=CLASS_BIT_ROT,
+            )
+        with self._lock:
+            entry = self._require(digest)
+            old_base = entry.base_digest
+            entry.data = data
+            entry.base_digest = None
+            entry.prefix_len = 0
+            entry.suffix_len = 0
+            entry.middle = b""
+            entry.size = len(data)
+            entry.quarantined = False
+            # the representation changed: the next verified read must
+            # re-prove the digest rather than trust the old cache
+            entry.verified = False
+            if old_base is not None:
+                self.decref(old_base)
+
+    def quarantine(self, digest: str) -> None:
+        """Mark an unrepairable entry: reads raise, scrub skips it."""
+        with self._lock:
+            self._require(digest).quarantined = True
+
+    def quarantined_digests(self) -> List[str]:
+        with self._lock:
+            return sorted(
+                d for d, e in self._entries.items() if e.quarantined
+            )
 
     # -- statistics and invariants -------------------------------------------
 
@@ -319,7 +490,9 @@ class BlobStore:
                     )
                 if entry.depth != base.depth + 1:
                     raise OMSError(f"blob {digest!r}: inconsistent depth")
-            data = self.materialize(digest)
+            if entry.quarantined:
+                continue  # known-bad bytes; structural checks still ran
+            data = self._reconstruct(digest)
             if len(data) != entry.size or digest_bytes(data) != digest:
                 raise OMSError(
                     f"blob {digest!r}: reconstruction does not match key"

@@ -371,6 +371,34 @@ class OMSDatabase:
         """Verify every blob-store invariant (property-test hook)."""
         self._blobs.check()
 
+    # -- storage integrity (scrubber hooks) ----------------------------------
+
+    def scrub_payloads(self) -> Dict[str, str]:
+        """Re-verify every stored payload; map digest -> damage class."""
+        return self._blobs.scrub()
+
+    def repair_payload(self, digest: str, data: bytes) -> None:
+        """Overwrite a damaged blob with verified pristine bytes."""
+        self._blobs.repair(digest, data)
+
+    def quarantine_payload(self, digest: str) -> None:
+        """Mark an unrepairable blob so reads raise instead of serving it."""
+        self._blobs.quarantine(digest)
+
+    def quarantined_payloads(self) -> List[str]:
+        return self._blobs.quarantined_digests()
+
+    def materialize_payload(
+        self, digest: str, verify: Optional[bool] = None
+    ) -> bytes:
+        """Reconstruct a payload by digest (verified read by default)."""
+        return self._blobs.materialize(digest, verify=verify)
+
+    def payload_digest_of(self, oid: str) -> Optional[str]:
+        """Content address of an object's payload, or ``None``."""
+        handle = self.get(oid).payload_handle
+        return None if handle is None else handle.digest
+
     @_synchronized
     def verify_payload_refcounts(self) -> List[str]:
         """Cross-check blob refcounts against live object payloads.

@@ -12,11 +12,13 @@ properties) survives a restart.
 from __future__ import annotations
 
 import base64
+import hashlib
 import json
 from typing import Optional
 
 from repro.clock import SimClock
-from repro.errors import OMSError
+from repro.errors import OMSError, QuarantinedError, SnapshotIntegrityError
+from repro.faults import corruption_point
 from repro.ids import sort_key
 from repro.oms.database import OMSDatabase
 from repro.oms.objects import OMSObject
@@ -34,11 +36,21 @@ def dump_snapshot(database: OMSDatabase) -> bytes:
     lexicographic ordering would reshuffle everything.
     """
     objects = []
+    quarantined = []
     for oid in sorted(database._objects, key=sort_key):
         obj = database._objects[oid]
+        try:
+            raw = obj.payload
+        except QuarantinedError:
+            # the payload was quarantined as unrepairable: persist the
+            # loss explicitly rather than crash the save (or, worse,
+            # serialise garbage).  Corrupt-but-not-quarantined payloads
+            # still raise — scrub before saving.
+            raw = None
+            quarantined.append(oid)
         payload = (
-            base64.b64encode(obj.payload).decode("ascii")
-            if obj.payload is not None
+            base64.b64encode(raw).decode("ascii")
+            if raw is not None
             else None
         )
         objects.append({
@@ -64,7 +76,44 @@ def dump_snapshot(database: OMSDatabase) -> bytes:
         "links": links,
         "policy": database.policy,
     }
-    return json.dumps(doc, sort_keys=True, indent=1).encode("utf-8")
+    if quarantined:
+        doc["quarantined"] = quarantined
+    # embedded whole-document checksum: computed over the canonical
+    # serialisation of everything except the checksum key itself, so
+    # restore can re-derive and compare it (see _verify_checksum)
+    doc["sha256"] = _document_digest(doc)
+    return corruption_point(
+        "oms.snapshot",
+        json.dumps(doc, sort_keys=True, indent=1).encode("utf-8"),
+    )
+
+
+def _document_digest(doc: dict) -> str:
+    """Canonical digest of a snapshot document, checksum key excluded."""
+    body = {k: v for k, v in doc.items() if k != "sha256"}
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def verify_snapshot_bytes(data: bytes) -> Optional[str]:
+    """Damage classification of serialised snapshot bytes, ``None`` if clean.
+
+    Much cheaper than :func:`restore_snapshot` — parses and re-derives
+    the embedded checksum without rebuilding a database, so the scrubber
+    can sweep snapshot files at full speed.  Pre-checksum snapshots
+    (no ``sha256`` key) that parse are reported clean.
+    """
+    try:
+        doc = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return "torn-write"
+    if not isinstance(doc, dict) or doc.get("format") != FORMAT:
+        return "torn-write"
+    recorded = doc.get("sha256")
+    if recorded is not None and _document_digest(doc) != recorded:
+        return "bit-rot"
+    return None
 
 
 def restore_snapshot(
@@ -83,10 +132,27 @@ def restore_snapshot(
     try:
         doc = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise OMSError(f"corrupt snapshot: {exc}") from exc
+        # unparseable bytes are structural damage (a torn or truncated
+        # write); SnapshotIntegrityError is still an OMSError for callers
+        raise SnapshotIntegrityError(
+            f"corrupt snapshot: {exc}",
+            location="oms-snapshot",
+            classification="torn-write",
+        ) from exc
+    if not isinstance(doc, dict):
+        raise OMSError("not an OMS snapshot (not a JSON object)")
     if doc.get("format") != FORMAT:
         raise OMSError(
             f"not an OMS snapshot (format={doc.get('format')!r})"
+        )
+    recorded = doc.get("sha256")
+    if recorded is not None and _document_digest(doc) != recorded:
+        # the bytes parse but the content is not what was written —
+        # a flipped bit inside a payload string lands here
+        raise SnapshotIntegrityError(
+            "snapshot content fails its embedded checksum",
+            location="oms-snapshot",
+            classification="bit-rot",
         )
     if doc.get("schema") != schema.name:
         raise OMSError(

@@ -24,13 +24,25 @@ import dataclasses
 import functools
 import pathlib
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import OMSError
-from repro.faults import fault_point
+from repro.errors import IntegrityError, OMSError
+from repro.faults import corruption_point, fault_point
 from repro.ids import sort_key
-from repro.oms.blobs import EMPTY_DIGEST, BlobStat, digest_bytes
+from repro.oms.blobs import (
+    EMPTY_DIGEST,
+    BlobStat,
+    classify_damage,
+    digest_bytes,
+)
 from repro.oms.database import OMSDatabase
+
+#: classification for a staged file whose record exists but whose bytes
+#: vanished — repair is trivial (drop the record; the next export rewrites)
+CLASS_MISSING = "missing"
+
+#: suffixes of half-written files crashed writers leave under the root
+_STALE_SUFFIXES = (".partial", ".tmp")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -86,6 +98,8 @@ class StagingArea:
         #: database writes avoided because the tool left the file unchanged
         self.import_hits = 0
         self._lock = threading.RLock()
+        #: stale ``.partial``/``.tmp`` files swept away at startup
+        self.swept_temps: List[pathlib.Path] = self._sweep_stale_temps()
 
     # -- export: OMS -> file system (checkout for tool use) ---------------------
 
@@ -108,7 +122,7 @@ class StagingArea:
             staged = StagedFile(oid=oid, path=path, size=stat.size, digest=stat.digest)
         else:
             payload = self._db.get(oid).payload or b""
-            path.write_bytes(payload)
+            path.write_bytes(corruption_point("staging.file", payload))
             # the staged file exists but is not yet recorded — a crash
             # here leaves a staging orphan for recovery to reclaim
             fault_point("staging.write")
@@ -146,7 +160,7 @@ class StagingArea:
                 self.export_hits += 1
             else:
                 payload = self._db.get(oid).payload or b""
-                path.write_bytes(payload)
+                path.write_bytes(corruption_point("staging.file", payload))
                 fault_point("staging.write")
                 miss_bytes += len(payload)
                 misses += 1
@@ -323,6 +337,109 @@ class StagingArea:
             "export_hits": self.export_hits,
             "import_hits": self.import_hits,
         }
+
+    # -- storage integrity -----------------------------------------------------------
+
+    @_synchronized
+    def read_staged(self, oid: str) -> bytes:
+        """Verified read of the staged copy of *oid*.
+
+        This is the path that feeds staged bytes to encapsulated tools:
+        the file is re-hashed against the digest recorded when it was
+        staged, so a tool can never be served bytes that rotted (or were
+        torn) after the export.  Raises :class:`IntegrityError` with the
+        damage classification instead of returning garbage.
+        """
+        staged = self._staged.get(oid)
+        if staged is None:
+            raise OMSError(
+                f"object {oid!r} has no staged file; export it first"
+            )
+        try:
+            data = staged.path.read_bytes()
+        except FileNotFoundError:
+            raise IntegrityError(
+                f"staged file vanished: {staged.path}",
+                location=str(staged.path),
+                classification=CLASS_MISSING,
+            ) from None
+        problem = classify_damage(staged.size, data, staged.digest)
+        if problem is not None:
+            raise IntegrityError(
+                f"staged file {staged.path} fails verification ({problem})",
+                location=str(staged.path),
+                classification=problem,
+            )
+        return data
+
+    @_synchronized
+    def verify_staged(self) -> List[Tuple[str, pathlib.Path, str]]:
+        """Re-hash every staged file against its recorded digest.
+
+        Returns ``(oid, path, classification)`` for each staged file whose
+        bytes no longer match what was recorded at export/import time —
+        bit-rot, truncation, a torn write, or a file that vanished
+        outright.  Clean files are left untouched; nothing is repaired
+        here (see :meth:`repair_staged`).
+        """
+        findings: List[Tuple[str, pathlib.Path, str]] = []
+        for staged in self.staged():
+            try:
+                data = staged.path.read_bytes()
+            except FileNotFoundError:
+                findings.append((staged.oid, staged.path, CLASS_MISSING))
+                continue
+            problem = classify_damage(staged.size, data, staged.digest)
+            if problem is not None:
+                findings.append((staged.oid, staged.path, problem))
+        return findings
+
+    @_synchronized
+    def repair_staged(self, oid: str) -> bool:
+        """Rewrite the staged copy of *oid* from its verified OMS payload.
+
+        The database is the repair source: the payload is materialized
+        through the verified read path, so a corrupt staged file is only
+        ever overwritten with bytes that prove their own digest.  Returns
+        ``False`` when the object no longer exists or has no staged
+        record (the record is dropped instead — re-exporting is free).
+        """
+        staged = self._staged.get(oid)
+        if staged is None:
+            return False
+        if not self._db.exists(oid):
+            self.forget(oid)
+            return False
+        payload = self._db.get(oid).payload or b""
+        staged.path.write_bytes(payload)
+        stat = self._payload_stat(oid)
+        self._record(
+            StagedFile(oid=oid, path=staged.path, size=stat.size, digest=stat.digest)
+        )
+        return True
+
+    def forget(self, oid: str) -> None:
+        """Drop the staging record/claim for *oid* without touching disk."""
+        staged = self._staged.pop(oid, None)
+        if staged is not None and self._by_path.get(staged.path) == oid:
+            del self._by_path[staged.path]
+
+    def _sweep_stale_temps(self) -> List[pathlib.Path]:
+        """Remove half-written ``.partial``/``.tmp`` files under the root.
+
+        Crashed writers (and interrupted atomic renames) leave these
+        behind; they are never valid staged data, so the constructor
+        clears them before any record can claim their names.
+        """
+        swept: List[pathlib.Path] = []
+        for path in sorted(self.root.iterdir()):
+            if path.is_file() and path.suffix in _STALE_SUFFIXES:
+                try:
+                    path.unlink()
+                except FileNotFoundError:  # pragma: no cover - race tolerance
+                    continue
+                swept.append(path)
+        return swept
 
     # -- internals -------------------------------------------------------------------
 
