@@ -59,6 +59,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for the demo environment (default: temp dir)",
     )
+    demo.add_argument(
+        "--persistence",
+        choices=HybridFramework.PERSISTENCE_MODES,
+        default="snapshot",
+        help=(
+            "how JCF/OMS state is persisted: 'snapshot' (whole-graph "
+            "save) or 'wal' (write-ahead log + compaction)"
+        ),
+    )
     subparsers.add_parser(
         "selfcheck", help="run one coupled flow and verify the invariants"
     )
@@ -114,9 +123,11 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _demo_environment(workspace: Optional[pathlib.Path]):
+def _demo_environment(
+    workspace: Optional[pathlib.Path], persistence: str = "snapshot"
+):
     root = workspace or pathlib.Path(tempfile.mkdtemp(prefix="repro_demo_"))
-    hybrid = HybridFramework(root)
+    hybrid = HybridFramework(root, persistence=persistence)
     resources = hybrid.jcf.resources
     resources.define_user("admin", "demo_user")
     resources.define_team("admin", "demo_team")
@@ -188,8 +199,14 @@ def cmd_info(out) -> int:
     return 0
 
 
-def cmd_demo(out, workspace: Optional[pathlib.Path]) -> int:
-    root, hybrid, project, library = _demo_environment(workspace)
+def cmd_demo(
+    out,
+    workspace: Optional[pathlib.Path],
+    persistence: str = "snapshot",
+) -> int:
+    root, hybrid, project, library = _demo_environment(
+        workspace, persistence
+    )
     out.write(f"demo environment: {root}\n")
     results = _run_demo_flow(hybrid, project, library)
     for result in results:
@@ -209,8 +226,8 @@ def cmd_demo(out, workspace: Optional[pathlib.Path]) -> int:
         f"\nsimulated designer time: {hybrid.clock.now_ms:,.0f} ms\n"
     )
     if workspace is not None:
-        hybrid.save_state()
-        out.write(f"saved: {root / HybridFramework.SNAPSHOT_NAME}\n")
+        saved = hybrid.save_state()
+        out.write(f"saved: {saved}\n")
     return 0 if all(r.success for r in results) else 1
 
 
@@ -269,19 +286,30 @@ def cmd_consult(out) -> int:
 def _open_for_inspection(workspace: Optional[pathlib.Path]):
     """A hybrid environment to audit/recover.
 
-    A saved workspace (one containing a JCF snapshot) is reopened in
-    place — the restart path recovery is designed for.  Naming a
-    workspace without a snapshot is an error: auditing anything other
-    than the named store would report a state nobody asked about.  With
-    no workspace at all, a demo environment is built and its flow run,
-    so the commands have a real (healthy) coupling to inspect.
+    A saved workspace — one containing a JCF snapshot, or a WAL
+    directory (checkpoint + log) — is reopened in place, the restart
+    path recovery is designed for.  Naming a workspace with neither is
+    an error: auditing anything other than the named store would report
+    a state nobody asked about.  With no workspace at all, a demo
+    environment is built and its flow run, so the commands have a real
+    (healthy) coupling to inspect.
     """
     if workspace is not None:
-        if not (workspace / HybridFramework.SNAPSHOT_NAME).exists():
+        from repro.core.coupling import WAL_DIR_NAME
+        from repro.oms.wal import WriteAheadLog
+
+        has_snapshot = (
+            (workspace / HybridFramework.SNAPSHOT_NAME).exists()
+            or (workspace / HybridFramework.PREV_SNAPSHOT_NAME).exists()
+        )
+        has_wal = WriteAheadLog.present_at(
+            workspace / "jcf" / WAL_DIR_NAME
+        )
+        if not has_snapshot and not has_wal:
             raise ReproError(
-                f"no {HybridFramework.SNAPSHOT_NAME} in {workspace}: "
-                "not a saved hybrid workspace (see 'demo', or "
-                "HybridFramework.save_state())"
+                f"no {HybridFramework.SNAPSHOT_NAME} or WAL directory in "
+                f"{workspace}: not a saved hybrid workspace (see 'demo', "
+                "or HybridFramework.save_state())"
             )
         return HybridFramework.reopen(workspace)
     root, hybrid, project, library = _demo_environment(None)
@@ -329,7 +357,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "info":
         return cmd_info(out)
     if args.command == "demo":
-        return cmd_demo(out, args.workspace)
+        return cmd_demo(out, args.workspace, args.persistence)
     if args.command == "selfcheck":
         return cmd_selfcheck(out)
     if args.command == "consult":

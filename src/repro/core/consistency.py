@@ -282,8 +282,25 @@ class ConsistencyGuard:
         self._audit_reservations(report)
         self._audit_staging(report)
         self._audit_blobs(report)
+        self._audit_wal(report)
         self._audit_integrity(report)
         return report
+
+    def _audit_wal(self, report: AuditReport) -> None:
+        """Verify the write-ahead log and its checkpoints, when attached.
+
+        A healthy (or freshly recovered) WAL is silent; a torn tail the
+        recovery sweep has not yet dropped, a checkpoint that fails its
+        embedded checksum, or a payload sidecar that no longer proves
+        its digest all surface here as ``wal-integrity`` findings.
+        """
+        wal = getattr(self.jcf.db, "wal", None)
+        if wal is None:
+            return
+        for location, classification in wal.verify():
+            report.findings.append(AuditFinding(
+                "wal-integrity", f"{location}: {classification}"
+            ))
 
     def _each_library(self) -> List[Library]:
         """Every library: the open ones plus any still closed on disk."""

@@ -8,11 +8,11 @@ language, ITC).  See ``examples/quickstart.py`` for a guided tour.
 
 from __future__ import annotations
 
-import os
 import pathlib
 from typing import Any, Dict, Optional
 
 from repro.clock import SimClock
+from repro.errors import SnapshotIntegrityError
 from repro.core.consistency import ConsistencyGuard
 from repro.core.desktop import CombinedDesktop
 from repro.core.encapsulation import (
@@ -30,6 +30,12 @@ from repro.fmcad.library import Library
 from repro.jcf.flows import FlowDef, standard_encapsulation_flow
 from repro.jcf.framework import JCFFramework
 from repro.jcf.project import JCFCellVersion, JCFProject
+from repro.oms import durable
+from repro.oms.snapshot import verify_snapshot_bytes
+from repro.oms.wal import WriteAheadLog
+
+#: the WAL directory lives inside the JCF subtree, next to staging
+WAL_DIR_NAME = "wal"
 
 
 class HybridFramework:
@@ -54,7 +60,18 @@ class HybridFramework:
     allow_cross_project_sharing:
         Permit CompOf references to cells of other projects (the Section
         3.1 future work); JCF 3.0 forbids them.
+    persistence:
+        ``"snapshot"`` (the paper-faithful whole-graph save the seed
+        reproduced) or ``"wal"`` (write-ahead log + periodic compaction;
+        commit durability cost is O(change set) — the ROADMAP item 2
+        engineering fix).
+    durability:
+        ``"full"`` (fsync files and directories on every durable write),
+        ``"relaxed"`` (same write sequence, fsyncs skipped) or ``None``
+        to follow the process default (see :mod:`repro.oms.durable`).
     """
+
+    PERSISTENCE_MODES = ("snapshot", "wal")
 
     def __init__(
         self,
@@ -65,15 +82,30 @@ class HybridFramework:
         enable_hierarchy_procedural_interface: bool = False,
         allow_cross_project_sharing: bool = False,
         administrator: str = "admin",
+        persistence: str = "snapshot",
+        durability: Optional[str] = None,
     ) -> None:
+        if persistence not in self.PERSISTENCE_MODES:
+            raise ValueError(
+                f"persistence must be one of {self.PERSISTENCE_MODES}: "
+                f"{persistence!r}"
+            )
         self.root = pathlib.Path(root)
         self.clock = clock or SimClock()
+        self.persistence = persistence
+        self.durability = durability
+        wal = None
+        if persistence == "wal":
+            wal = WriteAheadLog(
+                self.root / "jcf" / WAL_DIR_NAME, durability_mode=durability
+            )
         self.jcf = JCFFramework(
             self.root / "jcf",
             clock=self.clock,
             administrator=administrator,
             enable_procedural_interface=enable_procedural_interface,
             allow_cross_project_sharing=allow_cross_project_sharing,
+            wal=wal,
         )
         self.fmcad = FMCADFramework(self.root / "fmcad", clock=self.clock)
         self.mapper = DataModelMapper(self.jcf, self.fmcad)
@@ -211,22 +243,101 @@ class HybridFramework:
     # -- persistence ----------------------------------------------------------------------
 
     SNAPSHOT_NAME = "jcf_snapshot.json"
+    PREV_SNAPSHOT_NAME = "jcf_snapshot.json.prev"
 
     def save_state(self) -> pathlib.Path:
         """Persist everything needed to reopen this environment.
 
         FMCAD state already lives on disk (libraries, version files,
-        ``.meta``, property sidecars); the JCF/OMS state is written as a
-        snapshot file under the root.  Open ``.meta`` flushes are the
+        ``.meta``, property sidecars); the JCF/OMS state goes through the
+        configured persistence mode.  Open ``.meta`` flushes are the
         caller's responsibility, exactly as they were the designer's.
+
+        In ``"wal"`` mode this is a checkpoint: the log is compacted
+        into ``wal/checkpoint.json`` and truncated, with the previous
+        checkpoint retained until the new one re-verifies from disk
+        (see :meth:`repro.oms.wal.WriteAheadLog.checkpoint`).
+
+        In ``"snapshot"`` mode the whole graph is serialised, verified
+        **before** publication, durably written, and the previous
+        snapshot is kept as ``jcf_snapshot.json.prev`` — the old state
+        file is never destroyed by an unverified successor, and
+        :meth:`reopen` falls back to it when the current file is
+        damaged at rest.
         """
+        if self.persistence == "wal":
+            return self.jcf.checkpoint()
         path = self.root / self.SNAPSHOT_NAME
-        # temp-file + atomic rename: a crash mid-save leaves the previous
-        # snapshot intact instead of a torn file that poisons reopen()
+        data = self.jcf.save_snapshot()
+        problem = verify_snapshot_bytes(data)
+        if problem is not None:
+            # a snapshot that cannot prove itself must not replace the
+            # previous good state file
+            raise SnapshotIntegrityError(
+                f"save_state aborted: fresh snapshot fails verification "
+                f"({problem})",
+                location=str(path),
+                classification=problem,
+            )
+        # durable temp write + atomic rename, previous snapshot demoted
+        # to .prev (not deleted) until its successor has proven itself
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_bytes(self.jcf.save_snapshot())
-        os.replace(tmp, path)
+        durable.write_bytes(tmp, data, mode=self.durability)
+        if path.exists():
+            durable.replace(
+                path, self.root / self.PREV_SNAPSHOT_NAME,
+                mode=self.durability,
+            )
+        durable.replace(tmp, path, mode=self.durability)
+        problem = verify_snapshot_bytes(path.read_bytes())
+        if problem is not None:  # pragma: no cover - needs hostile fs
+            raise SnapshotIntegrityError(
+                f"save_state readback failed verification ({problem}); "
+                f"previous state retained as {self.PREV_SNAPSHOT_NAME}",
+                location=str(path),
+                classification=problem,
+            )
         return path
+
+    @classmethod
+    def _load_snapshot_bytes(cls, root: pathlib.Path) -> bytes:
+        """Read the state snapshot, falling back to the retained ``.prev``.
+
+        The current file wins when it verifies; at-rest damage (or a
+        crash window that left only the demoted previous snapshot)
+        falls back.  Both missing is a hard error; both damaged raises
+        the current file's failure rather than silently starting empty.
+        """
+        current = root / cls.SNAPSHOT_NAME
+        previous = root / cls.PREV_SNAPSHOT_NAME
+        if not current.exists() and not previous.exists():
+            raise FileNotFoundError(
+                f"no saved state at {current}; call save_state() "
+                "before reopening"
+            )
+        if current.exists():
+            data = current.read_bytes()
+            if verify_snapshot_bytes(data) is None:
+                return data
+            if previous.exists():
+                fallback = previous.read_bytes()
+                if verify_snapshot_bytes(fallback) is None:
+                    return fallback
+            raise SnapshotIntegrityError(
+                f"state snapshot {current} fails verification "
+                f"({verify_snapshot_bytes(data)}) and no verified "
+                f"previous snapshot exists",
+                location=str(current),
+                classification=verify_snapshot_bytes(data) or "bit-rot",
+            )
+        data = previous.read_bytes()
+        if verify_snapshot_bytes(data) is not None:
+            raise SnapshotIntegrityError(
+                f"only snapshot on disk ({previous}) fails verification",
+                location=str(previous),
+                classification=verify_snapshot_bytes(data) or "bit-rot",
+            )
+        return data
 
     @classmethod
     def reopen(
@@ -236,26 +347,34 @@ class HybridFramework:
         jcf3_strict: bool = True,
         enable_hierarchy_procedural_interface: bool = False,
         administrator: str = "admin",
+        durability: Optional[str] = None,
     ) -> "HybridFramework":
         """Restart a hybrid environment previously saved with
-        :meth:`save_state`: restore the JCF snapshot, reopen every
-        on-disk FMCAD library from its ``.meta``, rehydrate flows."""
+        :meth:`save_state`: restore the JCF state (auto-detecting WAL
+        versus snapshot persistence), reopen every on-disk FMCAD
+        library from its ``.meta``, rehydrate flows."""
         root = pathlib.Path(root)
-        snapshot_path = root / cls.SNAPSHOT_NAME
-        if not snapshot_path.exists():
-            raise FileNotFoundError(
-                f"no saved state at {snapshot_path}; call save_state() "
-                "before reopening"
-            )
+        wal_root = root / "jcf" / WAL_DIR_NAME
         instance = cls.__new__(cls)
         instance.root = root
         instance.clock = clock or SimClock()
-        instance.jcf = JCFFramework(
-            root / "jcf",
-            clock=instance.clock,
-            administrator=administrator,
-            snapshot=snapshot_path.read_bytes(),
-        )
+        instance.durability = durability
+        if WriteAheadLog.present_at(wal_root):
+            instance.persistence = "wal"
+            instance.jcf = JCFFramework(
+                root / "jcf",
+                clock=instance.clock,
+                administrator=administrator,
+                wal=WriteAheadLog(wal_root, durability_mode=durability),
+            )
+        else:
+            instance.persistence = "snapshot"
+            instance.jcf = JCFFramework(
+                root / "jcf",
+                clock=instance.clock,
+                administrator=administrator,
+                snapshot=cls._load_snapshot_bytes(root),
+            )
         instance.fmcad = FMCADFramework(
             root / "fmcad", clock=instance.clock
         )
@@ -305,11 +424,22 @@ class HybridFramework:
     # -- statistics ------------------------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
-        return {
+        wrappers = (
+            self.schematic_entry, self.digital_simulation, self.layout_entry
+        )
+        stats = {
             "clock_ms": self.clock.now_ms,
             "by_category": self.clock.elapsed_by_category(),
             "jcf": self.jcf.stats(),
             "fmcad": self.fmcad.stats(),
             "mapping_coverage": self.mapper.coverage(),
             "hierarchy_rejections": self.hierarchy.rejections,
+            "persistence": self.persistence,
+            "harvest": {
+                "delta_hits": sum(w.harvest_delta_hits for w in wrappers),
+                "full_imports": sum(w.harvest_full_imports for w in wrappers),
+            },
         }
+        if self.jcf.wal is not None:
+            stats["wal"] = self.jcf.wal.stats()
+        return stats

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import io
 import json
-import os
 import pathlib
 import tarfile
 from typing import Dict, List, Optional, Tuple
@@ -34,6 +33,7 @@ from repro.errors import CouplingError
 from repro.faults import CrashFault, fault_point, with_retries
 from repro.jcf.framework import JCFFramework
 from repro.jcf.project import JCFProject
+from repro.oms import durable
 
 MANIFEST_NAME = "manifest.json"
 FORMAT = "repro-exchange-2"
@@ -119,7 +119,7 @@ def export_archive(
             archive.addfile(info, io.BytesIO(blob))
             digests = sorted(representatives)
             oids = [representatives[d] for d in digests]
-            staged = jcf.staging.export_objects(oids)
+            staged = jcf.staging.export_objects(oids, writable=False)
             for digest, staged_file in zip(digests, staged):
                 payload = staged_file.path.read_bytes()
                 jcf.staging.release(staged_file.oid)
@@ -127,7 +127,11 @@ def export_archive(
                 member.size = len(payload)
                 archive.addfile(member, io.BytesIO(payload))
                 fault_point("exchange.write")
-        os.replace(partial, path)
+        # flush the finished .partial to the platters before the rename
+        # publishes it — an archive name must never point at bytes that
+        # can still be lost to a power cut
+        durable.fsync_file(partial)
+        durable.replace(partial, path)
 
     try:
         with_retries(write_archive, clock=jcf.clock)

@@ -145,6 +145,8 @@ class RecoveryReport:
     repaired_payloads: List[str] = dataclasses.field(default_factory=list)
     #: unrepairable payloads taken out of service, never to be read again
     quarantined_payloads: List[str] = dataclasses.field(default_factory=list)
+    #: write-ahead-log repairs (torn tails dropped after a crash mid-append)
+    wal_repairs: List[str] = dataclasses.field(default_factory=list)
 
     def empty(self) -> bool:
         return not any(
@@ -194,8 +196,23 @@ class CouplingRecovery:
         for path in self.jcf.staging.reclaim_orphans():
             report.reclaimed_staging_files.append(path.name)
         self._sweep_staging_sandboxes(report)
+        self._sweep_wal(report)
         self._scrub_storage(report)
         return report
+
+    def _sweep_wal(self, report: RecoveryReport) -> None:
+        """Drop the live log's torn tail (a crash mid-append leaves one).
+
+        Reopen-time recovery (``WriteAheadLog.recover``) already repairs
+        the tail it replays over; this sweep covers recovery runs on an
+        environment that was *not* rebuilt through reopen — the repair
+        is idempotent either way.  Damage that is not a tail problem is
+        left in place for the audit to report.
+        """
+        wal = getattr(self.jcf.db, "wal", None)
+        if wal is None:
+            return
+        report.wal_repairs.extend(wal.repair())
 
     def _scrub_storage(self, report: RecoveryReport) -> None:
         """Leave a fully *verified* store, not just a consistent one.

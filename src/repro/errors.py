@@ -102,6 +102,27 @@ class SnapshotIntegrityError(OMSError, IntegrityError):
         self.classification = classification
 
 
+class WALError(OMSError):
+    """Write-ahead-log operation failed (append, checkpoint, replay)."""
+
+
+class WALIntegrityError(WALError, IntegrityError):
+    """A WAL record or checkpoint failed verification.
+
+    Raised when damage sits *before* the log tail (a torn tail is
+    expected after a crash and is silently dropped by recovery; damage
+    in the middle of the log is at-rest corruption and must not be
+    replayed).  Inherits :class:`IntegrityError` so the audit and
+    scrubber layers classify it as storage damage.
+    """
+
+    def __init__(self, message: str, location: str = "",
+                 classification: str = "") -> None:
+        WALError.__init__(self, message)
+        self.location = location
+        self.classification = classification
+
+
 class ClosedInterfaceError(OMSError):
     """Direct access to OMS internals was attempted.
 

@@ -108,6 +108,10 @@ FAULT_POINTS: Tuple[str, ...] = (
     # project exchange (core/exchange.py)
     "exchange.write",         # archive member about to be written
     "exchange.before_import", # manifest read, nothing imported yet
+    # write-ahead log (oms/wal.py)
+    "wal.append",             # commit record about to land in the log
+    "wal.checkpoint",         # traversed at each checkpoint stage; see
+                              # WriteAheadLog.checkpoint for the windows
 )
 
 #: Corruption points: places where payload bytes flow to storage and an
@@ -120,6 +124,7 @@ CORRUPTION_POINTS: Tuple[str, ...] = (
     "fmcad.version_file",     # design file written on checkin
     "fmcad.meta",             # serialized .meta about to land on disk
     "oms.snapshot",           # serialized OMS snapshot bytes
+    "wal.record",             # encoded WAL record about to be appended
 )
 
 _KNOWN_POINTS = frozenset(FAULT_POINTS) | frozenset(CORRUPTION_POINTS)

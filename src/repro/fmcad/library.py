@@ -18,6 +18,7 @@ from repro.clock import SimClock
 from repro.errors import IntegrityError, LibraryError, MetaFileError
 from repro.faults import corruption_point
 from repro.fmcad.metafile import MetaFile, MetaRecord
+from repro.oms import durable
 from repro.fmcad.objects import (
     Cell,
     CellView,
@@ -251,7 +252,12 @@ class Library:
             self.clock.charge_native_io(0, files=1)
             self.dedup_links += 1
         else:
-            path.write_bytes(corruption_point("fmcad.version_file", data))
+            # version files are immutable once written, so a plain
+            # write + fsync suffices — no rename dance needed, but the
+            # bytes must be durable before the .meta that references them
+            durable.write_bytes(
+                path, corruption_point("fmcad.version_file", data)
+            )
             self.clock.charge_native_io(len(data), files=1)
         version = CellViewVersion(
             number=number, path=path, created_tick=self.tick + 1, author=author

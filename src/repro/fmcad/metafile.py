@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import os
 import pathlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import MetaFileError, MetaIntegrityError
 from repro.faults import corruption_point
+from repro.oms import durable
 
 _HEADER = "#FMCAD-META 1"
 #: version 2 adds a per-record content digest column and a whole-file
@@ -156,9 +156,12 @@ class MetaFile:
             + b";bytes=%d\n" % len(body)
         )
         encoded = corruption_point("fmcad.meta", body + trailer)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_bytes(encoded)
-        os.replace(tmp, self.path)
+        # fsync-then-rename through the shared durability helper: the
+        # temp file is flushed before the atomic rename and the directory
+        # entry after it, so a power cut can never publish a .meta whose
+        # bytes are still in the page cache ("relaxed" mode skips both
+        # fsyncs but keeps the same write sequence)
+        durable.atomic_replace(self.path, encoded)
 
     def read(self) -> Tuple[List[MetaRecord], int]:
         """Parse the ``.meta`` file; returns (records, tick).

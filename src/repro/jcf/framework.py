@@ -5,7 +5,10 @@ from __future__ import annotations
 import contextlib
 import pathlib
 import threading
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.oms.wal import WriteAheadLog
 
 from repro.clock import SimClock
 from repro.jcf.configurations import ConfigurationService
@@ -40,12 +43,35 @@ class JCFFramework:
         enable_procedural_interface: bool = False,
         allow_cross_project_sharing: bool = False,
         snapshot: Optional[bytes] = None,
+        wal: Optional["WriteAheadLog"] = None,
     ) -> None:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.clock = clock or SimClock()
         self.schema = build_jcf_schema()
-        if snapshot is not None:
+        if snapshot is not None and wal is not None:
+            raise ValueError(
+                "pass either snapshot= or wal=, not both: a WAL directory "
+                "carries its own checkpoint"
+            )
+        self.wal = wal
+        self.wal_recovery = None
+        if wal is not None:
+            # WAL persistence: rebuild from the last good checkpoint plus
+            # log replay (a fresh directory yields an empty database),
+            # then attach so every commit from here on is logged.  On a
+            # fresh install the bootstrap objects created below are the
+            # first records in the log.
+            self.db, self.wal_recovery = wal.recover(
+                self.schema,
+                clock=self.clock,
+                enable_procedural_interface=enable_procedural_interface,
+                policy={
+                    "cross_project_sharing": allow_cross_project_sharing
+                },
+            )
+            self.db.attach_wal(wal)
+        elif snapshot is not None:
             from repro.oms.snapshot import restore_snapshot
 
             self.db = restore_snapshot(
@@ -73,7 +99,9 @@ class JCFFramework:
         self.versioning = VersioningService(self.db)
         self._default_staging = StagingArea(self.db, self.root / "staging")
         self._staging_local = threading.local()
-        if snapshot is not None:
+        if snapshot is not None or (
+            self.wal_recovery is not None and not self.wal_recovery.fresh
+        ):
             self.flows.rehydrate()
 
     # -- staging ---------------------------------------------------------------
@@ -121,6 +149,7 @@ class JCFFramework:
                 default.files_exported += sandbox.files_exported
                 default.files_imported += sandbox.files_imported
                 default.export_hits += sandbox.export_hits
+                default.export_links += sandbox.export_links
                 default.import_hits += sandbox.import_hits
 
     # -- persistence ---------------------------------------------------------
@@ -130,6 +159,15 @@ class JCFFramework:
         from repro.oms.snapshot import dump_snapshot
 
         return dump_snapshot(self.db)
+
+    def checkpoint(self) -> pathlib.Path:
+        """Compact the attached WAL (WAL persistence mode only)."""
+        if self.wal is None:
+            raise ValueError(
+                "checkpoint(): this framework has no attached WAL; "
+                "snapshot-mode persistence goes through save_snapshot()"
+            )
+        return self.wal.checkpoint(self.db)
 
     # -- convenience -----------------------------------------------------------
 
@@ -160,7 +198,9 @@ class JCFFramework:
                 f"user {user!r} may not read unpublished data of cell "
                 f"version {cell_version.number} (reserved by {holder!r})"
             )
-        return self.staging.export_object(version.oid)
+        # read-only by definition (writable access needs a reservation),
+        # so the export is eligible for the zero-copy hard-link path
+        return self.staging.export_object(version.oid, writable=False)
 
     def stats(self) -> Dict[str, Any]:
         return {

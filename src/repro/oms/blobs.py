@@ -218,6 +218,11 @@ class BlobStore:
     def contains(self, digest: str) -> bool:
         return digest in self._entries
 
+    def digests(self) -> List[str]:
+        """All digests currently interned (sorted; WAL checkpoint hook)."""
+        with self._lock:
+            return sorted(self._entries)
+
     def stat(self, digest: str) -> BlobStat:
         """Digest and size in O(1) — never touches payload bytes."""
         with self._lock:

@@ -119,6 +119,47 @@ class OMSDatabase:
         #: framework policy switches consulted by the typed wrappers
         #: (e.g. the cross-project-sharing future-work extension)
         self.policy: Dict[str, bool] = dict(policy or {})
+        #: attached write-ahead log (see oms/wal.py); when set, every
+        #: committed change set appends one durable record
+        self.wal = None
+
+    # -- write-ahead log -------------------------------------------------------
+
+    def attach_wal(self, wal) -> None:
+        """Log every committed change set to *wal* from now on.
+
+        Attach only after recovery/restore: replayed primitives must not
+        be logged again (the replay path runs against an unattached
+        database).
+        """
+        self.wal = wal
+
+    def _wal_log(self, op: Dict[str, Any]) -> None:
+        """Route one successful primitive mutation toward the WAL.
+
+        Inside a transaction the op is buffered on the per-thread undo
+        journal's sibling list and lands as one record at commit; an
+        auto-committed primitive pays its own record.  Undo closures
+        call private primitives, so rollbacks never reach here.
+        """
+        if self.wal is None:
+            return
+        txn = self._active_txn
+        if txn is not None:
+            txn.record_wal(op)
+        else:
+            self._wal_commit([op])
+
+    def _wal_commit(self, ops: List[Dict[str, Any]]) -> None:
+        """Append one committed change set, honouring group commit."""
+        if self.wal is None or not ops:
+            return
+        with self._mutex:
+            group = self._commit_group
+            if group is not None and not group.closed:
+                group.buffer_wal(ops)
+                return
+        self.wal.commit(ops)
 
     # -- transactions ---------------------------------------------------------
 
@@ -167,6 +208,10 @@ class OMSDatabase:
         else:
             self._active_txn = None
             txn.commit()
+            # the whole transaction lands as one WAL record — durability
+            # cost per commit is O(change set), and an aborted block
+            # (whose buffered ops died with it) never touches the log
+            self._wal_commit(txn.wal_ops)
             self._note_top_level_commit()
 
     def _note_top_level_commit(self) -> None:
@@ -208,11 +253,16 @@ class OMSDatabase:
             with self._mutex:
                 self._commit_group = None
                 commits = group.close()
+                pending_wal = group.drain_wal()
                 if commits:
                     self.flush_count += 1
                     self.coalesced_commits += commits - 1
             if commits:
                 self.clock.charge_commit_flush()
+            if pending_wal and self.wal is not None:
+                # the whole wave's change sets land as one record — one
+                # append, one fsync, mirroring the single durable flush
+                self.wal.commit(pending_wal)
 
     def _journal(self, undo: Callable[[], None]) -> None:
         if self._active_txn is not None:
@@ -253,6 +303,14 @@ class OMSDatabase:
             obj._deleted = True
 
         self._journal(undo)
+        self._wal_log({
+            "op": "create",
+            "oid": oid,
+            "type": type_name,
+            "values": complete,
+            "payload": payload,
+            "delta_base": payload_delta_base,
+        })
         return obj
 
     def get(self, oid: str) -> OMSObject:
@@ -294,6 +352,7 @@ class OMSDatabase:
                 self._link_add(rel_name, *pair)
 
         self._journal(undo)
+        self._wal_log({"op": "delete", "oid": oid})
 
     @_synchronized
     def set_attr(self, oid: str, name: str, value: Any) -> None:
@@ -302,6 +361,8 @@ class OMSDatabase:
         previous = obj._set(name, value)
         self.clock.charge_metadata_op()
         self._journal(lambda: obj._set(name, previous))
+        self._wal_log({"op": "set_attr", "oid": oid, "name": name,
+                       "value": value})
 
     @_synchronized
     def set_payload(
@@ -343,6 +404,8 @@ class OMSDatabase:
             obj._payload = previous
 
         self._journal(undo)
+        self._wal_log({"op": "set_payload", "oid": oid, "payload": payload,
+                       "delta_base": payload_delta_base})
 
     def payload_stat(self, oid: str) -> Optional[BlobStat]:
         """Digest and size of an object's payload in O(1) — no bytes read.
@@ -398,6 +461,10 @@ class OMSDatabase:
         """Content address of an object's payload, or ``None``."""
         handle = self.get(oid).payload_handle
         return None if handle is None else handle.digest
+
+    def payload_digests(self) -> List[str]:
+        """Every digest the blob store holds (WAL checkpoint bookkeeping)."""
+        return self._blobs.digests()
 
     @_synchronized
     def verify_payload_refcounts(self) -> List[str]:
@@ -502,6 +569,8 @@ class OMSDatabase:
         self._journal(
             lambda: self._link_remove(rel_name, source_oid, target_oid)
         )
+        self._wal_log({"op": "link", "rel": rel_name, "source": source_oid,
+                       "target": target_oid})
 
     @_synchronized
     def unlink(self, rel_name: str, source_oid: str, target_oid: str) -> None:
@@ -513,6 +582,8 @@ class OMSDatabase:
             )
         self.clock.charge_metadata_op()
         self._journal(lambda: self._link_add(rel_name, source_oid, target_oid))
+        self._wal_log({"op": "unlink", "rel": rel_name, "source": source_oid,
+                       "target": target_oid})
 
     @_synchronized
     def linked(self, rel_name: str, source_oid: str, target_oid: str) -> bool:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import os
 import pathlib
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -88,6 +89,10 @@ class StagingArea:
         #: staging path -> owning oid; guards against two objects being
         #: exported onto the same file name
         self._by_path: Dict[pathlib.Path, str] = {}
+        #: payload digest -> a staged path known to hold those bytes; the
+        #: index behind the zero-copy hard-link export path.  Entries are
+        #: advisory — the source is always re-hashed before linking.
+        self._by_digest: Dict[str, pathlib.Path] = {}
         #: cumulative accounting for the Section 3.6 experiment
         self.bytes_exported = 0
         self.bytes_imported = 0
@@ -95,6 +100,8 @@ class StagingArea:
         self.files_imported = 0
         #: copies avoided because the staged file already matched by digest
         self.export_hits = 0
+        #: copies avoided by hard-linking another staged file's bytes
+        self.export_links = 0
         #: database writes avoided because the tool left the file unchanged
         self.import_hits = 0
         self._lock = threading.RLock()
@@ -104,7 +111,12 @@ class StagingArea:
     # -- export: OMS -> file system (checkout for tool use) ---------------------
 
     @_synchronized
-    def export_object(self, oid: str, filename: Optional[str] = None) -> StagedFile:
+    def export_object(
+        self,
+        oid: str,
+        filename: Optional[str] = None,
+        writable: bool = True,
+    ) -> StagedFile:
         """Copy the payload of *oid* out of OMS into a staging file.
 
         This is charged even when the caller only intends to read — OMS
@@ -113,23 +125,38 @@ class StagingArea:
         copy-on-write enabled, an already-staged file whose content digest
         matches the stored payload is validated instead of rewritten, and
         the charge drops to a single metadata operation.
+
+        ``writable=False`` declares the caller will only read the staged
+        file; such an export may be materialised as a hard link to
+        another staged file with the same payload digest — zero payload
+        bytes copied.  Writable exports (the default) always get a
+        private inode, so editing one staged file in place can never
+        bleed into another.
         """
         path = self._claim_path(oid, filename)
         stat = self._payload_stat(oid)
-        if self._export_is_hit(path, stat):
+        if self._export_is_hit(path, stat, writable):
             self._db.clock.charge_metadata_op()
             self.export_hits += 1
-            staged = StagedFile(oid=oid, path=path, size=stat.size, digest=stat.digest)
+        elif not writable and self._link_from_peer(path, stat):
+            # zero-copy staging: another staged file already holds these
+            # exact bytes, so the export is one hard link — no payload
+            # bytes cross the file system at all
+            fault_point("staging.write")
+            self._db.clock.charge_metadata_op()
+            self.export_links += 1
         else:
             payload = self._db.get(oid).payload or b""
-            path.write_bytes(corruption_point("staging.file", payload))
+            self._write_breaking_links(
+                path, corruption_point("staging.file", payload)
+            )
             # the staged file exists but is not yet recorded — a crash
             # here leaves a staging orphan for recovery to reclaim
             fault_point("staging.write")
             self._db.clock.charge_copy(len(payload), files=1)
-            staged = StagedFile(oid=oid, path=path, size=stat.size, digest=stat.digest)
             self.bytes_exported += len(payload)
             self.files_exported += 1
+        staged = StagedFile(oid=oid, path=path, size=stat.size, digest=stat.digest)
         self._record(staged)
         return staged
 
@@ -138,13 +165,15 @@ class StagingArea:
         self,
         oids: Sequence[str],
         filenames: Optional[Sequence[Optional[str]]] = None,
+        writable: bool = True,
     ) -> List[StagedFile]:
         """Stage many objects with one batched charge.
 
         The whole batch pays a single metadata operation (one request to
         OMS) plus one aggregated copy charge covering only the objects
         that actually had to be written — the per-file overhead of digest
-        hits is amortized away entirely.
+        hits is amortized away entirely.  ``writable=False`` additionally
+        enables the hard-link fast path (see :meth:`export_object`).
         """
         if filenames is not None and len(filenames) != len(oids):
             raise OMSError("export_objects: filenames must match oids 1:1")
@@ -156,11 +185,16 @@ class StagingArea:
             filename = filenames[index] if filenames is not None else None
             path = self._claim_path(oid, filename)
             stat = self._payload_stat(oid)
-            if self._export_is_hit(path, stat):
+            if self._export_is_hit(path, stat, writable):
                 self.export_hits += 1
+            elif not writable and self._link_from_peer(path, stat):
+                fault_point("staging.write")
+                self.export_links += 1
             else:
                 payload = self._db.get(oid).payload or b""
-                path.write_bytes(corruption_point("staging.file", payload))
+                self._write_breaking_links(
+                    path, corruption_point("staging.file", payload)
+                )
                 fault_point("staging.write")
                 miss_bytes += len(payload)
                 misses += 1
@@ -262,6 +296,8 @@ class StagingArea:
             return
         if self._by_path.get(staged.path) == oid:
             del self._by_path[staged.path]
+        if self._by_digest.get(staged.digest) == staged.path:
+            del self._by_digest[staged.digest]
         try:
             staged.path.unlink()
         except FileNotFoundError:
@@ -335,6 +371,7 @@ class StagingArea:
             "files_exported": self.files_exported,
             "files_imported": self.files_imported,
             "export_hits": self.export_hits,
+            "export_links": self.export_links,
             "import_hits": self.import_hits,
         }
 
@@ -411,18 +448,29 @@ class StagingArea:
             self.forget(oid)
             return False
         payload = self._db.get(oid).payload or b""
-        staged.path.write_bytes(payload)
+        self._write_breaking_links(staged.path, payload)
         stat = self._payload_stat(oid)
         self._record(
             StagedFile(oid=oid, path=staged.path, size=stat.size, digest=stat.digest)
         )
         return True
 
+    @_synchronized
     def forget(self, oid: str) -> None:
-        """Drop the staging record/claim for *oid* without touching disk."""
+        """Drop the staging record/claim for *oid* without touching disk.
+
+        Synchronized like every other record mutator: the recovery sweep
+        calls this while scheduler workers may still be staging, and an
+        unlocked pop can interleave with :meth:`_record` so the path claim
+        outlives the record it belonged to (a permanent phantom collision).
+        """
         staged = self._staged.pop(oid, None)
-        if staged is not None and self._by_path.get(staged.path) == oid:
+        if staged is None:
+            return
+        if self._by_path.get(staged.path) == oid:
             del self._by_path[staged.path]
+        if self._by_digest.get(staged.digest) == staged.path:
+            del self._by_digest[staged.digest]
 
     def _sweep_stale_temps(self) -> List[pathlib.Path]:
         """Remove half-written ``.partial``/``.tmp`` files under the root.
@@ -454,6 +502,8 @@ class StagingArea:
             del self._by_path[prev.path]
         self._staged[staged.oid] = staged
         self._by_path[staged.path] = staged.oid
+        if staged.digest != EMPTY_DIGEST:
+            self._by_digest[staged.digest] = staged.path
 
     def _claim_path(self, oid: str, filename: Optional[str]) -> pathlib.Path:
         name = filename or oid.replace(":", "_")
@@ -494,13 +544,69 @@ class StagingArea:
             return BlobStat(digest=EMPTY_DIGEST, size=0)
         return stat
 
-    def _export_is_hit(self, path: pathlib.Path, stat: BlobStat) -> bool:
+    def _link_from_peer(self, path: pathlib.Path, stat: BlobStat) -> bool:
+        """Hard-link *path* to a staged file already holding the payload.
+
+        The zero-copy export fast path: when any staged file's recorded
+        digest matches the payload being exported, the new staging path
+        becomes a hard link to it and no payload bytes are copied at all.
+        PR 5's verified-read semantics are preserved — the source is
+        re-hashed immediately before linking (a tool may have rewritten
+        it in place), and every later :meth:`read_staged` re-hashes
+        again, so an aliased mutation surfaces as an
+        :class:`IntegrityError` rather than silently shared garbage.
+        Returns ``False`` (caller copies) whenever linking is unsafe or
+        unsupported.
+        """
+        if not self.copy_on_write or stat.digest == EMPTY_DIGEST:
+            return False
+        source = self._by_digest.get(stat.digest)
+        if source is None or source == path or not source.exists():
+            return False
+        if digest_bytes(source.read_bytes()) != stat.digest:
+            # the index went stale (in-place rewrite); drop the entry so
+            # later exports stop probing it
+            del self._by_digest[stat.digest]
+            return False
+        try:
+            if path.exists():
+                path.unlink()
+            os.link(source, path)
+        except OSError:  # pragma: no cover - filesystem without links
+            return False
+        return True
+
+    def _write_breaking_links(self, path: pathlib.Path, data: bytes) -> None:
+        """Write *data* to *path* without mutating hard-link peers.
+
+        An in-place ``write_bytes`` truncates the shared inode, which
+        would rewrite every staged file linked to it; unlinking first
+        gives this path a private inode and leaves peers untouched.
+        """
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+        path.write_bytes(data)
+
+    def _export_is_hit(
+        self, path: pathlib.Path, stat: BlobStat, writable: bool = True
+    ) -> bool:
         """True when the on-disk staged file already holds the payload.
 
         The file is always re-hashed rather than trusted from cached
         metadata — a tool may have rewritten it in place — so a hit can
-        never serve stale bytes.
+        never serve stale bytes.  A writable export never hits on a
+        hard-linked file (a previous read-only export may have aliased
+        it): the caller falls through to a private rewrite instead, so
+        in-place edits stay confined to this staging path.
         """
         if not self.copy_on_write or not path.exists():
             return False
+        if writable:
+            try:
+                if path.stat().st_nlink > 1:
+                    return False
+            except OSError:  # pragma: no cover - stat race
+                return False
         return digest_bytes(path.read_bytes()) == stat.digest

@@ -10,7 +10,7 @@ operations and plays them back on abort.
 from __future__ import annotations
 
 import threading
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import TransactionError
 
@@ -27,6 +27,9 @@ class Transaction:
     def __init__(self, txn_id: str) -> None:
         self.txn_id = txn_id
         self._journal: List[Callable[[], None]] = []
+        #: redo side of the journal: WAL ops buffered until commit, so
+        #: an aborted transaction never reaches the log
+        self.wal_ops: List[Dict[str, Any]] = []
         self._state = "active"
 
     # -- journal -------------------------------------------------------------
@@ -38,6 +41,14 @@ class Transaction:
                 f"transaction {self.txn_id} is {self._state}; cannot record"
             )
         self._journal.append(undo)
+
+    def record_wal(self, op: Dict[str, Any]) -> None:
+        """Buffer one primitive's WAL op for the commit-time record."""
+        if self._state != "active":
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self._state}; cannot record"
+            )
+        self.wal_ops.append(op)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -70,6 +81,7 @@ class Transaction:
             raise TransactionError(
                 f"transaction {self.txn_id} is {self._state}; cannot abort"
             )
+        self.wal_ops.clear()  # an aborted change set must never be logged
         first_failure: Optional[BaseException] = None
         failed = 0
         while self._journal:
@@ -106,6 +118,10 @@ class GroupCommit:
         self._lock = threading.Lock()
         self.commits = 0
         self._closed = False
+        #: WAL ops of every joined commit; drained by the group closer
+        #: into ONE log record (one append, one fsync — the WAL face of
+        #: the same amortisation)
+        self._wal_ops: List[Dict[str, Any]] = []
 
     @property
     def closed(self) -> bool:
@@ -119,6 +135,21 @@ class GroupCommit:
                     f"commit group {self.group_id} is closed; cannot join"
                 )
             self.commits += 1
+
+    def buffer_wal(self, ops: List[Dict[str, Any]]) -> None:
+        """Defer one committed change set to the group's single record."""
+        with self._lock:
+            if self._closed:
+                raise TransactionError(
+                    f"commit group {self.group_id} is closed; cannot buffer"
+                )
+            self._wal_ops.extend(ops)
+
+    def drain_wal(self) -> List[Dict[str, Any]]:
+        """Hand the buffered change sets to whoever writes the record."""
+        with self._lock:
+            ops, self._wal_ops = self._wal_ops, []
+            return ops
 
     def close(self) -> int:
         """Seal the group; returns the number of coalesced commits."""

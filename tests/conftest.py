@@ -9,8 +9,25 @@ from repro.core.coupling import HybridFramework
 from repro.fmcad.framework import FMCADFramework
 from repro.jcf.flows import standard_encapsulation_flow
 from repro.jcf.framework import JCFFramework
+from repro.oms import durable
 from repro.oms.database import OMSDatabase
 from repro.oms.schema import AttributeDef, Schema
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _relaxed_durability():
+    """Run the suite with fsyncs off.
+
+    Every durability test exercises the identical write/rename sequence;
+    only the physical flushes are skipped, which makes the suite
+    dramatically faster on real disks.  Tests that specifically assert
+    full-durability behaviour opt back in with
+    ``durable.durability("full")``.
+    """
+    previous = durable.get_default_durability()
+    durable.set_default_durability(durable.DURABILITY_RELAXED)
+    yield
+    durable.set_default_durability(previous)
 
 
 @pytest.fixture

@@ -1,0 +1,144 @@
+"""Delta harvest: unchanged tool outputs cross the boundary for free.
+
+The incremental-harvest optimisation diffs each staged output against
+the parent version's content digest and re-interns only changed views.
+These tests pin its contract: the resulting database is byte-identical
+to a full harvest of the same flow (the optimisation is observationally
+invisible), the simulated copy-in/copy-out cost drops, and the hit /
+miss counters surface through ``HybridFramework.stats()``.
+"""
+
+import json
+
+from repro.core.coupling import HybridFramework
+from repro.oms.snapshot import dump_snapshot
+from tests.conftest import build_inverter_editor_fn, inverter_testbench_fn
+
+
+def idempotent_edit(editor):
+    if not editor.schematic.ports():
+        build_inverter_editor_fn()(editor)
+
+
+def build_environment(root, delta_harvest):
+    hybrid = HybridFramework(root)
+    for wrapper in (
+        hybrid.schematic_entry,
+        hybrid.digital_simulation,
+        hybrid.layout_entry,
+    ):
+        wrapper.delta_harvest = delta_harvest
+    resources = hybrid.jcf.resources
+    resources.define_user("admin", "alice")
+    resources.define_team("admin", "team1")
+    resources.add_member("admin", "alice", "team1")
+    hybrid.setup_standard_flow()
+    library = hybrid.fmcad.create_library("chiplib")
+    library.create_cell("inv2")
+    project = hybrid.adopt_library("alice", library, "chipA")
+    resources.assign_team_to_project("admin", "team1", project.oid)
+    hybrid.prepare_cell("alice", project, "inv2", team_name="team1")
+    return hybrid
+
+
+def _scrub_times(value):
+    if isinstance(value, dict):
+        return {
+            key: 0.0 if key.endswith("_ms") else _scrub_times(item)
+            for key, item in value.items()
+            if key != "sha256"  # self-checksum covers the raw ms stamps
+        }
+    if isinstance(value, list):
+        return [_scrub_times(item) for item in value]
+    return value
+
+
+def normalized_dump(hybrid):
+    """Snapshot bytes made root- and simulated-time-independent.
+
+    Harvested versions record the absolute FMCAD version-file path, and
+    activity records carry simulated ``*_ms`` stamps — which delta
+    harvest changes by design (unchanged views cost a metadata op, not a
+    copy).  Everything else — payloads, digests, attributes, links —
+    must match byte for byte between delta and full harvest.
+    """
+    dump = dump_snapshot(hybrid.jcf.db)
+    dump = dump.replace(str(hybrid.root).encode(), b"<root>")
+    return json.dumps(_scrub_times(json.loads(dump)), sort_keys=True)
+
+
+def run_flow_twice(hybrid):
+    """Design entry, then a rerun that reproduces the bytes verbatim."""
+    project = hybrid.jcf.project("chipA")
+    library = hybrid.fmcad.library("chiplib")
+    for _ in range(2):
+        result = hybrid.run_schematic_entry(
+            "alice", project, library, "inv2", idempotent_edit
+        )
+        assert result.success
+    return hybrid
+
+
+class TestEquivalence:
+    def test_delta_and_full_harvest_agree_byte_for_byte(self, tmp_path):
+        delta = run_flow_twice(
+            build_environment(tmp_path / "delta", delta_harvest=True)
+        )
+        full = run_flow_twice(
+            build_environment(tmp_path / "full", delta_harvest=False)
+        )
+        assert normalized_dump(delta) == normalized_dump(full)
+        assert delta.audit().clean
+        assert full.audit().clean
+
+    def test_simulation_results_also_agree(self, tmp_path):
+        def run(root, delta_harvest):
+            hybrid = build_environment(root, delta_harvest)
+            project = hybrid.jcf.project("chipA")
+            library = hybrid.fmcad.library("chiplib")
+            hybrid.run_schematic_entry(
+                "alice", project, library, "inv2", idempotent_edit
+            )
+            hybrid.run_simulation(
+                "alice", project, library, "inv2", inverter_testbench_fn()
+            )
+            return normalized_dump(hybrid)
+
+        assert run(tmp_path / "delta", True) == run(tmp_path / "full", False)
+
+
+class TestCosts:
+    def test_rerun_of_identical_output_is_a_delta_hit(self, tmp_path):
+        hybrid = run_flow_twice(
+            build_environment(tmp_path / "env", delta_harvest=True)
+        )
+        assert hybrid.schematic_entry.harvest_delta_hits > 0
+        assert hybrid.schematic_entry.harvest_full_imports > 0
+
+    def test_full_mode_never_counts_delta_hits(self, tmp_path):
+        hybrid = run_flow_twice(
+            build_environment(tmp_path / "env", delta_harvest=False)
+        )
+        assert hybrid.schematic_entry.harvest_delta_hits == 0
+        assert hybrid.schematic_entry.harvest_full_imports >= 2
+
+    def test_delta_harvest_charges_less_copy_time(self, tmp_path):
+        delta = run_flow_twice(
+            build_environment(tmp_path / "delta", delta_harvest=True)
+        )
+        full = run_flow_twice(
+            build_environment(tmp_path / "full", delta_harvest=False)
+        )
+        delta_copy = delta.clock.elapsed_by_category().get("copy", 0.0)
+        full_copy = full.clock.elapsed_by_category().get("copy", 0.0)
+        assert delta_copy < full_copy
+
+    def test_counters_surface_in_stats(self, tmp_path):
+        hybrid = run_flow_twice(
+            build_environment(tmp_path / "env", delta_harvest=True)
+        )
+        harvest = hybrid.stats()["harvest"]
+        assert harvest["delta_hits"] == (
+            hybrid.schematic_entry.harvest_delta_hits
+        )
+        assert harvest["full_imports"] >= 1

@@ -258,3 +258,130 @@ class TestAdoptExisting:
         (area.root / "notes.txt").write_bytes(b"not an oid at all")
         assert area.adopt_existing() == []
         assert len(area.orphan_files()) == 2
+
+
+class TestHardLinkFastPath:
+    """Zero-copy staging: read-only exports may share an inode."""
+
+    def test_read_only_export_links_same_digest(self, db, staging):
+        a = db.create("Thing", {"name": "a"}, payload=b"shared bytes")
+        b = db.create("Thing", {"name": "b"}, payload=b"shared bytes")
+        first = staging.export_object(a.oid, writable=False)
+        exported_after_first = staging.accounting()["bytes_exported"]
+        second = staging.export_object(b.oid, writable=False)
+        assert second.path.stat().st_nlink == 2
+        assert second.path.stat().st_ino == first.path.stat().st_ino
+        assert staging.accounting()["export_links"] == 1
+        # the peer staged with zero byte copies
+        assert staging.accounting()["bytes_exported"] == exported_after_first
+        assert second.path.read_bytes() == b"shared bytes"
+
+    def test_writable_export_never_links(self, db, staging):
+        a = db.create("Thing", {"name": "a"}, payload=b"shared bytes")
+        b = db.create("Thing", {"name": "b"}, payload=b"shared bytes")
+        first = staging.export_object(a.oid)
+        second = staging.export_object(b.oid)
+        assert first.path.stat().st_nlink == 1
+        assert second.path.stat().st_nlink == 1
+        assert staging.accounting()["export_links"] == 0
+
+    def test_writable_reexport_breaks_the_alias(self, db, staging):
+        a = db.create("Thing", {"name": "a"}, payload=b"shared bytes")
+        b = db.create("Thing", {"name": "b"}, payload=b"shared bytes")
+        read_only = staging.export_object(a.oid, writable=False)
+        staging.export_object(b.oid, writable=False)
+        # a tool now wants b's copy for editing: it must get a private
+        # inode, and editing it must not reach through to a's copy
+        writable = staging.export_object(b.oid)
+        assert writable.path.stat().st_nlink == 1
+        writable.path.write_bytes(b"edited by the tool")
+        assert read_only.path.read_bytes() == b"shared bytes"
+
+    def test_batch_read_only_export_links_within_batch(self, db, staging):
+        oids = [
+            db.create("Thing", {"name": f"t{i}"}, payload=b"same").oid
+            for i in range(3)
+        ]
+        staged = staging.export_objects(oids, writable=False)
+        assert staged[0].path.stat().st_nlink == 3
+        assert staging.accounting()["export_links"] == 2
+
+    def test_released_file_leaves_the_digest_index(self, db, staging):
+        a = db.create("Thing", {"name": "a"}, payload=b"shared bytes")
+        b = db.create("Thing", {"name": "b"}, payload=b"shared bytes")
+        staging.export_object(a.oid, writable=False)
+        staging.release(a.oid)
+        second = staging.export_object(b.oid, writable=False)
+        assert second.path.stat().st_nlink == 1
+        assert staging.accounting()["export_links"] == 0
+
+    def test_forgotten_file_is_never_a_link_source(self, db, staging):
+        a = db.create("Thing", {"name": "a"}, payload=b"shared bytes")
+        b = db.create("Thing", {"name": "b"}, payload=b"shared bytes")
+        forgotten = staging.export_object(a.oid, writable=False)
+        staging.forget(a.oid)
+        assert forgotten.path.exists()  # forget leaves disk alone
+        second = staging.export_object(b.oid, writable=False)
+        # linking to an untracked orphan would let reclaim_orphans rip
+        # bytes out from under a live staged copy
+        assert second.path.stat().st_nlink == 1
+        assert staging.accounting()["export_links"] == 0
+
+    def test_stale_digest_index_entry_is_dropped(self, db, staging):
+        a = db.create("Thing", {"name": "a"}, payload=b"shared bytes")
+        b = db.create("Thing", {"name": "b"}, payload=b"shared bytes")
+        staged = staging.export_object(a.oid, writable=False)
+        staged.path.write_bytes(b"mutated behind our back")
+        second = staging.export_object(b.oid, writable=False)
+        assert second.path.stat().st_nlink == 1
+        assert second.path.read_bytes() == b"shared bytes"
+
+
+class TestConcurrentRecordMutation:
+    """Regression: every record mutator holds the staging lock.
+
+    ``forget()`` used to pop its two dicts without the lock; interleaved
+    with ``_record`` from a concurrently staging worker, the path claim
+    could outlive the record it belonged to — a permanent phantom
+    collision.  Hammer export/release/forget from several threads and
+    then prove every path still stages cleanly.
+    """
+
+    def test_export_release_forget_race(self, db, staging):
+        import threading
+
+        oids = [
+            db.create("Thing", {"name": f"r{i}"}, payload=b"racing").oid
+            for i in range(4)
+        ]
+        errors = []
+
+        def hammer(worker):
+            try:
+                for round_no in range(50):
+                    oid = oids[(worker + round_no) % len(oids)]
+                    try:
+                        staging.export_object(oid, writable=False)
+                    except OMSError:
+                        pass  # lost a claim race to a sibling: fine
+                    if worker % 2:
+                        staging.forget(oid)
+                    else:
+                        staging.release(oid)
+            except Exception as exc:  # noqa: BLE001 - collecting for assert
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert errors == []
+        # no phantom claims: every oid stages again without collision
+        for oid in oids:
+            staging.forget(oid)
+        staging.reclaim_orphans()
+        for oid in oids:
+            assert staging.export_object(oid).path.exists()
