@@ -225,6 +225,16 @@ def cmd_demo(
     out.write(
         f"\nsimulated designer time: {hybrid.clock.now_ms:,.0f} ms\n"
     )
+    read_path = hybrid.read_path_stats()
+    cache = read_path.get("cache", {})
+    out.write(
+        "read path: "
+        f"cache hits={cache.get('hits', 0)} "
+        f"misses={cache.get('misses', 0)}, "
+        f"query memo hits={read_path['query_memo']['hits']}, "
+        f"staging reflinks={read_path['staging_reflinks']}, "
+        f"checkout clones={read_path['checkout_clones']}\n"
+    )
     if workspace is not None:
         saved = hybrid.save_state()
         out.write(f"saved: {saved}\n")

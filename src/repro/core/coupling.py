@@ -8,6 +8,7 @@ language, ITC).  See ``examples/quickstart.py`` for a guided tour.
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Any, Dict, Optional
 
@@ -31,6 +32,7 @@ from repro.jcf.flows import FlowDef, standard_encapsulation_flow
 from repro.jcf.framework import JCFFramework
 from repro.jcf.project import JCFCellVersion, JCFProject
 from repro.oms import durable
+from repro.oms.readcache import DEFAULT_BUDGET_BYTES, MaterializationCache
 from repro.oms.snapshot import verify_snapshot_bytes
 from repro.oms.wal import WriteAheadLog
 
@@ -69,6 +71,11 @@ class HybridFramework:
         ``"full"`` (fsync files and directories on every durable write),
         ``"relaxed"`` (same write sequence, fsyncs skipped) or ``None``
         to follow the process default (see :mod:`repro.oms.durable`).
+    read_cache_bytes:
+        Byte budget of the shared materialization cache serving verified
+        payload and version reads.  ``None`` (default) consults the
+        ``REPRO_READ_CACHE_BYTES`` environment knob and falls back to
+        64 MiB; ``0`` disables the cache (zero-copy views stay on).
     """
 
     PERSISTENCE_MODES = ("snapshot", "wal")
@@ -84,6 +91,7 @@ class HybridFramework:
         administrator: str = "admin",
         persistence: str = "snapshot",
         durability: Optional[str] = None,
+        read_cache_bytes: Optional[int] = None,
     ) -> None:
         if persistence not in self.PERSISTENCE_MODES:
             raise ValueError(
@@ -108,6 +116,7 @@ class HybridFramework:
             wal=wal,
         )
         self.fmcad = FMCADFramework(self.root / "fmcad", clock=self.clock)
+        self._wire_read_path(read_cache_bytes)
         self.mapper = DataModelMapper(self.jcf, self.fmcad)
         self.hierarchy = HierarchyManager(
             self.jcf.desktop,
@@ -130,6 +139,38 @@ class HybridFramework:
         )
         self.intents = IntentJournal(self.jcf.db)
         self.recovery = CouplingRecovery(self.jcf, self.fmcad)
+
+    # -- read path ----------------------------------------------------------------
+
+    @staticmethod
+    def _resolve_cache_budget(read_cache_bytes: Optional[int]) -> int:
+        if read_cache_bytes is not None:
+            return read_cache_bytes
+        env = os.environ.get("REPRO_READ_CACHE_BYTES", "")
+        if env:
+            try:
+                return int(env)
+            except ValueError:
+                pass
+        return DEFAULT_BUDGET_BYTES
+
+    def _wire_read_path(self, read_cache_bytes: Optional[int]) -> None:
+        """Attach the shared read cache and enable zero-copy views.
+
+        One digest-keyed :class:`MaterializationCache` serves both
+        frameworks — blob materializations and FMCAD version reads
+        address bytes by the same SHA-256, so a byte proven once is a
+        hit everywhere.  Must run before any FMCAD library is opened so
+        every library picks the cache up.
+        """
+        budget = self._resolve_cache_budget(read_cache_bytes)
+        self.read_cache = (
+            MaterializationCache(budget) if budget > 0 else None
+        )
+        if self.read_cache is not None:
+            self.jcf.db.attach_read_cache(self.read_cache)
+        self.jcf.db.enable_payload_views(self.root / "jcf" / "blob_views")
+        self.fmcad.read_cache = self.read_cache
 
     # -- environment setup --------------------------------------------------------
 
@@ -348,6 +389,7 @@ class HybridFramework:
         enable_hierarchy_procedural_interface: bool = False,
         administrator: str = "admin",
         durability: Optional[str] = None,
+        read_cache_bytes: Optional[int] = None,
     ) -> "HybridFramework":
         """Restart a hybrid environment previously saved with
         :meth:`save_state`: restore the JCF state (auto-detecting WAL
@@ -378,6 +420,9 @@ class HybridFramework:
         instance.fmcad = FMCADFramework(
             root / "fmcad", clock=instance.clock
         )
+        # wire the read path before opening any library so each one
+        # picks up the shared cache
+        instance._wire_read_path(read_cache_bytes)
         for library_name in instance.fmcad.known_library_names():
             instance.fmcad.open_library(library_name)
         instance.mapper = DataModelMapper(instance.jcf, instance.fmcad)
@@ -439,7 +484,31 @@ class HybridFramework:
                 "delta_hits": sum(w.harvest_delta_hits for w in wrappers),
                 "full_imports": sum(w.harvest_full_imports for w in wrappers),
             },
+            "read_path": self.read_path_stats(),
         }
         if self.jcf.wal is not None:
             stats["wal"] = self.jcf.wal.stats()
         return stats
+
+    def read_path_stats(self) -> Dict[str, Any]:
+        """Read-path effectiveness: cache, memo, views, in-kernel clones."""
+        blob_stats = self.jcf.db.blob_stats()
+        report: Dict[str, Any] = {
+            "query_memo": self.jcf.query.memo_stats(),
+            "staging_reflinks": (
+                self.jcf.staging.accounting()["export_reflinks"]
+            ),
+            "checkout_clones": (
+                self.fmcad.checkouts.stats()["cloned_working_files"]
+            ),
+            "library_cache_reads": sum(
+                library.cache_reads
+                for library in self.fmcad._libraries.values()
+            ),
+            "views_mapped": blob_stats["views_mapped"],
+            "view_hits": blob_stats["view_hits"],
+            "view_fallbacks": blob_stats["view_fallbacks"],
+        }
+        if self.read_cache is not None:
+            report["cache"] = self.read_cache.stats()
+        return report

@@ -62,6 +62,9 @@ class FMCADFramework:
         self._sessions: Dict[str, ToolSession] = {}
         self._configurations: Dict[str, FMCADConfiguration] = {}
         self.invocation_log: List[ToolInvocation] = []
+        #: shared MaterializationCache handed to every library opened
+        #: from now on (set by HybridFramework when read caching is on)
+        self.read_cache = None
         self._install_session_builtins()
 
     # -- libraries --------------------------------------------------------------
@@ -70,6 +73,7 @@ class FMCADFramework:
         if name in self._libraries:
             raise LibraryError(f"duplicate library {name!r}")
         library = Library(name, self.root / "libs", clock=self.clock)
+        library.read_cache = self.read_cache
         self._libraries[name] = library
         return library
 
@@ -84,6 +88,7 @@ class FMCADFramework:
         if name in self._libraries:
             raise LibraryError(f"library {name!r} is already open")
         library = Library.open(name, self.root / "libs", clock=self.clock)
+        library.read_cache = self.read_cache
         self._libraries[name] = library
         return library
 

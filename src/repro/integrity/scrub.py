@@ -384,6 +384,8 @@ class Scrubber:
         same corpse forever.
         """
         if finding.area == "blob":
+            # the store's quarantine drops any cached bytes / live mmap
+            # view for the digest itself
             digest = finding.location.split(":", 1)[1]
             self.jcf.db.quarantine_payload(digest)
         else:
@@ -396,8 +398,24 @@ class Scrubber:
                 path.replace(target)
             if finding.area == "staging" and finding.detail:
                 self.jcf.staging.forget(finding.detail)
+            if finding.area == "fmcad-version":
+                # a library read must not keep serving the quarantined
+                # version from the shared cache; the cached bytes are
+                # clean (they proved the digest) but the version is now
+                # officially out of service
+                self._invalidate_version_cache(finding.location)
         self._manifest[finding.location] = finding.classification
         self._append_manifest(finding.location, finding.classification)
+
+    def _invalidate_version_cache(self, location: str) -> None:
+        indexed = self._version_index.get(location)
+        if indexed is None:
+            return
+        library, version = indexed
+        cache = library.read_cache
+        digest = version._content_digest
+        if cache is not None and digest is not None:
+            cache.invalidate(digest)
 
     def _load_manifest(self) -> Dict[str, str]:
         if not self._manifest_path.exists():

@@ -150,6 +150,7 @@ class JCFFramework:
                 default.files_imported += sandbox.files_imported
                 default.export_hits += sandbox.export_hits
                 default.export_links += sandbox.export_links
+                default.export_reflinks += sandbox.export_reflinks
                 default.import_hits += sandbox.import_hits
 
     # -- persistence ---------------------------------------------------------

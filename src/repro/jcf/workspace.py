@@ -39,12 +39,20 @@ class WorkspaceManager:
 
     # -- workspace lifecycle ---------------------------------------------------
 
-    def workspace_for(self, user_name: str) -> OMSObject:
-        """The user's private workspace, created on first use."""
+    def _existing_workspace(self, user_name: str) -> Optional[OMSObject]:
+        """The user's workspace if one exists — never creates one."""
         user = self._resources.user(user_name)
         existing = self._db.target_oids("workspace_of", user.oid)
         if existing:
             return self._db.get(existing[0])
+        return None
+
+    def workspace_for(self, user_name: str) -> OMSObject:
+        """The user's private workspace, created on first use."""
+        workspace = self._existing_workspace(user_name)
+        if workspace is not None:
+            return workspace
+        user = self._resources.user(user_name)
         # atomically: a failed link must not leak an orphan workspace
         with self._db.transaction():
             workspace = self._db.create("Workspace", {"owner": user_name})
@@ -125,7 +133,16 @@ class WorkspaceManager:
         return self.reserved_by(cell_version) == user_name
 
     def reservations_of(self, user_name: str) -> List[JCFCellVersion]:
-        workspace = self.workspace_for(user_name)
+        """List the cell versions held in the user's workspace.
+
+        A pure read: a user without a workspace simply holds nothing.
+        (It used to create the workspace as a side effect, which bumped
+        the database mutation epoch and needlessly invalidated the
+        query-engine memo on every listing.)
+        """
+        workspace = self._existing_workspace(user_name)
+        if workspace is None:
+            return []
         return [
             JCFCellVersion(self._db, obj)
             for obj in self._db.targets("reserves", workspace.oid)

@@ -33,11 +33,23 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import mmap
+import os
+import pathlib
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import IntegrityError, OMSError, QuarantinedError
 from repro.faults import corruption_point, fault_point
+from repro.oms.locks import DigestLockTable
+from repro.oms.zerocopy import (
+    FsCapabilities,
+    digest_view,
+    probe_capabilities,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.oms.readcache import MaterializationCache
 
 
 def digest_bytes(data: bytes) -> str:
@@ -131,6 +143,37 @@ class _Entry:
         return len(self.data)
 
 
+class _MappedView:
+    """One live mmap over a blob's spill file, shared by its borrowers."""
+
+    __slots__ = ("mapping", "path")
+
+    def __init__(self, mapping: mmap.mmap, path: pathlib.Path) -> None:
+        self.mapping = mapping
+        self.path = path
+
+    def memoryview(self) -> memoryview:
+        return memoryview(self.mapping)
+
+    def close(self) -> bool:
+        """Unmap and unlink; False when exported views pin the mapping.
+
+        Python cannot revoke a handed-out ``memoryview``; when borrowers
+        still hold one the mapping stays alive (they keep reading the
+        bytes they were lent) but the spill file is unlinked either way,
+        so no *new* reader can reach it.
+        """
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            self.mapping.close()
+        except BufferError:
+            return False
+        return True
+
+
 class BlobStore:
     """Digest-keyed, refcounted, delta-capable payload table."""
 
@@ -153,8 +196,61 @@ class BlobStore:
         #: verified reads served by the verified-once fast path instead
         self.verification_hits = 0
         #: serialises refcount and chain mutations under the parallel
-        #: scheduler; reentrant because _free cascades through decref
+        #: scheduler; reentrant because _free cascades through decref.
+        #: Held only for table lookups/mutations — reconstruction,
+        #: hashing and encoding all run outside it (see _digest_locks).
         self._lock = threading.RLock()
+        #: per-digest striped read/write locks: N readers of N digests
+        #: proceed concurrently; repair/quarantine of a digest excludes
+        #: its readers.  Always acquired OUTSIDE self._lock.
+        self._digest_locks = DigestLockTable()
+        #: shared materialization cache (attach_cache); digest-keyed,
+        #: verified bytes only
+        self._cache: Optional["MaterializationCache"] = None
+        #: digest -> live mmap view over a spill file (enable_views)
+        self._views: Dict[str, _MappedView] = {}
+        #: mappings invalidation could not close because borrowers still
+        #: hold memoryviews — kept so the interpreter never unmaps pages
+        #: under a live buffer
+        self._pinned_views: List[_MappedView] = []
+        self._view_root: Optional[pathlib.Path] = None
+        self._view_caps: Optional[FsCapabilities] = None
+        #: open_view outcomes: mmap-backed, served-from-live-map, heap copy
+        self.views_mapped = 0
+        self.view_hits = 0
+        self.view_fallbacks = 0
+
+    # -- read-path attachments ----------------------------------------------
+
+    def attach_cache(self, cache: Optional["MaterializationCache"]) -> None:
+        """Serve verified materializations from (and into) *cache*."""
+        self._cache = cache
+
+    def enable_views(
+        self,
+        root: pathlib.Path,
+        capabilities: Optional[FsCapabilities] = None,
+    ) -> FsCapabilities:
+        """Allow mmap-backed views, spilling base-resident blobs to *root*.
+
+        Stale spill files from a previous process are swept — a view
+        file is only ever trusted for the lifetime of the mapping that
+        verified it.  Returns the probed (or given) capabilities; when
+        the filesystem cannot mmap, ``open_view`` silently degrades to
+        heap-backed views and the store behaves exactly as before.
+        """
+        root = pathlib.Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        for stale in root.glob("*.view"):
+            try:
+                stale.unlink()
+            except FileNotFoundError:  # pragma: no cover - sweep race
+                pass
+        caps = capabilities or probe_capabilities(root)
+        with self._lock:
+            self._view_root = root
+            self._view_caps = caps
+        return caps
 
     # -- storing -------------------------------------------------------------
 
@@ -169,28 +265,60 @@ class BlobStore:
         """
         fault_point("blobs.intern")
         digest = digest_bytes(data)
+        base_depth = 0
         with self._lock:
             entry = self._entries.get(digest)
             if entry is not None:
                 entry.refcount += 1
                 self.dedup_hits += 1
                 return digest
-            entry = self._encode(data, base_digest)
+            base = (
+                self._entries.get(base_digest)
+                if base_digest is not None
+                else None
+            )
+            pin_base = base is not None and base.depth < self.MAX_CHAIN_DEPTH
+            if pin_base:
+                # pin the base across the unlocked encode so a concurrent
+                # release cannot free it while we diff against its bytes
+                base.refcount += 1
+                base_depth = base.depth
+        # heavy work — materializing the base, the prefix/suffix scans,
+        # hashing — all runs with no lock held: concurrent readers and
+        # interns of other digests make progress meanwhile
+        try:
+            entry = self._encode(
+                data, base_digest if pin_base else None, base_depth
+            )
+        except BaseException:
+            if pin_base:
+                self.decref(base_digest)
+            raise
+        with self._lock:
+            existing = self._entries.get(digest)
+            if existing is not None:
+                # a concurrent intern of the same bytes won the race
+                existing.refcount += 1
+                self.dedup_hits += 1
+                if pin_base:
+                    self.decref(base_digest)
+                return digest
+            if entry.is_delta:
+                self.delta_stores += 1  # the pin becomes the base ref
+            elif pin_base:
+                self.decref(base_digest)  # stored in full: drop the pin
             self._entries[digest] = entry
             return digest
 
-    def _encode(self, data: bytes, base_digest: Optional[str]) -> _Entry:
+    def _encode(
+        self, data: bytes, base_digest: Optional[str], base_depth: int
+    ) -> _Entry:
         # the recorded size is always that of the pristine payload; the
         # stored representation passes through the corruption point so an
         # injected fault damages what lands at rest, not the size the
         # verifier will hold the bytes against
         size = len(data)
-        base = (
-            self._entries.get(base_digest)
-            if base_digest is not None
-            else None
-        )
-        if base is None or base.depth >= self.MAX_CHAIN_DEPTH:
+        if base_digest is None:
             return _Entry(
                 size=size, data=corruption_point("blobs.payload", data)
             )
@@ -202,15 +330,13 @@ class BlobStore:
             return _Entry(
                 size=size, data=corruption_point("blobs.payload", data)
             )
-        base.refcount += 1  # the delta keeps its base alive
-        self.delta_stores += 1
         return _Entry(
             size=size,
             base_digest=base_digest,
             prefix_len=prefix,
             suffix_len=suffix,
             middle=corruption_point("blobs.payload", middle),
-            depth=base.depth + 1,
+            depth=base_depth + 1,
         )
 
     # -- reading -------------------------------------------------------------
@@ -240,14 +366,20 @@ class BlobStore:
         """
         if verify is None:
             verify = self.verify_reads
+        with self._digest_locks.reading(digest):
+            return self._materialize_held(digest, verify)
+
+    def _materialize_held(self, digest: str, verify: bool) -> bytes:
+        """Materialize while the caller holds the digest's stripe read."""
         with self._lock:
             target = self._require(digest)
-            if target.quarantined:
-                raise QuarantinedError(
-                    f"blob {digest[:12]} is quarantined: its bytes failed "
-                    "verification and no repair source was found",
-                    location=f"blob:{digest}",
-                )
+            self._refuse_quarantined(digest, target)
+        # the cache only ever holds verified bytes, so an unverified
+        # read (bench baseline arm) bypasses it entirely — get AND put
+        if verify and self._cache is not None:
+            cached = self._cache.get(digest)
+            if cached is not None:
+                return cached
         data = self._reconstruct(digest)
         if verify:
             if target.verified:
@@ -255,19 +387,127 @@ class BlobStore:
                 # it) already proved its digest once, and stored bytes
                 # never mutate after the intern — skip the re-hash
                 self.verification_hits += 1
-                return data
-            self.verifications += 1
-            problem = classify_damage(target.size, data, digest)
-            if problem is not None:
+            else:
+                self.verifications += 1
+                problem = classify_damage(target.size, data, digest)
+                if problem is not None:
+                    raise IntegrityError(
+                        f"blob {digest[:12]}: stored bytes fail verification "
+                        f"({problem}; {len(data)} bytes, recorded size "
+                        f"{target.size})",
+                        location=f"blob:{digest}",
+                        classification=problem,
+                    )
+                target.verified = True
+            if self._cache is not None:
+                self._cache.put(digest, data)
+        return data
+
+    def _refuse_quarantined(self, digest: str, entry: _Entry) -> None:
+        if entry.quarantined:
+            raise QuarantinedError(
+                f"blob {digest[:12]} is quarantined: its bytes failed "
+                "verification and no repair source was found",
+                location=f"blob:{digest}",
+            )
+
+    def open_view(
+        self, digest: str, verify: Optional[bool] = None
+    ) -> memoryview:
+        """A read-only :class:`memoryview` of the payload, zero-copy when
+        possible.
+
+        Base-resident (non-delta) blobs are spilled once to a view file
+        under the root given to :meth:`enable_views`, mmap'd read-only,
+        verified chunk-wise against the content address, and every later
+        view of the digest is a window over the same mapping — no heap
+        copy, no re-hash.  Delta entries, empty payloads, or stores
+        without mmap support degrade to a heap-backed view over
+        :meth:`materialize` (byte-identical, just not zero-copy).
+
+        A handed-out view is a loan of *verified-at-map-time* bytes:
+        quarantine/repair close the mapping for future readers but
+        cannot revoke views already exported.
+        """
+        if verify is None:
+            verify = self.verify_reads
+        with self._digest_locks.reading(digest):
+            with self._lock:
+                target = self._require(digest)
+                self._refuse_quarantined(digest, target)
+                view = self._views.get(digest)
+                if view is not None:
+                    self.view_hits += 1
+                    return view.memoryview()
+                root = self._view_root
+                caps = self._view_caps
+                mappable = (
+                    root is not None
+                    and caps is not None
+                    and caps.mmap
+                    and not target.is_delta
+                    and target.size > 0
+                )
+                data = target.data if mappable else None
+            if not mappable:
+                self.view_fallbacks += 1
+                return memoryview(self._materialize_held(digest, verify))
+            return self._map_view(digest, target.size, data, root, verify)
+
+    def _map_view(
+        self,
+        digest: str,
+        size: int,
+        data: bytes,
+        root: pathlib.Path,
+        verify: bool,
+    ) -> memoryview:
+        """Spill, map, verify, and register a view (stripe read held)."""
+        # per-thread spill name: two readers racing on one digest each
+        # build a private file; the loser discards its own below
+        path = root / f"{digest}.{threading.get_ident()}.view"
+        path.write_bytes(corruption_point("blobs.mmap", data))
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            mapping = mmap.mmap(fd, 0, prot=mmap.PROT_READ)
+        finally:
+            os.close(fd)
+        view = _MappedView(mapping, path)
+        if verify:
+            actual = digest_view(mapping)
+            if actual != digest:
+                length = len(mapping)
+                if length < size:
+                    problem = CLASS_TRUNCATION
+                elif length > size:
+                    problem = CLASS_TORN_WRITE
+                else:
+                    problem = CLASS_BIT_ROT
+                view.close()
                 raise IntegrityError(
-                    f"blob {digest[:12]}: stored bytes fail verification "
-                    f"({problem}; {len(data)} bytes, recorded size "
-                    f"{target.size})",
+                    f"blob {digest[:12]}: mmap view bytes fail verification "
+                    f"({problem}; {length} bytes, recorded size {size})",
                     location=f"blob:{digest}",
                     classification=problem,
                 )
-            target.verified = True
-        return data
+        loser: Optional[_MappedView] = None
+        with self._lock:
+            existing = self._views.get(digest)
+            if existing is not None:
+                self.view_hits += 1
+                result = existing.memoryview()
+                loser = view
+            else:
+                self._views[digest] = view
+                self.views_mapped += 1
+                if verify:
+                    entry = self._entries.get(digest)
+                    if entry is not None:
+                        entry.verified = True
+                result = view.memoryview()
+        if loser is not None:
+            loser.close()
+        return result
 
     def _reconstruct(self, digest: str) -> bytes:
         """Chain walk + delta application; no quarantine or hash checks.
@@ -327,16 +567,24 @@ class BlobStore:
         """
         with self._lock:
             entry = self._require(digest)
+            if entry.refcount > 1:
+                entry.refcount -= 1
+                return None
+        # last reference: the verified read takes the digest's stripe,
+        # so it must run outside the table lock; re-check after
+        data = self.materialize(digest)
+        with self._lock:
+            entry = self._require(digest)
             if entry.refcount == 1:
-                data = self.materialize(digest)
                 entry.refcount = 0
                 self._free(digest, entry)
                 return data
-            entry.refcount -= 1
+            entry.refcount -= 1  # a concurrent incref/intern revived it
             return None
 
     def _free(self, digest: str, entry: _Entry) -> None:
         del self._entries[digest]
+        self._drop_view(digest)  # reclaim the spill file, if any
         if entry.is_delta:
             self.decref(entry.base_digest)  # may cascade up the chain
 
@@ -393,26 +641,52 @@ class BlobStore:
                 location=f"blob:{digest}",
                 classification=CLASS_BIT_ROT,
             )
-        with self._lock:
-            entry = self._require(digest)
-            old_base = entry.base_digest
-            entry.data = data
-            entry.base_digest = None
-            entry.prefix_len = 0
-            entry.suffix_len = 0
-            entry.middle = b""
-            entry.size = len(data)
-            entry.quarantined = False
-            # the representation changed: the next verified read must
-            # re-prove the digest rather than trust the old cache
-            entry.verified = False
-            if old_base is not None:
-                self.decref(old_base)
+        # the digest's write stripe excludes every in-flight read: no
+        # reader can observe the entry mid-swap or map a view of the
+        # pre-repair bytes after we invalidate
+        with self._digest_locks.writing(digest):
+            with self._lock:
+                entry = self._require(digest)
+                old_base = entry.base_digest
+                entry.data = data
+                entry.base_digest = None
+                entry.prefix_len = 0
+                entry.suffix_len = 0
+                entry.middle = b""
+                entry.size = len(data)
+                entry.quarantined = False
+                # the representation changed: the next verified read must
+                # re-prove the digest rather than trust the old cache
+                entry.verified = False
+                self._invalidate_digest(digest)
+                if old_base is not None:
+                    self.decref(old_base)
 
     def quarantine(self, digest: str) -> None:
-        """Mark an unrepairable entry: reads raise, scrub skips it."""
-        with self._lock:
-            self._require(digest).quarantined = True
+        """Mark an unrepairable entry: reads raise, scrub skips it.
+
+        Takes the digest's write stripe and drops any cached bytes or
+        live view, so a reader that raced us either finished before the
+        quarantine or will see :class:`QuarantinedError` — never a cache
+        hit on known-bad bytes.
+        """
+        with self._digest_locks.writing(digest):
+            with self._lock:
+                self._require(digest).quarantined = True
+                self._invalidate_digest(digest)
+
+    def _invalidate_digest(self, digest: str) -> None:
+        """Drop cache entry + view for *digest* (table lock held)."""
+        if self._cache is not None:
+            self._cache.invalidate(digest)
+        self._drop_view(digest)
+
+    def _drop_view(self, digest: str) -> None:
+        view = self._views.pop(digest, None)
+        if view is not None and not view.close():
+            # borrowers still hold memoryviews; park the mapping so the
+            # pages stay valid for them (file is already unlinked)
+            self._pinned_views.append(view)
 
     def quarantined_digests(self) -> List[str]:
         with self._lock:
@@ -439,6 +713,9 @@ class BlobStore:
                 "max_chain_depth": max(
                     (e.depth for e in self._entries.values()), default=0
                 ),
+                "views_mapped": self.views_mapped,
+                "view_hits": self.view_hits,
+                "view_fallbacks": self.view_fallbacks,
             }
 
     def reference_audit(self, external: Dict[str, int]) -> List[str]:
@@ -526,13 +803,29 @@ class PayloadHandle:
     def materialize(self) -> bytes:
         return self.store.materialize(self.digest)
 
+    def open_view(self) -> memoryview:
+        """Zero-copy (where possible) read-only view of the payload."""
+        return self.store.open_view(self.digest)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<PayloadHandle {self.digest[:12]}>"
 
 
+#: block size for the C-speed slice comparisons below (4 KiB)
+_SCAN_BLOCK = 1 << 12
+
+
 def _common_prefix(a: bytes, b: bytes) -> int:
     bound = min(len(a), len(b))
+    ma, mb = memoryview(a), memoryview(b)
     lo = 0
+    # compare whole blocks at C speed; only the first differing block
+    # is scanned byte-by-byte
+    while (
+        lo + _SCAN_BLOCK <= bound
+        and ma[lo:lo + _SCAN_BLOCK] == mb[lo:lo + _SCAN_BLOCK]
+    ):
+        lo += _SCAN_BLOCK
     while lo < bound and a[lo] == b[lo]:
         lo += 1
     return lo
@@ -540,7 +833,14 @@ def _common_prefix(a: bytes, b: bytes) -> int:
 
 def _common_suffix(a: bytes, b: bytes) -> int:
     bound = min(len(a), len(b))
+    la, lb = len(a), len(b)
+    ma, mb = memoryview(a), memoryview(b)
     n = 0
-    while n < bound and a[len(a) - 1 - n] == b[len(b) - 1 - n]:
+    while (
+        n + _SCAN_BLOCK <= bound
+        and ma[la - n - _SCAN_BLOCK:la - n] == mb[lb - n - _SCAN_BLOCK:lb - n]
+    ):
+        n += _SCAN_BLOCK
+    while n < bound and a[la - 1 - n] == b[lb - 1 - n]:
         n += 1
     return n

@@ -122,6 +122,43 @@ class OMSDatabase:
         #: attached write-ahead log (see oms/wal.py); when set, every
         #: committed change set appends one durable record
         self.wal = None
+        #: monotone counter bumped by every structural mutation (and by
+        #: transaction commit/abort, since undo closures bypass the
+        #: public mutators) — the QueryEngine memo's validity token
+        self.mutation_epoch = 0
+        #: shared materialization cache, if attached (read-path PR)
+        self._read_cache = None
+
+    # -- read path -------------------------------------------------------------
+
+    @property
+    def read_cache(self):
+        """The attached :class:`MaterializationCache`, or ``None``."""
+        return self._read_cache
+
+    def attach_read_cache(self, cache) -> None:
+        """Serve verified payload reads from (and into) *cache*.
+
+        The cache is digest-keyed, so it is shared safely with every
+        other consumer addressing bytes by the same content address
+        (FMCAD libraries, the coupled-run harvest).
+        """
+        self._read_cache = cache
+        self._blobs.attach_cache(cache)
+
+    def enable_payload_views(self, root):
+        """Allow zero-copy mmap views of payloads, spilled under *root*.
+
+        Returns the probed filesystem capabilities for the view root.
+        """
+        return self._blobs.enable_views(root)
+
+    def open_payload_view(self, digest: str) -> memoryview:
+        """Read-only (zero-copy where possible) view of a payload."""
+        return self._blobs.open_view(digest)
+
+    def _bump_epoch(self) -> None:
+        self.mutation_epoch += 1
 
     # -- write-ahead log -------------------------------------------------------
 
@@ -201,13 +238,17 @@ class OMSDatabase:
         except BaseException:
             self._active_txn = None
             # roll back under the mutex: the undo closures mutate the
-            # shared stores directly
+            # shared stores directly — and bypass the public mutators,
+            # so the abort itself must advance the mutation epoch
             with self._mutex:
                 txn.abort()
+                self._bump_epoch()
             raise
         else:
             self._active_txn = None
             txn.commit()
+            with self._mutex:
+                self._bump_epoch()
             # the whole transaction lands as one WAL record — durability
             # cost per commit is O(change set), and an aborted block
             # (whose buffered ops died with it) never touches the log
@@ -290,6 +331,7 @@ class OMSDatabase:
         handle = self._intern_payload(payload, payload_delta_base)
         obj = OMSObject(oid, entity, complete, handle)
         self._objects[oid] = obj
+        self._bump_epoch()
         self.clock.charge_metadata_op()
 
         def undo() -> None:
@@ -338,6 +380,7 @@ class OMSDatabase:
         obj._deleted = True
         handle = obj.payload_handle
         freed = self._drop_payload_ref(handle.digest) if handle else None
+        self._bump_epoch()
         self.clock.charge_metadata_op()
 
         def undo() -> None:
@@ -359,6 +402,7 @@ class OMSDatabase:
         """Schema-checked attribute update."""
         obj = self.get(oid)
         previous = obj._set(name, value)
+        self._bump_epoch()
         self.clock.charge_metadata_op()
         self._journal(lambda: obj._set(name, previous))
         self._wal_log({"op": "set_attr", "oid": oid, "name": name,
@@ -386,6 +430,7 @@ class OMSDatabase:
             if previous is not None
             else None
         )
+        self._bump_epoch()
 
         def undo() -> None:
             # restore the previous reference BEFORE dropping the new one:
@@ -565,6 +610,7 @@ class OMSDatabase:
         self._check_cardinality(rel, source_oid, target_oid)
         if not self._link_add(rel_name, source_oid, target_oid):
             return  # idempotent
+        self._bump_epoch()
         self.clock.charge_metadata_op()
         self._journal(
             lambda: self._link_remove(rel_name, source_oid, target_oid)
@@ -580,6 +626,7 @@ class OMSDatabase:
             raise RelationshipError(
                 f"{rel_name}: no link {source_oid} -> {target_oid}"
             )
+        self._bump_epoch()
         self.clock.charge_metadata_op()
         self._journal(lambda: self._link_add(rel_name, source_oid, target_oid))
         self._wal_log({"op": "unlink", "rel": rel_name, "source": source_oid,

@@ -27,6 +27,7 @@ wave's deterministic commit ordering.
 from __future__ import annotations
 
 import threading
+import zlib
 from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -126,6 +127,62 @@ class RWLock:
         """(writer thread ident or None, list of reader idents)."""
         with self._cond:
             return self._writer, sorted(self._readers)
+
+
+class DigestLockTable:
+    """Striped per-digest read/write locks for the blob read path.
+
+    The blob store's internal mutex makes each primitive atomic, but it
+    also *serialises* them — N readers reconstructing N different
+    payloads queue behind one lock.  This table hands each digest a
+    (striped) :class:`RWLock`: readers of any digest proceed together,
+    while repair/quarantine of a digest takes its write lock and is
+    therefore mutually exclusive with every in-flight read of that
+    digest — a reader can never observe a half-repaired entry or keep a
+    view of bytes that were just quarantined.
+
+    Stripes bound memory: digests hash onto a fixed array of locks, so
+    two digests may share a stripe (spurious contention, never a
+    correctness issue).  Lock-ordering discipline for users: a stripe
+    lock is always acquired OUTSIDE the store mutex, never while
+    holding it.
+    """
+
+    DEFAULT_STRIPES = 64
+
+    def __init__(self, stripes: int = DEFAULT_STRIPES) -> None:
+        if stripes < 1:
+            raise ValueError(f"need at least one stripe: {stripes!r}")
+        self._stripes: Tuple[RWLock, ...] = tuple(
+            RWLock(f"digest-stripe-{index}") for index in range(stripes)
+        )
+
+    def stripe_for(self, digest: str) -> RWLock:
+        index = zlib.crc32(digest.encode("ascii")) % len(self._stripes)
+        return self._stripes[index]
+
+    @contextmanager
+    def reading(self, digest: str) -> Iterator[RWLock]:
+        """Shared hold on *digest* for the duration of the block."""
+        lock = self.stripe_for(digest)
+        lock.acquire_read()
+        try:
+            yield lock
+        finally:
+            lock.release_read()
+
+    @contextmanager
+    def writing(self, digest: str) -> Iterator[RWLock]:
+        """Exclusive hold on *digest* (repair/quarantine/invalidate)."""
+        lock = self.stripe_for(digest)
+        lock.acquire_write()
+        try:
+            yield lock
+        finally:
+            lock.release_write()
+
+    def __len__(self) -> int:
+        return len(self._stripes)
 
 
 class Acquisition:

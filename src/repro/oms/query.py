@@ -4,17 +4,35 @@ The JCF desktop needs reachability questions ("which design-object
 versions belong to this cell version's variant?", "what derives from this
 schematic version?").  ``QueryEngine`` provides typed traversals on top of
 the primitive link tables.
+
+Traversal closures are memoized: the same reachability question asked
+twice against an unchanged store answers from a memo of oids instead of
+re-walking the graph.  Validity is epoch-based — every structural
+mutation (and every transaction commit/abort) bumps
+:attr:`OMSDatabase.mutation_epoch`, and a memo entry is only served
+while its recorded epoch still matches, so a cached traversal can never
+survive a mutation it did not see.  Objects are re-fetched from the
+database on every hit (never cached), so a deleted oid raises exactly
+as an uncached walk would.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Dict, List, Optional, Sequence, Set
+import threading
+from collections import OrderedDict, deque
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import QueryError
 from repro.ids import sort_key
 from repro.oms.database import OMSDatabase
 from repro.oms.objects import OMSObject
+
+#: memo entries kept per engine; LRU beyond this (bounds memory on
+#: workloads that sweep many distinct start points)
+_MEMO_LIMIT = 1024
+
+#: (operation, start oid, relation names, max depth)
+_MemoKey = Tuple[str, str, Tuple[str, ...], Optional[int]]
 
 
 class QueryEngine:
@@ -22,6 +40,49 @@ class QueryEngine:
 
     def __init__(self, database: OMSDatabase) -> None:
         self._db = database
+        #: memo key -> (epoch the traversal ran at, resulting oids)
+        self._memo: "OrderedDict[_MemoKey, Tuple[int, Tuple[str, ...]]]" = (
+            OrderedDict()
+        )
+        self._memo_lock = threading.Lock()
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    # -- traversal memo --------------------------------------------------------
+
+    def _memo_get(self, key: _MemoKey, epoch: int) -> Optional[Tuple[str, ...]]:
+        with self._memo_lock:
+            entry = self._memo.get(key)
+            if entry is not None and entry[0] == epoch:
+                self._memo.move_to_end(key)
+                self.memo_hits += 1
+                return entry[1]
+            if entry is not None:
+                del self._memo[key]  # stale epoch: drop eagerly
+            self.memo_misses += 1
+            return None
+
+    def _memo_put(
+        self, key: _MemoKey, epoch: int, oids: Tuple[str, ...]
+    ) -> None:
+        # only store if the epoch did not move while we traversed — a
+        # result computed across a concurrent mutation may mix old and
+        # new graph state, which must not be replayable
+        if self._db.mutation_epoch != epoch:
+            return
+        with self._memo_lock:
+            self._memo[key] = (epoch, oids)
+            self._memo.move_to_end(key)
+            while len(self._memo) > _MEMO_LIMIT:
+                self._memo.popitem(last=False)
+
+    def memo_stats(self) -> Dict[str, int]:
+        with self._memo_lock:
+            return {
+                "entries": len(self._memo),
+                "hits": self.memo_hits,
+                "misses": self.memo_misses,
+            }
 
     # -- single-hop ------------------------------------------------------------
 
@@ -62,6 +123,11 @@ class QueryEngine:
         The start object itself is not included.  Order is breadth-first
         with deterministic (sorted-id) tie-breaking.
         """
+        key: _MemoKey = ("reachable", start_oid, tuple(rel_names), max_depth)
+        epoch = self._db.mutation_epoch
+        memo = self._memo_get(key, epoch)
+        if memo is not None:
+            return [self._db.get(oid) for oid in memo]
         seen: Set[str] = {start_oid}
         order: List[OMSObject] = []
         frontier = deque([(start_oid, 0)])
@@ -78,12 +144,18 @@ class QueryEngine:
                 seen.add(next_oid)
                 order.append(self._db.get(next_oid))
                 frontier.append((next_oid, depth + 1))
+        self._memo_put(key, epoch, tuple(obj.oid for obj in order))
         return order
 
     def ancestors(
         self, start_oid: str, rel_names: Sequence[str]
     ) -> List[OMSObject]:
         """Breadth-first closure following links *backwards*."""
+        key: _MemoKey = ("ancestors", start_oid, tuple(rel_names), None)
+        epoch = self._db.mutation_epoch
+        memo = self._memo_get(key, epoch)
+        if memo is not None:
+            return [self._db.get(oid) for oid in memo]
         seen: Set[str] = {start_oid}
         order: List[OMSObject] = []
         frontier = deque([start_oid])
@@ -98,6 +170,7 @@ class QueryEngine:
                 seen.add(prev_oid)
                 order.append(self._db.get(prev_oid))
                 frontier.append(prev_oid)
+        self._memo_put(key, epoch, tuple(obj.oid for obj in order))
         return order
 
     def path_exists(

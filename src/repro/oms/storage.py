@@ -28,7 +28,7 @@ import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import IntegrityError, OMSError
-from repro.faults import corruption_point, fault_point
+from repro.faults import active_plan, corruption_point, fault_point
 from repro.ids import sort_key
 from repro.oms.blobs import (
     EMPTY_DIGEST,
@@ -37,6 +37,11 @@ from repro.oms.blobs import (
     digest_bytes,
 )
 from repro.oms.database import OMSDatabase
+from repro.oms.zerocopy import (
+    METHOD_REFLINK,
+    clone_file,
+    probe_capabilities,
+)
 
 #: classification for a staged file whose record exists but whose bytes
 #: vanished — repair is trivial (drop the record; the next export rewrites)
@@ -102,8 +107,15 @@ class StagingArea:
         self.export_hits = 0
         #: copies avoided by hard-linking another staged file's bytes
         self.export_links = 0
+        #: writable exports satisfied by cloning a peer staged file
+        #: in-kernel (reflink or copy_file_range) — no payload bytes
+        #: ever entered user space
+        self.export_reflinks = 0
         #: database writes avoided because the tool left the file unchanged
         self.import_hits = 0
+        # warm the filesystem capability probe (cached per root; env
+        # overrides are re-read on every later lookup)
+        probe_capabilities(self.root)
         self._lock = threading.RLock()
         #: stale ``.partial``/``.tmp`` files swept away at startup
         self.swept_temps: List[pathlib.Path] = self._sweep_stale_temps()
@@ -135,6 +147,7 @@ class StagingArea:
         """
         path = self._claim_path(oid, filename)
         stat = self._payload_stat(oid)
+        clone_method = None
         if self._export_is_hit(path, stat, writable):
             self._db.clock.charge_metadata_op()
             self.export_hits += 1
@@ -145,6 +158,24 @@ class StagingArea:
             fault_point("staging.write")
             self._db.clock.charge_metadata_op()
             self.export_links += 1
+        elif writable and (
+            clone_method := self._clone_from_peer(path, stat)
+        ) is not None:
+            # writable exports need a private inode, so they cannot
+            # hard-link — but they can *clone* a peer's bytes in-kernel:
+            # reflink shares extents copy-on-write (O(1)), and
+            # copy_file_range moves blocks without the bytes ever
+            # entering user space
+            fault_point("staging.write")
+            if clone_method == METHOD_REFLINK:
+                self._db.clock.charge_metadata_op()
+            else:
+                # still a physical copy, just a cheap one — charged like
+                # the copy it is so accounting stays honest
+                self._db.clock.charge_copy(stat.size, files=1)
+                self.bytes_exported += stat.size
+                self.files_exported += 1
+            self.export_reflinks += 1
         else:
             payload = self._db.get(oid).payload or b""
             self._write_breaking_links(
@@ -190,6 +221,16 @@ class StagingArea:
             elif not writable and self._link_from_peer(path, stat):
                 fault_point("staging.write")
                 self.export_links += 1
+            elif writable and (
+                clone_method := self._clone_from_peer(path, stat)
+            ) is not None:
+                fault_point("staging.write")
+                if clone_method != METHOD_REFLINK:
+                    miss_bytes += stat.size
+                    misses += 1
+                    self.bytes_exported += stat.size
+                    self.files_exported += 1
+                self.export_reflinks += 1
             else:
                 payload = self._db.get(oid).payload or b""
                 self._write_breaking_links(
@@ -372,12 +413,12 @@ class StagingArea:
             "files_imported": self.files_imported,
             "export_hits": self.export_hits,
             "export_links": self.export_links,
+            "export_reflinks": self.export_reflinks,
             "import_hits": self.import_hits,
         }
 
     # -- storage integrity -----------------------------------------------------------
 
-    @_synchronized
     def read_staged(self, oid: str) -> bytes:
         """Verified read of the staged copy of *oid*.
 
@@ -386,8 +427,14 @@ class StagingArea:
         staged, so a tool can never be served bytes that rotted (or were
         torn) after the export.  Raises :class:`IntegrityError` with the
         damage classification instead of returning garbage.
+
+        Only the record snapshot happens under the area lock —
+        :class:`StagedFile` is frozen, so the file read and the re-hash
+        (the expensive part) run outside it and concurrent exports of
+        other objects are never stalled behind a slow read.
         """
-        staged = self._staged.get(oid)
+        with self._lock:
+            staged = self._staged.get(oid)
         if staged is None:
             raise OMSError(
                 f"object {oid!r} has no staged file; export it first"
@@ -409,7 +456,6 @@ class StagingArea:
             )
         return data
 
-    @_synchronized
     def verify_staged(self) -> List[Tuple[str, pathlib.Path, str]]:
         """Re-hash every staged file against its recorded digest.
 
@@ -417,7 +463,8 @@ class StagingArea:
         bytes no longer match what was recorded at export/import time —
         bit-rot, truncation, a torn write, or a file that vanished
         outright.  Clean files are left untouched; nothing is repaired
-        here (see :meth:`repair_staged`).
+        here (see :meth:`repair_staged`).  Hashing runs outside the area
+        lock (:meth:`staged` snapshots the records under it).
         """
         findings: List[Tuple[str, pathlib.Path, str]] = []
         for staged in self.staged():
@@ -575,6 +622,47 @@ class StagingArea:
         except OSError:  # pragma: no cover - filesystem without links
             return False
         return True
+
+    def _clone_from_peer(
+        self, path: pathlib.Path, stat: BlobStat
+    ) -> Optional[str]:
+        """Clone a peer staged file's bytes onto a private inode at *path*.
+
+        The writable-export sibling of :meth:`_link_from_peer`: the same
+        advisory digest index and the same re-hash guard, but instead of
+        aliasing the peer's inode the bytes are cloned in-kernel
+        (reflink where the filesystem supports it, ``copy_file_range``
+        otherwise), so the caller gets a file it can edit in place
+        without bleeding into the peer.  Returns the clone method, or
+        ``None`` when the caller should fall back to the databased
+        write — no usable peer, stale index, or a filesystem that offers
+        nothing better than a userspace copy.
+        """
+        if not self.copy_on_write or stat.digest == EMPTY_DIGEST:
+            return None
+        caps = probe_capabilities(self.root)
+        if not (caps.reflink or caps.copy_range):
+            return None
+        source = self._by_digest.get(stat.digest)
+        if source is None or source == path or not source.exists():
+            return None
+        if digest_bytes(source.read_bytes()) != stat.digest:
+            # the index went stale (in-place rewrite); drop the entry so
+            # later exports stop probing it
+            del self._by_digest[stat.digest]
+            return None
+        try:
+            method = clone_file(source, path, caps)
+        except OSError:  # pragma: no cover - clone refused mid-flight
+            return None
+        if active_plan() is not None:
+            # model damage landing on the cloned bytes at rest; the
+            # destination is a private inode, so rewriting it can never
+            # touch the peer
+            self._write_breaking_links(
+                path, corruption_point("staging.reflink", path.read_bytes())
+            )
+        return method
 
     def _write_breaking_links(self, path: pathlib.Path, data: bytes) -> None:
         """Write *data* to *path* without mutating hard-link peers.

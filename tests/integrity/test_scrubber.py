@@ -15,7 +15,7 @@ import random
 import pytest
 
 from repro.cli import main
-from repro.errors import IntegrityError, QuarantinedError
+from repro.errors import FMCADError, IntegrityError, QuarantinedError
 from repro.faults import FaultPlan, MODE_ZERO, damage_bytes, inject
 from repro.fmcad.framework import FMCADFramework
 from repro.integrity import Scrubber
@@ -205,6 +205,37 @@ class TestQuarantine:
             assert digest in db.quarantined_payloads()
             with pytest.raises(QuarantinedError):
                 db.materialize_payload(digest)
+
+    def test_quarantined_version_is_not_served_from_the_read_cache(
+        self, adopted_cell
+    ):
+        """Cache coherence across the integrity machinery.
+
+        A version's bytes enter the shared read cache on the first
+        verified read; when the scrubber later quarantines that version
+        the cached bytes must be dropped too — a read after quarantine
+        fails instead of resurrecting the artifact from the cache.
+        """
+        hybrid, project, library, _ = adopted_cell
+        assert hybrid.read_cache is not None
+        library.create_cell("loner")
+        cellview = library.create_cellview("loner", "schematic")
+        version = library.write_version(cellview, b"only copy", "alice")
+        digest = version.content_digest()
+        # the verified read parks the bytes in the shared cache
+        assert library.read_version(cellview) == b"only copy"
+        assert digest in hybrid.read_cache
+        assert library.read_version(cellview) == b"only copy"
+        assert library.cache_reads == 1
+
+        version.path.write_bytes(b"rotted beyond recognition")
+        report = Scrubber(hybrid.jcf, hybrid.fmcad).scrub(repair=True)
+        assert report.ok
+        # quarantine evicted the cached bytes; the read cannot fall back
+        # to them and fails like any read of a missing artifact
+        assert digest not in hybrid.read_cache
+        with pytest.raises(FMCADError):
+            library.read_version(cellview)
 
     def test_closed_library_with_ruined_meta_is_quarantined(self, jcf, tmp_path):
         fmcad = FMCADFramework(tmp_path / "fmcad")

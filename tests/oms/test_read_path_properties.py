@@ -1,0 +1,180 @@
+"""Property tests: every read-path rung returns byte-identical payloads.
+
+The zero-copy work (mmap views, reflink/range clones, the
+materialization cache) buys performance only — the public contract is
+that every rung of every degradation ladder yields exactly the bytes the
+digest names:
+
+* ``open_view`` == ``materialize`` for random payloads and delta
+  chains, with mmap enabled and disabled;
+* ``clone_file`` lands identical bytes whichever method the capability
+  mask lets it use, always on a private inode;
+* a cached store and an uncached store serve identical bytes through
+  arbitrary intern/read interleavings.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oms.blobs import BlobStore
+from repro.oms.readcache import MaterializationCache
+from repro.oms.zerocopy import (
+    METHOD_COPY,
+    METHOD_COPY_RANGE,
+    METHOD_REFLINK,
+    FsCapabilities,
+    clone_file,
+    probe_capabilities,
+)
+
+# version chains: each payload may be interned against the previous one
+_chains = st.lists(
+    st.binary(min_size=0, max_size=2048), min_size=1, max_size=6
+)
+
+
+def _intern_chain(store, payloads):
+    digests = []
+    base = None
+    for payload in payloads:
+        digest = store.intern(payload, base_digest=base)
+        digests.append(digest)
+        base = digest
+    return digests
+
+
+class TestViewEqualsMaterialize:
+    @settings(max_examples=40, deadline=None)
+    @given(payloads=_chains)
+    def test_mmap_views_are_byte_identical(self, tmp_path_factory, payloads):
+        store = BlobStore()
+        store.enable_views(
+            tmp_path_factory.mktemp("views") / "spill"
+        )
+        digests = _intern_chain(store, payloads)
+        for digest, payload in zip(digests, payloads):
+            assert bytes(store.open_view(digest)) == payload
+            assert store.materialize(digest) == payload
+            # a second view of the same digest is still identical
+            assert bytes(store.open_view(digest)) == payload
+
+    @settings(max_examples=40, deadline=None)
+    @given(payloads=_chains)
+    def test_heap_fallback_is_byte_identical(self, payloads):
+        # no enable_views: every open_view takes the degraded rung
+        store = BlobStore()
+        digests = _intern_chain(store, payloads)
+        for digest, payload in zip(digests, payloads):
+            assert bytes(store.open_view(digest)) == payload
+        assert store.views_mapped == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(payloads=_chains)
+    def test_mmap_disabled_capabilities_are_byte_identical(
+        self, tmp_path_factory, payloads
+    ):
+        store = BlobStore()
+        store.enable_views(
+            tmp_path_factory.mktemp("views") / "spill",
+            capabilities=FsCapabilities(
+                reflink=False, copy_range=False, mmap=False
+            ),
+        )
+        digests = _intern_chain(store, payloads)
+        for digest, payload in zip(digests, payloads):
+            assert bytes(store.open_view(digest)) == payload
+        assert store.views_mapped == 0
+
+
+class TestCloneLadder:
+    #: capability masks forcing each rung of the clone ladder; reflink
+    #: quietly degrades to the next rung on filesystems without FICLONE
+    MASKS = [
+        FsCapabilities(reflink=True, copy_range=True, mmap=False),
+        FsCapabilities(reflink=False, copy_range=True, mmap=False),
+        FsCapabilities(reflink=False, copy_range=False, mmap=False),
+    ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=1 << 16))
+    def test_every_rung_lands_identical_bytes(self, tmp_path_factory, data):
+        root = tmp_path_factory.mktemp("clone")
+        src = root / "src.dat"
+        src.write_bytes(data)
+        for index, caps in enumerate(self.MASKS):
+            dst = root / f"dst{index}.dat"
+            method = clone_file(src, dst, caps)
+            assert method in (
+                METHOD_REFLINK, METHOD_COPY_RANGE, METHOD_COPY
+            )
+            assert dst.read_bytes() == data
+            # always a private inode: editing the clone in place must
+            # never bleed into the source
+            assert dst.stat().st_ino != src.stat().st_ino
+
+    def test_clone_overwrites_previous_destination(self, tmp_path):
+        src = tmp_path / "src.dat"
+        dst = tmp_path / "dst.dat"
+        src.write_bytes(b"fresh bytes")
+        dst.write_bytes(b"stale bytes from an earlier export")
+        clone_file(src, dst, probe_capabilities(tmp_path))
+        assert dst.read_bytes() == b"fresh bytes"
+
+    def test_editing_a_clone_leaves_the_source_alone(self, tmp_path):
+        src = tmp_path / "src.dat"
+        dst = tmp_path / "dst.dat"
+        src.write_bytes(b"shared payload")
+        clone_file(src, dst, probe_capabilities(tmp_path))
+        with open(dst, "r+b") as handle:
+            handle.write(b"EDITED")
+        assert src.read_bytes() == b"shared payload"
+
+
+# interleavings of (intern chain-index, read chain-index) operations
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["intern", "read", "view"]),
+        st.integers(min_value=0, max_value=4),
+    ),
+    max_size=25,
+)
+
+
+class TestCacheTransparency:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_ops, payload_seeds=st.lists(
+        st.integers(min_value=0, max_value=7), min_size=5, max_size=5
+    ))
+    def test_cached_and_uncached_stores_agree(self, ops, payload_seeds):
+        """The cache is invisible: same bytes, same errors, all reads."""
+        payloads = [
+            bytes([seed % 5]) * (seed * 37) for seed in payload_seeds
+        ]
+        cached = BlobStore()
+        cached.attach_cache(MaterializationCache(budget_bytes=256))
+        plain = BlobStore()
+        digests = {}
+        for kind, index in ops:
+            payload = payloads[index]
+            if kind == "intern":
+                a = cached.intern(payload)
+                b = plain.intern(payload)
+                assert a == b
+                digests[index] = a
+            elif index in digests:
+                if kind == "read":
+                    assert (
+                        cached.materialize(digests[index])
+                        == plain.materialize(digests[index])
+                        == payload
+                    )
+                else:
+                    assert (
+                        bytes(cached.open_view(digests[index]))
+                        == bytes(plain.open_view(digests[index]))
+                        == payload
+                    )
+        # invariants hold on both sides whatever the interleaving did
+        cached.check()
+        plain.check()
