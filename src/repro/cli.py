@@ -24,6 +24,11 @@ Commands
     quarantine what cannot be healed.  Exit codes are cron-friendly:
     0 = store verified, 1 = actionable damage remains, 2 = could not
     open the workspace at all.
+``flows``
+    Inspect and drive durable flow instances in a saved workspace:
+    ``list`` (exit 1 when any instance is dead-lettered), ``resume``
+    (recover, roll every pending instance forward, save), ``retry``
+    (re-queue dead-lettered instances with a fresh robustness budget).
 """
 
 from __future__ import annotations
@@ -119,6 +124,34 @@ def _build_parser() -> argparse.ArgumentParser:
             "heal damaged payloads from peer copies in the other "
             "framework; quarantine anything unrepairable"
         ),
+    )
+    flows = subparsers.add_parser(
+        "flows",
+        help="inspect and drive durable flow instances",
+    )
+    flows.add_argument(
+        "action",
+        choices=("list", "resume", "retry"),
+        help=(
+            "'list' shows every persisted instance (exit 1 when any is "
+            "dead-lettered); 'resume' recovers, rolls every pending "
+            "instance forward and saves; 'retry' re-queues dead-lettered "
+            "instances with a fresh robustness budget"
+        ),
+    )
+    flows.add_argument(
+        "--workspace",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "saved hybrid workspace holding the flow instances (default: "
+            "temp demo environment, which has none)"
+        ),
+    )
+    flows.add_argument(
+        "--instance",
+        default=None,
+        help="limit 'retry' to one instance oid (default: all dead-letter)",
     )
     return parser
 
@@ -360,6 +393,61 @@ def cmd_scrub(out, workspace: Optional[pathlib.Path], repair: bool) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_flows(
+    out,
+    action: str,
+    workspace: Optional[pathlib.Path],
+    instance_oid: Optional[str] = None,
+) -> int:
+    from repro.jcf.model import FLOW_DEAD_LETTER
+
+    hybrid = _open_for_inspection(workspace)
+    orchestrator = hybrid.flows_orchestrator
+    if action == "resume":
+        # recovery first: adopt stranded instances, fail interrupted
+        # executions — resume_pending needs the quiesced, repaired state
+        hybrid.recover()
+        results = orchestrator.resume_pending()
+        if not results:
+            out.write("flows resume: nothing pending\n")
+        for oid, state in results:
+            out.write(f"  {oid}: {state}\n")
+        if workspace is not None:
+            hybrid.save_state()
+    elif action == "retry":
+        retried = []
+        for instance in orchestrator.instances(status=FLOW_DEAD_LETTER):
+            if instance_oid is not None and instance.oid != instance_oid:
+                continue
+            orchestrator.retry_dead_letter(instance)
+            retried.append(instance.oid)
+        if not retried:
+            out.write("flows retry: no matching dead-letter instances\n")
+        for oid in retried:
+            out.write(f"  {oid}: re-queued with a fresh budget epoch\n")
+        if workspace is not None and retried:
+            hybrid.save_state()
+    instances = orchestrator.instances()
+    if not instances:
+        out.write("no durable flow instances\n")
+        return 0
+    out.write(
+        f"{'instance':14s} {'flow':18s} {'cell':10s} {'team':10s} "
+        f"{'prio':>4s} {'status':12s} note\n"
+    )
+    dead = 0
+    for instance in instances:
+        if instance.status == FLOW_DEAD_LETTER:
+            dead += 1
+        out.write(
+            f"{instance.oid:14s} {instance.flow_name:18s} "
+            f"{instance.cell_name:10s} {instance.team:10s} "
+            f"{instance.priority:4d} {instance.status:12s} "
+            f"{instance.note}\n"
+        )
+    return 1 if (action == "list" and dead) else 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -387,6 +475,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "scrub":
         try:
             return cmd_scrub(out, args.workspace, args.repair)
+        except ReproError as error:
+            out.write(f"error: {error}\n")
+            return 2
+    if args.command == "flows":
+        try:
+            return cmd_flows(out, args.action, args.workspace, args.instance)
         except ReproError as error:
             out.write(f"error: {error}\n")
             return 2

@@ -24,7 +24,12 @@ from repro.fmcad.itc import ITCMessage
 from repro.fmcad.library import Library
 from repro.fmcad.session import ToolSession
 from repro.jcf.framework import JCFFramework
-from repro.jcf.model import EXEC_RUNNING
+from repro.jcf.model import (
+    EXEC_RUNNING,
+    FLOW_DEAD_LETTER,
+    FLOW_RUNNING,
+    FLOW_TERMINAL_STATES,
+)
 from repro.jcf.project import JCFCellVersion, JCFProject
 
 #: Menu points the guard locks in every coupled tool session: versioning
@@ -284,6 +289,7 @@ class ConsistencyGuard:
         self._audit_blobs(report)
         self._audit_wal(report)
         self._audit_integrity(report)
+        self._audit_flow_instances(report)
         return report
 
     def _audit_wal(self, report: AuditReport) -> None:
@@ -310,6 +316,46 @@ class ConsistencyGuard:
             if name not in open_names:
                 libraries.append(self.fmcad.open_library(name))
         return libraries
+
+    def _audit_flow_instances(self, report: AuditReport) -> None:
+        """Tenth sweep: orphaned or stranded durable flow state.
+
+        A ``running`` instance on a quiesced system means a crash
+        interrupted its driver (recovery adopts it back to ``queued``);
+        an instance whose variant no longer resolves is an orphan
+        (recovery compensates it to ``aborted``); a ``dead_letter``
+        instance is parked work an operator must look at — surfaced
+        here so ``audit()`` is the one place that lists everything
+        unfinished.
+        """
+        db = self.jcf.db
+        for obj in db.select("FlowInstance"):
+            status = obj.get("status")
+            ident = (
+                f"flow instance {obj.oid} ({obj.get('flow_name')} on "
+                f"{obj.get('cell')!r})"
+            )
+            if status == FLOW_DEAD_LETTER:
+                report.findings.append(AuditFinding(
+                    "dead-letter-flow",
+                    f"{ident} dead-lettered: {obj.get('note') or '?'}",
+                ))
+                continue
+            if status in FLOW_TERMINAL_STATES:
+                continue
+            try:
+                db.get(obj.get("variant_oid") or "")
+            except Exception:
+                report.findings.append(AuditFinding(
+                    "flow-orphan",
+                    f"{ident} references a variant that no longer exists",
+                ))
+                continue
+            if status == FLOW_RUNNING:
+                report.findings.append(AuditFinding(
+                    "flow-orphan",
+                    f"{ident} still marked running on a quiesced system",
+                ))
 
     def _audit_versions(self, report: AuditReport) -> None:
         for library in self._each_library():

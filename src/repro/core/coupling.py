@@ -28,7 +28,10 @@ from repro.core.recovery import CouplingRecovery, IntentJournal, RecoveryReport
 from repro.core.scheduler import BatchResult, BatchScheduler, RunRequest
 from repro.fmcad.framework import FMCADFramework
 from repro.fmcad.library import Library
+from repro.jcf.durable_flows import DurableFlowOrchestrator
+from repro.jcf.flow_queue import FlowQueue
 from repro.jcf.flows import FlowDef, standard_encapsulation_flow
+from repro.jcf.triggers import TriggerRegistry
 from repro.jcf.framework import JCFFramework
 from repro.jcf.project import JCFCellVersion, JCFProject
 from repro.oms import durable
@@ -139,6 +142,30 @@ class HybridFramework:
         )
         self.intents = IntentJournal(self.jcf.db)
         self.recovery = CouplingRecovery(self.jcf, self.fmcad)
+        self._wire_flow_orchestration()
+
+    def _wire_flow_orchestration(self) -> None:
+        """Stand up durable flows, triggers and the fair queue.
+
+        All three are stateless over the OMS store (plus process-level
+        script/policy registries), so the same wiring serves both a
+        fresh environment and one rebuilt by :meth:`reopen` — persisted
+        instances, trigger definitions and pending events are simply
+        there when the new objects look.
+        """
+        self.triggers = TriggerRegistry(self.jcf.db)
+        self.flows_orchestrator = DurableFlowOrchestrator(self)
+        self.flow_queue = FlowQueue(
+            self, self.flows_orchestrator, self.triggers
+        )
+        # tool wrappers raise durable checkin events after every
+        # successful harvest, feeding the event-driven triggers
+        for wrapper in (
+            self.schematic_entry,
+            self.digital_simulation,
+            self.layout_entry,
+        ):
+            wrapper.triggers = self.triggers
 
     # -- read path ----------------------------------------------------------------
 
@@ -448,6 +475,7 @@ class HybridFramework:
         )
         instance.intents = IntentJournal(instance.jcf.db)
         instance.recovery = CouplingRecovery(instance.jcf, instance.fmcad)
+        instance._wire_flow_orchestration()
         # staged files from the previous process are a durable CoW cache:
         # re-adopt the ones that still match a live payload, leave true
         # crash leavings for recover() to reclaim
@@ -480,6 +508,7 @@ class HybridFramework:
             "mapping_coverage": self.mapper.coverage(),
             "hierarchy_rejections": self.hierarchy.rejections,
             "persistence": self.persistence,
+            "flows": self.flows_orchestrator.stats(),
             "harvest": {
                 "delta_hits": sum(w.harvest_delta_hits for w in wrappers),
                 "full_imports": sum(w.harvest_full_imports for w in wrappers),

@@ -97,6 +97,9 @@ class _ToolWrapper:
         self.harvest_delta_hits = 0
         #: harvested outputs that actually changed (full copy charged)
         self.harvest_full_imports = 0
+        #: optional TriggerRegistry; when set, every successful harvest
+        #: records a durable checkin event for event-driven flows
+        self.triggers = None
 
     # -- context helpers ------------------------------------------------------
 
@@ -171,10 +174,12 @@ class _ToolWrapper:
         data: bytes,
         viewtype: Optional[str] = None,
         completed: Optional[list] = None,
-    ) -> Tuple["object", JCFDesignObjectVersion]:
+    ) -> Tuple["object", JCFDesignObjectVersion, bool]:
         """Check *data* into FMCAD and import it into OMS.
 
-        Returns ``(fmcad cellview version, jcf version)``.  The caller
+        Returns ``(fmcad cellview version, jcf version, unchanged)`` —
+        *unchanged* is True when the delta harvest found the output
+        byte-identical to its parent version.  The caller
         owns the surrounding OMS transaction and places the ``jcf_oid``
         cross-tags after it commits; each FMCAD version checked in is
         appended to *completed* so the caller can compensate them if the
@@ -235,7 +240,7 @@ class _ToolWrapper:
             self.jcf.db.clock.charge_copy(len(data), files=1)
             self.harvest_full_imports += 1
         fault_point("harvest.after_import")
-        return fmcad_version, jcf_version
+        return fmcad_version, jcf_version, unchanged
 
     def _compensate_checkins(
         self, user: str, library: Library, cell_name: str, completed: list
@@ -307,35 +312,50 @@ class _ToolWrapper:
             # phase one: journal the intent — durable before any FMCAD side
             # effect, carrying the per-view version baseline recovery needs
             # to tell this run's half-work from pre-existing state
-            intent_oid = self.intents.begin(
-                kind=self.ACTIVITY,
-                user=user,
-                library=library.name,
-                cell=cell_name,
-                activity=self.ACTIVITY,
-                execution_oid=execution.oid,
-                variant_oid=variant.oid,
-                fmcad_base=[
-                    [
-                        cv.view.name,
-                        cv.default_version.number if cv.default_version else 0,
-                    ]
-                    for cv in library.cell(cell_name).cellviews()
-                ],
-            )
-
-            session = self.fmcad.open_session(self.TOOL, user)
-            if self.GUARD_MENUS:
-                self.guard.guard_session(session)
-            if execution.forced_early:
-                session.show_consistency_window(
-                    f"activity {self.ACTIVITY!r} started before its "
-                    "predecessor finished — results are provisional"
+            try:
+                intent_oid = self.intents.begin(
+                    kind=self.ACTIVITY,
+                    user=user,
+                    library=library.name,
+                    cell=cell_name,
+                    activity=self.ACTIVITY,
+                    execution_oid=execution.oid,
+                    variant_oid=variant.oid,
+                    fmcad_base=[
+                        [
+                            cv.view.name,
+                            cv.default_version.number
+                            if cv.default_version
+                            else 0,
+                        ]
+                        for cv in library.cell(cell_name).cellviews()
+                    ],
                 )
+
+                session = self.fmcad.open_session(self.TOOL, user)
+                if self.GUARD_MENUS:
+                    self.guard.guard_session(session)
+                if execution.forced_early:
+                    session.show_consistency_window(
+                        f"activity {self.ACTIVITY!r} started before its "
+                        "predecessor finished — results are provisional"
+                    )
+            except CrashFault:
+                raise  # dead process: the generic execution sweep repairs
+            except Exception:
+                # the process is alive but the run never got going (e.g.
+                # the cell vanished between workspace check and intent):
+                # don't leak a running execution nothing will ever finish
+                if execution.status == EXEC_RUNNING:
+                    self.jcf.engine.finish_activity(execution, success=False)
+                raise
         crashed = False
         #: views that reached durability — non-empty only after the
         #: harvest transaction commits (cleared when it aborts)
         harvested: List[Tuple[object, JCFDesignObjectVersion]] = []
+        #: did any harvested view carry new bytes?  Delta-hit re-runs
+        #: (idempotent crash resume) must not re-raise checkin events
+        changed_views = False
         try:
             needs = with_retries(
                 lambda: self._stage_needs(variant, activity_def.needs),
@@ -370,11 +390,15 @@ class _ToolWrapper:
                     try:
                         with self.jcf.db.transaction():
                             for viewtype, view_data in outputs.items():
-                                fmcad_version, version = self._harvest(
-                                    user, library, variant, cell_name,
-                                    view_data, viewtype=viewtype,
-                                    completed=completed,
+                                fmcad_version, version, unchanged = (
+                                    self._harvest(
+                                        user, library, variant, cell_name,
+                                        view_data, viewtype=viewtype,
+                                        completed=completed,
+                                    )
                                 )
+                                if not unchanged:
+                                    changed_views = True
                                 harvested.append((fmcad_version, version))
                                 creates.append(version)
                                 if viewtype == self.VIEWTYPE:
@@ -395,6 +419,7 @@ class _ToolWrapper:
                         )
                         harvested.clear()  # nothing survived the abort
                         creates.clear()
+                        changed_views = False
                         raise
                     # the OMS transaction committed: both sides are durable.
                     # Cross-tag the FMCAD versions now — a crash in this
@@ -421,6 +446,16 @@ class _ToolWrapper:
                     self.TOOL, user, cell_name, self.VIEWTYPE
                 )
                 self.intents.finish(intent_oid, INTENT_DONE)
+                if (
+                    self.triggers is not None
+                    and success
+                    and changed_views
+                ):
+                    # the checkin is durable; note the event so trigger
+                    # dispatch can enqueue downstream flows exactly once
+                    self.triggers.record_event(
+                        "checkin", library.name, cell_name, self.VIEWTYPE
+                    )
             return ToolRunResult(
                 activity_name=self.ACTIVITY,
                 cell_name=cell_name,

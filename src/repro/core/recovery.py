@@ -52,6 +52,10 @@ from repro.jcf.flow_engine import JCFExecution
 from repro.jcf.framework import JCFFramework
 from repro.jcf.model import (
     EXEC_RUNNING,
+    FLOW_ABORTED,
+    FLOW_QUEUED,
+    FLOW_RUNNING,
+    FLOW_TERMINAL_STATES,
     INTENT_ABORTED,
     INTENT_DONE,
     INTENT_PENDING,
@@ -147,6 +151,10 @@ class RecoveryReport:
     quarantined_payloads: List[str] = dataclasses.field(default_factory=list)
     #: write-ahead-log repairs (torn tails dropped after a crash mid-append)
     wal_repairs: List[str] = dataclasses.field(default_factory=list)
+    #: stranded flow instances re-queued for resume (crash mid-flow)
+    adopted_flows: List[str] = dataclasses.field(default_factory=list)
+    #: flow instances whose design context is gone; parked as aborted
+    compensated_flows: List[str] = dataclasses.field(default_factory=list)
 
     def empty(self) -> bool:
         return not any(
@@ -193,12 +201,51 @@ class CouplingRecovery:
         self._sweep_executions(report)
         self._sweep_tickets(report)
         self._sweep_reservations(report)
+        self._sweep_flow_instances(report)
         for path in self.jcf.staging.reclaim_orphans():
             report.reclaimed_staging_files.append(path.name)
         self._sweep_staging_sandboxes(report)
         self._sweep_wal(report)
         self._scrub_storage(report)
         return report
+
+    def _sweep_flow_instances(self, report: RecoveryReport) -> None:
+        """Adopt or compensate flow instances a crash stranded.
+
+        On a quiesced system a ``running`` instance is a lie — the
+        process driving it is dead.  If its variant (the design context
+        every later step needs) still resolves, the instance is adopted
+        back to ``queued`` so ``resume_pending()`` can roll it forward
+        from its last durably-completed activity; an instance whose
+        variant is gone can never make progress, so it is compensated to
+        the terminal ``aborted`` state instead of haunting the queue.
+        The executions sweep above has already failed the interrupted
+        activity execution, which is exactly what makes the re-run
+        admissible under the flow engine's ordering rules.
+        """
+        db = self.jcf.db
+        for obj in db.select("FlowInstance"):
+            status = obj.get("status")
+            if status in FLOW_TERMINAL_STATES:
+                continue
+            variant_oid = obj.get("variant_oid") or ""
+            try:
+                db.get(variant_oid)
+                context_alive = True
+            except Exception:
+                context_alive = False
+            if not context_alive:
+                db.set_attr(obj.oid, "status", FLOW_ABORTED)
+                db.set_attr(
+                    obj.oid, "note",
+                    "compensated by recovery: design context is gone",
+                )
+                db.set_attr(obj.oid, "updated_ms", db.clock.now_ms)
+                report.compensated_flows.append(obj.oid)
+            elif status == FLOW_RUNNING:
+                db.set_attr(obj.oid, "status", FLOW_QUEUED)
+                db.set_attr(obj.oid, "updated_ms", db.clock.now_ms)
+                report.adopted_flows.append(obj.oid)
 
     def _sweep_wal(self, report: RecoveryReport) -> None:
         """Drop the live log's torn tail (a crash mid-append leaves one).

@@ -165,6 +165,24 @@ class FlowFrozenError(FlowError):
     """
 
 
+class FlowStuckError(FlowError):
+    """A durable flow exhausted its robustness budget and dead-lettered.
+
+    Raised by :mod:`repro.jcf.durable_flows` when an activity keeps
+    failing past its retry budget (or per-activity timeout): the flow
+    instance is parked in ``dead_letter`` state — visible to
+    ``audit()`` and ``flows list`` — instead of wedging the queue.
+    ``instance_oid`` names the parked flow instance so operators (and
+    ``flows retry``) can find it.
+    """
+
+    def __init__(self, message: str, instance_oid: str = "",
+                 activity: str = "") -> None:
+        super().__init__(message)
+        self.instance_oid = instance_oid
+        self.activity = activity
+
+
 class WorkspaceError(JCFError):
     """A workspace reservation or publication was invalid."""
 

@@ -112,6 +112,10 @@ FAULT_POINTS: Tuple[str, ...] = (
     "wal.append",             # commit record about to land in the log
     "wal.checkpoint",         # traversed at each checkpoint stage; see
                               # WriteAheadLog.checkpoint for the windows
+    # durable flow orchestration (jcf/durable_flows.py, jcf/triggers.py)
+    "flow.persist",           # flow-state transition about to commit
+    "flow.resume",            # a persisted flow about to roll forward
+    "flow.trigger",           # trigger event about to dispatch a flow
 )
 
 #: Corruption points: places where payload bytes flow to storage and an

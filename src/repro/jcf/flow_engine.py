@@ -118,6 +118,22 @@ class FlowEngine:
         #: cache effectiveness counters (bench_flow / regression tests)
         self.state_cache_hits = 0
         self.state_cache_misses = 0
+        # the cache's activity-name sets come from the registry's
+        # definitions; a definition-table mutation (register of a new
+        # flow, rehydrate replacing a stale table after restore) must
+        # drop the affected entries or state_of would keep serving a
+        # status map computed against the superseded definition
+        flows.add_listener(self._on_registry_mutation)
+
+    def _on_registry_mutation(self, flow_name: str) -> None:
+        """Drop cached state computed against a superseded definition."""
+        stale = [
+            variant_oid
+            for variant_oid, cached in self._state_cache.items()
+            if cached[0] == flow_name
+        ]
+        for variant_oid in stale:
+            self._state_cache.pop(variant_oid, None)
 
     # -- state inspection -------------------------------------------------------
 

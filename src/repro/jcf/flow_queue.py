@@ -1,0 +1,250 @@
+"""Priority queue with per-team fair scheduling for durable flows.
+
+Queued :class:`FlowInstance` objects *are* the queue — it needs no
+in-memory state beyond a round-robin cursor, so a restart loses nothing.
+Each drain wave picks at most one runnable activity per instance,
+round-robining across teams (so one team's thousand-cell regression
+cannot starve another's single hot fix) and by descending priority then
+FIFO within a team, and feeds the picks to ``HybridFramework.run_many``
+— the batch scheduler's conflict graph and determinism guarantees apply
+unchanged.  Outcomes are absorbed back through the orchestrator's
+robustness machinery: transient failures consume retry budget, hard
+failures dead-letter, crashes stay ``running`` for recovery to adopt.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults import TransientFault
+from repro.jcf.durable_flows import (
+    DurableFlowOrchestrator,
+    JCFFlowInstance,
+    StepPlan,
+)
+from repro.jcf.model import (
+    ATTEMPT_FAILED,
+    ATTEMPT_OK,
+    ATTEMPT_SKIPPED,
+    ATTEMPT_TRANSIENT,
+    FLOW_QUEUED,
+    FLOW_RUNNING,
+)
+
+
+@dataclasses.dataclass
+class QueueReport:
+    """What one :meth:`FlowQueue.drain` accomplished."""
+
+    waves: int = 0
+    activities_run: int = 0
+    completed: List[str] = dataclasses.field(default_factory=list)
+    degraded: List[str] = dataclasses.field(default_factory=list)
+    dead_lettered: List[str] = dataclasses.field(default_factory=list)
+    crashed: List[str] = dataclasses.field(default_factory=list)
+    still_queued: List[str] = dataclasses.field(default_factory=list)
+
+
+class FlowQueue:
+    """Drains queued flow instances through the batch scheduler."""
+
+    def __init__(
+        self,
+        hybrid,
+        orchestrator: DurableFlowOrchestrator,
+        triggers=None,
+    ) -> None:
+        self.hybrid = hybrid
+        self.orchestrator = orchestrator
+        self.triggers = triggers
+        #: rotates which team goes first each wave (fairness)
+        self._rr_cursor = 0
+
+    # -- wave selection -------------------------------------------------------
+
+    def queued(self) -> List[JCFFlowInstance]:
+        return self.orchestrator.instances(status=FLOW_QUEUED)
+
+    def next_wave(
+        self, max_runs: Optional[int] = None
+    ) -> List[JCFFlowInstance]:
+        """Pick the instances the next wave may advance.
+
+        Per-team fairness: buckets by team (priority desc, FIFO within),
+        then round-robin across buckets starting at a rotating cursor.
+        At most one instance per (library, cell) per wave — two flows on
+        the same cell would race the same working variant.
+        """
+        buckets: Dict[str, List[JCFFlowInstance]] = {}
+        for instance in self.queued():
+            buckets.setdefault(instance.team, []).append(instance)
+        for bucket in buckets.values():
+            # select() returns id order == FIFO; sort is stable
+            bucket.sort(key=lambda i: -i.priority)
+        teams = sorted(buckets)
+        if not teams:
+            return []
+        start = self._rr_cursor % len(teams)
+        self._rr_cursor += 1
+        order = teams[start:] + teams[:start]
+        picked: List[JCFFlowInstance] = []
+        claimed_cells = set()
+        index = 0
+        while True:
+            progressed = False
+            for team in order:
+                bucket = buckets[team]
+                if index < len(bucket):
+                    progressed = True
+                    instance = bucket[index]
+                    key = (instance.library_name, instance.cell_name)
+                    if key in claimed_cells:
+                        continue
+                    claimed_cells.add(key)
+                    picked.append(instance)
+                    if max_runs is not None and len(picked) >= max_runs:
+                        return picked
+            if not progressed:
+                return picked
+            index += 1
+
+    # -- draining -------------------------------------------------------------
+
+    def drain(
+        self,
+        workers: int = 4,
+        seed: int = 0,
+        max_waves: Optional[int] = None,
+        dispatch_triggers: bool = True,
+    ) -> QueueReport:
+        """Run waves until the queue is empty (or *max_waves* hit).
+
+        When a trigger registry is attached, pending events are
+        dispatched between waves, so flows enqueued *by* this drain's
+        checkins run in the same call.
+        """
+        report = QueueReport()
+        orchestrator = self.orchestrator
+        while max_waves is None or report.waves < max_waves:
+            wave = self.next_wave()
+            if not wave:
+                if dispatch_triggers and self.triggers is not None:
+                    if self.triggers.dispatch(orchestrator):
+                        continue  # events spawned fresh work
+                break
+            report.waves += 1
+            requests = []
+            planned: List[Tuple[JCFFlowInstance, StepPlan]] = []
+            for instance in wave:
+                plan = orchestrator.plan_step(instance, raise_stuck=False)
+                if plan is None:
+                    continue  # finalized, degraded or dead-lettered now
+                requests.append(
+                    self._request_for(instance, plan)
+                )
+                planned.append((instance, plan))
+                orchestrator._mark(instance, FLOW_RUNNING)
+            if not requests:
+                continue
+            result = self.hybrid.run_many(
+                requests, workers=workers, seed=seed
+            )
+            report.activities_run += len(requests)
+            for outcome, (instance, plan) in zip(result.outcomes, planned):
+                self._absorb(report, instance, plan, outcome)
+        self._census(report)
+        return report
+
+    def _request_for(self, instance: JCFFlowInstance, plan: StepPlan):
+        from repro.core.scheduler import RunRequest  # late: avoid cycle
+
+        project, library, _variant = self.orchestrator._context(instance)
+        provider = self.orchestrator._script(instance.script_name)
+        kwargs = dict(provider(plan.activity) or {})
+        kwargs["force_early"] = plan.force_early
+        return RunRequest(
+            user=instance.user,
+            project=project,
+            library=library,
+            cell_name=instance.cell_name,
+            activity=plan.activity,
+            kwargs=kwargs,
+            label=f"flow:{instance.oid}:{plan.activity}",
+        )
+
+    def _absorb(
+        self,
+        report: QueueReport,
+        instance: JCFFlowInstance,
+        plan: StepPlan,
+        outcome,
+    ) -> None:
+        """Fold one scheduler outcome back into durable flow state."""
+        from repro.core.scheduler import (  # late: avoid cycle
+            RUN_CRASHED,
+            RUN_FAILED,
+            RUN_OK,
+        )
+
+        orchestrator = self.orchestrator
+        attempt_no = len(
+            [
+                a
+                for a in instance.attempts(plan.activity)
+                if a.get("outcome") != ATTEMPT_SKIPPED
+            ]
+        ) + 1
+        now = self.hybrid.clock.now_ms
+        if outcome.status == RUN_OK:
+            result = outcome.result
+            if result.success:
+                orchestrator._record_attempt(
+                    instance, plan.activity, attempt_no,
+                    ATTEMPT_OK, "", now,
+                )
+            else:
+                orchestrator._record_attempt(
+                    instance, plan.activity, attempt_no,
+                    ATTEMPT_FAILED, result.details, now,
+                )
+            orchestrator._mark(instance, FLOW_QUEUED)
+        elif outcome.status == RUN_FAILED:
+            error = outcome.error
+            if isinstance(error, TransientFault):
+                orchestrator._record_attempt(
+                    instance, plan.activity, attempt_no,
+                    ATTEMPT_TRANSIENT, str(error), now,
+                )
+                orchestrator.retried_attempts += 1
+                self.hybrid.clock.charge_retry_backoff(attempt_no - 1)
+            else:
+                orchestrator._record_attempt(
+                    instance, plan.activity, attempt_no,
+                    ATTEMPT_FAILED, str(error), now,
+                )
+            orchestrator._mark(instance, FLOW_QUEUED)
+        elif outcome.status == RUN_CRASHED:
+            # the process "died": leave the instance running — recovery
+            # adopts it back to queued, exactly like a real crash
+            report.crashed.append(instance.oid)
+        else:
+            # deferred / blocked: never executed, no attempt consumed
+            orchestrator._mark(instance, FLOW_QUEUED)
+
+    def _census(self, report: QueueReport) -> None:
+        from repro.jcf.model import (
+            FLOW_DEAD_LETTER,
+            FLOW_DEGRADED,
+            FLOW_DONE,
+        )
+
+        for instance in self.orchestrator.instances():
+            if instance.status == FLOW_DONE:
+                report.completed.append(instance.oid)
+            elif instance.status == FLOW_DEGRADED:
+                report.degraded.append(instance.oid)
+            elif instance.status == FLOW_DEAD_LETTER:
+                report.dead_lettered.append(instance.oid)
+            elif instance.status == FLOW_QUEUED:
+                report.still_queued.append(instance.oid)

@@ -181,6 +181,24 @@ class FlowRegistry:
     def __init__(self, database: OMSDatabase) -> None:
         self._db = database
         self._defs: Dict[str, FlowDef] = {}
+        #: callbacks invoked with the flow name after every mutation of
+        #: the definition table (register or rehydrate).  The flow
+        #: engine subscribes its state-cache invalidation here: a cached
+        #: per-variant status map is keyed by activity names taken from
+        #: the definition, so any change to the definition table must
+        #: drop it — even for a flow of the same name, whose materialised
+        #: activity set may differ from what the cache was computed
+        #: against (the classic case: rehydrate() after a restore
+        #: replacing a stale in-memory definition table).
+        self._listeners: List = []
+
+    def add_listener(self, callback) -> None:
+        """Call *callback(flow_name)* after every definition mutation."""
+        self._listeners.append(callback)
+
+    def _notify(self, name: str) -> None:
+        for callback in self._listeners:
+            callback(name)
 
     def register(self, flow_def: FlowDef) -> OMSObject:
         """Store the flow and its activities as frozen metadata."""
@@ -213,6 +231,7 @@ class FlowRegistry:
                         activity_oids[activity.name],
                     )
         self._defs[flow_def.name] = flow_def
+        self._notify(flow_def.name)
         return flow_obj
 
     def _find_or_create(self, type_name: str, name: str) -> OMSObject:
@@ -295,5 +314,6 @@ class FlowRegistry:
                     )
                 )
             self._defs[name] = FlowDef(name, tuple(activities))
+            self._notify(name)
             recovered.append(name)
         return recovered

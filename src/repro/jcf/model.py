@@ -25,6 +25,27 @@ INTENT_PENDING = "pending"
 INTENT_DONE = "done"
 INTENT_ABORTED = "aborted"
 
+#: Durable flow-instance lifecycle (DESIGN.md §15).
+FLOW_QUEUED = "queued"            # persisted, waiting for a worker
+FLOW_RUNNING = "running"          # a process is (was) driving it
+FLOW_DONE = "done"                # every activity completed
+FLOW_DEGRADED = "degraded"        # completed, optional activities skipped
+FLOW_DEAD_LETTER = "dead_letter"  # robustness budget exhausted; parked
+FLOW_ABORTED = "aborted"          # compensated: its context is gone
+FLOW_TERMINAL_STATES = (
+    FLOW_DONE, FLOW_DEGRADED, FLOW_DEAD_LETTER, FLOW_ABORTED
+)
+
+#: Per-activity attempt outcomes (FlowAttempt.outcome).
+ATTEMPT_OK = "ok"
+ATTEMPT_TRANSIENT = "transient"   # TransientFault; retryable
+ATTEMPT_FAILED = "failed"         # hard failure (tool error, DRC gate)
+ATTEMPT_SKIPPED = "skipped"       # optional activity degraded away
+
+#: Trigger-event lifecycle (jcf/triggers.py).
+EVENT_PENDING = "pending"
+EVENT_DISPATCHED = "dispatched"
+
 
 def build_jcf_schema() -> Schema:
     """Construct the Figure 1 schema.
@@ -173,6 +194,80 @@ def build_jcf_schema() -> Schema:
             "or back after a crash (DESIGN.md §10)",
     )
 
+    # -- Durable flow orchestration (DESIGN.md §15) -----------------------------
+    schema.define_entity(
+        "FlowInstance",
+        [
+            AttributeDef("flow_name", "str", required=True),
+            AttributeDef("status", "str", default=FLOW_QUEUED),
+            AttributeDef("user", "str", required=True),
+            AttributeDef("library", "str"),
+            AttributeDef("cell", "str"),
+            AttributeDef("team", "str"),
+            AttributeDef("priority", "int", default=0),
+            # name of the registered parameter script that supplies each
+            # activity's tool arguments; re-registered after restart
+            AttributeDef("script", "str"),
+            AttributeDef("variant_oid", "str"),
+            # robustness-budget epoch: `flows retry` bumps it, and only
+            # attempts of the current epoch count against the budget
+            AttributeDef("epoch", "int", default=0),
+            # degradation findings: ["activity: reason", ...]
+            AttributeDef("findings", "list"),
+            AttributeDef("created_ms", "float"),
+            AttributeDef("updated_ms", "float"),
+            AttributeDef("note", "str"),
+        ],
+        doc="One persisted flow execution: the durable state machine "
+            "crash recovery rolls forward (or compensates)",
+    )
+    schema.define_entity(
+        "FlowAttempt",
+        [
+            AttributeDef("activity", "str", required=True),
+            AttributeDef("attempt", "int", required=True),
+            AttributeDef("epoch", "int", default=0),
+            AttributeDef("outcome", "str", required=True),
+            AttributeDef("error", "str"),
+            AttributeDef("started_ms", "float"),
+            AttributeDef("finished_ms", "float"),
+        ],
+        doc="One durably-recorded attempt of one activity of a flow "
+            "instance (retry accounting survives the process)",
+    )
+    schema.define_entity(
+        "FlowTrigger",
+        [
+            AttributeDef("name", "str", required=True),
+            AttributeDef("event", "str", required=True),
+            AttributeDef("library", "str", default="*"),
+            AttributeDef("cell", "str", default="*"),
+            AttributeDef("viewtype", "str", default="*"),
+            AttributeDef("flow_name", "str", required=True),
+            AttributeDef("script", "str"),
+            AttributeDef("user", "str"),
+            AttributeDef("team", "str"),
+            AttributeDef("priority", "int", default=0),
+            AttributeDef("enabled", "bool", default=True),
+        ],
+        doc="Event-driven flow trigger: a matching event enqueues a "
+            "downstream flow instance (checkin -> re-simulation)",
+    )
+    schema.define_entity(
+        "TriggerEvent",
+        [
+            AttributeDef("event", "str", required=True),
+            AttributeDef("library", "str"),
+            AttributeDef("cell", "str"),
+            AttributeDef("viewtype", "str"),
+            AttributeDef("state", "str", default=EVENT_PENDING),
+            AttributeDef("created_ms", "float"),
+            AttributeDef("dispatched_ms", "float"),
+        ],
+        doc="The durable pending-trigger set: events wait here until "
+            "dispatch consumes them exactly once",
+    )
+
     # -- Team relations ------------------------------------------------------------
     schema.define_relationship(
         "member_of", "User", "Team", "M:N", doc="team membership"
@@ -305,6 +400,16 @@ def build_jcf_schema() -> Schema:
     schema.define_relationship(
         "config_contains", "ConfigVersion", "DesignObjectVersion", "M:N",
         doc="the design-object versions a configuration pins",
+    )
+
+    # -- Durable flow relations ------------------------------------------------------------------
+    schema.define_relationship(
+        "instance_attempt", "FlowInstance", "FlowAttempt", "1:N",
+        doc="durably-recorded attempts of one flow instance",
+    )
+    schema.define_relationship(
+        "trigger_spawned", "FlowTrigger", "FlowInstance", "1:N",
+        doc="flow instances a trigger dispatch enqueued",
     )
 
     # -- Workspace relations -------------------------------------------------------------------

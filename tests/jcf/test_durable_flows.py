@@ -1,0 +1,270 @@
+"""Unit tests for durable, crash-resumable flow orchestration."""
+
+import pytest
+
+from repro.errors import FlowError, FlowStuckError
+from repro.faults import FaultPlan, inject
+from repro.jcf.durable_flows import (
+    ActivityPolicy,
+    DurableFlowOrchestrator,
+    FlowPolicy,
+    WRAPPER_ACTIVITIES,
+)
+from repro.jcf.model import (
+    ATTEMPT_OK,
+    ATTEMPT_SKIPPED,
+    ATTEMPT_TRANSIENT,
+    FLOW_DEAD_LETTER,
+    FLOW_DEGRADED,
+    FLOW_DONE,
+    FLOW_QUEUED,
+)
+
+
+@pytest.fixture
+def env(hybrid):
+    """Hybrid with one prepared cell, ready for flow instances."""
+    library = hybrid.fmcad.create_library("chiplib")
+    library.create_cell("inv2")
+    project = hybrid.adopt_library("alice", library, "chipA")
+    hybrid.jcf.resources.assign_team_to_project(
+        "admin", "team1", project.oid
+    )
+    hybrid.prepare_cell("alice", project, "inv2", team_name="team1")
+    return hybrid, project, library
+
+
+def start_instance(hybrid, project, **overrides):
+    kwargs = dict(
+        user="alice",
+        project=project,
+        cell_name="inv2",
+        flow_name="jcf_fmcad_flow",
+        script="inverter_flow",
+        library_name="chiplib",
+        team="team1",
+    )
+    kwargs.update(overrides)
+    return hybrid.flows_orchestrator.start(**kwargs)
+
+
+class TestWrapperActivityParity:
+    def test_matches_scheduler_activities(self):
+        from repro.core.scheduler import ACTIVITIES
+
+        assert WRAPPER_ACTIVITIES == ACTIVITIES
+
+
+class TestLifecycle:
+    def test_start_persists_a_queued_instance(self, env):
+        hybrid, project, library = env
+        instance = start_instance(hybrid, project)
+        assert instance.status == FLOW_QUEUED
+        assert instance.flow_name == "jcf_fmcad_flow"
+        assert instance.cell_name == "inv2"
+        assert instance.team == "team1"
+        assert instance.variant_oid
+        # persisted: a second orchestrator over the same store sees it
+        other = DurableFlowOrchestrator(hybrid)
+        assert [i.oid for i in other.instances()] == [instance.oid]
+
+    def test_start_rejects_unknown_flow(self, env):
+        hybrid, project, library = env
+        with pytest.raises(FlowError):
+            start_instance(hybrid, project, flow_name="no_such_flow")
+
+    def test_run_completes_every_activity(self, env):
+        hybrid, project, library = env
+        instance = start_instance(hybrid, project)
+        assert hybrid.flows_orchestrator.run(instance) == FLOW_DONE
+        state = hybrid.jcf.engine.state_of(instance.variant())
+        assert state.complete
+        outcomes = [a.get("outcome") for a in instance.attempts()]
+        assert outcomes == [ATTEMPT_OK] * 3
+
+    def test_run_requires_a_registered_script(self, env):
+        hybrid, project, library = env
+        instance = start_instance(hybrid, project, script="not_registered")
+        with pytest.raises(FlowError):
+            hybrid.flows_orchestrator.run(instance)
+        assert instance.status == FLOW_QUEUED  # untouched
+
+    def test_run_on_terminal_instance_is_a_noop(self, env):
+        hybrid, project, library = env
+        instance = start_instance(hybrid, project)
+        hybrid.flows_orchestrator.run(instance)
+        assert hybrid.flows_orchestrator.run(instance) == FLOW_DONE
+
+
+class TestRetryPolicy:
+    def test_transient_fault_retried_within_budget(self, env):
+        """A glitchy activity succeeds without operator action."""
+        hybrid, project, library = env
+        instance = start_instance(hybrid, project)
+        plan = FaultPlan.transient("harvest.after_checkout", on_hit=1)
+        with inject(plan):
+            final = hybrid.flows_orchestrator.run(instance)
+        assert final == FLOW_DONE
+        schematic = instance.attempts("schematic_entry")
+        assert [a.get("outcome") for a in schematic] == [
+            ATTEMPT_TRANSIENT,
+            ATTEMPT_OK,
+        ]
+        assert hybrid.flows_orchestrator.retried_attempts == 1
+
+    def test_budget_exhaustion_dead_letters(self, env):
+        hybrid, project, library = env
+        orchestrator = hybrid.flows_orchestrator
+        instance = start_instance(hybrid, project)
+        plan = FaultPlan.transient(
+            "harvest.after_checkout", on_hit=1, times=99
+        )
+        with inject(plan):
+            with pytest.raises(FlowStuckError) as excinfo:
+                orchestrator.run(instance)
+        assert excinfo.value.instance_oid == instance.oid
+        assert excinfo.value.activity == "schematic_entry"
+        assert instance.status == FLOW_DEAD_LETTER
+        assert len(instance.attempts("schematic_entry")) == 3
+        assert "retry budget exhausted" in instance.note
+
+    def test_timeout_budget_dead_letters(self, env):
+        hybrid, project, library = env
+        orchestrator = hybrid.flows_orchestrator
+        orchestrator.set_policy(
+            "jcf_fmcad_flow",
+            FlowPolicy(default=ActivityPolicy(attempts=50, timeout_ms=1.0)),
+        )
+        instance = start_instance(hybrid, project)
+        plan = FaultPlan.transient(
+            "harvest.after_checkout", on_hit=1, times=99
+        )
+        with inject(plan):
+            with pytest.raises(FlowStuckError):
+                orchestrator.run(instance)
+        assert instance.status == FLOW_DEAD_LETTER
+        assert "timeout budget exhausted" in instance.note
+
+    def test_hard_tool_failure_dead_letters_within_budget(self, env):
+        """A deterministic failure converges to dead-letter, not a loop."""
+        hybrid, project, library = env
+        orchestrator = hybrid.flows_orchestrator
+
+        def broken(activity):
+            if activity == "schematic_entry":
+                def edit(editor):
+                    editor.place_gate("g0", "NOT", 1)  # dangling pins
+                return {"edit_fn": edit}
+            return {}
+
+        orchestrator.register_script("broken", broken)
+        instance = start_instance(hybrid, project, script="broken")
+        with pytest.raises(FlowStuckError):
+            orchestrator.run(instance)
+        assert instance.status == FLOW_DEAD_LETTER
+        assert len(instance.attempts("schematic_entry")) == 3
+
+    def test_dead_letter_visible_to_audit(self, env):
+        hybrid, project, library = env
+        instance = start_instance(hybrid, project)
+        plan = FaultPlan.transient(
+            "harvest.after_checkout", on_hit=1, times=99
+        )
+        with inject(plan):
+            with pytest.raises(FlowStuckError):
+                hybrid.flows_orchestrator.run(instance)
+        report = hybrid.audit()
+        assert not report.clean
+        assert "dead-letter-flow" in report.by_category()
+
+    def test_retry_dead_letter_requeues_with_fresh_budget(self, env):
+        hybrid, project, library = env
+        orchestrator = hybrid.flows_orchestrator
+        instance = start_instance(hybrid, project)
+        plan = FaultPlan.transient(
+            "harvest.after_checkout", on_hit=1, times=99
+        )
+        with inject(plan):
+            with pytest.raises(FlowStuckError):
+                orchestrator.run(instance)
+        orchestrator.retry_dead_letter(instance)
+        assert instance.status == FLOW_QUEUED
+        assert instance.epoch == 1
+        # old attempts no longer count against the new budget
+        assert instance.attempts("schematic_entry") == []
+        assert orchestrator.run(instance) == FLOW_DONE
+
+    def test_retry_rejects_non_dead_letter(self, env):
+        hybrid, project, library = env
+        instance = start_instance(hybrid, project)
+        with pytest.raises(FlowError):
+            hybrid.flows_orchestrator.retry_dead_letter(instance)
+
+
+class TestGracefulDegradation:
+    def test_optional_tail_activity_skipped(self, env):
+        hybrid, project, library = env
+        orchestrator = hybrid.flows_orchestrator
+        orchestrator.set_policy(
+            "jcf_fmcad_flow",
+            FlowPolicy(overrides={
+                "layout_entry": ActivityPolicy(optional=True),
+            }),
+        )
+        orchestrator.quarantine_tool("layout_editor")
+        instance = start_instance(hybrid, project)
+        assert orchestrator.run(instance) == FLOW_DEGRADED
+        assert instance.skipped_activities() == ["layout_entry"]
+        assert any("layout_entry" in f for f in instance.findings)
+        skipped = instance.attempts("layout_entry")
+        assert [a.get("outcome") for a in skipped] == [ATTEMPT_SKIPPED]
+
+    def test_optional_middle_activity_forces_successor_early(self, env):
+        """Successors of a skipped activity run via supervised early
+        start — the paper's extra consistency window, not a rule bend."""
+        hybrid, project, library = env
+        orchestrator = hybrid.flows_orchestrator
+        orchestrator.set_policy(
+            "jcf_fmcad_flow",
+            FlowPolicy(overrides={
+                "digital_simulation": ActivityPolicy(optional=True),
+            }),
+        )
+        orchestrator.quarantine_tool("digital_simulator")
+        instance = start_instance(hybrid, project)
+        assert orchestrator.run(instance) == FLOW_DEGRADED
+        executions = hybrid.jcf.engine.executions_of(instance.variant())
+        layout = [
+            e for e in executions if e.activity_name == "layout_entry"
+        ]
+        assert layout and layout[0].forced_early
+
+    def test_required_tool_quarantine_dead_letters(self, env):
+        hybrid, project, library = env
+        orchestrator = hybrid.flows_orchestrator
+        orchestrator.quarantine_tool("digital_simulator")
+        instance = start_instance(hybrid, project)
+        with pytest.raises(FlowStuckError):
+            orchestrator.run(instance)
+        assert instance.status == FLOW_DEAD_LETTER
+
+    def test_restored_tool_runs_normally(self, env):
+        hybrid, project, library = env
+        orchestrator = hybrid.flows_orchestrator
+        orchestrator.quarantine_tool("layout_editor")
+        orchestrator.restore_tool("layout_editor")
+        instance = start_instance(hybrid, project)
+        assert orchestrator.run(instance) == FLOW_DONE
+
+
+class TestStats:
+    def test_stats_aggregate_instances(self, env):
+        hybrid, project, library = env
+        orchestrator = hybrid.flows_orchestrator
+        instance = start_instance(hybrid, project)
+        orchestrator.run(instance)
+        stats = orchestrator.stats()
+        assert stats["instances"] == 1
+        assert stats["by_status"] == {FLOW_DONE: 1}
+        # surfaced through the hybrid's top-level stats too
+        assert hybrid.stats()["flows"]["instances"] == 1

@@ -238,3 +238,35 @@ class TestStateCache:
         misses = engine.state_cache_misses
         engine.state_of(variant)
         assert engine.state_cache_misses == misses + 1
+
+    def test_registry_mutation_drops_cached_state(self, jcf_with_flow, variant):
+        """Rehydrating a flow definition invalidates state cached
+        against the old in-memory definition of the same name."""
+        jcf = jcf_with_flow
+        engine = jcf.engine
+        engine.state_of(variant)  # warm against jcf_fmcad_flow
+        # simulate a restored process whose definition table has not
+        # seen this flow yet: drop the in-memory def, then rehydrate
+        # it back from the persisted metadata
+        jcf.flows._defs.pop("jcf_fmcad_flow")
+        assert "jcf_fmcad_flow" in jcf.flows.rehydrate()
+        misses = engine.state_cache_misses
+        state = engine.state_of(variant)
+        assert engine.state_cache_misses == misses + 1
+        assert set(state.status_by_activity.values()) == {EXEC_NOT_STARTED}
+
+    def test_unrelated_registration_preserves_cache(self, jcf_with_flow, variant):
+        from repro.jcf.flows import ActivityDef, FlowDef
+
+        jcf = jcf_with_flow
+        engine = jcf.engine
+        engine.state_of(variant)  # warm against jcf_fmcad_flow
+        jcf.register_flow(
+            FlowDef(
+                "bystander_flow",
+                (ActivityDef("lone_activity", "lone_tool"),),
+            )
+        )
+        hits = engine.state_cache_hits
+        engine.state_of(variant)
+        assert engine.state_cache_hits == hits + 1

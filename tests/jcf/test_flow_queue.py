@@ -1,0 +1,172 @@
+"""Unit tests for the fair-scheduling durable flow queue."""
+
+import pytest
+
+from repro.faults import FaultPlan, inject
+from repro.jcf.model import (
+    ATTEMPT_OK,
+    ATTEMPT_TRANSIENT,
+    FLOW_DONE,
+)
+
+
+@pytest.fixture
+def env(hybrid):
+    """Three prepared cells across two teams."""
+    resources = hybrid.jcf.resources
+    resources.define_team("admin", "team2")
+    resources.add_member("admin", "bob", "team2")
+    library = hybrid.fmcad.create_library("chiplib")
+    for cell in ("cell_a", "cell_b", "cell_c"):
+        library.create_cell(cell)
+    project = hybrid.adopt_library("alice", library, "chipA")
+    resources.assign_team_to_project("admin", "team1", project.oid)
+    resources.assign_team_to_project("admin", "team2", project.oid)
+    hybrid.prepare_cell("alice", project, "cell_a", team_name="team1")
+    hybrid.prepare_cell("alice", project, "cell_c", team_name="team1")
+    hybrid.prepare_cell("bob", project, "cell_b", team_name="team2")
+    return hybrid, project, library
+
+
+def start(hybrid, project, cell, user="alice", team="team1", priority=0):
+    return hybrid.flows_orchestrator.start(
+        user=user,
+        project=project,
+        cell_name=cell,
+        flow_name="jcf_fmcad_flow",
+        script="inverter_flow",
+        library_name="chiplib",
+        team=team,
+        priority=priority,
+    )
+
+
+class TestWaveSelection:
+    def test_round_robin_across_teams(self, env):
+        """With room for two, each team advances one instance — a big
+        team cannot starve a small one."""
+        hybrid, project, library = env
+        start(hybrid, project, "cell_a")
+        start(hybrid, project, "cell_c")
+        start(hybrid, project, "cell_b", user="bob", team="team2")
+        wave = hybrid.flow_queue.next_wave(max_runs=2)
+        assert sorted(i.team for i in wave) == ["team1", "team2"]
+
+    def test_priority_orders_within_a_team(self, env):
+        hybrid, project, library = env
+        start(hybrid, project, "cell_a", priority=0)
+        start(hybrid, project, "cell_c", priority=5)
+        wave = hybrid.flow_queue.next_wave(max_runs=1)
+        assert [i.cell_name for i in wave] == ["cell_c"]
+
+    def test_fifo_within_equal_priority(self, env):
+        hybrid, project, library = env
+        start(hybrid, project, "cell_a")
+        start(hybrid, project, "cell_c")
+        wave = hybrid.flow_queue.next_wave(max_runs=1)
+        assert [i.cell_name for i in wave] == ["cell_a"]
+
+    def test_one_instance_per_cell_per_wave(self, env):
+        """Two flows on one cell would race its working variant."""
+        hybrid, project, library = env
+        start(hybrid, project, "cell_a")
+        start(hybrid, project, "cell_a")
+        wave = hybrid.flow_queue.next_wave()
+        assert len(wave) == 1
+
+    def test_empty_queue_selects_nothing(self, env):
+        hybrid, project, library = env
+        assert hybrid.flow_queue.next_wave() == []
+
+
+class TestDrain:
+    def test_drain_completes_all_instances(self, env):
+        hybrid, project, library = env
+        oids = [
+            start(hybrid, project, "cell_a").oid,
+            start(hybrid, project, "cell_c").oid,
+            start(hybrid, project, "cell_b", user="bob", team="team2").oid,
+        ]
+        report = hybrid.flow_queue.drain(workers=2)
+        assert sorted(report.completed) == sorted(oids)
+        assert report.still_queued == []
+        assert report.dead_lettered == []
+        # 3 instances x 3 activities, one activity per instance per wave
+        assert report.activities_run == 9
+        assert hybrid.audit().clean
+
+    def test_max_waves_leaves_work_queued(self, env):
+        hybrid, project, library = env
+        instance = start(hybrid, project, "cell_a")
+        report = hybrid.flow_queue.drain(max_waves=1)
+        assert report.activities_run == 1
+        assert report.completed == []
+        assert report.still_queued == [instance.oid]
+        # a later drain finishes the job
+        report = hybrid.flow_queue.drain()
+        assert report.completed == [instance.oid]
+
+    def test_transient_failure_consumes_budget_then_succeeds(self, env):
+        hybrid, project, library = env
+        instance = start(hybrid, project, "cell_a")
+        plan = FaultPlan.transient("harvest.after_checkout", on_hit=1)
+        with inject(plan):
+            report = hybrid.flow_queue.drain()
+        assert report.completed == [instance.oid]
+        outcomes = [
+            a.get("outcome")
+            for a in instance.attempts("schematic_entry")
+        ]
+        assert outcomes == [ATTEMPT_TRANSIENT, ATTEMPT_OK]
+
+    def test_hard_failure_dead_letters_without_raising(self, env):
+        hybrid, project, library = env
+        orchestrator = hybrid.flows_orchestrator
+
+        def broken(activity):
+            if activity == "schematic_entry":
+                def edit(editor):
+                    editor.place_gate("g0", "NOT", 1)  # dangling pins
+                return {"edit_fn": edit}
+            return {}
+
+        orchestrator.register_script("broken", broken)
+        bad = orchestrator.start(
+            user="alice",
+            project=project,
+            cell_name="cell_a",
+            flow_name="jcf_fmcad_flow",
+            script="broken",
+            library_name="chiplib",
+            team="team1",
+        )
+        good = start(hybrid, project, "cell_c")
+        report = hybrid.flow_queue.drain()
+        assert report.dead_lettered == [bad.oid]
+        assert report.completed == [good.oid]
+
+    def test_drain_runs_trigger_spawned_flows(self, env):
+        """Events recorded before (or during) a drain feed the same
+        drain via dispatch between waves."""
+        hybrid, project, library = env
+        hybrid.triggers.define(
+            name="resim",
+            flow_name="jcf_fmcad_flow",
+            user="alice",
+            cell="cell_a",
+            script="inverter_flow",
+            team="team1",
+        )
+        hybrid.triggers.record_event(
+            "checkin", "chiplib", "cell_a", "schematic"
+        )
+        report = hybrid.flow_queue.drain()
+        # the spawned flow's own schematic checkin (new bytes) matches
+        # the trigger once more; that follow-up instance finds the
+        # variant already complete and finalizes without running a tool
+        # — the trigger loop converges instead of spinning
+        assert len(report.completed) == 2
+        assert report.activities_run == 3
+        for oid in report.completed:
+            assert hybrid.flows_orchestrator.instance(oid).status == FLOW_DONE
+        assert hybrid.triggers.pending_events() == []
