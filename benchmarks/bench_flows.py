@@ -39,7 +39,7 @@ if __name__ == "__main__":  # standalone: make src/ importable without install
 from repro.core.coupling import HybridFramework
 from repro.faults import CrashFault, FaultPlan, inject
 from repro.jcf.model import FLOW_DONE
-from repro.workloads.metrics import format_table
+from repro.workloads.metrics import format_table, percentiles
 
 #: team counts for the throughput experiment
 TEAM_COUNTS = [1, 2, 4]
@@ -131,6 +131,26 @@ def run_throughput(
     return rows, flows_per_sec
 
 
+def run_flow_latency(samples: int) -> Tuple[List[List[str]], Dict[str, float]]:
+    """Wall latency of whole single flows, reported as a p50/p95/p99
+    tail — the per-designer view of the queue-throughput numbers."""
+    root = pathlib.Path(tempfile.mkdtemp()) / "env"
+    hybrid, project, cells = build_environment(root, 1, samples)
+    oids = enqueue_flows(hybrid, project, cells)
+    latencies_ms: List[float] = []
+    for oid in oids:
+        started = time.perf_counter()
+        state = hybrid.flows_orchestrator.run(
+            hybrid.flows_orchestrator.instance(oid)
+        )
+        latencies_ms.append((time.perf_counter() - started) * 1000)
+        assert state == FLOW_DONE
+    shutil.rmtree(root.parent, ignore_errors=True)
+    tail = percentiles(latencies_ms)
+    rows = [[label, f"{value:.0f}"] for label, value in tail.items()]
+    return rows, tail
+
+
 # -- experiment 2: resume latency after a crash-kill ------------------------
 
 
@@ -198,6 +218,7 @@ def run_bench(team_counts: List[int], flows_per_team: int):
     throughput_rows, flows_per_sec = run_throughput(
         team_counts, flows_per_team
     )
+    latency_rows, flow_tail = run_flow_latency(max(flows_per_team, 3))
     resume_rows, resume = run_resume(flows_per_team)
 
     report = "\n".join(
@@ -209,6 +230,9 @@ def run_bench(team_counts: List[int], flows_per_team: int):
                 ["teams", "flows", "waves", "activities", "ms", "flows/s"],
                 throughput_rows,
             ),
+            "",
+            "single-flow wall latency tail:",
+            format_table(["percentile", "ms"], latency_rows),
             "",
             "crash-kill mid-simulation, reopen, resume:",
             format_table(
@@ -224,7 +248,8 @@ def run_bench(team_counts: List[int], flows_per_team: int):
     assert resume["resumed_attempts"] < 3, (
         f"resume re-ran the whole flow: {resume['resumed_attempts']} attempts"
     )
-    metrics = {"flows_per_sec": flows_per_sec, **resume}
+    assert flow_tail["p50"] <= flow_tail["p95"] <= flow_tail["p99"]
+    metrics = {"flows_per_sec": flows_per_sec, "flow_tail": flow_tail, **resume}
     return report, metrics
 
 

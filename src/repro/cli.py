@@ -29,6 +29,11 @@ Commands
     ``list`` (exit 1 when any instance is dead-lettered), ``resume``
     (recover, roll every pending instance forward, save), ``retry``
     (re-queue dead-lettered instances with a fresh robustness budget).
+``serve``
+    Run the sharded asyncio design server over a saved workspace (or a
+    freshly provisioned multi-team scenario): line-delimited JSON over
+    TCP, per-library shards, batch-coalesced group commits, admission
+    control.  Ctrl-C drains in-flight windows before exiting.
 """
 
 from __future__ import annotations
@@ -152,6 +157,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "--instance",
         default=None,
         help="limit 'retry' to one instance oid (default: all dead-letter)",
+    )
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the sharded asyncio design server (line-delimited JSON)",
+    )
+    serve.add_argument(
+        "--workspace",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "saved hybrid workspace to serve (default: build a fresh "
+            "multi-team scenario in a temp dir)"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: 0 = pick a free port and print it)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2,
+        help="independent library shards (lock manager + commit scope each)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16,
+        help="flush a shard's window as soon as this many runs coalesce",
+    )
+    serve.add_argument(
+        "--window-ms", type=float, default=25.0,
+        help="deadline bound on a coalescing window, anchored on its "
+             "oldest request",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="admitted-but-uncommitted runs a shard holds before "
+             "rejecting with ServerOverloadError",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None, dest="rate_per_s",
+        help="token-bucket admission rate per shard, runs/second "
+             "(default: no throttle, queue depth only)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="scheduler workers per shard wave",
+    )
+    serve.add_argument(
+        "--persistence",
+        choices=HybridFramework.PERSISTENCE_MODES,
+        default="wal",
+        help="persistence mode when building the default scenario",
     )
     return parser
 
@@ -448,6 +504,63 @@ def cmd_flows(
     return 1 if (action == "list" and dead) else 0
 
 
+def cmd_serve(out, args) -> int:
+    """Boot a DesignServer and run it until interrupted."""
+    import asyncio
+
+    from repro.server.design_server import DesignServer
+
+    if args.workspace is not None:
+        hybrid = _open_for_inspection(args.workspace)
+        out.write(f"serving saved workspace {args.workspace}\n")
+    else:
+        from repro.workloads.loadgen import ScenarioSpec, build_scenario
+
+        root = pathlib.Path(tempfile.mkdtemp(prefix="repro_serve_"))
+        hybrid, plans = build_scenario(
+            root / "env", ScenarioSpec(), persistence=args.persistence
+        )
+        out.write(
+            f"serving fresh scenario in {root} "
+            f"({len(plans)} designer sessions provisioned)\n"
+        )
+
+    server = DesignServer(
+        hybrid,
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        max_batch=args.max_batch,
+        window_ms=args.window_ms,
+        queue_depth=args.queue_depth,
+        admission_rate_per_s=args.rate_per_s,
+        workers=args.workers,
+    )
+
+    async def run() -> None:
+        host, port = await server.start()
+        out.write(
+            f"listening on {host}:{port} "
+            f"(shards={args.shards}, window={args.window_ms}ms, "
+            f"batch<={args.max_batch})\n"
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            # Ctrl-C cancels the main task; drain in the SAME loop so the
+            # in-flight windows commit and their clients get answers
+            out.write("interrupt: draining in-flight windows...\n")
+        finally:
+            await server.stop()
+            out.write("server stopped cleanly\n")
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -481,6 +594,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "flows":
         try:
             return cmd_flows(out, args.action, args.workspace, args.instance)
+        except ReproError as error:
+            out.write(f"error: {error}\n")
+            return 2
+    if args.command == "serve":
+        try:
+            return cmd_serve(out, args)
         except ReproError as error:
             out.write(f"error: {error}\n")
             return 2

@@ -181,13 +181,18 @@ class SimClock:
     # -- lanes -------------------------------------------------------------
 
     def open_lane(self, name: str, start_ms: Optional[float] = None) -> Lane:
-        """Create a lane starting at *start_ms* (default: master now).
+        """Create a lane starting at *start_ms* (default: current now).
 
         The scheduler passes an explicit wave-start time so every lane of
-        a wave starts at the same deterministic instant.
+        a wave starts at the same deterministic instant.  The default is
+        lane-aware: a lane opened while the calling thread is itself bound
+        to a lane (nested scheduling — e.g. a shard lane driving a batch)
+        starts at the *enclosing lane's* current time, not the master's.
         """
-        with self._lock:
-            start = self._now_ms if start_ms is None else start_ms
+        if start_ms is None:
+            start = self.now_ms
+        else:
+            start = start_ms
         return Lane(name, start)
 
     def use_lane(self, lane: Lane) -> "_LaneContext":
@@ -200,13 +205,27 @@ class SimClock:
         return stack[-1] if stack else None
 
     def advance_to(self, timestamp_ms: float) -> float:
-        """Fold a lane end back into the master clock (makespan merge).
+        """Fold a lane end back into the current timeline (makespan merge).
 
-        Moves the master clock forward to *timestamp_ms* if it is ahead;
-        never moves it backwards.  No category is charged — the resource
-        time was already accounted when the lane charged it.
+        Moves the calling thread's timeline forward to *timestamp_ms* if
+        it is ahead; never moves it backwards.  "Current timeline" is the
+        lane bound to the calling thread when there is one, the master
+        clock otherwise — so a batch driven from inside a lane (a shard
+        executor, a flow step) folds its makespan into *its own* lane and
+        leaves the master clock alone until that lane is itself folded.
+        Without this, consecutive ``run_many`` batches driven from a lane
+        would leak their wave accounting into the master clock while the
+        caller's lane never advanced, reporting a zero makespan.
+
+        No category is charged — the resource time was already accounted
+        when the lane charged it.
         """
+        lane = self.current_lane()
         with self._lock:
+            if lane is not None:
+                if timestamp_ms > lane._now_ms:
+                    lane._now_ms = timestamp_ms
+                return lane._now_ms
             if timestamp_ms > self._now_ms:
                 self._now_ms = timestamp_ms
             return self._now_ms

@@ -295,6 +295,8 @@ class HybridFramework:
         requests,
         workers: int = 4,
         seed: int = 0,
+        commit_scope: str = "",
+        sandbox_prefix: str = "",
     ) -> BatchResult:
         """Execute a batch of coupled runs on a worker pool.
 
@@ -304,8 +306,19 @@ class HybridFramework:
         :class:`~repro.core.scheduler.BatchResult`.  Given the same batch
         and *seed*, the final OMS snapshot is byte-identical for any
         worker count — ``workers=1`` is the sequential baseline.
+
+        *commit_scope* and *sandbox_prefix* exist for callers running
+        several batches concurrently (the design server's shards): each
+        concurrent batch needs its own commit-group scope and a distinct
+        sandbox namespace.  Single-batch callers leave the defaults.
         """
-        scheduler = BatchScheduler(self, workers=workers, seed=seed)
+        scheduler = BatchScheduler(
+            self,
+            workers=workers,
+            seed=seed,
+            commit_scope=commit_scope,
+            sandbox_prefix=sandbox_prefix,
+        )
         return scheduler.run(requests)
 
     # -- persistence ----------------------------------------------------------------------

@@ -156,12 +156,26 @@ class BatchResult:
 class BatchScheduler:
     """Runs batches of coupled runs for one :class:`HybridFramework`."""
 
-    def __init__(self, hybrid, workers: int = 4, seed: int = 0) -> None:
+    def __init__(
+        self,
+        hybrid,
+        workers: int = 4,
+        seed: int = 0,
+        commit_scope: str = "",
+        sandbox_prefix: str = "",
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.hybrid = hybrid
         self.workers = workers
         self.seed = seed
+        #: commit-group scope this batch's waves open; the design server
+        #: gives each shard its own scope so shard batches may run
+        #: concurrently, each coalescing its own wave of commits
+        self.commit_scope = commit_scope
+        #: prepended to per-run staging sandbox names so concurrent
+        #: batches never collide on ``run_NNN`` directories
+        self.sandbox_prefix = sandbox_prefix
         self.clock = hybrid.clock
         self.db = hybrid.jcf.db
 
@@ -271,7 +285,7 @@ class BatchScheduler:
         open_ts = gates.Turnstile(f"wave{wave_number}.open", len(order))
         commit_ts = gates.Turnstile(f"wave{wave_number}.commit", len(order))
         lanes = []
-        with self.db.group_commit():
+        with self.db.group_commit(self.commit_scope):
             futures = []
             for turn, index in enumerate(order):
                 lane = self.clock.open_lane(
@@ -307,7 +321,7 @@ class BatchScheduler:
         outcome: RunOutcome,
     ) -> RunOutcome:
         """Worker body for one run (runs on a pool thread)."""
-        sandbox_name = f"run_{outcome.index:03d}"
+        sandbox_name = f"{self.sandbox_prefix}run_{outcome.index:03d}"
         try:
             acquisition = self.db.locks.acquire(
                 read=request.read_keys,
@@ -322,7 +336,8 @@ class BatchScheduler:
             gate.abandon()
             return outcome
         try:
-            with gates.install(gate), self.clock.use_lane(lane), \
+            with self.db.commit_scope(self.commit_scope), \
+                    gates.install(gate), self.clock.use_lane(lane), \
                     self.hybrid.jcf.staging_sandbox(sandbox_name) as sandbox:
                 try:
                     wrapper = getattr(self.hybrid, request.activity)

@@ -332,3 +332,55 @@ class ConsistencyError(CouplingError):
 
 class EncapsulationError(CouplingError):
     """A tool wrapper could not stage, launch or harvest a tool run."""
+
+
+# ---------------------------------------------------------------------------
+# Design server (multi-session front end)
+# ---------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for errors raised by the design-server front end."""
+
+
+class ProtocolError(ServerError):
+    """A client frame violated the line-delimited JSON protocol.
+
+    Covers undecodable lines, missing fields, unknown operations and
+    unknown script names.  The server answers with an error frame and
+    keeps the connection open; the request is never admitted.
+    """
+
+
+class SessionError(ServerError):
+    """A session's user/team/project context is invalid.
+
+    Raised at ``hello`` time (unknown user, user not a member of the
+    team, team not assigned to the project) or when a request arrives
+    before any ``hello`` established a session.
+    """
+
+
+class ServerOverloadError(ServerError):
+    """The server refused a request to protect itself (fail fast).
+
+    Raised by admission control when a shard's bounded queue is full,
+    its token bucket is empty, or the server is draining for shutdown.
+    Typed rejection is the backpressure contract: clients see an
+    immediate, retryable error instead of unbounded queueing collapse.
+    ``shard_id`` names the saturated shard, ``reason`` is one of
+    ``queue-full`` / ``throttled`` / ``draining``, and
+    ``retry_after_ms`` is advisory simulated backoff.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_id: int = -1,
+        reason: str = "",
+        retry_after_ms: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.reason = reason
+        self.retry_after_ms = retry_after_ms

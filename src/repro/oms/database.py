@@ -18,7 +18,7 @@ from repro.errors import (
 from repro.ids import IdAllocator, sort_key
 from repro.oms.blobs import BlobStat, BlobStore, PayloadHandle
 from repro.oms.links import LinkStore
-from repro.oms.locks import LockManager
+from repro.oms.locks import LockManager, ShardedLockManager
 from repro.oms.objects import OMSObject
 from repro.oms.schema import RelationshipDef, Schema
 from repro.oms.transactions import GroupCommit, Transaction
@@ -109,8 +109,13 @@ class OMSDatabase:
         #: run-level read/write isolation for the scheduler (coarser than
         #: the mutex: held across a whole coupled run, not one primitive)
         self.locks = LockManager()
-        #: open group-commit batch (shared across threads), if any
-        self._commit_group: Optional[GroupCommit] = None
+        #: open group-commit batches by scope.  Scope ``""`` is the
+        #: classic whole-database group; the design server opens one
+        #: scope per shard so concurrent shard waves coalesce their own
+        #: commits without seeing each other's groups.
+        self._commit_groups: Dict[str, GroupCommit] = {}
+        #: per-thread commit-scope binding (see :meth:`commit_scope`)
+        self._scope_local = threading.local()
         #: durable-flush accounting for the group-commit experiment
         self.commit_count = 0
         self.flush_count = 0
@@ -160,6 +165,19 @@ class OMSDatabase:
     def _bump_epoch(self) -> None:
         self.mutation_epoch += 1
 
+    def shard_locks(self, shard_of, shards: int) -> ShardedLockManager:
+        """Swap the run-level lock manager for a sharded router.
+
+        *shard_of* maps a lock key to a shard id in ``0..shards-1`` (the
+        design server passes its consistent-hash map).  The router keeps
+        the :class:`LockManager` interface, so the scheduler and the
+        stats paths are oblivious.  Counters of the replaced manager are
+        discarded — install the router before serving traffic.
+        """
+        router = ShardedLockManager(shard_of, shards)
+        self.locks = router
+        return router
+
     # -- write-ahead log -------------------------------------------------------
 
     def attach_wal(self, wal) -> None:
@@ -192,7 +210,7 @@ class OMSDatabase:
         if self.wal is None or not ops:
             return
         with self._mutex:
-            group = self._commit_group
+            group = self._current_group()
             if group is not None and not group.closed:
                 group.buffer_wal(ops)
                 return
@@ -265,34 +283,66 @@ class OMSDatabase:
         """
         with self._mutex:
             self.commit_count += 1
-            group = self._commit_group
+            group = self._current_group()
             if group is not None:
                 group.note_commit()
                 return
             self.flush_count += 1
         self.clock.charge_commit_flush()
 
+    def _current_scope(self) -> str:
+        return getattr(self._scope_local, "scope", "")
+
+    def _current_group(self) -> Optional[GroupCommit]:
+        """The open commit group for the calling thread's scope, if any.
+
+        Callers must hold :attr:`_mutex` (every call site does).
+        """
+        return self._commit_groups.get(self._current_scope())
+
     @contextlib.contextmanager
-    def group_commit(self) -> Iterator[GroupCommit]:
+    def commit_scope(self, scope: str) -> Iterator[None]:
+        """Bind the calling thread to commit-group *scope* for a block.
+
+        Worker threads executing a shard's wave bind to that shard's
+        scope so their transaction commits register with (and buffer WAL
+        into) *their* wave's group, not another shard's.  Scopes nest in
+        the obvious stack-like way per thread.
+        """
+        previous = self._current_scope()
+        self._scope_local.scope = scope
+        try:
+            yield
+        finally:
+            self._scope_local.scope = previous
+
+    @contextlib.contextmanager
+    def group_commit(self, scope: str = "") -> Iterator[GroupCommit]:
         """Coalesce all top-level commits in this block into one flush.
 
         The scheduler opens one group per wave; every run's metadata
         transaction then registers with the group instead of flushing
         individually, and the group pays a single durable flush when it
-        closes.  Groups do not nest.
+        closes.  Groups do not nest *within a scope*; independent scopes
+        (one per design-server shard) may hold concurrent open groups.
+        A commit joins the group of its thread's bound scope (see
+        :meth:`commit_scope`); the thread opening the group is bound for
+        the duration of the block.
         """
         with self._mutex:
-            if self._commit_group is not None:
+            if scope in self._commit_groups:
                 raise TransactionError(
                     "group_commit: a commit group is already open"
+                    + (f" in scope {scope!r}" if scope else "")
                 )
             group = GroupCommit(self._allocator.allocate("commitgroup"))
-            self._commit_group = group
+            self._commit_groups[scope] = group
         try:
-            yield group
+            with self.commit_scope(scope):
+                yield group
         finally:
             with self._mutex:
-                self._commit_group = None
+                del self._commit_groups[scope]
                 commits = group.close()
                 pending_wal = group.drain_wal()
                 if commits:

@@ -1,0 +1,175 @@
+"""Admission control: bounded queues and token-bucket backpressure.
+
+The serving contract is *fail fast, never collapse*: when a shard is
+saturated the server refuses new work with a typed
+:class:`~repro.errors.ServerOverloadError` the client can retry against,
+instead of queueing without bound until every admitted request's latency
+is ruined.  Two mechanisms compose:
+
+* a **bounded queue** per shard — a hard cap on requests admitted but
+  not yet completed (queued in a batch window plus in flight);
+* an optional **token bucket** — a sustained-rate limit with a burst
+  allowance, refilled from the caller-supplied clock.
+
+Both run on *simulated* time supplied by the caller, so admission
+decisions are deterministic under replay: the same arrival schedule
+produces the same rejections regardless of host speed.  The asyncio
+front end feeds real time instead; the code cannot tell the difference.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.errors import ServerOverloadError
+
+
+class TokenBucket:
+    """Classic token bucket on caller-supplied timestamps (ms)."""
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        start_ms: float = 0.0,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate must be positive: {rate_per_s!r}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1: {burst!r}")
+        self.rate_per_s = rate_per_s
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_ms = start_ms
+
+    def _refill(self, now_ms: float) -> None:
+        if now_ms > self._last_ms:
+            self._tokens = min(
+                self.burst,
+                self._tokens + (now_ms - self._last_ms) * self.rate_per_s / 1000.0,
+            )
+            self._last_ms = now_ms
+
+    def try_take(self, now_ms: float, tokens: float = 1.0) -> bool:
+        """Take *tokens* if available at *now_ms*; never blocks."""
+        self._refill(now_ms)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def ms_until_available(self, now_ms: float, tokens: float = 1.0) -> float:
+        """Advisory wait until *tokens* would be available (retry hint)."""
+        self._refill(now_ms)
+        deficit = tokens - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit * 1000.0 / self.rate_per_s
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+class AdmissionController:
+    """Per-shard admission gate: bounded depth + optional token bucket.
+
+    ``depth`` counts admitted-but-not-completed requests; callers pair
+    every successful :meth:`admit` with exactly one :meth:`complete`.
+    :meth:`close` flips the controller into draining mode — everything
+    still queued or in flight proceeds, new work is refused — which is
+    the graceful-shutdown half of the backpressure story.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        queue_depth: int,
+        bucket: Optional[TokenBucket] = None,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1: {queue_depth!r}")
+        self.shard_id = shard_id
+        self.queue_depth = queue_depth
+        self.bucket = bucket
+        self._mutex = threading.Lock()
+        self._depth = 0
+        self._closed = False
+        self.admitted = 0
+        self.completed = 0
+        self.high_water = 0
+        self.rejected: Dict[str, int] = {
+            "queue-full": 0,
+            "throttled": 0,
+            "draining": 0,
+        }
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def admit(self, now_ms: float) -> None:
+        """Admit one request at *now_ms* or raise ``ServerOverloadError``."""
+        with self._mutex:
+            if self._closed:
+                self.rejected["draining"] += 1
+                raise ServerOverloadError(
+                    f"shard {self.shard_id} is draining for shutdown",
+                    shard_id=self.shard_id,
+                    reason="draining",
+                )
+            if self._depth >= self.queue_depth:
+                self.rejected["queue-full"] += 1
+                raise ServerOverloadError(
+                    f"shard {self.shard_id} queue full "
+                    f"({self._depth}/{self.queue_depth})",
+                    shard_id=self.shard_id,
+                    reason="queue-full",
+                    # the queue drains a batch at a time; one window is
+                    # the honest granularity of "try again later"
+                    retry_after_ms=1000.0,
+                )
+            if self.bucket is not None and not self.bucket.try_take(now_ms):
+                self.rejected["throttled"] += 1
+                raise ServerOverloadError(
+                    f"shard {self.shard_id} over admission rate",
+                    shard_id=self.shard_id,
+                    reason="throttled",
+                    retry_after_ms=self.bucket.ms_until_available(now_ms),
+                )
+            self._depth += 1
+            self.admitted += 1
+            self.high_water = max(self.high_water, self._depth)
+
+    def complete(self, count: int = 1) -> None:
+        """Mark *count* admitted requests finished (success or failure)."""
+        with self._mutex:
+            if count > self._depth:
+                raise ValueError(
+                    f"completing {count} with only {self._depth} in flight"
+                )
+            self._depth -= count
+            self.completed += count
+
+    def close(self) -> None:
+        """Refuse all future admissions (drain mode)."""
+        with self._mutex:
+            self._closed = True
+
+    def stats(self) -> Dict[str, object]:
+        with self._mutex:
+            return {
+                "shard": self.shard_id,
+                "depth": self._depth,
+                "queue_depth": self.queue_depth,
+                "high_water": self.high_water,
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "rejected": dict(self.rejected),
+                "draining": self._closed,
+            }

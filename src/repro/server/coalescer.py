@@ -1,0 +1,93 @@
+"""Batch coalescing: size- and deadline-bounded request windows.
+
+One coupled run through ``run_many`` pays conflict-graph construction,
+wave levelling, a worker pool and a group commit; amortising that over a
+*window* of requests is where serving throughput comes from.  A
+:class:`ShardBatcher` accumulates admitted requests for one shard and
+flushes when either bound trips:
+
+* **size** — the window reached ``max_batch`` requests (flush now; the
+  batch is as wide as we let a single wave get);
+* **deadline** — the *oldest* request in the window has waited
+  ``window_ms`` (flush what we have; latency beats batch width).
+
+The batcher is transport- and time-agnostic: callers pass ``now_ms``
+(simulated time in the deterministic engine, loop time in the asyncio
+server) and drive flushes themselves, so the policy is testable without
+a clock or an event loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class ShardBatcher(Generic[T]):
+    """Accumulates one shard's admitted requests into flushable windows."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        max_batch: int,
+        window_ms: float,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {max_batch!r}")
+        if window_ms < 0:
+            raise ValueError(f"window_ms must be >= 0: {window_ms!r}")
+        self.shard_id = shard_id
+        self.max_batch = max_batch
+        self.window_ms = window_ms
+        self._mutex = threading.Lock()
+        self._pending: List[T] = []
+        self._deadline_ms: Optional[float] = None
+        self.flushes_by_size = 0
+        self.flushes_by_deadline = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def deadline_ms(self) -> Optional[float]:
+        """When the current window must flush, or ``None`` if empty."""
+        return self._deadline_ms
+
+    def add(self, item: T, now_ms: float) -> Optional[List[T]]:
+        """Queue *item*; returns the flushed window if it filled up."""
+        with self._mutex:
+            if not self._pending:
+                self._deadline_ms = now_ms + self.window_ms
+            self._pending.append(item)
+            if len(self._pending) >= self.max_batch:
+                self.flushes_by_size += 1
+                return self._take()
+            return None
+
+    def due(self, now_ms: float) -> bool:
+        """True when the open window's deadline has passed."""
+        with self._mutex:
+            return (
+                self._deadline_ms is not None and now_ms >= self._deadline_ms
+            )
+
+    def flush_due(self, now_ms: float) -> Optional[List[T]]:
+        """Flush the window if its deadline has passed."""
+        with self._mutex:
+            if self._deadline_ms is None or now_ms < self._deadline_ms:
+                return None
+            self.flushes_by_deadline += 1
+            return self._take()
+
+    def flush(self) -> List[T]:
+        """Unconditionally flush whatever is pending (drain/shutdown)."""
+        with self._mutex:
+            return self._take()
+
+    def _take(self) -> List[T]:
+        taken = self._pending
+        self._pending = []
+        self._deadline_ms = None
+        return taken

@@ -1,0 +1,283 @@
+"""Asyncio streams front end: ``DesignServer`` (``repro serve``).
+
+One event loop accepts designer connections and speaks the
+line-delimited JSON protocol; the blocking work — `run_many` waves —
+happens on the engine's per-shard executor threads, so the loop only
+parses frames, admits requests and resolves waiters.  Batch windows are
+flushed by a periodic flusher task on the wall clock.
+
+Shutdown is a drain, not a guillotine: :meth:`stop` closes admission
+(new runs are refused with ``ServerOverloadError(reason="draining")``),
+flushes every partial window, waits for in-flight waves to commit and
+answers their clients before connections close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    ServerError,
+    SessionError,
+)
+from repro.server.engine import PendingRun, ServeEngine, SessionContext
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ScriptCatalog,
+    decode_line,
+    encode_frame,
+    error_frame,
+)
+
+
+def _wall_ms() -> float:
+    return time.monotonic() * 1000.0
+
+
+class DesignServer:
+    """Serves one :class:`~repro.core.coupling.HybridFramework`."""
+
+    def __init__(
+        self,
+        hybrid,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: int = 2,
+        max_batch: int = 16,
+        window_ms: float = 25.0,
+        queue_depth: int = 256,
+        admission_rate_per_s: Optional[float] = None,
+        workers: int = 4,
+        seed: int = 0,
+    ) -> None:
+        self.hybrid = hybrid
+        self.host = host
+        self.port = port
+        self.window_ms = window_ms
+        self.engine = ServeEngine(
+            hybrid,
+            shards=shards,
+            max_batch=max_batch,
+            window_ms=window_ms,
+            queue_depth=queue_depth,
+            admission_rate_per_s=admission_rate_per_s,
+            workers=workers,
+            seed=seed,
+            concurrent=True,
+            now_fn=_wall_ms,
+        )
+        self.catalog = ScriptCatalog()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._flusher: Optional[asyncio.Task] = None
+        self._waiters: Dict[int, asyncio.Future] = {}
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._stopping = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._loop = asyncio.get_running_loop()
+        self.engine.on_batch_complete = self._batch_completed
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        self._flusher = asyncio.create_task(self._flush_windows())
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful drain: refuse new work, finish and answer in-flight."""
+        self._stopping = True
+        if self._flusher is not None:
+            self._flusher.cancel()
+        # engine.close() blocks on in-flight waves — keep the loop alive
+        # so their completion callbacks can resolve waiting clients
+        assert self._loop is not None
+        await self._loop.run_in_executor(None, self.engine.close)
+        if self._waiters:  # pragma: no cover - drain answered everything
+            await asyncio.gather(
+                *self._waiters.values(), return_exceptions=True
+            )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+
+    # -- background flusher ------------------------------------------------
+
+    async def _flush_windows(self) -> None:
+        """Flush deadline-expired batch windows on the wall clock."""
+        interval_s = max(self.window_ms / 2.0, 1.0) / 1000.0
+        while True:
+            await asyncio.sleep(interval_s)
+            self.engine.pump(_wall_ms())
+
+    def _batch_completed(self, batch) -> None:
+        """Engine callback (executor thread): wake the waiting handlers."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(self._resolve_batch, batch)
+
+    def _resolve_batch(self, batch) -> None:
+        for pending in batch:
+            future = self._waiters.pop(pending.ticket, None)
+            if future is not None and not future.done():
+                future.set_result(pending)
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        write_lock = asyncio.Lock()
+        session: Optional[SessionContext] = None
+        run_tasks: Set[asyncio.Task] = set()
+
+        async def send(payload: Dict[str, Any]) -> None:
+            async with write_lock:
+                writer.write(encode_frame(payload))
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = decode_line(line)
+                except ProtocolError as exc:
+                    await send(error_frame(None, exc))
+                    continue
+                op = request["op"]
+                request_id = request.get("id")
+                try:
+                    if op == "ping":
+                        await send({"id": request_id, "ok": True, "pong": True})
+                    elif op == "hello":
+                        session = self._hello(request)
+                        await send(
+                            {
+                                "id": request_id,
+                                "ok": True,
+                                "session": session.session_id,
+                                "shard": session.shard_id,
+                                "protocol": PROTOCOL_VERSION,
+                            }
+                        )
+                    elif op == "run":
+                        task = asyncio.create_task(
+                            self._run(send, request_id, session, request)
+                        )
+                        run_tasks.add(task)
+                        task.add_done_callback(run_tasks.discard)
+                    elif op == "stats":
+                        await send(
+                            {
+                                "id": request_id,
+                                "ok": True,
+                                "stats": self.engine.stats(),
+                            }
+                        )
+                    elif op == "audit":
+                        report = await asyncio.get_running_loop().run_in_executor(
+                            None, self.hybrid.audit
+                        )
+                        await send(
+                            {
+                                "id": request_id,
+                                "ok": True,
+                                "clean": report.clean,
+                                "findings": len(report.findings),
+                            }
+                        )
+                    elif op == "bye":
+                        if run_tasks:
+                            await asyncio.gather(
+                                *run_tasks, return_exceptions=True
+                            )
+                        await send({"id": request_id, "ok": True, "bye": True})
+                        break
+                except ReproError as exc:
+                    await send(error_frame(request_id, exc))
+            if run_tasks:
+                await asyncio.gather(*run_tasks, return_exceptions=True)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - already torn down
+                pass
+
+    def _hello(self, request: Dict[str, Any]) -> SessionContext:
+        for field in ("user", "team", "library"):
+            if not request.get(field):
+                raise ProtocolError(f"hello is missing {field!r}")
+        return self.engine.open_session(
+            user=request["user"],
+            team=request["team"],
+            library_name=request["library"],
+            project_name=request.get("project"),
+        )
+
+    async def _run(
+        self,
+        send,
+        request_id: Any,
+        session: Optional[SessionContext],
+        request: Dict[str, Any],
+    ) -> None:
+        """Admit one run, await its batch's commit, answer the client."""
+        try:
+            if session is None:
+                raise SessionError("run before hello: no session context")
+            cell = request.get("cell")
+            if not cell:
+                raise ProtocolError("run request names no cell")
+            activity = request.get("activity", "")
+            kwargs = self.catalog.resolve(
+                activity, request.get("script"), request.get("params")
+            )
+            reads = tuple(
+                (str(lib), str(c)) for lib, c in request.get("reads", [])
+            )
+            loop = asyncio.get_running_loop()
+            future: asyncio.Future = loop.create_future()
+            pending = self.engine.submit(
+                session, cell, activity, kwargs=kwargs, reads=reads
+            )
+            self._waiters[pending.ticket] = future
+            done: PendingRun = await future
+            payload: Dict[str, Any] = {
+                "id": request_id,
+                "ok": done.outcome is not None and done.outcome.ok,
+                "status": done.status,
+                "shard": done.shard_id,
+                "latency_ms": round(done.latency_ms, 3),
+            }
+            if done.outcome is not None and done.outcome.error is not None:
+                payload["error"] = {
+                    "type": type(done.outcome.error).__name__,
+                    "message": str(done.outcome.error),
+                }
+            await send(payload)
+        except ServerError as exc:
+            await send(error_frame(request_id, exc))
+        except ReproError as exc:
+            await send(error_frame(request_id, exc))

@@ -1,0 +1,449 @@
+"""The transport-free serving core: sessions, shards, batches, waves.
+
+:class:`ServeEngine` is everything the design server does *except*
+sockets: it validates session context against JCF resources, routes each
+run request to a shard by its library, applies admission control,
+coalesces admitted requests into windows and executes each flushed
+window as one ``run_many`` wave under that shard's commit-group scope.
+
+Two execution modes:
+
+* **deterministic conductor** (``concurrent=False``, the default) —
+  flushed batches queue up and :meth:`pump` executes them on the calling
+  thread in ascending shard order.  Simulated time still overlaps the
+  shards (each shard owns a clock lane; the engine makespan is the
+  *maximum* lane end, not the sum), and the whole replay is
+  reproducible: same arrivals, same seed → same batches, same waves,
+  byte-identical OMS snapshot at any worker count.
+* **threaded** (``concurrent=True``) — each shard owns a single-thread
+  executor and flushed batches run concurrently across shards (batches
+  on one shard stay serial).  This is the mode the asyncio front end
+  uses; wall-clock speedup is real but byte-level replay identity is
+  not promised (execution interleaving chooses oid allocation order).
+
+The engine is deliberately ignorant of transports and of scripts: the
+protocol layer resolves named scripts into activity kwargs before
+submitting here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.scheduler import RunOutcome, RunRequest
+from repro.errors import SessionError
+from repro.server.admission import AdmissionController, TokenBucket
+from repro.server.coalescer import ShardBatcher
+from repro.server.shards import ShardMap
+from repro.workloads.metrics import percentiles
+
+
+@dataclasses.dataclass
+class SessionContext:
+    """One designer session's resolved, validated working context."""
+
+    session_id: str
+    user: str
+    team: str
+    project: Any        # JCFProject
+    library: Any        # fmcad Library
+    library_name: str
+    shard_id: int
+    requests_submitted: int = 0
+
+
+@dataclasses.dataclass
+class PendingRun:
+    """One admitted run request travelling through a shard's pipeline."""
+
+    ticket: int
+    session: SessionContext
+    request: RunRequest
+    submit_ms: float
+    shard_id: int
+    status: str = "queued"
+    outcome: Optional[RunOutcome] = None
+    completed_ms: float = 0.0
+    latency_ms: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.outcome is not None
+
+
+class _ShardRuntime:
+    """Everything one shard owns: lane, admission, batcher, work queue."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        lane,
+        admission: AdmissionController,
+        batcher: ShardBatcher,
+    ) -> None:
+        self.shard_id = shard_id
+        self.lane = lane
+        self.admission = admission
+        self.batcher = batcher
+        #: flushed-but-unexecuted batches (deterministic mode)
+        self.ready: List[Tuple[List[PendingRun], float]] = []
+        #: in-flight executor futures (threaded mode)
+        self.futures: List[Future] = []
+        self.executor: Optional[ThreadPoolExecutor] = None
+        self.batch_seq = 0
+        self.batches_run = 0
+        self.waves_run = 0
+        self.runs_ok = 0
+        self.runs_failed = 0
+
+
+class ServeEngine:
+    """Multiplexes designer sessions onto sharded ``run_many`` waves."""
+
+    def __init__(
+        self,
+        hybrid,
+        shards: int = 1,
+        max_batch: int = 32,
+        window_ms: float = 2000.0,
+        queue_depth: int = 512,
+        admission_rate_per_s: Optional[float] = None,
+        admission_burst: Optional[int] = None,
+        workers: int = 4,
+        seed: int = 0,
+        concurrent: bool = False,
+        now_fn=None,
+    ) -> None:
+        self.hybrid = hybrid
+        self.clock = hybrid.clock
+        self.db = hybrid.jcf.db
+        self.workers = workers
+        self.seed = seed
+        self.concurrent = concurrent
+        #: admission/window/latency timeline.  ``None`` (the default)
+        #: runs on simulated time — completion stamps come from the
+        #: shard lane, so a replay's latency distribution is exactly
+        #: reproducible.  The asyncio server passes a monotonic
+        #: wall-clock function instead; the shard lanes keep accounting
+        #: simulated cost either way.
+        self.now_fn = now_fn
+        #: callback invoked with each completed batch (executor thread
+        #: in threaded mode) — the asyncio front end resolves waiters
+        self.on_batch_complete = None
+        self.shard_map = ShardMap(shards)
+        # the refactor seam: swap the database's global lock manager for
+        # per-shard managers routed by the same map that places batches
+        self.db.shard_locks(self.shard_map.shard_of_key, shards)
+        #: simulated instant the serving timeline starts; every shard
+        #: lane opens here so lane ends are comparable
+        self.epoch_ms = self.clock.now_ms
+        self._runtimes: List[_ShardRuntime] = []
+        for shard_id in range(shards):
+            bucket = None
+            if admission_rate_per_s is not None:
+                burst = admission_burst or max(1, int(admission_rate_per_s))
+                bucket = TokenBucket(
+                    admission_rate_per_s, burst, start_ms=self._now()
+                )
+            runtime = _ShardRuntime(
+                shard_id,
+                lane=self.clock.open_lane(
+                    f"shard{shard_id}", start_ms=self.epoch_ms
+                ),
+                admission=AdmissionController(
+                    shard_id, queue_depth, bucket=bucket
+                ),
+                batcher=ShardBatcher(shard_id, max_batch, window_ms),
+            )
+            if concurrent:
+                runtime.executor = ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix=f"shard{shard_id}",
+                )
+            self._runtimes.append(runtime)
+        self._mutex = threading.Lock()
+        self._sessions: Dict[str, SessionContext] = {}
+        self._session_seq = 0
+        self._ticket_seq = 0
+        self._completed: List[PendingRun] = []
+        self._closed = False
+
+    def _now(self) -> float:
+        """Current admission-timeline time (simulated unless now_fn set)."""
+        if self.now_fn is not None:
+            return self.now_fn()
+        return self.clock.now_ms
+
+    # -- sessions ----------------------------------------------------------
+
+    def open_session(
+        self,
+        user: str,
+        team: str,
+        library_name: str,
+        project_name: Optional[str] = None,
+    ) -> SessionContext:
+        """Validate and register one designer session.
+
+        The session binds a user, a team and the library the team works
+        in; every later ``run`` request executes in this context.  The
+        checks mirror what the JCF desktop enforces interactively.
+        """
+        resources = self.hybrid.jcf.resources
+        if resources.find_user(user) is None:
+            raise SessionError(f"unknown user {user!r}")
+        if resources.find_team(team) is None:
+            raise SessionError(f"unknown team {team!r}")
+        if not resources.is_member(user, team):
+            raise SessionError(f"user {user!r} is not a member of {team!r}")
+        library = self.hybrid.fmcad.library(library_name)
+        project = self.hybrid.jcf.project(project_name or library_name)
+        if not resources.team_supports_project(team, project.oid):
+            raise SessionError(
+                f"team {team!r} is not assigned to project {project.name!r}"
+            )
+        with self._mutex:
+            self._session_seq += 1
+            session = SessionContext(
+                session_id=f"s{self._session_seq:05d}",
+                user=user,
+                team=team,
+                project=project,
+                library=library,
+                library_name=library_name,
+                shard_id=self.shard_map.shard_of_library(library_name),
+            )
+            self._sessions[session.session_id] = session
+        return session
+
+    def session(self, session_id: str) -> SessionContext:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SessionError(f"unknown session {session_id!r}") from None
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        session: SessionContext,
+        cell_name: str,
+        activity: str,
+        kwargs: Optional[Dict[str, Any]] = None,
+        reads: Sequence[Tuple[str, str]] = (),
+        now_ms: Optional[float] = None,
+    ) -> PendingRun:
+        """Admit one run request onto its session's shard.
+
+        Raises :class:`~repro.errors.ServerOverloadError` when the shard
+        refuses it (bounded queue, token bucket, draining) — the request
+        was never queued and has no ticket.  On success the returned
+        :class:`PendingRun` completes when its window's wave executes.
+        """
+        runtime = self._runtimes[session.shard_id]
+        now = self._now() if now_ms is None else now_ms
+        runtime.admission.admit(now)
+        request = RunRequest(
+            user=session.user,
+            project=session.project,
+            library=session.library,
+            cell_name=cell_name,
+            activity=activity,
+            kwargs=dict(kwargs or {}),
+            reads=tuple(reads),
+        )
+        with self._mutex:
+            self._ticket_seq += 1
+            pending = PendingRun(
+                ticket=self._ticket_seq,
+                session=session,
+                request=request,
+                submit_ms=now,
+                shard_id=session.shard_id,
+            )
+        session.requests_submitted += 1
+        flushed = runtime.batcher.add(pending, now)
+        if flushed:
+            self._dispatch(runtime, flushed, now)
+        return pending
+
+    # -- execution ---------------------------------------------------------
+
+    def _dispatch(
+        self,
+        runtime: _ShardRuntime,
+        batch: List[PendingRun],
+        flush_ms: float,
+    ) -> None:
+        if runtime.executor is not None:
+            runtime.futures.append(
+                runtime.executor.submit(
+                    self._execute_batch, runtime, batch, flush_ms
+                )
+            )
+        else:
+            runtime.ready.append((batch, flush_ms))
+
+    def _execute_batch(
+        self,
+        runtime: _ShardRuntime,
+        batch: List[PendingRun],
+        flush_ms: float,
+    ) -> None:
+        """Run one flushed window as a ``run_many`` wave on its shard.
+
+        Executes inside the shard's clock lane: the wave's critical path
+        folds into the shard timeline (shards overlap in simulated time)
+        and a shard idle until *flush_ms* first fast-forwards to it — a
+        batch cannot start before its window flushed.
+        """
+        runtime.batch_seq += 1
+        scope = f"shard{runtime.shard_id}"
+        prefix = f"s{runtime.shard_id}b{runtime.batch_seq:04d}_"
+        with self.clock.use_lane(runtime.lane):
+            if self.now_fn is None:
+                # simulated conductor: a batch cannot start before its
+                # window flushed; fast-forward an idle shard lane
+                self.clock.advance_to(flush_ms)
+            result = self.hybrid.run_many(
+                [pending.request for pending in batch],
+                workers=self.workers,
+                seed=self.seed,
+                commit_scope=scope,
+                sandbox_prefix=prefix,
+            )
+            end_ms = self.clock.now_ms
+        if self.now_fn is not None:
+            # wall-clock serving: latency is measured on the same
+            # timeline submissions were stamped on
+            end_ms = self.now_fn()
+        for pending, outcome in zip(batch, result.outcomes):
+            pending.outcome = outcome
+            pending.status = outcome.status
+            pending.completed_ms = end_ms
+            pending.latency_ms = end_ms - pending.submit_ms
+            if outcome.ok:
+                runtime.runs_ok += 1
+            else:
+                runtime.runs_failed += 1
+        runtime.admission.complete(len(batch))
+        runtime.batches_run += 1
+        runtime.waves_run += len(result.waves)
+        with self._mutex:
+            self._completed.extend(batch)
+        if self.on_batch_complete is not None:
+            self.on_batch_complete(list(batch))
+
+    def pump(self, now_ms: Optional[float] = None) -> int:
+        """Flush due windows and run queued batches; returns runs executed.
+
+        In deterministic mode this **is** the conductor: batches execute
+        on the calling thread in ascending shard order, so the whole
+        schedule — and therefore oid allocation and the final snapshot —
+        is a pure function of arrivals and seed.  In threaded mode it
+        only flushes due windows (their executors do the running).
+        """
+        now = self._now() if now_ms is None else now_ms
+        executed = 0
+        for runtime in self._runtimes:
+            due = runtime.batcher.flush_due(now)
+            if due:
+                self._dispatch(runtime, due, now)
+        for runtime in self._runtimes:
+            while runtime.ready:
+                batch, flush_ms = runtime.ready.pop(0)
+                self._execute_batch(runtime, batch, flush_ms)
+                executed += len(batch)
+        return executed
+
+    def drain(self, now_ms: Optional[float] = None) -> int:
+        """Flush every partial window and finish all in-flight work.
+
+        Folds the shard lanes back into the master clock afterwards, so
+        ``clock.now_ms - epoch_ms`` on the master timeline reads the
+        serving makespan (the busiest shard's end).
+        """
+        now = self._now() if now_ms is None else now_ms
+        executed = 0
+        for runtime in self._runtimes:
+            leftover = runtime.batcher.flush()
+            if leftover:
+                self._dispatch(runtime, leftover, now)
+        executed += self.pump(now)
+        for runtime in self._runtimes:
+            for future in runtime.futures:
+                future.result()
+            runtime.futures.clear()
+        self.clock.advance_to(
+            max(runtime.lane.now_ms for runtime in self._runtimes)
+        )
+        return executed
+
+    def close(self) -> None:
+        """Stop admitting, drain everything in flight, shut executors down."""
+        for runtime in self._runtimes:
+            runtime.admission.close()
+        self.drain()
+        self._closed = True
+        for runtime in self._runtimes:
+            if runtime.executor is not None:
+                runtime.executor.shutdown(wait=True)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def makespan_ms(self) -> float:
+        """Simulated serving time so far: busiest shard lane vs. epoch."""
+        return (
+            max(runtime.lane.now_ms for runtime in self._runtimes)
+            - self.epoch_ms
+        )
+
+    def completed(self) -> List[PendingRun]:
+        with self._mutex:
+            return list(self._completed)
+
+    def latencies_ms(self) -> List[float]:
+        """Submission-to-commit simulated latency of every completed run."""
+        with self._mutex:
+            return [pending.latency_ms for pending in self._completed]
+
+    def stats(self) -> Dict[str, object]:
+        """The ``stats`` request: queue depths, latency tail, shard detail."""
+        with self._mutex:
+            completed = list(self._completed)
+            sessions = len(self._sessions)
+        latency = percentiles([p.latency_ms for p in completed])
+        per_shard = []
+        for runtime in self._runtimes:
+            per_shard.append(
+                {
+                    "admission": runtime.admission.stats(),
+                    "window_pending": len(runtime.batcher),
+                    "flushes_by_size": runtime.batcher.flushes_by_size,
+                    "flushes_by_deadline": runtime.batcher.flushes_by_deadline,
+                    "batches_run": runtime.batches_run,
+                    "waves_run": runtime.waves_run,
+                    "runs_ok": runtime.runs_ok,
+                    "runs_failed": runtime.runs_failed,
+                    "lane_ms": runtime.lane.now_ms - self.epoch_ms,
+                }
+            )
+        return {
+            "shards": self.shard_map.shards,
+            "sessions": sessions,
+            "completed_runs": len(completed),
+            "ok_runs": sum(1 for p in completed if p.outcome and p.outcome.ok),
+            "makespan_ms": self.makespan_ms,
+            "latency_ms": latency,
+            "per_shard": per_shard,
+            "locks": self.db.locks.stats(),
+            "commits": {
+                "commit_count": self.db.commit_count,
+                "flush_count": self.db.flush_count,
+                "coalesced_commits": self.db.coalesced_commits,
+            },
+        }

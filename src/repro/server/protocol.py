@@ -1,0 +1,199 @@
+"""Line-delimited JSON wire protocol and the named-script catalog.
+
+Each frame is one JSON object on one line (``\\n``-terminated, UTF-8).
+Requests carry an ``op`` and a client-chosen ``id`` echoed in the
+response; responses carry ``ok`` plus either result fields or an
+``error`` object ``{"type", "message", ...}`` naming the repro error
+class that refused the request.
+
+Operations:
+
+``hello``  — ``{user, team, library[, project]}`` → opens the session
+``run``    — ``{cell, activity, script[, params][, reads]}`` → one
+             coupled run; answered when its batch window's wave commits
+``stats``  — queue depths, latency percentiles, per-shard counters
+``audit``  — the framework-wide audit report (finding count + findings)
+``ping``   — liveness
+``bye``    — close the connection after the in-flight runs answer
+
+Closures cannot cross a socket, so ``run`` names its edit script: the
+:class:`ScriptCatalog` resolves ``(activity, script)`` plus JSON-safe
+``params`` into the callable kwargs the tool wrappers expect — the same
+registry idea the durable-flow orchestrator uses for its named flow
+scripts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.scheduler import ACTIVITIES
+from repro.errors import ProtocolError, ReproError
+from repro.workloads import scripts as _scripts
+
+#: protocol revision announced in every ``hello`` response
+PROTOCOL_VERSION = 1
+
+#: request operations the server understands
+OPERATIONS = ("hello", "run", "stats", "audit", "ping", "bye")
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """One frame: compact JSON, sorted keys, newline-terminated."""
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a request dict (validated shell)."""
+    text = line.decode("utf-8", errors="replace").strip()
+    if not text:
+        raise ProtocolError("empty frame")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame must be a JSON object")
+    op = payload.get("op")
+    if op not in OPERATIONS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPERATIONS}")
+    return payload
+
+
+def error_frame(
+    request_id: Any, error: BaseException
+) -> Dict[str, Any]:
+    """The error response for *error*, typed by its class name."""
+    payload: Dict[str, Any] = {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+        },
+    }
+    retry_after = getattr(error, "retry_after_ms", None)
+    if retry_after:
+        payload["error"]["retry_after_ms"] = retry_after
+    shard_id = getattr(error, "shard_id", None)
+    if shard_id is not None and shard_id >= 0:
+        payload["error"]["shard"] = shard_id
+    return payload
+
+
+class ScriptCatalog:
+    """Named, wire-transportable edit scripts per activity.
+
+    Entries are factories taking JSON-safe ``params`` and returning the
+    kwargs dict for that activity's tool wrapper.  Unknown names raise
+    :class:`~repro.errors.ProtocolError` — before admission, so a typo
+    never occupies queue space.
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[
+            Tuple[str, str], Callable[[Dict[str, Any]], Dict[str, Any]]
+        ] = {}
+        self._register_builtins()
+
+    def register(
+        self,
+        activity: str,
+        name: str,
+        factory: Callable[[Dict[str, Any]], Dict[str, Any]],
+    ) -> None:
+        if activity not in ACTIVITIES:
+            raise ProtocolError(f"unknown activity {activity!r}")
+        self._factories[(activity, name)] = factory
+
+    def names(self, activity: str) -> Tuple[str, ...]:
+        return tuple(
+            sorted(n for (a, n) in self._factories if a == activity)
+        )
+
+    def resolve(
+        self,
+        activity: str,
+        script: Optional[str],
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """kwargs for *activity* running *script* with *params*."""
+        if activity not in ACTIVITIES:
+            raise ProtocolError(
+                f"unknown activity {activity!r}; expected one of {ACTIVITIES}"
+            )
+        if script is None:
+            raise ProtocolError(f"run request for {activity!r} names no script")
+        factory = self._factories.get((activity, script))
+        if factory is None:
+            raise ProtocolError(
+                f"unknown script {script!r} for {activity!r}; "
+                f"known: {self.names(activity)}"
+            )
+        try:
+            return factory(dict(params or {}))
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise ProtocolError(
+                f"script {script!r} rejected params {params!r}: {exc}"
+            ) from exc
+
+    def _register_builtins(self) -> None:
+        self.register(
+            "schematic_entry",
+            "inverter_chain",
+            lambda p: {
+                "edit_fn": _scripts.inverter_chain_editor(
+                    int(p.get("stages", 2))
+                )
+            },
+        )
+        self.register(
+            "schematic_entry",
+            "idempotent_inverter",
+            lambda p: {
+                "edit_fn": _scripts.idempotent_inverter_editor(
+                    int(p.get("stages", 2))
+                )
+            },
+        )
+        self.register(
+            "schematic_entry",
+            "subcell_wrapper",
+            lambda p: {
+                "edit_fn": _scripts.subcell_wrapper_editor(
+                    list(p.get("children", []))
+                )
+            },
+        )
+        self.register(
+            "digital_simulation",
+            "inverter_bench",
+            lambda p: {
+                "testbench_fn": _scripts.inverter_chain_bench(
+                    int(p.get("stages", 2))
+                )
+            },
+        )
+        self.register(
+            "layout_entry",
+            "strap_layout",
+            lambda p: {
+                "edit_fn": _scripts.labelled_strap_layout(
+                    list(p.get("nets", ["a", "y"]))
+                )
+            },
+        )
+        self.register(
+            "layout_entry",
+            "idempotent_strap",
+            lambda p: {
+                "edit_fn": _scripts.idempotent_strap_layout(
+                    list(p.get("nets", ["a", "y"]))
+                )
+            },
+        )

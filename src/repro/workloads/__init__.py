@@ -17,7 +17,7 @@ from repro.workloads.designs import (
 )
 from repro.workloads.designers import DesignerAgent, FMCADOnlyAgent, HybridAgent
 from repro.workloads.sessions import MultiUserSimulation, SessionMetrics
-from repro.workloads.metrics import summarize
+from repro.workloads.metrics import percentile, percentiles, summarize
 from repro.workloads.scripts import (
     inverter_chain_bench,
     inverter_chain_editor,
@@ -37,6 +37,8 @@ __all__ = [
     "HybridAgent",
     "MultiUserSimulation",
     "SessionMetrics",
+    "percentile",
+    "percentiles",
     "summarize",
     "inverter_chain_bench",
     "inverter_chain_editor",

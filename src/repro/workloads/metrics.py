@@ -43,6 +43,44 @@ def summarize(values: Sequence[float]) -> Dict[str, float]:
     }
 
 
+def percentile(values: Sequence[float], pct: float) -> float:
+    """The *pct*-th percentile (0..100) by linear interpolation.
+
+    Matches ``numpy.percentile``'s default (linear) method so latency
+    tables read the same as everyone else's.  0.0 for an empty sequence.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile out of range: {pct!r}")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    lower = int(math.floor(rank))
+    upper = int(math.ceil(rank))
+    if lower == upper:
+        return ordered[lower]
+    frac = rank - lower
+    return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
+
+def percentiles(
+    values: Sequence[float], pcts: Sequence[float] = (50.0, 95.0, 99.0)
+) -> Dict[str, float]:
+    """p50/p95/p99-style summary: ``{"p50": ..., "p95": ..., "p99": ...}``.
+
+    The latency-tail view every serving benchmark should report instead
+    of a mean; keys are ``p<pct>`` with trailing ``.0`` trimmed.
+    """
+    ordered = sorted(float(v) for v in values) if values else []
+    out: Dict[str, float] = {}
+    for pct in pcts:
+        label = f"{pct:g}"
+        out[f"p{label}"] = percentile(ordered, pct) if ordered else 0.0
+    return out
+
+
 def ratio(numerator: float, denominator: float) -> float:
     """Safe ratio; infinity when the denominator is zero but not the numerator."""
     if denominator == 0:

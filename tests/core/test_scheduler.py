@@ -312,3 +312,107 @@ class TestFaultPaths:
         assert all(o.ok for o in result.outcomes)
         staging_root = hybrid.jcf.staging.root
         assert not any(p.is_dir() for p in staging_root.iterdir())
+
+
+class TestInLaneBatches:
+    """run_many driven from inside a clock lane (the serving path)."""
+
+    def test_batch_inside_lane_reports_makespan(self, adopted_cells):
+        """Regression: in-lane batches used to report makespan 0.0 and
+        leak their wave ends into the master clock."""
+        hybrid, project, library, cells = adopted_cells
+        requests = [
+            RunRequest(
+                "alice", project, library, cell, "schematic_entry",
+                kwargs={"edit_fn": build_inverter_editor_fn(2)},
+            )
+            for cell in cells[:2]
+        ]
+        master_before = hybrid.clock._now_ms
+        lane = hybrid.clock.open_lane("shard0")
+        with hybrid.clock.use_lane(lane):
+            result = hybrid.run_many(requests, workers=2)
+        assert all(o.ok for o in result.outcomes)
+        assert result.makespan_ms > 0.0
+        assert lane.now_ms == pytest.approx(lane.start_ms + result.makespan_ms)
+        # the master clock is only advanced by an explicit outer fold
+        assert hybrid.clock._now_ms == master_before
+
+    def test_consecutive_batches_account_independently(self, adopted_cells):
+        hybrid, project, library, cells = adopted_cells
+        lane = hybrid.clock.open_lane("shard0")
+        makespans = []
+        for cell in cells[:2]:
+            request = RunRequest(
+                "alice", project, library, cell, "schematic_entry",
+                kwargs={"edit_fn": build_inverter_editor_fn(2)},
+            )
+            with hybrid.clock.use_lane(lane):
+                result = hybrid.run_many([request], workers=1)
+            assert result.outcomes[0].ok
+            makespans.append(result.makespan_ms)
+        # each batch reports its own critical path, and the lane holds
+        # their serial sum — nothing leaked between the two batches
+        assert all(m > 0.0 for m in makespans)
+        assert lane.elapsed_ms == pytest.approx(sum(makespans))
+
+
+class TestConcurrentBatches:
+    """Two schedulers with distinct commit scopes running at once."""
+
+    def test_scoped_batches_run_concurrently(self, hybrid):
+        import threading
+
+        resources = hybrid.jcf.resources
+        setups = []
+        for t in range(2):
+            library = hybrid.fmcad.create_library(f"par{t}")
+            cells = [f"p{t}c{i}" for i in range(3)]
+            for cell in cells:
+                library.create_cell(cell)
+            project = hybrid.adopt_library("alice", library, f"parproj{t}")
+            resources.assign_team_to_project("admin", "team1", project.oid)
+            for cell in cells:
+                hybrid.prepare_cell("alice", project, cell, team_name="team1")
+            setups.append((project, library, cells))
+
+        results = {}
+        def run_batch(index):
+            project, library, cells = setups[index]
+            requests = [
+                RunRequest(
+                    "alice", project, library, cell, "schematic_entry",
+                    kwargs={"edit_fn": build_inverter_editor_fn(2)},
+                )
+                for cell in cells
+            ]
+            scheduler = BatchScheduler(
+                hybrid, workers=2,
+                commit_scope=f"scope{index}",
+                sandbox_prefix=f"t{index}_",
+            )
+            results[index] = scheduler.run(requests)
+
+        threads = [
+            threading.Thread(target=run_batch, args=(i,)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index in range(2):
+            assert all(o.ok for o in results[index].outcomes), (
+                [str(o.error) for o in results[index].outcomes]
+            )
+        # both scopes coalesced their own commits
+        assert hybrid.jcf.db.coalesced_commits > 0
+        assert hybrid.audit().clean
+
+    def test_same_scope_concurrent_groups_still_refused(self, hybrid):
+        from repro.errors import TransactionError
+
+        db = hybrid.jcf.db
+        with db.group_commit("shared"):
+            with pytest.raises(TransactionError):
+                with db.group_commit("shared"):
+                    pass

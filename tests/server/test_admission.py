@@ -1,0 +1,100 @@
+"""Admission control edge cases: queue-full, token refill, drain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServerOverloadError
+from repro.server.admission import AdmissionController, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_available_immediately(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=3)
+        assert all(bucket.try_take(0.0) for _ in range(3))
+        assert not bucket.try_take(0.0)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=2)  # one token per 100ms
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(50.0)
+        assert bucket.try_take(100.0)  # exactly one token refilled
+        assert not bucket.try_take(100.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=2)
+        assert bucket.try_take(0.0)
+        # a long idle period must not bank more than the burst
+        assert bucket.try_take(60_000.0)
+        assert bucket.try_take(60_000.0)
+        assert not bucket.try_take(60_000.0)
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=1)
+        assert bucket.try_take(1000.0)
+        # an earlier timestamp neither refills nor crashes
+        assert not bucket.try_take(500.0)
+
+    def test_retry_hint_scales_with_deficit(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=1)
+        assert bucket.try_take(0.0)
+        assert bucket.ms_until_available(0.0) == pytest.approx(100.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def test_queue_full_rejection_is_typed(self):
+        admission = AdmissionController(shard_id=3, queue_depth=2)
+        admission.admit(0.0)
+        admission.admit(0.0)
+        with pytest.raises(ServerOverloadError) as excinfo:
+            admission.admit(0.0)
+        assert excinfo.value.reason == "queue-full"
+        assert excinfo.value.shard_id == 3
+        assert admission.stats()["rejected"]["queue-full"] == 1
+
+    def test_completion_reopens_the_queue(self):
+        admission = AdmissionController(shard_id=0, queue_depth=1)
+        admission.admit(0.0)
+        with pytest.raises(ServerOverloadError):
+            admission.admit(0.0)
+        admission.complete()
+        admission.admit(1.0)
+        stats = admission.stats()
+        assert stats["admitted"] == 2
+        assert stats["high_water"] == 1
+
+    def test_token_bucket_throttles_and_recovers(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=1)
+        admission = AdmissionController(0, queue_depth=100, bucket=bucket)
+        admission.admit(0.0)
+        with pytest.raises(ServerOverloadError) as excinfo:
+            admission.admit(10.0)
+        assert excinfo.value.reason == "throttled"
+        assert excinfo.value.retry_after_ms > 0
+        # after one refill interval the request is admitted
+        admission.admit(150.0)
+        assert admission.stats()["rejected"]["throttled"] == 1
+
+    def test_draining_refuses_new_keeps_old(self):
+        admission = AdmissionController(0, queue_depth=4)
+        admission.admit(0.0)
+        admission.close()
+        with pytest.raises(ServerOverloadError) as excinfo:
+            admission.admit(1.0)
+        assert excinfo.value.reason == "draining"
+        # the in-flight request still completes normally
+        admission.complete()
+        assert admission.stats()["depth"] == 0
+        assert admission.stats()["draining"] is True
+
+    def test_over_completion_rejected(self):
+        admission = AdmissionController(0, queue_depth=4)
+        with pytest.raises(ValueError):
+            admission.complete()

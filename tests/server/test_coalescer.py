@@ -1,0 +1,57 @@
+"""Batch windows: size-bounded and deadline-bounded flushing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.coalescer import ShardBatcher
+
+
+class TestShardBatcher:
+    def test_flushes_when_size_bound_hits(self):
+        batcher = ShardBatcher(0, max_batch=3, window_ms=1000.0)
+        assert batcher.add("a", 0.0) is None
+        assert batcher.add("b", 1.0) is None
+        flushed = batcher.add("c", 2.0)
+        assert flushed == ["a", "b", "c"]
+        assert len(batcher) == 0
+        assert batcher.flushes_by_size == 1
+
+    def test_deadline_anchors_on_oldest_request(self):
+        batcher = ShardBatcher(0, max_batch=100, window_ms=50.0)
+        batcher.add("a", 10.0)
+        batcher.add("b", 45.0)  # later arrivals do not extend the window
+        assert not batcher.due(59.0)
+        assert batcher.due(60.0)
+        assert batcher.flush_due(60.0) == ["a", "b"]
+        assert batcher.flushes_by_deadline == 1
+
+    def test_flush_due_before_deadline_is_noop(self):
+        batcher = ShardBatcher(0, max_batch=10, window_ms=100.0)
+        batcher.add("a", 0.0)
+        assert batcher.flush_due(50.0) is None
+        assert len(batcher) == 1
+
+    def test_empty_batcher_is_never_due(self):
+        batcher = ShardBatcher(0, max_batch=10, window_ms=100.0)
+        assert not batcher.due(1e9)
+        assert batcher.flush_due(1e9) is None
+
+    def test_new_window_opens_after_flush(self):
+        batcher = ShardBatcher(0, max_batch=2, window_ms=100.0)
+        batcher.add("a", 0.0)
+        batcher.add("b", 1.0)
+        batcher.add("c", 500.0)
+        assert batcher.deadline_ms == 600.0
+
+    def test_unconditional_flush_drains_partial_window(self):
+        batcher = ShardBatcher(0, max_batch=10, window_ms=1000.0)
+        batcher.add("a", 0.0)
+        assert batcher.flush() == ["a"]
+        assert batcher.deadline_ms is None
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ShardBatcher(0, max_batch=0, window_ms=10.0)
+        with pytest.raises(ValueError):
+            ShardBatcher(0, max_batch=1, window_ms=-1.0)

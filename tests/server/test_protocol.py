@@ -1,0 +1,101 @@
+"""Wire framing and the named-script catalog."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError, ServerOverloadError
+from repro.server.protocol import (
+    ScriptCatalog,
+    decode_line,
+    encode_frame,
+    error_frame,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = {"op": "ping", "id": 7}
+        line = encode_frame(payload)
+        assert line.endswith(b"\n")
+        assert decode_line(line) == payload
+
+    def test_encoding_is_canonical(self):
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"\n")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"not json\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1,2,3]\n")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b'{"op":"format_disk"}\n')
+
+    def test_error_frame_carries_overload_details(self):
+        error = ServerOverloadError(
+            "full", shard_id=2, reason="queue-full", retry_after_ms=50.0
+        )
+        frame = error_frame(9, error)
+        assert frame["ok"] is False
+        assert frame["error"]["type"] == "ServerOverloadError"
+        assert frame["error"]["shard"] == 2
+        assert frame["error"]["retry_after_ms"] == 50.0
+        # frames must survive the wire
+        json.loads(encode_frame(frame).decode())
+
+
+class TestScriptCatalog:
+    def test_builtin_scripts_cover_every_activity(self):
+        catalog = ScriptCatalog()
+        assert "idempotent_inverter" in catalog.names("schematic_entry")
+        assert "inverter_bench" in catalog.names("digital_simulation")
+        assert "strap_layout" in catalog.names("layout_entry")
+
+    def test_resolves_to_wrapper_kwargs(self):
+        catalog = ScriptCatalog()
+        kwargs = catalog.resolve(
+            "schematic_entry", "inverter_chain", {"stages": 3}
+        )
+        assert callable(kwargs["edit_fn"])
+        kwargs = catalog.resolve("digital_simulation", "inverter_bench", {})
+        assert callable(kwargs["testbench_fn"])
+
+    def test_unknown_activity_rejected(self):
+        with pytest.raises(ProtocolError):
+            ScriptCatalog().resolve("place_and_route", "anything")
+
+    def test_unknown_script_rejected(self):
+        with pytest.raises(ProtocolError):
+            ScriptCatalog().resolve("schematic_entry", "no_such_script")
+
+    def test_missing_script_rejected(self):
+        with pytest.raises(ProtocolError):
+            ScriptCatalog().resolve("schematic_entry", None)
+
+    def test_bad_params_become_protocol_errors(self):
+        with pytest.raises(ProtocolError):
+            ScriptCatalog().resolve(
+                "schematic_entry", "inverter_chain", {"stages": "many"}
+            )
+
+    def test_custom_registration(self):
+        catalog = ScriptCatalog()
+        catalog.register(
+            "layout_entry", "custom", lambda p: {"edit_fn": lambda e: None}
+        )
+        assert "custom" in catalog.names("layout_entry")
+        assert callable(
+            catalog.resolve("layout_entry", "custom", {})["edit_fn"]
+        )

@@ -134,3 +134,47 @@ class TestAuditRecover:
         assert "audit: clean" in text
         code, text = run_cli(["audit", "--workspace", str(root)])
         assert code == 0
+
+
+class TestServe:
+    def test_serve_boots_answers_and_drains_on_sigint(self, tmp_path):
+        """`repro serve` over a subprocess: boot, ping over the socket,
+        SIGINT, clean drain."""
+        import json
+        import os
+        import signal
+        import socket
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env["PYTHONUNBUFFERED"] = "1"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--shards", "2", "--window-ms", "10"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env,
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                if "listening on" in line:
+                    port = int(line.split()[2].rsplit(":", 1)[1])
+                    break
+            assert port, "server never reported its address"
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+                s.sendall(b'{"op": "ping", "id": 1}\n')
+                answer = json.loads(s.makefile().readline())
+                assert answer["ok"] and answer["pong"]
+            process.send_signal(signal.SIGINT)
+            remainder = process.communicate(timeout=60)[0]
+            assert process.returncode == 0, remainder
+            assert "stopped cleanly" in remainder
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()

@@ -188,3 +188,59 @@ class TestCommitFlush:
         clock = SimClock(CostModel(commit_flush_ms=4.0))
         clock.charge_commit_flush(3)
         assert clock.elapsed_by_category()["commit_flush"] == 12.0
+
+
+class TestLaneAwareAdvance:
+    """advance_to folds into the bound lane, not over it into the master.
+
+    Regression: a run_many batch driven from inside a lane (a shard
+    executor, a flow step) used to fold its wave ends into the master
+    clock while the caller's lane never advanced — consecutive batches
+    then leaked accounting across each other and reported zero makespan.
+    """
+
+    def test_advance_to_unbound_moves_master(self):
+        clock = SimClock()
+        clock.advance_to(100.0)
+        assert clock.now_ms == 100.0
+
+    def test_advance_to_never_moves_backwards(self):
+        clock = SimClock()
+        clock.advance_to(100.0)
+        clock.advance_to(40.0)
+        assert clock.now_ms == 100.0
+
+    def test_advance_to_inside_lane_moves_lane_only(self):
+        clock = SimClock()
+        clock.charge("x", 50.0)  # master at 50
+        lane = clock.open_lane("shard0")
+        with clock.use_lane(lane):
+            clock.advance_to(400.0)
+            assert clock.now_ms == 400.0
+        assert lane.now_ms == 400.0
+        # master untouched until the lane itself is folded back
+        assert clock.now_ms == 50.0
+
+    def test_open_lane_default_start_is_lane_aware(self):
+        clock = SimClock()
+        outer = clock.open_lane("outer")
+        with clock.use_lane(outer):
+            clock.charge("x", 30.0)
+            inner = clock.open_lane("inner")
+        assert inner.start_ms == 30.0
+
+    def test_consecutive_in_lane_batches_do_not_leak(self):
+        """Two wave-style merges inside one lane accumulate in the lane."""
+        clock = SimClock()
+        shard = clock.open_lane("shard")
+        for batch_end in (1000.0, 2500.0):
+            with clock.use_lane(shard):
+                start = clock.now_ms
+                worker = clock.open_lane("run", start_ms=start)
+                with clock.use_lane(worker):
+                    clock.charge("tool", batch_end - start)
+                clock.advance_to(worker.now_ms)
+        assert shard.now_ms == 2500.0
+        assert clock.now_ms == 0.0  # master still untouched
+        clock.advance_to(shard.now_ms)  # unbound fold: master catches up
+        assert clock.now_ms == 2500.0

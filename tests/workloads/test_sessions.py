@@ -6,6 +6,8 @@ from repro.workloads.metrics import (
     format_table,
     mean,
     median,
+    percentile,
+    percentiles,
     ratio,
     stddev,
     summarize,
@@ -44,6 +46,35 @@ class TestMetricsHelpers:
         lines = table.splitlines()
         assert len(lines) == 4
         assert lines[0].startswith("a ")
+
+    def test_percentile_interpolates(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0.0) == 10.0
+        assert percentile(values, 100.0) == 40.0
+        assert percentile(values, 50.0) == 25.0
+        # linear interpolation between rank positions
+        assert percentile(values, 25.0) == pytest.approx(17.5)
+
+    def test_percentile_handles_unsorted_input(self):
+        assert percentile([40.0, 10.0, 30.0, 20.0], 50.0) == 25.0
+
+    def test_percentile_edge_cases(self):
+        assert percentile([], 95.0) == 0.0
+        assert percentile([7.0], 99.0) == 7.0
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_percentiles_default_tail(self):
+        tail = percentiles([float(n) for n in range(1, 101)])
+        assert set(tail) == {"p50", "p95", "p99"}
+        assert tail["p50"] <= tail["p95"] <= tail["p99"]
+        assert tail["p99"] == pytest.approx(99.01)
+
+    def test_percentiles_custom_points(self):
+        tail = percentiles([1.0, 2.0, 3.0], pcts=(0.0, 100.0))
+        assert tail == {"p0": 1.0, "p100": 3.0}
 
 
 class TestMultiUserSimulation:
