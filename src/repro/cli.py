@@ -204,6 +204,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scheduler workers per shard wave",
     )
     serve.add_argument(
+        "--lease-ttl-ms", type=float, default=30_000.0,
+        help="checkout-lease lifetime between heartbeats; an expired "
+             "lease is reclaimed and its holder fenced at commit time",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive batch failures before a shard's circuit "
+             "breaker opens (requests answered with ShardUnavailableError)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown-ms", type=float, default=5_000.0,
+        help="how long an open breaker fences its shard before letting "
+             "one half-open probe through",
+    )
+    serve.add_argument(
         "--persistence",
         choices=HybridFramework.PERSISTENCE_MODES,
         default="wal",
@@ -535,6 +550,9 @@ def cmd_serve(out, args) -> int:
         queue_depth=args.queue_depth,
         admission_rate_per_s=args.rate_per_s,
         workers=args.workers,
+        lease_ttl_ms=args.lease_ttl_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_ms=args.breaker_cooldown_ms,
     )
 
     async def run() -> None:

@@ -30,6 +30,7 @@ timestamps depend only on the workload, never on thread interleaving.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import threading
 from collections import Counter, deque
 from typing import Deque, Dict, List, Optional, Tuple
@@ -104,6 +105,68 @@ class Lane:
 class _LaneBinding(threading.local):
     def __init__(self) -> None:
         self.stack: List[Lane] = []
+
+
+class DeadlineTimers:
+    """Deterministic expiry timers on caller-supplied timestamps.
+
+    A min-heap of ``(due_ms, key)`` entries driven entirely by the
+    caller's clock — simulated time in the deterministic engine and the
+    lease unit tests, wall time in the asyncio server — so a timer lane
+    never needs a wall-clock sleep to fire.  Re-scheduling a key
+    replaces its deadline (stale heap entries are dropped lazily), and
+    :meth:`pop_due` returns every key whose deadline has passed, in
+    deadline order.  Thread-safe: the serving engine schedules from
+    shard executor threads and pops from the pump.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._heap: List[Tuple[float, int, str]] = []
+        self._due: Dict[str, float] = {}
+        self._seq = 0
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._due)
+
+    def schedule(self, key: str, due_ms: float) -> None:
+        """Arm (or re-arm) *key* to fire at *due_ms*."""
+        with self._mutex:
+            self._seq += 1
+            self._due[key] = due_ms
+            heapq.heappush(self._heap, (due_ms, self._seq, key))
+
+    def cancel(self, key: str) -> bool:
+        """Disarm *key*; returns whether it was armed."""
+        with self._mutex:
+            return self._due.pop(key, None) is not None
+
+    def next_due_ms(self) -> Optional[float]:
+        """Earliest armed deadline, or ``None`` when nothing is armed."""
+        with self._mutex:
+            self._drop_stale()
+            return self._heap[0][0] if self._heap else None
+
+    def pop_due(self, now_ms: float) -> List[str]:
+        """Fire every timer with ``due_ms <= now_ms``, in deadline order."""
+        fired: List[str] = []
+        with self._mutex:
+            while self._heap:
+                due_ms, _, key = self._heap[0]
+                if self._due.get(key) != due_ms:
+                    heapq.heappop(self._heap)  # cancelled or re-armed
+                    continue
+                if due_ms > now_ms:
+                    break
+                heapq.heappop(self._heap)
+                del self._due[key]
+                fired.append(key)
+        return fired
+
+    def _drop_stale(self) -> None:
+        while self._heap and self._due.get(self._heap[0][2]) != self._heap[0][0]:
+            heapq.heappop(self._heap)
 
 
 class SimClock:

@@ -288,6 +288,7 @@ class ConsistencyGuard:
         self._audit_staging(report)
         self._audit_blobs(report)
         self._audit_wal(report)
+        self._audit_leases(report)
         self._audit_integrity(report)
         self._audit_flow_instances(report)
         return report
@@ -307,6 +308,28 @@ class ConsistencyGuard:
             report.findings.append(AuditFinding(
                 "wal-integrity", f"{location}: {classification}"
             ))
+
+    def _audit_leases(self, report: AuditReport) -> None:
+        """Flag expired checkout leases nobody reclaimed, when attached.
+
+        A lease table (published by a serving engine, probed like the
+        WAL) should never hold an expired lease on a quiesced system —
+        recovery's lease sweep or the engine pump reclaims them.  One
+        still live here means a dead session's write claim is blocking
+        successors: a ``stale-lease`` finding.
+        """
+        table = getattr(self.jcf.db, "lease_table", None)
+        if table is None:
+            return
+        now = table.now()
+        for lease in table.live_leases():
+            if lease.expired(now):
+                report.findings.append(AuditFinding(
+                    "stale-lease",
+                    f"{lease.key}: expired at {lease.expires_ms:.0f}ms "
+                    f"(session {lease.session_id}, token {lease.token}) "
+                    f"but never reclaimed",
+                ))
 
     def _each_library(self) -> List[Library]:
         """Every library: the open ones plus any still closed on disk."""

@@ -155,6 +155,8 @@ class RecoveryReport:
     adopted_flows: List[str] = dataclasses.field(default_factory=list)
     #: flow instances whose design context is gone; parked as aborted
     compensated_flows: List[str] = dataclasses.field(default_factory=list)
+    #: expired checkout leases reclaimed from dead served sessions
+    reclaimed_leases: List[str] = dataclasses.field(default_factory=list)
 
     def empty(self) -> bool:
         return not any(
@@ -206,6 +208,7 @@ class CouplingRecovery:
             report.reclaimed_staging_files.append(path.name)
         self._sweep_staging_sandboxes(report)
         self._sweep_wal(report)
+        self._sweep_leases(report)
         self._scrub_storage(report)
         return report
 
@@ -260,6 +263,25 @@ class CouplingRecovery:
         if wal is None:
             return
         report.wal_repairs.extend(wal.repair())
+
+    def _sweep_leases(self, report: RecoveryReport) -> None:
+        """Reclaim expired checkout leases from dead served sessions.
+
+        The lease table is an optional attachment (a serving engine
+        publishes it the same way WAL persistence publishes ``db.wal``).
+        On a quiesced system every expired lease belongs to a session
+        that will never heartbeat again; reclaiming here means a
+        restarted server grants successors immediately instead of
+        waiting for the first pump to notice.
+        """
+        table = getattr(self.jcf.db, "lease_table", None)
+        if table is None:
+            return
+        for lease in table.reclaim_due():
+            report.reclaimed_leases.append(
+                f"{lease.key} (session {lease.session_id}, "
+                f"token {lease.token})"
+            )
 
     def _scrub_storage(self, report: RecoveryReport) -> None:
         """Leave a fully *verified* store, not just a consistent one.

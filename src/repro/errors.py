@@ -384,3 +384,96 @@ class ServerOverloadError(ServerError):
         self.shard_id = shard_id
         self.reason = reason
         self.retry_after_ms = retry_after_ms
+
+
+class DeadlineExceededError(ServerError):
+    """A request's deadline expired before its batch could commit.
+
+    The request is answered instead of occupying a wave slot: expired at
+    submission it is never admitted; expired while coalescing it is shed
+    from the batch before ``run_many`` runs.  Nothing was committed, so
+    the retry contract is simple — resubmit with a fresh deadline.
+    ``retry_after_ms`` may legitimately be ``0.0`` ("retry now, the
+    deadline was yours"); the wire layer must preserve that hint.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_id: int = -1,
+        retry_after_ms: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.retry_after_ms = retry_after_ms
+
+
+class ShardUnavailableError(ServerError):
+    """A shard is fenced by its circuit breaker (wedged or recovering).
+
+    Healthy shards keep serving; requests routed to the fenced shard
+    fail fast with this error instead of queueing behind a wedged
+    executor.  ``state`` is the breaker state that refused the request
+    (``open`` while cooling down, ``half-open`` while a recovery probe
+    is in flight) and ``retry_after_ms`` hints when the next probe may
+    be admitted.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_id: int = -1,
+        state: str = "open",
+        retry_after_ms: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.state = state
+        self.retry_after_ms = retry_after_ms
+
+
+class LeaseError(ServerError):
+    """Base class for checkout-lease protocol violations."""
+
+
+class LeaseHeldError(LeaseError):
+    """Another live session holds the lease on this (library, cell).
+
+    The holder's lease must expire (or be released) before anyone else
+    can acquire it; ``retry_after_ms`` is the time until that expiry.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        key: str = "",
+        holder: str = "",
+        retry_after_ms: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.key = key
+        self.holder = holder
+        self.retry_after_ms = retry_after_ms
+
+
+class LeaseFencedError(LeaseError):
+    """A commit presented a stale or expired fencing token.
+
+    This is the zombie-session guard: a session whose lease expired (and
+    was possibly re-granted to a successor with a higher token) cannot
+    clobber the successor's work at commit time.  ``token`` is what the
+    zombie presented, ``current`` the token the table holds now (``0``
+    when the key has no live lease).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        key: str = "",
+        token: int = 0,
+        current: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.key = key
+        self.token = token
+        self.current = current

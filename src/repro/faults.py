@@ -116,6 +116,14 @@ FAULT_POINTS: Tuple[str, ...] = (
     "flow.persist",           # flow-state transition about to commit
     "flow.resume",            # a persisted flow about to roll forward
     "flow.trigger",           # trigger event about to dispatch a flow
+    # design-server network front end (server/design_server.py) and the
+    # serving engine's dispatch seam (server/engine.py) — the hostile-
+    # network chaos harness drives disconnect-mid-request, lost-response
+    # and crash-mid-batch scenarios through these
+    "net.accept",             # connection accepted, handler not started
+    "net.read",               # one frame read off the socket
+    "net.write",              # one response frame about to hit the wire
+    "server.dispatch",        # a flushed batch about to run its wave
 )
 
 #: Corruption points: places where payload bytes flow to storage and an
@@ -131,6 +139,7 @@ CORRUPTION_POINTS: Tuple[str, ...] = (
     "fmcad.meta",             # serialized .meta about to land on disk
     "oms.snapshot",           # serialized OMS snapshot bytes
     "wal.record",             # encoded WAL record about to be appended
+    "net.frame",              # inbound frame bytes crossing the server
 )
 
 _KNOWN_POINTS = frozenset(FAULT_POINTS) | frozenset(CORRUPTION_POINTS)

@@ -60,6 +60,12 @@ class CheckoutManager:
         #: recovery can cancel tickets it only knows by name
         self._library_resolver = library_resolver
         self._active: Dict[str, CheckoutTicket] = {}
+        #: optional commit-time fence installed by a serving layer; called
+        #: with (ticket, library) before a checkin writes its version, so
+        #: a session whose server-side lease was superseded cannot commit
+        self._checkin_guard: Optional[
+            Callable[[CheckoutTicket, Library], None]
+        ] = None
         #: accounting for bench_multiuser
         self.denied_checkouts = 0
         self.granted_checkouts = 0
@@ -68,6 +74,18 @@ class CheckoutManager:
         #: working files materialised by cloning the version file
         #: in-kernel (reflink / copy_file_range) instead of a userspace copy
         self.cloned_working_files = 0
+
+    def set_checkin_guard(
+        self,
+        guard: Optional[Callable[[CheckoutTicket, Library], None]],
+    ) -> None:
+        """Install (or clear) the commit-time fence for served checkins.
+
+        The guard raises to veto the commit *before* any version is
+        written — the ticket stays open, the working file survives, and
+        the cellview lock is untouched, so the refusal needs no repair.
+        """
+        self._checkin_guard = guard
 
     # -- queries ----------------------------------------------------------------
 
@@ -169,6 +187,8 @@ class CheckoutManager:
             )
         if data is None:
             data = ticket.working_path.read_bytes()
+        if self._checkin_guard is not None:
+            self._checkin_guard(ticket, library)
         version = library.write_version(cellview, data, author=ticket.user)
         # the version file now exists but the ticket is still open — a
         # crash here is the classic half-checkin recovery must repair

@@ -10,6 +10,11 @@ library-style and in-process.  ``repro.server`` adds the served layer:
   token-bucket admission (typed fail-fast rejection, never collapse);
 * :mod:`repro.server.coalescer` — size- and deadline-bounded batch
   windows that flush one ``run_many`` wave per shard;
+* :mod:`repro.server.leases` — per-(library, cell) checkout leases with
+  heartbeat renewal and fencing tokens (zombie sessions cannot clobber
+  their successors);
+* :mod:`repro.server.health` — per-shard circuit breakers fencing a
+  wedged shard while healthy shards keep serving;
 * :mod:`repro.server.engine` — :class:`ServeEngine`, the transport-free
   core multiplexing sessions onto shards (deterministic conductor mode
   for byte-identical replays, threaded mode for wall-clock serving);
@@ -22,6 +27,8 @@ library-style and in-process.  ``repro.server`` adds the served layer:
 from repro.server.admission import AdmissionController, TokenBucket
 from repro.server.coalescer import ShardBatcher
 from repro.server.engine import PendingRun, ServeEngine, SessionContext
+from repro.server.health import CircuitBreaker
+from repro.server.leases import Lease, LeaseTable, lease_key
 from repro.server.protocol import ScriptCatalog, decode_line, encode_frame
 from repro.server.shards import ShardMap
 
@@ -32,6 +39,10 @@ __all__ = [
     "PendingRun",
     "ServeEngine",
     "SessionContext",
+    "CircuitBreaker",
+    "Lease",
+    "LeaseTable",
+    "lease_key",
     "ScriptCatalog",
     "decode_line",
     "encode_frame",

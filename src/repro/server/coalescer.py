@@ -86,6 +86,22 @@ class ShardBatcher(Generic[T]):
         with self._mutex:
             return self._take()
 
+    def remove(self, item: T) -> bool:
+        """Pull *item* out of the open window (client gone before flush).
+
+        Identity comparison, not equality: the engine cancels a specific
+        pending run object.  An emptied window drops its deadline so the
+        flusher does not dispatch a zero-length batch.
+        """
+        with self._mutex:
+            for index, queued in enumerate(self._pending):
+                if queued is item:
+                    del self._pending[index]
+                    if not self._pending:
+                        self._deadline_ms = None
+                    return True
+            return False
+
     def _take(self) -> List[T]:
         taken = self._pending
         self._pending = []

@@ -1,0 +1,118 @@
+"""Per-shard health accounting: a closed→open→half-open circuit breaker.
+
+A wedged shard — its scheduler crashing every wave, its storage path
+poisoned — must not be allowed to eat every request hashed to it while
+healthy shards idle.  Each shard runtime carries a :class:`CircuitBreaker`:
+
+* **closed** — normal service; consecutive batch failures are counted,
+  and at ``threshold`` the breaker trips open.
+* **open** — every admit is refused with a typed
+  :class:`~repro.errors.ShardUnavailableError` whose ``retry_after_ms``
+  points past the cooldown, so clients back off instead of piling on.
+* **half-open** — after the cooldown one *probe* request is let through;
+  success closes the breaker, failure re-opens it for another cooldown.
+
+A "failure" is batch-level: ``run_many`` raising, or any run in the
+wave crashing (``RUN_CRASHED``).  Tool failures (``RUN_FAILED``) are the
+design's problem, not the shard's, and do not count.
+
+All timestamps are caller-supplied and live on the engine's admission
+timeline (wall time under the asyncio server, submit time under the
+deterministic pump) — never on the simulated shard lanes, whose large
+synthetic values would push the cooldown out of reach.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ShardUnavailableError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-counting state machine fencing one shard."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        threshold: int = 3,
+        cooldown_ms: float = 5_000.0,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1: {threshold!r}")
+        if cooldown_ms <= 0:
+            raise ValueError(f"cooldown_ms must be positive: {cooldown_ms!r}")
+        self.shard_id = shard_id
+        self.threshold = threshold
+        self.cooldown_ms = cooldown_ms
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.open_until_ms = 0.0
+        self._probe_in_flight = False
+        self.trips = 0
+        self.probes = 0
+        self.rejected = 0
+        self.recoveries = 0
+
+    def admit(self, now_ms: float) -> None:
+        """Gate one request; raises ShardUnavailableError when fenced.
+
+        Transitions open→half-open lazily once the cooldown has elapsed;
+        in half-open exactly one probe is admitted and later arrivals
+        are refused until it settles.
+        """
+        if self.state == OPEN:
+            if now_ms < self.open_until_ms:
+                self.rejected += 1
+                raise ShardUnavailableError(
+                    f"shard {self.shard_id} is fenced "
+                    f"({self.consecutive_failures} consecutive failures)",
+                    shard_id=self.shard_id,
+                    state=OPEN,
+                    retry_after_ms=max(self.open_until_ms - now_ms, 0.0),
+                )
+            self.state = HALF_OPEN
+            self._probe_in_flight = False
+        if self.state == HALF_OPEN:
+            if self._probe_in_flight:
+                self.rejected += 1
+                raise ShardUnavailableError(
+                    f"shard {self.shard_id} is half-open with a probe "
+                    f"in flight",
+                    shard_id=self.shard_id,
+                    state=HALF_OPEN,
+                    retry_after_ms=self.cooldown_ms,
+                )
+            self._probe_in_flight = True
+            self.probes += 1
+
+    def record_success(self, now_ms: float) -> None:
+        """A batch completed without crashes; heal the shard."""
+        if self.state == HALF_OPEN:
+            self.recoveries += 1
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._probe_in_flight = False
+
+    def record_failure(self, now_ms: float) -> None:
+        """A batch crashed; trip the breaker at the threshold."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or self.consecutive_failures >= self.threshold:
+            self.state = OPEN
+            self.open_until_ms = now_ms + self.cooldown_ms
+            self._probe_in_flight = False
+            self.trips += 1
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+            "probes": self.probes,
+            "rejected": self.rejected,
+            "recoveries": self.recoveries,
+        }

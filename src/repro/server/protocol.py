@@ -8,13 +8,29 @@ class that refused the request.
 
 Operations:
 
-``hello``  — ``{user, team, library[, project]}`` → opens the session
-``run``    — ``{cell, activity, script[, params][, reads]}`` → one
-             coupled run; answered when its batch window's wave commits
-``stats``  — queue depths, latency percentiles, per-shard counters
-``audit``  — the framework-wide audit report (finding count + findings)
-``ping``   — liveness
-``bye``    — close the connection after the in-flight runs answer
+``hello``   — ``{user, team, library[, project][, resume]}`` → opens a
+              session, or (``resume``: a prior session id) rebinds this
+              connection to it — leases and the idempotency window
+              survive a reconnect
+``run``     — ``{cell, activity, script[, params][, reads]
+              [, deadline_ms][, request_key]}`` → one coupled run;
+              answered when its batch window's wave commits.
+              ``deadline_ms`` is a relative budget: a run whose window
+              flushes too late is answered with ``DeadlineExceededError``
+              instead of executing.  ``request_key`` makes the run
+              idempotent per session: retrying after a lost ack returns
+              the original result (``deduped: true``), never a second
+              commit
+``lease``   — ``{cell}`` → grant/renew this session's write lease on the
+              cell; the response carries the fencing ``token`` and
+              ``expires_ms``
+``release`` — ``{cell}`` → drop the lease early
+``stats``   — queue depths, latency percentiles, per-shard counters
+``audit``   — the framework-wide audit report (finding count + findings)
+``ping``    — liveness; also the lease heartbeat (renews every lease the
+              connection's session holds)
+``bye``     — close the connection after the in-flight runs answer,
+              releasing the session's leases
 
 Closures cannot cross a socket, so ``run`` names its edit script: the
 :class:`ScriptCatalog` resolves ``(activity, script)`` plus JSON-safe
@@ -33,10 +49,15 @@ from repro.errors import ProtocolError, ReproError
 from repro.workloads import scripts as _scripts
 
 #: protocol revision announced in every ``hello`` response
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: request operations the server understands
-OPERATIONS = ("hello", "run", "stats", "audit", "ping", "bye")
+OPERATIONS = ("hello", "run", "lease", "release", "stats", "audit", "ping", "bye")
+
+#: largest frame the protocol accepts; anything longer is answered with a
+#: typed error and the connection survives (the transport enforces its
+#: own, larger hard cap past which the line is unrecoverable)
+MAX_FRAME_BYTES = 64 * 1024
 
 
 def encode_frame(payload: Dict[str, Any]) -> bytes:
@@ -48,6 +69,10 @@ def encode_frame(payload: Dict[str, Any]) -> bytes:
 
 def decode_line(line: bytes) -> Dict[str, Any]:
     """Parse one received line into a request dict (validated shell)."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"oversized frame: {len(line)} bytes > {MAX_FRAME_BYTES} limit"
+        )
     text = line.decode("utf-8", errors="replace").strip()
     if not text:
         raise ProtocolError("empty frame")
@@ -76,11 +101,17 @@ def error_frame(
         },
     }
     retry_after = getattr(error, "retry_after_ms", None)
-    if retry_after:
+    if retry_after is not None:
+        # a 0.0 hint is legitimate ("retry immediately with a different
+        # request") and must survive the wire — no truthiness tests here
         payload["error"]["retry_after_ms"] = retry_after
     shard_id = getattr(error, "shard_id", None)
     if shard_id is not None and shard_id >= 0:
         payload["error"]["shard"] = shard_id
+    for attribute in ("state", "key", "holder"):
+        value = getattr(error, attribute, None)
+        if value:
+            payload["error"][attribute] = value
     return payload
 
 

@@ -71,6 +71,11 @@ class ReplayReport:
     rejected: Dict[str, int] = dataclasses.field(default_factory=dict)
     completed: int = 0
     ok: int = 0
+    #: rejected-then-retried requests (capped jittered exponential backoff)
+    retries: int = 0
+    #: retries the server answered from its idempotency window instead of
+    #: re-running — each one is a double commit that did not happen
+    dedupe_hits: int = 0
     latencies_ms: List[float] = dataclasses.field(default_factory=list)
     makespan_ms: float = 0.0
     wall_s: float = 0.0
@@ -93,6 +98,8 @@ class ReplayReport:
             "rejected": dict(self.rejected),
             "completed": self.completed,
             "ok": self.ok,
+            "retries": self.retries,
+            "dedupe_hits": self.dedupe_hits,
             "makespan_ms": round(self.makespan_ms, 1),
             "checkins_per_sim_s": round(self.checkins_per_sim_s, 2),
             "latency_ms": {
@@ -224,6 +231,14 @@ def replay_engine(
 # -- socket replay (real clients) -------------------------------------------
 
 
+#: server refusals worth retrying — each carries a ``retry_after_ms`` hint
+RETRYABLE_ERRORS = (
+    "ServerOverloadError",
+    "ShardUnavailableError",
+    "DeadlineExceededError",
+)
+
+
 async def replay_socket(
     host: str,
     port: int,
@@ -231,16 +246,27 @@ async def replay_socket(
     spec: ScenarioSpec,
     max_concurrent: int = 64,
     retry_overload: int = 3,
+    deadline_ms: Optional[float] = None,
+    seed: int = 0,
+    ack_timeout_ms: Optional[float] = 30_000.0,
 ) -> ReplayReport:
     """Replay *plans* as real protocol clients against a live server.
 
     Each session is one connection: hello, its runs (awaiting each
-    answer; overload rejections retry up to *retry_overload* times after
-    the advisory backoff), bye.  A session that cannot connect, errors
-    out mid-protocol or misses an answer counts as *dropped* — the CI
-    smoke gate asserts that number is zero.
+    answer), bye.  Every run carries a ``request_key``, so the retry
+    contract holds end to end: a retryable refusal (overload, fenced
+    shard, missed deadline), a *lost connection mid-request* or an
+    answer that never arrives within *ack_timeout_ms* (the frame was
+    eaten by the wire, though the link looks alive) retries up to
+    *retry_overload* times with capped jittered exponential backoff
+    that honors the server's ``retry_after_ms`` hint — reconnecting and
+    resuming the session when the link died, and counting answers the
+    server deduped instead of re-running.  A session that cannot connect,
+    errors out mid-protocol beyond its retry budget or misses an answer
+    counts as *dropped* — the CI smoke gate asserts that number is zero.
     """
     import asyncio
+    import random
 
     from repro.server.protocol import encode_frame
 
@@ -248,48 +274,127 @@ async def replay_socket(
     gate = asyncio.Semaphore(max_concurrent)
     latencies: List[float] = []
 
-    async def one_session(plan: SessionPlan) -> Dict[str, int]:
-        counts = {"submitted": 0, "admitted": 0, "ok": 0, "dropped": 0}
+    async def one_session(plan: SessionPlan, index: int) -> Dict[str, Any]:
+        rng = random.Random((seed << 16) ^ index)
+        counts = {
+            "submitted": 0,
+            "admitted": 0,
+            "ok": 0,
+            "dropped": 0,
+            "retries": 0,
+            "dedupe_hits": 0,
+        }
         rejected: Dict[str, int] = {}
+        session_id: Optional[str] = None
+        reader: Optional[asyncio.StreamReader] = None
+        writer: Optional[asyncio.StreamWriter] = None
+
+        def close() -> None:
+            if writer is not None:
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+
+        async def call(payload: Dict[str, Any]) -> Dict[str, Any]:
+            writer.write(encode_frame(payload))
+            await writer.drain()
+            if ack_timeout_ms is None:
+                line = await reader.readline()
+            else:
+                try:
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=ack_timeout_ms / 1000.0
+                    )
+                except asyncio.TimeoutError:
+                    # the answer was lost on the wire; the link is no
+                    # longer trustworthy — treat it like a dead peer
+                    raise ConnectionError("no answer within ack timeout")
+            if not line:
+                raise ConnectionError("server closed mid-request")
+            return json.loads(line)
+
+        async def connect() -> None:
+            nonlocal reader, writer, session_id
+            close()
+            reader, writer = await asyncio.open_connection(host, port)
+            payload = {
+                "op": "hello",
+                "id": 0,
+                "user": plan.user,
+                "team": plan.team,
+                "library": plan.library,
+                "project": plan.project,
+            }
+            if session_id is not None:
+                # rebind to the surviving session: leases and the
+                # idempotency window carry across the reconnect
+                payload["resume"] = session_id
+            hello = await call(payload)
+            if not hello.get("ok"):
+                raise ConnectionError(f"hello refused: {hello.get('error')}")
+            session_id = hello.get("session", session_id)
+
+        async def backoff(attempts: int, hint_ms: Optional[float]) -> None:
+            # capped jittered exponential backoff; the server's advisory
+            # hint raises the floor (a 0.0 hint means "retry now")
+            base = 25.0 * (2 ** (attempts - 1))
+            if hint_ms is not None:
+                base = max(base, float(hint_ms))
+            delay_ms = min(base, 500.0) * rng.uniform(0.75, 1.25)
+            await asyncio.sleep(delay_ms / 1000.0)
+
+        async def connect_with_retry() -> None:
+            # the connection (and its hello ack) can be eaten by the
+            # same hostile network as any run answer — retry it too
+            attempt = 0
+            while True:
+                try:
+                    await connect()
+                    return
+                except (OSError, ConnectionError,
+                        asyncio.IncompleteReadError):
+                    attempt += 1
+                    if attempt > retry_overload:
+                        raise
+                    counts["retries"] += 1
+                    await backoff(attempt, None)
+
         try:
             async with gate:
-                reader, writer = await asyncio.open_connection(host, port)
+                await connect_with_retry()
                 try:
-                    async def call(payload: Dict[str, Any]) -> Dict[str, Any]:
-                        writer.write(encode_frame(payload))
-                        await writer.drain()
-                        line = await reader.readline()
-                        if not line:
-                            raise ConnectionError("server closed mid-request")
-                        return json.loads(line)
-
-                    hello = await call(
-                        {
-                            "op": "hello",
-                            "id": 0,
-                            "user": plan.user,
-                            "team": plan.team,
-                            "library": plan.library,
-                            "project": plan.project,
-                        }
-                    )
-                    if not hello.get("ok"):
-                        counts["dropped"] = 1
-                        return {**counts, "rejected": rejected}
-                    for index, cell in enumerate(plan.cells):
+                    for run_index, cell in enumerate(plan.cells):
                         counts["submitted"] += 1
+                        request_key = f"{plan.user}:{cell}:{run_index}"
                         attempts = 0
                         while True:
-                            answer = await call(
-                                {
-                                    "op": "run",
-                                    "id": index + 1,
-                                    "cell": cell,
-                                    "activity": spec.activity,
-                                    "script": spec.script,
-                                    "params": spec.params,
-                                }
-                            )
+                            request: Dict[str, Any] = {
+                                "op": "run",
+                                "id": run_index + 1,
+                                "cell": cell,
+                                "activity": spec.activity,
+                                "script": spec.script,
+                                "params": spec.params,
+                                "request_key": request_key,
+                            }
+                            if deadline_ms is not None:
+                                request["deadline_ms"] = deadline_ms
+                            try:
+                                answer = await call(request)
+                            except (OSError, ConnectionError):
+                                # lost ack: the run may have committed.
+                                # Reconnect, resume, retry the same
+                                # request_key — dedupe makes it safe
+                                if attempts >= retry_overload:
+                                    raise
+                                attempts += 1
+                                counts["retries"] += 1
+                                await backoff(attempts, None)
+                                await connect_with_retry()
+                                continue
+                            if answer.get("deduped"):
+                                counts["dedupe_hits"] += 1
                             if answer.get("ok"):
                                 counts["admitted"] += 1
                                 counts["ok"] += 1
@@ -299,17 +404,15 @@ async def replay_socket(
                                 break
                             error = answer.get("error", {})
                             if (
-                                error.get("type") == "ServerOverloadError"
+                                error.get("type") in RETRYABLE_ERRORS
                                 and attempts < retry_overload
                             ):
                                 attempts += 1
+                                counts["retries"] += 1
                                 reason = "retried"
                                 rejected[reason] = rejected.get(reason, 0) + 1
-                                backoff_ms = float(
-                                    error.get("retry_after_ms", 0.0) or 25.0
-                                )
-                                await asyncio.sleep(
-                                    min(backoff_ms, 250.0) / 1000.0
+                                await backoff(
+                                    attempts, error.get("retry_after_ms")
                                 )
                                 continue
                             reason = error.get("type", "unknown")
@@ -317,24 +420,41 @@ async def replay_socket(
                             break
                     await call({"op": "bye", "id": 99})
                 finally:
-                    writer.close()
+                    close()
         except (OSError, ConnectionError, asyncio.IncompleteReadError):
             counts["dropped"] = 1
         return {**counts, "rejected": rejected}
 
     results = await asyncio.gather(
-        *(one_session(plan) for plan in plans)
+        *(one_session(plan, index) for index, plan in enumerate(plans))
     )
     for outcome in results:
         report.submitted += outcome["submitted"]
         report.admitted += outcome["admitted"]
         report.ok += outcome["ok"]
+        report.retries += outcome["retries"]
+        report.dedupe_hits += outcome["dedupe_hits"]
         report.dropped_sessions += outcome["dropped"]
         for reason, count in outcome["rejected"].items():
             report.rejected[reason] = report.rejected.get(reason, 0) + count
     report.completed = report.ok
     report.latencies_ms = latencies
     return report
+
+
+def snapshot_cell_versions(hybrid, plans: List[SessionPlan]) -> Dict[Tuple[str, str], int]:
+    """Per-cellview version counts across the scenario's libraries.
+
+    Taken before and after a replay, the difference proves the retry
+    contract: a cellview gaining more than one version for a single
+    planned run means a duplicate retry double-committed.
+    """
+    counts: Dict[Tuple[str, str], int] = {}
+    for library_name in sorted({plan.library for plan in plans}):
+        library = hybrid.fmcad.library(library_name)
+        for cellview in library.cellviews():
+            counts[(library_name, cellview.name)] = len(cellview.versions)
+    return counts
 
 
 # -- CI smoke entry point ----------------------------------------------------
@@ -370,6 +490,7 @@ async def _smoke(args) -> int:
             workers=args.workers,
         )
         await server.start()
+        before = snapshot_cell_versions(hybrid, plans)
         started = time.perf_counter()
         report = await replay_socket(
             server.host, server.port, plans, spec,
@@ -378,10 +499,18 @@ async def _smoke(args) -> int:
         report.wall_s = time.perf_counter() - started
         await server.stop()
         audit = hybrid.audit()
+        after = snapshot_cell_versions(hybrid, plans)
+        # every planned run targets its own prepared cell exactly once,
+        # so any cellview gaining more than one version means a retry
+        # double-committed — the one outcome the dedupe window forbids
+        double_commits = sum(
+            max(0, after[key] - before.get(key, 0) - 1) for key in after
+        )
         payload = report.summary()
         payload["wall_s"] = round(report.wall_s, 2)
         payload["audit_clean"] = audit.clean
         payload["audit_findings"] = len(audit.findings)
+        payload["double_commits"] = double_commits
         payload["server_stats"] = {
             "shards": server.engine.shard_map.shards,
             "completed_runs": len(server.engine.completed()),
@@ -391,6 +520,7 @@ async def _smoke(args) -> int:
             report.dropped_sessions > 0
             or not audit.clean
             or report.ok < spec.total_runs
+            or double_commits > 0
         )
         return 1 if failed else 0
     finally:

@@ -1,0 +1,299 @@
+"""Network chaos matrix for the design server.
+
+The acceptance bar for the hostile-network hardening, end to end:
+
+* an acked checkin is never lost and a retried one never lands twice —
+  version counts move by at most one per planned run, across every
+  seeded fault schedule;
+* a faulted-then-retried serving run leaves the store byte-identical
+  to an unfaulted control run of the same scenario;
+* a crash mid-batch is survivable: recovery reports clean, the retry
+  commits once;
+* the lease table never shows two live holders for one key, no matter
+  how acquire/renew/expire interleave.
+
+Faults ride the deterministic :mod:`repro.faults` points — the same
+machinery the WAL crash matrix uses — so every scenario here replays
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import LeaseHeldError, ShardUnavailableError
+from repro.faults import CrashFault, FaultPlan, FaultRule, inject
+from repro.faults import KIND_TRANSIENT
+from repro.server.design_server import DesignServer
+from repro.server.engine import ServeEngine
+from repro.server.protocol import ScriptCatalog
+from repro.workloads.loadgen import (
+    ScenarioSpec,
+    build_scenario,
+    replay_socket,
+    snapshot_cell_versions,
+)
+
+SPEC = ScenarioSpec(teams=2, designers_per_team=2, runs_per_designer=1)
+KWARGS = ScriptCatalog().resolve("schematic_entry", "idempotent_inverter", {})
+
+
+def _design_bytes(hybrid, plans):
+    """Every committed schematic version body across the scenario."""
+    data = {}
+    for plan in plans:
+        library = hybrid.fmcad.library(plan.library)
+        for cell in plan.cells:
+            view = library.cellview(cell, "schematic")
+            for index, version in enumerate(view.versions):
+                data[(plan.library, cell, index)] = library.read_version(
+                    view, version.number
+                )
+    return data
+
+
+def _run_engine(hybrid, plans, *, fault_plan=None, retries=1):
+    """Drive the scenario through a deterministic engine, retrying any
+    shard-unavailable shedding the fault schedule produces."""
+    engine = ServeEngine(hybrid, shards=2, max_batch=1, window_ms=50.0)
+    sessions = [
+        engine.open_session(p.user, p.team, p.library, p.project)
+        for p in plans
+    ]
+    now = engine.epoch_ms
+    outstanding = [
+        (session, plan, cell)
+        for session, plan in zip(sessions, plans)
+        for cell in plan.cells
+    ]
+
+    def drive():
+        nonlocal now
+        attempt = 0
+        work = list(outstanding)
+        while work and attempt <= retries:
+            next_round = []
+            pendings = []
+            for session, plan, cell in work:
+                now += 10.0
+                try:
+                    pending = engine.submit(
+                        session, cell, "schematic_entry",
+                        kwargs=KWARGS, now_ms=now,
+                        request_key=f"{plan.user}:{cell}:a{attempt}",
+                    )
+                    pendings.append((session, plan, cell, pending))
+                except ShardUnavailableError:
+                    next_round.append((session, plan, cell))
+            now += 200.0
+            engine.pump(now)
+            for session, plan, cell, pending in pendings:
+                if pending.outcome is not None and pending.outcome.ok:
+                    continue
+                next_round.append((session, plan, cell))
+            work = next_round
+            attempt += 1
+        engine.drain(now)
+        return work
+
+    if fault_plan is not None:
+        with inject(fault_plan):
+            unfinished = drive()
+    else:
+        unfinished = drive()
+    engine.close()
+    return unfinished
+
+
+class TestByteIdenticalRecovery:
+    def test_transient_dispatch_fault_then_retry_matches_control(
+        self, tmp_path
+    ):
+        control_hybrid, control_plans = build_scenario(
+            tmp_path / "control", SPEC
+        )
+        assert _run_engine(control_hybrid, control_plans) == []
+        control = _design_bytes(control_hybrid, control_plans)
+
+        chaos_hybrid, chaos_plans = build_scenario(tmp_path / "chaos", SPEC)
+        unfinished = _run_engine(
+            chaos_hybrid, chaos_plans,
+            fault_plan=FaultPlan.transient("server.dispatch", on_hit=1),
+            retries=2,
+        )
+        assert unfinished == []
+        assert chaos_hybrid.audit().clean
+        assert _design_bytes(chaos_hybrid, chaos_plans) == control
+
+    def test_crash_mid_batch_recovers_and_matches_control(self, tmp_path):
+        control_hybrid, control_plans = build_scenario(
+            tmp_path / "control", SPEC
+        )
+        assert _run_engine(control_hybrid, control_plans) == []
+        control = _design_bytes(control_hybrid, control_plans)
+
+        hybrid, plans = build_scenario(tmp_path / "chaos", SPEC)
+        engine = ServeEngine(hybrid, shards=2, max_batch=1, window_ms=50.0)
+        sessions = [
+            engine.open_session(p.user, p.team, p.library, p.project)
+            for p in plans
+        ]
+        now = engine.epoch_ms
+        with inject(FaultPlan.crash("server.dispatch", on_hit=1)):
+            for session, plan in zip(sessions, plans):
+                now += 10.0
+                engine.submit(
+                    session, plan.cells[0], "schematic_entry",
+                    kwargs=KWARGS, now_ms=now,
+                )
+            now += 200.0
+            with pytest.raises(CrashFault):
+                engine.drain(now)
+        # the serving process is dead: abandon its engine, repair the
+        # store, then a fresh engine retries everything not committed
+        report = hybrid.recover()
+        assert hybrid.audit().clean, report
+        engine = ServeEngine(hybrid, shards=2, max_batch=1, window_ms=50.0)
+        sessions = [
+            engine.open_session(p.user, p.team, p.library, p.project)
+            for p in plans
+        ]
+        now = engine.epoch_ms
+        for session, plan in zip(sessions, plans):
+            cell = plan.cells[0]
+            committed = (
+                hybrid.fmcad.library(plan.library)
+                .cell(cell)
+                .has_cellview("schematic")
+            )
+            if committed:
+                continue
+            now += 10.0
+            engine.submit(
+                session, cell, "schematic_entry", kwargs=KWARGS, now_ms=now,
+            )
+        engine.drain(now + 200.0)
+        engine.close()
+        assert hybrid.audit().clean
+        assert _design_bytes(hybrid, plans) == control
+
+
+class TestLeaseSingleHolder:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_never_two_live_holders_per_key(self, seed):
+        """Seeded storm of acquire/renew/release/expiry over few keys."""
+        from repro.server.leases import LeaseTable
+
+        rng = random.Random(seed)
+        table = LeaseTable(ttl_ms=100.0)
+        sessions = [f"s{i}" for i in range(4)]
+        cells = ["c0", "c1"]
+        now = 0.0
+        for _ in range(400):
+            now += rng.uniform(0.0, 60.0)
+            session = rng.choice(sessions)
+            cell = rng.choice(cells)
+            op = rng.random()
+            try:
+                if op < 0.5:
+                    table.acquire(session, session, "lib", cell, now_ms=now)
+                elif op < 0.7:
+                    table.renew(session, now_ms=now)
+                elif op < 0.9:
+                    table.release(session, f"cell/lib/{cell}")
+                else:
+                    table.reclaim_due(now_ms=now)
+            except LeaseHeldError:
+                pass
+            live = table.live_leases()
+            keys = [lease.key for lease in live]
+            assert len(keys) == len(set(keys)), "two live holders on a key"
+        # expiry is lazy, but a sweep must leave nothing stale behind
+        table.reclaim_due(now_ms=now)
+        for lease in table.live_leases():
+            assert not lease.expired(now)
+
+
+class TestSocketChaosMatrix:
+    """Real sockets, seeded fault schedules over the net.* points."""
+
+    def _chaos_plan(self, seed: int) -> FaultPlan:
+        rng = random.Random(seed)
+        rules = []
+        for point in ("net.read", "net.write"):
+            rules.append(FaultRule(
+                point, KIND_TRANSIENT,
+                on_hit=rng.randint(2, 6), times=rng.randint(1, 2),
+            ))
+        rules.append(FaultRule(
+            "server.dispatch", KIND_TRANSIENT,
+            on_hit=rng.randint(1, 3), times=1,
+        ))
+        return FaultPlan(rules)
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_no_lost_acks_no_double_commits(self, tmp_path, seed):
+        hybrid, plans = build_scenario(tmp_path / "env", SPEC)
+        before = snapshot_cell_versions(hybrid, plans)
+
+        async def exercise():
+            server = DesignServer(
+                hybrid, shards=2, max_batch=4, window_ms=10.0,
+                breaker_threshold=3, breaker_cooldown_ms=50.0,
+            )
+            host, port = await server.start()
+            try:
+                with inject(self._chaos_plan(seed)):
+                    return await replay_socket(
+                        host, port, plans, SPEC,
+                        retry_overload=5, seed=seed,
+                        ack_timeout_ms=1_000.0,
+                    )
+            finally:
+                await server.stop()
+
+        report = asyncio.run(exercise())
+        after = snapshot_cell_versions(hybrid, plans)
+        double_commits = sum(
+            max(0, after[key] - before.get(key, 0) - 1) for key in after
+        )
+        assert double_commits == 0
+        # an acked ok run must have exactly its one version on disk
+        committed = sum(
+            after[key] - before.get(key, 0) for key in after
+        )
+        assert committed >= report.ok
+        # chaos over, the store must be repairable and consistent
+        hybrid.recover()
+        assert hybrid.audit().clean
+        # the harness made real progress despite the fault schedule
+        assert report.ok > 0
+
+    def test_refused_accepts_do_not_poison_the_listener(self, tmp_path):
+        hybrid, plans = build_scenario(tmp_path / "env", SPEC)
+
+        async def exercise():
+            server = DesignServer(hybrid, shards=1, window_ms=10.0)
+            host, port = await server.start()
+            try:
+                with inject(FaultPlan.transient("net.accept", on_hit=1)):
+                    reader, writer = await asyncio.open_connection(
+                        host, port
+                    )
+                    # the refused connection just closes...
+                    assert await reader.read() == b""
+                    writer.close()
+                # ...and the next one is served normally
+                report = await replay_socket(
+                    host, port, plans[:1], SPEC, seed=0
+                )
+                assert report.dropped_sessions == 0
+                assert report.ok == len(plans[0].cells)
+            finally:
+                await server.stop()
+            assert server.transport_stats()["refused_accepts"] == 1
+
+        asyncio.run(exercise())

@@ -1,0 +1,240 @@
+"""Deadline propagation, cancellation, and idempotent retries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.server.engine import ServeEngine
+from repro.server.protocol import ScriptCatalog
+from repro.workloads.loadgen import ScenarioSpec, build_scenario
+
+SPEC = ScenarioSpec(teams=1, designers_per_team=2, runs_per_designer=4)
+KWARGS = ScriptCatalog().resolve("schematic_entry", "idempotent_inverter", {})
+
+
+@pytest.fixture
+def scenario(tmp_path):
+    return build_scenario(tmp_path / "env", SPEC)
+
+
+def _engine(hybrid, **overrides):
+    config = dict(shards=1, max_batch=8, window_ms=100.0)
+    config.update(overrides)
+    return ServeEngine(hybrid, **config)
+
+
+def _session(engine, plan):
+    return engine.open_session(
+        plan.user, plan.team, plan.library, plan.project
+    )
+
+
+class TestDeadlines:
+    def test_spent_budget_refused_at_submit(self, scenario):
+        hybrid, plans = scenario
+        engine = _engine(hybrid)
+        session = _session(engine, plans[0])
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            engine.submit(
+                session, plans[0].cells[0], "schematic_entry",
+                kwargs=KWARGS, now_ms=engine.epoch_ms, deadline_ms=0.0,
+            )
+        assert excinfo.value.retry_after_ms == 0.0
+        # the refusal never occupied queue space
+        assert engine.stats()["per_shard"][0]["admission"]["depth"] == 0
+
+    def test_expired_run_is_shed_with_typed_error(self, scenario):
+        hybrid, plans = scenario
+        engine = _engine(hybrid)
+        session = _session(engine, plans[0])
+        t0 = engine.epoch_ms
+        pending = engine.submit(
+            session, plans[0].cells[0], "schematic_entry",
+            kwargs=KWARGS, now_ms=t0, deadline_ms=50.0,
+        )
+        assert pending.deadline_ms == t0 + 50.0
+        # the window flushes after the budget is gone
+        engine.pump(t0 + 200.0)
+        assert pending.status == "deadline-exceeded"
+        assert isinstance(pending.error, DeadlineExceededError)
+        assert pending.error.retry_after_ms == 0.0
+        assert pending.outcome is None
+        assert engine.stats()["per_shard"][0]["deadline_shed"] == 1
+        engine.close()
+
+    def test_mixed_batch_sheds_only_the_expired(self, scenario):
+        hybrid, plans = scenario
+        engine = _engine(hybrid)
+        session = _session(engine, plans[0])
+        t0 = engine.epoch_ms
+        tight = engine.submit(
+            session, plans[0].cells[0], "schematic_entry",
+            kwargs=KWARGS, now_ms=t0, deadline_ms=50.0,
+        )
+        roomy = engine.submit(
+            session, plans[0].cells[1], "schematic_entry",
+            kwargs=KWARGS, now_ms=t0, deadline_ms=60_000.0,
+        )
+        engine.pump(t0 + 200.0)
+        assert tight.status == "deadline-exceeded"
+        assert roomy.outcome is not None and roomy.outcome.ok
+        engine.close()
+        assert hybrid.audit().clean
+
+    def test_no_deadline_never_sheds(self, scenario):
+        hybrid, plans = scenario
+        engine = _engine(hybrid)
+        session = _session(engine, plans[0])
+        t0 = engine.epoch_ms
+        pending = engine.submit(
+            session, plans[0].cells[0], "schematic_entry",
+            kwargs=KWARGS, now_ms=t0,
+        )
+        engine.pump(t0 + 1_000_000.0)
+        assert pending.outcome is not None and pending.outcome.ok
+        engine.close()
+
+
+class TestCancellation:
+    def test_cancel_inside_open_window(self, scenario):
+        hybrid, plans = scenario
+        engine = _engine(hybrid)
+        session = _session(engine, plans[0])
+        t0 = engine.epoch_ms
+        pending = engine.submit(
+            session, plans[0].cells[0], "schematic_entry",
+            kwargs=KWARGS, now_ms=t0,
+        )
+        assert engine.cancel(pending) is True
+        assert pending.cancelled is True
+        assert pending.status == "cancelled"
+        # the admission slot was given back immediately
+        assert engine.stats()["per_shard"][0]["admission"]["depth"] == 0
+        # the flushed window must not run (or re-settle) it
+        engine.pump(t0 + 200.0)
+        assert pending.outcome is None
+        assert engine.stats()["per_shard"][0]["cancelled"] == 1
+        engine.close()
+
+    def test_cancel_after_settle_is_refused(self, scenario):
+        hybrid, plans = scenario
+        engine = _engine(hybrid)
+        session = _session(engine, plans[0])
+        pending = engine.submit(
+            session, plans[0].cells[0], "schematic_entry",
+            kwargs=KWARGS, now_ms=engine.epoch_ms,
+        )
+        engine.drain()
+        assert pending.outcome is not None
+        assert engine.cancel(pending) is False
+        engine.close()
+
+
+class TestIdempotentRetries:
+    def test_retry_in_flight_returns_same_pending(self, scenario):
+        hybrid, plans = scenario
+        engine = _engine(hybrid)
+        session = _session(engine, plans[0])
+        t0 = engine.epoch_ms
+        first = engine.submit(
+            session, plans[0].cells[0], "schematic_entry",
+            kwargs=KWARGS, now_ms=t0, request_key="r1",
+        )
+        retry = engine.submit(
+            session, plans[0].cells[0], "schematic_entry",
+            kwargs=KWARGS, now_ms=t0 + 10.0, request_key="r1",
+        )
+        assert retry is first
+        assert retry.dedupe_count == 1
+        assert session.dedupe_hits == 1
+        # only one slot was ever occupied
+        assert engine.stats()["per_shard"][0]["admission"]["depth"] == 1
+        engine.close()
+
+    def test_retry_after_success_never_double_commits(self, scenario):
+        """The lost-ack scenario: the run committed but the client never
+        heard; its retry is answered from the original, not re-run."""
+        hybrid, plans = scenario
+        engine = _engine(hybrid)
+        session = _session(engine, plans[0])
+        cell = plans[0].cells[0]
+        first = engine.submit(
+            session, cell, "schematic_entry",
+            kwargs=KWARGS, now_ms=engine.epoch_ms, request_key="r1",
+        )
+        engine.drain()
+        assert first.outcome is not None and first.outcome.ok
+        library = hybrid.fmcad.library(plans[0].library)
+        versions_after_first = len(
+            library.cellview(cell, "schematic").versions
+        )
+        retry = engine.submit(
+            session, cell, "schematic_entry",
+            kwargs=KWARGS, now_ms=engine.epoch_ms + 500.0, request_key="r1",
+        )
+        engine.drain()
+        assert retry is first
+        assert retry.dedupe_count == 1
+        assert len(
+            library.cellview(cell, "schematic").versions
+        ) == versions_after_first
+        engine.close()
+
+    def test_retry_after_failure_is_a_fresh_attempt(self, scenario):
+        hybrid, plans = scenario
+        engine = _engine(hybrid)
+        session = _session(engine, plans[0])
+        t0 = engine.epoch_ms
+        doomed = engine.submit(
+            session, plans[0].cells[0], "schematic_entry",
+            kwargs=KWARGS, now_ms=t0, deadline_ms=50.0, request_key="r1",
+        )
+        engine.pump(t0 + 200.0)
+        assert doomed.status == "deadline-exceeded"
+        retry = engine.submit(
+            session, plans[0].cells[0], "schematic_entry",
+            kwargs=KWARGS, now_ms=t0 + 300.0, request_key="r1",
+        )
+        assert retry is not doomed
+        engine.drain()
+        assert retry.outcome is not None and retry.outcome.ok
+        engine.close()
+
+    def test_dedupe_window_is_bounded(self, scenario):
+        hybrid, plans = scenario
+        engine = _engine(hybrid, dedupe_window=2, max_batch=1)
+        session = _session(engine, plans[0])
+        t0 = engine.epoch_ms
+        for i, key in enumerate(("r1", "r2", "r3")):
+            engine.submit(
+                session, plans[0].cells[i], "schematic_entry",
+                kwargs=KWARGS, now_ms=t0 + i, request_key=key,
+            )
+        assert list(session.dedupe) == ["r2", "r3"]  # r1 was evicted
+        engine.drain()
+        # an r1 retry now re-admits instead of answering from cache
+        retry = engine.submit(
+            session, plans[0].cells[0], "schematic_entry",
+            kwargs=KWARGS, now_ms=t0 + 500.0, request_key="r1",
+        )
+        assert retry.dedupe_count == 0
+        engine.drain()
+        engine.close()
+
+    def test_keys_are_scoped_per_session(self, scenario):
+        hybrid, plans = scenario
+        engine = _engine(hybrid)
+        first = _session(engine, plans[0])
+        second = _session(engine, plans[1])
+        a = engine.submit(
+            first, plans[0].cells[0], "schematic_entry",
+            kwargs=KWARGS, now_ms=engine.epoch_ms, request_key="r1",
+        )
+        b = engine.submit(
+            second, plans[1].cells[0], "schematic_entry",
+            kwargs=KWARGS, now_ms=engine.epoch_ms, request_key="r1",
+        )
+        assert a is not b
+        engine.drain()
+        engine.close()

@@ -1,0 +1,322 @@
+"""Checkout leases: expiry timers, fencing tokens, zombie sessions."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.clock import DeadlineTimers
+from repro.errors import (
+    LeaseError,
+    LeaseFencedError,
+    LeaseHeldError,
+)
+from repro.server.engine import ServeEngine
+from repro.server.leases import LeaseTable, lease_key
+from repro.server.protocol import ScriptCatalog
+from repro.workloads.loadgen import ScenarioSpec, build_scenario
+
+SPEC = ScenarioSpec(teams=1, designers_per_team=2, runs_per_designer=1)
+KWARGS = ScriptCatalog().resolve("schematic_entry", "idempotent_inverter", {})
+
+
+@pytest.fixture
+def scenario(tmp_path):
+    return build_scenario(tmp_path / "env", SPEC)
+
+
+class TestDeadlineTimers:
+    def test_pop_due_fires_in_deadline_order(self):
+        timers = DeadlineTimers()
+        timers.schedule("b", 200.0)
+        timers.schedule("a", 100.0)
+        timers.schedule("c", 300.0)
+        assert timers.next_due_ms() == 100.0
+        assert timers.pop_due(250.0) == ["a", "b"]
+        assert timers.pop_due(250.0) == []
+        assert timers.pop_due(300.0) == ["c"]
+        assert len(timers) == 0
+
+    def test_reschedule_replaces_old_deadline(self):
+        timers = DeadlineTimers()
+        timers.schedule("a", 100.0)
+        timers.schedule("a", 500.0)  # renewed: the 100ms timer is stale
+        assert timers.pop_due(200.0) == []
+        assert timers.pop_due(500.0) == ["a"]
+
+    def test_cancel(self):
+        timers = DeadlineTimers()
+        timers.schedule("a", 100.0)
+        assert timers.cancel("a") is True
+        assert timers.cancel("a") is False
+        assert timers.pop_due(1000.0) == []
+        assert timers.next_due_ms() is None
+
+
+class TestLeaseTable:
+    def test_acquire_grants_monotonic_tokens(self):
+        table = LeaseTable(ttl_ms=100.0)
+        first = table.acquire("s1", "u1", "lib", "cell", now_ms=0.0)
+        assert first.token == 1
+        assert first.key == lease_key("lib", "cell") == "cell/lib/cell"
+        table.release("s1", first.key)
+        second = table.acquire("s2", "u2", "lib", "cell", now_ms=10.0)
+        # tokens never regress, even across release/re-grant
+        assert second.token == 2
+
+    def test_conflict_carries_retry_hint(self):
+        table = LeaseTable(ttl_ms=100.0)
+        table.acquire("s1", "u1", "lib", "cell", now_ms=0.0)
+        with pytest.raises(LeaseHeldError) as excinfo:
+            table.acquire("s2", "u2", "lib", "cell", now_ms=40.0)
+        assert excinfo.value.retry_after_ms == 60.0
+        assert excinfo.value.holder == "s1"
+
+    def test_holder_reacquire_renews_same_token(self):
+        table = LeaseTable(ttl_ms=100.0)
+        first = table.acquire("s1", "u1", "lib", "cell", now_ms=0.0)
+        again = table.acquire("s1", "u1", "lib", "cell", now_ms=50.0)
+        assert again is first
+        assert again.token == 1
+        assert again.expires_ms == 150.0
+        assert again.renewals == 1
+
+    def test_heartbeat_renews_every_session_lease(self):
+        table = LeaseTable(ttl_ms=100.0)
+        table.acquire("s1", "u1", "lib", "a", now_ms=0.0)
+        table.acquire("s1", "u1", "lib", "b", now_ms=0.0)
+        table.acquire("s2", "u2", "lib", "c", now_ms=0.0)
+        assert table.renew("s1", now_ms=90.0) == 2
+        # s1's leases now outlive s2's untouched one
+        reclaimed = table.reclaim_due(now_ms=120.0)
+        assert [lease.key for lease in reclaimed] == ["cell/lib/c"]
+        assert len(table.live_leases()) == 2
+
+    def test_expiry_reclaims_and_successor_gets_new_token(self):
+        table = LeaseTable(ttl_ms=100.0)
+        table.acquire("s1", "u1", "lib", "cell", now_ms=0.0)
+        successor = table.acquire("s2", "u2", "lib", "cell", now_ms=150.0)
+        assert successor.token == 2
+        assert table.reclaimed == 1
+
+    def test_validate_fences_stale_and_expired_tokens(self):
+        table = LeaseTable(ttl_ms=100.0)
+        table.acquire("s1", "u1", "lib", "cell", now_ms=0.0)
+        table.validate("cell/lib/cell", 1, now_ms=50.0)
+        with pytest.raises(LeaseFencedError):
+            table.validate("cell/lib/cell", 7, now_ms=50.0)
+        # an expired lease rejects its own token even with no successor
+        with pytest.raises(LeaseFencedError):
+            table.validate("cell/lib/cell", 1, now_ms=150.0)
+
+    def test_assert_writable_is_exclusive(self):
+        table = LeaseTable(ttl_ms=100.0)
+        table.acquire("s1", "u1", "lib", "cell", now_ms=0.0)
+        table.assert_writable("s1", "cell/lib/cell", now_ms=10.0)
+        table.assert_writable("s2", "cell/lib/other", now_ms=10.0)
+        with pytest.raises(LeaseHeldError):
+            table.assert_writable("s2", "cell/lib/cell", now_ms=10.0)
+        # after expiry the claim is gone for everyone
+        table.assert_writable("s2", "cell/lib/cell", now_ms=150.0)
+
+    def test_release_only_by_holder(self):
+        table = LeaseTable(ttl_ms=100.0)
+        table.acquire("s1", "u1", "lib", "cell", now_ms=0.0)
+        assert table.release("s2", "cell/lib/cell") is False
+        assert table.release("s1", "cell/lib/cell") is True
+        assert table.live_leases() == []
+
+    def test_release_session_drops_all(self):
+        table = LeaseTable(ttl_ms=100.0)
+        table.acquire("s1", "u1", "lib", "a", now_ms=0.0)
+        table.acquire("s1", "u1", "lib", "b", now_ms=0.0)
+        table.acquire("s2", "u2", "lib", "c", now_ms=0.0)
+        assert table.release_session("s1") == 2
+        assert [lease.key for lease in table.live_leases()] == ["cell/lib/c"]
+
+    def test_arm_refuses_double_arming(self):
+        table = LeaseTable(ttl_ms=100.0)
+        table.arm("cell/lib/cell", 1)
+        assert table.expected("cell/lib/cell") == 1
+        with pytest.raises(LeaseError):
+            table.arm("cell/lib/cell", 2)
+        table.disarm("cell/lib/cell")
+        assert table.expected("cell/lib/cell") is None
+
+
+@dataclasses.dataclass
+class _TicketStub:
+    cell_name: str
+
+
+@dataclasses.dataclass
+class _LibraryStub:
+    name: str
+
+
+class TestEngineLeases:
+    def test_lease_lifecycle_over_engine(self, scenario):
+        hybrid, plans = scenario
+        engine = ServeEngine(
+            hybrid, shards=1, max_batch=4, window_ms=100.0,
+            lease_ttl_ms=1_000.0,
+        )
+        plan = plans[0]
+        session = engine.open_session(
+            plan.user, plan.team, plan.library, plan.project
+        )
+        t0 = engine.epoch_ms
+        lease = engine.acquire_lease(session, plan.cells[0], now_ms=t0)
+        assert lease.token == 1
+        assert engine.touch_session(session, now_ms=t0 + 500.0) == 1
+        assert engine.leases.holder(lease.key).expires_ms == t0 + 1_500.0
+        assert engine.release_lease(session, plan.cells[0]) is True
+        assert engine.leases.live_leases() == []
+
+    def test_zombie_session_is_fenced_not_clobbering(self, scenario):
+        """The acceptance scenario: an expired holder cannot commit over
+        its successor — its queued run is shed with a typed error."""
+        hybrid, plans = scenario
+        engine = ServeEngine(
+            hybrid, shards=1, max_batch=8, window_ms=200.0,
+            lease_ttl_ms=100.0,
+        )
+        zombie_plan, successor_plan = plans[0], plans[1]
+        zombie = engine.open_session(
+            zombie_plan.user, zombie_plan.team,
+            zombie_plan.library, zombie_plan.project,
+        )
+        successor = engine.open_session(
+            successor_plan.user, successor_plan.team,
+            successor_plan.library, successor_plan.project,
+        )
+        cell = zombie_plan.cells[0]
+        t0 = engine.epoch_ms
+        granted = engine.acquire_lease(zombie, cell, now_ms=t0)
+        assert granted.token == 1
+        # the zombie submits while its lease is live, then goes silent
+        pending = engine.submit(
+            zombie, cell, "schematic_entry", kwargs=KWARGS, now_ms=t0 + 10.0
+        )
+        assert pending.fence_token == 1
+        # lease expires before the window flushes; the successor claims it
+        taken = engine.acquire_lease(successor, cell, now_ms=t0 + 150.0)
+        assert taken.token == 2
+        engine.pump(t0 + 220.0)
+        assert pending.status == "lease-fenced"
+        assert isinstance(pending.error, LeaseFencedError)
+        assert pending.outcome is None          # it never reached a wave
+        assert engine.stats()["per_shard"][0]["fenced"] == 1
+        # the successor's claim is untouched and the store stayed clean
+        assert engine.leases.holder(taken.key).token == 2
+        assert hybrid.audit().clean
+        engine.close()
+
+    def test_non_holder_submit_refused_while_leased(self, scenario):
+        hybrid, plans = scenario
+        engine = ServeEngine(
+            hybrid, shards=1, window_ms=100.0, lease_ttl_ms=1_000.0
+        )
+        holder_plan, other_plan = plans[0], plans[1]
+        holder = engine.open_session(
+            holder_plan.user, holder_plan.team,
+            holder_plan.library, holder_plan.project,
+        )
+        other = engine.open_session(
+            other_plan.user, other_plan.team,
+            other_plan.library, other_plan.project,
+        )
+        cell = holder_plan.cells[0]
+        t0 = engine.epoch_ms
+        engine.acquire_lease(holder, cell, now_ms=t0)
+        with pytest.raises(LeaseHeldError) as excinfo:
+            engine.submit(
+                other, cell, "schematic_entry", kwargs=KWARGS,
+                now_ms=t0 + 10.0,
+            )
+        assert excinfo.value.retry_after_ms == 990.0
+
+    def test_leased_run_commits_under_its_token(self, scenario):
+        hybrid, plans = scenario
+        engine = ServeEngine(
+            hybrid, shards=1, max_batch=4, window_ms=100.0,
+            lease_ttl_ms=10_000.0,
+        )
+        plan = plans[0]
+        session = engine.open_session(
+            plan.user, plan.team, plan.library, plan.project
+        )
+        t0 = engine.epoch_ms
+        engine.acquire_lease(session, plan.cells[0], now_ms=t0)
+        pending = engine.submit(
+            session, plan.cells[0], "schematic_entry", kwargs=KWARGS,
+            now_ms=t0 + 10.0,
+        )
+        engine.drain()
+        assert pending.outcome is not None and pending.outcome.ok
+        assert hybrid.audit().clean
+        engine.close()
+
+    def test_checkin_guard_fences_superseded_expectation(self, scenario):
+        hybrid, plans = scenario
+        engine = ServeEngine(hybrid, shards=1, lease_ttl_ms=1_000.0)
+        key = lease_key(plans[0].library, "c0")
+        engine.leases.arm(key, 3)  # the batch validated token 3...
+        try:
+            # ...but by commit time the grant moved on (or vanished)
+            with pytest.raises(LeaseFencedError):
+                engine._checkin_fence(
+                    _TicketStub(cell_name="c0"),
+                    _LibraryStub(name=plans[0].library),
+                )
+        finally:
+            engine.leases.disarm(key)
+        # no expectation armed -> unleased checkins pass untouched
+        engine._checkin_fence(
+            _TicketStub(cell_name="c0"), _LibraryStub(name=plans[0].library)
+        )
+
+
+class TestLeaseRecoveryAndAudit:
+    def test_recover_reclaims_expired_leases(self, scenario):
+        hybrid, plans = scenario
+        engine = ServeEngine(hybrid, shards=1, lease_ttl_ms=100.0)
+        plan = plans[0]
+        session = engine.open_session(
+            plan.user, plan.team, plan.library, plan.project
+        )
+        t0 = engine.epoch_ms
+        engine.acquire_lease(session, plan.cells[0], now_ms=t0)
+        hybrid.clock.advance_to(t0 + 500.0)
+        report = hybrid.recover()
+        assert len(report.reclaimed_leases) == 1
+        assert plan.cells[0] in report.reclaimed_leases[0]
+        assert engine.leases.live_leases() == []
+
+    def test_audit_flags_stale_unreclaimed_lease(self, scenario):
+        hybrid, plans = scenario
+        engine = ServeEngine(hybrid, shards=1, lease_ttl_ms=100.0)
+        plan = plans[0]
+        session = engine.open_session(
+            plan.user, plan.team, plan.library, plan.project
+        )
+        t0 = engine.epoch_ms
+        engine.acquire_lease(session, plan.cells[0], now_ms=t0)
+        hybrid.clock.advance_to(t0 + 500.0)
+        report = hybrid.audit()
+        stale = [f for f in report.findings if f.category == "stale-lease"]
+        assert len(stale) == 1
+        # reclaiming clears the finding
+        engine.leases.reclaim_due()
+        assert hybrid.audit().clean
+
+    def test_live_lease_keeps_audit_clean(self, scenario):
+        hybrid, plans = scenario
+        engine = ServeEngine(hybrid, shards=1, lease_ttl_ms=10_000.0)
+        plan = plans[0]
+        session = engine.open_session(
+            plan.user, plan.team, plan.library, plan.project
+        )
+        engine.acquire_lease(session, plan.cells[0], now_ms=engine.epoch_ms)
+        assert hybrid.audit().clean

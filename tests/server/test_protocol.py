@@ -6,8 +6,17 @@ import json
 
 import pytest
 
-from repro.errors import ProtocolError, ServerOverloadError
+from repro.errors import (
+    DeadlineExceededError,
+    LeaseHeldError,
+    ProtocolError,
+    ServerOverloadError,
+    ShardUnavailableError,
+)
 from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    OPERATIONS,
+    PROTOCOL_VERSION,
     ScriptCatalog,
     decode_line,
     encode_frame,
@@ -54,6 +63,44 @@ class TestFraming:
         assert frame["error"]["retry_after_ms"] == 50.0
         # frames must survive the wire
         json.loads(encode_frame(frame).decode())
+
+    def test_version_two_names_the_hardened_ops(self):
+        assert PROTOCOL_VERSION == 2
+        for op in ("lease", "release", "ping", "bye"):
+            assert op in OPERATIONS
+            decode_line(encode_frame({"op": op, "id": 1}))
+
+    def test_oversized_frame_rejected_with_typed_error(self):
+        blob = json.dumps(
+            {"op": "ping", "junk": "y" * (MAX_FRAME_BYTES + 1)}
+        ).encode() + b"\n"
+        with pytest.raises(ProtocolError, match="oversized"):
+            decode_line(blob)
+
+    def test_zero_retry_hint_survives_the_wire(self):
+        """retry_after_ms == 0.0 means 'retry immediately', not 'no
+        hint' — the falsy value must not be dropped from the frame."""
+        error = DeadlineExceededError(
+            "too late", shard_id=1, retry_after_ms=0.0
+        )
+        frame = error_frame(3, error)
+        assert frame["error"]["retry_after_ms"] == 0.0
+
+    def test_error_frame_carries_breaker_state(self):
+        error = ShardUnavailableError(
+            "fenced", shard_id=3, state="open", retry_after_ms=750.0
+        )
+        frame = error_frame(4, error)
+        assert frame["error"]["state"] == "open"
+        assert frame["error"]["retry_after_ms"] == 750.0
+
+    def test_error_frame_carries_lease_details(self):
+        error = LeaseHeldError(
+            "held", key="cell/lib/c0", holder="s7", retry_after_ms=120.0
+        )
+        frame = error_frame(5, error)
+        assert frame["error"]["key"] == "cell/lib/c0"
+        assert frame["error"]["holder"] == "s7"
 
 
 class TestScriptCatalog:
